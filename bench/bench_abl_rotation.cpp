@@ -1,0 +1,99 @@
+// Ablation: step 1 of the automatic placement method ("optimal rotation").
+// Three variants on the 29-device board:
+//   full_flow        - step-1 global rotation optimization (+ local fallback)
+//   fallback_only    - step 1 skipped; only the placer's local stuck-rescue
+//                      may rotate (greedy, no global view)
+//   rotations_locked - every component forced to rotation 0: the EMD budget
+//                      stays at its parallel-axes maximum
+// Reported: remaining EMD budget after rotation, placement success, layout
+// compactness. The locked variant shows what the cos(alpha) lever is worth.
+#include <cstdio>
+
+#include "src/flow/demo_board.hpp"
+#include "src/place/drc.hpp"
+#include "src/place/metrics.hpp"
+#include "src/place/placer.hpp"
+#include "src/place/rotation.hpp"
+
+namespace {
+
+enum class Mode { kFull, kFallbackOnly, kLocked };
+
+// A deliberately tight board: 9 magnetic components, all pairs under a
+// 26 mm rule, on 72 x 56 mm. With parallel axes the full pairwise budget
+// cannot fit; rotation decoupling is what makes it placeable.
+emi::place::Design make_tight_board() {
+  using namespace emi;
+  place::Design d;
+  d.set_clearance(1.0);
+  d.add_area({"board", 0,
+              geom::Polygon::rectangle(geom::Rect::from_corners({0, 0}, {72, 56}))});
+  for (int i = 0; i < 9; ++i) {
+    place::Component c;
+    c.name = "M" + std::to_string(i);
+    c.width_mm = 12;
+    c.depth_mm = 9;
+    c.height_mm = 8;
+    c.axis_deg = 90.0;
+    d.add_component(c);
+  }
+  for (int i = 0; i < 9; ++i) {
+    for (int j = i + 1; j < 9; ++j) {
+      d.add_emd_rule("M" + std::to_string(i), "M" + std::to_string(j), 26.0);
+    }
+  }
+  return d;
+}
+
+void run(const char* name, Mode mode, bool tight) {
+  using namespace emi;
+  place::Design d = tight ? make_tight_board() : flow::make_demo_board();
+  if (mode == Mode::kLocked) {
+    for (place::Component& c : d.components()) c.allowed_rotations = {0.0};
+  }
+  place::Layout l = tight ? place::Layout::unplaced(d)
+                          : flow::demo_board_initial_layout(d);
+
+  std::vector<double> rotations(d.components().size(), 0.0);
+  std::vector<int> boards(d.components().size(), 0);
+  const place::RotationOptimizer ro(d);
+  double emd_budget;
+  if (mode == Mode::kFull) {
+    const place::RotationResult rr = ro.optimize(l);
+    rotations = rr.rotation_deg;
+    emd_budget = rr.total_emd_mm;
+  } else {
+    for (std::size_t i = 0; i < d.components().size(); ++i) {
+      rotations[i] = d.components()[i].allowed_rotations.front();
+    }
+    emd_budget = ro.total_emd(rotations);
+  }
+
+  const place::SequentialPlacer placer(d);
+  const place::PlaceStats stats = placer.place(l, rotations, boards, {});
+  const place::DrcReport rep = place::DrcEngine(d).check(l);
+  const place::LayoutMetrics m = place::compute_metrics(d, l);
+  std::printf("%s,%.0f,%zu,%zu,%s,%.0f,%.0f,%.1f\n", name, emd_budget, stats.placed,
+              stats.failed, rep.clean() ? "yes" : "no", m.total_hpwl_mm,
+              m.bounding_area_mm2, stats.elapsed_seconds * 1e3);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Ablation: optimal-rotation step\n");
+  std::printf("# (a) spacious 29-device demo board - rules rarely bind\n");
+  std::printf("variant,emd_budget_mm,placed,failed,drc_clean,hpwl_mm,"
+              "bounding_area_mm2,elapsed_ms\n");
+  run("demo_full_flow", Mode::kFull, false);
+  run("demo_fallback_only", Mode::kFallbackOnly, false);
+  run("demo_rotations_locked", Mode::kLocked, false);
+  std::printf("# (b) tight board, 9 components x 36 pairwise 26 mm rules on 72x56\n");
+  run("tight_full_flow", Mode::kFull, true);
+  run("tight_fallback_only", Mode::kFallbackOnly, true);
+  run("tight_rotations_locked", Mode::kLocked, true);
+  std::printf("# expected shape: on the tight board the locked variant cannot place\n");
+  std::printf("# everything (or sprawls), while rotation decoupling fits cleanly -\n");
+  std::printf("# the cos(alpha) lever is what makes dense EMC-aware layouts possible.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Ablation: the sensitivity analysis as complexity reducer. The paper's
+// claim is that ranking coupling factors by circuit impact and field-solving
+// only the relevant pairs "makes the electromagnetic calculation of a whole
+// circuit feasible". This bench sweeps the number of simulated pairs K
+// (taken from the top of the ranking) and reports the spectrum error vs the
+// full 21-pair extraction, together with the field-solve count saved.
+#include <cstdio>
+
+#include "src/emi/sensitivity.hpp"
+#include "src/flow/buck_converter.hpp"
+#include "src/numeric/stats.hpp"
+
+int main() {
+  using namespace emi;
+  const flow::BuckConverter bc = flow::make_buck_converter();
+  const peec::CouplingExtractor ex;
+  const place::Layout bad = flow::layout_unfavorable(bc);
+
+  emc::EmissionSweepOptions sweep;
+  sweep.n_points = 80;
+
+  // Reference: all pairs field-solved.
+  const emc::EmissionSpectrum full = emc::conducted_emission(
+      flow::circuit_with_couplings(bc, bad, ex, 1e-6), bc.meas_node, bc.noise, sweep);
+
+  // Sensitivity ranking (no field solves needed - pure circuit analysis).
+  emc::SensitivityOptions sens;
+  sens.sweep = sweep;
+  for (const auto& [l, mi] : bc.inductor_model) sens.candidates.push_back(l);
+  std::sort(sens.candidates.begin(), sens.candidates.end());
+  const auto ranking =
+      emc::rank_coupling_sensitivity(bc.circuit, bc.meas_node, bc.noise, sens);
+  const std::size_t total_pairs = ranking.size();
+
+  std::printf("# Ablation: top-K sensitivity-pruned extraction vs full (%zu pairs)\n",
+              total_pairs);
+  std::printf("k_pairs_simulated,field_solves_saved,mean_err_db,max_err_db\n");
+  for (std::size_t k : {0ul, 1ul, 2ul, 3ul, 5ul, 8ul, 12ul, total_pairs}) {
+    std::vector<std::pair<std::string, std::string>> pairs;
+    for (std::size_t i = 0; i < k && i < ranking.size(); ++i) {
+      pairs.emplace_back(ranking[i].inductor_a, ranking[i].inductor_b);
+    }
+    const emc::EmissionSpectrum pruned =
+        k == 0 ? emc::conducted_emission(bc.circuit, bc.meas_node, bc.noise, sweep)
+               : emc::conducted_emission(
+                     flow::circuit_with_couplings(bc, bad, ex, 1e-6, pairs),
+                     bc.meas_node, bc.noise, sweep);
+    std::printf("%zu,%zu,%.2f,%.2f\n", std::min(k, total_pairs),
+                total_pairs - std::min(k, total_pairs),
+                num::mean_abs_error(pruned.level_dbuv, full.level_dbuv),
+                num::max_abs_error(pruned.level_dbuv, full.level_dbuv));
+  }
+  std::printf("# expected shape: a handful of top-ranked pairs reproduce the full\n");
+  std::printf("# spectrum within ~1-2 dB while saving most field solves.\n");
+  return 0;
+}

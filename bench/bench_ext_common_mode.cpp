@@ -1,0 +1,87 @@
+// Extension: common-mode emissions and the Fig 8 rule at circuit level.
+// The CM path (switch dv/dt -> heatsink capacitance -> chassis -> LISN) is
+// filtered by a Y-capacitor and a current-compensated choke. The paper's
+// Fig 8 says capacitors must sit at the choke's decoupled positions; here
+// the capacitor's bearing around the choke sets the leakage coupling k
+// (from the PEEC field model), and the CM spectrum shows what a bad
+// position costs.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/flow/cm_model.hpp"
+#include "src/geom/angle.hpp"
+#include "src/peec/component_model.hpp"
+#include "src/peec/coupling.hpp"
+
+int main() {
+  using namespace emi;
+  emc::EmissionSweepOptions sweep;
+  sweep.n_points = 100;
+
+  // --- filter element contributions ----------------------------------------
+  std::printf("# Extension: common-mode noise path (chassis-referenced LISN)\n");
+  std::printf("configuration,max_level_dbuv\n");
+  const auto max_level = [](const emc::EmissionSpectrum& s) {
+    double m = -300.0;
+    for (double v : s.level_dbuv) m = std::max(m, v);
+    return m;
+  };
+  {
+    flow::CmModelParams p;
+    p.with_choke = false;
+    p.with_ycap = false;
+    std::printf("bare (no CM filter),%.1f\n", max_level(flow::cm_emission(p, sweep)));
+    p.with_ycap = true;
+    std::printf("Y-cap only,%.1f\n", max_level(flow::cm_emission(p, sweep)));
+    p.with_choke = true;
+    p.with_ycap = false;
+    std::printf("choke only,%.1f\n", max_level(flow::cm_emission(p, sweep)));
+    p.with_ycap = true;
+    std::printf("choke + Y-cap,%.1f\n", max_level(flow::cm_emission(p, sweep)));
+  }
+
+  // --- Fig 8 bearing -> k -> CM degradation ---------------------------------
+  // The Y capacitor is a small film part sitting right next to the choke,
+  // as on real boards; its rotation is chosen worst-case per bearing.
+  const peec::ComponentFieldModel choke = peec::cm_choke("CMC");
+  peec::XCapacitorParams ycap_geom;
+  ycap_geom.pin_pitch_mm = 10.0;
+  ycap_geom.loop_height_mm = 6.0;
+  const peec::ComponentFieldModel ycap = peec::x_capacitor("CY", ycap_geom);
+  const peec::CouplingExtractor ex;
+  const double orbit = 19.0;
+
+  std::printf("# Y-cap bearing around the 2-winding choke -> leakage k -> CM cost\n");
+  std::printf("bearing_deg,k_leakage_worst_rot,cm_degradation_db\n");
+  flow::CmModelParams ref;  // k = 0 reference
+  const emc::EmissionSpectrum s_ref = flow::cm_emission(ref, sweep);
+  for (double bearing = 0.0; bearing <= 90.0; bearing += 15.0) {
+    const double rad = geom::deg_to_rad(bearing);
+    const peec::PlacedModel pc{&choke, {}};
+    double k = 0.0;
+    for (double rot : {0.0, 45.0, 90.0, 135.0}) {
+      const peec::PlacedModel py{
+          &ycap, {{orbit * std::cos(rad), orbit * std::sin(rad), 0.0}, rot}};
+      const double kr = ex.coupling_factor(pc, py);
+      if (std::fabs(kr) > std::fabs(k)) k = kr;
+    }
+    // The damaging sign of the mutual depends on the winding orientation,
+    // which the designer does not control - evaluate worst case over signs.
+    double worst = 0.0;
+    for (double sign : {1.0, -1.0}) {
+      flow::CmModelParams p;
+      p.k_choke_ycap = std::clamp(sign * std::fabs(k), -0.9, 0.9);
+      const emc::EmissionSpectrum s = flow::cm_emission(p, sweep);
+      for (std::size_t i = 0; i < s.level_dbuv.size(); ++i) {
+        worst = std::max(worst, s.level_dbuv[i] - s_ref.level_dbuv[i]);
+      }
+    }
+    std::printf("%.0f,%.5f,%.1f\n", bearing, std::fabs(k), worst);
+  }
+  std::printf("# expected shape: the worst-rotation coupling varies severalfold with\n");
+  std::printf("# bearing - the choke has preferred (low-k) neighbour positions and\n");
+  std::printf("# bad ones costing several dB of CM filter performance: the circuit-\n");
+  std::printf("# level justification of the Fig 8 placement rule.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Extension: time-domain cross-validation. "The function of the circuit is
+// simulated either in time or frequency domain." This bench runs the fully
+// switching buck (PWM switch + diode + LISN) in transient, FFTs the LISN
+// waveform, and compares the switching-harmonic levels against the
+// frequency-domain envelope prediction the EMI flow uses.
+#include <cmath>
+#include <cstdio>
+
+#include "src/flow/transient_buck.hpp"
+#include "src/numeric/stats.hpp"
+
+int main() {
+  using namespace emi;
+  flow::SwitchingBuckParams p;
+  const flow::TimeDomainValidation v =
+      flow::validate_time_domain(p, /*t_stop=*/2e-3, /*dt=*/20e-9);
+
+  std::printf("# Extension: time-domain vs frequency-domain EMI prediction\n");
+  std::printf("# converter output: %.2f V (target %.2f V)\n", v.v_out_avg,
+              p.duty * p.v_in);
+
+  std::printf("harmonic,freq_MHz,fft_dbuv,envelope_pred_dbuv,delta_db\n");
+  for (std::size_t h = 1; h <= 40; h += (h < 10 ? 1 : 5)) {
+    const double f = p.f_sw_hz * static_cast<double>(h);
+    if (f < 150e3 || f > 108e6) continue;
+    const double fft_level =
+        num::interp(v.fft_spectrum.freqs_hz, v.fft_spectrum.level_dbuv, f);
+    const double pred_level = num::interp(v.envelope_prediction.freqs_hz,
+                                          v.envelope_prediction.level_dbuv, f);
+    std::printf("%zu,%.2f,%.1f,%.1f,%.1f\n", h, f / 1e6, fft_level, pred_level,
+                pred_level - fft_level);
+  }
+  std::printf("# expected shape: the Norton-model prediction tracks the simulated\n");
+  std::printf("# harmonics within a few dB (more above sinc nulls, where the\n");
+  std::printf("# envelope bounds rather than matches); at the highest harmonics the\n");
+  std::printf("# transient sits slightly above because switch-node ringing adds\n");
+  std::printf("# energy beyond the ideal trapezoid.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figures 1 and 2: conducted noise of the buck converter with unfavorable
+// vs optimized component placement, CISPR 25 voltage method. Same
+// components, same topology, same board - only placement differs. The paper
+// reports up to ~20 dB reduction; this bench prints both spectra, the class
+// 3 limit line, the per-frequency delta and the summary.
+#include <cstdio>
+
+#include "src/emi/cispr25.hpp"
+#include "src/flow/buck_converter.hpp"
+#include "src/emi/emission.hpp"
+
+int main() {
+  using namespace emi;
+  const flow::BuckConverter bc = flow::make_buck_converter();
+  const peec::CouplingExtractor ex;
+
+  const place::Layout bad = flow::layout_unfavorable(bc);
+  const place::Layout good = flow::layout_optimized(bc);
+
+  emc::EmissionSweepOptions sweep;
+  sweep.n_points = 120;
+  const emc::EmissionSpectrum s_bad = emc::conducted_emission(
+      flow::circuit_with_couplings(bc, bad, ex), bc.meas_node, bc.noise, sweep);
+  const emc::EmissionSpectrum s_good = emc::conducted_emission(
+      flow::circuit_with_couplings(bc, good, ex), bc.meas_node, bc.noise, sweep);
+
+  std::printf("# Fig 1 / Fig 2: conducted noise vs placement (dBuV)\n");
+  std::printf("freq_hz,unfavorable_dbuv,optimized_dbuv,delta_db,cispr25_class3_dbuv\n");
+  double max_delta = 0.0, max_delta_f = 0.0;
+  for (std::size_t i = 0; i < s_bad.freqs_hz.size(); ++i) {
+    const double delta = s_bad.level_dbuv[i] - s_good.level_dbuv[i];
+    if (delta > max_delta) {
+      max_delta = delta;
+      max_delta_f = s_bad.freqs_hz[i];
+    }
+    const auto lim = emc::cispr25_limit_dbuv(s_bad.freqs_hz[i], 3);
+    std::printf("%.4g,%.2f,%.2f,%.2f,", s_bad.freqs_hz[i], s_bad.level_dbuv[i],
+                s_good.level_dbuv[i], delta);
+    if (lim) {
+      std::printf("%.1f\n", *lim);
+    } else {
+      std::printf("\n");
+    }
+  }
+
+  const auto m_bad = emc::limit_margin(s_bad.freqs_hz, s_bad.level_dbuv, 3);
+  const auto m_good = emc::limit_margin(s_good.freqs_hz, s_good.level_dbuv, 3);
+  std::printf("# summary\n");
+  std::printf("# max emission reduction: %.1f dB at %.3f MHz (paper: up to ~20 dB)\n",
+              max_delta, max_delta_f / 1e6);
+  std::printf("# CISPR25 class 3 in-band points over limit: unfavorable %zu, "
+              "optimized %zu\n",
+              m_bad.violations, m_good.violations);
+  std::printf("# worst margin: unfavorable %.1f dB, optimized %.1f dB\n",
+              m_bad.worst_margin_db, m_good.worst_margin_db);
+  return 0;
+}

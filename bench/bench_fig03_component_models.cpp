@@ -1,0 +1,38 @@
+// Figure 3: simplified PEEC models of passive components (the paper shows
+// the X-ray of an SMD tantalum capacitor next to its loop model). This
+// bench prints the model inventory: segment counts of the simplified
+// structures and the extracted equivalent series inductances.
+#include <cstdio>
+
+#include "src/peec/component_model.hpp"
+#include "src/peec/coupling.hpp"
+
+int main() {
+  using namespace emi::peec;
+  const CouplingExtractor ex;
+
+  struct Row {
+    ComponentFieldModel model;
+    const char* description;
+  };
+  const Row rows[] = {
+      {tantalum_capacitor("SMD_TANTAL"), "SMD tantalum electrolytic (Fig 3)"},
+      {x_capacitor("X_CAP_1u5"), "1.5 uF film X-capacitor (Fig 5)"},
+      {electrolytic_capacitor("ELKO_RADIAL"), "radial electrolytic"},
+      {bobbin_coil("BOBBIN_COIL"), "bobbin-core coil (Figs 4/7)"},
+      {cm_choke("CMC_2W"), "current-compensated choke, 2 windings (Fig 8)"},
+      {cm_choke("CMC_3W", {.n_windings = 3}), "current-compensated choke, 3 windings"},
+  };
+
+  std::printf("# Fig 3: simplified component field models\n");
+  std::printf("model,description,segments,total_conductor_mm,mu_eff,L_self_nH\n");
+  for (const Row& r : rows) {
+    std::printf("%s,%s,%zu,%.1f,%.1f,%.2f\n", r.model.name.c_str(), r.description,
+                r.model.local_path.segments.size(), r.model.local_path.total_length(),
+                r.model.mu_eff, ex.self_inductance(r.model) * 1e9);
+  }
+  std::printf("# note: capacitor L_self is the field-model ESL of the internal\n");
+  std::printf("# current loop; chokes include the effective-permeability factor\n");
+  std::printf("# (paper ref [4]) standing in for the ferrite core.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figures 12, 13, 14: prediction vs measurement.
+//   Fig 12: measured conducted noise of the buck converter.
+//   Fig 13: simulation neglecting magnetic couplings - "no correlation".
+//   Fig 14: prediction including couplings - "good coincidence".
+//
+// Our measurement surrogate is the full-coupling simulation plus the seeded
+// receiver-dispersion model (see DESIGN.md substitution table). The bench
+// prints the three spectra and the correlation/error metrics.
+#include <cstdio>
+
+#include "src/emi/measurement.hpp"
+#include "src/flow/buck_converter.hpp"
+#include "src/numeric/stats.hpp"
+
+int main() {
+  using namespace emi;
+  const flow::BuckConverter bc = flow::make_buck_converter();
+  const peec::CouplingExtractor ex;
+  const place::Layout bad = flow::layout_unfavorable(bc);
+
+  emc::EmissionSweepOptions sweep;
+  sweep.n_points = 120;
+  const emc::EmissionSpectrum with_coupling = emc::conducted_emission(
+      flow::circuit_with_couplings(bc, bad, ex), bc.meas_node, bc.noise, sweep);
+  const emc::EmissionSpectrum no_coupling =
+      emc::conducted_emission(bc.circuit, bc.meas_node, bc.noise, sweep);
+  const emc::EmissionSpectrum measured = emc::pseudo_measure(with_coupling);
+
+  std::printf("# Figs 12/13/14: measurement vs predictions (dBuV)\n");
+  std::printf("freq_hz,measured,no_coupling_sim,with_coupling_sim\n");
+  for (std::size_t i = 0; i < measured.freqs_hz.size(); ++i) {
+    std::printf("%.4g,%.2f,%.2f,%.2f\n", measured.freqs_hz[i], measured.level_dbuv[i],
+                no_coupling.level_dbuv[i], with_coupling.level_dbuv[i]);
+  }
+
+  std::printf("# correlation with measurement\n");
+  std::printf("prediction,pearson_r,mean_abs_err_db,max_abs_err_db\n");
+  std::printf("neglecting_couplings,%.3f,%.1f,%.1f\n",
+              num::pearson(no_coupling.level_dbuv, measured.level_dbuv),
+              num::mean_abs_error(no_coupling.level_dbuv, measured.level_dbuv),
+              num::max_abs_error(no_coupling.level_dbuv, measured.level_dbuv));
+  std::printf("including_couplings,%.3f,%.1f,%.1f\n",
+              num::pearson(with_coupling.level_dbuv, measured.level_dbuv),
+              num::mean_abs_error(with_coupling.level_dbuv, measured.level_dbuv),
+              num::max_abs_error(with_coupling.level_dbuv, measured.level_dbuv));
+  std::printf("# paper shape: Fig 13 shows tens of dB underestimation at HF and no\n");
+  std::printf("# correlation; Fig 14 matches the measurement closely.\n");
+  return 0;
+}

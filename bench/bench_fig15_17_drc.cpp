@@ -1,0 +1,33 @@
+// Figures 15 and 17: design-rule visualization in the placement tool.
+// Fig 15: the original buck layout loaded with the derived minimum
+// distances - violating pairs shown as red circles. Fig 17: after automatic
+// placement all rules are met (green). This bench runs the full design flow
+// and prints both per-pair status tables.
+#include <cstdio>
+#include <iostream>
+
+#include "src/flow/design_flow.hpp"
+#include "src/io/reports.hpp"
+
+int main() {
+  using namespace emi;
+  flow::BuckConverter bc = flow::make_buck_converter();
+  flow::FlowOptions opt;
+  opt.sweep.n_points = 80;
+  const flow::FlowResult res = flow::run_design_flow(bc, flow::layout_unfavorable(bc),
+                                                     opt);
+
+  std::printf("# Fig 15: DRC of the original layout against the derived rules\n");
+  io::write_drc_report(std::cout, res.drc_initial);
+
+  std::printf("\n# Fig 17: DRC after automatic placement (%.1f ms)\n",
+              res.place_stats.elapsed_seconds * 1e3);
+  io::write_drc_report(std::cout, res.drc_improved);
+
+  std::size_t red_before = 0, red_after = 0;
+  for (const auto& s : res.drc_initial.emd_status) red_before += s.ok ? 0 : 1;
+  for (const auto& s : res.drc_improved.emd_status) red_after += s.ok ? 0 : 1;
+  std::printf("\n# summary: red circles before = %zu, after = %zu (paper: all green)\n",
+              red_before, red_after);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Performance: PEEC extraction primitives. Scaling of the Neumann double
+// sum with model complexity, self-inductance caching, field-map rendering
+// and a full AC emission sweep.
+#include <benchmark/benchmark.h>
+
+#include "src/emi/emission.hpp"
+#include "src/flow/buck_converter.hpp"
+#include "src/peec/biot_savart.hpp"
+#include "src/peec/component_model.hpp"
+#include "src/peec/coupling.hpp"
+
+namespace {
+
+using namespace emi;
+
+void BM_MutualCapCap(benchmark::State& state) {
+  const peec::ComponentFieldModel a = peec::x_capacitor("A");
+  const peec::ComponentFieldModel b = peec::x_capacitor("B");
+  const peec::CouplingExtractor ex;
+  const peec::PlacedModel pa{&a, {{0, 0, 0}, 0.0}};
+  const peec::PlacedModel pb{&b, {{25, 0, 0}, 0.0}};
+  for (auto _ : state) benchmark::DoNotOptimize(ex.mutual(pa, pb));
+}
+BENCHMARK(BM_MutualCapCap)->Unit(benchmark::kMicrosecond);
+
+void BM_MutualCoilCoil(benchmark::State& state) {
+  // n_rings scales the segment count; the Neumann sum is O(n1*n2).
+  peec::BobbinCoilParams p;
+  p.n_rings = static_cast<std::size_t>(state.range(0));
+  const peec::ComponentFieldModel a = peec::bobbin_coil("A", p);
+  const peec::ComponentFieldModel b = peec::bobbin_coil("B", p);
+  const peec::CouplingExtractor ex;
+  const peec::PlacedModel pa{&a, {{0, 0, 0}, 0.0}};
+  const peec::PlacedModel pb{&b, {{30, 0, 0}, 0.0}};
+  for (auto _ : state) benchmark::DoNotOptimize(ex.mutual(pa, pb));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MutualCoilCoil)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_SelfInductanceCached(benchmark::State& state) {
+  const peec::ComponentFieldModel coil = peec::bobbin_coil("A");
+  const peec::CouplingExtractor ex;
+  ex.self_inductance(coil);  // warm the cache
+  for (auto _ : state) benchmark::DoNotOptimize(ex.self_inductance(coil));
+}
+BENCHMARK(BM_SelfInductanceCached);
+
+void BM_FieldMap(benchmark::State& state) {
+  const peec::ComponentFieldModel coil = peec::bobbin_coil("A");
+  const peec::SegmentPath path = coil.path_at({});
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(peec::field_map(path, -30, 30, -30, 30, 6.0, n, n));
+  }
+}
+BENCHMARK(BM_FieldMap)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_EmissionSweep(benchmark::State& state) {
+  const flow::BuckConverter bc = flow::make_buck_converter();
+  const peec::CouplingExtractor ex;
+  const ckt::Circuit c =
+      flow::circuit_with_couplings(bc, flow::layout_unfavorable(bc), ex);
+  emc::EmissionSweepOptions opt;
+  opt.n_points = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        emc::conducted_emission(c, bc.meas_node, bc.noise, opt));
+  }
+}
+BENCHMARK(BM_EmissionSweep)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

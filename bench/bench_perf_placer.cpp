@@ -1,0 +1,92 @@
+// Performance: placement engine scaling with component count and rule
+// density, plus the DRC engine and the interactive online check (which must
+// feel instant - the paper's tool checks during component drag).
+#include <benchmark/benchmark.h>
+
+#include "src/place/drc.hpp"
+#include "src/place/interactive.hpp"
+#include "src/place/placer.hpp"
+
+namespace {
+
+using namespace emi::place;
+
+Design synth_design(std::size_t n, bool rules) {
+  Design d;
+  d.set_clearance(1.0);
+  const double side = 40.0 + 14.0 * static_cast<double>(n);  // keep density sane
+  d.add_area({"board", 0,
+              emi::geom::Polygon::rectangle(
+                  emi::geom::Rect::from_corners({0, 0}, {side, side * 0.7}))});
+  for (std::size_t i = 0; i < n; ++i) {
+    Component c;
+    c.name = "C" + std::to_string(i);
+    c.width_mm = 12;
+    c.depth_mm = 8;
+    c.height_mm = 5;
+    c.axis_deg = 90.0;
+    c.group = i % 3 == 0 ? "g0" : (i % 3 == 1 ? "g1" : "g2");
+    d.add_component(c);
+  }
+  if (rules) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if ((i + j) % 2 == 0) {
+          d.add_emd_rule("C" + std::to_string(i), "C" + std::to_string(j), 16.0);
+        }
+      }
+    }
+  }
+  return d;
+}
+
+void BM_AutoPlaceScaling(benchmark::State& state) {
+  const Design d = synth_design(static_cast<std::size_t>(state.range(0)), true);
+  for (auto _ : state) {
+    Layout l = Layout::unplaced(d);
+    const PlaceStats stats = auto_place(d, l);
+    if (stats.failed != 0) state.SkipWithError("placement failed");
+    benchmark::DoNotOptimize(l.placements.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AutoPlaceScaling)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_FullDrc(benchmark::State& state) {
+  const Design d = synth_design(static_cast<std::size_t>(state.range(0)), true);
+  Layout l = Layout::unplaced(d);
+  auto_place(d, l);
+  const DrcEngine engine(d);
+  for (auto _ : state) benchmark::DoNotOptimize(engine.check(l).violations.size());
+}
+BENCHMARK(BM_FullDrc)->Arg(16)->Arg(32)->Unit(benchmark::kMicrosecond);
+
+void BM_InteractiveOnlineCheck(benchmark::State& state) {
+  const Design d = synth_design(24, true);
+  Layout l = Layout::unplaced(d);
+  auto_place(d, l);
+  InteractiveSession session(d, l);
+  double dx = 1.0;
+  for (auto _ : state) {
+    // Simulated drag: nudge one component back and forth, online check each
+    // step - the operation behind the "colors change immediately" UX.
+    const EditFeedback fb =
+        session.move("C5", session.layout().placements[5].position +
+                               emi::geom::Vec2{dx, 0.0});
+    benchmark::DoNotOptimize(fb.violations.size());
+    dx = -dx;
+  }
+}
+BENCHMARK(BM_InteractiveOnlineCheck)->Unit(benchmark::kMicrosecond);
+
+void BM_RotationOptimizer(benchmark::State& state) {
+  const Design d = synth_design(static_cast<std::size_t>(state.range(0)), true);
+  const Layout l = Layout::unplaced(d);
+  const RotationOptimizer ro(d);
+  for (auto _ : state) benchmark::DoNotOptimize(ro.optimize(l).total_emd_mm);
+}
+BENCHMARK(BM_RotationOptimizer)->Arg(16)->Arg(32)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// The paper's full validation study on the automotive buck converter:
+//
+//   * Fig 1:  conducted noise of the unfavorable layout (CISPR 25 class 3)
+//   * Fig 13: prediction neglecting magnetic couplings - no correlation
+//   * Fig 12/14: synthetic measurement vs full-coupling prediction
+//   * Fig 15: DRC violations of the original layout (RED rows)
+//   * Fig 16/17: automatic re-placement, all rules met (GREEN rows)
+//   * Fig 2:  emissions of the optimized layout
+//
+// Build & run:  ./build/examples/buck_converter_study
+#include <cstdio>
+#include <iostream>
+
+#include "src/emi/cispr25.hpp"
+#include "src/emi/measurement.hpp"
+#include "src/flow/design_flow.hpp"
+#include "src/io/reports.hpp"
+#include "src/numeric/stats.hpp"
+
+int main() {
+  using namespace emi;
+
+  flow::BuckConverter bc = flow::make_buck_converter();
+  const place::Layout bad = flow::layout_unfavorable(bc);
+
+  std::printf("== running the EMI design flow on the unfavorable layout ==\n");
+  flow::FlowOptions opt;
+  opt.sweep.n_points = 120;
+  const flow::FlowResult res = flow::run_design_flow(bc, bad, opt);
+
+  // --- sensitivity ranking (the paper's complexity reducer) ---------------
+  std::printf("\ncoupling sensitivity ranking (probe k = 0.05):\n");
+  for (std::size_t i = 0; i < res.ranking.size() && i < 8; ++i) {
+    const auto& s = res.ranking[i];
+    std::printf("  %2zu. %-8s <-> %-8s  max %6.1f dB\n", i + 1, s.inductor_a.c_str(),
+                s.inductor_b.c_str(), s.max_delta_db);
+  }
+  std::printf("  field simulations saved by pruning: %zu of %zu pairs\n",
+              res.field_solves_saved,
+              res.field_solves_saved + res.simulated_pairs.size());
+
+  // --- Fig 12/13/14: measurement vs predictions ----------------------------
+  const emc::EmissionSpectrum measurement = emc::pseudo_measure(res.initial_prediction);
+  const double r_with =
+      num::pearson(res.initial_prediction.level_dbuv, measurement.level_dbuv);
+  const double r_without =
+      num::pearson(res.initial_no_coupling.level_dbuv, measurement.level_dbuv);
+  const double err_with =
+      num::mean_abs_error(res.initial_prediction.level_dbuv, measurement.level_dbuv);
+  const double err_without =
+      num::mean_abs_error(res.initial_no_coupling.level_dbuv, measurement.level_dbuv);
+  std::printf("\nprediction vs (synthetic) measurement, unfavorable layout:\n");
+  std::printf("  neglecting couplings: Pearson r = %.3f, mean error %5.1f dB\n",
+              r_without, err_without);
+  std::printf("  including couplings:  Pearson r = %.3f, mean error %5.1f dB\n",
+              r_with, err_with);
+
+  // --- Fig 1 vs Fig 2: emissions and CISPR 25 margin ----------------------
+  const auto margin_bad = emc::limit_margin(res.initial_prediction.freqs_hz,
+                                            res.initial_prediction.level_dbuv, 3);
+  const auto margin_good = emc::limit_margin(res.improved_prediction.freqs_hz,
+                                             res.improved_prediction.level_dbuv, 3);
+  std::printf("\nCISPR 25 class 3 margin:\n");
+  std::printf("  unfavorable layout: worst %+6.1f dB at %.2f MHz (%zu points over)\n",
+              margin_bad.worst_margin_db, margin_bad.worst_freq_hz / 1e6,
+              margin_bad.violations);
+  std::printf("  optimized layout:   worst %+6.1f dB at %.2f MHz (%zu points over)\n",
+              margin_good.worst_margin_db, margin_good.worst_freq_hz / 1e6,
+              margin_good.violations);
+  std::printf("  peak improvement: %.1f dB\n", res.peak_improvement_db);
+
+  // --- Fig 15/17: DRC before/after ------------------------------------------
+  std::printf("\nDRC of the original layout (Fig 15):\n");
+  io::write_drc_report(std::cout, res.drc_initial);
+  std::printf("\nDRC after automatic placement (Fig 16/17), %.0f ms runtime:\n",
+              res.place_stats.elapsed_seconds * 1e3);
+  io::write_drc_report(std::cout, res.drc_improved);
+
+  const bool ok = res.drc_improved.clean() && res.peak_improvement_db > 3.0 &&
+                  r_with > r_without;
+  std::printf("\nstudy result: %s\n", ok ? "REPRODUCED" : "NOT REPRODUCED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,134 @@
+#include "src/ckt/ac.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "src/numeric/lu.hpp"
+#include "src/numeric/matrix.hpp"
+
+namespace emi::ckt {
+
+namespace {
+
+// Stamp helpers treating ground (-1) as the eliminated reference row/col.
+void stamp_conductance(num::MatrixC& a, NodeId n1, NodeId n2, Complex g) {
+  if (n1 >= 0) a(n1, n1) += g;
+  if (n2 >= 0) a(n2, n2) += g;
+  if (n1 >= 0 && n2 >= 0) {
+    a(n1, n2) -= g;
+    a(n2, n1) -= g;
+  }
+}
+
+}  // namespace
+
+Complex AcSolution::voltage(const std::string& node, std::size_t fi) const {
+  const auto id = circuit_->find_node(node);
+  if (!id) throw std::invalid_argument("AcSolution::voltage: unknown node " + node);
+  if (*id == kGround) return {0.0, 0.0};
+  return x_.at(fi).at(static_cast<std::size_t>(*id));
+}
+
+Complex AcSolution::inductor_current(const std::string& name, std::size_t fi) const {
+  const std::size_t li = circuit_->inductor_index(name);
+  return x_.at(fi).at(circuit_->inductor_branch(li));
+}
+
+std::vector<double> AcSolution::voltage_magnitude(const std::string& node) const {
+  std::vector<double> out(freqs_.size());
+  for (std::size_t fi = 0; fi < freqs_.size(); ++fi) out[fi] = std::abs(voltage(node, fi));
+  return out;
+}
+
+AcSolution ac_solve(const Circuit& c, const std::vector<double>& freqs_hz,
+                    const AcOptions& opt) {
+  if (!opt.source_scale.empty() && opt.source_scale.size() != freqs_hz.size()) {
+    throw std::invalid_argument("ac_solve: source_scale size mismatch");
+  }
+  const std::size_t n_unknowns = c.unknown_count();
+  const auto lmat = c.inductance_matrix();
+
+  std::vector<std::vector<Complex>> solutions;
+  solutions.reserve(freqs_hz.size());
+
+  for (std::size_t fi = 0; fi < freqs_hz.size(); ++fi) {
+    const double f = freqs_hz[fi];
+    if (f <= 0.0) throw std::invalid_argument("ac_solve: frequency must be > 0");
+    const double w = 2.0 * std::numbers::pi * f;
+    const double scale = opt.source_scale.empty() ? 1.0 : opt.source_scale[fi];
+
+    num::MatrixC a(n_unknowns, n_unknowns);
+    std::vector<Complex> rhs(n_unknowns, {0.0, 0.0});
+
+    // g_min to ground keeps isolated nodes solvable.
+    for (std::size_t ni = 0; ni < c.node_count(); ++ni) {
+      a(ni, ni) += Complex{opt.g_min, 0.0};
+    }
+
+    for (const Resistor& r : c.resistors()) {
+      stamp_conductance(a, r.n1, r.n2, Complex{1.0 / r.ohms, 0.0});
+    }
+    for (const Switch& s : c.switches()) {
+      const double res = s.ac_state_on ? s.r_on : s.r_off;
+      stamp_conductance(a, s.n1, s.n2, Complex{1.0 / res, 0.0});
+    }
+    for (const Diode& d : c.diodes()) {
+      // AC: diode is open apart from g_min leakage.
+      stamp_conductance(a, d.anode, d.cathode, Complex{opt.g_min, 0.0});
+    }
+    for (const Capacitor& cap : c.capacitors()) {
+      stamp_conductance(a, cap.n1, cap.n2, Complex{0.0, w * cap.farads});
+    }
+
+    // Inductor branches: KCL contribution and branch voltage equations
+    // including the full (mutual) inductance matrix.
+    const auto& inds = c.inductors();
+    for (std::size_t i = 0; i < inds.size(); ++i) {
+      const std::size_t bi = c.inductor_branch(i);
+      if (inds[i].n1 >= 0) {
+        a(inds[i].n1, bi) += Complex{1.0, 0.0};
+        a(bi, inds[i].n1) += Complex{1.0, 0.0};
+      }
+      if (inds[i].n2 >= 0) {
+        a(inds[i].n2, bi) -= Complex{1.0, 0.0};
+        a(bi, inds[i].n2) -= Complex{1.0, 0.0};
+      }
+      for (std::size_t j = 0; j < inds.size(); ++j) {
+        if (lmat[i][j] != 0.0) {
+          a(bi, c.inductor_branch(j)) -= Complex{0.0, w * lmat[i][j]};
+        }
+      }
+    }
+
+    // Voltage sources.
+    const auto& vs = c.vsources();
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+      const std::size_t bi = c.vsource_branch(i);
+      if (vs[i].n1 >= 0) {
+        a(vs[i].n1, bi) += Complex{1.0, 0.0};
+        a(bi, vs[i].n1) += Complex{1.0, 0.0};
+      }
+      if (vs[i].n2 >= 0) {
+        a(vs[i].n2, bi) -= Complex{1.0, 0.0};
+        a(bi, vs[i].n2) -= Complex{1.0, 0.0};
+      }
+      const double phase = vs[i].ac_phase_deg * std::numbers::pi / 180.0;
+      rhs[bi] = scale * vs[i].ac_mag * Complex{std::cos(phase), std::sin(phase)};
+    }
+
+    // Current sources.
+    for (const ISource& is : c.isources()) {
+      const double phase = is.ac_phase_deg * std::numbers::pi / 180.0;
+      const Complex i0 = scale * is.ac_mag * Complex{std::cos(phase), std::sin(phase)};
+      if (is.n1 >= 0) rhs[is.n1] -= i0;
+      if (is.n2 >= 0) rhs[is.n2] += i0;
+    }
+
+    solutions.push_back(num::solve(std::move(a), rhs));
+  }
+
+  return AcSolution(c, freqs_hz, std::move(solutions));
+}
+
+}  // namespace emi::ckt

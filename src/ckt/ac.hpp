@@ -1,0 +1,53 @@
+// Frequency-domain (AC small-signal) analysis: complex MNA solved per
+// frequency point. This is the engine behind the conducted-emission
+// prediction sweep (150 kHz - 108 MHz in the paper's CISPR 25 plots).
+#pragma once
+
+#include <complex>
+#include <string>
+#include <vector>
+
+#include "src/ckt/circuit.hpp"
+
+namespace emi::ckt {
+
+using Complex = std::complex<double>;
+
+class AcSolution {
+ public:
+  AcSolution(const Circuit& c, std::vector<double> freqs,
+             std::vector<std::vector<Complex>> unknowns)
+      : circuit_(&c), freqs_(std::move(freqs)), x_(std::move(unknowns)) {}
+
+  const std::vector<double>& frequencies() const { return freqs_; }
+  std::size_t size() const { return freqs_.size(); }
+
+  // Node voltage phasor at frequency index fi.
+  Complex voltage(const std::string& node, std::size_t fi) const;
+  // Branch current phasor of an inductor or voltage source.
+  Complex inductor_current(const std::string& name, std::size_t fi) const;
+
+  // |V(node)| over the whole sweep.
+  std::vector<double> voltage_magnitude(const std::string& node) const;
+
+ private:
+  const Circuit* circuit_;
+  std::vector<double> freqs_;
+  std::vector<std::vector<Complex>> x_;  // per frequency, unknown vector
+};
+
+struct AcOptions {
+  // Leakage conductance from every node to ground; keeps MNA nonsingular
+  // for nodes isolated by open diodes/ideal capacitors at DC-ish points.
+  double g_min = 1e-12;
+  // Per-frequency scale applied to every source's AC magnitude. Used by the
+  // EMI flow to impose the trapezoidal noise-source envelope. Empty = 1.
+  std::vector<double> source_scale;
+};
+
+// Solve the circuit at each frequency. Diodes are treated as open (g_min);
+// switches as their frozen ac_state resistance.
+AcSolution ac_solve(const Circuit& c, const std::vector<double>& freqs_hz,
+                    const AcOptions& opt = {});
+
+}  // namespace emi::ckt

@@ -1,0 +1,46 @@
+// Time-domain simulation: fixed-step trapezoidal integration with Newton
+// iteration for the diode nonlinearity. Used for functional verification of
+// the converter ("the function of the circuit is simulated either in time or
+// frequency domain") and to derive spectra from switching waveforms via FFT.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/ckt/circuit.hpp"
+
+namespace emi::ckt {
+
+struct TransientOptions {
+  double t_stop = 1e-3;
+  double dt = 1e-8;
+  double g_min = 1e-9;
+  std::size_t max_newton_iters = 60;
+  double abs_tol = 1e-9;   // Newton convergence on unknown deltas
+  double rel_tol = 1e-6;
+};
+
+class TransientResult {
+ public:
+  TransientResult(const Circuit& c, std::vector<double> times,
+                  std::vector<std::vector<double>> unknowns)
+      : circuit_(&c), times_(std::move(times)), x_(std::move(unknowns)) {}
+
+  const std::vector<double>& times() const { return times_; }
+  std::size_t size() const { return times_.size(); }
+
+  double voltage(const std::string& node, std::size_t step) const;
+  double inductor_current(const std::string& name, std::size_t step) const;
+
+  // Full waveform v(node) over all steps.
+  std::vector<double> voltage_waveform(const std::string& node) const;
+
+ private:
+  const Circuit* circuit_;
+  std::vector<double> times_;
+  std::vector<std::vector<double>> x_;
+};
+
+TransientResult transient_solve(const Circuit& c, const TransientOptions& opt = {});
+
+}  // namespace emi::ckt

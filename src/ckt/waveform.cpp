@@ -1,0 +1,94 @@
+#include "src/ckt/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace emi::ckt {
+
+Waveform Waveform::dc(double value) {
+  Waveform w;
+  w.kind_ = Kind::kDc;
+  w.p_[0] = value;
+  return w;
+}
+
+Waveform Waveform::sine(double offset, double amplitude, double freq_hz,
+                        double phase_deg) {
+  if (freq_hz <= 0.0) throw std::invalid_argument("Waveform::sine: freq <= 0");
+  Waveform w;
+  w.kind_ = Kind::kSine;
+  w.p_[0] = offset;
+  w.p_[1] = amplitude;
+  w.p_[2] = freq_hz;
+  w.p_[3] = phase_deg;
+  return w;
+}
+
+Waveform Waveform::trapezoid(double low, double high, double period_s, double rise_s,
+                             double on_s, double fall_s, double delay_s) {
+  if (period_s <= 0.0) throw std::invalid_argument("Waveform::trapezoid: period <= 0");
+  if (rise_s < 0.0 || fall_s < 0.0 || on_s < 0.0 ||
+      rise_s + on_s + fall_s > period_s) {
+    throw std::invalid_argument("Waveform::trapezoid: inconsistent timing");
+  }
+  Waveform w;
+  w.kind_ = Kind::kTrapezoid;
+  w.p_[0] = low;
+  w.p_[1] = high;
+  w.p_[2] = period_s;
+  w.p_[3] = rise_s;
+  w.p_[4] = on_s;
+  w.p_[5] = fall_s;
+  w.p_[6] = delay_s;
+  return w;
+}
+
+Waveform Waveform::pwl(std::vector<std::pair<double, double>> points) {
+  if (points.empty()) throw std::invalid_argument("Waveform::pwl: no points");
+  if (!std::is_sorted(points.begin(), points.end(),
+                      [](const auto& a, const auto& b) { return a.first < b.first; })) {
+    throw std::invalid_argument("Waveform::pwl: times must be ascending");
+  }
+  Waveform w;
+  w.kind_ = Kind::kPwl;
+  w.pts_ = std::move(points);
+  return w;
+}
+
+double Waveform::value(double t) const {
+  switch (kind_) {
+    case Kind::kDc:
+      return p_[0];
+    case Kind::kSine:
+      return p_[0] + p_[1] * std::sin(2.0 * std::numbers::pi * p_[2] * t +
+                                      p_[3] * std::numbers::pi / 180.0);
+    case Kind::kTrapezoid: {
+      const double low = p_[0], high = p_[1], period = p_[2];
+      const double rise = p_[3], on = p_[4], fall = p_[5], delay = p_[6];
+      double tau = std::fmod(t - delay, period);
+      if (tau < 0.0) tau += period;
+      if (tau < rise) return rise > 0.0 ? low + (high - low) * tau / rise : high;
+      tau -= rise;
+      if (tau < on) return high;
+      tau -= on;
+      if (tau < fall) return fall > 0.0 ? high - (high - low) * tau / fall : low;
+      return low;
+    }
+    case Kind::kPwl: {
+      if (t <= pts_.front().first) return pts_.front().second;
+      if (t >= pts_.back().first) return pts_.back().second;
+      const auto it = std::upper_bound(
+          pts_.begin(), pts_.end(), t,
+          [](double tv, const auto& p) { return tv < p.first; });
+      const auto& hi = *it;
+      const auto& lo = *(it - 1);
+      const double f = (t - lo.first) / (hi.first - lo.first);
+      return lo.second + f * (hi.second - lo.second);
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace emi::ckt

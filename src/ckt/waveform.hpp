@@ -1,0 +1,45 @@
+// Time-domain source waveforms. The trapezoid is the workhorse: switched
+// power stages produce trapezoidal node voltages whose spectral envelope
+// (-20 dB/dec past 1/(pi*T_on), -40 dB/dec past 1/(pi*t_rise)) is exactly
+// the conducted-noise source the EMI prediction flow injects.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace emi::ckt {
+
+class Waveform {
+ public:
+  enum class Kind { kDc, kSine, kTrapezoid, kPwl };
+
+  static Waveform dc(double value);
+  static Waveform sine(double offset, double amplitude, double freq_hz,
+                       double phase_deg = 0.0);
+  // Periodic trapezoid: starts at `low`, rises over `rise_s` to `high`,
+  // stays for `on_s`, falls over `fall_s`, rests at `low` for the remainder
+  // of `period_s`. `delay_s` shifts the whole pattern.
+  static Waveform trapezoid(double low, double high, double period_s, double rise_s,
+                            double on_s, double fall_s, double delay_s = 0.0);
+  // Piecewise-linear from (time, value) points; clamped outside the range.
+  static Waveform pwl(std::vector<std::pair<double, double>> points);
+
+  double value(double t_s) const;
+  Kind kind() const { return kind_; }
+
+  // Trapezoid parameter accessors (valid for kTrapezoid), used by the
+  // EMI source-spectrum model.
+  double trap_low() const { return p_[0]; }
+  double trap_high() const { return p_[1]; }
+  double trap_period() const { return p_[2]; }
+  double trap_rise() const { return p_[3]; }
+  double trap_on() const { return p_[4]; }
+  double trap_fall() const { return p_[5]; }
+
+ private:
+  Kind kind_ = Kind::kDc;
+  double p_[7] = {};  // parameter slots, meaning depends on kind
+  std::vector<std::pair<double, double>> pts_;
+};
+
+}  // namespace emi::ckt

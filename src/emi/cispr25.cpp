@@ -1,0 +1,58 @@
+#include "src/emi/cispr25.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace emi::emc {
+
+const std::vector<Cispr25Band>& cispr25_bands() {
+  // CISPR 25 conducted limits, voltage method, peak detector, class 1
+  // values; higher classes subtract 8 dB per class step. Band edges per the
+  // standard's protected service bands.
+  static const std::vector<Cispr25Band> bands = {
+      {"LW", 0.15e6, 0.30e6, 110.0},
+      {"MW", 0.53e6, 1.8e6, 86.0},
+      {"SW", 5.9e6, 6.2e6, 77.0},
+      {"CB", 26e6, 28e6, 68.0},
+      {"VHF", 30e6, 54e6, 68.0},
+      {"FM", 68e6, 108e6, 62.0},
+  };
+  return bands;
+}
+
+std::optional<double> cispr25_limit_dbuv(double freq_hz, int emission_class,
+                                         Detector det) {
+  if (emission_class < 1 || emission_class > 5) {
+    throw std::invalid_argument("cispr25_limit_dbuv: class must be 1..5");
+  }
+  for (const Cispr25Band& b : cispr25_bands()) {
+    if (freq_hz >= b.f_lo_hz && freq_hz <= b.f_hi_hz) {
+      double limit = b.peak_class1_dbuv - 8.0 * static_cast<double>(emission_class - 1);
+      if (det == Detector::kAverage) limit -= 10.0;
+      return limit;
+    }
+  }
+  return std::nullopt;
+}
+
+LimitMargin limit_margin(const std::vector<double>& freqs_hz,
+                         const std::vector<double>& level_dbuv, int emission_class,
+                         Detector det) {
+  if (freqs_hz.size() != level_dbuv.size()) {
+    throw std::invalid_argument("limit_margin: size mismatch");
+  }
+  LimitMargin out{std::numeric_limits<double>::infinity(), 0.0, 0};
+  for (std::size_t i = 0; i < freqs_hz.size(); ++i) {
+    const auto limit = cispr25_limit_dbuv(freqs_hz[i], emission_class, det);
+    if (!limit) continue;
+    const double margin = *limit - level_dbuv[i];
+    if (margin < out.worst_margin_db) {
+      out.worst_margin_db = margin;
+      out.worst_freq_hz = freqs_hz[i];
+    }
+    if (margin < 0.0) ++out.violations;
+  }
+  return out;
+}
+
+}  // namespace emi::emc

@@ -1,0 +1,41 @@
+// CISPR 25 conducted-emission limit lines (voltage method), the standard the
+// paper's Figs 1/2/12-14 measurements are taken against. Limits are defined
+// only inside protected broadcast/mobile service bands; between bands there
+// is no requirement (no limit returned).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace emi::emc {
+
+enum class Detector { kPeak, kAverage };
+
+// CISPR 25 equipment classes 1 (least stringent) .. 5 (most stringent).
+struct Cispr25Band {
+  std::string service;
+  double f_lo_hz;
+  double f_hi_hz;
+  double peak_class1_dbuv;  // limits step down 8 dB per class (per standard)
+};
+
+const std::vector<Cispr25Band>& cispr25_bands();
+
+// Limit in dBuV for a frequency, class (1..5) and detector; nullopt outside
+// the protected bands. Average limits sit 10 dB below peak.
+std::optional<double> cispr25_limit_dbuv(double freq_hz, int emission_class,
+                                         Detector det = Detector::kPeak);
+
+// Worst (smallest) margin of a spectrum against the limit line:
+// min over in-band points of (limit - level). Negative = limit exceeded.
+struct LimitMargin {
+  double worst_margin_db;
+  double worst_freq_hz;
+  std::size_t violations;  // number of in-band points above the limit
+};
+LimitMargin limit_margin(const std::vector<double>& freqs_hz,
+                         const std::vector<double>& level_dbuv, int emission_class,
+                         Detector det = Detector::kPeak);
+
+}  // namespace emi::emc

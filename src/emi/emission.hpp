@@ -1,0 +1,50 @@
+// Conducted-emission prediction: frequency sweep of a circuit whose noise
+// source is a trapezoid-shaped unit AC injection, measured at a LISN node
+// in dBuV. Also: spectrum extraction from transient waveforms via FFT.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/ckt/ac.hpp"
+#include "src/ckt/transient.hpp"
+#include "src/emi/noise_source.hpp"
+
+namespace emi::emc {
+
+struct EmissionSpectrum {
+  std::vector<double> freqs_hz;
+  std::vector<double> level_dbuv;
+};
+
+struct EmissionSweepOptions {
+  double f_min_hz = 150e3;   // CISPR 25 conducted range
+  double f_max_hz = 108e6;
+  std::size_t n_points = 200;
+};
+
+// Run the sweep. The circuit must contain a voltage source named
+// `noise_source` with ac_mag = 1; its magnitude is shaped per frequency by
+// the trapezoid envelope. The emission level is |V(meas_node)| in dBuV.
+EmissionSpectrum conducted_emission(const ckt::Circuit& c,
+                                    const std::string& meas_node,
+                                    const TrapezoidSpectrum& source,
+                                    const EmissionSweepOptions& opt = {});
+
+// Same, but with an externally supplied per-frequency source envelope
+// (volts); used by ablations that bypass the trapezoid model.
+EmissionSpectrum conducted_emission_scaled(const ckt::Circuit& c,
+                                           const std::string& meas_node,
+                                           const std::vector<double>& freqs_hz,
+                                           const std::vector<double>& source_envelope);
+
+// Spectrum of a transient waveform at the measurement node, in dBuV.
+// Discards the first `settle_fraction` of the record (startup transient).
+EmissionSpectrum spectrum_from_transient(const ckt::TransientResult& tr,
+                                         const std::string& meas_node,
+                                         double settle_fraction = 0.25);
+
+// Pointwise dB difference b - a (levels must share the frequency grid).
+std::vector<double> delta_db(const EmissionSpectrum& a, const EmissionSpectrum& b);
+
+}  // namespace emi::emc

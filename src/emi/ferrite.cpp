@@ -1,0 +1,35 @@
+#include "src/emi/ferrite.hpp"
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <stdexcept>
+
+namespace emi::emc {
+
+void attach_ferrite_bead(ckt::Circuit& c, const std::string& name,
+                         const std::string& n1, const std::string& n2,
+                         const FerriteBeadParams& p) {
+  if (p.l_henry <= 0.0 || p.f_knee_hz <= 0.0) {
+    throw std::invalid_argument("attach_ferrite_bead: bad parameters");
+  }
+  const std::string mid = name + "_mid";
+  // Series DC resistance, then the parallel L || R || C tank.
+  c.add_resistor(name + "_Rdc", n1, mid, p.r_dc);
+  c.add_inductor(name + "_L", mid, n2, p.l_henry);
+  c.add_resistor(name + "_R", mid, n2,
+                 2.0 * std::numbers::pi * p.f_knee_hz * p.l_henry);
+  if (p.c_par > 0.0) c.add_capacitor(name + "_C", mid, n2, p.c_par);
+}
+
+double ferrite_bead_impedance(const FerriteBeadParams& p, double freq_hz) {
+  if (freq_hz <= 0.0) throw std::invalid_argument("ferrite_bead_impedance: f <= 0");
+  const double w = 2.0 * std::numbers::pi * freq_hz;
+  const std::complex<double> zl{0.0, w * p.l_henry};
+  const double r = 2.0 * std::numbers::pi * p.f_knee_hz * p.l_henry;
+  std::complex<double> y = 1.0 / zl + 1.0 / std::complex<double>{r, 0.0};
+  if (p.c_par > 0.0) y += std::complex<double>{0.0, w * p.c_par};
+  return std::abs(p.r_dc + 1.0 / y);
+}
+
+}  // namespace emi::emc

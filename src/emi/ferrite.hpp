@@ -1,0 +1,32 @@
+// Lossy ferrite model. The effective-permeability correction used by the
+// PEEC flow is frequency-flat, but real ferrites roll off: above the knee
+// the material turns resistive (that is what makes beads useful against
+// resonances). The standard circuit equivalent is L parallel R parallel C:
+//   * below f_knee the impedance rises inductively (j*w*L),
+//   * above f_knee it flattens at R ~ 2*pi*f_knee*L (resistive, lossy),
+//   * beyond the self-resonance set by c_par it falls capacitively.
+#pragma once
+
+#include <string>
+
+#include "src/ckt/circuit.hpp"
+
+namespace emi::emc {
+
+struct FerriteBeadParams {
+  double l_henry = 1e-6;   // low-frequency inductance
+  double f_knee_hz = 10e6; // inductive->resistive crossover
+  double c_par = 1.5e-12;  // inter-winding capacitance (self resonance)
+  double r_dc = 0.05;      // winding resistance
+};
+
+// Insert the bead between n1 and n2. Elements are named <name>_L/_R/_C/_Rdc;
+// the series DC resistance carries the bias current path.
+void attach_ferrite_bead(ckt::Circuit& c, const std::string& name,
+                         const std::string& n1, const std::string& n2,
+                         const FerriteBeadParams& p = {});
+
+// |Z| of the ideal bead model at f (for tests and sizing).
+double ferrite_bead_impedance(const FerriteBeadParams& p, double freq_hz);
+
+}  // namespace emi::emc

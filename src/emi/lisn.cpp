@@ -1,0 +1,28 @@
+#include "src/emi/lisn.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace emi::emc {
+
+std::string attach_lisn(ckt::Circuit& c, const std::string& supply_node,
+                        const std::string& dut_node, const std::string& prefix,
+                        const LisnParams& p) {
+  const std::string meas = prefix + "_meas";
+  // Supply -> 5 uH -> DUT.
+  c.add_inductor(prefix + "_L", supply_node, dut_node, p.l_henry);
+  // Damping across the AN inductor keeps the network's resonance bounded.
+  c.add_resistor(prefix + "_Rd", supply_node, dut_node, p.r_damp);
+  // DUT -> 0.1 uF -> measurement node -> 50 ohm -> ground.
+  c.add_capacitor(prefix + "_Cc", dut_node, meas, p.c_couple);
+  c.add_resistor(prefix + "_Rm", meas, "0", p.r_receiver);
+  return meas;
+}
+
+double lisn_coupling_gain(double freq_hz, const LisnParams& p) {
+  const double w = 2.0 * std::numbers::pi * freq_hz;
+  const double zc = 1.0 / (w * p.c_couple);
+  return p.r_receiver / std::sqrt(p.r_receiver * p.r_receiver + zc * zc);
+}
+
+}  // namespace emi::emc

@@ -1,0 +1,35 @@
+// CISPR 25 line impedance stabilization network (LISN / artificial network).
+// The automotive AN is the 5 uH / 50 ohm network: supply feeds through a
+// 5 uH inductor; the measurement port is a 0.1 uF coupling capacitor into
+// the 50 ohm receiver input. Conducted noise is the voltage across the
+// receiver resistor, expressed in dBuV.
+#pragma once
+
+#include <string>
+
+#include "src/ckt/circuit.hpp"
+
+namespace emi::emc {
+
+struct LisnParams {
+  double l_henry = 5e-6;    // CISPR 25 AN inductance
+  double c_couple = 0.1e-6; // coupling capacitor to the receiver
+  double r_receiver = 50.0; // EMI receiver input impedance
+  // Damping network of the AN (parallel R across the inductor's supply side
+  // per CISPR 16-1-2 style networks).
+  double r_damp = 1000.0;
+};
+
+// Insert a LISN between `supply_node` (battery side) and `dut_node` (device
+// under test input). Returns the name of the measurement node; the conducted
+// emission is the voltage on it. All created element/node names are prefixed
+// with `prefix` so several LISNs can coexist.
+std::string attach_lisn(ckt::Circuit& c, const std::string& supply_node,
+                        const std::string& dut_node, const std::string& prefix = "LISN",
+                        const LisnParams& p = {});
+
+// Ideal-LISN transfer sanity value: at high frequency the receiver sees the
+// DUT node through the coupling cap, so |V_meas/V_dut| -> R/(R + Zc) -> 1.
+double lisn_coupling_gain(double freq_hz, const LisnParams& p = {});
+
+}  // namespace emi::emc

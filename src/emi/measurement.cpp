@@ -1,0 +1,33 @@
+#include "src/emi/measurement.hpp"
+
+#include <cmath>
+
+#include "src/numeric/rng.hpp"
+
+namespace emi::emc {
+
+EmissionSpectrum pseudo_measure(const EmissionSpectrum& predicted,
+                                const MeasurementModelOptions& opt) {
+  num::Rng rng(opt.seed);
+  const std::size_t n = predicted.level_dbuv.size();
+
+  // White gaussian sequence, then a single-pole smoother to get a
+  // frequency-correlated ripple; rescaled to the requested RMS.
+  std::vector<double> ripple(n);
+  double state = 0.0;
+  const double alpha = 1.0 / (1.0 + opt.smoothness);
+  for (std::size_t i = 0; i < n; ++i) {
+    state += alpha * (rng.normal() - state);
+    ripple[i] = state;
+  }
+  double rms = 0.0;
+  for (double r : ripple) rms += r * r;
+  rms = std::sqrt(rms / static_cast<double>(n == 0 ? 1 : n));
+  const double scale = rms > 1e-12 ? opt.ripple_db / rms : 0.0;
+
+  EmissionSpectrum out = predicted;
+  for (std::size_t i = 0; i < n; ++i) out.level_dbuv[i] += ripple[i] * scale;
+  return out;
+}
+
+}  // namespace emi::emc

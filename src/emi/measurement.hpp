@@ -1,0 +1,25 @@
+// Pseudo-measurement model. We have no EMI receiver; per the reproduction
+// plan the golden reference ("measurement") is the full-coupling simulation
+// plus a deterministic, frequency-correlated dispersion that emulates the
+// ripple real CISPR 25 receiver scans show (narrow resonances, detector
+// dwell variation). Seeded, so every run produces the same "measurement".
+#pragma once
+
+#include <cstdint>
+
+#include "src/emi/emission.hpp"
+
+namespace emi::emc {
+
+struct MeasurementModelOptions {
+  double ripple_db = 2.0;       // RMS of the dispersion
+  double smoothness = 6.0;      // correlation length in sweep points
+  std::uint64_t seed = 0x5EEDu;
+};
+
+// Apply the dispersion model to a predicted spectrum, producing the
+// synthetic measurement used in the Fig 12-14 comparison.
+EmissionSpectrum pseudo_measure(const EmissionSpectrum& predicted,
+                                const MeasurementModelOptions& opt = {});
+
+}  // namespace emi::emc

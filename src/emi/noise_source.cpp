@@ -1,0 +1,56 @@
+#include "src/emi/noise_source.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace emi::emc {
+
+TrapezoidSpectrum spectrum_params(const ckt::Waveform& w) {
+  if (w.kind() != ckt::Waveform::Kind::kTrapezoid) {
+    throw std::invalid_argument("spectrum_params: waveform is not a trapezoid");
+  }
+  TrapezoidSpectrum s;
+  s.amplitude = w.trap_high() - w.trap_low();
+  s.period_s = w.trap_period();
+  s.rise_s = std::max(w.trap_rise(), w.trap_fall());
+  // Effective on-time at the 50% level includes half of each edge.
+  s.on_s = w.trap_on() + 0.5 * (w.trap_rise() + w.trap_fall());
+  return s;
+}
+
+namespace {
+double sinc(double x) { return std::fabs(x) < 1e-12 ? 1.0 : std::sin(x) / x; }
+}  // namespace
+
+double harmonic_amplitude(const TrapezoidSpectrum& s, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("harmonic_amplitude: n >= 1");
+  const double d = s.on_s / s.period_s;
+  const double x1 = std::numbers::pi * static_cast<double>(n) * d;
+  const double x2 = std::numbers::pi * static_cast<double>(n) * s.rise_s / s.period_s;
+  return 2.0 * s.amplitude * d * std::fabs(sinc(x1)) * std::fabs(sinc(x2));
+}
+
+double envelope(const TrapezoidSpectrum& s, double freq_hz) {
+  if (freq_hz <= 0.0) throw std::invalid_argument("envelope: f <= 0");
+  const double d = s.on_s / s.period_s;
+  const double f1 = 1.0 / (std::numbers::pi * s.on_s);
+  const double base = 2.0 * s.amplitude * d;
+  double env = base * std::min(1.0, f1 / freq_hz);
+  if (s.rise_s > 0.0) {
+    const double f2 = 1.0 / (std::numbers::pi * s.rise_s);
+    env *= std::min(1.0, f2 / freq_hz);
+  }
+  return env;
+}
+
+std::vector<double> envelope_series(const TrapezoidSpectrum& s,
+                                    const std::vector<double>& freqs_hz) {
+  std::vector<double> out;
+  out.reserve(freqs_hz.size());
+  for (double f : freqs_hz) out.push_back(envelope(s, f));
+  return out;
+}
+
+}  // namespace emi::emc

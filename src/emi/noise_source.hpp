@@ -1,0 +1,36 @@
+// Spectral model of the switching-cell noise source. A hard-switched power
+// stage produces a trapezoidal node voltage; its spectral envelope is flat
+// up to f1 = 1/(pi*t_on_eff), falls at -20 dB/dec to f2 = 1/(pi*t_rise) and
+// at -40 dB/dec beyond. The EMI prediction injects a unit AC source shaped
+// by this envelope - the standard frequency-domain EMI estimation method.
+#pragma once
+
+#include <vector>
+
+#include "src/ckt/waveform.hpp"
+
+namespace emi::emc {
+
+struct TrapezoidSpectrum {
+  double amplitude;  // high - low (V)
+  double period_s;
+  double on_s;       // flat-top time
+  double rise_s;     // max(rise, fall) governs the second corner
+};
+
+TrapezoidSpectrum spectrum_params(const ckt::Waveform& trapezoid);
+
+// Exact magnitude of the n-th Fourier harmonic of the trapezoid (n >= 1).
+double harmonic_amplitude(const TrapezoidSpectrum& s, std::size_t n);
+
+// Smooth worst-case envelope evaluated at an arbitrary frequency:
+// 2*A*d * min(1, f1/f) * min(1, f2/f), which upper-bounds the harmonic
+// amplitudes; this is what a peak-detecting receiver sees for dense
+// harmonic combs.
+double envelope(const TrapezoidSpectrum& s, double freq_hz);
+
+// Envelope sampled over a frequency grid, ready for AcOptions::source_scale.
+std::vector<double> envelope_series(const TrapezoidSpectrum& s,
+                                    const std::vector<double>& freqs_hz);
+
+}  // namespace emi::emc

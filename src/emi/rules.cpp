@@ -1,0 +1,33 @@
+#include "src/emi/rules.hpp"
+
+#include <cmath>
+
+#include "src/geom/angle.hpp"
+
+namespace emi::emc {
+
+double effective_min_distance(double pemd_mm, double axis_angle_deg) {
+  const double folded = geom::axis_angle_deg(0.0, axis_angle_deg);
+  return pemd_mm * std::fabs(std::cos(geom::deg_to_rad(folded)));
+}
+
+MinDistanceRule RuleDeriver::derive(const peec::ComponentFieldModel& a,
+                                    const peec::ComponentFieldModel& b) const {
+  const double pemd = extractor_->min_distance_for_coupling(
+      a, b, opt_.k_threshold, opt_.d_search_lo_mm, opt_.d_search_hi_mm, opt_.tol_mm);
+  return {a.name, b.name, pemd, opt_.k_threshold};
+}
+
+std::vector<MinDistanceRule> RuleDeriver::derive_all(
+    const std::vector<const peec::ComponentFieldModel*>& models) const {
+  std::vector<MinDistanceRule> out;
+  out.reserve(models.size() * (models.size() - 1) / 2);
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    for (std::size_t j = i + 1; j < models.size(); ++j) {
+      out.push_back(derive(*models[i], *models[j]));
+    }
+  }
+  return out;
+}
+
+}  // namespace emi::emc

@@ -1,0 +1,66 @@
+#include "src/emi/sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/numeric/stats.hpp"
+
+namespace emi::emc {
+
+std::vector<CouplingSensitivity> rank_coupling_sensitivity(
+    ckt::Circuit c, const std::string& meas_node, const TrapezoidSpectrum& source,
+    const SensitivityOptions& opt) {
+  // Candidate inductors: explicit list or every inductor in the circuit.
+  std::vector<std::string> names = opt.candidates;
+  if (names.empty()) {
+    for (const auto& l : c.inductors()) names.push_back(l.name);
+  }
+
+  const EmissionSpectrum baseline = conducted_emission(c, meas_node, source, opt.sweep);
+
+  // Remember pre-existing coupling values so each probe is applied on a
+  // clean slate and restored afterwards.
+  const auto existing_k = [&](const std::string& a, const std::string& b) {
+    const std::size_t ia = c.inductor_index(a);
+    const std::size_t ib = c.inductor_index(b);
+    for (const auto& k : c.couplings()) {
+      if ((k.l1 == ia && k.l2 == ib) || (k.l1 == ib && k.l2 == ia)) return k.k;
+    }
+    return 0.0;
+  };
+
+  std::vector<CouplingSensitivity> out;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    for (std::size_t j = i + 1; j < names.size(); ++j) {
+      const double k0 = existing_k(names[i], names[j]);
+      c.set_coupling(names[i], names[j], opt.probe_k);
+      const EmissionSpectrum probed = conducted_emission(c, meas_node, source, opt.sweep);
+      c.set_coupling(names[i], names[j], k0);
+
+      const std::vector<double> d = delta_db(baseline, probed);
+      double max_d = 0.0, sum_d = 0.0;
+      for (double v : d) {
+        max_d = std::max(max_d, std::fabs(v));
+        sum_d += std::fabs(v);
+      }
+      out.push_back({names[i], names[j], max_d,
+                     d.empty() ? 0.0 : sum_d / static_cast<double>(d.size())});
+    }
+  }
+
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.max_delta_db > b.max_delta_db;
+  });
+  return out;
+}
+
+std::vector<CouplingSensitivity> significant_pairs(
+    const std::vector<CouplingSensitivity>& ranked, double threshold_db) {
+  std::vector<CouplingSensitivity> out;
+  for (const auto& s : ranked) {
+    if (s.max_delta_db >= threshold_db) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace emi::emc

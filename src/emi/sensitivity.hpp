@@ -1,0 +1,42 @@
+// Sensitivity analysis - the paper's complexity reducer. Before running any
+// field simulation, probe coupling factors are inserted pairwise between the
+// circuit's inductances (capacitor ESLs, chokes, trace inductances) and their
+// influence on the emitted interference is ranked. Only the top-ranked pairs
+// then need PEEC field extraction, which "makes the electromagnetic
+// calculation of a whole circuit feasible".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/emi/emission.hpp"
+
+namespace emi::emc {
+
+struct CouplingSensitivity {
+  std::string inductor_a;
+  std::string inductor_b;
+  double max_delta_db;   // worst-frequency emission change for the probe k
+  double mean_delta_db;
+};
+
+struct SensitivityOptions {
+  double probe_k = 0.05;  // inserted probe coupling factor
+  EmissionSweepOptions sweep{};
+  // Optional subset of inductor names to consider (empty = all).
+  std::vector<std::string> candidates;
+};
+
+// Rank all candidate inductor pairs by emission impact. The circuit is
+// taken by value: existing couplings are preserved and each probe is applied
+// on top, one pair at a time, against the unprobed baseline.
+std::vector<CouplingSensitivity> rank_coupling_sensitivity(
+    ckt::Circuit c, const std::string& meas_node, const TrapezoidSpectrum& source,
+    const SensitivityOptions& opt = {});
+
+// Keep only pairs whose max impact reaches `threshold_db`; the survivors are
+// the pairs worth a field simulation.
+std::vector<CouplingSensitivity> significant_pairs(
+    const std::vector<CouplingSensitivity>& ranked, double threshold_db);
+
+}  // namespace emi::emc

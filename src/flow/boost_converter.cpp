@@ -1,0 +1,185 @@
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+
+#include "src/flow/buck_converter.hpp"
+
+namespace emi::flow {
+
+namespace {
+constexpr double kFswBoost = 250e3;
+constexpr double kVinBoost = 12.0;
+constexpr double kVoutBoost = 24.0;
+constexpr double kEdgeBoost = 40e-9;
+// Boost duty for 12 -> 24 V: D = 1 - Vin/Vout = 0.5.
+constexpr double kDutyBoost = 0.5;
+}  // namespace
+
+ConverterModel make_boost_converter() {
+  ConverterModel bc;
+  ckt::Circuit& c = bc.circuit;
+
+  c.add_vsource("VBATT", "batt", "0", ckt::Waveform::dc(kVinBoost));
+
+  // CISPR 25 artificial network.
+  c.add_inductor("L_LISN", "batt", "vin", 5e-6);
+  c.add_resistor("R_LISN_D", "batt", "vin", 1000.0);
+  c.add_capacitor("C_LISN", "vin", "lisn_meas", 0.1e-6);
+  c.add_resistor("R_LISN_M", "lisn_meas", "0", 50.0);
+  bc.meas_node = "lisn_meas";
+
+  // Input pi-filter (the boost needs less DM filtering, but automotive
+  // boards carry one anyway).
+  c.add_inductor("L_CX1", "vin", "cx1_a", 15e-9);
+  c.add_resistor("R_CX1", "cx1_a", "cx1_b", 0.03);
+  c.add_capacitor("C_CX1", "cx1_b", "0", 2.2e-6);
+  c.add_inductor("L_F", "vin", "nmid", 47e-6);
+  c.add_capacitor("C_F_PAR", "vin", "nmid", 15e-12);
+  c.add_resistor("R_F", "vin", "nmid", 15e3);
+  c.add_inductor("L_CX2", "nmid", "cx2_a", 15e-9);
+  c.add_resistor("R_CX2", "cx2_a", "cx2_b", 0.03);
+  c.add_capacitor("C_CX2", "cx2_b", "0", 2.2e-6);
+
+  // Boost inductor from the filter to the switch node: it carries the
+  // continuous input current and is the board's strongest stray-field
+  // source at the ripple harmonics.
+  c.add_inductor("L_BOOST", "nmid", "nsw", 68e-6);
+
+  // Switching cell: the switch node swings 0 <-> Vout.
+  c.add_vsource("V_NOISE", "nz", "0", ckt::Waveform::dc(0.0), /*ac_mag=*/1.0);
+  c.add_inductor("L_CELL", "nz", "nsw", 8e-9);
+
+  // Output rectifier loop and bulk capacitance - the chopped-current side.
+  c.add_inductor("L_D", "nsw", "vout", 15e-9);
+  c.add_inductor("L_CO", "vout", "co_a", 16e-9);
+  c.add_resistor("R_CO", "co_a", "co_b", 0.03);
+  c.add_capacitor("C_CO", "co_b", "0", 330e-6);
+  c.add_resistor("R_LOAD", "vout", "0", 24.0);
+
+  bc.noise_source = "V_NOISE";
+  const double period = 1.0 / kFswBoost;
+  bc.noise = emc::spectrum_params(ckt::Waveform::trapezoid(
+      0.0, kVoutBoost, period, kEdgeBoost, kDutyBoost * period - kEdgeBoost,
+      kEdgeBoost));
+
+  // Field models.
+  peec::XCapacitorParams xcap;
+  peec::BobbinCoilParams filter_coil;
+  filter_coil.radius_mm = 5.0;
+  filter_coil.length_mm = 12.0;
+  filter_coil.turns = 36;
+  peec::BobbinCoilParams boost_coil;
+  boost_coil.radius_mm = 9.0;
+  boost_coil.length_mm = 18.0;
+  boost_coil.turns = 52;
+  peec::ElectrolyticCapParams elcap;
+
+  bc.models.push_back(peec::x_capacitor("CX1", xcap));
+  bc.models.push_back(peec::x_capacitor("CX2", xcap));
+  bc.models.push_back(peec::bobbin_coil("LF", filter_coil));
+  bc.models.push_back(peec::bobbin_coil("LBOOST", boost_coil));
+  bc.models.push_back(peec::electrolytic_capacitor("CO", elcap));
+  {
+    // Rectifier loop: flat board-plane loop at the switch/diode cell.
+    peec::ComponentFieldModel loop;
+    loop.name = "PWRLOOP";
+    loop.kind = peec::ModelKind::kTrace;
+    peec::SegmentPath p;
+    const double w = 12.0, h = 8.0, z = 1.0, r = 0.6;
+    const peec::Vec3 p0{-w / 2, -h / 2, z}, p1{w / 2, -h / 2, z}, p2{w / 2, h / 2, z},
+        p3{-w / 2, h / 2, z};
+    p.segments = {{p0, p1, r, 1.0}, {p1, p2, r, 1.0}, {p2, p3, r, 1.0}, {p3, p0, r, 1.0}};
+    loop.local_path = std::move(p);
+    loop.local_axis = {0.0, 0.0, 1.0};
+    bc.models.push_back(std::move(loop));
+  }
+
+  const auto model_index = [&](const std::string& name) {
+    for (std::size_t i = 0; i < bc.models.size(); ++i) {
+      if (bc.models[i].name == name) return i;
+    }
+    throw std::logic_error("model not found: " + name);
+  };
+  bc.inductor_model = {
+      {"L_CX1", model_index("CX1")},     {"L_CX2", model_index("CX2")},
+      {"L_F", model_index("LF")},        {"L_BOOST", model_index("LBOOST")},
+      {"L_CO", model_index("CO")},       {"L_D", model_index("PWRLOOP")},
+  };
+
+  // Board.
+  place::Design& b = bc.board;
+  b.set_clearance(1.0);
+  b.set_board_count(1);
+  b.add_area({"board", 0, geom::Polygon::rectangle(
+                              geom::Rect::from_corners({0.0, 0.0}, {80.0, 58.0}))});
+  const auto add = [&](const std::string& name, double w, double d, double h,
+                       double axis, const std::string& group) {
+    place::Component comp;
+    comp.name = name;
+    comp.width_mm = w;
+    comp.depth_mm = d;
+    comp.height_mm = h;
+    comp.axis_deg = axis;
+    comp.group = group;
+    b.add_component(std::move(comp));
+  };
+  add("CX1", 22.0, 9.0, 11.0, 90.0, "input_filter");
+  add("CX2", 22.0, 9.0, 11.0, 90.0, "input_filter");
+  add("LF", 12.0, 14.0, 12.0, 90.0, "input_filter");
+  add("LBOOST", 20.0, 22.0, 20.0, 90.0, "power");
+  add("CO", 12.0, 12.0, 16.0, 90.0, "power");
+  add("PWRLOOP", 14.0, 10.0, 3.0, 0.0, "power");
+
+  b.add_net({"N_VIN", {{"CX1", ""}, {"LF", ""}}, 80.0});
+  b.add_net({"N_MID", {{"LF", ""}, {"CX2", ""}, {"LBOOST", ""}}, 80.0});
+  b.add_net({"N_SW", {{"LBOOST", ""}, {"PWRLOOP", ""}}, 60.0});
+  b.add_net({"N_OUT", {{"PWRLOOP", ""}, {"CO", ""}}, 60.0});
+
+  bc.component_node = {
+      {"CX1", "vin"}, {"CX2", "nmid"},  {"LF", "nmid"},
+      {"LBOOST", "nsw"}, {"CO", "vout"}, {"PWRLOOP", "nsw"},
+  };
+  return bc;
+}
+
+namespace {
+
+place::Layout layout_from(const ConverterModel& bc,
+                          const std::vector<std::tuple<std::string, double, double,
+                                                       double>>& table) {
+  place::Layout l = place::Layout::unplaced(bc.board);
+  for (const auto& [name, x, y, rot] : table) {
+    l.placements[bc.board.component_index(name)] = {{x, y}, rot, 0, true};
+  }
+  return l;
+}
+
+}  // namespace
+
+place::Layout boost_layout_unfavorable(const ConverterModel& bc) {
+  // The boost inductor parked right next to the filter choke and CX2, all
+  // axes parallel - the aggressor couples straight into the filter.
+  return layout_from(bc, {
+                             {"CX1", 13.0, 6.0, 0.0},
+                             {"CX2", 13.0, 17.0, 0.0},
+                             {"LF", 12.0, 33.0, 0.0},
+                             {"LBOOST", 34.0, 34.0, 0.0},
+                             {"CO", 34.0, 10.0, 0.0},
+                             {"PWRLOOP", 54.0, 10.0, 0.0},
+                         });
+}
+
+place::Layout boost_layout_optimized(const ConverterModel& bc) {
+  // The boost inductor moved to the far corner with a perpendicular axis,
+  // capacitor pair axially decoupled.
+  return layout_from(bc, {
+                             {"CX1", 12.0, 7.0, 0.0},
+                             {"CX2", 12.0, 25.0, 90.0},
+                             {"LF", 12.0, 44.0, 90.0},
+                             {"LBOOST", 56.0, 38.0, 90.0},
+                             {"CO", 36.0, 10.0, 0.0},
+                             {"PWRLOOP", 56.0, 12.0, 0.0},
+                         });
+}
+
+}  // namespace emi::flow

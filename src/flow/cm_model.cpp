@@ -1,0 +1,53 @@
+#include "src/flow/cm_model.hpp"
+
+namespace emi::flow {
+
+CmModel make_cm_model(const CmModelParams& p) {
+  CmModel m;
+  ckt::Circuit& c = m.circuit;
+  // Node convention: MNA ground "0" is the CHASSIS; the converter's power
+  // ground is the node "pgnd". The CM loop closes through the chassis.
+
+  // Switch node: stiff dv/dt source referenced to power ground.
+  c.add_vsource("V_SW", "sw", "pgnd", ckt::Waveform::dc(0.0), /*ac_mag=*/1.0);
+
+  // Parasitic injection path into the chassis (heatsink capacitance).
+  c.add_capacitor("C_PAR", "sw", "0", p.c_par);
+
+  // Y capacitor from power ground to chassis (CM bypass), with parasitics.
+  if (p.with_ycap) {
+    c.add_inductor("L_Y", "pgnd", "y_a", p.l_y_esl);
+    c.add_resistor("R_Y", "y_a", "y_b", p.r_y_esr);
+    c.add_capacitor("C_Y", "y_b", "0", p.c_y);
+  }
+
+  // Current-compensated choke in the supply lines (CM inductance).
+  const char* line_node = "pgnd";
+  if (p.with_choke) {
+    c.add_inductor("L_CMC", "pgnd", "n_lines", p.l_cmc);
+    c.add_resistor("R_CMC", "pgnd", "n_lines", p.r_cmc_damp);
+    line_node = "n_lines";
+    if (p.with_ycap && p.k_choke_ycap != 0.0) {
+      c.add_coupling("K_CMC_Y", "L_CMC", "L_Y", p.k_choke_ycap);
+    }
+  }
+
+  // CM equivalent of the two-line LISN: the two 5 uH AN inductors appear in
+  // parallel (2.5 uH), the two 50 ohm receiver inputs in parallel (25 ohm).
+  c.add_inductor("L_LISN_CM", line_node, "lisn_cm", 2.5e-6);
+  c.add_resistor("R_LISN_CM", "lisn_cm", "0", 25.0);
+  m.meas_node = "lisn_cm";
+
+  const double period = 1.0 / p.f_sw_hz;
+  m.noise = emc::spectrum_params(ckt::Waveform::trapezoid(
+      0.0, p.v_in, period, p.t_edge_s, p.duty * period - p.t_edge_s, p.t_edge_s));
+  return m;
+}
+
+emc::EmissionSpectrum cm_emission(const CmModelParams& p,
+                                  const emc::EmissionSweepOptions& sweep) {
+  const CmModel m = make_cm_model(p);
+  return emc::conducted_emission(m.circuit, m.meas_node, m.noise, sweep);
+}
+
+}  // namespace emi::flow

@@ -1,0 +1,162 @@
+#include "src/flow/demo_board.hpp"
+
+#include <string>
+
+namespace emi::flow {
+
+namespace {
+
+enum class Kind { kChoke, kCap, kPower, kSmall };
+
+struct Spec {
+  const char* name;
+  Kind kind;
+  double w, d, h;
+  const char* group;
+};
+
+// 29 devices: input filter (magnetics-heavy), power stage, control section.
+constexpr Spec kSpecs[] = {
+    // input_filter group - chokes and capacitors with strong stray fields
+    {"LF1", Kind::kChoke, 14, 16, 14, "input_filter"},
+    {"LF2", Kind::kChoke, 12, 14, 12, "input_filter"},
+    {"CMC1", Kind::kChoke, 22, 22, 16, "input_filter"},
+    {"CX1", Kind::kCap, 26, 10, 12, "input_filter"},
+    {"CX2", Kind::kCap, 26, 10, 12, "input_filter"},
+    {"CY1", Kind::kCap, 12, 6, 8, "input_filter"},
+    {"CY2", Kind::kCap, 12, 6, 8, "input_filter"},
+    {"CE1", Kind::kCap, 10, 10, 14, "input_filter"},
+    {"RDMP", Kind::kSmall, 6, 3, 3, "input_filter"},
+    // power group
+    {"LBUCK", Kind::kChoke, 18, 20, 18, "power"},
+    {"QSW", Kind::kPower, 10, 12, 5, "power"},
+    {"DFW", Kind::kPower, 8, 10, 4, "power"},
+    {"CE2", Kind::kCap, 10, 10, 14, "power"},
+    {"CE3", Kind::kCap, 10, 10, 14, "power"},
+    {"SHNT", Kind::kSmall, 6, 4, 2, "power"},
+    {"CSNB", Kind::kCap, 6, 5, 4, "power"},
+    {"RSNB", Kind::kSmall, 6, 3, 3, "power"},
+    {"TSEN", Kind::kSmall, 4, 4, 2, "power"},
+    {"LOUT", Kind::kChoke, 14, 16, 14, "power"},
+    // control group
+    {"UCTL", Kind::kSmall, 10, 10, 2, "control"},
+    {"UDRV", Kind::kSmall, 6, 6, 2, "control"},
+    {"XTAL", Kind::kSmall, 5, 3, 2, "control"},
+    // Tiny ceramic bypass caps: magnetically quiet, no stray-field rules.
+    {"CB1", Kind::kSmall, 4, 2, 2, "control"},
+    {"CB2", Kind::kSmall, 4, 2, 2, "control"},
+    {"RPU1", Kind::kSmall, 3, 2, 1, "control"},
+    {"RPU2", Kind::kSmall, 3, 2, 1, "control"},
+    {"LED1", Kind::kSmall, 3, 2, 2, "control"},
+    {"UREG", Kind::kSmall, 6, 6, 3, "control"},
+    // preplaced connector (29th device, no group)
+    {"CONN", Kind::kSmall, 18, 8, 10, ""},
+};
+
+// PEMD by component-kind pairing; magnetically quiet kinds get no rule.
+double pemd_for(Kind a, Kind b) {
+  const auto magnetic = [](Kind k) { return k == Kind::kChoke || k == Kind::kCap; };
+  if (!magnetic(a) || !magnetic(b)) return 0.0;
+  if (a == Kind::kChoke && b == Kind::kChoke) return 24.0;
+  if (a == Kind::kCap && b == Kind::kCap) return 14.0;
+  return 18.0;  // choke-cap
+}
+
+}  // namespace
+
+place::Design make_demo_board() {
+  place::Design d;
+  d.set_clearance(1.0);
+  d.set_board_count(1);
+
+  // L-shaped board outline (the "different arbitrary shaped placement
+  // areas" requirement): 140 x 100 with a 50 x 40 bite out of the top-right.
+  d.add_area({"board", 0,
+              geom::Polygon{{0, 0}, {140, 0}, {140, 60}, {90, 60}, {90, 100}, {0, 100}}});
+
+  // Keepouts: a full-height heat-sink zone and a housing rib starting 8 mm
+  // above the board (low components may slide under it).
+  d.add_keepout({"heatsink", 0,
+                 geom::Cuboid::full_height(
+                     geom::Rect::from_corners({95.0, 5.0}, {135.0, 30.0}))});
+  d.add_keepout({"housing_rib", 0,
+                 {geom::Rect::from_corners({0.0, 45.0}, {90.0, 55.0}), 8.0, 1e9}});
+
+  for (const Spec& s : kSpecs) {
+    place::Component c;
+    c.name = s.name;
+    c.width_mm = s.w;
+    c.depth_mm = s.d;
+    c.height_mm = s.h;
+    c.group = s.group;
+    c.axis_deg = 90.0;
+    d.add_component(std::move(c));
+  }
+  // The connector is preplaced at the board edge.
+  d.components()[d.component_index("CONN")].preplaced = true;
+
+  // Pairwise minimum distances among the magnetic components.
+  const std::size_t n = std::size(kSpecs);
+  std::size_t rules = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double pemd = pemd_for(kSpecs[i].kind, kSpecs[j].kind);
+      if (pemd > 0.0) {
+        d.add_emd_rule(kSpecs[i].name, kSpecs[j].name, pemd);
+        ++rules;
+      }
+    }
+  }
+  (void)rules;  // ~100 by construction (15 magnetic components -> 105 pairs)
+
+  // Nets: group-internal chains plus the power path crossing groups.
+  d.add_net({"N_IN", {{"CONN", ""}, {"CMC1", ""}, {"CX1", ""}}, 120.0});
+  d.add_net({"N_FLT1", {{"CX1", ""}, {"LF1", ""}, {"CX2", ""}}, 100.0});
+  d.add_net({"N_FLT2", {{"CX2", ""}, {"LF2", ""}, {"CE1", ""}, {"CY1", ""}}, 100.0});
+  d.add_net({"N_Y", {{"CY1", ""}, {"CY2", ""}, {"RDMP", ""}}, 80.0});
+  d.add_net({"N_BUS", {{"CE1", ""}, {"QSW", ""}, {"CE2", ""}}, 90.0});
+  d.add_net({"N_SW", {{"QSW", ""}, {"DFW", ""}, {"LBUCK", ""}, {"CSNB", ""}}, 70.0});
+  d.add_net({"N_SNB", {{"CSNB", ""}, {"RSNB", ""}}, 30.0});
+  d.add_net({"N_OUT", {{"LBUCK", ""}, {"CE3", ""}, {"LOUT", ""}, {"SHNT", ""}}, 90.0});
+  d.add_net({"N_GATE", {{"UDRV", ""}, {"QSW", ""}}, 50.0});
+  d.add_net({"N_CTL", {{"UCTL", ""}, {"UDRV", ""}, {"XTAL", ""}, {"CB1", ""},
+                       {"CB2", ""}}, 80.0});
+  d.add_net({"N_AUX", {{"UREG", ""}, {"UCTL", ""}, {"RPU1", ""}, {"RPU2", ""},
+                       {"LED1", ""}}, 90.0});
+  d.add_net({"N_SENSE", {{"SHNT", ""}, {"UCTL", ""}, {"TSEN", ""}}, 110.0});
+
+  return d;
+}
+
+DemoBoardInfo demo_board_info(const place::Design& d) {
+  DemoBoardInfo info;
+  info.n_components = d.components().size();
+  info.n_emd_rules = d.emd_rules().size();
+  info.n_groups = d.groups().size();
+  info.n_nets = d.nets().size();
+  return info;
+}
+
+place::Layout demo_board_initial_layout(const place::Design& d) {
+  place::Layout l = place::Layout::unplaced(d);
+  const std::size_t conn = d.component_index("CONN");
+  l.placements[conn] = {{12.0, 6.0}, 0.0, 0, true};
+  return l;
+}
+
+place::Design make_demo_board_two_boards() {
+  place::Design d = make_demo_board();
+  d.set_board_count(2);
+  // Second rigid board: a plain 90 x 70 rectangle.
+  d.add_area({"board2", 1, geom::Polygon::rectangle(
+                               geom::Rect::from_corners({0.0, 0.0}, {90.0, 70.0}))});
+  // The control section is pinned to the second board; power stays on the
+  // first with the connector.
+  for (place::Component& c : d.components()) {
+    if (c.group == "control") c.board = 1;
+    if (c.name == "CONN" || c.group == "power") c.board = 0;
+  }
+  return d;
+}
+
+}  // namespace emi::flow

@@ -1,0 +1,30 @@
+// The complex placement demo of paper Fig 9 / 18: 29 devices on an
+// arbitrarily shaped board with ~100 pairwise minimum-distance rules, three
+// functional groups, keepouts (one with z-offset) and a preplaced connector.
+// Fully deterministic - rule distances follow the component-type pairing,
+// not random draws.
+#pragma once
+
+#include "src/place/design.hpp"
+
+namespace emi::flow {
+
+struct DemoBoardInfo {
+  std::size_t n_components = 0;
+  std::size_t n_emd_rules = 0;
+  std::size_t n_groups = 0;
+  std::size_t n_nets = 0;
+};
+
+place::Design make_demo_board();
+DemoBoardInfo demo_board_info(const place::Design& d);
+
+// Initial layout with the preplaced connector fixed at the board edge; all
+// other components unplaced.
+place::Layout demo_board_initial_layout(const place::Design& d);
+
+// A two-board variant of the same circuit for exercising the partitioning
+// step (paper: "1 or 2 rigid connected boards can be given for placement").
+place::Design make_demo_board_two_boards();
+
+}  // namespace emi::flow

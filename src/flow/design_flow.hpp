@@ -1,0 +1,66 @@
+// The end-to-end methodology of the paper, as one callable pipeline:
+//
+//   1. circuit simulation with parasitics        (ckt)
+//   2. sensitivity analysis of coupling factors  (emc::rank_coupling_sensitivity)
+//   3. PEEC extraction of the relevant couplings (peec::CouplingExtractor)
+//   4. interference prediction                   (emc::conducted_emission)
+//   5. design-rule derivation (PEMD table)       (emc::RuleDeriver)
+//   6. automatic placement honoring the rules    (place::auto_place)
+//   7. re-extraction + verification
+//
+// "Using the proposed approach in the design stage allows both a statement
+// on achievable performance with the given components and the minimization
+// of the system volume."
+#pragma once
+
+#include "src/emi/measurement.hpp"
+#include "src/emi/rules.hpp"
+#include "src/emi/sensitivity.hpp"
+#include "src/flow/buck_converter.hpp"
+#include "src/place/drc.hpp"
+#include "src/place/metrics.hpp"
+#include "src/place/placer.hpp"
+
+namespace emi::flow {
+
+struct FlowOptions {
+  // Sensitivity pruning: pairs below this emission impact are not field
+  // simulated. 0 disables pruning (full n(n-1)/2 extraction).
+  double sensitivity_threshold_db = 1.0;
+  // Rule derivation threshold (paper: k = 0.01 already hurts a pi filter).
+  double k_threshold = 0.01;
+  // Couplings below this are not installed in the circuit.
+  double k_min = 1e-4;
+  emc::EmissionSweepOptions sweep{};
+  peec::QuadratureOptions quadrature{};
+  place::AutoPlaceOptions placement{};
+  int cispr_class = 3;
+};
+
+struct FlowResult {
+  // Prediction for the initial layout.
+  emc::EmissionSpectrum initial_prediction;
+  emc::EmissionSpectrum initial_no_coupling;  // the state-of-practice baseline
+  // Sensitivity ranking and the pairs selected for field simulation.
+  std::vector<emc::CouplingSensitivity> ranking;
+  std::vector<std::pair<std::string, std::string>> simulated_pairs;
+  std::size_t field_solves_saved = 0;  // pairs pruned by sensitivity
+  // Derived rules (installed into the returned design).
+  std::vector<emc::MinDistanceRule> rules;
+  // Placement results.
+  place::Layout improved_layout;
+  place::PlaceStats place_stats;
+  place::DrcReport drc_initial;
+  place::DrcReport drc_improved;
+  // Prediction for the improved layout.
+  emc::EmissionSpectrum improved_prediction;
+  // Emission deltas.
+  double peak_improvement_db = 0.0;  // max over frequency of initial - improved
+};
+
+// Run the full flow on a converter starting from `initial_layout`.
+// `bc.board` is extended in place with the derived EMD rules.
+FlowResult run_design_flow(BuckConverter& bc, const place::Layout& initial_layout,
+                           const FlowOptions& opt = {});
+
+}  // namespace emi::flow

@@ -1,0 +1,64 @@
+#include "src/flow/trace_model.hpp"
+
+#include <algorithm>
+
+#include "src/peec/partial_inductance.hpp"
+#include "src/peec/winding.hpp"
+
+namespace emi::flow {
+
+double routed_net_inductance(const place::RoutedNet& net, const TraceGeometry& g) {
+  double l = 0.0;
+  for (const place::TraceSegment& s : net.segments) {
+    const double len = s.length();
+    if (len < 2.0 * (g.width_mm + g.thickness_mm)) continue;  // stub, negligible
+    l += peec::self_inductance_bar(len, g.width_mm, g.thickness_mm);
+  }
+  // Bends/vias: every second segment boundary is a direction change.
+  l += g.via_nh * 1e-9 * static_cast<double>(net.segments.size() / 2);
+  return l;
+}
+
+peec::SegmentPath routed_net_path(const place::RoutedNet& net, const TraceGeometry& g) {
+  peec::SegmentPath path;
+  const double r = peec::equivalent_radius(g.width_mm, g.thickness_mm);
+  for (const place::TraceSegment& s : net.segments) {
+    if (s.length() < 1e-9) continue;
+    path.segments.push_back({{s.a.x, s.a.y, g.height_mm},
+                             {s.b.x, s.b.y, g.height_mm},
+                             r,
+                             1.0});
+  }
+  return path;
+}
+
+std::vector<TraceReportRow> trace_report(const BuckConverter& bc,
+                                         const place::Layout& layout,
+                                         const TraceGeometry& g) {
+  std::vector<TraceReportRow> out;
+  for (const place::RoutedNet& rn : place::route_nets(bc.board, layout)) {
+    TraceReportRow row;
+    row.net = rn.net;
+    row.length_mm = rn.total_length_mm;
+    row.inductance_nh = routed_net_inductance(rn, g) * 1e9;
+    row.segments = rn.segments.size();
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+ckt::Circuit circuit_with_layout_traces(const BuckConverter& bc,
+                                        const place::Layout& layout,
+                                        const peec::CouplingExtractor& extractor,
+                                        double k_min, const TraceGeometry& g,
+                                        double l_min) {
+  ckt::Circuit c = circuit_with_couplings(bc, layout, extractor, k_min);
+  for (const place::RoutedNet& rn : place::route_nets(bc.board, layout)) {
+    if (rn.net != "N_SW" || rn.segments.empty()) continue;
+    const double l = std::max(routed_net_inductance(rn, g), l_min);
+    c.set_inductance("L_LOOP", l);
+  }
+  return c;
+}
+
+}  // namespace emi::flow

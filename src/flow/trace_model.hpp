@@ -1,0 +1,56 @@
+// Layout-derived trace parasitics (paper Fig 11: the PEEC model includes
+// "traces, vias and GND"). After placement the nets are routed with the
+// Manhattan router; each routed net becomes
+//   * a partial-inductance estimate that replaces the schematic guess for
+//     the corresponding circuit inductor (the power-loop trace), and
+//   * a PEEC segment path usable for trace-to-component coupling.
+#pragma once
+
+#include <vector>
+
+#include "src/flow/buck_converter.hpp"
+#include "src/place/route.hpp"
+
+namespace emi::flow {
+
+struct TraceGeometry {
+  double width_mm = 1.5;       // power trace width
+  double thickness_mm = 0.035; // 1 oz copper
+  double height_mm = 0.1;      // trace elevation used for the field model
+  double via_nh = 0.5;         // series inductance charged per bend (via-like)
+};
+
+// Partial self inductance of a routed net: sum of Ruehli bar terms per
+// segment plus a per-bend via penalty. (Mutual terms between the short
+// orthogonal Manhattan segments largely vanish.)
+double routed_net_inductance(const place::RoutedNet& net,
+                             const TraceGeometry& g = {});
+
+// PEEC path of the routed net for coupling extraction.
+peec::SegmentPath routed_net_path(const place::RoutedNet& net,
+                                  const TraceGeometry& g = {});
+
+struct TraceReportRow {
+  std::string net;
+  double length_mm = 0.0;
+  double inductance_nh = 0.0;
+  std::size_t segments = 0;
+};
+
+// Route all board nets of a layout and report length/inductance per net.
+std::vector<TraceReportRow> trace_report(const BuckConverter& bc,
+                                         const place::Layout& layout,
+                                         const TraceGeometry& g = {});
+
+// Full layout-aware circuit: PEEC couplings for the layout, plus the
+// power-loop inductance L_LOOP replaced by the routed N_SW net's extracted
+// value (clamped to at least `l_min` to keep the model well-posed when the
+// routed length degenerates).
+ckt::Circuit circuit_with_layout_traces(const BuckConverter& bc,
+                                        const place::Layout& layout,
+                                        const peec::CouplingExtractor& extractor,
+                                        double k_min = 1e-4,
+                                        const TraceGeometry& g = {},
+                                        double l_min = 5e-9);
+
+}  // namespace emi::flow

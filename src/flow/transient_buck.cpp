@@ -1,0 +1,123 @@
+#include "src/flow/transient_buck.hpp"
+
+#include <cmath>
+
+#include "src/numeric/stats.hpp"
+
+namespace emi::flow {
+
+ckt::Circuit make_switching_buck(const SwitchingBuckParams& p) {
+  ckt::Circuit c;
+  c.add_vsource("VBATT", "batt", "0", ckt::Waveform::dc(p.v_in));
+
+  // CISPR 25 LISN (same values as the AC model).
+  c.add_inductor("L_LISN", "batt", "vin", 5e-6);
+  c.add_resistor("R_LISN_D", "batt", "vin", 1000.0);
+  c.add_capacitor("C_LISN", "vin", "lisn_meas", 0.1e-6);
+  c.add_resistor("R_LISN_M", "lisn_meas", "0", 50.0);
+
+  // Input pi-filter with parasitics.
+  c.add_inductor("L_CX1", "vin", "cx1_a", 15e-9);
+  c.add_resistor("R_CX1", "cx1_a", "cx1_b", 0.03);
+  c.add_capacitor("C_CX1", "cx1_b", "0", 3.3e-6);
+  c.add_inductor("L_F", "vin", "nmid", 100e-6);
+  c.add_capacitor("C_F_PAR", "vin", "nmid", 15e-12);
+  c.add_resistor("R_F", "vin", "nmid", 15e3);
+  c.add_inductor("L_CX2", "nmid", "cx2_a", 15e-9);
+  c.add_resistor("R_CX2", "cx2_a", "cx2_b", 0.03);
+  c.add_capacitor("C_CX2", "cx2_b", "0", 3.3e-6);
+
+  // Power loop trace and bulk capacitor.
+  c.add_inductor("L_LOOP", "nmid", "nin_cell", 25e-9);
+  c.add_inductor("L_CE1", "nin_cell", "ce1_a", 18e-9);
+  c.add_resistor("R_CE1", "ce1_a", "ce1_b", 0.04);
+  c.add_capacitor("C_CE1", "ce1_b", "0", 100e-6);
+
+  // The switching cell: high-side PWM switch, freewheeling diode.
+  const double period = 1.0 / p.f_sw_hz;
+  c.add_switch("S_HS", "nin_cell", "nsw",
+               ckt::Waveform::trapezoid(0.0, 1.0, period, p.t_edge_s,
+                                        p.duty * period - p.t_edge_s, p.t_edge_s),
+               20e-3, 1e7);
+  c.add_diode("D_FW", "0", "nsw", 1e-9, 2.0);
+
+  // Output stage.
+  c.add_inductor("L_BUCK", "nsw", "vout", 100e-6);
+  c.add_inductor("L_CO", "vout", "co_a", 14e-9);
+  c.add_resistor("R_CO", "co_a", "co_b", 0.025);
+  c.add_capacitor("C_CO", "co_b", "0", p.c_out);
+  c.add_resistor("R_LOAD", "vout", "0", p.r_load);
+  return c;
+}
+
+TimeDomainValidation validate_time_domain(const SwitchingBuckParams& p,
+                                          double t_stop_s, double dt_s) {
+  TimeDomainValidation out;
+
+  const ckt::Circuit c = make_switching_buck(p);
+  ckt::TransientOptions topt;
+  topt.t_stop = t_stop_s;
+  topt.dt = dt_s;
+  const ckt::TransientResult tr = ckt::transient_solve(c, topt);
+  out.times_s = tr.times();
+  out.v_lisn = tr.voltage_waveform("lisn_meas");
+  out.v_out = tr.voltage_waveform("vout");
+
+  // Functional check: average output voltage over the settled tail.
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 3 * out.v_out.size() / 4; i < out.v_out.size(); ++i) {
+    sum += out.v_out[i];
+    ++count;
+  }
+  out.v_out_avg = count > 0 ? sum / static_cast<double>(count) : 0.0;
+
+  // Spectrum of the simulated LISN voltage.
+  out.fft_spectrum = emc::spectrum_from_transient(tr, "lisn_meas", 0.5);
+
+  // Frequency-domain prediction on the same circuit values, with the
+  // physically matched differential-mode source: the converter input draws
+  // the load current chopped at the switching rate, so the LTI equivalent
+  // is a *current* (Norton) injection at the cell input - a trapezoid of
+  // amplitude I_load. (A voltage injection would drive the input loop with
+  // currents bounded only by milliohm parasitics and overestimates the low
+  // harmonics by tens of dB; the board-level flow uses it deliberately as a
+  // worst-case envelope, see DESIGN.md.)
+  ckt::Circuit ac;
+  {
+    ac.add_vsource("VBATT", "batt", "0", ckt::Waveform::dc(p.v_in));
+    ac.add_inductor("L_LISN", "batt", "vin", 5e-6);
+    ac.add_resistor("R_LISN_D", "batt", "vin", 1000.0);
+    ac.add_capacitor("C_LISN", "vin", "lisn_meas", 0.1e-6);
+    ac.add_resistor("R_LISN_M", "lisn_meas", "0", 50.0);
+    ac.add_inductor("L_CX1", "vin", "cx1_a", 15e-9);
+    ac.add_resistor("R_CX1", "cx1_a", "cx1_b", 0.03);
+    ac.add_capacitor("C_CX1", "cx1_b", "0", 3.3e-6);
+    ac.add_inductor("L_F", "vin", "nmid", 100e-6);
+    ac.add_capacitor("C_F_PAR", "vin", "nmid", 15e-12);
+    ac.add_resistor("R_F", "vin", "nmid", 15e3);
+    ac.add_inductor("L_CX2", "nmid", "cx2_a", 15e-9);
+    ac.add_resistor("R_CX2", "cx2_a", "cx2_b", 0.03);
+    ac.add_capacitor("C_CX2", "cx2_b", "0", 3.3e-6);
+    ac.add_inductor("L_LOOP", "nmid", "nin_cell", 25e-9);
+    ac.add_inductor("L_CE1", "nin_cell", "ce1_a", 18e-9);
+    ac.add_resistor("R_CE1", "ce1_a", "ce1_b", 0.04);
+    ac.add_capacitor("C_CE1", "ce1_b", "0", 100e-6);
+    // Norton injection: the chopped input current drawn by the cell.
+    ac.add_isource("I_NOISE", "nin_cell", "0", ckt::Waveform::dc(0.0), 1.0);
+  }
+  // Current trapezoid: the cell draws ~I_load during the on-time.
+  const double i_load = p.duty * p.v_in / p.r_load;
+  const emc::TrapezoidSpectrum noise = emc::spectrum_params(ckt::Waveform::trapezoid(
+      0.0, i_load, 1.0 / p.f_sw_hz, p.t_edge_s, p.duty / p.f_sw_hz - p.t_edge_s,
+      p.t_edge_s));
+  std::vector<double> grid;
+  for (double f : out.fft_spectrum.freqs_hz) {
+    if (f >= 150e3 && f <= 108e6) grid.push_back(f);
+  }
+  out.envelope_prediction = emc::conducted_emission_scaled(
+      ac, "lisn_meas", grid, emc::envelope_series(noise, grid));
+  return out;
+}
+
+}  // namespace emi::flow

@@ -1,0 +1,31 @@
+#include "src/geom/collision.hpp"
+
+namespace emi::geom {
+
+bool clearance_ok(const Rect& a, const Rect& b, double clearance) {
+  if (a.overlaps(b)) return false;
+  return a.gap_to(b) >= clearance;
+}
+
+bool keepouts_ok(const Rect& r, double comp_height, const std::vector<Cuboid>& keepouts) {
+  for (const Cuboid& k : keepouts) {
+    if (k.blocks(r, comp_height)) return false;
+  }
+  return true;
+}
+
+bool inside_area(const Rect& r, const Polygon& area, double edge_clearance) {
+  if (edge_clearance <= 0.0) return area.contains(r);
+  const Polygon shrunk = area.shrunk(edge_clearance);
+  if (!shrunk.valid()) return false;
+  return shrunk.contains(r);
+}
+
+double hpwl(const std::vector<Vec2>& pins) {
+  if (pins.size() < 2) return 0.0;
+  Rect b = Rect::empty();
+  for (const Vec2& p : pins) b.expand(p);
+  return b.width() + b.height();
+}
+
+}  // namespace emi::geom

@@ -1,0 +1,29 @@
+// Collision / legality primitives shared by the placer and the DRC engine.
+#pragma once
+
+#include <vector>
+
+#include "src/geom/cuboid.hpp"
+#include "src/geom/polygon.hpp"
+#include "src/geom/rect.hpp"
+
+namespace emi::geom {
+
+// True if two footprints (already rectilinear-approximated) keep at least
+// `clearance` of air between their edges.
+bool clearance_ok(const Rect& a, const Rect& b, double clearance);
+
+// True if footprint `r` of a component with the given body height can sit at
+// its position without entering any keepout volume.
+bool keepouts_ok(const Rect& r, double comp_height, const std::vector<Cuboid>& keepouts);
+
+// True if `r` lies fully inside the placement area (polygon), respecting an
+// edge clearance. Implemented by testing against the shrunk polygon when the
+// margin is nonzero.
+bool inside_area(const Rect& r, const Polygon& area, double edge_clearance);
+
+// Half-perimeter wirelength of a point set - the net-length estimate used by
+// the placer's cost function and the max-net-length rule.
+double hpwl(const std::vector<Vec2>& pins);
+
+}  // namespace emi::geom

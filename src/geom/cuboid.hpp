@@ -1,0 +1,29 @@
+// Axis-aligned cuboids for 3D keepouts with z-offset. A keepout that starts
+// above the board (z_lo > 0) only blocks components taller than z_lo - this
+// models e.g. a housing rib or a heat-sink overhang components can slide
+// under, as supported by the paper's placement tool.
+#pragma once
+
+#include "src/geom/rect.hpp"
+
+namespace emi::geom {
+
+struct Cuboid {
+  Rect base;          // x/y extent on the board
+  double z_lo = 0.0;  // bottom of the blocked volume (mm above board surface)
+  double z_hi = 1e9;  // top of the blocked volume
+
+  static Cuboid full_height(Rect base) { return {base, 0.0, 1e9}; }
+
+  // Does a component footprint of height `comp_height` placed on the board
+  // surface (occupying z in [0, comp_height]) collide with this keepout?
+  bool blocks(const Rect& footprint, double comp_height) const {
+    if (!base.overlaps(footprint)) return false;
+    // z-interval overlap, treating touching as non-colliding.
+    return z_lo < comp_height && 0.0 < z_hi;
+  }
+
+  friend constexpr bool operator==(const Cuboid&, const Cuboid&) = default;
+};
+
+}  // namespace emi::geom

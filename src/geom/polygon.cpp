@@ -1,0 +1,190 @@
+#include "src/geom/polygon.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace emi::geom {
+
+namespace {
+
+double signed_area(const std::vector<Vec2>& pts) {
+  double a = 0.0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const Vec2& p = pts[i];
+    const Vec2& q = pts[(i + 1) % pts.size()];
+    a += p.cross(q);
+  }
+  return a / 2.0;
+}
+
+}  // namespace
+
+Polygon::Polygon(std::vector<Vec2> pts) : pts_(std::move(pts)) {
+  if (pts_.size() >= 3 && signed_area(pts_) < 0.0) {
+    std::reverse(pts_.begin(), pts_.end());
+  }
+}
+
+Polygon Polygon::rectangle(const Rect& r) {
+  return Polygon{{r.lo, {r.hi.x, r.lo.y}, r.hi, {r.lo.x, r.hi.y}}};
+}
+
+double Polygon::area() const { return valid() ? signed_area(pts_) : 0.0; }
+
+Rect Polygon::bbox() const {
+  Rect b = Rect::empty();
+  for (const Vec2& p : pts_) b.expand(p);
+  return b;
+}
+
+Vec2 Polygon::centroid() const {
+  if (!valid()) return {};
+  double a = 0.0;
+  Vec2 c{};
+  for (std::size_t i = 0; i < pts_.size(); ++i) {
+    const Vec2& p = pts_[i];
+    const Vec2& q = pts_[(i + 1) % pts_.size()];
+    const double w = p.cross(q);
+    a += w;
+    c += (p + q) * w;
+  }
+  if (std::fabs(a) < 1e-12) return pts_.front();
+  return c / (3.0 * a);
+}
+
+bool Polygon::contains(const Vec2& p) const {
+  if (!valid()) return false;
+  // Boundary check first so edge points are deterministically inside.
+  constexpr double kEps = 1e-9;
+  if (boundary_distance(p) <= kEps) return true;
+  // Even-odd ray casting towards +x.
+  bool inside = false;
+  for (std::size_t i = 0, j = pts_.size() - 1; i < pts_.size(); j = i++) {
+    const Vec2& a = pts_[i];
+    const Vec2& b = pts_[j];
+    const bool straddles = (a.y > p.y) != (b.y > p.y);
+    if (straddles) {
+      const double x_cross = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+      if (p.x < x_cross) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+bool Polygon::contains(const Rect& r) const {
+  if (!valid() || r.is_empty()) return false;
+  const Vec2 corners[4] = {r.lo, {r.hi.x, r.lo.y}, r.hi, {r.lo.x, r.hi.y}};
+  for (const Vec2& c : corners) {
+    if (!contains(c)) return false;
+  }
+  // For non-convex areas a polygon edge can dip into the rectangle even if
+  // all rectangle corners are inside the polygon. Test against a hair-
+  // deflated rectangle so footprints flush with the boundary stay legal.
+  const Rect inner = r.inflated(-1e-9);
+  if (inner.is_empty()) return true;
+  return !edge_crosses(inner);
+}
+
+double Polygon::boundary_distance(const Vec2& p) const {
+  double d = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < pts_.size(); ++i) {
+    const Vec2& a = pts_[i];
+    const Vec2& b = pts_[(i + 1) % pts_.size()];
+    d = std::min(d, point_segment_distance(p, a, b));
+  }
+  return d;
+}
+
+Polygon Polygon::shrunk(double margin) const {
+  if (!valid()) return {};
+  if (margin == 0.0) return *this;
+  const std::size_t n = pts_.size();
+  std::vector<Vec2> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Offset the edge before and the edge after vertex i towards the
+    // interior; the new vertex is the intersection of the two offset lines
+    // (mitre join). For a CCW polygon the interior lies to the left of each
+    // directed edge, i.e. along perp(d) = (-dy, dx).
+    const Vec2& prev = pts_[(i + n - 1) % n];
+    const Vec2& cur = pts_[i];
+    const Vec2& next = pts_[(i + 1) % n];
+    const Vec2 d1 = (cur - prev).normalized();
+    const Vec2 d2 = (next - cur).normalized();
+    const Vec2 s1 = cur + d1.perp() * margin;
+    const Vec2 s2 = cur + d2.perp() * margin;
+    // Intersect line (s1, d1) with line (s2, d2).
+    const double denom = d1.cross(d2);
+    if (std::fabs(denom) < 1e-12) {
+      out[i] = s1;  // collinear edges: just slide the vertex
+    } else {
+      const double t = (s2 - s1).cross(d2) / denom;
+      out[i] = s1 + d1 * t;
+    }
+  }
+  // An over-shrunk polygon collapses: offset edges cross and vertices end
+  // up on the wrong side. Signed area alone cannot detect all such cases
+  // (vertices can swap past each other and re-form a CCW shape), so require
+  // every new vertex to sit inside the original at >= margin from its
+  // boundary.
+  if (signed_area(out) <= 0.0) return {};
+  for (const Vec2& v : out) {
+    if (!contains(v) || boundary_distance(v) < margin - 1e-6) return {};
+  }
+  Polygon result(std::move(out));
+  if (result.area() > area()) return {};
+  return result;
+}
+
+bool Polygon::edge_crosses(const Rect& r) const {
+  const Vec2 c[4] = {r.lo, {r.hi.x, r.lo.y}, r.hi, {r.lo.x, r.hi.y}};
+  for (std::size_t i = 0; i < pts_.size(); ++i) {
+    const Vec2& a = pts_[i];
+    const Vec2& b = pts_[(i + 1) % pts_.size()];
+    for (int k = 0; k < 4; ++k) {
+      if (segments_intersect(a, b, c[k], c[(k + 1) % 4])) return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+int orientation(const Vec2& a, const Vec2& b, const Vec2& c) {
+  const double v = (b - a).cross(c - a);
+  constexpr double kEps = 1e-12;
+  if (v > kEps) return 1;
+  if (v < -kEps) return -1;
+  return 0;
+}
+
+bool on_segment(const Vec2& a, const Vec2& b, const Vec2& p) {
+  return std::min(a.x, b.x) - 1e-12 <= p.x && p.x <= std::max(a.x, b.x) + 1e-12 &&
+         std::min(a.y, b.y) - 1e-12 <= p.y && p.y <= std::max(a.y, b.y) + 1e-12;
+}
+
+}  // namespace
+
+bool segments_intersect(const Vec2& a, const Vec2& b, const Vec2& c, const Vec2& d) {
+  const int o1 = orientation(a, b, c);
+  const int o2 = orientation(a, b, d);
+  const int o3 = orientation(c, d, a);
+  const int o4 = orientation(c, d, b);
+  if (o1 != o2 && o3 != o4) return true;
+  if (o1 == 0 && on_segment(a, b, c)) return true;
+  if (o2 == 0 && on_segment(a, b, d)) return true;
+  if (o3 == 0 && on_segment(c, d, a)) return true;
+  if (o4 == 0 && on_segment(c, d, b)) return true;
+  return false;
+}
+
+double point_segment_distance(const Vec2& p, const Vec2& a, const Vec2& b) {
+  const Vec2 ab = b - a;
+  const double len2 = ab.norm2();
+  if (len2 < 1e-24) return distance(p, a);
+  const double t = std::clamp((p - a).dot(ab) / len2, 0.0, 1.0);
+  return distance(p, a + ab * t);
+}
+
+}  // namespace emi::geom

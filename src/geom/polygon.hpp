@@ -1,0 +1,57 @@
+// Simple polygons for arbitrarily shaped placement areas and keep-ins.
+// Vertices are stored counter-clockwise; the constructor-reorienting factory
+// `Polygon::make` fixes clockwise input. Polygons may be non-convex but must
+// be simple (non self-intersecting).
+#pragma once
+
+#include <initializer_list>
+#include <vector>
+
+#include "src/geom/rect.hpp"
+#include "src/geom/vec.hpp"
+
+namespace emi::geom {
+
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<Vec2> pts);
+  Polygon(std::initializer_list<Vec2> pts) : Polygon(std::vector<Vec2>(pts)) {}
+
+  static Polygon rectangle(const Rect& r);
+
+  const std::vector<Vec2>& points() const { return pts_; }
+  std::size_t size() const { return pts_.size(); }
+  bool valid() const { return pts_.size() >= 3; }
+
+  // Signed area is positive because vertices are normalized to CCW order.
+  double area() const;
+  Rect bbox() const;
+  Vec2 centroid() const;
+
+  // Boundary counts as inside.
+  bool contains(const Vec2& p) const;
+  // Conservative test that a rectangle lies fully inside: all four corners in
+  // the polygon and no polygon edge crossing the rectangle interior.
+  bool contains(const Rect& r) const;
+
+  // Euclidean distance from a point to the polygon boundary (0 if on it).
+  double boundary_distance(const Vec2& p) const;
+
+  // Shrink towards the interior by `margin` (approximate: corners are mitred
+  // by intersecting offset edge lines; adequate for clearance handling on
+  // board outlines). Returns an empty polygon if the offset eats the shape.
+  Polygon shrunk(double margin) const;
+
+  // True if any polygon edge intersects the rectangle boundary or interior.
+  bool edge_crosses(const Rect& r) const;
+
+ private:
+  std::vector<Vec2> pts_;
+};
+
+// Segment utilities shared with collision code.
+bool segments_intersect(const Vec2& a, const Vec2& b, const Vec2& c, const Vec2& d);
+double point_segment_distance(const Vec2& p, const Vec2& a, const Vec2& b);
+
+}  // namespace emi::geom

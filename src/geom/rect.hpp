@@ -1,0 +1,95 @@
+// Axis-aligned rectangles. The placer approximates every on-board object
+// (component footprint, keepout) by an axis-aligned rectangle or cuboid, as
+// the paper describes ("rectilinear approximated by rectangles or cuboids").
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+
+#include "src/geom/angle.hpp"
+#include "src/geom/vec.hpp"
+
+namespace emi::geom {
+
+struct Rect {
+  // Invariant kept by all factory functions: lo.x <= hi.x && lo.y <= hi.y.
+  Vec2 lo;
+  Vec2 hi;
+
+  static Rect from_corners(Vec2 a, Vec2 b) {
+    return {{std::min(a.x, b.x), std::min(a.y, b.y)},
+            {std::max(a.x, b.x), std::max(a.y, b.y)}};
+  }
+  static Rect from_center(Vec2 center, double width, double height) {
+    return {{center.x - width / 2.0, center.y - height / 2.0},
+            {center.x + width / 2.0, center.y + height / 2.0}};
+  }
+  // Empty rect suitable as identity for expand().
+  static Rect empty() {
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    return {{inf, inf}, {-inf, -inf}};
+  }
+
+  double width() const { return hi.x - lo.x; }
+  double height() const { return hi.y - lo.y; }
+  double area() const { return is_empty() ? 0.0 : width() * height(); }
+  Vec2 center() const { return (lo + hi) / 2.0; }
+  bool is_empty() const { return lo.x > hi.x || lo.y > hi.y; }
+
+  bool contains(const Vec2& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+  bool contains(const Rect& r) const {
+    return r.lo.x >= lo.x && r.hi.x <= hi.x && r.lo.y >= lo.y && r.hi.y <= hi.y;
+  }
+  // Strict interior overlap: touching edges do not count. This makes abutting
+  // placements legal, which the continuous-plane placer relies on.
+  bool overlaps(const Rect& r) const {
+    return lo.x < r.hi.x && r.lo.x < hi.x && lo.y < r.hi.y && r.lo.y < hi.y;
+  }
+
+  Rect inflated(double margin) const {
+    return {{lo.x - margin, lo.y - margin}, {hi.x + margin, hi.y + margin}};
+  }
+  Rect translated(const Vec2& d) const { return {lo + d, hi + d}; }
+
+  void expand(const Vec2& p) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+  void expand(const Rect& r) {
+    if (r.is_empty()) return;
+    expand(r.lo);
+    expand(r.hi);
+  }
+
+  // Euclidean gap between two rectangles (0 if they touch or overlap).
+  double gap_to(const Rect& r) const {
+    const double dx = std::max({0.0, r.lo.x - hi.x, lo.x - r.hi.x});
+    const double dy = std::max({0.0, r.lo.y - hi.y, lo.y - r.hi.y});
+    return std::sqrt(dx * dx + dy * dy);
+  }
+
+  friend constexpr bool operator==(const Rect&, const Rect&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << '[' << r.lo << " .. " << r.hi << ']';
+}
+
+// Axis-aligned bounding box of a width x height footprint centered at
+// `center` and rotated CCW by `rot_deg`. This is the rectilinear
+// approximation the placement engine works with.
+inline Rect footprint_bbox(Vec2 center, double width, double height, double rot_deg) {
+  const double rad = deg_to_rad(rot_deg);
+  const double c = std::fabs(std::cos(rad));
+  const double s = std::fabs(std::sin(rad));
+  const double w = c * width + s * height;
+  const double h = s * width + c * height;
+  return Rect::from_center(center, w, h);
+}
+
+}  // namespace emi::geom

@@ -1,0 +1,72 @@
+#include "src/io/reports.hpp"
+
+#include <iomanip>
+#include <iostream>
+
+namespace emi::io {
+
+void write_drc_report(std::ostream& out, const place::DrcReport& report) {
+  out << "DRC: " << (report.clean() ? "CLEAN" : "VIOLATIONS") << " ("
+      << report.violations.size() << " violations)\n";
+  for (const place::Violation& v : report.violations) {
+    out << "  " << to_string(v.kind) << ' ' << v.a;
+    if (!v.b.empty()) out << " <-> " << v.b;
+    if (v.required > 0.0) {
+      out << "  actual=" << v.actual << " required=" << v.required;
+    }
+    out << "  (" << v.detail << ")\n";
+  }
+  if (!report.emd_status.empty()) {
+    out << "EMD rule status (" << report.emd_status.size() << " pairs):\n";
+    for (const place::EmdStatus& s : report.emd_status) {
+      out << "  [" << (s.ok ? "GREEN" : "RED") << "] " << s.comp_a << " <-> "
+          << s.comp_b << "  pemd=" << s.pemd_mm << "mm emd=" << s.effective_emd_mm
+          << "mm dist=" << std::fixed << std::setprecision(2) << s.distance_mm
+          << "mm\n";
+      out.unsetf(std::ios::fixed);
+      out << std::setprecision(6);
+    }
+  }
+}
+
+void write_spectrum_csv(std::ostream& out, const emc::EmissionSpectrum& spec,
+                        int cispr_class) {
+  out << "freq_hz,level_dbuv";
+  if (cispr_class > 0) out << ",limit_dbuv";
+  out << "\n";
+  for (std::size_t i = 0; i < spec.freqs_hz.size(); ++i) {
+    out << spec.freqs_hz[i] << ',' << spec.level_dbuv[i];
+    if (cispr_class > 0) {
+      const auto lim = emc::cispr25_limit_dbuv(spec.freqs_hz[i], cispr_class);
+      out << ',';
+      if (lim) out << *lim;
+    }
+    out << "\n";
+  }
+}
+
+void write_coupling_curve_csv(
+    std::ostream& out, const std::vector<peec::CouplingExtractor::CurvePoint>& curve) {
+  out << "distance_mm,k\n";
+  for (const auto& p : curve) out << p.distance_mm << ',' << p.k << "\n";
+}
+
+void write_group_boxes(std::ostream& out, const std::vector<place::GroupBox>& boxes) {
+  out << "group,members,x_lo,y_lo,x_hi,y_hi\n";
+  for (const auto& b : boxes) {
+    out << b.group << ',' << b.members << ',' << b.bbox.lo.x << ',' << b.bbox.lo.y
+        << ',' << b.bbox.hi.x << ',' << b.bbox.hi.y << "\n";
+  }
+}
+
+void write_layout_table(std::ostream& out, const place::Design& d,
+                        const place::Layout& layout) {
+  out << "component,x_mm,y_mm,rot_deg,board,placed\n";
+  for (std::size_t i = 0; i < d.components().size(); ++i) {
+    const place::Placement& p = layout.placements[i];
+    out << d.components()[i].name << ',' << p.position.x << ',' << p.position.y << ','
+        << p.rot_deg << ',' << p.board << ',' << (p.placed ? 1 : 0) << "\n";
+  }
+}
+
+}  // namespace emi::io

@@ -1,0 +1,36 @@
+// Human-readable and CSV report writers: DRC reports (the textual analogue
+// of the tool's red/green circle display), emission spectra, coupling
+// curves and group boxes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/emi/cispr25.hpp"
+#include "src/emi/emission.hpp"
+#include "src/peec/coupling.hpp"
+#include "src/place/drc.hpp"
+#include "src/place/metrics.hpp"
+
+namespace emi::io {
+
+// DRC summary + per-violation lines + the per-rule EMD status table
+// ("RED"/"GREEN" per pair).
+void write_drc_report(std::ostream& out, const place::DrcReport& report);
+
+// freq_hz,level_dbuv[,limit_dbuv] rows; limit column if cispr_class > 0.
+void write_spectrum_csv(std::ostream& out, const emc::EmissionSpectrum& spec,
+                        int cispr_class = 0);
+
+// distance_mm,k rows (Fig 5 / Fig 7 curves).
+void write_coupling_curve_csv(
+    std::ostream& out, const std::vector<peec::CouplingExtractor::CurvePoint>& curve);
+
+// Group bounding boxes (Fig 18).
+void write_group_boxes(std::ostream& out, const std::vector<place::GroupBox>& boxes);
+
+// Placed layout as readable rows (component, x, y, rot, board).
+void write_layout_table(std::ostream& out, const place::Design& d,
+                        const place::Layout& layout);
+
+}  // namespace emi::io

@@ -1,0 +1,77 @@
+#include "src/io/spice.hpp"
+
+#include <cmath>
+#include <ostream>
+
+namespace emi::io {
+
+namespace {
+
+// SPICE node name: ground is 0, others keep their netlist name.
+std::string node_name(const ckt::Circuit& c, ckt::NodeId id) {
+  return id == ckt::kGround ? "0" : c.node_name(id);
+}
+
+// SPICE element names must start with the type letter; prefix if needed.
+std::string card_name(char type, const std::string& name) {
+  if (!name.empty() && (name[0] == type || name[0] == type + 32)) return name;
+  return std::string(1, type) + name;
+}
+
+}  // namespace
+
+void write_spice_netlist(std::ostream& out, const ckt::Circuit& c,
+                         const SpiceOptions& opt) {
+  out << "* " << opt.title << "\n";
+
+  for (const auto& r : c.resistors()) {
+    out << card_name('R', r.name) << ' ' << node_name(c, r.n1) << ' '
+        << node_name(c, r.n2) << ' ' << r.ohms << "\n";
+  }
+  for (const auto& cap : c.capacitors()) {
+    out << card_name('C', cap.name) << ' ' << node_name(c, cap.n1) << ' '
+        << node_name(c, cap.n2) << ' ' << cap.farads << "\n";
+  }
+  for (const auto& l : c.inductors()) {
+    out << card_name('L', l.name) << ' ' << node_name(c, l.n1) << ' '
+        << node_name(c, l.n2) << ' ' << l.henries << "\n";
+  }
+  for (const auto& k : c.couplings()) {
+    out << card_name('K', k.name) << ' ' << card_name('L', c.inductors()[k.l1].name)
+        << ' ' << card_name('L', c.inductors()[k.l2].name) << ' ' << k.k << "\n";
+  }
+  for (const auto& v : c.vsources()) {
+    out << card_name('V', v.name) << ' ' << node_name(c, v.n1) << ' '
+        << node_name(c, v.n2) << " DC " << v.wave.value(0.0);
+    if (v.ac_mag != 0.0) out << " AC " << v.ac_mag << ' ' << v.ac_phase_deg;
+    out << "\n";
+  }
+  for (const auto& i : c.isources()) {
+    out << card_name('I', i.name) << ' ' << node_name(c, i.n1) << ' '
+        << node_name(c, i.n2) << " DC " << i.wave.value(0.0);
+    if (i.ac_mag != 0.0) out << " AC " << i.ac_mag << ' ' << i.ac_phase_deg;
+    out << "\n";
+  }
+  // Switches export as their on-resistance (AC view), diodes as the default
+  // junction model - documented approximations for cross-checking.
+  for (const auto& s : c.switches()) {
+    out << card_name('R', s.name + "_sw") << ' ' << node_name(c, s.n1) << ' '
+        << node_name(c, s.n2) << ' ' << (s.ac_state_on ? s.r_on : s.r_off)
+        << " * switch frozen for AC\n";
+  }
+  bool any_diode = false;
+  for (const auto& d : c.diodes()) {
+    out << card_name('D', d.name) << ' ' << node_name(c, d.anode) << ' '
+        << node_name(c, d.cathode) << " DEMI\n";
+    any_diode = true;
+  }
+  if (any_diode) out << ".model DEMI D(IS=1e-12 N=1.8)\n";
+
+  if (opt.with_ac_analysis) {
+    out << ".ac dec " << opt.points_per_decade << ' ' << opt.f_start_hz << ' '
+        << opt.f_stop_hz << "\n";
+  }
+  out << ".end\n";
+}
+
+}  // namespace emi::io

@@ -1,0 +1,27 @@
+// SPICE netlist export. The prediction flow's equivalent circuits ("results
+// obtained in terms of equivalent circuits can be added in a circuit
+// simulation environment") are interoperable: this writer emits the system
+// circuit, including extracted K couplings, as a standard .cir deck for
+// cross-checking in ngspice/LTspice.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/ckt/circuit.hpp"
+
+namespace emi::io {
+
+struct SpiceOptions {
+  std::string title = "emiplace export";
+  // Emit an .ac card covering the CISPR 25 conducted band.
+  bool with_ac_analysis = true;
+  double f_start_hz = 150e3;
+  double f_stop_hz = 108e6;
+  int points_per_decade = 40;
+};
+
+void write_spice_netlist(std::ostream& out, const ckt::Circuit& c,
+                         const SpiceOptions& opt = {});
+
+}  // namespace emi::io

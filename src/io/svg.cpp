@@ -1,0 +1,127 @@
+#include "src/io/svg.hpp"
+
+#include <cmath>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace emi::io {
+
+namespace {
+
+// Muted categorical palette for functional groups; ungrouped parts get grey.
+const char* group_fill(std::size_t index) {
+  static const char* kColors[] = {"#7da7d9", "#f2a264", "#8fc98f",
+                                  "#c89bd9", "#d9c67d", "#9bd9d0"};
+  return kColors[index % (sizeof(kColors) / sizeof(kColors[0]))];
+}
+
+}  // namespace
+
+void write_layout_svg(std::ostream& out, const place::Design& d,
+                      const place::Layout& layout, const SvgOptions& opt) {
+  // Board-space bounding box of everything we draw.
+  geom::Rect bb = geom::Rect::empty();
+  for (const place::Area& a : d.areas()) {
+    if (a.board == opt.board) bb.expand(a.shape.bbox());
+  }
+  if (bb.is_empty()) bb = geom::Rect::from_corners({0, 0}, {100, 80});
+  bb = bb.inflated(opt.margin_mm);
+
+  const double s = opt.scale;
+  const double w = bb.width() * s;
+  const double h = bb.height() * s;
+  // SVG y grows downwards; flip so board +y is up.
+  const auto X = [&](double x) { return (x - bb.lo.x) * s; };
+  const auto Y = [&](double y) { return (bb.hi.y - y) * s; };
+
+  out << "<svg xmlns='http://www.w3.org/2000/svg' width='" << w << "' height='"
+      << h << "' viewBox='0 0 " << w << ' ' << h << "'>\n";
+  out << "<rect width='100%' height='100%' fill='white'/>\n";
+
+  // Placement areas.
+  for (const place::Area& a : d.areas()) {
+    if (a.board != opt.board) continue;
+    out << "<polygon points='";
+    for (const geom::Vec2& p : a.shape.points()) {
+      out << X(p.x) << ',' << Y(p.y) << ' ';
+    }
+    out << "' fill='#f4f6ee' stroke='#555' stroke-width='1.5'/>\n";
+  }
+
+  // Keepouts.
+  if (opt.draw_keepouts) {
+    for (const place::Keepout& k : d.keepouts()) {
+      if (k.board != opt.board) continue;
+      const geom::Rect& r = k.volume.base;
+      out << "<rect x='" << X(r.lo.x) << "' y='" << Y(r.hi.y) << "' width='"
+          << r.width() * s << "' height='" << r.height() * s
+          << "' fill='#cccccc' fill-opacity='0.6' stroke='#888' "
+             "stroke-dasharray='4 3'/>\n";
+      if (opt.draw_labels) {
+        out << "<text x='" << X(r.lo.x) + 3 << "' y='" << Y(r.hi.y) + 11
+            << "' font-size='9' fill='#666'>" << k.name
+            << (k.volume.z_lo > 0.0 ? " (z&gt;" + std::to_string(int(k.volume.z_lo)) +
+                                          "mm)"
+                                    : "")
+            << "</text>\n";
+      }
+    }
+  }
+
+  // Group color assignment in definition order.
+  std::map<std::string, std::size_t> group_index;
+  for (const std::string& g : d.groups()) {
+    group_index.emplace(g, group_index.size());
+  }
+
+  // EMD rule circles underneath the components (Figs 15/17 style).
+  if (opt.draw_rule_circles) {
+    for (const place::EmdRule& rule : d.emd_rules()) {
+      const std::size_t i = d.component_index(rule.comp_a);
+      const std::size_t j = d.component_index(rule.comp_b);
+      const place::Placement& pi = layout.placements[i];
+      const place::Placement& pj = layout.placements[j];
+      if (!pi.placed || !pj.placed) continue;
+      if (pi.board != opt.board || pj.board != opt.board) continue;
+      const double emd = d.effective_emd(i, pi, j, pj);
+      if (emd <= 0.0) continue;
+      const bool ok = geom::distance(pi.position, pj.position) >= emd;
+      const char* color = ok ? "#2e8b57" : "#cc2222";
+      for (const place::Placement* p : {&pi, &pj}) {
+        out << "<circle cx='" << X(p->position.x) << "' cy='" << Y(p->position.y)
+            << "' r='" << emd / 2.0 * s << "' fill='none' stroke='" << color
+            << "' stroke-width='" << (ok ? 1.0 : 2.0) << "' stroke-opacity='0.7'/>\n";
+      }
+    }
+  }
+
+  // Components.
+  for (std::size_t i = 0; i < d.components().size(); ++i) {
+    const place::Component& c = d.components()[i];
+    const place::Placement& p = layout.placements[i];
+    if (!p.placed || p.board != opt.board) continue;
+    const geom::Rect fp = d.footprint(i, p);
+    const char* fill =
+        c.group.empty() ? "#d8d8d8" : group_fill(group_index.at(c.group));
+    out << "<rect x='" << X(fp.lo.x) << "' y='" << Y(fp.hi.y) << "' width='"
+        << fp.width() * s << "' height='" << fp.height() * s << "' fill='" << fill
+        << "' stroke='#333' stroke-width='1'/>\n";
+    // Magnetic axis tick from the center.
+    const double axis = geom::deg_to_rad(d.axis_deg(i, p));
+    const double tick = 0.4 * std::min(fp.width(), fp.height());
+    out << "<line x1='" << X(p.position.x) << "' y1='" << Y(p.position.y)
+        << "' x2='" << X(p.position.x + tick * std::cos(axis)) << "' y2='"
+        << Y(p.position.y + tick * std::sin(axis))
+        << "' stroke='#333' stroke-width='1.5'/>\n";
+    if (opt.draw_labels) {
+      out << "<text x='" << X(p.position.x) << "' y='" << Y(p.position.y) - 4
+          << "' font-size='10' text-anchor='middle' fill='#111'>" << c.name
+          << "</text>\n";
+    }
+  }
+
+  out << "</svg>\n";
+}
+
+}  // namespace emi::io

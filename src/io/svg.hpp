@@ -1,0 +1,28 @@
+// SVG rendering of layouts - the library's stand-in for the paper's GUI
+// screenshots: board outline, keepouts, components (colored by functional
+// group, labelled, rotation-aware), and the EMD rule circles exactly as in
+// Figs 15/17 - a circle of radius EMD/2 around each rule partner, red when
+// the pair violates its effective minimum distance, green when it holds.
+#pragma once
+
+#include <iosfwd>
+
+#include "src/place/drc.hpp"
+
+namespace emi::io {
+
+struct SvgOptions {
+  double scale = 6.0;          // pixels per mm
+  double margin_mm = 6.0;
+  bool draw_rule_circles = true;
+  bool draw_labels = true;
+  bool draw_keepouts = true;
+  int board = 0;               // which board to render
+};
+
+// Render one board of a layout. Rule circles are computed from the design's
+// EMD rules and the current placement (same math as the DRC).
+void write_layout_svg(std::ostream& out, const place::Design& d,
+                      const place::Layout& layout, const SvgOptions& opt = {});
+
+}  // namespace emi::io

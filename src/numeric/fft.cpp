@@ -1,0 +1,88 @@
+#include "src/numeric/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace emi::num {
+
+namespace {
+
+void fft_impl(std::vector<std::complex<double>>& x, bool inverse) {
+  const std::size_t n = x.size();
+  if (n == 0) return;
+  if ((n & (n - 1)) != 0) throw std::invalid_argument("fft: size must be a power of two");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = 2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+    const std::complex<double> wlen{std::cos(ang), std::sin(ang)};
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = x[i + k];
+        const std::complex<double> v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& v : x) v /= static_cast<double>(n);
+  }
+}
+
+}  // namespace
+
+void fft(std::vector<std::complex<double>>& x) { fft_impl(x, false); }
+void ifft(std::vector<std::complex<double>>& x) { fft_impl(x, true); }
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void hann_window(std::vector<double>& x) {
+  const std::size_t n = x.size();
+  if (n < 2) return;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w =
+        0.5 * (1.0 - std::cos(2.0 * std::numbers::pi * static_cast<double>(i) /
+                              static_cast<double>(n - 1)));
+    x[i] *= w;
+  }
+}
+
+std::vector<SpectrumPoint> amplitude_spectrum(std::vector<double> signal, double fs,
+                                              bool windowed) {
+  if (signal.empty()) return {};
+  double gain = 1.0;
+  if (windowed) {
+    hann_window(signal);
+    gain = 0.5;  // coherent gain of the Hann window
+  }
+  const std::size_t n = next_pow2(signal.size());
+  std::vector<std::complex<double>> buf(n, {0.0, 0.0});
+  for (std::size_t i = 0; i < signal.size(); ++i) buf[i] = {signal[i], 0.0};
+  fft(buf);
+  std::vector<SpectrumPoint> out;
+  out.reserve(n / 2 + 1);
+  const double norm = 1.0 / (gain * static_cast<double>(signal.size()));
+  for (std::size_t k = 0; k <= n / 2; ++k) {
+    const double scale = (k == 0 || k == n / 2) ? 1.0 : 2.0;
+    out.push_back({fs * static_cast<double>(k) / static_cast<double>(n),
+                   scale * std::abs(buf[k]) * norm});
+  }
+  return out;
+}
+
+}  // namespace emi::num

@@ -1,0 +1,32 @@
+// Radix-2 FFT and spectrum helpers for converting transient simulation
+// waveforms into conducted-emission spectra.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace emi::num {
+
+// In-place iterative radix-2 Cooley-Tukey FFT. Size must be a power of two.
+void fft(std::vector<std::complex<double>>& x);
+void ifft(std::vector<std::complex<double>>& x);
+
+// Next power of two >= n (n >= 1).
+std::size_t next_pow2(std::size_t n);
+
+// Hann window applied in place; reduces leakage for the non-periodic
+// switching waveforms a transient run produces.
+void hann_window(std::vector<double>& x);
+
+// Single-sided amplitude spectrum of a real signal sampled at `fs` Hz.
+// Returns pairs (frequency, amplitude) for bins 0..n/2. Amplitudes are
+// scaled so a pure sine of amplitude A reports A at its bin (with the
+// window's coherent gain compensated when `windowed`).
+struct SpectrumPoint {
+  double freq_hz;
+  double amplitude;
+};
+std::vector<SpectrumPoint> amplitude_spectrum(std::vector<double> signal, double fs,
+                                              bool windowed = true);
+
+}  // namespace emi::num

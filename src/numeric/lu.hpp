@@ -1,0 +1,93 @@
+// LU decomposition with partial pivoting and linear solve, templated over
+// double and std::complex<double>. Throws on (numerically) singular systems -
+// for MNA that indicates a floating node or an inconsistent netlist, which is
+// a modelling error worth failing loudly on.
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "src/numeric/matrix.hpp"
+
+namespace emi::num {
+
+template <typename T>
+class Lu {
+ public:
+  explicit Lu(Matrix<T> a) : lu_(std::move(a)), perm_(lu_.rows()) {
+    if (lu_.rows() != lu_.cols()) throw std::invalid_argument("Lu: matrix not square");
+    const std::size_t n = lu_.rows();
+    for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+    for (std::size_t col = 0; col < n; ++col) {
+      // Partial pivot on the largest magnitude in the column.
+      std::size_t pivot = col;
+      double best = std::abs(lu_(col, col));
+      for (std::size_t r = col + 1; r < n; ++r) {
+        const double mag = std::abs(lu_(r, col));
+        if (mag > best) {
+          best = mag;
+          pivot = r;
+        }
+      }
+      if (best < 1e-300) throw std::runtime_error("Lu: singular matrix");
+      if (pivot != col) {
+        for (std::size_t c = 0; c < n; ++c) std::swap(lu_(col, c), lu_(pivot, c));
+        std::swap(perm_[col], perm_[pivot]);
+      }
+      const T inv_p = T{1} / lu_(col, col);
+      for (std::size_t r = col + 1; r < n; ++r) {
+        const T f = lu_(r, col) * inv_p;
+        lu_(r, col) = f;
+        if (f == T{}) continue;
+        for (std::size_t c = col + 1; c < n; ++c) lu_(r, c) -= f * lu_(col, c);
+      }
+    }
+  }
+
+  std::vector<T> solve(const std::vector<T>& b) const {
+    const std::size_t n = lu_.rows();
+    if (b.size() != n) throw std::invalid_argument("Lu::solve: size mismatch");
+    std::vector<T> x(n);
+    // Forward substitution on the permuted RHS (L has unit diagonal).
+    for (std::size_t i = 0; i < n; ++i) {
+      T s = b[perm_[i]];
+      for (std::size_t j = 0; j < i; ++j) s -= lu_(i, j) * x[j];
+      x[i] = s;
+    }
+    // Back substitution.
+    for (std::size_t ii = n; ii-- > 0;) {
+      T s = x[ii];
+      for (std::size_t j = ii + 1; j < n; ++j) s -= lu_(ii, j) * x[j];
+      x[ii] = s / lu_(ii, ii);
+    }
+    return x;
+  }
+
+ private:
+  Matrix<T> lu_;
+  std::vector<std::size_t> perm_;
+};
+
+template <typename T>
+std::vector<T> solve(Matrix<T> a, const std::vector<T>& b) {
+  return Lu<T>(std::move(a)).solve(b);
+}
+
+// Matrix inverse via n solves; used for small PEEC inductance matrices.
+template <typename T>
+Matrix<T> inverse(const Matrix<T>& a) {
+  const std::size_t n = a.rows();
+  Lu<T> lu(a);
+  Matrix<T> inv(n, n);
+  std::vector<T> e(n, T{});
+  for (std::size_t c = 0; c < n; ++c) {
+    e[c] = T{1};
+    const std::vector<T> col = lu.solve(e);
+    e[c] = T{};
+    for (std::size_t r = 0; r < n; ++r) inv(r, c) = col[r];
+  }
+  return inv;
+}
+
+}  // namespace emi::num

@@ -1,0 +1,78 @@
+// Small dense matrix type. Circuit MNA systems and PEEC inductance matrices
+// in this library are dense and modest in size (tens to a few hundred rows),
+// so a straightforward row-major dense container with O(n^3) LU is the right
+// tool - no sparse machinery needed.
+#pragma once
+
+#include <cassert>
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace emi::num {
+
+using Complex = std::complex<double>;
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, T init = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+  static Matrix identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = T{1};
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  Matrix operator*(const Matrix& o) const {
+    assert(cols_ == o.rows_);
+    Matrix out(rows_, o.cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+      for (std::size_t k = 0; k < cols_; ++k) {
+        const T a = (*this)(i, k);
+        if (a == T{}) continue;
+        for (std::size_t j = 0; j < o.cols_; ++j) out(i, j) += a * o(k, j);
+      }
+    }
+    return out;
+  }
+
+  std::vector<T> operator*(const std::vector<T>& v) const {
+    assert(cols_ == v.size());
+    std::vector<T> out(rows_, T{});
+    for (std::size_t i = 0; i < rows_; ++i) {
+      T s{};
+      for (std::size_t j = 0; j < cols_; ++j) s += (*this)(i, j) * v[j];
+      out[i] = s;
+    }
+    return out;
+  }
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using MatrixD = Matrix<double>;
+using MatrixC = Matrix<Complex>;
+
+}  // namespace emi::num

@@ -1,0 +1,93 @@
+// Gauss-Legendre quadrature used for the Neumann double integral in PEEC
+// mutual-inductance extraction. Nodes/weights are tabulated for the orders
+// the solver uses; gauss_legendre() composes them over [a, b].
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <utility>
+
+namespace emi::num {
+
+struct GaussRule {
+  std::span<const double> nodes;    // on [-1, 1]
+  std::span<const double> weights;  // matching weights
+};
+
+// Supported orders: 1..8. Throws std::invalid_argument otherwise.
+GaussRule gauss_rule(std::size_t order);
+
+// Integrate f over [a, b] with an `order`-point Gauss-Legendre rule.
+template <typename F>
+double gauss_legendre(F&& f, double a, double b, std::size_t order) {
+  const GaussRule rule = gauss_rule(order);
+  const double half = 0.5 * (b - a);
+  const double mid = 0.5 * (a + b);
+  double s = 0.0;
+  for (std::size_t i = 0; i < rule.nodes.size(); ++i) {
+    s += rule.weights[i] * f(mid + half * rule.nodes[i]);
+  }
+  return s * half;
+}
+
+// --- tabulated rules -------------------------------------------------------
+
+namespace detail {
+inline constexpr std::array<double, 1> n1{0.0};
+inline constexpr std::array<double, 1> w1{2.0};
+inline constexpr std::array<double, 2> n2{-0.5773502691896257, 0.5773502691896257};
+inline constexpr std::array<double, 2> w2{1.0, 1.0};
+inline constexpr std::array<double, 3> n3{-0.7745966692414834, 0.0, 0.7745966692414834};
+inline constexpr std::array<double, 3> w3{0.5555555555555556, 0.8888888888888888,
+                                          0.5555555555555556};
+inline constexpr std::array<double, 4> n4{-0.8611363115940526, -0.3399810435848563,
+                                          0.3399810435848563, 0.8611363115940526};
+inline constexpr std::array<double, 4> w4{0.3478548451374538, 0.6521451548625461,
+                                          0.6521451548625461, 0.3478548451374538};
+inline constexpr std::array<double, 5> n5{-0.9061798459386640, -0.5384693101056831, 0.0,
+                                          0.5384693101056831, 0.9061798459386640};
+inline constexpr std::array<double, 5> w5{0.2369268850561891, 0.4786286704993665,
+                                          0.5688888888888889, 0.4786286704993665,
+                                          0.2369268850561891};
+inline constexpr std::array<double, 6> n6{-0.9324695142031521, -0.6612093864662645,
+                                          -0.2386191860831969, 0.2386191860831969,
+                                          0.6612093864662645,  0.9324695142031521};
+inline constexpr std::array<double, 6> w6{0.1713244923791704, 0.3607615730481386,
+                                          0.4679139345726910, 0.4679139345726910,
+                                          0.3607615730481386, 0.1713244923791704};
+inline constexpr std::array<double, 7> n7{-0.9491079123427585, -0.7415311855993945,
+                                          -0.4058451513773972, 0.0,
+                                          0.4058451513773972,  0.7415311855993945,
+                                          0.9491079123427585};
+inline constexpr std::array<double, 7> w7{0.1294849661688697, 0.2797053914892766,
+                                          0.3818300505051189, 0.4179591836734694,
+                                          0.3818300505051189, 0.2797053914892766,
+                                          0.1294849661688697};
+inline constexpr std::array<double, 8> n8{-0.9602898564975363, -0.7966664774136267,
+                                          -0.5255324099163290, -0.1834346424956498,
+                                          0.1834346424956498,  0.5255324099163290,
+                                          0.7966664774136267,  0.9602898564975363};
+inline constexpr std::array<double, 8> w8{0.1012285362903763, 0.2223810344533745,
+                                          0.3137066458778873, 0.3626837833783620,
+                                          0.3626837833783620, 0.3137066458778873,
+                                          0.2223810344533745, 0.1012285362903763};
+}  // namespace detail
+
+inline GaussRule gauss_rule(std::size_t order) {
+  using namespace detail;
+  switch (order) {
+    case 1: return {n1, w1};
+    case 2: return {n2, w2};
+    case 3: return {n3, w3};
+    case 4: return {n4, w4};
+    case 5: return {n5, w5};
+    case 6: return {n6, w6};
+    case 7: return {n7, w7};
+    case 8: return {n8, w8};
+    default: throw std::invalid_argument("gauss_rule: order must be 1..8");
+  }
+}
+
+}  // namespace emi::num

@@ -1,0 +1,69 @@
+#include "src/peec/biot_savart.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/peec/partial_inductance.hpp"
+
+namespace emi::peec {
+
+Vec3 segment_field(const Segment& s, const Vec3& p, double current_a) {
+  const double len = s.length();
+  if (len <= 0.0) return {};
+  const Vec3 d = s.direction();
+
+  // Decompose p relative to the segment axis.
+  const Vec3 ap = p - s.a;
+  const double t = ap.dot(d);            // axial coordinate of p, from a (mm)
+  const Vec3 radial = ap - d * t;        // perpendicular offset vector
+  double rho = radial.norm();            // mm
+  // Regularize points on/inside the conductor with the wire radius.
+  const double rho_eff = std::max(rho, s.radius);
+
+  // Exact finite-segment Biot-Savart:
+  //   B = mu0*I/(4*pi*rho) * (sin(theta2) - sin(theta1)) * (d x rho_hat_to_p)
+  // with theta measured from the perpendicular foot.
+  const double l1 = -t;        // axial distance from foot to segment start
+  const double l2 = len - t;   // axial distance from foot to segment end
+  const double sin2 = l2 / std::sqrt(l2 * l2 + rho_eff * rho_eff);
+  const double sin1 = l1 / std::sqrt(l1 * l1 + rho_eff * rho_eff);
+
+  Vec3 azimuth;  // direction of B: d x (radial unit)
+  if (rho > 1e-12) {
+    azimuth = d.cross(radial / rho);
+  } else {
+    // On the axis the field vanishes by symmetry.
+    return {};
+  }
+  const double rho_m = rho_eff * 1e-3;
+  const double mag = kMu0 * current_a * s.weight / (4.0 * geom::kPi * rho_m) * (sin2 - sin1);
+  return azimuth * mag;
+}
+
+Vec3 path_field(const SegmentPath& path, const Vec3& p, double current_a) {
+  Vec3 b{};
+  for (const Segment& s : path.segments) b += segment_field(s, p, current_a);
+  return b;
+}
+
+std::vector<FieldSample> field_map(const SegmentPath& path, double x_min, double x_max,
+                                   double y_min, double y_max, double z, std::size_t nx,
+                                   std::size_t ny, double current_a) {
+  std::vector<FieldSample> out;
+  out.reserve(nx * ny);
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      const double x =
+          nx > 1 ? x_min + (x_max - x_min) * static_cast<double>(ix) / static_cast<double>(nx - 1)
+                 : x_min;
+      const double y =
+          ny > 1 ? y_min + (y_max - y_min) * static_cast<double>(iy) / static_cast<double>(ny - 1)
+                 : y_min;
+      const Vec3 p{x, y, z};
+      out.push_back({p, path_field(path, p, current_a)});
+    }
+  }
+  return out;
+}
+
+}  // namespace emi::peec

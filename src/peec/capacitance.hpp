@@ -1,0 +1,40 @@
+// Parasitic mutual capacitance between component bodies. The paper:
+// "In the considered frequency range the cause for these interactions are
+// mainly magnetic coupling effects, nevertheless capacitive coupling gains
+// more influence at higher frequencies."
+//
+// We model each component body as an equivalent conducting sphere (radius
+// from the body dimensions) and use the first-order two-sphere mutual
+// capacitance C ~ 4*pi*eps0 * r1*r2 / d. This captures the 1/d falloff and
+// the size dependence - sufficient for ranking which pairs need an
+// extracted capacitance and for the HF trend study.
+#pragma once
+
+#include "src/geom/vec.hpp"
+
+namespace emi::peec {
+
+inline constexpr double kEps0 = 8.8541878128e-12;  // F/m
+
+// Equivalent sphere radius of a w x d x h body (mm): the radius of the
+// sphere with the same surface area as the bounding box, a standard
+// capacitance-preserving shape reduction.
+double body_equivalent_radius(double width_mm, double depth_mm, double height_mm);
+
+// First-order mutual capacitance between two spheres (radii r1, r2, center
+// distance d, all mm) in free space. Clamped when the spheres would
+// interpenetrate. Returns farads.
+double sphere_mutual_capacitance(double r1_mm, double r2_mm, double distance_mm);
+
+// Body-to-body parasitic capacitance between two placed components.
+struct Body {
+  geom::Vec3 center_mm;
+  double equiv_radius_mm;
+};
+double body_capacitance(const Body& a, const Body& b);
+
+// The frequency above which a coupling capacitance C starts to matter
+// against a node impedance level Z0: f = 1 / (2*pi*Z0*C).
+double capacitive_corner_hz(double c_farad, double z0_ohm = 50.0);
+
+}  // namespace emi::peec

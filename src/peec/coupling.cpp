@@ -1,0 +1,92 @@
+#include "src/peec/coupling.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace emi::peec {
+
+double CouplingExtractor::self_inductance(const ComponentFieldModel& m) const {
+  if (const auto it = self_cache_.find(&m); it != self_cache_.end()) return it->second;
+  const double l_air = path_inductance(m.local_path, opt_);
+  const double l = m.mu_eff * l_air;
+  self_cache_.emplace(&m, l);
+  return l;
+}
+
+double CouplingExtractor::mutual(const PlacedModel& a, const PlacedModel& b) const {
+  if (a.model == nullptr || b.model == nullptr) {
+    throw std::invalid_argument("CouplingExtractor::mutual: null model");
+  }
+  const SegmentPath pa = a.model->path_at(a.pose);
+  const SegmentPath pb = b.model->path_at(b.pose);
+  return a.model->stray_scale * b.model->stray_scale * path_mutual(pa, pb, opt_);
+}
+
+double CouplingExtractor::coupling_factor(const PlacedModel& a,
+                                          const PlacedModel& b) const {
+  const double la = self_inductance(*a.model);
+  const double lb = self_inductance(*b.model);
+  if (la <= 0.0 || lb <= 0.0) return 0.0;
+  return mutual(a, b) / std::sqrt(la * lb);
+}
+
+double CouplingExtractor::coupling_at(const ComponentFieldModel& a,
+                                      const ComponentFieldModel& b,
+                                      double center_distance_mm, double rot_a_deg,
+                                      double rot_b_deg) const {
+  const PlacedModel pa{&a, Pose{{0.0, 0.0, 0.0}, rot_a_deg}};
+  const PlacedModel pb{&b, Pose{{center_distance_mm, 0.0, 0.0}, rot_b_deg}};
+  return coupling_factor(pa, pb);
+}
+
+std::vector<CouplingExtractor::CurvePoint> CouplingExtractor::coupling_vs_distance(
+    const ComponentFieldModel& a, const ComponentFieldModel& b, double d_min_mm,
+    double d_max_mm, std::size_t n_points, double rot_b_deg) const {
+  if (n_points < 2 || d_max_mm <= d_min_mm) {
+    throw std::invalid_argument("coupling_vs_distance: bad sweep range");
+  }
+  std::vector<CurvePoint> out;
+  out.reserve(n_points);
+  for (std::size_t i = 0; i < n_points; ++i) {
+    const double d = d_min_mm + (d_max_mm - d_min_mm) * static_cast<double>(i) /
+                                    static_cast<double>(n_points - 1);
+    out.push_back({d, std::fabs(coupling_at(a, b, d, 0.0, rot_b_deg))});
+  }
+  return out;
+}
+
+std::vector<CouplingExtractor::AnglePoint> CouplingExtractor::coupling_vs_angle(
+    const ComponentFieldModel& a, const ComponentFieldModel& b,
+    double center_distance_mm, std::size_t n_points) const {
+  if (n_points < 2) throw std::invalid_argument("coupling_vs_angle: need points");
+  std::vector<AnglePoint> out;
+  out.reserve(n_points);
+  for (std::size_t i = 0; i < n_points; ++i) {
+    const double ang = 90.0 * static_cast<double>(i) / static_cast<double>(n_points - 1);
+    out.push_back({ang, coupling_at(a, b, center_distance_mm, 0.0, ang)});
+  }
+  return out;
+}
+
+double CouplingExtractor::min_distance_for_coupling(const ComponentFieldModel& a,
+                                                    const ComponentFieldModel& b,
+                                                    double k_threshold, double d_lo_mm,
+                                                    double d_hi_mm, double tol_mm) const {
+  if (k_threshold <= 0.0) throw std::invalid_argument("min_distance: threshold <= 0");
+  if (d_hi_mm <= d_lo_mm) throw std::invalid_argument("min_distance: bad bracket");
+  const auto k_at = [&](double d) { return std::fabs(coupling_at(a, b, d, 0.0, 0.0)); };
+  if (k_at(d_lo_mm) <= k_threshold) return d_lo_mm;
+  if (k_at(d_hi_mm) > k_threshold) return d_hi_mm;
+  double lo = d_lo_mm, hi = d_hi_mm;
+  while (hi - lo > tol_mm) {
+    const double mid = 0.5 * (lo + hi);
+    if (k_at(mid) > k_threshold) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace emi::peec

@@ -1,0 +1,52 @@
+// Ground-plane handling by image theory. The paper notes that the minimum
+// distance between two capacitors "depends ... on the presence of shielding
+// planes like ground planes". For a perfectly conducting plane at
+// z = plane_z, each segment gains an image: the reflected geometry with
+// tangential current components reversed and vertical components preserved
+// (both achieved by reflecting the endpoints and negating the weight).
+//
+// Direction of the effect: the plane forces the normal flux to zero at its
+// surface. Self inductances of loops standing on the plane DROP, and for
+// coplanar vertical loops side by side the coupling factor RISES - flux
+// that would have closed underneath is confined above the plane and
+// squeezed through the neighbour. A plane under a filter therefore
+// *tightens* the derived minimum distances for upright components; planes
+// only help when they sit between source and victim. The rule deriver must
+// be run with the plane configuration that matches the real board.
+#pragma once
+
+#include "src/peec/coupling.hpp"
+#include "src/peec/segment.hpp"
+
+namespace emi::peec {
+
+// Reflect a point through the z = plane_z plane.
+inline Vec3 mirror_point(const Vec3& p, double plane_z) {
+  return {p.x, p.y, 2.0 * plane_z - p.z};
+}
+
+// Path + its opposite-current image. The returned path has twice the
+// segment count; inductance/field evaluations over it model the plane.
+SegmentPath with_ground_plane(const SegmentPath& path, double plane_z = 0.0);
+
+// Convenience: coupling factor between two placed models above a ground
+// plane (both paths get their images). Self inductances are also computed
+// against the plane, since the image reduces them too.
+class GroundedCouplingExtractor {
+ public:
+  GroundedCouplingExtractor(double plane_z, QuadratureOptions opt = {})
+      : plane_z_(plane_z), opt_(opt) {}
+
+  double self_inductance(const ComponentFieldModel& m) const;
+  double mutual(const PlacedModel& a, const PlacedModel& b) const;
+  double coupling_factor(const PlacedModel& a, const PlacedModel& b) const;
+  double coupling_at(const ComponentFieldModel& a, const ComponentFieldModel& b,
+                     double center_distance_mm, double rot_a_deg = 0.0,
+                     double rot_b_deg = 0.0) const;
+
+ private:
+  double plane_z_;
+  QuadratureOptions opt_;
+};
+
+}  // namespace emi::peec

@@ -1,0 +1,116 @@
+#include "src/peec/partial_inductance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/numeric/quadrature.hpp"
+
+namespace emi::peec {
+
+namespace {
+constexpr double kMmToM = 1e-3;
+}
+
+double self_inductance_wire(double length_mm, double radius_mm) {
+  if (length_mm <= 0.0 || radius_mm <= 0.0) {
+    throw std::invalid_argument("self_inductance_wire: nonpositive dimensions");
+  }
+  const double l = length_mm * kMmToM;
+  const double r = radius_mm * kMmToM;
+  // Degenerate stubby segments (l < r) have negligible partial inductance;
+  // the formula would go negative, so clamp.
+  if (length_mm <= 2.0 * radius_mm) return 0.0;
+  return kMu0 * l / (2.0 * geom::kPi) * (std::log(2.0 * l / r) - 0.75);
+}
+
+double self_inductance_bar(double length_mm, double width_mm, double thickness_mm) {
+  if (length_mm <= 0.0 || width_mm <= 0.0 || thickness_mm < 0.0) {
+    throw std::invalid_argument("self_inductance_bar: nonpositive dimensions");
+  }
+  const double l = length_mm * kMmToM;
+  const double wt = (width_mm + thickness_mm) * kMmToM;
+  if (wt >= 2.0 * l) return 0.0;
+  return kMu0 * l / (2.0 * geom::kPi) *
+         (std::log(2.0 * l / wt) + 0.5 + 0.2235 * wt / l);
+}
+
+double mutual_parallel_filaments(double length_mm, double distance_mm) {
+  if (length_mm <= 0.0 || distance_mm <= 0.0) {
+    throw std::invalid_argument("mutual_parallel_filaments: nonpositive dimensions");
+  }
+  const double l = length_mm * kMmToM;
+  const double d = distance_mm * kMmToM;
+  const double u = l / d;
+  return kMu0 * l / (2.0 * geom::kPi) *
+         (std::log(u + std::sqrt(1.0 + u * u)) - std::sqrt(1.0 + 1.0 / (u * u)) + 1.0 / u);
+}
+
+double mutual_neumann(const Segment& s1, const Segment& s2, const QuadratureOptions& opt) {
+  const double l1 = s1.length();
+  const double l2 = s2.length();
+  if (l1 <= 0.0 || l2 <= 0.0) return 0.0;
+
+  const Vec3 d1 = s1.direction();
+  const Vec3 d2 = s2.direction();
+  const double dot = d1.dot(d2);
+  // Orthogonal current elements do not couple; skip the integral entirely.
+  if (std::fabs(dot) < 1e-12) return 0.0;
+
+  const double guard = std::max(1e-6, std::sqrt(s1.radius * s2.radius));
+  const std::size_t sub = std::max<std::size_t>(1, opt.subdivisions);
+
+  double integral_mm = 0.0;  // integral of dl1.dl2/|r| with lengths in mm
+  for (std::size_t i = 0; i < sub; ++i) {
+    const double a1 = l1 * static_cast<double>(i) / static_cast<double>(sub);
+    const double b1 = l1 * static_cast<double>(i + 1) / static_cast<double>(sub);
+    for (std::size_t j = 0; j < sub; ++j) {
+      const double a2 = l2 * static_cast<double>(j) / static_cast<double>(sub);
+      const double b2 = l2 * static_cast<double>(j + 1) / static_cast<double>(sub);
+      integral_mm += num::gauss_legendre(
+          [&](double t1) {
+            const Vec3 p1 = s1.a + d1 * t1;
+            return num::gauss_legendre(
+                [&](double t2) {
+                  const Vec3 p2 = s2.a + d2 * t2;
+                  const double r = std::max((p1 - p2).norm(), guard);
+                  return 1.0 / r;
+                },
+                a2, b2, opt.order);
+          },
+          a1, b1, opt.order);
+    }
+  }
+  // dl1.dl2 = dot * dt1 * dt2; convert the mm-valued integral (mm^2/mm = mm)
+  // to metres.
+  return kMu0 / (4.0 * geom::kPi) * dot * integral_mm * kMmToM;
+}
+
+double self_inductance(const Segment& s) {
+  return self_inductance_wire(s.length(), s.radius);
+}
+
+double path_inductance(const SegmentPath& path, const QuadratureOptions& opt) {
+  const auto& segs = path.segments;
+  double total = 0.0;
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    total += segs[i].weight * segs[i].weight * self_inductance(segs[i]);
+    for (std::size_t j = i + 1; j < segs.size(); ++j) {
+      total += 2.0 * segs[i].weight * segs[j].weight * mutual_neumann(segs[i], segs[j], opt);
+    }
+  }
+  return total;
+}
+
+double path_mutual(const SegmentPath& p1, const SegmentPath& p2,
+                   const QuadratureOptions& opt) {
+  double total = 0.0;
+  for (const Segment& s1 : p1.segments) {
+    for (const Segment& s2 : p2.segments) {
+      total += s1.weight * s2.weight * mutual_neumann(s1, s2, opt);
+    }
+  }
+  return total;
+}
+
+}  // namespace emi::peec

@@ -1,0 +1,59 @@
+// Partial self and mutual inductance of straight conductor segments.
+//
+// Self terms use the classic round-wire / rectangular-bar closed forms
+// (Rosa/Grover, Ruehli). Mutual terms use the exact closed form for
+// parallel coaxially-aligned filaments where it applies and a Neumann
+// double Gauss-Legendre quadrature for the general case. Inputs are in
+// millimetres, outputs in henries.
+#pragma once
+
+#include <cstddef>
+
+#include "src/geom/angle.hpp"
+#include "src/peec/segment.hpp"
+
+namespace emi::peec {
+
+inline constexpr double kMu0 = 4.0e-7 * 3.14159265358979323846;  // H/m
+
+// Options controlling the accuracy/cost tradeoff of the Neumann integral.
+// The ablation bench sweeps these.
+struct QuadratureOptions {
+  std::size_t order = 6;        // Gauss-Legendre points per segment axis (1..8)
+  std::size_t subdivisions = 2; // split each segment before integrating
+};
+
+// Partial self inductance of a straight round wire of length l and radius r
+// (uniform current): L = mu0*l/(2*pi) * (ln(2l/r) - 3/4).
+double self_inductance_wire(double length_mm, double radius_mm);
+
+// Partial self inductance of a straight rectangular bar (Ruehli 1972):
+// L = mu0*l/(2*pi) * (ln(2l/(w+t)) + 1/2 + 0.2235(w+t)/l).
+double self_inductance_bar(double length_mm, double width_mm, double thickness_mm);
+
+// Exact mutual inductance of two parallel filaments of equal length l at
+// center distance d, directly facing each other (Grover):
+// M = mu0*l/(2*pi) * (ln(l/d + sqrt(1 + l^2/d^2)) - sqrt(1 + d^2/l^2) + d/l).
+double mutual_parallel_filaments(double length_mm, double distance_mm);
+
+// General mutual partial inductance between two arbitrary segments via the
+// Neumann integral  M = mu0/(4*pi) * int int (dl1 . dl2) / |r1 - r2|.
+// Perpendicular segments correctly yield ~0. Near-singular configurations
+// are regularized by clamping |r1-r2| to the geometric mean of the radii.
+double mutual_neumann(const Segment& s1, const Segment& s2,
+                      const QuadratureOptions& opt = {});
+
+// Partial inductance of a segment against itself (dispatches to the wire
+// closed form using the segment's equivalent radius).
+double self_inductance(const Segment& s);
+
+// Loop inductance of a closed (or terminal-to-terminal) current path: the
+// double sum of partial self and mutual terms, weighted by the per-segment
+// current weights.
+double path_inductance(const SegmentPath& path, const QuadratureOptions& opt = {});
+
+// Mutual inductance between two current paths (double sum of Neumann terms).
+double path_mutual(const SegmentPath& p1, const SegmentPath& p2,
+                   const QuadratureOptions& opt = {});
+
+}  // namespace emi::peec

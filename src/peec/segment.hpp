@@ -1,0 +1,55 @@
+// Conductor segments - the discretization unit of the PEEC method. Only the
+// sources of magnetic field are discretized (Ruehli 1974), which is what
+// keeps whole-board extraction tractable compared to volume meshing.
+//
+// Geometry is in millimetres (consistent with the board model); the
+// inductance formulas convert to metres internally and return henries.
+#pragma once
+
+#include <vector>
+
+#include "src/geom/vec.hpp"
+
+namespace emi::peec {
+
+using geom::Vec3;
+
+// A straight conductor segment carrying current from `a` to `b`.
+// `radius` is the equivalent round-wire radius used for the self term and as
+// the singularity guard in near-field integrals. For flat conductors (PCB
+// traces, capacitor plates) use equivalent_radius(width, thickness).
+struct Segment {
+  Vec3 a;
+  Vec3 b;
+  double radius = 0.1;  // mm
+  // Relative current weight: turns of a winding modelled by one ring carry
+  // weight = turns; antiparallel return paths carry negative weight.
+  double weight = 1.0;
+
+  Vec3 direction() const { return (b - a).normalized(); }
+  double length() const { return (b - a).norm(); }
+  Vec3 midpoint() const { return (a + b) / 2.0; }
+};
+
+// Geometric-mean-distance equivalent radius of a w x t rectangular bar:
+// the self-GMD of a rectangle is ~0.2235(w+t) (Grover), and substituting it
+// for the wire radius keeps the filament self/mutual formulas applicable to
+// traces and plates.
+inline double equivalent_radius(double width_mm, double thickness_mm) {
+  return 0.2235 * (width_mm + thickness_mm);
+}
+
+// A connected current path: the field-generating structure of one component
+// terminal pair (e.g. the current loop through a capacitor, or the winding
+// of a choke). All segments carry the same terminal current (times weight).
+struct SegmentPath {
+  std::vector<Segment> segments;
+
+  double total_length() const {
+    double l = 0.0;
+    for (const Segment& s : segments) l += s.length();
+    return l;
+  }
+};
+
+}  // namespace emi::peec

@@ -1,0 +1,94 @@
+#include "src/place/baseline.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "src/numeric/rng.hpp"
+
+namespace emi::place {
+
+namespace {
+
+// Legality with EMD rules optionally disabled.
+bool legal(const Design& d, const Layout& layout, std::size_t comp,
+           const Placement& cand, bool honor_emd) {
+  const Component& c = d.components()[comp];
+  const geom::Rect fp = d.footprint(comp, cand);
+
+  bool inside = false;
+  for (const Area* a : d.areas_for(comp, cand.board)) {
+    if (geom::inside_area(fp, a->shape, 0.0)) {
+      inside = true;
+      break;
+    }
+  }
+  if (!inside) return false;
+  for (const Keepout& k : d.keepouts()) {
+    if (k.board == cand.board && k.volume.blocks(fp, c.height_mm)) return false;
+  }
+  for (std::size_t j = 0; j < d.components().size(); ++j) {
+    if (j == comp) continue;
+    const Placement& pj = layout.placements[j];
+    if (!pj.placed || pj.board != cand.board) continue;
+    if (!geom::clearance_ok(fp, d.footprint(j, pj), d.clearance())) return false;
+    if (honor_emd) {
+      const double emd = d.effective_emd(comp, cand, j, pj);
+      if (emd > 0.0 && geom::distance(cand.position, pj.position) < emd) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+PlaceStats baseline_place(const Design& d, Layout& layout, const BaselineOptions& opt) {
+  if (layout.placements.size() != d.components().size()) {
+    throw std::invalid_argument("baseline_place: layout size mismatch");
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool honor_emd = opt.mode == BaselineMode::kRandomLegal;
+  num::Rng rng(opt.seed);
+  PlaceStats stats;
+
+  for (std::size_t i = 0; i < d.components().size(); ++i) {
+    if (layout.placements[i].placed) continue;
+    const Component& c = d.components()[i];
+    const int board = std::max(0, c.board);
+    const auto areas = d.areas_for(i, board);
+    if (areas.empty()) {
+      ++stats.failed;
+      stats.failed_components.push_back(c.name);
+      continue;
+    }
+
+    bool placed = false;
+    for (std::size_t attempt = 0; attempt < opt.max_tries_per_component; ++attempt) {
+      const Area* area = areas[rng.below(areas.size())];
+      const geom::Rect bb = area->shape.bbox();
+      Placement cand;
+      cand.board = board;
+      cand.placed = true;
+      cand.position = {rng.uniform(bb.lo.x, bb.hi.x), rng.uniform(bb.lo.y, bb.hi.y)};
+      const auto& rots = c.allowed_rotations;
+      cand.rot_deg = rots[rng.below(rots.size())];
+      ++stats.candidates_evaluated;
+      if (legal(d, layout, i, cand, honor_emd)) {
+        layout.placements[i] = cand;
+        placed = true;
+        break;
+      }
+    }
+    if (placed) {
+      ++stats.placed;
+    } else {
+      ++stats.failed;
+      stats.failed_components.push_back(c.name);
+    }
+  }
+
+  stats.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return stats;
+}
+
+}  // namespace emi::place

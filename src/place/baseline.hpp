@@ -1,0 +1,31 @@
+// Baseline placers for comparison benches.
+//
+// kTrialAndError emulates the state of practice the paper argues against:
+// components are placed legally with respect to the geometric rules (areas,
+// clearance, keepouts) but the EMC minimum-distance rules are IGNORED -
+// exactly a designer laying out a board without coupling awareness.
+//
+// kRandomLegal honors all rules but picks uniformly among legal positions
+// instead of optimizing, quantifying what the sequential placer's cost
+// model buys.
+#pragma once
+
+#include <cstdint>
+
+#include "src/place/design.hpp"
+#include "src/place/placer.hpp"
+
+namespace emi::place {
+
+enum class BaselineMode { kTrialAndError, kRandomLegal };
+
+struct BaselineOptions {
+  BaselineMode mode = BaselineMode::kTrialAndError;
+  std::uint64_t seed = 1;
+  std::size_t max_tries_per_component = 2000;
+};
+
+PlaceStats baseline_place(const Design& d, Layout& layout,
+                          const BaselineOptions& opt = {});
+
+}  // namespace emi::place

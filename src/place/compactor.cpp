@@ -1,0 +1,116 @@
+#include "src/place/compactor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/place/metrics.hpp"
+#include "src/place/placer.hpp"
+
+namespace emi::place {
+
+namespace {
+
+geom::Vec2 corner_of(const geom::Rect& bb, CompactionOptions::Corner c) {
+  switch (c) {
+    case CompactionOptions::Corner::kLowLow: return bb.lo;
+    case CompactionOptions::Corner::kHighLow: return {bb.hi.x, bb.lo.y};
+    case CompactionOptions::Corner::kLowHigh: return {bb.lo.x, bb.hi.y};
+    case CompactionOptions::Corner::kHighHigh: return bb.hi;
+  }
+  return bb.lo;
+}
+
+double occupied_area(const Design& d, const Layout& l) {
+  geom::Rect bb = geom::Rect::empty();
+  for (std::size_t i = 0; i < d.components().size(); ++i) {
+    if (l.placements[i].placed) bb.expand(d.footprint(i, l.placements[i]));
+  }
+  return bb.area();
+}
+
+}  // namespace
+
+CompactionResult compact_layout(const Design& d, Layout& layout,
+                                const CompactionOptions& opt) {
+  CompactionResult res;
+  res.area_before_mm2 = occupied_area(d, layout);
+  const SequentialPlacer placer(d);
+
+  // Farthest legal travel of component i along `dir`, found by binary
+  // search; returns the travel distance actually applied.
+  const auto slide = [&](std::size_t i, const geom::Vec2& dir, double max_travel) {
+    if (max_travel <= opt.min_travel_mm) return 0.0;
+    const geom::Vec2 origin = layout.placements[i].position;
+    const auto legal_at = [&](double t) {
+      Placement cand = layout.placements[i];
+      cand.position = origin + dir * t;
+      return placer.is_legal(layout, i, cand);
+    };
+    double best = 0.0;
+    if (legal_at(max_travel)) {
+      best = max_travel;
+    } else {
+      double lo = 0.0, hi = max_travel;
+      for (int it = 0; it < 24 && hi - lo > opt.min_travel_mm / 4.0; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        if (legal_at(mid)) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      best = lo;
+    }
+    if (best > opt.min_travel_mm) {
+      layout.placements[i].position = origin + dir * best;
+      return best;
+    }
+    return 0.0;
+  };
+
+  for (std::size_t pass = 0; pass < opt.max_passes; ++pass) {
+    res.passes = pass + 1;
+    double max_move = 0.0;
+
+    // Components ordered by distance to the gravity corner, nearest first,
+    // so inner parts compact before outer parts stack against them.
+    std::vector<std::size_t> order;
+    for (std::size_t i = 0; i < d.components().size(); ++i) {
+      if (layout.placements[i].placed && !d.components()[i].preplaced) {
+        order.push_back(i);
+      }
+    }
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const auto areas_a = d.areas_for(a, layout.placements[a].board);
+      const geom::Rect bb = areas_a.empty() ? geom::Rect{{0, 0}, {0, 0}}
+                                            : areas_a.front()->shape.bbox();
+      const geom::Vec2 corner = corner_of(bb, opt.corner);
+      return geom::distance(layout.placements[a].position, corner) <
+             geom::distance(layout.placements[b].position, corner);
+    });
+
+    for (std::size_t i : order) {
+      const auto areas = d.areas_for(i, layout.placements[i].board);
+      if (areas.empty()) continue;
+      const geom::Vec2 corner = corner_of(areas.front()->shape.bbox(), opt.corner);
+      const geom::Vec2 delta = corner - layout.placements[i].position;
+      // Slide along x, then y (Manhattan gravity), then diagonally.
+      double moved = 0.0;
+      moved += slide(i, {delta.x >= 0.0 ? 1.0 : -1.0, 0.0}, std::fabs(delta.x));
+      const geom::Vec2 d2 = corner - layout.placements[i].position;
+      moved += slide(i, {0.0, d2.y >= 0.0 ? 1.0 : -1.0}, std::fabs(d2.y));
+      const geom::Vec2 d3 = corner - layout.placements[i].position;
+      if (d3.norm() > opt.min_travel_mm) {
+        moved += slide(i, d3.normalized(), d3.norm());
+      }
+      if (moved > 0.0) ++res.moves;
+      max_move = std::max(max_move, moved);
+    }
+    if (max_move <= opt.min_travel_mm) break;
+  }
+
+  res.area_after_mm2 = occupied_area(d, layout);
+  return res;
+}
+
+}  // namespace emi::place

@@ -1,0 +1,125 @@
+#include "src/place/design.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace emi::place {
+
+namespace {
+std::uint64_t pair_key(std::size_t i, std::size_t j) {
+  if (i > j) std::swap(i, j);
+  return (static_cast<std::uint64_t>(i) << 32) | static_cast<std::uint64_t>(j);
+}
+}  // namespace
+
+std::size_t Design::add_component(Component c) {
+  if (c.name.empty()) throw std::invalid_argument("component name must not be empty");
+  if (c.width_mm <= 0.0 || c.depth_mm <= 0.0 || c.height_mm < 0.0) {
+    throw std::invalid_argument("component " + c.name + ": nonpositive dimensions");
+  }
+  if (!comp_index_.emplace(c.name, components_.size()).second) {
+    throw std::invalid_argument("duplicate component name: " + c.name);
+  }
+  if (c.allowed_rotations.empty()) c.allowed_rotations = {0.0, 90.0, 180.0, 270.0};
+  components_.push_back(std::move(c));
+  return components_.size() - 1;
+}
+
+void Design::add_net(Net n) {
+  for (const NetPin& p : n.pins) component_index(p.component);  // validate
+  nets_.push_back(std::move(n));
+}
+
+void Design::add_area(Area a) {
+  if (!a.shape.valid()) throw std::invalid_argument("area " + a.name + ": invalid polygon");
+  areas_.push_back(std::move(a));
+}
+
+void Design::add_keepout(Keepout k) { keepouts_.push_back(std::move(k)); }
+
+void Design::add_emd_rule(const std::string& a, const std::string& b, double pemd_mm) {
+  if (pemd_mm < 0.0) throw std::invalid_argument("PEMD must be >= 0");
+  const std::size_t i = component_index(a);
+  const std::size_t j = component_index(b);
+  if (i == j) throw std::invalid_argument("EMD rule on a single component: " + a);
+  emd_rules_.push_back({a, b, pemd_mm});
+  pemd_[pair_key(i, j)] = pemd_mm;
+}
+
+std::size_t Design::component_index(const std::string& name) const {
+  const auto it = comp_index_.find(name);
+  if (it == comp_index_.end()) throw std::invalid_argument("no such component: " + name);
+  return it->second;
+}
+
+std::optional<std::size_t> Design::find_component(const std::string& name) const {
+  const auto it = comp_index_.find(name);
+  if (it == comp_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+double Design::pemd(std::size_t i, std::size_t j) const {
+  const auto it = pemd_.find(pair_key(i, j));
+  return it == pemd_.end() ? 0.0 : it->second;
+}
+
+std::vector<const Area*> Design::areas_for(std::size_t comp, int board) const {
+  const Component& c = components_.at(comp);
+  std::vector<const Area*> out;
+  // Preferred areas first, then the remaining allowed ones.
+  const auto allowed = [&](const Area& a) {
+    if (a.board != board) return false;
+    if (c.allowed_areas.empty()) return true;
+    return std::find(c.allowed_areas.begin(), c.allowed_areas.end(), a.name) !=
+           c.allowed_areas.end();
+  };
+  for (const std::string& pref : c.preferred_areas) {
+    for (const Area& a : areas_) {
+      if (a.name == pref && allowed(a)) out.push_back(&a);
+    }
+  }
+  for (const Area& a : areas_) {
+    if (!allowed(a)) continue;
+    if (std::find(out.begin(), out.end(), &a) == out.end()) out.push_back(&a);
+  }
+  return out;
+}
+
+std::vector<std::string> Design::groups() const {
+  std::vector<std::string> out;
+  for (const Component& c : components_) {
+    if (c.group.empty()) continue;
+    if (std::find(out.begin(), out.end(), c.group) == out.end()) out.push_back(c.group);
+  }
+  return out;
+}
+
+geom::Rect Design::footprint(std::size_t i, const Placement& p) const {
+  const Component& c = components_.at(i);
+  return geom::footprint_bbox(p.position, c.width_mm, c.depth_mm, p.rot_deg);
+}
+
+double Design::axis_deg(std::size_t i, const Placement& p) const {
+  return geom::normalize_deg(components_.at(i).axis_deg + p.rot_deg);
+}
+
+double Design::effective_emd(std::size_t i, const Placement& pi, std::size_t j,
+                             const Placement& pj) const {
+  const double rule = pemd(i, j);
+  if (rule <= 0.0) return 0.0;
+  const double alpha = geom::axis_angle_deg(axis_deg(i, pi), axis_deg(j, pj));
+  return rule * std::fabs(std::cos(geom::deg_to_rad(alpha)));
+}
+
+geom::Vec2 Design::pin_position(std::size_t comp, const std::string& pin,
+                                const Placement& p) const {
+  const Component& c = components_.at(comp);
+  if (pin.empty()) return p.position;
+  for (const Pin& pn : c.pins) {
+    if (pn.name == pin) return p.position + geom::rotate_deg(pn.offset, p.rot_deg);
+  }
+  throw std::invalid_argument("component " + c.name + " has no pin " + pin);
+}
+
+}  // namespace emi::place

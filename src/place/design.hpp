@@ -1,0 +1,163 @@
+// The placement design database: components, nets, placement areas, 3D
+// keepouts, functional groups and the EMC minimum-distance rule table -
+// everything the paper's tool reads through its ASCII interface.
+//
+// With n components up to n(n-1)/2 pairwise minimum distances (PEMD) can be
+// defined. The *effective* minimum distance between two placed components is
+// EMD = PEMD * |cos(alpha)| with alpha the angle between their magnetic
+// axes, measured center to center.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/geom/angle.hpp"
+#include "src/geom/collision.hpp"
+#include "src/geom/cuboid.hpp"
+#include "src/geom/polygon.hpp"
+#include "src/geom/rect.hpp"
+
+namespace emi::place {
+
+// A pin location in the component frame (component center = origin,
+// rotation 0). Pins drive net-length estimation.
+struct Pin {
+  std::string name;
+  geom::Vec2 offset;
+};
+
+struct Component {
+  std::string name;
+  double width_mm = 5.0;    // footprint extent along local x
+  double depth_mm = 5.0;    // footprint extent along local y
+  double height_mm = 5.0;   // body height above the board
+  std::vector<Pin> pins;
+  // Direction of the magnetic axis in the component frame, degrees CCW from
+  // +x. Rotating the component rotates the axis with it.
+  double axis_deg = 90.0;
+  // Allowed rotation angles (degrees). Empty means "any of 0/90/180/270".
+  std::vector<double> allowed_rotations{0.0, 90.0, 180.0, 270.0};
+  // Preferred rotations (subset of allowed, tried first). Optional.
+  std::vector<double> preferred_rotations;
+  std::string group;        // functional group id, "" = ungrouped
+  int board = -1;           // required board (-1 = placer's choice)
+  bool preplaced = false;   // position/rotation fixed by the designer
+  // Names of the areas this component may be placed in (empty = any area on
+  // its board). "Allowed and preferred placement areas" per the paper.
+  std::vector<std::string> allowed_areas;
+  std::vector<std::string> preferred_areas;
+};
+
+struct NetPin {
+  std::string component;
+  std::string pin;  // "" = component center
+};
+
+struct Net {
+  std::string name;
+  std::vector<NetPin> pins;
+  double max_length_mm = std::numeric_limits<double>::infinity();
+};
+
+struct Area {
+  std::string name;
+  int board = 0;
+  geom::Polygon shape;
+};
+
+struct Keepout {
+  std::string name;
+  int board = 0;
+  geom::Cuboid volume;
+};
+
+// Pairwise EMC minimum-distance rule (PEMD at parallel axes).
+struct EmdRule {
+  std::string comp_a;
+  std::string comp_b;
+  double pemd_mm = 0.0;
+};
+
+// Placement state of one component.
+struct Placement {
+  geom::Vec2 position{};
+  double rot_deg = 0.0;
+  int board = 0;
+  bool placed = false;
+};
+
+class Design {
+ public:
+  // Construction ----------------------------------------------------------
+  std::size_t add_component(Component c);
+  void add_net(Net n);
+  void add_area(Area a);
+  void add_keepout(Keepout k);
+  void add_emd_rule(const std::string& a, const std::string& b, double pemd_mm);
+  void set_clearance(double mm) { clearance_mm_ = mm; }
+  void set_board_count(int n) { n_boards_ = n; }
+
+  // Access -----------------------------------------------------------------
+  const std::vector<Component>& components() const { return components_; }
+  std::vector<Component>& components() { return components_; }
+  const std::vector<Net>& nets() const { return nets_; }
+  const std::vector<Area>& areas() const { return areas_; }
+  const std::vector<Keepout>& keepouts() const { return keepouts_; }
+  const std::vector<EmdRule>& emd_rules() const { return emd_rules_; }
+  double clearance() const { return clearance_mm_; }
+  int board_count() const { return n_boards_; }
+
+  std::size_t component_index(const std::string& name) const;
+  std::optional<std::size_t> find_component(const std::string& name) const;
+
+  // PEMD between component indices (0 if no rule).
+  double pemd(std::size_t i, std::size_t j) const;
+
+  // Areas on a board that component i may use.
+  std::vector<const Area*> areas_for(std::size_t comp, int board) const;
+
+  // Distinct group names in definition order.
+  std::vector<std::string> groups() const;
+
+  // Geometry helpers -------------------------------------------------------
+  // Rectilinear footprint of component i under a placement.
+  geom::Rect footprint(std::size_t i, const Placement& p) const;
+  // Magnetic axis direction (degrees, board frame) of a placed component.
+  double axis_deg(std::size_t i, const Placement& p) const;
+  // Effective minimum distance between placed components i and j:
+  // EMD = PEMD * |cos(angle between magnetic axes)|.
+  double effective_emd(std::size_t i, const Placement& pi, std::size_t j,
+                       const Placement& pj) const;
+  // Board-frame pin position.
+  geom::Vec2 pin_position(std::size_t comp, const std::string& pin,
+                          const Placement& p) const;
+
+ private:
+  std::vector<Component> components_;
+  std::vector<Net> nets_;
+  std::vector<Area> areas_;
+  std::vector<Keepout> keepouts_;
+  std::vector<EmdRule> emd_rules_;
+  std::unordered_map<std::string, std::size_t> comp_index_;
+  // Sparse PEMD lookup keyed by (min_index << 32 | max_index).
+  std::unordered_map<std::uint64_t, double> pemd_;
+  double clearance_mm_ = 0.5;
+  int n_boards_ = 1;
+};
+
+// A layout is the placement vector parallel to design.components().
+struct Layout {
+  std::vector<Placement> placements;
+
+  static Layout unplaced(const Design& d) {
+    Layout l;
+    l.placements.resize(d.components().size());
+    return l;
+  }
+};
+
+}  // namespace emi::place

@@ -1,0 +1,225 @@
+#include "src/place/drc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace emi::place {
+
+std::string to_string(ViolationKind k) {
+  switch (k) {
+    case ViolationKind::kUnplaced: return "UNPLACED";
+    case ViolationKind::kOverlap: return "OVERLAP";
+    case ViolationKind::kClearance: return "CLEARANCE";
+    case ViolationKind::kOutsideArea: return "OUTSIDE_AREA";
+    case ViolationKind::kKeepout: return "KEEPOUT";
+    case ViolationKind::kEmd: return "EMD";
+    case ViolationKind::kGroupSplit: return "GROUP_SPLIT";
+    case ViolationKind::kNetLength: return "NET_LENGTH";
+  }
+  return "?";
+}
+
+std::size_t DrcReport::count(ViolationKind k) const {
+  return static_cast<std::size_t>(
+      std::count_if(violations.begin(), violations.end(),
+                    [k](const Violation& v) { return v.kind == k; }));
+}
+
+void DrcEngine::check_placement(const Layout& layout, std::size_t i,
+                                std::vector<Violation>& out) const {
+  const Design& d = *design_;
+  const Component& c = d.components()[i];
+  const Placement& p = layout.placements[i];
+  if (!p.placed) {
+    out.push_back({ViolationKind::kUnplaced, c.name, "", 0.0, 0.0, "not placed"});
+    return;
+  }
+  const geom::Rect fp = d.footprint(i, p);
+
+  // Must be inside at least one allowed area on its board.
+  const auto areas = d.areas_for(i, p.board);
+  bool inside = false;
+  for (const Area* a : areas) {
+    if (geom::inside_area(fp, a->shape, 0.0)) {
+      inside = true;
+      break;
+    }
+  }
+  if (!inside) {
+    out.push_back({ViolationKind::kOutsideArea, c.name, "", 0.0, 0.0,
+                   "footprint not inside any allowed placement area"});
+  }
+
+  for (const Keepout& k : d.keepouts()) {
+    if (k.board != p.board) continue;
+    if (k.volume.blocks(fp, c.height_mm)) {
+      out.push_back({ViolationKind::kKeepout, c.name, k.name, c.height_mm, k.volume.z_lo,
+                     "footprint enters keepout volume"});
+    }
+  }
+}
+
+void DrcEngine::check_pair(const Layout& layout, std::size_t i, std::size_t j,
+                           std::vector<Violation>& out) const {
+  const Design& d = *design_;
+  const Placement& pi = layout.placements[i];
+  const Placement& pj = layout.placements[j];
+  if (!pi.placed || !pj.placed) return;
+  if (pi.board != pj.board) return;
+
+  const geom::Rect fi = d.footprint(i, pi);
+  const geom::Rect fj = d.footprint(j, pj);
+  const std::string& na = d.components()[i].name;
+  const std::string& nb = d.components()[j].name;
+
+  if (fi.overlaps(fj)) {
+    out.push_back({ViolationKind::kOverlap, na, nb, 0.0, 0.0, "footprints overlap"});
+  } else {
+    const double gap = fi.gap_to(fj);
+    if (gap < d.clearance()) {
+      out.push_back({ViolationKind::kClearance, na, nb, gap, d.clearance(),
+                     "edge gap below clearance"});
+    }
+  }
+
+  const double emd = d.effective_emd(i, pi, j, pj);
+  if (emd > 0.0) {
+    const double dist = geom::distance(pi.position, pj.position);
+    if (dist < emd) {
+      out.push_back({ViolationKind::kEmd, na, nb, dist, emd,
+                     "center distance below effective minimum distance"});
+    }
+  }
+}
+
+void DrcEngine::check_groups(const Layout& layout, std::vector<Violation>& out) const {
+  const Design& d = *design_;
+  // Bounding box of each group's placed footprints, per board; groups must
+  // occupy separate coherent areas, so boxes on the same board may not
+  // overlap. (Groups on different boards cannot conflict.)
+  std::map<std::pair<int, std::string>, geom::Rect> boxes;
+  for (std::size_t i = 0; i < d.components().size(); ++i) {
+    const Component& c = d.components()[i];
+    const Placement& p = layout.placements[i];
+    if (c.group.empty() || !p.placed) continue;
+    auto it = boxes.try_emplace({p.board, c.group}, geom::Rect::empty()).first;
+    it->second.expand(d.footprint(i, p));
+  }
+  std::set<std::pair<std::string, std::string>> reported;
+  for (auto it = boxes.begin(); it != boxes.end(); ++it) {
+    for (auto jt = std::next(it); jt != boxes.end(); ++jt) {
+      if (it->first.first != jt->first.first) continue;  // different boards
+      if (it->second.overlaps(jt->second) &&
+          reported.emplace(it->first.second, jt->first.second).second) {
+        out.push_back({ViolationKind::kGroupSplit, it->first.second, jt->first.second,
+                       0.0, 0.0, "group bounding boxes overlap"});
+      }
+    }
+  }
+}
+
+void DrcEngine::check_nets(const Layout& layout, std::vector<Violation>& out) const {
+  const Design& d = *design_;
+  for (const Net& n : d.nets()) {
+    if (!std::isfinite(n.max_length_mm)) continue;
+    std::vector<geom::Vec2> pts;
+    bool all_placed = true;
+    bool spans_boards = false;
+    int board = -1;
+    for (const NetPin& np : n.pins) {
+      const std::size_t ci = d.component_index(np.component);
+      const Placement& p = layout.placements[ci];
+      if (!p.placed) {
+        all_placed = false;
+        break;
+      }
+      if (board < 0) board = p.board;
+      spans_boards |= p.board != board;
+      pts.push_back(d.pin_position(ci, np.pin, p));
+    }
+    // Inter-board nets run through the board-to-board connector; their
+    // on-board length rule does not apply.
+    if (!all_placed || spans_boards) continue;
+    const double len = geom::hpwl(pts);
+    if (len > n.max_length_mm) {
+      out.push_back({ViolationKind::kNetLength, n.name, "", len, n.max_length_mm,
+                     "net half-perimeter length exceeds maximum"});
+    }
+  }
+}
+
+DrcReport DrcEngine::check(const Layout& layout) const {
+  const Design& d = *design_;
+  if (layout.placements.size() != d.components().size()) {
+    throw std::invalid_argument("DrcEngine::check: layout/design size mismatch");
+  }
+  DrcReport report;
+  for (std::size_t i = 0; i < d.components().size(); ++i) {
+    check_placement(layout, i, report.violations);
+  }
+  for (std::size_t i = 0; i < d.components().size(); ++i) {
+    for (std::size_t j = i + 1; j < d.components().size(); ++j) {
+      check_pair(layout, i, j, report.violations);
+    }
+  }
+  check_groups(layout, report.violations);
+  check_nets(layout, report.violations);
+
+  // Per-rule EMD status rows (the red/green circles).
+  for (const EmdRule& r : d.emd_rules()) {
+    const std::size_t i = d.component_index(r.comp_a);
+    const std::size_t j = d.component_index(r.comp_b);
+    const Placement& pi = layout.placements[i];
+    const Placement& pj = layout.placements[j];
+    EmdStatus st{r.comp_a, r.comp_b, r.pemd_mm, 0.0, 0.0, false};
+    if (pi.placed && pj.placed && pi.board == pj.board) {
+      st.effective_emd_mm = d.effective_emd(i, pi, j, pj);
+      st.distance_mm = geom::distance(pi.position, pj.position);
+      st.ok = st.distance_mm >= st.effective_emd_mm;
+    } else if (pi.placed && pj.placed) {
+      // Different boards: magnetically decoupled by construction.
+      st.effective_emd_mm = 0.0;
+      st.distance_mm = std::numeric_limits<double>::infinity();
+      st.ok = true;
+    }
+    report.emd_status.push_back(st);
+  }
+  return report;
+}
+
+std::vector<Violation> DrcEngine::check_component(const Layout& layout,
+                                                  std::size_t comp) const {
+  const Design& d = *design_;
+  std::vector<Violation> out;
+  check_placement(layout, comp, out);
+  for (std::size_t j = 0; j < d.components().size(); ++j) {
+    if (j == comp) continue;
+    const std::size_t a = std::min(comp, j);
+    const std::size_t b = std::max(comp, j);
+    check_pair(layout, a, b, out);
+  }
+  // Group and net checks involving this component.
+  std::vector<Violation> global;
+  check_groups(layout, global);
+  check_nets(layout, global);
+  const std::string& name = d.components()[comp].name;
+  const std::string& group = d.components()[comp].group;
+  for (Violation& v : global) {
+    const bool involves_group =
+        !group.empty() && (v.a == group || v.b == group);
+    bool involves_net = false;
+    if (v.kind == ViolationKind::kNetLength) {
+      for (const Net& n : d.nets()) {
+        if (n.name != v.a) continue;
+        for (const NetPin& np : n.pins) involves_net |= np.component == name;
+      }
+    }
+    if (involves_group || involves_net) out.push_back(std::move(v));
+  }
+  return out;
+}
+
+}  // namespace emi::place

@@ -1,0 +1,124 @@
+#include "src/place/interactive.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/place/placer.hpp"
+
+namespace emi::place {
+
+InteractiveSession::InteractiveSession(const Design& d, Layout layout)
+    : design_(&d), layout_(std::move(layout)) {
+  if (layout_.placements.size() != d.components().size()) {
+    throw std::invalid_argument("InteractiveSession: layout size mismatch");
+  }
+}
+
+EditFeedback InteractiveSession::feedback_for(std::size_t idx) const {
+  return {DrcEngine(*design_).check_component(layout_, idx)};
+}
+
+EditFeedback InteractiveSession::move(const std::string& component,
+                                      geom::Vec2 position) {
+  const std::size_t idx = design_->component_index(component);
+  history_ = {idx, layout_.placements[idx]};
+  layout_.placements[idx].position = position;
+  layout_.placements[idx].placed = true;
+  return feedback_for(idx);
+}
+
+EditFeedback InteractiveSession::rotate(const std::string& component, double rot_deg) {
+  const std::size_t idx = design_->component_index(component);
+  history_ = {idx, layout_.placements[idx]};
+  layout_.placements[idx].rot_deg = geom::normalize_deg(rot_deg);
+  return feedback_for(idx);
+}
+
+EditFeedback InteractiveSession::move_to_board(const std::string& component, int board,
+                                               geom::Vec2 position) {
+  const std::size_t idx = design_->component_index(component);
+  if (board < 0 || board >= design_->board_count()) {
+    throw std::invalid_argument("move_to_board: no such board");
+  }
+  history_ = {idx, layout_.placements[idx]};
+  layout_.placements[idx].board = board;
+  layout_.placements[idx].position = position;
+  layout_.placements[idx].placed = true;
+  return feedback_for(idx);
+}
+
+void InteractiveSession::unplace(const std::string& component) {
+  const std::size_t idx = design_->component_index(component);
+  history_ = {idx, layout_.placements[idx]};
+  layout_.placements[idx].placed = false;
+}
+
+bool InteractiveSession::undo() {
+  if (!history_) return false;
+  layout_.placements[history_->first] = history_->second;
+  history_.reset();
+  return true;
+}
+
+std::optional<geom::Vec2> InteractiveSession::suggest_position(
+    const std::string& component, geom::Vec2 target, double radius_mm) const {
+  const std::size_t idx = design_->component_index(component);
+  const SequentialPlacer placer(*design_);
+  Placement cand = layout_.placements[idx];
+  cand.placed = true;
+
+  // Expanding ring search around the target on a polar lattice.
+  cand.position = target;
+  if (placer.is_legal(layout_, idx, cand)) return target;
+  constexpr double kStep = 1.0;
+  for (double r = kStep; r <= radius_mm; r += kStep) {
+    const std::size_t n_angles = std::max<std::size_t>(8, static_cast<std::size_t>(r * 2));
+    for (std::size_t a = 0; a < n_angles; ++a) {
+      const double phi = 2.0 * geom::kPi * static_cast<double>(a) /
+                         static_cast<double>(n_angles);
+      cand.position = target + geom::Vec2{r * std::cos(phi), r * std::sin(phi)};
+      if (placer.is_legal(layout_, idx, cand)) return cand.position;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<double> InteractiveSession::suggest_rotation(
+    const std::string& component) const {
+  const std::size_t idx = design_->component_index(component);
+  const Placement& cur = layout_.placements[idx];
+  if (!cur.placed) return std::nullopt;
+
+  const auto emd_clean = [&](const Placement& cand) {
+    for (std::size_t j = 0; j < design_->components().size(); ++j) {
+      if (j == idx || !layout_.placements[j].placed) continue;
+      if (layout_.placements[j].board != cand.board) continue;
+      const double emd = design_->effective_emd(idx, cand, j, layout_.placements[j]);
+      if (emd > 0.0 &&
+          geom::distance(cand.position, layout_.placements[j].position) < emd) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  if (emd_clean(cur)) return std::nullopt;  // nothing to fix
+  double best_rot = cur.rot_deg;
+  double best_change = std::numeric_limits<double>::infinity();
+  bool found = false;
+  for (double rot : design_->components()[idx].allowed_rotations) {
+    Placement cand = cur;
+    cand.rot_deg = rot;
+    if (!emd_clean(cand)) continue;
+    const double change = geom::angle_between_deg(cur.rot_deg, rot);
+    if (change < best_change) {
+      best_change = change;
+      best_rot = rot;
+      found = true;
+    }
+  }
+  if (!found) return std::nullopt;
+  return best_rot;
+}
+
+}  // namespace emi::place

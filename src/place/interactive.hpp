@@ -1,0 +1,59 @@
+// Interactive placement session: move/rotate components with immediate
+// design-rule feedback - the library equivalent of the paper's interactive
+// adviser ("online design rule checks visualize design rule violations
+// immediately"). Every edit returns the violations it causes or clears, so a
+// caller (GUI or script) can render the red/green state and the user can
+// compact the layout while staying legal.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/place/drc.hpp"
+
+namespace emi::place {
+
+struct EditFeedback {
+  std::vector<Violation> violations;   // violations involving the component now
+  bool legal() const { return violations.empty(); }
+};
+
+class InteractiveSession {
+ public:
+  InteractiveSession(const Design& d, Layout layout);
+
+  const Layout& layout() const { return layout_; }
+  const Design& design() const { return *design_; }
+
+  // Edits -------------------------------------------------------------------
+  EditFeedback move(const std::string& component, geom::Vec2 position);
+  EditFeedback rotate(const std::string& component, double rot_deg);
+  EditFeedback move_to_board(const std::string& component, int board,
+                             geom::Vec2 position);
+  // Remove a component from the board (e.g. to re-place it later).
+  void unplace(const std::string& component);
+
+  // Undo the last edit (single-level history per the prototype scope).
+  bool undo();
+
+  // Queries -----------------------------------------------------------------
+  DrcReport full_check() const { return DrcEngine(*design_).check(layout_); }
+  // Adviser: the nearest legal position to `target` for the component, found
+  // on an expanding ring search; nullopt if none within `radius_mm`.
+  std::optional<geom::Vec2> suggest_position(const std::string& component,
+                                             geom::Vec2 target,
+                                             double radius_mm = 30.0) const;
+  // Smallest rotation change (among allowed) that clears all EMD violations
+  // at the current position, if any.
+  std::optional<double> suggest_rotation(const std::string& component) const;
+
+ private:
+  EditFeedback feedback_for(std::size_t idx) const;
+
+  const Design* design_;
+  Layout layout_;
+  std::optional<std::pair<std::size_t, Placement>> history_;
+};
+
+}  // namespace emi::place

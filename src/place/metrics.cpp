@@ -1,0 +1,72 @@
+#include "src/place/metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+namespace emi::place {
+
+LayoutMetrics compute_metrics(const Design& d, const Layout& layout) {
+  LayoutMetrics m;
+  geom::Rect bb = geom::Rect::empty();
+
+  for (std::size_t i = 0; i < d.components().size(); ++i) {
+    const Placement& p = layout.placements[i];
+    if (!p.placed) {
+      ++m.unplaced;
+      continue;
+    }
+    const geom::Rect fp = d.footprint(i, p);
+    bb.expand(fp);
+    m.footprint_area_mm2 += fp.area();
+  }
+  m.bounding_area_mm2 = bb.area();
+  m.utilization = m.bounding_area_mm2 > 0.0 ? m.footprint_area_mm2 / m.bounding_area_mm2
+                                            : 0.0;
+
+  for (const Net& n : d.nets()) {
+    std::vector<geom::Vec2> pts;
+    for (const NetPin& np : n.pins) {
+      const std::size_t ci = d.component_index(np.component);
+      if (layout.placements[ci].placed) {
+        pts.push_back(d.pin_position(ci, np.pin, layout.placements[ci]));
+      }
+    }
+    m.total_hpwl_mm += geom::hpwl(pts);
+  }
+
+  m.min_emd_slack_mm = std::numeric_limits<double>::infinity();
+  bool any_rule = false;
+  for (const EmdRule& r : d.emd_rules()) {
+    const std::size_t i = d.component_index(r.comp_a);
+    const std::size_t j = d.component_index(r.comp_b);
+    const Placement& pi = layout.placements[i];
+    const Placement& pj = layout.placements[j];
+    if (!pi.placed || !pj.placed || pi.board != pj.board) continue;
+    any_rule = true;
+    const double emd = d.effective_emd(i, pi, j, pj);
+    const double slack = geom::distance(pi.position, pj.position) - emd;
+    m.min_emd_slack_mm = std::min(m.min_emd_slack_mm, slack);
+    if (slack < 0.0) ++m.emd_violations;
+  }
+  if (!any_rule) m.min_emd_slack_mm = 0.0;
+  return m;
+}
+
+std::vector<GroupBox> group_boxes(const Design& d, const Layout& layout) {
+  std::map<std::string, GroupBox> boxes;
+  for (std::size_t i = 0; i < d.components().size(); ++i) {
+    const Component& c = d.components()[i];
+    const Placement& p = layout.placements[i];
+    if (c.group.empty() || !p.placed) continue;
+    auto it = boxes.try_emplace(c.group, GroupBox{c.group, geom::Rect::empty(), 0}).first;
+    it->second.bbox.expand(d.footprint(i, p));
+    ++it->second.members;
+  }
+  std::vector<GroupBox> out;
+  out.reserve(boxes.size());
+  for (auto& [name, box] : boxes) out.push_back(box);
+  return out;
+}
+
+}  // namespace emi::place

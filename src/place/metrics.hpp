@@ -1,0 +1,34 @@
+// Layout quality metrics used by benches and EXPERIMENTS.md: total net
+// length, packing area, EMD slack and group coherence.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/place/design.hpp"
+
+namespace emi::place {
+
+struct LayoutMetrics {
+  double total_hpwl_mm = 0.0;       // sum of net half-perimeter lengths
+  double bounding_area_mm2 = 0.0;   // bbox area of all placed footprints
+  double footprint_area_mm2 = 0.0;  // sum of component footprint areas
+  double utilization = 0.0;         // footprint / bounding area
+  double min_emd_slack_mm = 0.0;    // min(distance - EMD) over rule pairs
+  std::size_t emd_violations = 0;
+  std::size_t unplaced = 0;
+};
+
+LayoutMetrics compute_metrics(const Design& d, const Layout& layout);
+
+struct GroupBox {
+  std::string group;
+  geom::Rect bbox;
+  std::size_t members = 0;
+};
+
+// Bounding boxes of the functional groups (paper Fig 18: groups displayed in
+// separate coherent areas).
+std::vector<GroupBox> group_boxes(const Design& d, const Layout& layout);
+
+}  // namespace emi::place

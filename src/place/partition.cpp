@@ -1,0 +1,178 @@
+#include "src/place/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+
+namespace emi::place {
+
+namespace {
+
+// Move unit for partitioning: a functional group (kept together) or a single
+// ungrouped component.
+struct Cell {
+  std::vector<std::size_t> comps;
+  double area = 0.0;
+  int fixed_board = -1;  // >= 0 if any member is pinned to a board
+};
+
+}  // namespace
+
+std::size_t Partitioner::cut_count(const std::vector<int>& board) const {
+  const Design& d = *design_;
+  std::size_t cut = 0;
+  for (const Net& n : d.nets()) {
+    bool has0 = false, has1 = false;
+    for (const NetPin& p : n.pins) {
+      const int b = board[d.component_index(p.component)];
+      has0 |= b == 0;
+      has1 |= b == 1;
+    }
+    if (has0 && has1) ++cut;
+  }
+  return cut;
+}
+
+PartitionResult Partitioner::bipartition(const PartitionOptions& opt) const {
+  const Design& d = *design_;
+  const std::size_t n = d.components().size();
+  if (n == 0) throw std::invalid_argument("Partitioner: empty design");
+
+  // Build move cells: one per group, one per ungrouped component.
+  std::vector<Cell> cells;
+  std::map<std::string, std::size_t> group_cell;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Component& c = d.components()[i];
+    std::size_t ci;
+    if (!c.group.empty()) {
+      auto it = group_cell.find(c.group);
+      if (it == group_cell.end()) {
+        ci = cells.size();
+        cells.push_back({});
+        group_cell.emplace(c.group, ci);
+      } else {
+        ci = it->second;
+      }
+    } else {
+      ci = cells.size();
+      cells.push_back({});
+    }
+    cells[ci].comps.push_back(i);
+    cells[ci].area += c.width_mm * c.depth_mm;
+    if (c.board >= 0) {
+      if (cells[ci].fixed_board >= 0 && cells[ci].fixed_board != c.board) {
+        throw std::invalid_argument("group pinned to two different boards");
+      }
+      cells[ci].fixed_board = c.board;
+    }
+  }
+
+  const double total_area =
+      std::accumulate(cells.begin(), cells.end(), 0.0,
+                      [](double s, const Cell& c) { return s + c.area; });
+
+  // Initial assignment: fixed cells as pinned; the rest greedily by area to
+  // the lighter side (largest first for balance quality).
+  std::vector<int> cell_board(cells.size(), 0);
+  double area0 = 0.0, area1 = 0.0;
+  std::vector<std::size_t> order(cells.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return cells[a].area > cells[b].area;
+  });
+  for (std::size_t ci : order) {
+    int b = cells[ci].fixed_board;
+    if (b < 0) b = area0 <= area1 ? 0 : 1;
+    cell_board[ci] = b;
+    (b == 0 ? area0 : area1) += cells[ci].area;
+  }
+
+  // Expand to per-component assignment.
+  std::vector<int> comp_board(n, 0);
+  const auto sync_components = [&] {
+    for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+      for (std::size_t i : cells[ci].comps) comp_board[i] = cell_board[ci];
+    }
+  };
+  sync_components();
+
+  // The balance band cannot be tighter than the largest move unit: with few
+  // big cells, a strict band would freeze every move.
+  double max_cell_share = 0.0;
+  for (const Cell& cell : cells) {
+    if (total_area > 0.0) max_cell_share = std::max(max_cell_share, cell.area / total_area);
+  }
+  const double tol = std::max(opt.balance_tolerance, max_cell_share) + 1e-9;
+  const double lo_share = 0.5 - tol;
+  const double hi_share = 0.5 + tol;
+
+  // FM-style passes: greedily move the best-gain movable cell, allowing
+  // zero/negative gains within a pass, keep the best prefix.
+  PartitionResult res;
+  std::size_t pass = 0;
+  for (; pass < opt.max_passes; ++pass) {
+    std::size_t best_cut = cut_count(comp_board);
+    const std::size_t pass_start_cut = best_cut;
+    std::vector<int> best_assign = cell_board;
+    std::vector<bool> locked(cells.size(), false);
+    for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+      if (cells[ci].fixed_board >= 0) locked[ci] = true;
+    }
+
+    for (std::size_t moves = 0; moves < cells.size(); ++moves) {
+      // Pick the unlocked cell whose flip yields the lowest cut while
+      // keeping balance.
+      std::ptrdiff_t best_cell = -1;
+      std::size_t best_move_cut = 0;
+      for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+        if (locked[ci]) continue;
+        const int from = cell_board[ci];
+        const double new0 = area0 + (from == 0 ? -cells[ci].area : cells[ci].area);
+        const double share0 = total_area > 0.0 ? new0 / total_area : 0.5;
+        if (share0 < lo_share || share0 > hi_share) continue;
+        cell_board[ci] = 1 - from;
+        sync_components();
+        const std::size_t cut = cut_count(comp_board);
+        cell_board[ci] = from;
+        if (best_cell < 0 || cut < best_move_cut) {
+          best_cell = static_cast<std::ptrdiff_t>(ci);
+          best_move_cut = cut;
+        }
+      }
+      if (best_cell < 0) break;
+      const std::size_t ci = static_cast<std::size_t>(best_cell);
+      const int from = cell_board[ci];
+      cell_board[ci] = 1 - from;
+      (from == 0 ? area0 : area1) -= cells[ci].area;
+      (from == 0 ? area1 : area0) += cells[ci].area;
+      locked[ci] = true;
+      sync_components();
+      if (best_move_cut < best_cut) {
+        best_cut = best_move_cut;
+        best_assign = cell_board;
+      }
+    }
+
+    // Restore the best state seen in this pass.
+    cell_board = best_assign;
+    area0 = area1 = 0.0;
+    for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+      (cell_board[ci] == 0 ? area0 : area1) += cells[ci].area;
+    }
+    sync_components();
+    if (best_cut == pass_start_cut) {
+      ++pass;
+      break;  // no improvement this pass
+    }
+  }
+
+  res.board = comp_board;
+  res.cut_nets = cut_count(comp_board);
+  res.area_share_0 = total_area > 0.0 ? area0 / total_area : 0.5;
+  res.passes = pass;
+  return res;
+}
+
+}  // namespace emi::place

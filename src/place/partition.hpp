@@ -1,0 +1,42 @@
+// Step 2 (optional) of the automatic placement method: "In the case of two
+// boards for placement the circuit can be partitioned. The resulting
+// partitions are assigned to board sides for placement."
+//
+// Fiduccia-Mattheyses style bipartitioning: minimize the number of nets cut
+// between the two boards under an area-balance constraint, honoring
+// components pinned to a board and keeping functional groups together.
+#pragma once
+
+#include <vector>
+
+#include "src/place/design.hpp"
+
+namespace emi::place {
+
+struct PartitionOptions {
+  // Allowed deviation of either side's area share from 1/2 (0.1 = 40/60).
+  double balance_tolerance = 0.15;
+  std::size_t max_passes = 10;
+};
+
+struct PartitionResult {
+  std::vector<int> board;    // 0 or 1 per component
+  std::size_t cut_nets = 0;  // nets spanning both boards
+  double area_share_0 = 0.0; // fraction of total footprint area on board 0
+  std::size_t passes = 0;
+};
+
+class Partitioner {
+ public:
+  explicit Partitioner(const Design& d) : design_(&d) {}
+
+  PartitionResult bipartition(const PartitionOptions& opt = {}) const;
+
+  // Cut count for an assignment (exposed for tests/ablations).
+  std::size_t cut_count(const std::vector<int>& board) const;
+
+ private:
+  const Design* design_;
+};
+
+}  // namespace emi::place

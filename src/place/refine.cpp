@@ -1,0 +1,126 @@
+#include "src/place/refine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/numeric/rng.hpp"
+#include "src/place/metrics.hpp"
+#include "src/place/placer.hpp"
+
+namespace emi::place {
+
+double refine_cost(const Design& d, const Layout& layout, const RefineOptions& opt) {
+  double cost = 0.0;
+  // Net length (HPWL over placed pins).
+  for (const Net& n : d.nets()) {
+    std::vector<geom::Vec2> pts;
+    for (const NetPin& np : n.pins) {
+      const std::size_t ci = d.component_index(np.component);
+      if (layout.placements[ci].placed) {
+        pts.push_back(d.pin_position(ci, np.pin, layout.placements[ci]));
+      }
+    }
+    cost += opt.w_netlength * geom::hpwl(pts);
+  }
+  // Compactness: half-perimeter of the occupied bounding box.
+  geom::Rect bb = geom::Rect::empty();
+  for (std::size_t i = 0; i < d.components().size(); ++i) {
+    if (layout.placements[i].placed) bb.expand(d.footprint(i, layout.placements[i]));
+  }
+  if (!bb.is_empty()) cost += opt.w_area * (bb.width() + bb.height());
+  return cost;
+}
+
+RefineResult refine_layout(const Design& d, Layout& layout, const RefineOptions& opt) {
+  RefineResult res;
+  res.cost_before = refine_cost(d, layout, opt);
+
+  std::vector<std::size_t> movable;
+  for (std::size_t i = 0; i < d.components().size(); ++i) {
+    if (layout.placements[i].placed && !d.components()[i].preplaced) {
+      movable.push_back(i);
+    }
+  }
+  if (movable.empty()) {
+    res.cost_after = res.cost_before;
+    return res;
+  }
+
+  num::Rng rng(opt.seed);
+  const SequentialPlacer placer(d);
+  double cost = res.cost_before;
+  Layout best = layout;
+  double best_cost = cost;
+  const double cooling =
+      opt.iterations > 1
+          ? std::pow(opt.t_end / opt.t_start,
+                     1.0 / static_cast<double>(opt.iterations - 1))
+          : 1.0;
+  double temperature = opt.t_start;
+
+  for (std::size_t it = 0; it < opt.iterations; ++it, temperature *= cooling) {
+    ++res.attempted;
+    const std::size_t i = movable[rng.below(movable.size())];
+    const Placement saved = layout.placements[i];
+
+    // Move kinds: translate (60 %), rotate (20 %), swap (20 %).
+    const double dice = rng.uniform();
+    bool structurally_ok = true;
+    std::size_t swap_partner = i;
+    if (dice < 0.6) {
+      const double r = rng.uniform(0.5, opt.max_translate_mm) * temperature /
+                       opt.t_start;
+      const double phi = rng.uniform(0.0, 2.0 * geom::kPi);
+      layout.placements[i].position +=
+          geom::Vec2{r * std::cos(phi), r * std::sin(phi)};
+    } else if (dice < 0.8) {
+      const auto& rots = d.components()[i].allowed_rotations;
+      layout.placements[i].rot_deg = rots[rng.below(rots.size())];
+    } else {
+      swap_partner = movable[rng.below(movable.size())];
+      if (swap_partner == i) {
+        structurally_ok = false;
+      } else {
+        std::swap(layout.placements[i].position,
+                  layout.placements[swap_partner].position);
+      }
+    }
+
+    const auto undo = [&] {
+      if (swap_partner != i) {
+        std::swap(layout.placements[i].position,
+                  layout.placements[swap_partner].position);
+      } else {
+        layout.placements[i] = saved;
+      }
+    };
+
+    if (!structurally_ok || !placer.is_legal(layout, i, layout.placements[i]) ||
+        (swap_partner != i &&
+         !placer.is_legal(layout, swap_partner, layout.placements[swap_partner]))) {
+      undo();
+      continue;
+    }
+
+    const double new_cost = refine_cost(d, layout, opt);
+    const double delta = new_cost - cost;
+    if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temperature)) {
+      cost = new_cost;
+      ++res.accepted;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = layout;
+      }
+    } else {
+      undo();
+    }
+  }
+
+  // Annealing may end on an uphill excursion; return the best legal state
+  // seen so the refiner never degrades its input.
+  layout = std::move(best);
+  res.cost_after = best_cost;
+  return res;
+}
+
+}  // namespace emi::place

@@ -1,0 +1,46 @@
+// Stochastic layout refinement. The sequential placer is greedy; this
+// refiner polishes its result with legality-preserving random moves
+// (translate / rotate / swap), accepted by simulated annealing on a
+// wirelength + compactness cost. Deterministic for a given seed.
+//
+// This is the "(optional)" optimization pass a production version of the
+// paper's prototype would grow; the ablation bench quantifies what it buys
+// on top of the sequential placement.
+#pragma once
+
+#include <cstdint>
+
+#include "src/place/design.hpp"
+
+namespace emi::place {
+
+struct RefineOptions {
+  std::uint64_t seed = 1;
+  std::size_t iterations = 4000;
+  double t_start = 8.0;       // initial temperature (cost units, mm)
+  double t_end = 0.05;
+  double max_translate_mm = 12.0;
+  double w_netlength = 1.0;
+  double w_area = 0.3;        // bounding-box half-perimeter weight
+};
+
+struct RefineResult {
+  double cost_before = 0.0;
+  double cost_after = 0.0;
+  std::size_t accepted = 0;
+  std::size_t attempted = 0;
+
+  double improvement() const {
+    return cost_before > 0.0 ? 1.0 - cost_after / cost_before : 0.0;
+  }
+};
+
+// Refine in place; every intermediate state is legal (moves that violate
+// any rule are rejected outright). Preplaced components never move.
+RefineResult refine_layout(const Design& d, Layout& layout,
+                           const RefineOptions& opt = {});
+
+// The cost the refiner minimizes (exposed for tests/benches).
+double refine_cost(const Design& d, const Layout& layout, const RefineOptions& opt = {});
+
+}  // namespace emi::place

@@ -1,0 +1,92 @@
+#include "src/place/rotation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace emi::place {
+
+namespace {
+
+double pair_emd(const Design& d, std::size_t i, double rot_i, std::size_t j,
+                double rot_j) {
+  const double rule = d.pemd(i, j);
+  if (rule <= 0.0) return 0.0;
+  const double ai = d.components()[i].axis_deg + rot_i;
+  const double aj = d.components()[j].axis_deg + rot_j;
+  const double alpha = geom::axis_angle_deg(ai, aj);
+  return rule * std::fabs(std::cos(geom::deg_to_rad(alpha)));
+}
+
+}  // namespace
+
+double RotationOptimizer::total_emd(const std::vector<double>& rotations) const {
+  const Design& d = *design_;
+  if (rotations.size() != d.components().size()) {
+    throw std::invalid_argument("RotationOptimizer::total_emd: size mismatch");
+  }
+  double total = 0.0;
+  for (const EmdRule& r : d.emd_rules()) {
+    const std::size_t i = d.component_index(r.comp_a);
+    const std::size_t j = d.component_index(r.comp_b);
+    total += pair_emd(d, i, rotations[i], j, rotations[j]);
+  }
+  return total;
+}
+
+RotationResult RotationOptimizer::optimize(const Layout& fixed,
+                                           const RotationOptions& opt) const {
+  const Design& d = *design_;
+  const std::size_t n = d.components().size();
+  if (fixed.placements.size() != n) {
+    throw std::invalid_argument("RotationOptimizer::optimize: layout size mismatch");
+  }
+
+  RotationResult res;
+  res.rotation_deg.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Component& c = d.components()[i];
+    res.rotation_deg[i] =
+        c.preplaced ? fixed.placements[i].rot_deg : c.allowed_rotations.front();
+  }
+  res.initial_emd_mm = total_emd(res.rotation_deg);
+
+  // Cost of component i against all rule partners for a candidate rotation.
+  const auto local_cost = [&](std::size_t i, double rot) {
+    double cost = 0.0;
+    for (const EmdRule& r : d.emd_rules()) {
+      const std::size_t a = d.component_index(r.comp_a);
+      const std::size_t b = d.component_index(r.comp_b);
+      if (a == i) cost += pair_emd(d, a, rot, b, res.rotation_deg[b]);
+      if (b == i) cost += pair_emd(d, a, res.rotation_deg[a], b, rot);
+    }
+    return cost;
+  };
+
+  for (std::size_t sweep = 0; sweep < opt.max_sweeps; ++sweep) {
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Component& c = d.components()[i];
+      if (c.preplaced) continue;
+      double best_rot = res.rotation_deg[i];
+      double best_cost = local_cost(i, best_rot);
+      for (double cand : c.allowed_rotations) {
+        const double cost = local_cost(i, cand);
+        if (cost < best_cost - 1e-12) {
+          best_cost = cost;
+          best_rot = cand;
+        }
+      }
+      if (best_rot != res.rotation_deg[i]) {
+        res.rotation_deg[i] = best_rot;
+        changed = true;
+      }
+    }
+    res.sweeps = sweep + 1;
+    if (!changed) break;
+  }
+
+  res.total_emd_mm = total_emd(res.rotation_deg);
+  return res;
+}
+
+}  // namespace emi::place

@@ -1,0 +1,44 @@
+// Step 1 of the automatic placement method: "Optimal rotation - we compute
+// optimal component angles to minimize the total sum of minimum distances."
+//
+// Since EMD_ij = PEMD_ij * |cos(axis_i - axis_j)|, choosing rotations that
+// decorrelate magnetic axes shrinks the distance budget the placer must
+// honor, often to zero (perpendicular axes).
+#pragma once
+
+#include <vector>
+
+#include "src/place/design.hpp"
+
+namespace emi::place {
+
+struct RotationResult {
+  std::vector<double> rotation_deg;  // chosen rotation per component
+  double total_emd_mm = 0.0;         // sum of effective EMDs after rotation
+  double initial_emd_mm = 0.0;       // sum with all rotations at their first
+                                     // allowed value (the unoptimized state)
+  std::size_t sweeps = 0;            // coordinate-descent sweeps used
+};
+
+struct RotationOptions {
+  std::size_t max_sweeps = 20;
+};
+
+class RotationOptimizer {
+ public:
+  explicit RotationOptimizer(const Design& d) : design_(&d) {}
+
+  // Deterministic greedy coordinate descent over the allowed rotation sets:
+  // repeatedly pick, for each component in turn, the rotation minimizing the
+  // sum of its effective EMDs against all others, until a full sweep makes
+  // no change. Preplaced components keep their rotation (from `fixed`).
+  RotationResult optimize(const Layout& fixed, const RotationOptions& opt = {}) const;
+
+  // Objective: total effective EMD over all rule pairs for a rotation vector.
+  double total_emd(const std::vector<double>& rotations) const;
+
+ private:
+  const Design* design_;
+};
+
+}  // namespace emi::place

@@ -1,0 +1,74 @@
+#include "src/place/route.hpp"
+
+#include <algorithm>
+
+namespace emi::place {
+
+namespace {
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+}  // namespace
+
+std::vector<RoutedNet> route_nets(const Design& d, const Layout& layout,
+                                  const RouteOptions& opt) {
+  std::vector<RoutedNet> out;
+  out.reserve(d.nets().size());
+  for (const Net& net : d.nets()) {
+    RoutedNet rn;
+    rn.net = net.name;
+
+    // Collect placed pin positions; skip incomplete or cross-board nets.
+    std::vector<geom::Vec2> pins;
+    bool ok = !net.pins.empty();
+    int board = -1;
+    for (const NetPin& np : net.pins) {
+      const std::size_t ci = d.component_index(np.component);
+      const Placement& p = layout.placements[ci];
+      if (!p.placed) {
+        ok = false;
+        break;
+      }
+      if (board < 0) board = p.board;
+      if (p.board != board) {
+        ok = false;
+        break;
+      }
+      pins.push_back(d.pin_position(ci, np.pin, p));
+    }
+    if (ok && pins.size() >= 2) {
+      rn.board = board;
+      // Steiner star at the median point (the HPWL-optimal star center).
+      std::vector<double> xs, ys;
+      for (const geom::Vec2& p : pins) {
+        xs.push_back(p.x);
+        ys.push_back(p.y);
+      }
+      const geom::Vec2 star{median(xs), median(ys)};
+      bool horizontal_first = true;
+      for (const geom::Vec2& p : pins) {
+        // L-shaped route pin -> star.
+        const geom::Vec2 bend = horizontal_first ? geom::Vec2{star.x, p.y}
+                                                 : geom::Vec2{p.x, star.y};
+        if (geom::distance(p, bend) > 1e-9) rn.segments.push_back({p, bend});
+        if (geom::distance(bend, star) > 1e-9) rn.segments.push_back({bend, star});
+        if (opt.alternate_bends) horizontal_first = !horizontal_first;
+      }
+      for (const TraceSegment& s : rn.segments) rn.total_length_mm += s.length();
+    }
+    out.push_back(std::move(rn));
+  }
+  return out;
+}
+
+double total_trace_length(const std::vector<RoutedNet>& nets) {
+  double total = 0.0;
+  for (const RoutedNet& n : nets) total += n.total_length_mm;
+  return total;
+}
+
+}  // namespace emi::place

@@ -1,0 +1,45 @@
+// Minimal Manhattan router. The paper's Fig 11 models "components, traces,
+// vias and GND": once components are placed, the connecting traces are
+// field sources too. This router turns each net into L-shaped two-segment
+// Manhattan paths along a Steiner-star topology (every pin connects to the
+// net's median point), enough to
+//   * estimate per-net trace length and loop inductance, and
+//   * generate PEEC segment paths for trace-to-component coupling.
+// It is deliberately not a full gridded router - the paper's tool does
+// placement, not routing; we need the traces only as parasitic models.
+#pragma once
+
+#include <vector>
+
+#include "src/place/design.hpp"
+
+namespace emi::place {
+
+struct TraceSegment {
+  geom::Vec2 a;
+  geom::Vec2 b;
+  double length() const { return geom::distance(a, b); }
+};
+
+struct RoutedNet {
+  std::string net;
+  int board = 0;
+  std::vector<TraceSegment> segments;
+  double total_length_mm = 0.0;
+};
+
+struct RouteOptions {
+  // Pins route to the net median with horizontal-then-vertical L-shapes.
+  // When true, alternate the bend direction per pin to reduce overlap.
+  bool alternate_bends = true;
+};
+
+// Route all nets of a placed layout. Nets with unplaced pins or pins on
+// several boards are skipped (marked by an empty segment list).
+std::vector<RoutedNet> route_nets(const Design& d, const Layout& layout,
+                                  const RouteOptions& opt = {});
+
+// Total routed copper length.
+double total_trace_length(const std::vector<RoutedNet>& nets);
+
+}  // namespace emi::place

@@ -1,0 +1,191 @@
+#include "src/ckt/ac.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace emi::ckt {
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+TEST(AcSolve, ResistiveDivider) {
+  Circuit c;
+  c.add_vsource("V1", "in", "0", Waveform::dc(0.0), 1.0);
+  c.add_resistor("R1", "in", "out", 1000.0);
+  c.add_resistor("R2", "out", "0", 1000.0);
+  const AcSolution sol = ac_solve(c, {1e3, 1e6});
+  for (std::size_t fi = 0; fi < 2; ++fi) {
+    EXPECT_NEAR(std::abs(sol.voltage("out", fi)), 0.5, 1e-9);
+    EXPECT_NEAR(std::abs(sol.voltage("in", fi)), 1.0, 1e-9);
+  }
+}
+
+TEST(AcSolve, RcLowPassCornerFrequency) {
+  Circuit c;
+  c.add_vsource("V1", "in", "0", Waveform::dc(0.0), 1.0);
+  c.add_resistor("R1", "in", "out", 1000.0);
+  c.add_capacitor("C1", "out", "0", 1e-6);
+  const double fc = 1.0 / (kTwoPi * 1000.0 * 1e-6);
+  const AcSolution sol = ac_solve(c, {fc, 10.0 * fc});
+  // At the corner |H| = 1/sqrt(2); a decade above ~ -20 dB.
+  EXPECT_NEAR(std::abs(sol.voltage("out", 0)), 1.0 / std::sqrt(2.0), 1e-6);
+  EXPECT_NEAR(std::abs(sol.voltage("out", 1)), 1.0 / std::sqrt(101.0), 1e-6);
+  // Phase at the corner is -45 degrees.
+  EXPECT_NEAR(std::arg(sol.voltage("out", 0)) * 180.0 / std::numbers::pi, -45.0, 0.01);
+}
+
+TEST(AcSolve, RlHighPass) {
+  Circuit c;
+  c.add_vsource("V1", "in", "0", Waveform::dc(0.0), 1.0);
+  c.add_resistor("R1", "in", "out", 100.0);
+  c.add_inductor("L1", "out", "0", 1e-3);
+  const double fc = 100.0 / (kTwoPi * 1e-3);  // R/(2 pi L)
+  const AcSolution sol = ac_solve(c, {fc});
+  EXPECT_NEAR(std::abs(sol.voltage("out", 0)), 1.0 / std::sqrt(2.0), 1e-6);
+  // Inductor branch current = V_L / (j w L).
+  const Complex il = sol.inductor_current("L1", 0);
+  EXPECT_NEAR(std::abs(il), std::abs(sol.voltage("out", 0)) / (kTwoPi * fc * 1e-3),
+              1e-9);
+}
+
+TEST(AcSolve, SeriesRlcResonance) {
+  Circuit c;
+  c.add_vsource("V1", "in", "0", Waveform::dc(0.0), 1.0);
+  c.add_resistor("R1", "in", "a", 10.0);
+  c.add_inductor("L1", "a", "b", 1e-3);
+  c.add_capacitor("C1", "b", "0", 1e-9);
+  const double f0 = 1.0 / (kTwoPi * std::sqrt(1e-3 * 1e-9));
+  const AcSolution sol = ac_solve(c, {f0});
+  // At resonance L and C cancel: the full source current flows, I = V/R.
+  EXPECT_NEAR(std::abs(sol.inductor_current("L1", 0)), 0.1, 1e-4);
+}
+
+// Ideal transformer check: two coupled inductors with k -> voltage ratio
+// approaches sqrt(L2/L1) * k on an open secondary.
+TEST(AcSolve, CoupledInductorsOpenSecondary) {
+  Circuit c;
+  c.add_vsource("V1", "in", "0", Waveform::dc(0.0), 1.0);
+  c.add_resistor("Rs", "in", "p", 1.0);
+  c.add_inductor("L1", "p", "0", 1e-3);
+  c.add_inductor("L2", "s", "0", 4e-3);
+  c.add_coupling("K12", "L1", "L2", 0.9);
+  // Secondary loaded lightly to define the node.
+  c.add_resistor("Rl", "s", "0", 1e9);
+  const AcSolution sol = ac_solve(c, {100e3});
+  const double ratio = std::abs(sol.voltage("s", 0)) / std::abs(sol.voltage("p", 0));
+  EXPECT_NEAR(ratio, 0.9 * std::sqrt(4.0), 0.01);
+}
+
+TEST(AcSolve, CouplingSignMatters) {
+  Circuit c;
+  c.add_vsource("V1", "in", "0", Waveform::dc(0.0), 1.0);
+  c.add_resistor("Rs", "in", "p", 1.0);
+  c.add_inductor("L1", "p", "0", 1e-3);
+  c.add_inductor("L2", "s", "0", 1e-3);
+  c.add_resistor("Rl", "s", "0", 1e9);
+  c.add_coupling("K12", "L1", "L2", 0.5);
+  const AcSolution pos = ac_solve(c, {100e3});
+
+  Circuit c2;
+  c2.add_vsource("V1", "in", "0", Waveform::dc(0.0), 1.0);
+  c2.add_resistor("Rs", "in", "p", 1.0);
+  c2.add_inductor("L1", "p", "0", 1e-3);
+  c2.add_inductor("L2", "s", "0", 1e-3);
+  c2.add_resistor("Rl", "s", "0", 1e9);
+  c2.add_coupling("K12", "L1", "L2", -0.5);
+  const AcSolution neg = ac_solve(c2, {100e3});
+
+  const Complex vp = pos.voltage("s", 0);
+  const Complex vn = neg.voltage("s", 0);
+  EXPECT_NEAR(std::abs(vp + vn), 0.0, 1e-9);  // opposite phase
+  EXPECT_NEAR(std::abs(vp), std::abs(vn), 1e-12);
+}
+
+TEST(AcSolve, SourceScaleShapesOutput) {
+  Circuit c;
+  c.add_vsource("V1", "in", "0", Waveform::dc(0.0), 1.0);
+  c.add_resistor("R1", "in", "out", 1.0);
+  c.add_resistor("R2", "out", "0", 1.0);
+  AcOptions opt;
+  opt.source_scale = {2.0, 0.5};
+  const AcSolution sol = ac_solve(c, {1e3, 1e4}, opt);
+  EXPECT_NEAR(std::abs(sol.voltage("out", 0)), 1.0, 1e-9);
+  EXPECT_NEAR(std::abs(sol.voltage("out", 1)), 0.25, 1e-9);
+  opt.source_scale = {1.0};
+  EXPECT_THROW(ac_solve(c, {1e3, 1e4}, opt), std::invalid_argument);
+}
+
+TEST(AcSolve, CurrentSource) {
+  Circuit c;
+  c.add_isource("I1", "0", "out", Waveform::dc(0.0), 1e-3);
+  c.add_resistor("R1", "out", "0", 1000.0);
+  const AcSolution sol = ac_solve(c, {1e3});
+  EXPECT_NEAR(std::abs(sol.voltage("out", 0)), 1.0, 1e-9);
+}
+
+TEST(AcSolve, SwitchFrozenState) {
+  Circuit c;
+  c.add_vsource("V1", "in", "0", Waveform::dc(0.0), 1.0);
+  c.add_switch("S1", "in", "out", Waveform::dc(1.0), 1.0, 1e9);
+  c.add_resistor("R1", "out", "0", 1.0);
+  const AcSolution on = ac_solve(c, {1e3});
+  EXPECT_NEAR(std::abs(on.voltage("out", 0)), 0.5, 1e-6);
+  // Freeze off: nearly nothing gets through.
+  c.set_switch_ac_state("S1", false);
+  const AcSolution off = ac_solve(c, {1e3});
+  EXPECT_THROW(c.set_switch_ac_state("S9", true), std::invalid_argument);
+  EXPECT_LT(std::abs(off.voltage("out", 0)), 1e-6);
+}
+
+TEST(AcSolve, Validation) {
+  Circuit c;
+  c.add_vsource("V1", "in", "0", Waveform::dc(0.0), 1.0);
+  c.add_resistor("R1", "in", "0", 1.0);
+  EXPECT_THROW(ac_solve(c, {0.0}), std::invalid_argument);
+  EXPECT_THROW(ac_solve(c, {-5.0}), std::invalid_argument);
+  const AcSolution sol = ac_solve(c, {1e3});
+  EXPECT_THROW(sol.voltage("nope", 0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(std::abs(sol.voltage("0", 0)), 0.0);  // ground is 0
+}
+
+TEST(Circuit, ElementValidation) {
+  Circuit c;
+  EXPECT_THROW(c.add_resistor("R", "a", "b", 0.0), std::invalid_argument);
+  EXPECT_THROW(c.add_capacitor("C", "a", "b", -1.0), std::invalid_argument);
+  EXPECT_THROW(c.add_inductor("L", "a", "b", 0.0), std::invalid_argument);
+  c.add_resistor("R1", "a", "b", 1.0);
+  EXPECT_THROW(c.add_resistor("R1", "a", "b", 1.0), std::invalid_argument);  // dup
+  c.add_inductor("L1", "a", "b", 1e-6);
+  c.add_inductor("L2", "b", "0", 1e-6);
+  EXPECT_THROW(c.add_coupling("K", "L1", "L1", 0.5), std::invalid_argument);
+  EXPECT_THROW(c.add_coupling("K", "L1", "L2", 1.5), std::invalid_argument);
+  EXPECT_THROW(c.inductor_index("L9"), std::invalid_argument);
+}
+
+TEST(Circuit, InductanceMatrixSymmetric) {
+  Circuit c;
+  c.add_inductor("L1", "a", "0", 2e-6);
+  c.add_inductor("L2", "b", "0", 8e-6);
+  c.add_coupling("K", "L1", "L2", 0.25);
+  const auto m = c.inductance_matrix();
+  EXPECT_DOUBLE_EQ(m[0][0], 2e-6);
+  EXPECT_DOUBLE_EQ(m[1][1], 8e-6);
+  EXPECT_DOUBLE_EQ(m[0][1], 0.25 * 4e-6);
+  EXPECT_DOUBLE_EQ(m[0][1], m[1][0]);
+}
+
+TEST(Circuit, SetCouplingUpdatesInPlace) {
+  Circuit c;
+  c.add_inductor("L1", "a", "0", 1e-6);
+  c.add_inductor("L2", "b", "0", 1e-6);
+  c.set_coupling("L1", "L2", 0.3);
+  ASSERT_EQ(c.couplings().size(), 1u);
+  c.set_coupling("L2", "L1", 0.1);  // reversed order updates the same pair
+  ASSERT_EQ(c.couplings().size(), 1u);
+  EXPECT_DOUBLE_EQ(c.couplings()[0].k, 0.1);
+}
+
+}  // namespace
+}  // namespace emi::ckt

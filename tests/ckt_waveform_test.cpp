@@ -1,0 +1,84 @@
+#include "src/ckt/waveform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace emi::ckt {
+namespace {
+
+TEST(Waveform, Dc) {
+  const Waveform w = Waveform::dc(3.3);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 3.3);
+  EXPECT_DOUBLE_EQ(w.value(1e3), 3.3);
+}
+
+TEST(Waveform, Sine) {
+  const Waveform w = Waveform::sine(1.0, 2.0, 50.0);
+  EXPECT_NEAR(w.value(0.0), 1.0, 1e-12);                 // offset at phase 0
+  EXPECT_NEAR(w.value(0.005), 3.0, 1e-9);                // quarter period peak
+  EXPECT_NEAR(w.value(0.015), -1.0, 1e-9);               // trough
+  const Waveform w90 = Waveform::sine(0.0, 1.0, 50.0, 90.0);
+  EXPECT_NEAR(w90.value(0.0), 1.0, 1e-12);               // phase shift
+  EXPECT_THROW(Waveform::sine(0.0, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Waveform, TrapezoidShape) {
+  // 0 -> 1 V, period 10 us: rise 1 us, on 4 us, fall 1 us, off 4 us.
+  const Waveform w = Waveform::trapezoid(0.0, 1.0, 10e-6, 1e-6, 4e-6, 1e-6);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 0.0);
+  EXPECT_NEAR(w.value(0.5e-6), 0.5, 1e-12);   // mid rise
+  EXPECT_DOUBLE_EQ(w.value(1e-6), 1.0);
+  EXPECT_DOUBLE_EQ(w.value(3e-6), 1.0);       // on the flat top
+  EXPECT_NEAR(w.value(5.5e-6), 0.5, 1e-12);   // mid fall
+  EXPECT_DOUBLE_EQ(w.value(8e-6), 0.0);       // resting low
+  // Periodicity.
+  EXPECT_NEAR(w.value(13e-6), w.value(3e-6), 1e-12);
+  EXPECT_NEAR(w.value(-7e-6), w.value(3e-6), 1e-12);  // negative time wraps
+}
+
+TEST(Waveform, TrapezoidDelay) {
+  const Waveform w = Waveform::trapezoid(0.0, 1.0, 10e-6, 1e-6, 4e-6, 1e-6, 2e-6);
+  EXPECT_DOUBLE_EQ(w.value(2e-6), 0.0);
+  EXPECT_DOUBLE_EQ(w.value(3e-6), 1.0);
+}
+
+TEST(Waveform, TrapezoidValidation) {
+  EXPECT_THROW(Waveform::trapezoid(0, 1, 0.0, 1e-6, 1e-6, 1e-6), std::invalid_argument);
+  // rise + on + fall > period
+  EXPECT_THROW(Waveform::trapezoid(0, 1, 1e-6, 0.5e-6, 0.5e-6, 0.5e-6),
+               std::invalid_argument);
+  EXPECT_THROW(Waveform::trapezoid(0, 1, 1e-5, -1e-6, 1e-6, 1e-6), std::invalid_argument);
+}
+
+TEST(Waveform, TrapezoidZeroEdges) {
+  // Degenerate square wave: zero rise/fall must not divide by zero.
+  const Waveform w = Waveform::trapezoid(0.0, 1.0, 10e-6, 0.0, 5e-6, 0.0);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(w.value(4.9e-6), 1.0);
+  EXPECT_DOUBLE_EQ(w.value(5.1e-6), 0.0);
+}
+
+TEST(Waveform, Pwl) {
+  const Waveform w = Waveform::pwl({{0.0, 0.0}, {1.0, 10.0}, {3.0, 10.0}, {4.0, 0.0}});
+  EXPECT_DOUBLE_EQ(w.value(-1.0), 0.0);   // clamp left
+  EXPECT_DOUBLE_EQ(w.value(0.5), 5.0);    // interpolate
+  EXPECT_DOUBLE_EQ(w.value(2.0), 10.0);   // flat
+  EXPECT_DOUBLE_EQ(w.value(3.5), 5.0);
+  EXPECT_DOUBLE_EQ(w.value(9.0), 0.0);    // clamp right
+  EXPECT_THROW(Waveform::pwl({}), std::invalid_argument);
+  EXPECT_THROW(Waveform::pwl({{1.0, 0.0}, {0.5, 1.0}}), std::invalid_argument);
+}
+
+TEST(Waveform, TrapezoidAccessors) {
+  const Waveform w = Waveform::trapezoid(0.0, 12.0, 3.33e-6, 30e-9, 1.4e-6, 30e-9);
+  EXPECT_DOUBLE_EQ(w.trap_low(), 0.0);
+  EXPECT_DOUBLE_EQ(w.trap_high(), 12.0);
+  EXPECT_DOUBLE_EQ(w.trap_period(), 3.33e-6);
+  EXPECT_DOUBLE_EQ(w.trap_rise(), 30e-9);
+  EXPECT_DOUBLE_EQ(w.trap_on(), 1.4e-6);
+  EXPECT_DOUBLE_EQ(w.trap_fall(), 30e-9);
+}
+
+}  // namespace
+}  // namespace emi::ckt

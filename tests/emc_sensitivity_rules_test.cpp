@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/emi/lisn.hpp"
+#include "src/emi/rules.hpp"
+#include "src/emi/sensitivity.hpp"
+#include "src/peec/component_model.hpp"
+
+namespace emi::emc {
+namespace {
+
+// Pi filter testbed where coupling between the two capacitor ESLs is the
+// known dominant path - the sensitivity analysis must find it.
+ckt::Circuit pi_filter() {
+  ckt::Circuit c;
+  c.add_vsource("VB", "batt", "0", ckt::Waveform::dc(12.0));
+  attach_lisn(c, "batt", "vin");
+  c.add_inductor("L_C1", "vin", "c1a", 15e-9);
+  c.add_resistor("R_C1", "c1a", "c1b", 0.03);
+  c.add_capacitor("C_1", "c1b", "0", 1.5e-6);
+  c.add_inductor("L_FLT", "vin", "nn", 47e-6);
+  c.add_capacitor("C_PAR", "vin", "nn", 15e-12);
+  c.add_resistor("R_DMP", "vin", "nn", 15e3);
+  c.add_inductor("L_C2", "nn", "c2a", 15e-9);
+  c.add_resistor("R_C2", "c2a", "c2b", 0.03);
+  c.add_capacitor("C_2", "c2b", "0", 1.5e-6);
+  c.add_vsource("VN", "nz", "0", ckt::Waveform::dc(0.0), 1.0);
+  c.add_inductor("L_SRC", "nz", "nn", 20e-9);
+  return c;
+}
+
+TrapezoidSpectrum ref_noise() {
+  const double period = 1.0 / 300e3;
+  return spectrum_params(ckt::Waveform::trapezoid(0.0, 12.0, period, 30e-9,
+                                                  0.42 * period - 30e-9, 30e-9));
+}
+
+TEST(Sensitivity, RanksCapEslCouplingOnTop) {
+  SensitivityOptions opt;
+  opt.sweep.n_points = 40;
+  opt.candidates = {"L_C1", "L_C2", "L_SRC", "L_FLT"};
+  const auto ranked = rank_coupling_sensitivity(pi_filter(), "LISN_meas", ref_noise(),
+                                                opt);
+  ASSERT_EQ(ranked.size(), 6u);  // 4 choose 2
+  // Ranking is sorted descending.
+  for (std::size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(ranked[i - 1].max_delta_db, ranked[i].max_delta_db);
+  }
+  // The filter-bypassing pairs involving L_C1 dominate; the top pair must
+  // couple the LISN-side capacitor to the noisy side.
+  EXPECT_EQ(ranked.front().inductor_a < ranked.front().inductor_b
+                ? ranked.front().inductor_a
+                : ranked.front().inductor_b,
+            "L_C1");
+  EXPECT_GT(ranked.front().max_delta_db, 20.0);
+  // Every entry reports nonnegative impact and mean <= max.
+  for (const auto& s : ranked) {
+    EXPECT_GE(s.max_delta_db, 0.0);
+    EXPECT_LE(s.mean_delta_db, s.max_delta_db + 1e-12);
+  }
+}
+
+TEST(Sensitivity, DefaultsToAllInductors) {
+  SensitivityOptions opt;
+  opt.sweep.n_points = 10;
+  ckt::Circuit c;
+  c.add_vsource("VN", "in", "0", ckt::Waveform::dc(0.0), 1.0);
+  c.add_inductor("LA", "in", "m", 1e-6);
+  c.add_inductor("LB", "m", "out", 1e-6);
+  c.add_resistor("RL", "out", "0", 50.0);
+  const auto ranked = rank_coupling_sensitivity(c, "out", ref_noise(), opt);
+  EXPECT_EQ(ranked.size(), 1u);
+}
+
+TEST(Sensitivity, ExistingCouplingsRestored) {
+  ckt::Circuit c = pi_filter();
+  c.add_coupling("K0", "L_C1", "L_C2", 0.02);
+  SensitivityOptions opt;
+  opt.sweep.n_points = 10;
+  opt.candidates = {"L_C1", "L_C2"};
+  rank_coupling_sensitivity(c, "LISN_meas", ref_noise(), opt);
+  // The input circuit is taken by value; the original keeps its coupling.
+  ASSERT_EQ(c.couplings().size(), 1u);
+  EXPECT_DOUBLE_EQ(c.couplings()[0].k, 0.02);
+}
+
+TEST(Sensitivity, SignificantPairsFilter) {
+  std::vector<CouplingSensitivity> ranked = {
+      {"A", "B", 30.0, 10.0}, {"A", "C", 5.0, 1.0}, {"B", "C", 0.5, 0.1}};
+  const auto sig = significant_pairs(ranked, 1.0);
+  ASSERT_EQ(sig.size(), 2u);
+  EXPECT_EQ(sig[1].inductor_b, "C");
+}
+
+TEST(Rules, EffectiveMinDistanceCosLaw) {
+  EXPECT_DOUBLE_EQ(effective_min_distance(20.0, 0.0), 20.0);
+  EXPECT_NEAR(effective_min_distance(20.0, 60.0), 10.0, 1e-12);
+  EXPECT_NEAR(effective_min_distance(20.0, 90.0), 0.0, 1e-12);
+  // Axis folding: 180 deg is the same axis, 120 folds to 60.
+  EXPECT_DOUBLE_EQ(effective_min_distance(20.0, 180.0), 20.0);
+  EXPECT_NEAR(effective_min_distance(20.0, 120.0), 10.0, 1e-12);
+}
+
+TEST(Rules, DeriverProducesOrderedRuleTable) {
+  const peec::ComponentFieldModel c1 = peec::x_capacitor("C1");
+  const peec::ComponentFieldModel c2 = peec::x_capacitor("C2");
+  const peec::ComponentFieldModel lf = peec::bobbin_coil("LF");
+  const peec::CouplingExtractor ex;
+  const RuleDeriver deriver(ex);
+
+  const MinDistanceRule r = deriver.derive(c1, c2);
+  EXPECT_EQ(r.comp_a, "C1");
+  EXPECT_EQ(r.comp_b, "C2");
+  EXPECT_GT(r.pemd_mm, 5.0);
+  EXPECT_LT(r.pemd_mm, 100.0);
+  EXPECT_DOUBLE_EQ(r.k_threshold, 0.01);
+
+  const auto all = deriver.derive_all({&c1, &c2, &lf});
+  EXPECT_EQ(all.size(), 3u);  // 3 choose 2
+}
+
+TEST(Rules, StricterThresholdLargerDistance) {
+  const peec::ComponentFieldModel c1 = peec::x_capacitor("C1");
+  const peec::ComponentFieldModel c2 = peec::x_capacitor("C2");
+  const peec::CouplingExtractor ex;
+  const RuleDeriver loose(ex, {0.05, 2.0, 200.0, 0.25});
+  const RuleDeriver strict(ex, {0.005, 2.0, 200.0, 0.25});
+  EXPECT_GT(strict.derive(c1, c2).pemd_mm, loose.derive(c1, c2).pemd_mm);
+}
+
+}  // namespace
+}  // namespace emi::emc

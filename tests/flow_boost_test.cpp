@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/flow/design_flow.hpp"
+#include "src/numeric/stats.hpp"
+#include "src/place/drc.hpp"
+
+namespace emi::flow {
+namespace {
+
+TEST(BoostConverter, InventoryConsistent) {
+  const ConverterModel bc = make_boost_converter();
+  EXPECT_EQ(bc.models.size(), 6u);
+  EXPECT_EQ(bc.inductor_model.size(), 6u);
+  EXPECT_EQ(bc.board.components().size(), 6u);
+  for (const auto& [lname, mi] : bc.inductor_model) {
+    EXPECT_NO_THROW(bc.circuit.inductor_index(lname));
+    EXPECT_TRUE(bc.board.find_component(bc.models[mi].name).has_value());
+  }
+  // Boost duty: noise trapezoid rides to Vout = 24 V.
+  EXPECT_DOUBLE_EQ(bc.noise.amplitude, 24.0);
+}
+
+TEST(BoostConverter, LayoutsGeometricallyLegal) {
+  const ConverterModel bc = make_boost_converter();
+  for (const place::Layout& l :
+       {boost_layout_unfavorable(bc), boost_layout_optimized(bc)}) {
+    const place::DrcReport r = place::DrcEngine(bc.board).check(l);
+    EXPECT_EQ(r.count(place::ViolationKind::kOverlap), 0u);
+    EXPECT_EQ(r.count(place::ViolationKind::kOutsideArea), 0u);
+    EXPECT_EQ(r.count(place::ViolationKind::kUnplaced), 0u);
+    EXPECT_EQ(r.count(place::ViolationKind::kGroupSplit), 0u);
+  }
+}
+
+TEST(BoostConverter, BoostInductorCouplingReactsToPlacement) {
+  // The boost inductor is this topology's characteristic aggressor: parked
+  // next to the filter choke (unfavorable layout) it couples measurably;
+  // moved to the far corner with a perpendicular axis the coupling falls
+  // severalfold.
+  const ConverterModel bc = make_boost_converter();
+  const peec::CouplingExtractor ex;
+  const auto k_of = [&](const place::Layout& l, const char* comp_a,
+                        const char* comp_b) {
+    const peec::PlacedModel pa{bc.model_for_component(comp_a),
+                               pose_of(bc, l, comp_a)};
+    const peec::PlacedModel pb{bc.model_for_component(comp_b),
+                               pose_of(bc, l, comp_b)};
+    return std::fabs(ex.coupling_factor(pa, pb));
+  };
+  const place::Layout bad = boost_layout_unfavorable(bc);
+  const place::Layout good = boost_layout_optimized(bc);
+  const double k_bad = k_of(bad, "LBOOST", "LF");
+  const double k_good = k_of(good, "LBOOST", "LF");
+  EXPECT_GT(k_bad, 3e-4);
+  EXPECT_GT(k_bad / std::max(k_good, 1e-9), 3.0);
+}
+
+TEST(BoostConverter, PlacementImprovesEmissions) {
+  const ConverterModel bc = make_boost_converter();
+  const peec::CouplingExtractor ex;
+  emc::EmissionSweepOptions sweep;
+  sweep.n_points = 60;
+  const emc::EmissionSpectrum bad = emc::conducted_emission(
+      circuit_with_couplings(bc, boost_layout_unfavorable(bc), ex), bc.meas_node,
+      bc.noise, sweep);
+  const emc::EmissionSpectrum good = emc::conducted_emission(
+      circuit_with_couplings(bc, boost_layout_optimized(bc), ex), bc.meas_node,
+      bc.noise, sweep);
+  double best = 0.0;
+  for (std::size_t i = 0; i < bad.level_dbuv.size(); ++i) {
+    best = std::max(best, bad.level_dbuv[i] - good.level_dbuv[i]);
+  }
+  EXPECT_GT(best, 2.0);  // smaller than the buck: the boost input is
+  // inherently quiet (continuous inductor current), so placement buys fewer
+  // dB here - the topology dependence is itself the point of the test.
+}
+
+TEST(BoostConverter, FullDesignFlowRuns) {
+  ConverterModel bc = make_boost_converter();
+  FlowOptions opt;
+  opt.sweep.n_points = 40;
+  const FlowResult res = run_design_flow(bc, boost_layout_unfavorable(bc), opt);
+  EXPECT_FALSE(res.simulated_pairs.empty());
+  EXPECT_FALSE(res.rules.empty());
+  EXPECT_EQ(res.place_stats.failed, 0u);
+  EXPECT_TRUE(res.drc_improved.clean());
+  // Coupled prediction correlates with the synthetic measurement.
+  const emc::EmissionSpectrum meas = emc::pseudo_measure(res.initial_prediction);
+  EXPECT_GT(num::pearson(res.initial_prediction.level_dbuv, meas.level_dbuv), 0.9);
+}
+
+}  // namespace
+}  // namespace emi::flow

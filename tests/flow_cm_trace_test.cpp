@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/flow/cm_model.hpp"
+#include "src/flow/trace_model.hpp"
+#include "src/numeric/stats.hpp"
+
+namespace emi::flow {
+namespace {
+
+double max_level(const emc::EmissionSpectrum& s) {
+  double m = -300.0;
+  for (double v : s.level_dbuv) m = std::max(m, v);
+  return m;
+}
+
+TEST(CmModel, YCapReducesCmNoise) {
+  emc::EmissionSweepOptions sweep;
+  sweep.n_points = 60;
+  CmModelParams with;
+  CmModelParams without = with;
+  without.with_ycap = false;
+  const double lvl_with = max_level(cm_emission(with, sweep));
+  const double lvl_without = max_level(cm_emission(without, sweep));
+  EXPECT_LT(lvl_with, lvl_without - 5.0);
+}
+
+TEST(CmModel, ChokeReducesCmNoise) {
+  emc::EmissionSweepOptions sweep;
+  sweep.n_points = 60;
+  CmModelParams with;
+  CmModelParams without = with;
+  without.with_choke = false;
+  EXPECT_LT(max_level(cm_emission(with, sweep)),
+            max_level(cm_emission(without, sweep)) - 5.0);
+}
+
+TEST(CmModel, ParasiticCapacitanceDrivesLevel) {
+  emc::EmissionSweepOptions sweep;
+  sweep.n_points = 60;
+  CmModelParams small;
+  small.c_par = 20e-12;
+  CmModelParams large;
+  large.c_par = 200e-12;
+  // 10x injection capacitance ~ +20 dB at frequencies where C_par is the
+  // bottleneck.
+  const double delta = max_level(cm_emission(large, sweep)) -
+                       max_level(cm_emission(small, sweep));
+  EXPECT_GT(delta, 10.0);
+  EXPECT_LT(delta, 25.0);
+}
+
+TEST(CmModel, ChokeYcapCouplingDegradesFilter) {
+  // The Fig 8 mechanism at circuit level: leakage coupling between the CM
+  // choke and the Y-cap ESL bypasses the filter at high frequency.
+  emc::EmissionSweepOptions sweep;
+  sweep.f_min_hz = 5e6;  // the ESL-coupling region
+  sweep.n_points = 60;
+  CmModelParams decoupled;   // k = 0 (capacitor at a preferred position)
+  CmModelParams coupled;
+  coupled.k_choke_ycap = 0.02;  // capacitor at a bad bearing
+  const emc::EmissionSpectrum s0 = cm_emission(decoupled, sweep);
+  const emc::EmissionSpectrum s1 = cm_emission(coupled, sweep);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < s0.level_dbuv.size(); ++i) {
+    worst = std::max(worst, s1.level_dbuv[i] - s0.level_dbuv[i]);
+  }
+  EXPECT_GT(worst, 6.0);
+}
+
+TEST(CmModel, MeasNodeAndNoiseExposed) {
+  const CmModel m = make_cm_model();
+  EXPECT_EQ(m.meas_node, "lisn_cm");
+  EXPECT_TRUE(m.circuit.find_node("lisn_cm").has_value());
+  EXPECT_DOUBLE_EQ(m.noise.amplitude, 12.0);
+}
+
+TEST(TraceModel, RoutedInductanceScalesWithLength) {
+  place::RoutedNet short_net{"s", 0, {{{0, 0}, {10, 0}}}, 10.0};
+  place::RoutedNet long_net{"l", 0, {{{0, 0}, {40, 0}}}, 40.0};
+  const double ls = routed_net_inductance(short_net);
+  const double ll = routed_net_inductance(long_net);
+  EXPECT_GT(ll, 3.0 * ls);  // superlinear (log term)
+  // ~0.6-0.9 nH/mm for a 1.5 mm trace.
+  EXPECT_GT(ll, 20e-9);
+  EXPECT_LT(ll, 50e-9);
+}
+
+TEST(TraceModel, PathBuiltAtTraceHeight) {
+  place::RoutedNet net{"n", 0, {{{0, 0}, {10, 0}}, {{10, 0}, {10, 5}}}, 15.0};
+  const peec::SegmentPath path = routed_net_path(net);
+  ASSERT_EQ(path.segments.size(), 2u);
+  EXPECT_DOUBLE_EQ(path.segments[0].a.z, 0.1);
+  EXPECT_NEAR(path.total_length(), 15.0, 1e-9);
+}
+
+TEST(TraceModel, ReportCoversAllNets) {
+  const BuckConverter bc = make_buck_converter();
+  const place::Layout bad = layout_unfavorable(bc);
+  const auto report = trace_report(bc, bad);
+  EXPECT_EQ(report.size(), bc.board.nets().size());
+  for (const auto& row : report) {
+    EXPECT_GT(row.length_mm, 0.0) << row.net;
+    EXPECT_GT(row.inductance_nh, 0.0) << row.net;
+  }
+}
+
+TEST(TraceModel, LayoutTracesUpdateLoopInductance) {
+  const BuckConverter bc = make_buck_converter();
+  const peec::CouplingExtractor ex;
+  const place::Layout bad = layout_unfavorable(bc);
+  const ckt::Circuit base = circuit_with_couplings(bc, bad, ex);
+  const ckt::Circuit traced = circuit_with_layout_traces(bc, bad, ex);
+  const double l_base = base.inductors()[base.inductor_index("L_LOOP")].henries;
+  const double l_traced =
+      traced.inductors()[traced.inductor_index("L_LOOP")].henries;
+  EXPECT_NE(l_base, l_traced);  // the schematic guess got replaced
+  EXPECT_GT(l_traced, 5e-9);
+  EXPECT_LT(l_traced, 200e-9);
+}
+
+TEST(TraceModel, FartherLayoutMoreLoopInductance) {
+  const BuckConverter bc = make_buck_converter();
+  const peec::CouplingExtractor ex;
+  // In the unfavorable layout the N_SW members sit close together; in the
+  // optimized one they are spread - the routed loop inductance grows.
+  const ckt::Circuit bad_ckt = circuit_with_layout_traces(bc, layout_unfavorable(bc), ex);
+  const ckt::Circuit good_ckt = circuit_with_layout_traces(bc, layout_optimized(bc), ex);
+  const double l_bad = bad_ckt.inductors()[bad_ckt.inductor_index("L_LOOP")].henries;
+  const double l_good = good_ckt.inductors()[good_ckt.inductor_index("L_LOOP")].henries;
+  EXPECT_GT(l_good, 0.0);
+  EXPECT_GT(l_bad, 0.0);
+}
+
+}  // namespace
+}  // namespace emi::flow

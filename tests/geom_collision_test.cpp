@@ -1,0 +1,49 @@
+#include "src/geom/collision.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emi::geom {
+namespace {
+
+TEST(Clearance, OkAtOrAboveClearance) {
+  const Rect a = Rect::from_corners({0, 0}, {2, 2});
+  const Rect b = Rect::from_corners({3, 0}, {5, 2});  // gap 1
+  EXPECT_TRUE(clearance_ok(a, b, 1.0));
+  EXPECT_TRUE(clearance_ok(a, b, 0.5));
+  EXPECT_FALSE(clearance_ok(a, b, 1.5));
+}
+
+TEST(Clearance, OverlapAlwaysFails) {
+  const Rect a = Rect::from_corners({0, 0}, {2, 2});
+  const Rect b = Rect::from_corners({1, 1}, {3, 3});
+  EXPECT_FALSE(clearance_ok(a, b, 0.0));
+}
+
+TEST(Keepouts, MultipleVolumes) {
+  const std::vector<Cuboid> kos = {
+      Cuboid::full_height(Rect::from_corners({0, 0}, {5, 5})),
+      {Rect::from_corners({10, 0}, {15, 5}), 6.0, 100.0},
+  };
+  EXPECT_FALSE(keepouts_ok(Rect::from_corners({1, 1}, {3, 3}), 2.0, kos));
+  EXPECT_TRUE(keepouts_ok(Rect::from_corners({11, 1}, {13, 3}), 2.0, kos));
+  EXPECT_FALSE(keepouts_ok(Rect::from_corners({11, 1}, {13, 3}), 8.0, kos));
+  EXPECT_TRUE(keepouts_ok(Rect::from_corners({20, 20}, {25, 25}), 50.0, kos));
+}
+
+TEST(InsideArea, EdgeClearance) {
+  const Polygon area = Polygon::rectangle(Rect::from_corners({0, 0}, {20, 20}));
+  const Rect fp = Rect::from_corners({1, 1}, {5, 5});
+  EXPECT_TRUE(inside_area(fp, area, 0.0));
+  EXPECT_FALSE(inside_area(fp, area, 2.0));  // too close to the edge
+  EXPECT_TRUE(inside_area(Rect::from_corners({5, 5}, {9, 9}), area, 2.0));
+}
+
+TEST(Hpwl, KnownValues) {
+  EXPECT_DOUBLE_EQ(hpwl({}), 0.0);
+  EXPECT_DOUBLE_EQ(hpwl({{1, 1}}), 0.0);
+  EXPECT_DOUBLE_EQ(hpwl({{0, 0}, {3, 4}}), 7.0);
+  EXPECT_DOUBLE_EQ(hpwl({{0, 0}, {3, 4}, {1, 6}}), 9.0);
+}
+
+}  // namespace
+}  // namespace emi::geom

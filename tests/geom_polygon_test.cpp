@@ -1,0 +1,126 @@
+#include "src/geom/polygon.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emi::geom {
+namespace {
+
+Polygon l_shape() {
+  // L-shaped board: 10 x 10 with a 5 x 5 bite from the top-right.
+  return Polygon{{0, 0}, {10, 0}, {10, 5}, {5, 5}, {5, 10}, {0, 10}};
+}
+
+TEST(Polygon, AreaAndOrientationNormalization) {
+  const Polygon ccw{{0, 0}, {4, 0}, {4, 3}, {0, 3}};
+  EXPECT_DOUBLE_EQ(ccw.area(), 12.0);
+  // Clockwise input is normalized to CCW, area stays positive.
+  const Polygon cw{{0, 0}, {0, 3}, {4, 3}, {4, 0}};
+  EXPECT_DOUBLE_EQ(cw.area(), 12.0);
+  EXPECT_DOUBLE_EQ(l_shape().area(), 75.0);
+}
+
+TEST(Polygon, Bbox) {
+  const Rect bb = l_shape().bbox();
+  EXPECT_EQ(bb, Rect::from_corners({0, 0}, {10, 10}));
+}
+
+TEST(Polygon, CentroidOfRectangle) {
+  const Polygon p = Polygon::rectangle(Rect::from_corners({2, 2}, {6, 4}));
+  const Vec2 c = p.centroid();
+  EXPECT_NEAR(c.x, 4.0, 1e-12);
+  EXPECT_NEAR(c.y, 3.0, 1e-12);
+}
+
+TEST(Polygon, ContainsPoint) {
+  const Polygon p = l_shape();
+  EXPECT_TRUE(p.contains(Vec2{2, 2}));
+  EXPECT_TRUE(p.contains(Vec2{8, 2}));   // in the leg
+  EXPECT_TRUE(p.contains(Vec2{2, 8}));   // in the other leg
+  EXPECT_FALSE(p.contains(Vec2{8, 8}));  // in the bite
+  EXPECT_TRUE(p.contains(Vec2{0, 0}));   // vertex counts as inside
+  EXPECT_TRUE(p.contains(Vec2{5, 7}));   // on the inner edge
+  EXPECT_FALSE(p.contains(Vec2{-1, 5}));
+}
+
+TEST(Polygon, ContainsRect) {
+  const Polygon p = l_shape();
+  EXPECT_TRUE(p.contains(Rect::from_corners({1, 1}, {4, 4})));
+  EXPECT_TRUE(p.contains(Rect::from_corners({6, 1}, {9, 4})));
+  EXPECT_FALSE(p.contains(Rect::from_corners({6, 6}, {9, 9})));   // in the bite
+  EXPECT_FALSE(p.contains(Rect::from_corners({4, 4}, {6, 6})));   // straddles notch
+  EXPECT_FALSE(p.contains(Rect::from_corners({-1, 1}, {2, 3})));  // sticks out
+}
+
+// Non-convex trap: all four rect corners inside, but an edge dips through.
+TEST(Polygon, ContainsRectCatchesEdgeCrossing) {
+  // A "pac-man": square with a wedge cut into the right side.
+  const Polygon pac{{0, 0}, {10, 0}, {10, 4}, {4, 5}, {10, 6}, {0, 10}};
+  const Rect r = Rect::from_corners({3, 1}, {9, 9});
+  // Some corners may be inside, but the wedge edges cross the rectangle.
+  EXPECT_FALSE(pac.contains(r));
+}
+
+TEST(Polygon, BoundaryDistance) {
+  const Polygon p = Polygon::rectangle(Rect::from_corners({0, 0}, {10, 10}));
+  EXPECT_NEAR(p.boundary_distance({5, 5}), 5.0, 1e-12);
+  EXPECT_NEAR(p.boundary_distance({0, 5}), 0.0, 1e-12);
+  EXPECT_NEAR(p.boundary_distance({12, 5}), 2.0, 1e-12);
+}
+
+TEST(Polygon, ShrunkRectangle) {
+  const Polygon p = Polygon::rectangle(Rect::from_corners({0, 0}, {10, 10}));
+  const Polygon s = p.shrunk(2.0);
+  ASSERT_TRUE(s.valid());
+  EXPECT_NEAR(s.area(), 36.0, 1e-9);
+  EXPECT_TRUE(s.contains(Vec2{5, 5}));
+  EXPECT_FALSE(s.contains(Vec2{1, 1}));
+}
+
+TEST(Polygon, ShrunkTooMuchBecomesInvalid) {
+  const Polygon p = Polygon::rectangle(Rect::from_corners({0, 0}, {4, 4}));
+  EXPECT_FALSE(p.shrunk(3.0).valid());
+}
+
+TEST(Polygon, ShrunkZeroIsIdentity) {
+  const Polygon p = l_shape();
+  EXPECT_DOUBLE_EQ(p.shrunk(0.0).area(), p.area());
+}
+
+TEST(Polygon, InvalidPolygons) {
+  EXPECT_FALSE(Polygon{}.valid());
+  EXPECT_FALSE((Polygon{{0, 0}, {1, 1}}).valid());
+  EXPECT_FALSE(Polygon{}.contains(Vec2{0, 0}));
+}
+
+TEST(Segments, Intersection) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {2, 2}, {0, 2}, {2, 0}));
+  EXPECT_FALSE(segments_intersect({0, 0}, {1, 1}, {2, 2}, {3, 3}));
+  // Collinear overlapping counts as intersecting.
+  EXPECT_TRUE(segments_intersect({0, 0}, {2, 0}, {1, 0}, {3, 0}));
+  // T-junction endpoint touch.
+  EXPECT_TRUE(segments_intersect({0, 0}, {2, 0}, {1, 0}, {1, 2}));
+}
+
+TEST(Segments, PointDistance) {
+  EXPECT_DOUBLE_EQ(point_segment_distance({0, 1}, {-1, 0}, {1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(point_segment_distance({3, 0}, {-1, 0}, {1, 0}), 2.0);
+  EXPECT_DOUBLE_EQ(point_segment_distance({0, 0}, {0, 0}, {0, 0}), 0.0);
+}
+
+// Property sweep: shrinking by m then testing a point at distance > m from
+// the boundary of the original must keep the centroid inside (convex case).
+class ShrinkProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ShrinkProperty, CentroidStaysInside) {
+  const Polygon p = Polygon::rectangle(Rect::from_corners({0, 0}, {20, 12}));
+  const Polygon s = p.shrunk(GetParam());
+  ASSERT_TRUE(s.valid());
+  EXPECT_TRUE(s.contains(p.centroid()));
+  EXPECT_LT(s.area(), p.area());
+}
+
+INSTANTIATE_TEST_SUITE_P(Margins, ShrinkProperty,
+                         ::testing::Values(0.5, 1.0, 2.0, 3.5, 5.0));
+
+}  // namespace
+}  // namespace emi::geom

@@ -1,0 +1,106 @@
+#include "src/geom/rect.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/geom/cuboid.hpp"
+
+namespace emi::geom {
+namespace {
+
+TEST(Rect, FactoriesNormalizeCorners) {
+  const Rect r = Rect::from_corners({5.0, 7.0}, {1.0, 2.0});
+  EXPECT_EQ(r.lo, (Vec2{1.0, 2.0}));
+  EXPECT_EQ(r.hi, (Vec2{5.0, 7.0}));
+  const Rect c = Rect::from_center({0.0, 0.0}, 4.0, 2.0);
+  EXPECT_EQ(c.lo, (Vec2{-2.0, -1.0}));
+  EXPECT_EQ(c.hi, (Vec2{2.0, 1.0}));
+}
+
+TEST(Rect, Dimensions) {
+  const Rect r = Rect::from_corners({0, 0}, {4, 3});
+  EXPECT_DOUBLE_EQ(r.width(), 4.0);
+  EXPECT_DOUBLE_EQ(r.height(), 3.0);
+  EXPECT_DOUBLE_EQ(r.area(), 12.0);
+  EXPECT_EQ(r.center(), (Vec2{2.0, 1.5}));
+}
+
+TEST(Rect, EmptyBehaves) {
+  Rect e = Rect::empty();
+  EXPECT_TRUE(e.is_empty());
+  EXPECT_DOUBLE_EQ(e.area(), 0.0);
+  e.expand(Vec2{1.0, 2.0});
+  EXPECT_FALSE(e.is_empty());
+  EXPECT_EQ(e.lo, e.hi);
+}
+
+TEST(Rect, ContainsPointAndRect) {
+  const Rect r = Rect::from_corners({0, 0}, {10, 10});
+  EXPECT_TRUE(r.contains(Vec2{5, 5}));
+  EXPECT_TRUE(r.contains(Vec2{0, 0}));  // boundary inclusive
+  EXPECT_FALSE(r.contains(Vec2{10.1, 5}));
+  EXPECT_TRUE(r.contains(Rect::from_corners({1, 1}, {9, 9})));
+  EXPECT_FALSE(r.contains(Rect::from_corners({5, 5}, {11, 9})));
+}
+
+TEST(Rect, OverlapIsStrict) {
+  const Rect a = Rect::from_corners({0, 0}, {5, 5});
+  EXPECT_TRUE(a.overlaps(Rect::from_corners({4, 4}, {6, 6})));
+  // Touching edges do not count as overlap (abutting placement is legal).
+  EXPECT_FALSE(a.overlaps(Rect::from_corners({5, 0}, {10, 5})));
+  EXPECT_FALSE(a.overlaps(Rect::from_corners({6, 0}, {10, 5})));
+}
+
+TEST(Rect, GapTo) {
+  const Rect a = Rect::from_corners({0, 0}, {2, 2});
+  EXPECT_DOUBLE_EQ(a.gap_to(Rect::from_corners({5, 0}, {7, 2})), 3.0);
+  EXPECT_DOUBLE_EQ(a.gap_to(Rect::from_corners({0, 6}, {2, 8})), 4.0);
+  // Diagonal gap is Euclidean.
+  EXPECT_DOUBLE_EQ(a.gap_to(Rect::from_corners({5, 6}, {7, 8})), 5.0);
+  EXPECT_DOUBLE_EQ(a.gap_to(Rect::from_corners({1, 1}, {3, 3})), 0.0);
+}
+
+TEST(Rect, InflateTranslateExpand) {
+  const Rect r = Rect::from_corners({0, 0}, {2, 2});
+  EXPECT_EQ(r.inflated(1.0), Rect::from_corners({-1, -1}, {3, 3}));
+  EXPECT_EQ(r.translated({1, 2}), Rect::from_corners({1, 2}, {3, 4}));
+  Rect e = r;
+  e.expand(Rect::from_corners({5, 5}, {6, 6}));
+  EXPECT_EQ(e, Rect::from_corners({0, 0}, {6, 6}));
+}
+
+TEST(FootprintBbox, AxisAlignedRotations) {
+  // 4 x 2 footprint: at 0/180 deg the bbox is 4 x 2, at 90/270 it is 2 x 4.
+  const Rect r0 = footprint_bbox({0, 0}, 4.0, 2.0, 0.0);
+  EXPECT_NEAR(r0.width(), 4.0, 1e-12);
+  EXPECT_NEAR(r0.height(), 2.0, 1e-12);
+  const Rect r90 = footprint_bbox({0, 0}, 4.0, 2.0, 90.0);
+  EXPECT_NEAR(r90.width(), 2.0, 1e-12);
+  EXPECT_NEAR(r90.height(), 4.0, 1e-12);
+  const Rect r180 = footprint_bbox({0, 0}, 4.0, 2.0, 180.0);
+  EXPECT_NEAR(r180.width(), 4.0, 1e-12);
+}
+
+TEST(FootprintBbox, DiagonalRotationGrows) {
+  const Rect r45 = footprint_bbox({0, 0}, 4.0, 2.0, 45.0);
+  // w*cos + h*sin = (4 + 2)/sqrt(2)
+  EXPECT_NEAR(r45.width(), 6.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(r45.height(), 6.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(Cuboid, BlocksByHeight) {
+  // Keepout volume starting 8 mm above the board (housing rib).
+  const Cuboid rib{Rect::from_corners({0, 0}, {10, 10}), 8.0, 100.0};
+  const Rect fp = Rect::from_corners({2, 2}, {6, 6});
+  EXPECT_FALSE(rib.blocks(fp, 5.0));  // short part slides under
+  EXPECT_TRUE(rib.blocks(fp, 12.0));  // tall part collides
+  EXPECT_FALSE(rib.blocks(Rect::from_corners({20, 20}, {25, 25}), 12.0));
+}
+
+TEST(Cuboid, FullHeightBlocksEverything) {
+  const Cuboid k = Cuboid::full_height(Rect::from_corners({0, 0}, {10, 10}));
+  EXPECT_TRUE(k.blocks(Rect::from_corners({2, 2}, {6, 6}), 0.5));
+  EXPECT_TRUE(k.blocks(Rect::from_corners({2, 2}, {6, 6}), 50.0));
+}
+
+}  // namespace
+}  // namespace emi::geom

@@ -1,0 +1,106 @@
+#include "src/geom/vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/geom/angle.hpp"
+
+namespace emi::geom {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(-a, (Vec2{-1.0, -2.0}));
+  EXPECT_EQ(a / 2.0, (Vec2{0.5, 1.0}));
+}
+
+TEST(Vec2, DotAndCross) {
+  EXPECT_DOUBLE_EQ((Vec2{1, 0}).dot({0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ((Vec2{2, 3}).dot({4, 5}), 23.0);
+  EXPECT_DOUBLE_EQ((Vec2{1, 0}).cross({0, 1}), 1.0);   // CCW positive
+  EXPECT_DOUBLE_EQ((Vec2{0, 1}).cross({1, 0}), -1.0);  // CW negative
+}
+
+TEST(Vec2, NormAndNormalize) {
+  EXPECT_DOUBLE_EQ((Vec2{3, 4}).norm(), 5.0);
+  EXPECT_DOUBLE_EQ((Vec2{3, 4}).norm2(), 25.0);
+  const Vec2 n = Vec2{3, 4}.normalized();
+  EXPECT_NEAR(n.norm(), 1.0, 1e-12);
+  EXPECT_EQ(Vec2{}.normalized(), Vec2{});  // zero vector stays zero
+}
+
+TEST(Vec2, Perp) {
+  const Vec2 v{2, 1};
+  EXPECT_DOUBLE_EQ(v.dot(v.perp()), 0.0);
+  EXPECT_DOUBLE_EQ(v.cross(v.perp()), v.norm2());  // perp is 90 deg CCW
+}
+
+TEST(Vec2, Distance) { EXPECT_DOUBLE_EQ(distance(Vec2{0, 0}, Vec2{3, 4}), 5.0); }
+
+TEST(Vec3, CrossProduct) {
+  const Vec3 x{1, 0, 0}, y{0, 1, 0}, z{0, 0, 1};
+  EXPECT_EQ(x.cross(y), z);
+  EXPECT_EQ(y.cross(z), x);
+  EXPECT_EQ(z.cross(x), y);
+  EXPECT_EQ(x.cross(x), Vec3{});
+}
+
+TEST(Vec3, NormAndDot) {
+  EXPECT_DOUBLE_EQ((Vec3{1, 2, 2}).norm(), 3.0);
+  EXPECT_DOUBLE_EQ((Vec3{1, 2, 3}).dot({4, 5, 6}), 32.0);
+}
+
+TEST(Angle, DegRadRoundTrip) {
+  EXPECT_DOUBLE_EQ(deg_to_rad(180.0), kPi);
+  EXPECT_DOUBLE_EQ(rad_to_deg(kPi / 2.0), 90.0);
+  EXPECT_NEAR(rad_to_deg(deg_to_rad(37.5)), 37.5, 1e-12);
+}
+
+TEST(Angle, NormalizeDeg) {
+  EXPECT_DOUBLE_EQ(normalize_deg(370.0), 10.0);
+  EXPECT_DOUBLE_EQ(normalize_deg(-10.0), 350.0);
+  EXPECT_DOUBLE_EQ(normalize_deg(720.0), 0.0);
+}
+
+TEST(Angle, AngleBetween) {
+  EXPECT_DOUBLE_EQ(angle_between_deg(350.0, 10.0), 20.0);
+  EXPECT_DOUBLE_EQ(angle_between_deg(0.0, 180.0), 180.0);
+}
+
+// Magnetic axes are undirected: 0 and 180 deg are the same axis.
+TEST(Angle, AxisAngleFolds) {
+  EXPECT_DOUBLE_EQ(axis_angle_deg(0.0, 180.0), 0.0);
+  EXPECT_DOUBLE_EQ(axis_angle_deg(0.0, 90.0), 90.0);
+  EXPECT_DOUBLE_EQ(axis_angle_deg(0.0, 270.0), 90.0);
+  EXPECT_DOUBLE_EQ(axis_angle_deg(45.0, 225.0), 0.0);
+  EXPECT_DOUBLE_EQ(axis_angle_deg(10.0, 150.0), 40.0);
+}
+
+TEST(Angle, Rotate) {
+  const Vec2 r = rotate_deg({1.0, 0.0}, 90.0);
+  EXPECT_NEAR(r.x, 0.0, 1e-12);
+  EXPECT_NEAR(r.y, 1.0, 1e-12);
+  const Vec3 r3 = rotate_z({1.0, 0.0, 5.0}, kPi);
+  EXPECT_NEAR(r3.x, -1.0, 1e-12);
+  EXPECT_NEAR(r3.y, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r3.z, 5.0);  // z untouched
+}
+
+// Property sweep: rotation preserves length for arbitrary angles.
+class RotatePreservesNorm : public ::testing::TestWithParam<double> {};
+
+TEST_P(RotatePreservesNorm, NormInvariant) {
+  const Vec2 v{3.7, -1.2};
+  EXPECT_NEAR(rotate_deg(v, GetParam()).norm(), v.norm(), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, RotatePreservesNorm,
+                         ::testing::Values(0.0, 17.0, 90.0, 123.4, 180.0, 271.0,
+                                           359.0, -45.0, 720.5));
+
+}  // namespace
+}  // namespace emi::geom

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/flow/buck_converter.hpp"
+#include "src/flow/transient_buck.hpp"
+#include "src/io/spice.hpp"
+#include "src/numeric/stats.hpp"
+
+namespace emi {
+namespace {
+
+TEST(SpiceExport, EmitsAllElementCards) {
+  ckt::Circuit c;
+  c.add_vsource("VIN", "in", "0", ckt::Waveform::dc(12.0), 1.0);
+  c.add_resistor("R1", "in", "a", 50.0);
+  c.add_inductor("L1", "a", "b", 1e-6);
+  c.add_inductor("L2", "b", "0", 2e-6);
+  c.add_coupling("K12", "L1", "L2", 0.3);
+  c.add_capacitor("C1", "b", "0", 1e-9);
+  c.add_isource("IN1", "0", "a", ckt::Waveform::dc(0.0), 1e-3);
+  c.add_switch("S1", "a", "0", ckt::Waveform::dc(1.0));
+  c.add_diode("D1", "b", "0");
+
+  std::stringstream out;
+  io::write_spice_netlist(out, c);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("VIN in 0 DC 12 AC 1"), std::string::npos);
+  EXPECT_NE(text.find("R1 in a 50"), std::string::npos);
+  EXPECT_NE(text.find("L1 a b 1e-06"), std::string::npos);
+  EXPECT_NE(text.find("K12 L1 L2 0.3"), std::string::npos);
+  EXPECT_NE(text.find("C1 b 0 1e-09"), std::string::npos);
+  EXPECT_NE(text.find("IN1 0 a DC 0"), std::string::npos);
+  EXPECT_NE(text.find("D1 b 0 DEMI"), std::string::npos);
+  EXPECT_NE(text.find(".model DEMI"), std::string::npos);
+  EXPECT_NE(text.find(".ac dec"), std::string::npos);
+  EXPECT_NE(text.find(".end"), std::string::npos);
+}
+
+TEST(SpiceExport, PrefixesNonConformingNames) {
+  ckt::Circuit c;
+  c.add_resistor("ESR", "a", "0", 1.0);  // does not start with R
+  std::stringstream out;
+  io::SpiceOptions opt;
+  opt.with_ac_analysis = false;
+  io::write_spice_netlist(out, c, opt);
+  EXPECT_NE(out.str().find("RESR a 0 1"), std::string::npos);
+  EXPECT_EQ(out.str().find(".ac"), std::string::npos);
+}
+
+TEST(SpiceExport, BuckConverterDeckIsComplete) {
+  const flow::BuckConverter bc = flow::make_buck_converter();
+  std::stringstream out;
+  io::write_spice_netlist(out, bc.circuit);
+  const std::string text = out.str();
+  // Every inductor appears.
+  for (const auto& l : bc.circuit.inductors()) {
+    EXPECT_NE(text.find(l.name), std::string::npos) << l.name;
+  }
+}
+
+TEST(ParasiticCapacitance, InstalledForCloseBodies) {
+  const flow::BuckConverter bc = flow::make_buck_converter();
+  const place::Layout bad = flow::layout_unfavorable(bc);
+  const ckt::Circuit base = bc.circuit;
+  const ckt::Circuit with_cp =
+      flow::add_parasitic_capacitances(bc, bad, base, 10e-15);
+  EXPECT_GT(with_cp.capacitors().size(), base.capacitors().size());
+  // All parasitic caps are small (sub-pF scale for these geometries).
+  for (const auto& cap : with_cp.capacitors()) {
+    if (cap.name.rfind("CP_", 0) == 0) {
+      EXPECT_LT(cap.farads, 5e-12);
+      EXPECT_GE(cap.farads, 10e-15);
+    }
+  }
+}
+
+TEST(ParasiticCapacitance, SameNetPairsSkipped) {
+  const flow::BuckConverter bc = flow::make_buck_converter();
+  const place::Layout bad = flow::layout_unfavorable(bc);
+  const ckt::Circuit with_cp =
+      flow::add_parasitic_capacitances(bc, bad, bc.circuit, 0.0);
+  // CE1 and PWRLOOP share node "nsw": no CP between them.
+  for (const auto& cap : with_cp.capacitors()) {
+    EXPECT_EQ(cap.name.find("CP_CE1_PWRLOOP"), std::string::npos);
+  }
+}
+
+TEST(SwitchingBuck, CircuitMatchesAcModelTopology) {
+  const ckt::Circuit c = flow::make_switching_buck();
+  EXPECT_EQ(c.switches().size(), 1u);
+  EXPECT_EQ(c.diodes().size(), 1u);
+  EXPECT_NO_THROW(c.inductor_index("L_BUCK"));
+  EXPECT_NO_THROW(c.inductor_index("L_LISN"));
+  EXPECT_TRUE(c.find_node("lisn_meas").has_value());
+}
+
+TEST(SwitchingBuck, TimeDomainValidationRegulatesAndMatchesPrediction) {
+  // Moderate run to keep test time in check; the bench uses a longer
+  // record. The output LC (100 uH / 47 uF, Q ~ 3.4 into 5 ohm) settles in
+  // about half a millisecond.
+  flow::SwitchingBuckParams p;
+  const flow::TimeDomainValidation v =
+      flow::validate_time_domain(p, /*t_stop=*/3e-3, /*dt=*/25e-9);
+  // Functional: output near duty * Vin.
+  EXPECT_NEAR(v.v_out_avg, p.duty * p.v_in, 1.5);
+  // The FFT spectrum exists and covers the switching harmonics.
+  EXPECT_GT(v.fft_spectrum.freqs_hz.size(), 100u);
+  // The envelope prediction is an upper-bound-style estimate: at the first
+  // switching harmonics it must not underestimate the FFT level by more
+  // than a few dB, nor overshoot absurdly.
+  double worst_under = 0.0;
+  for (std::size_t h = 1; h <= 5; ++h) {
+    const double f = p.f_sw_hz * static_cast<double>(h);
+    if (f < 150e3) continue;
+    const double fft_level =
+        num::interp(v.fft_spectrum.freqs_hz, v.fft_spectrum.level_dbuv, f);
+    const double pred_level = num::interp(v.envelope_prediction.freqs_hz,
+                                          v.envelope_prediction.level_dbuv, f);
+    worst_under = std::max(worst_under, fft_level - pred_level);
+  }
+  EXPECT_LT(worst_under, 10.0);
+}
+
+}  // namespace
+}  // namespace emi

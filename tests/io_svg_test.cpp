@@ -1,0 +1,102 @@
+#include "src/io/svg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace emi::io {
+namespace {
+
+place::Design svg_design() {
+  place::Design d;
+  d.add_area({"board", 0,
+              geom::Polygon::rectangle(geom::Rect::from_corners({0, 0}, {80, 60}))});
+  d.add_keepout({"rib", 0, {geom::Rect::from_corners({60, 0}, {80, 20}), 8.0, 1e9}});
+  place::Component c;
+  c.width_mm = 20;
+  c.depth_mm = 10;
+  c.axis_deg = 90.0;
+  c.name = "CA";
+  c.group = "flt";
+  d.add_component(c);
+  c.name = "CB";
+  d.add_component(c);
+  c.name = "U1";
+  c.group = "";
+  d.add_component(c);
+  d.add_emd_rule("CA", "CB", 30.0);
+  return d;
+}
+
+place::Layout svg_layout(const place::Design& d, double dist) {
+  place::Layout l = place::Layout::unplaced(d);
+  l.placements[0] = {{15, 30}, 0.0, 0, true};
+  l.placements[1] = {{15 + dist, 30}, 0.0, 0, true};
+  l.placements[2] = {{40, 10}, 0.0, 0, true};
+  return l;
+}
+
+TEST(Svg, RendersComponentsLabelsAndKeepout) {
+  const place::Design d = svg_design();
+  std::stringstream out;
+  write_layout_svg(out, d, svg_layout(d, 45.0));
+  const std::string svg = out.str();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find(">CA</text>"), std::string::npos);
+  EXPECT_NE(svg.find(">U1</text>"), std::string::npos);
+  EXPECT_NE(svg.find("rib"), std::string::npos);
+  // Exactly one area polygon.
+  EXPECT_NE(svg.find("<polygon"), std::string::npos);
+}
+
+TEST(Svg, RuleCirclesGoGreenAndRed) {
+  const place::Design d = svg_design();
+  std::stringstream ok_out, bad_out;
+  write_layout_svg(ok_out, d, svg_layout(d, 45.0));   // 45 >= 30: green
+  write_layout_svg(bad_out, d, svg_layout(d, 20.0));  // 20 < 30: red
+  EXPECT_NE(ok_out.str().find("#2e8b57"), std::string::npos);
+  EXPECT_EQ(ok_out.str().find("#cc2222"), std::string::npos);
+  EXPECT_NE(bad_out.str().find("#cc2222"), std::string::npos);
+}
+
+TEST(Svg, OptionsDisableFeatures) {
+  const place::Design d = svg_design();
+  SvgOptions opt;
+  opt.draw_rule_circles = false;
+  opt.draw_labels = false;
+  opt.draw_keepouts = false;
+  std::stringstream out;
+  write_layout_svg(out, d, svg_layout(d, 20.0), opt);
+  const std::string svg = out.str();
+  EXPECT_EQ(svg.find("<circle"), std::string::npos);
+  EXPECT_EQ(svg.find("<text"), std::string::npos);
+  EXPECT_EQ(svg.find("#cc2222"), std::string::npos);
+}
+
+TEST(Svg, UnplacedAndOtherBoardSkipped) {
+  const place::Design d = svg_design();
+  place::Layout l = svg_layout(d, 45.0);
+  l.placements[2].placed = false;
+  std::stringstream out;
+  write_layout_svg(out, d, l);
+  EXPECT_EQ(out.str().find(">U1<"), std::string::npos);
+  // Rendering board 1 (no areas there) still produces a valid document.
+  SvgOptions opt;
+  opt.board = 1;
+  std::stringstream out1;
+  write_layout_svg(out1, d, l, opt);
+  EXPECT_NE(out1.str().find("</svg>"), std::string::npos);
+}
+
+TEST(Svg, PerpendicularPairDrawsNoCircle) {
+  const place::Design d = svg_design();
+  place::Layout l = svg_layout(d, 20.0);
+  l.placements[1].rot_deg = 90.0;  // EMD -> 0, circle of radius 0 skipped
+  std::stringstream out;
+  write_layout_svg(out, d, l);
+  EXPECT_EQ(out.str().find("#cc2222"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace emi::io

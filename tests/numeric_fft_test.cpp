@@ -1,0 +1,121 @@
+#include "src/numeric/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace emi::num {
+namespace {
+
+TEST(Fft, RoundTrip) {
+  std::vector<std::complex<double>> x(64);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = {std::sin(0.3 * static_cast<double>(i)), std::cos(0.1 * static_cast<double>(i))};
+  }
+  auto y = x;
+  fft(y);
+  ifft(y);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, DeltaIsFlat) {
+  std::vector<std::complex<double>> x(16, {0.0, 0.0});
+  x[0] = {1.0, 0.0};
+  fft(x);
+  for (const auto& v : x) EXPECT_NEAR(std::abs(v), 1.0, 1e-12);
+}
+
+TEST(Fft, PureToneLandsOnBin) {
+  constexpr std::size_t n = 128;
+  std::vector<std::complex<double>> x(n);
+  constexpr std::size_t bin = 5;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ph = 2.0 * std::numbers::pi * bin * static_cast<double>(i) / n;
+    x[i] = {std::cos(ph), 0.0};
+  }
+  fft(x);
+  EXPECT_NEAR(std::abs(x[bin]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(x[n - bin]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(x[bin + 1]), 0.0, 1e-9);
+}
+
+TEST(Fft, ThrowsOnNonPowerOfTwo) {
+  std::vector<std::complex<double>> x(12);
+  EXPECT_THROW(fft(x), std::invalid_argument);
+}
+
+TEST(Fft, ParsevalHolds) {
+  std::vector<std::complex<double>> x(256);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = {std::sin(0.7 * static_cast<double>(i)) + 0.2, 0.0};
+  }
+  double time_energy = 0.0;
+  for (const auto& v : x) time_energy += std::norm(v);
+  auto y = x;
+  fft(y);
+  double freq_energy = 0.0;
+  for (const auto& v : y) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(x.size()), time_energy, 1e-8);
+}
+
+TEST(NextPow2, Values) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+}
+
+TEST(AmplitudeSpectrum, RecoversSineAmplitude) {
+  constexpr double fs = 1000.0;
+  constexpr double f0 = 125.0;  // exactly on a bin for n=1024
+  constexpr double amp = 3.0;
+  std::vector<double> sig(1024);
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    sig[i] = amp * std::sin(2.0 * std::numbers::pi * f0 * static_cast<double>(i) / fs);
+  }
+  // Unwindowed on-bin sine recovers the amplitude exactly.
+  const auto spec = amplitude_spectrum(sig, fs, /*windowed=*/false);
+  double peak = 0.0, peak_freq = 0.0;
+  for (const auto& p : spec) {
+    if (p.amplitude > peak) {
+      peak = p.amplitude;
+      peak_freq = p.freq_hz;
+    }
+  }
+  EXPECT_NEAR(peak, amp, 1e-9);
+  EXPECT_NEAR(peak_freq, f0, 1e-9);
+}
+
+TEST(AmplitudeSpectrum, WindowedRecoversApproximately) {
+  constexpr double fs = 1000.0;
+  constexpr double f0 = 125.0;
+  std::vector<double> sig(1024);
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    sig[i] = 2.0 * std::sin(2.0 * std::numbers::pi * f0 * static_cast<double>(i) / fs);
+  }
+  const auto spec = amplitude_spectrum(sig, fs, /*windowed=*/true);
+  double peak = 0.0;
+  for (const auto& p : spec) peak = std::max(peak, p.amplitude);
+  EXPECT_NEAR(peak, 2.0, 0.1);
+}
+
+TEST(AmplitudeSpectrum, DcComponent) {
+  const std::vector<double> sig(256, 4.0);
+  const auto spec = amplitude_spectrum(sig, 100.0, /*windowed=*/false);
+  EXPECT_NEAR(spec[0].amplitude, 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(spec[0].freq_hz, 0.0);
+}
+
+TEST(HannWindow, EndsAtZeroPeakAtCenter) {
+  std::vector<double> w(65, 1.0);
+  hann_window(w);
+  EXPECT_NEAR(w.front(), 0.0, 1e-12);
+  EXPECT_NEAR(w.back(), 0.0, 1e-12);
+  EXPECT_NEAR(w[32], 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace emi::num

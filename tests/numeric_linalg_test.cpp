@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "src/numeric/lu.hpp"
+#include "src/numeric/matrix.hpp"
+#include "src/numeric/rng.hpp"
+
+namespace emi::num {
+namespace {
+
+TEST(Matrix, IdentityAndMultiply) {
+  MatrixD a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  const MatrixD i3 = MatrixD::identity(3);
+  EXPECT_EQ(a * i3, a);
+  const std::vector<double> v{1.0, 0.0, -1.0};
+  const std::vector<double> av = a * v;
+  EXPECT_DOUBLE_EQ(av[0], -2.0);
+  EXPECT_DOUBLE_EQ(av[1], -2.0);
+}
+
+TEST(Lu, Solves2x2) {
+  MatrixD a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  const auto x = solve(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, RequiresPivoting) {
+  // Zero on the diagonal forces a row swap.
+  MatrixD a(2, 2);
+  a(0, 0) = 0;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 0;
+  const auto x = solve(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, ThrowsOnSingular) {
+  MatrixD a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  EXPECT_THROW(solve(a, {1.0, 2.0}), std::runtime_error);
+}
+
+TEST(Lu, ThrowsOnNonSquare) {
+  EXPECT_THROW(Lu<double>(MatrixD(2, 3)), std::invalid_argument);
+}
+
+TEST(Lu, ComplexSystem) {
+  using C = Complex;
+  MatrixC a(2, 2);
+  a(0, 0) = C{1, 1};
+  a(0, 1) = C{0, 0};
+  a(1, 0) = C{0, 0};
+  a(1, 1) = C{0, 2};
+  const auto x = solve(a, {C{2, 0}, C{4, 0}});
+  EXPECT_NEAR(std::abs(x[0] - C{1, -1}), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(x[1] - C{0, -2}), 0.0, 1e-12);
+}
+
+TEST(Inverse, RoundTrip) {
+  MatrixD a(3, 3);
+  a(0, 0) = 4;
+  a(0, 1) = 1;
+  a(1, 0) = 2;
+  a(1, 1) = 3;
+  a(1, 2) = 1;
+  a(2, 1) = 1;
+  a(2, 2) = 5;
+  const MatrixD inv = inverse(a);
+  const MatrixD prod = a * inv;
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_NEAR(prod(r, c), r == c ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+// Property: random well-conditioned systems solve to residual ~0.
+class RandomSolve : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RandomSolve, ResidualSmall) {
+  const std::size_t n = GetParam();
+  Rng rng(1234 + n);
+  MatrixD a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+    a(r, r) += static_cast<double>(n);  // diagonal dominance
+  }
+  std::vector<double> b(n);
+  for (auto& v : b) v = rng.uniform(-10.0, 10.0);
+  const auto x = solve(a, b);
+  const auto ax = a * x;
+  for (std::size_t r = 0; r < n; ++r) EXPECT_NEAR(ax[r], b[r], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomSolve, ::testing::Values(1, 2, 5, 10, 30, 80));
+
+TEST(Rng, DeterministicAndUniform) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  Rng c(7);
+  double lo = 1.0, hi = 0.0, sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = c.uniform();
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+    sum += u;
+  }
+  EXPECT_GE(lo, 0.0);
+  EXPECT_LT(hi, 1.0);
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(99);
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / kN, 1.0, 0.05);
+}
+
+TEST(Rng, BelowRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+}  // namespace
+}  // namespace emi::num

@@ -1,0 +1,61 @@
+#include "src/numeric/quadrature.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace emi::num {
+namespace {
+
+TEST(Gauss, ExactForPolynomials) {
+  // An n-point rule integrates polynomials up to degree 2n-1 exactly.
+  const auto cubic = [](double x) { return 3.0 * x * x * x - x * x + 2.0; };
+  // integral over [0, 2] = 12 - 8/3 + 4
+  const double expected = 12.0 - 8.0 / 3.0 + 4.0;
+  EXPECT_NEAR(gauss_legendre(cubic, 0.0, 2.0, 2), expected, 1e-12);
+  EXPECT_NEAR(gauss_legendre(cubic, 0.0, 2.0, 5), expected, 1e-12);
+}
+
+TEST(Gauss, WeightsSumToTwo) {
+  for (std::size_t order = 1; order <= 8; ++order) {
+    const GaussRule r = gauss_rule(order);
+    double s = 0.0;
+    for (double w : r.weights) s += w;
+    EXPECT_NEAR(s, 2.0, 1e-12) << "order " << order;
+  }
+}
+
+TEST(Gauss, NodesSymmetric) {
+  for (std::size_t order = 1; order <= 8; ++order) {
+    const GaussRule r = gauss_rule(order);
+    for (std::size_t i = 0; i < r.nodes.size(); ++i) {
+      EXPECT_NEAR(r.nodes[i], -r.nodes[r.nodes.size() - 1 - i], 1e-12);
+    }
+  }
+}
+
+TEST(Gauss, ThrowsOnBadOrder) {
+  EXPECT_THROW(gauss_rule(0), std::invalid_argument);
+  EXPECT_THROW(gauss_rule(9), std::invalid_argument);
+}
+
+class GaussConvergence : public ::testing::TestWithParam<std::size_t> {};
+
+// exp(x) over [0, 1]: error shrinks rapidly with order.
+TEST_P(GaussConvergence, ExpIntegral) {
+  const std::size_t order = GetParam();
+  const double got = gauss_legendre([](double x) { return std::exp(x); }, 0.0, 1.0, order);
+  const double expected = std::exp(1.0) - 1.0;
+  const double tol = order >= 4 ? 1e-8 : (order >= 2 ? 1e-3 : 0.1);
+  EXPECT_NEAR(got, expected, tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, GaussConvergence, ::testing::Values(1, 2, 3, 4, 6, 8));
+
+TEST(Gauss, ReversedIntervalFlipsSign) {
+  const auto f = [](double x) { return x; };
+  EXPECT_NEAR(gauss_legendre(f, 0.0, 2.0, 3), -gauss_legendre(f, 2.0, 0.0, 3), 1e-12);
+}
+
+}  // namespace
+}  // namespace emi::num

@@ -1,0 +1,95 @@
+#include "src/numeric/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace emi::num {
+namespace {
+
+TEST(Stats, MeanAndRms) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(x), 2.5);
+  EXPECT_DOUBLE_EQ(rms(std::vector<double>{3.0, 4.0, 0.0, 0.0}), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  const std::vector<double> yn{10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, yn), -1.0, 1e-12);
+}
+
+TEST(Pearson, ShiftInvariant) {
+  const std::vector<double> x{1, 5, 2, 8, 3};
+  std::vector<double> y = x;
+  for (auto& v : y) v += 100.0;  // dB offset does not change correlation
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(Pearson, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(pearson(std::vector<double>{1.0}, std::vector<double>{2.0}), 0.0);
+  const std::vector<double> flat{3, 3, 3};
+  const std::vector<double> x{1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(flat, x), 0.0);  // zero variance
+}
+
+TEST(Errors, MeanAndMax) {
+  const std::vector<double> a{0, 0, 0};
+  const std::vector<double> b{1, -2, 3};
+  EXPECT_DOUBLE_EQ(mean_abs_error(a, b), 2.0);
+  EXPECT_DOUBLE_EQ(max_abs_error(a, b), 3.0);
+  EXPECT_THROW(mean_abs_error(a, std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Db, VoltsToDbuvKnownPoints) {
+  EXPECT_NEAR(volts_to_dbuv(1e-6), 0.0, 1e-12);    // 1 uV = 0 dBuV
+  EXPECT_NEAR(volts_to_dbuv(1.0), 120.0, 1e-12);   // 1 V = 120 dBuV
+  EXPECT_NEAR(volts_to_dbuv(1e-3), 60.0, 1e-12);   // 1 mV = 60 dBuV
+  EXPECT_NEAR(dbuv_to_volts(60.0), 1e-3, 1e-15);
+  // Round trip.
+  EXPECT_NEAR(volts_to_dbuv(dbuv_to_volts(37.5)), 37.5, 1e-9);
+  // Negative voltage uses magnitude; zero clamps to the floor, not -inf.
+  EXPECT_NEAR(volts_to_dbuv(-1e-3), 60.0, 1e-12);
+  EXPECT_TRUE(std::isfinite(volts_to_dbuv(0.0)));
+}
+
+TEST(Db, Db20) {
+  EXPECT_NEAR(db20(10.0), 20.0, 1e-12);
+  EXPECT_NEAR(db20(0.1), -20.0, 1e-12);
+  EXPECT_TRUE(std::isfinite(db20(0.0)));
+}
+
+TEST(Interp, ClampsAndInterpolates) {
+  const std::vector<double> xs{0.0, 1.0, 3.0};
+  const std::vector<double> ys{0.0, 10.0, 30.0};
+  EXPECT_DOUBLE_EQ(interp(xs, ys, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(interp(xs, ys, 5.0), 30.0);
+  EXPECT_DOUBLE_EQ(interp(xs, ys, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(interp(xs, ys, 2.0), 20.0);
+}
+
+TEST(Grids, LogSpace) {
+  const auto g = log_space(1.0, 1000.0, 4);
+  ASSERT_EQ(g.size(), 4u);
+  EXPECT_NEAR(g[0], 1.0, 1e-12);
+  EXPECT_NEAR(g[1], 10.0, 1e-9);
+  EXPECT_NEAR(g[2], 100.0, 1e-9);
+  EXPECT_NEAR(g[3], 1000.0, 1e-9);
+  EXPECT_THROW(log_space(0.0, 10.0, 5), std::invalid_argument);
+  EXPECT_THROW(log_space(10.0, 1.0, 5), std::invalid_argument);
+}
+
+TEST(Grids, LinSpace) {
+  const auto g = lin_space(0.0, 1.0, 5);
+  ASSERT_EQ(g.size(), 5u);
+  EXPECT_DOUBLE_EQ(g[2], 0.5);
+  EXPECT_DOUBLE_EQ(g.front(), 0.0);
+  EXPECT_DOUBLE_EQ(g.back(), 1.0);
+}
+
+}  // namespace
+}  // namespace emi::num

@@ -1,0 +1,101 @@
+#include "src/peec/biot_savart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/peec/partial_inductance.hpp"
+#include "src/peec/winding.hpp"
+
+namespace emi::peec {
+namespace {
+
+// Near the middle of a long straight segment the field approaches the
+// infinite-wire value B = mu0*I/(2*pi*rho).
+TEST(SegmentField, LongWireLimit) {
+  const Segment s{{-500, 0, 0}, {500, 0, 0}, 0.5};
+  const double rho = 10.0;  // mm
+  const Vec3 b = segment_field(s, {0.0, rho, 0.0}, 2.0);
+  const double expected = kMu0 * 2.0 / (2.0 * geom::kPi * rho * 1e-3);
+  EXPECT_NEAR(b.norm() / expected, 1.0, 1e-3);
+  // Direction: current +x, point at +y -> B along +z (right-hand rule).
+  EXPECT_GT(b.z, 0.0);
+  EXPECT_NEAR(b.x, 0.0, 1e-15);
+}
+
+TEST(SegmentField, FiniteSegmentHalfAngleFormula) {
+  // Point next to one end of the segment sees half the symmetric field
+  // of a segment extending to both sides.
+  const Segment full{{-100, 0, 0}, {100, 0, 0}, 0.2};
+  const Segment half{{0, 0, 0}, {100, 0, 0}, 0.2};
+  const Vec3 bf = segment_field(full, {0, 5, 0});
+  const Vec3 bh = segment_field(half, {0, 5, 0});
+  EXPECT_NEAR(bh.norm() / bf.norm(), 0.5, 1e-3);
+}
+
+TEST(SegmentField, OnAxisIsZero) {
+  const Segment s{{0, 0, 0}, {10, 0, 0}, 0.2};
+  EXPECT_NEAR(segment_field(s, {20.0, 0.0, 0.0}).norm(), 0.0, 1e-18);
+  EXPECT_NEAR(segment_field(s, {-5.0, 0.0, 0.0}).norm(), 0.0, 1e-18);
+}
+
+TEST(SegmentField, FieldScalesWithCurrentAndWeight) {
+  Segment s{{0, 0, 0}, {50, 0, 0}, 0.3};
+  const Vec3 b1 = segment_field(s, {25, 8, 0}, 1.0);
+  const Vec3 b2 = segment_field(s, {25, 8, 0}, 3.0);
+  EXPECT_NEAR(b2.norm() / b1.norm(), 3.0, 1e-12);
+  s.weight = 2.0;
+  const Vec3 bw = segment_field(s, {25, 8, 0}, 1.0);
+  EXPECT_NEAR(bw.norm() / b1.norm(), 2.0, 1e-12);
+}
+
+// Circular loop center: B = mu0*I/(2R). A 32-gon ring gets very close.
+TEST(PathField, LoopCenterMatchesAnalytic) {
+  const double R = 10.0;
+  const SegmentPath loop = ring({0, 0, 0}, {0, 0, 1}, R, 32, 0.2);
+  const Vec3 b = path_field(loop, {0, 0, 0}, 1.5);
+  const double expected = kMu0 * 1.5 / (2.0 * R * 1e-3);
+  EXPECT_NEAR(b.norm() / expected, 1.0, 0.01);
+  EXPECT_NEAR(std::fabs(b.z) / b.norm(), 1.0, 1e-9);  // field along the axis
+}
+
+// On-axis field of a loop falls off as (1 + (z/R)^2)^(-3/2).
+TEST(PathField, LoopAxisFalloff) {
+  const double R = 10.0;
+  const SegmentPath loop = ring({0, 0, 0}, {0, 0, 1}, R, 32, 0.2);
+  const double b0 = path_field(loop, {0, 0, 0}).norm();
+  const double bz = path_field(loop, {0, 0, 2 * R}).norm();
+  const double expected_ratio = std::pow(1.0 + 4.0, -1.5);
+  EXPECT_NEAR(bz / b0, expected_ratio, 0.01);
+}
+
+// Dipole limit: far from the loop along the axis, B ~ mu0*m/(2*pi*z^3).
+TEST(PathField, DipoleFarField) {
+  const double R = 5.0;
+  const SegmentPath loop = ring({0, 0, 0}, {0, 0, 1}, R, 32, 0.2);
+  const double z = 100.0;
+  const double b = path_field(loop, {0, 0, z}).norm();
+  // Dipole moment of the 32-gon: I times the polygon area (slightly below
+  // the circumscribed circle's pi*R^2).
+  const double n = 32.0;
+  const double moment = 0.5 * n * R * R * std::sin(2.0 * geom::kPi / n) * 1e-6;
+  const double expected = kMu0 * moment / (2.0 * geom::kPi * std::pow(z * 1e-3, 3));
+  EXPECT_NEAR(b / expected, 1.0, 0.01);
+}
+
+TEST(FieldMap, GridShapeAndSymmetry) {
+  const SegmentPath loop = ring({0, 0, 0}, {0, 0, 1}, 8.0, 24, 0.3);
+  const auto map = field_map(loop, -20, 20, -20, 20, 5.0, 9, 9);
+  ASSERT_EQ(map.size(), 81u);
+  // The loop is symmetric: |B| at (x, y) equals |B| at (-x, -y).
+  const auto at = [&](std::size_t ix, std::size_t iy) {
+    return map[iy * 9 + ix].b.norm();
+  };
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(at(i, 4), at(8 - i, 4), 1e-12);
+    EXPECT_NEAR(at(4, i), at(4, 8 - i), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace emi::peec

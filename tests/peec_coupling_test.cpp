@@ -1,0 +1,181 @@
+#include "src/peec/coupling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/peec/component_model.hpp"
+
+namespace emi::peec {
+namespace {
+
+class CouplingTest : public ::testing::Test {
+ protected:
+  ComponentFieldModel ca_ = x_capacitor("CA");
+  ComponentFieldModel cb_ = x_capacitor("CB");
+  CouplingExtractor ex_;
+};
+
+TEST_F(CouplingTest, SelfInductancePositiveAndCached) {
+  const double l1 = ex_.self_inductance(ca_);
+  EXPECT_GT(l1, 0.0);
+  EXPECT_DOUBLE_EQ(ex_.self_inductance(ca_), l1);  // cache hit, same value
+  // X-cap loop ESL lands in the tens of nH - physically sensible.
+  EXPECT_GT(l1 * 1e9, 10.0);
+  EXPECT_LT(l1 * 1e9, 120.0);
+}
+
+TEST_F(CouplingTest, EffectivePermeabilityScalesSelfL) {
+  ComponentFieldModel cored = ca_;
+  cored.mu_eff = 10.0;
+  EXPECT_NEAR(ex_.self_inductance(cored) / ex_.self_inductance(ca_), 10.0, 1e-9);
+}
+
+TEST_F(CouplingTest, CoreReducesCouplingFactor) {
+  // Per the effective-permeability model, the core multiplies L but stray
+  // coupling flux stays air-borne, so k drops by sqrt(mu_eff).
+  ComponentFieldModel cored = cb_;
+  cored.mu_eff = 9.0;
+  const double k_air = std::fabs(ex_.coupling_at(ca_, cb_, 25.0));
+  const double k_cored = std::fabs(ex_.coupling_at(ca_, cored, 25.0));
+  EXPECT_NEAR(k_cored / k_air, 1.0 / 3.0, 0.02);
+}
+
+TEST_F(CouplingTest, MutualReciprocity) {
+  const PlacedModel a{&ca_, {{0, 0, 0}, 0.0}};
+  const PlacedModel b{&cb_, {{22, 5, 0}, 30.0}};
+  EXPECT_NEAR(ex_.mutual(a, b), ex_.mutual(b, a), 1e-18);
+}
+
+TEST_F(CouplingTest, CouplingFactorBelowOne) {
+  // Even at tight spacing |k| stays physical.
+  const double k = ex_.coupling_at(ca_, cb_, 12.0);
+  EXPECT_LT(std::fabs(k), 1.0);
+}
+
+TEST_F(CouplingTest, KFallsMonotonicallyWithDistance) {
+  // Beyond the near-field sign crossover (two coplanar loops flip mutual
+  // sign around one pin pitch of separation) |k| falls monotonically.
+  const auto curve = ex_.coupling_vs_distance(ca_, cb_, 30.0, 90.0, 9);
+  ASSERT_EQ(curve.size(), 9u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LT(curve[i].k, curve[i - 1].k) << "at " << curve[i].distance_mm;
+  }
+}
+
+TEST_F(CouplingTest, FarFieldDipoleScaling) {
+  // Two small loops far apart couple like dipoles: k ~ 1/d^3.
+  const double k60 = std::fabs(ex_.coupling_at(ca_, cb_, 60.0));
+  const double k120 = std::fabs(ex_.coupling_at(ca_, cb_, 120.0));
+  EXPECT_NEAR(k60 / k120, 8.0, 2.0);  // cube law within near-field correction
+}
+
+TEST_F(CouplingTest, PerpendicularAxesDecouple) {
+  const double k0 = std::fabs(ex_.coupling_at(ca_, cb_, 20.0, 0.0, 0.0));
+  const double k90 = std::fabs(ex_.coupling_at(ca_, cb_, 20.0, 0.0, 90.0));
+  EXPECT_LT(k90, 0.02 * k0);
+}
+
+TEST_F(CouplingTest, AngleSweepFollowsCosineShapeFarField) {
+  // In the dipole regime the coupling of two in-plane loops follows
+  // k(alpha) = k0 * cos(alpha) as one loop rotates - the physical basis of
+  // the EMD = PEMD * cos(alpha) rule. Near field deviates, so test far.
+  const auto sweep = ex_.coupling_vs_angle(ca_, cb_, 60.0, 7);
+  ASSERT_EQ(sweep.size(), 7u);
+  const double k0 = sweep.front().k;
+  for (const auto& p : sweep) {
+    const double cosv = std::cos(geom::deg_to_rad(p.angle_deg));
+    EXPECT_NEAR(p.k, k0 * cosv, 0.25 * std::fabs(k0) + 1e-9)
+        << "angle " << p.angle_deg;
+  }
+  EXPECT_NEAR(sweep.back().k, 0.0, 0.05 * std::fabs(k0));
+}
+
+TEST_F(CouplingTest, AngleSweepMagnitudeDropsToZeroAtNinety) {
+  // Independent of distance regime, rotating one capacitor by 90 degrees
+  // kills the coupling - the paper's Fig 6 placement rule.
+  for (double d : {20.0, 30.0, 45.0}) {
+    const auto sweep = ex_.coupling_vs_angle(ca_, cb_, d, 4);
+    EXPECT_LT(std::fabs(sweep.back().k), 0.05 * std::fabs(sweep.front().k) + 1e-9)
+        << "d = " << d;
+  }
+}
+
+TEST_F(CouplingTest, MinDistanceRuleBrackets) {
+  const double pemd = ex_.min_distance_for_coupling(ca_, cb_, 0.01, 5.0, 150.0, 0.1);
+  EXPECT_GT(pemd, 5.0);
+  EXPECT_LT(pemd, 150.0);
+  // At the derived distance the coupling is at or below the threshold...
+  EXPECT_LE(std::fabs(ex_.coupling_at(ca_, cb_, pemd)), 0.0105);
+  // ...and just inside it is above.
+  EXPECT_GT(std::fabs(ex_.coupling_at(ca_, cb_, pemd - 1.0)), 0.0095);
+}
+
+TEST_F(CouplingTest, MinDistanceEdgeCases) {
+  // Threshold already met at the near end -> returns d_lo.
+  EXPECT_DOUBLE_EQ(ex_.min_distance_for_coupling(ca_, cb_, 0.9, 5.0, 100.0), 5.0);
+  // Impossible threshold -> returns d_hi.
+  EXPECT_DOUBLE_EQ(ex_.min_distance_for_coupling(ca_, cb_, 1e-9, 5.0, 40.0), 40.0);
+  EXPECT_THROW(ex_.min_distance_for_coupling(ca_, cb_, 0.0, 5.0, 40.0),
+               std::invalid_argument);
+}
+
+TEST(ComponentModels, FactoriesProduceSaneGeometry) {
+  const auto tant = tantalum_capacitor("T1");
+  EXPECT_EQ(tant.kind, ModelKind::kCapacitorLoop);
+  EXPECT_EQ(tant.local_path.segments.size(), 4u);
+
+  const auto coil = bobbin_coil("L1");
+  EXPECT_EQ(coil.kind, ModelKind::kBobbinCoil);
+  EXPECT_GT(coil.mu_eff, 1.0);
+  EXPECT_EQ(coil.local_path.segments.size(), 5u * 12u);
+
+  const auto choke2 = cm_choke("CM2");
+  // A 3-winding choke under one phase pattern has two energized windings,
+  // like the 2-winding one, but the geometry rotates with the phase.
+  CmChokeParams p3;
+  p3.n_windings = 3;
+  p3.excitation_phase = 0;
+  const auto choke3a = cm_choke("CM3A", p3);
+  p3.excitation_phase = 1;
+  const auto choke3b = cm_choke("CM3B", p3);
+  EXPECT_EQ(choke3a.local_path.segments.size(), choke2.local_path.segments.size());
+  EXPECT_FALSE(choke3a.local_path.segments[0].a ==
+               choke3b.local_path.segments[0].a);
+  EXPECT_THROW(cm_choke("bad", {.n_windings = 4}), std::invalid_argument);
+}
+
+TEST(ComponentModels, CoilToCapCouplingSensible) {
+  const auto coil = bobbin_coil("L1");
+  const auto cap = x_capacitor("C1");
+  CouplingExtractor ex;
+  const double k20 = std::fabs(ex.coupling_at(coil, cap, 25.0));
+  EXPECT_GT(k20, 1e-4);
+  EXPECT_LT(k20, 0.5);
+  const double k60 = std::fabs(ex.coupling_at(coil, cap, 60.0));
+  EXPECT_LT(k60, k20);
+}
+
+TEST(ComponentModels, TwoCoilsOfDifferentSizeCouple) {
+  // The Fig 7 configuration: bobbin coils of different size.
+  const auto small = bobbin_coil("S", {.radius_mm = 4.0, .length_mm = 8.0, .turns = 25});
+  const auto big = bobbin_coil("B", {.radius_mm = 8.0, .length_mm = 16.0, .turns = 50});
+  CouplingExtractor ex;
+  double prev = 1.0;
+  for (double d : {20.0, 30.0, 45.0, 65.0}) {
+    const double k = std::fabs(ex.coupling_at(small, big, d));
+    EXPECT_LT(k, prev);
+    prev = k;
+  }
+}
+
+TEST(CouplingExtractor, NullModelThrows) {
+  CouplingExtractor ex;
+  const PlacedModel bad{nullptr, {}};
+  const ComponentFieldModel m = x_capacitor("C");
+  const PlacedModel ok{&m, {}};
+  EXPECT_THROW(ex.mutual(bad, ok), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace emi::peec

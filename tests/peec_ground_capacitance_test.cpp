@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/peec/capacitance.hpp"
+#include "src/peec/component_model.hpp"
+#include "src/peec/ground_plane.hpp"
+
+namespace emi::peec {
+namespace {
+
+TEST(GroundPlane, MirrorPoint) {
+  const Vec3 p{1.0, 2.0, 5.0};
+  EXPECT_EQ(mirror_point(p, 0.0), (Vec3{1.0, 2.0, -5.0}));
+  EXPECT_EQ(mirror_point(p, 2.0), (Vec3{1.0, 2.0, -1.0}));
+}
+
+TEST(GroundPlane, ImagePathDoublesSegmentsWithNegatedWeight) {
+  const SegmentPath loop = rectangular_loop(10.0, 5.0, 0.3);
+  // Loop sits at z >= 0; mirror across z = 0.
+  const SegmentPath mirrored = with_ground_plane(loop, 0.0);
+  ASSERT_EQ(mirrored.segments.size(), 2 * loop.segments.size());
+  for (std::size_t i = 0; i < loop.segments.size(); ++i) {
+    const Segment& img = mirrored.segments[loop.segments.size() + i];
+    EXPECT_DOUBLE_EQ(img.weight, -loop.segments[i].weight);
+    EXPECT_DOUBLE_EQ(img.a.z, -loop.segments[i].a.z);
+  }
+}
+
+TEST(GroundPlane, ThrowsOnConductorBelowPlane) {
+  SegmentPath bad;
+  bad.segments = {{{0, 0, -1.0}, {10, 0, 2.0}, 0.3, 1.0}};
+  EXPECT_THROW(with_ground_plane(bad, 0.0), std::invalid_argument);
+}
+
+TEST(GroundPlane, FluxConfinementRaisesCoplanarLoopCoupling) {
+  // Two upright capacitor loops standing on a ground plane: the plane
+  // forbids normal flux at its surface, so stray flux that would have
+  // closed underneath is squeezed sideways - through the neighbour. The
+  // coupling factor therefore RISES versus free space (and the derived
+  // minimum distance rules get stricter). This is why the paper lists the
+  // presence of shielding planes among the factors the minimum distance
+  // depends on.
+  const ComponentFieldModel ca = x_capacitor("CA");
+  const ComponentFieldModel cb = x_capacitor("CB");
+  const CouplingExtractor free_space;
+  const GroundedCouplingExtractor grounded(0.0);
+  for (double d : {25.0, 40.0, 60.0}) {
+    const double k_free = std::fabs(free_space.coupling_at(ca, cb, d));
+    const double k_gnd = std::fabs(grounded.coupling_at(ca, cb, d));
+    EXPECT_GT(k_gnd, k_free) << "d = " << d;
+    EXPECT_LT(k_gnd, 10.0 * k_free) << "d = " << d;  // bounded enhancement
+  }
+}
+
+TEST(GroundPlane, SelfInductanceReduced) {
+  const ComponentFieldModel cap = x_capacitor("C");
+  const CouplingExtractor free_space;
+  const GroundedCouplingExtractor grounded(0.0);
+  const double l_free = free_space.self_inductance(cap);
+  const double l_gnd = grounded.self_inductance(cap);
+  EXPECT_LT(l_gnd, l_free);
+  EXPECT_GT(l_gnd, 0.2 * l_free);  // but not unphysically small
+}
+
+TEST(GroundPlane, FarPlaneApproachesFreeSpace) {
+  const ComponentFieldModel ca = x_capacitor("CA");
+  const ComponentFieldModel cb = x_capacitor("CB");
+  const CouplingExtractor free_space;
+  // A plane far below the components barely matters.
+  const GroundedCouplingExtractor far_plane(-500.0);
+  const double k_free = free_space.coupling_at(ca, cb, 30.0);
+  const double k_far = far_plane.coupling_at(ca, cb, 30.0);
+  EXPECT_NEAR(k_far / k_free, 1.0, 0.02);
+}
+
+TEST(GroundPlane, MutualReciprocity) {
+  const ComponentFieldModel ca = x_capacitor("CA");
+  const ComponentFieldModel cb = bobbin_coil("LB");
+  const GroundedCouplingExtractor g(0.0);
+  const PlacedModel pa{&ca, {{0, 0, 0}, 0.0}};
+  const PlacedModel pb{&cb, {{30, 5, 0}, 20.0}};
+  EXPECT_NEAR(g.mutual(pa, pb), g.mutual(pb, pa), 1e-15);
+}
+
+TEST(Capacitance, EquivalentRadius) {
+  // A cube of side a has surface 6a^2 -> r = a*sqrt(6/(4pi)) ~ 0.691a.
+  const double r = body_equivalent_radius(10.0, 10.0, 10.0);
+  EXPECT_NEAR(r, 10.0 * std::sqrt(6.0 / (4.0 * std::numbers::pi)), 1e-9);
+  EXPECT_THROW(body_equivalent_radius(0.0, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Capacitance, SphereMutualFallsAsOneOverD) {
+  const double c20 = sphere_mutual_capacitance(5.0, 5.0, 20.0);
+  const double c40 = sphere_mutual_capacitance(5.0, 5.0, 40.0);
+  EXPECT_NEAR(c20 / c40, 2.0, 1e-9);
+  // Plausible magnitude: two 5 mm spheres at 20 mm are a fraction of a pF.
+  EXPECT_GT(c20, 0.05e-12);
+  EXPECT_LT(c20, 2e-12);
+}
+
+TEST(Capacitance, ClampsAtTouchingSpheres) {
+  const double touching = sphere_mutual_capacitance(5.0, 5.0, 10.0);
+  const double closer = sphere_mutual_capacitance(5.0, 5.0, 2.0);
+  EXPECT_DOUBLE_EQ(touching, closer);
+  EXPECT_THROW(sphere_mutual_capacitance(0.0, 5.0, 10.0), std::invalid_argument);
+}
+
+TEST(Capacitance, BodyHelper) {
+  const Body a{{0, 0, 5}, 6.0};
+  const Body b{{30, 0, 5}, 4.0};
+  EXPECT_NEAR(body_capacitance(a, b), sphere_mutual_capacitance(6.0, 4.0, 30.0), 1e-20);
+}
+
+TEST(Capacitance, CornerFrequency) {
+  // 1 pF against 50 ohm: ~3.2 GHz; 100 pF: ~32 MHz.
+  EXPECT_NEAR(capacitive_corner_hz(1e-12) / 1e9, 3.18, 0.01);
+  EXPECT_NEAR(capacitive_corner_hz(100e-12) / 1e6, 31.8, 0.1);
+  EXPECT_THROW(capacitive_corner_hz(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace emi::peec

@@ -1,0 +1,133 @@
+#include "src/peec/winding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/peec/partial_inductance.hpp"
+
+namespace emi::peec {
+namespace {
+
+TEST(Ring, GeometryClosedAndOnCircle) {
+  const SegmentPath r = ring({0, 0, 0}, {0, 0, 1}, 10.0, 16, 0.5);
+  ASSERT_EQ(r.segments.size(), 16u);
+  for (std::size_t i = 0; i < r.segments.size(); ++i) {
+    // Chain closure: end of segment i is start of segment i+1.
+    const Segment& s = r.segments[i];
+    const Segment& next = r.segments[(i + 1) % r.segments.size()];
+    EXPECT_NEAR((s.b - next.a).norm(), 0.0, 1e-12);
+    // Vertices lie on the circle.
+    EXPECT_NEAR(s.a.norm(), 10.0, 1e-12);
+    EXPECT_NEAR(s.a.z, 0.0, 1e-12);
+  }
+}
+
+// Grover: circular loop L = mu0*R*(ln(8R/a) - 2). A 16-gon ring should land
+// within ~10 % of the circular value.
+TEST(Ring, LoopInductanceNearAnalytic) {
+  const double R = 10.0, a = 0.5;
+  const SegmentPath r = ring({0, 0, 0}, {0, 0, 1}, R, 24, a);
+  const double l = path_inductance(r, {6, 2});
+  const double analytic = kMu0 * R * 1e-3 * (std::log(8.0 * R / a) - 2.0);
+  EXPECT_NEAR(l / analytic, 1.0, 0.12);
+}
+
+TEST(Ring, Validation) {
+  EXPECT_THROW(ring({0, 0, 0}, {0, 0, 1}, 10.0, 2, 0.5), std::invalid_argument);
+  EXPECT_THROW(ring({0, 0, 0}, {0, 0, 1}, -1.0, 8, 0.5), std::invalid_argument);
+}
+
+TEST(Solenoid, TurnWeightsSumToTurns) {
+  const SegmentPath s = solenoid({0, 0, 0}, {0, 1, 0}, 6.0, 12.0, 40, 5, 12, 0.4);
+  ASSERT_EQ(s.segments.size(), 5u * 12u);
+  double weight_per_ring = 0.0;
+  for (std::size_t i = 0; i < 12; ++i) weight_per_ring = s.segments[i].weight;
+  EXPECT_NEAR(weight_per_ring * 5.0, 40.0, 1e-12);
+}
+
+TEST(Solenoid, InductanceScalesWithTurnsSquared) {
+  const SegmentPath s1 = solenoid({0, 0, 0}, {0, 1, 0}, 6.0, 12.0, 20, 5, 12, 0.4);
+  const SegmentPath s2 = solenoid({0, 0, 0}, {0, 1, 0}, 6.0, 12.0, 40, 5, 12, 0.4);
+  const double ratio = path_inductance(s2, {4, 1}) / path_inductance(s1, {4, 1});
+  EXPECT_NEAR(ratio, 4.0, 1e-6);
+}
+
+// Long-solenoid check: L ~ mu0 * N^2 * A / len within a geometry factor
+// (Nagaoka correction < 1); the segmented model must land below the ideal
+// value but within a factor ~2 for len/r = 4.
+TEST(Solenoid, OrderOfMagnitudeVsIdeal) {
+  const double radius = 5.0, len = 20.0;
+  const std::size_t turns = 50;
+  const SegmentPath s = solenoid({0, 0, 0}, {0, 0, 1}, radius, len, turns, 8, 16, 0.3);
+  const double l = path_inductance(s, {4, 1});
+  const double area = geom::kPi * radius * radius * 1e-6;
+  const double ideal = kMu0 * static_cast<double>(turns * turns) * area / (len * 1e-3);
+  EXPECT_LT(l, ideal);
+  EXPECT_GT(l, 0.3 * ideal);
+}
+
+TEST(ToroidSector, SenseFlipsWeights) {
+  const SegmentPath pos =
+      toroid_sector_winding({0, 0, 0}, 10.0, 3.0, 0.0, 120.0, 10, 4, 8, 0.4, +1);
+  const SegmentPath neg =
+      toroid_sector_winding({0, 0, 0}, 10.0, 3.0, 0.0, 120.0, 10, 4, 8, 0.4, -1);
+  ASSERT_EQ(pos.segments.size(), neg.segments.size());
+  for (std::size_t i = 0; i < pos.segments.size(); ++i) {
+    EXPECT_DOUBLE_EQ(pos.segments[i].weight, -neg.segments[i].weight);
+  }
+}
+
+TEST(ToroidSector, RingCentersOnMajorCircle) {
+  const SegmentPath w =
+      toroid_sector_winding({0, 0, 0}, 10.0, 3.0, 0.0, 90.0, 8, 4, 8, 0.4);
+  // Each ring has 8 facets; ring centers = mean of facet vertices.
+  for (std::size_t ring_i = 0; ring_i < 4; ++ring_i) {
+    Vec3 c{};
+    for (std::size_t f = 0; f < 8; ++f) c += w.segments[ring_i * 8 + f].a;
+    c = c / 8.0;
+    EXPECT_NEAR(std::sqrt(c.x * c.x + c.y * c.y), 10.0, 0.5);
+  }
+  EXPECT_THROW(toroid_sector_winding({0, 0, 0}, 2.0, 3.0, 0.0, 90.0, 8, 4, 8, 0.4),
+               std::invalid_argument);
+}
+
+TEST(RectangularLoop, GeometryAndAxis) {
+  const SegmentPath p = rectangular_loop(20.0, 8.0, 0.4);
+  ASSERT_EQ(p.segments.size(), 4u);
+  EXPECT_NEAR(p.total_length(), 2.0 * (20.0 + 8.0), 1e-12);
+  // Loop lies in the x/z plane: all y coordinates zero.
+  for (const auto& s : p.segments) {
+    EXPECT_DOUBLE_EQ(s.a.y, 0.0);
+    EXPECT_DOUBLE_EQ(s.b.y, 0.0);
+  }
+  EXPECT_THROW(rectangular_loop(0.0, 8.0, 0.4), std::invalid_argument);
+}
+
+TEST(Pose, TransformRotatesAndTranslates) {
+  const SegmentPath p = rectangular_loop(10.0, 4.0, 0.3);
+  const Pose pose{{5.0, 7.0, 0.0}, 90.0};
+  const SegmentPath t = transformed(p, pose);
+  ASSERT_EQ(t.segments.size(), p.segments.size());
+  // Total length is preserved under the rigid transform.
+  EXPECT_NEAR(t.total_length(), p.total_length(), 1e-12);
+  // The local point (-5, 0, 0) maps to (5, 2, 0) under rot90 + (5,7).
+  EXPECT_NEAR(t.segments[0].a.x, 5.0, 1e-12);
+  EXPECT_NEAR(t.segments[0].a.y, 2.0, 1e-12);
+}
+
+TEST(Pose, AxisRotation) {
+  const Pose pose{{0, 0, 0}, 90.0};
+  const Vec3 axis = pose.rotate_dir({0, 1, 0});
+  EXPECT_NEAR(axis.x, -1.0, 1e-12);
+  EXPECT_NEAR(axis.y, 0.0, 1e-12);
+}
+
+TEST(Trace, EquivalentRadius) {
+  const SegmentPath t = trace({0, 0, 0}, {10, 0, 0}, 1.0, 0.035);
+  ASSERT_EQ(t.segments.size(), 1u);
+  EXPECT_NEAR(t.segments[0].radius, 0.2235 * 1.035, 1e-12);
+}
+
+}  // namespace
+}  // namespace emi::peec

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "src/place/baseline.hpp"
+#include "src/place/drc.hpp"
+#include "src/place/metrics.hpp"
+
+namespace emi::place {
+namespace {
+
+Design rule_design(std::size_t n) {
+  Design d;
+  d.set_clearance(1.0);
+  d.add_area({"board", 0,
+              geom::Polygon::rectangle(geom::Rect::from_corners({0, 0}, {120, 90}))});
+  for (std::size_t i = 0; i < n; ++i) {
+    Component c;
+    c.name = "C" + std::to_string(i);
+    c.width_mm = 12;
+    c.depth_mm = 8;
+    c.height_mm = 5;
+    c.axis_deg = 90.0;
+    d.add_component(c);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      d.add_emd_rule("C" + std::to_string(i), "C" + std::to_string(j), 20.0);
+    }
+  }
+  return d;
+}
+
+TEST(Baseline, TrialAndErrorIgnoresEmd) {
+  Design d = rule_design(6);
+  Layout l = Layout::unplaced(d);
+  BaselineOptions opt;
+  opt.mode = BaselineMode::kTrialAndError;
+  opt.seed = 3;
+  const PlaceStats stats = baseline_place(d, l, opt);
+  EXPECT_EQ(stats.failed, 0u);
+  const DrcReport r = DrcEngine(d).check(l);
+  // Geometric rules hold; EMD rules were never considered and (with 15
+  // pairwise 20 mm rules crammed at random) essentially always violated.
+  EXPECT_EQ(r.count(ViolationKind::kOverlap), 0u);
+  EXPECT_EQ(r.count(ViolationKind::kClearance), 0u);
+  EXPECT_EQ(r.count(ViolationKind::kOutsideArea), 0u);
+  EXPECT_GT(r.count(ViolationKind::kEmd), 0u);
+}
+
+TEST(Baseline, RandomLegalHonorsEmd) {
+  Design d = rule_design(5);
+  Layout l = Layout::unplaced(d);
+  BaselineOptions opt;
+  opt.mode = BaselineMode::kRandomLegal;
+  opt.seed = 11;
+  const PlaceStats stats = baseline_place(d, l, opt);
+  EXPECT_EQ(stats.failed, 0u);
+  const DrcReport r = DrcEngine(d).check(l);
+  EXPECT_EQ(r.count(ViolationKind::kEmd), 0u);
+  EXPECT_EQ(r.count(ViolationKind::kOverlap), 0u);
+}
+
+TEST(Baseline, DeterministicPerSeed) {
+  Design d = rule_design(4);
+  Layout l1 = Layout::unplaced(d);
+  Layout l2 = Layout::unplaced(d);
+  BaselineOptions opt;
+  opt.seed = 77;
+  baseline_place(d, l1, opt);
+  baseline_place(d, l2, opt);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(l1.placements[i].position, l2.placements[i].position);
+  }
+  Layout l3 = Layout::unplaced(d);
+  opt.seed = 78;
+  baseline_place(d, l3, opt);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < 4; ++i) {
+    any_diff |= !(l3.placements[i].position == l1.placements[i].position);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Baseline, PreplacedKept) {
+  Design d = rule_design(3);
+  Layout l = Layout::unplaced(d);
+  l.placements[0] = {{60, 45}, 0.0, 0, true};
+  baseline_place(d, l);
+  EXPECT_EQ(l.placements[0].position, (geom::Vec2{60, 45}));
+}
+
+TEST(Metrics, CountsAndAreas) {
+  Design d = rule_design(2);
+  d.add_net({"n", {{"C0", ""}, {"C1", ""}}, {}});
+  Layout l = Layout::unplaced(d);
+  l.placements[0] = {{10, 10}, 0.0, 0, true};
+  l.placements[1] = {{50, 40}, 0.0, 0, true};
+  const LayoutMetrics m = compute_metrics(d, l);
+  EXPECT_DOUBLE_EQ(m.total_hpwl_mm, 70.0);
+  EXPECT_DOUBLE_EQ(m.footprint_area_mm2, 2.0 * 96.0);
+  EXPECT_GT(m.bounding_area_mm2, m.footprint_area_mm2);
+  EXPECT_GT(m.utilization, 0.0);
+  EXPECT_LT(m.utilization, 1.0);
+  EXPECT_EQ(m.unplaced, 0u);
+  // Distance 50 vs EMD 20: slack 30.
+  EXPECT_NEAR(m.min_emd_slack_mm, 30.0, 1e-9);
+  EXPECT_EQ(m.emd_violations, 0u);
+}
+
+TEST(Metrics, ViolationsCounted) {
+  Design d = rule_design(2);
+  Layout l = Layout::unplaced(d);
+  l.placements[0] = {{10, 10}, 0.0, 0, true};
+  l.placements[1] = {{25, 10}, 0.0, 0, true};  // 15 < 20
+  const LayoutMetrics m = compute_metrics(d, l);
+  EXPECT_EQ(m.emd_violations, 1u);
+  EXPECT_LT(m.min_emd_slack_mm, 0.0);
+}
+
+TEST(Metrics, UnplacedCounted) {
+  Design d = rule_design(3);
+  Layout l = Layout::unplaced(d);
+  l.placements[0] = {{10, 10}, 0.0, 0, true};
+  const LayoutMetrics m = compute_metrics(d, l);
+  EXPECT_EQ(m.unplaced, 2u);
+}
+
+TEST(GroupBoxes, ComputedPerGroup) {
+  Design d = rule_design(4);
+  d.components()[0].group = "g1";
+  d.components()[1].group = "g1";
+  d.components()[2].group = "g2";
+  Layout l = Layout::unplaced(d);
+  l.placements[0] = {{10, 10}, 0.0, 0, true};
+  l.placements[1] = {{30, 10}, 0.0, 0, true};
+  l.placements[2] = {{80, 60}, 0.0, 0, true};
+  l.placements[3] = {{100, 60}, 0.0, 0, true};  // ungrouped, ignored
+  const auto boxes = group_boxes(d, l);
+  ASSERT_EQ(boxes.size(), 2u);
+  EXPECT_EQ(boxes[0].group, "g1");
+  EXPECT_EQ(boxes[0].members, 2u);
+  EXPECT_EQ(boxes[1].members, 1u);
+  EXPECT_FALSE(boxes[0].bbox.overlaps(boxes[1].bbox));
+}
+
+}  // namespace
+}  // namespace emi::place

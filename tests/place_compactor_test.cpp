@@ -1,0 +1,116 @@
+#include "src/place/compactor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/place/drc.hpp"
+#include "src/place/placer.hpp"
+
+namespace emi::place {
+namespace {
+
+Design spread_design(std::size_t n, double pemd = 0.0) {
+  Design d;
+  d.set_clearance(1.0);
+  d.add_area({"board", 0,
+              geom::Polygon::rectangle(geom::Rect::from_corners({0, 0}, {120, 90}))});
+  for (std::size_t i = 0; i < n; ++i) {
+    Component c;
+    c.name = "C" + std::to_string(i);
+    c.width_mm = 10;
+    c.depth_mm = 8;
+    c.height_mm = 5;
+    c.axis_deg = 90.0;
+    d.add_component(c);
+  }
+  if (pemd > 0.0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        d.add_emd_rule("C" + std::to_string(i), "C" + std::to_string(j), pemd);
+      }
+    }
+  }
+  return d;
+}
+
+// Scatter components loosely over the board.
+Layout scattered(const Design& d) {
+  Layout l = Layout::unplaced(d);
+  const double xs[] = {20, 60, 100, 30, 80, 50, 95, 25, 70};
+  const double ys[] = {20, 70, 30, 60, 15, 45, 70, 80, 55};
+  for (std::size_t i = 0; i < d.components().size(); ++i) {
+    l.placements[i] = {{xs[i % 9], ys[i % 9]}, 0.0, 0, true};
+  }
+  return l;
+}
+
+TEST(Compactor, ShrinksAreaAndStaysLegal) {
+  Design d = spread_design(6);
+  Layout l = scattered(d);
+  ASSERT_TRUE(DrcEngine(d).check(l).clean());
+  const CompactionResult res = compact_layout(d, l);
+  EXPECT_LT(res.area_after_mm2, res.area_before_mm2);
+  EXPECT_GT(res.reduction(), 0.3);  // scattered layouts compact a lot
+  EXPECT_GT(res.moves, 0u);
+  EXPECT_TRUE(DrcEngine(d).check(l).clean());
+}
+
+TEST(Compactor, RespectsEmdRules) {
+  Design d = spread_design(4, 25.0);
+  Layout l = scattered(d);
+  const CompactionResult res = compact_layout(d, l);
+  EXPECT_LE(res.area_after_mm2, res.area_before_mm2);
+  const DrcReport rep = DrcEngine(d).check(l);
+  EXPECT_EQ(rep.count(ViolationKind::kEmd), 0u);
+  // The rules put a floor under the compaction: components stay >= 25 mm
+  // apart (parallel axes everywhere in this design).
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i + 1; j < 4; ++j) {
+      EXPECT_GE(geom::distance(l.placements[i].position, l.placements[j].position),
+                25.0 - 1e-6);
+    }
+  }
+}
+
+TEST(Compactor, PreplacedComponentsDoNotMove) {
+  Design d = spread_design(4);
+  d.components()[2].preplaced = true;
+  Layout l = scattered(d);
+  const geom::Vec2 fixed_pos = l.placements[2].position;
+  compact_layout(d, l);
+  EXPECT_EQ(l.placements[2].position, fixed_pos);
+}
+
+TEST(Compactor, GravityCornersWork) {
+  for (const auto corner :
+       {CompactionOptions::Corner::kLowLow, CompactionOptions::Corner::kHighLow,
+        CompactionOptions::Corner::kLowHigh, CompactionOptions::Corner::kHighHigh}) {
+    Design d = spread_design(4);
+    Layout l = scattered(d);
+    CompactionOptions opt;
+    opt.corner = corner;
+    const CompactionResult res = compact_layout(d, l, opt);
+    EXPECT_LT(res.area_after_mm2, res.area_before_mm2);
+    EXPECT_TRUE(DrcEngine(d).check(l).clean());
+  }
+}
+
+TEST(Compactor, IdempotentOnceConverged) {
+  Design d = spread_design(5);
+  Layout l = scattered(d);
+  compact_layout(d, l);
+  const CompactionResult second = compact_layout(d, l);
+  EXPECT_NEAR(second.reduction(), 0.0, 0.02);
+}
+
+TEST(Compactor, AfterAutoPlaceStillImproves) {
+  // The auto placer packs reasonably; compaction should only ever shrink.
+  Design d = spread_design(8, 14.0);
+  Layout l = Layout::unplaced(d);
+  auto_place(d, l);
+  const CompactionResult res = compact_layout(d, l);
+  EXPECT_LE(res.area_after_mm2, res.area_before_mm2 + 1e-9);
+  EXPECT_TRUE(DrcEngine(d).check(l).clean());
+}
+
+}  // namespace
+}  // namespace emi::place

@@ -1,0 +1,169 @@
+#include "src/place/design.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace emi::place {
+namespace {
+
+Design two_comp_design() {
+  Design d;
+  d.add_area({"board", 0,
+              geom::Polygon::rectangle(geom::Rect::from_corners({0, 0}, {100, 60}))});
+  Component a;
+  a.name = "A";
+  a.width_mm = 10;
+  a.depth_mm = 4;
+  a.height_mm = 5;
+  a.axis_deg = 90.0;
+  Component b = a;
+  b.name = "B";
+  d.add_component(std::move(a));
+  d.add_component(std::move(b));
+  return d;
+}
+
+TEST(Design, ComponentLookup) {
+  Design d = two_comp_design();
+  EXPECT_EQ(d.component_index("A"), 0u);
+  EXPECT_EQ(d.component_index("B"), 1u);
+  EXPECT_THROW(d.component_index("Z"), std::invalid_argument);
+  EXPECT_FALSE(d.find_component("Z").has_value());
+  EXPECT_EQ(*d.find_component("B"), 1u);
+}
+
+TEST(Design, Validation) {
+  Design d;
+  Component bad;
+  bad.name = "";
+  EXPECT_THROW(d.add_component(bad), std::invalid_argument);
+  bad.name = "X";
+  bad.width_mm = -1.0;
+  EXPECT_THROW(d.add_component(bad), std::invalid_argument);
+  Component ok;
+  ok.name = "X";
+  d.add_component(ok);
+  EXPECT_THROW(d.add_component(ok), std::invalid_argument);  // duplicate
+  Area a;
+  a.name = "bad";
+  EXPECT_THROW(d.add_area(a), std::invalid_argument);  // invalid polygon
+  EXPECT_THROW(d.add_net({"n", {{"nope", ""}}, 10.0}), std::invalid_argument);
+}
+
+TEST(Design, EmptyAllowedRotationsDefaulted) {
+  Design d;
+  Component c;
+  c.name = "X";
+  c.allowed_rotations.clear();
+  d.add_component(c);
+  EXPECT_EQ(d.components()[0].allowed_rotations.size(), 4u);
+}
+
+TEST(Design, PemdLookupIsSymmetric) {
+  Design d = two_comp_design();
+  d.add_emd_rule("A", "B", 17.5);
+  EXPECT_DOUBLE_EQ(d.pemd(0, 1), 17.5);
+  EXPECT_DOUBLE_EQ(d.pemd(1, 0), 17.5);
+  EXPECT_DOUBLE_EQ(d.pemd(0, 0), 0.0);
+  EXPECT_THROW(d.add_emd_rule("A", "A", 5.0), std::invalid_argument);
+  EXPECT_THROW(d.add_emd_rule("A", "B", -1.0), std::invalid_argument);
+}
+
+TEST(Design, FootprintRespectsRotation) {
+  Design d = two_comp_design();
+  Placement p{{50, 30}, 90.0, 0, true};
+  const geom::Rect fp = d.footprint(0, p);
+  EXPECT_NEAR(fp.width(), 4.0, 1e-12);
+  EXPECT_NEAR(fp.height(), 10.0, 1e-12);
+  EXPECT_EQ(fp.center(), (geom::Vec2{50, 30}));
+}
+
+TEST(Design, AxisFollowsRotation) {
+  Design d = two_comp_design();
+  Placement p{{0, 0}, 45.0, 0, true};
+  EXPECT_DOUBLE_EQ(d.axis_deg(0, p), 135.0);
+  p.rot_deg = 280.0;
+  EXPECT_DOUBLE_EQ(d.axis_deg(0, p), 10.0);
+}
+
+TEST(Design, EffectiveEmdCosLaw) {
+  Design d = two_comp_design();
+  d.add_emd_rule("A", "B", 20.0);
+  const Placement pa{{0, 0}, 0.0, 0, true};
+  Placement pb{{50, 0}, 0.0, 0, true};
+  EXPECT_NEAR(d.effective_emd(0, pa, 1, pb), 20.0, 1e-12);  // parallel
+  pb.rot_deg = 90.0;
+  EXPECT_NEAR(d.effective_emd(0, pa, 1, pb), 0.0, 1e-12);   // perpendicular
+  pb.rot_deg = 60.0;
+  EXPECT_NEAR(d.effective_emd(0, pa, 1, pb), 10.0, 1e-12);  // cos(60)
+  pb.rot_deg = 180.0;
+  EXPECT_NEAR(d.effective_emd(0, pa, 1, pb), 20.0, 1e-12);  // same axis
+}
+
+TEST(Design, PinPositionsRotate) {
+  Design d = two_comp_design();
+  d.components()[0].pins.push_back({"1", {5.0, 0.0}});
+  const Placement p{{10, 10}, 90.0, 0, true};
+  const geom::Vec2 pin = d.pin_position(0, "1", p);
+  EXPECT_NEAR(pin.x, 10.0, 1e-12);
+  EXPECT_NEAR(pin.y, 15.0, 1e-12);
+  // Unnamed pin = component center.
+  EXPECT_EQ(d.pin_position(0, "", p), (geom::Vec2{10, 10}));
+  EXPECT_THROW(d.pin_position(0, "nope", p), std::invalid_argument);
+}
+
+TEST(Design, AreasForHonorsAllowedAndPreferred) {
+  Design d = two_comp_design();
+  d.add_area({"aux", 0,
+              geom::Polygon::rectangle(geom::Rect::from_corners({0, 0}, {10, 10}))});
+  d.add_area({"other_board", 1,
+              geom::Polygon::rectangle(geom::Rect::from_corners({0, 0}, {10, 10}))});
+  // Unrestricted: both board-0 areas, in definition order.
+  auto areas = d.areas_for(0, 0);
+  ASSERT_EQ(areas.size(), 2u);
+  EXPECT_EQ(areas[0]->name, "board");
+  // Restricted to aux.
+  d.components()[0].allowed_areas = {"aux"};
+  areas = d.areas_for(0, 0);
+  ASSERT_EQ(areas.size(), 1u);
+  EXPECT_EQ(areas[0]->name, "aux");
+  // Preferred ordering puts the preferred area first.
+  d.components()[1].preferred_areas = {"aux"};
+  areas = d.areas_for(1, 0);
+  ASSERT_EQ(areas.size(), 2u);
+  EXPECT_EQ(areas[0]->name, "aux");
+  // No areas on a non-existent board.
+  EXPECT_TRUE(d.areas_for(0, 5).empty());
+}
+
+TEST(Design, GroupsInDefinitionOrder) {
+  Design d;
+  Component c;
+  c.name = "1";
+  c.group = "beta";
+  d.add_component(c);
+  c.name = "2";
+  c.group = "alpha";
+  d.add_component(c);
+  c.name = "3";
+  c.group = "beta";
+  d.add_component(c);
+  c.name = "4";
+  c.group = "";
+  d.add_component(c);
+  const auto g = d.groups();
+  ASSERT_EQ(g.size(), 2u);
+  EXPECT_EQ(g[0], "beta");
+  EXPECT_EQ(g[1], "alpha");
+}
+
+TEST(Layout, UnplacedFactory) {
+  Design d = two_comp_design();
+  const Layout l = Layout::unplaced(d);
+  ASSERT_EQ(l.placements.size(), 2u);
+  EXPECT_FALSE(l.placements[0].placed);
+}
+
+}  // namespace
+}  // namespace emi::place

@@ -1,0 +1,159 @@
+#include "src/place/drc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emi::place {
+namespace {
+
+// Small fixture: 100 x 60 board, three components, one EMD rule.
+class DrcTest : public ::testing::Test {
+ protected:
+  DrcTest() {
+    d_.set_clearance(1.0);
+    d_.add_area({"board", 0,
+                 geom::Polygon::rectangle(geom::Rect::from_corners({0, 0}, {100, 60}))});
+    Component c;
+    c.width_mm = 10;
+    c.depth_mm = 10;
+    c.height_mm = 5;
+    c.axis_deg = 90.0;
+    c.name = "A";
+    d_.add_component(c);
+    c.name = "B";
+    d_.add_component(c);
+    c.name = "C";
+    d_.add_component(c);
+    d_.add_emd_rule("A", "B", 30.0);
+    layout_ = Layout::unplaced(d_);
+    place("A", {20, 20}, 0.0);
+    place("B", {70, 20}, 0.0);
+    place("C", {20, 45}, 0.0);
+  }
+
+  void place(const std::string& name, geom::Vec2 pos, double rot) {
+    layout_.placements[d_.component_index(name)] = {pos, rot, 0, true};
+  }
+
+  DrcReport check() { return DrcEngine(d_).check(layout_); }
+
+  Design d_;
+  Layout layout_;
+};
+
+TEST_F(DrcTest, CleanLayout) {
+  const DrcReport r = check();
+  EXPECT_TRUE(r.clean()) << r.violations.size();
+  ASSERT_EQ(r.emd_status.size(), 1u);
+  EXPECT_TRUE(r.emd_status[0].ok);
+  EXPECT_DOUBLE_EQ(r.emd_status[0].distance_mm, 50.0);
+}
+
+TEST_F(DrcTest, UnplacedComponent) {
+  layout_.placements[0].placed = false;
+  const DrcReport r = check();
+  EXPECT_EQ(r.count(ViolationKind::kUnplaced), 1u);
+  // The EMD status row for an unplaced pair reports not-ok.
+  EXPECT_FALSE(r.emd_status[0].ok);
+}
+
+TEST_F(DrcTest, OverlapDetected) {
+  place("B", {25, 22}, 0.0);
+  const DrcReport r = check();
+  EXPECT_GE(r.count(ViolationKind::kOverlap), 1u);
+}
+
+TEST_F(DrcTest, ClearanceDetected) {
+  place("C", {20, 30.5}, 0.0);  // gap = 0.5 < 1.0 clearance
+  const DrcReport r = check();
+  EXPECT_EQ(r.count(ViolationKind::kClearance), 1u);
+  EXPECT_EQ(r.count(ViolationKind::kOverlap), 0u);
+}
+
+TEST_F(DrcTest, OutsideAreaDetected) {
+  place("C", {98, 45}, 0.0);  // footprint sticks out on the right
+  const DrcReport r = check();
+  EXPECT_EQ(r.count(ViolationKind::kOutsideArea), 1u);
+}
+
+TEST_F(DrcTest, KeepoutWithZOffset) {
+  d_.add_keepout({"rib", 0, {geom::Rect::from_corners({15, 40}, {25, 50}), 8.0, 100.0}});
+  // C (height 5) slides under the rib.
+  EXPECT_TRUE(check().clean());
+  // A tall component does not.
+  d_.components()[d_.component_index("C")].height_mm = 12.0;
+  const DrcReport r = check();
+  EXPECT_EQ(r.count(ViolationKind::kKeepout), 1u);
+}
+
+TEST_F(DrcTest, EmdViolationAndRotationCure) {
+  place("B", {40, 20}, 0.0);  // 20 mm < 30 mm rule, parallel axes
+  DrcReport r = check();
+  EXPECT_EQ(r.count(ViolationKind::kEmd), 1u);
+  EXPECT_FALSE(r.emd_status[0].ok);
+  // Rotating B by 90 degrees makes the axes perpendicular: EMD -> 0.
+  place("B", {40, 20}, 90.0);
+  r = check();
+  EXPECT_EQ(r.count(ViolationKind::kEmd), 0u);
+  EXPECT_TRUE(r.emd_status[0].ok);
+  EXPECT_NEAR(r.emd_status[0].effective_emd_mm, 0.0, 1e-9);
+}
+
+TEST_F(DrcTest, DifferentBoardsDecouple) {
+  d_.set_board_count(2);
+  d_.add_area({"board2", 1,
+               geom::Polygon::rectangle(geom::Rect::from_corners({0, 0}, {100, 60}))});
+  layout_.placements[d_.component_index("B")] = {{21, 20}, 0.0, 1, true};
+  const DrcReport r = check();
+  // Same x/y proximity but different boards: no overlap, no EMD violation.
+  EXPECT_EQ(r.count(ViolationKind::kOverlap), 0u);
+  EXPECT_EQ(r.count(ViolationKind::kEmd), 0u);
+  EXPECT_TRUE(r.emd_status[0].ok);
+}
+
+TEST_F(DrcTest, GroupSplitDetected) {
+  d_.components()[0].group = "g1";
+  d_.components()[1].group = "g1";
+  d_.components()[2].group = "g2";
+  // C at (45, 20) sits between A and B: its bbox overlaps g1's bbox.
+  place("C", {45, 20}, 0.0);
+  const DrcReport r = check();
+  EXPECT_EQ(r.count(ViolationKind::kGroupSplit), 1u);
+  // Moving C away separates the group boxes.
+  place("C", {20, 48}, 0.0);
+  EXPECT_EQ(check().count(ViolationKind::kGroupSplit), 0u);
+}
+
+TEST_F(DrcTest, NetLengthChecked) {
+  d_.add_net({"n1", {{"A", ""}, {"B", ""}}, 40.0});
+  const DrcReport r = check();  // HPWL = 50 > 40
+  EXPECT_EQ(r.count(ViolationKind::kNetLength), 1u);
+  EXPECT_DOUBLE_EQ(r.violations[0].actual, 50.0);
+}
+
+TEST_F(DrcTest, CheckComponentScopesToOne) {
+  place("B", {40, 20}, 0.0);  // EMD violation A <-> B
+  const DrcEngine engine(d_);
+  const auto va = engine.check_component(layout_, d_.component_index("A"));
+  EXPECT_EQ(va.size(), 1u);
+  const auto vc = engine.check_component(layout_, d_.component_index("C"));
+  EXPECT_TRUE(vc.empty());  // C is not involved
+}
+
+TEST_F(DrcTest, SizeMismatchThrows) {
+  Layout bad;
+  bad.placements.resize(1);
+  EXPECT_THROW(DrcEngine(d_).check(bad), std::invalid_argument);
+}
+
+TEST(DrcToString, AllKindsNamed) {
+  for (ViolationKind k :
+       {ViolationKind::kUnplaced, ViolationKind::kOverlap, ViolationKind::kClearance,
+        ViolationKind::kOutsideArea, ViolationKind::kKeepout, ViolationKind::kEmd,
+        ViolationKind::kGroupSplit, ViolationKind::kNetLength}) {
+    EXPECT_FALSE(to_string(k).empty());
+    EXPECT_NE(to_string(k), "?");
+  }
+}
+
+}  // namespace
+}  // namespace emi::place

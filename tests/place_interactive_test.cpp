@@ -1,0 +1,118 @@
+#include "src/place/interactive.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emi::place {
+namespace {
+
+class InteractiveTest : public ::testing::Test {
+ protected:
+  InteractiveTest() {
+    d_.set_clearance(1.0);
+    d_.add_area({"board", 0,
+                 geom::Polygon::rectangle(geom::Rect::from_corners({0, 0}, {100, 60}))});
+    Component c;
+    c.width_mm = 10;
+    c.depth_mm = 10;
+    c.height_mm = 5;
+    c.axis_deg = 90.0;
+    c.name = "A";
+    d_.add_component(c);
+    c.name = "B";
+    d_.add_component(c);
+    d_.add_emd_rule("A", "B", 30.0);
+    layout_ = Layout::unplaced(d_);
+    layout_.placements[0] = {{20, 30}, 0.0, 0, true};
+    layout_.placements[1] = {{70, 30}, 0.0, 0, true};
+  }
+
+  Design d_;
+  Layout layout_;
+};
+
+TEST_F(InteractiveTest, LegalMoveGivesGreen) {
+  InteractiveSession s(d_, layout_);
+  const EditFeedback fb = s.move("B", {60, 30});
+  EXPECT_TRUE(fb.legal());
+  EXPECT_EQ(s.layout().placements[1].position, (geom::Vec2{60, 30}));
+}
+
+TEST_F(InteractiveTest, IllegalMoveShowsRed) {
+  InteractiveSession s(d_, layout_);
+  const EditFeedback fb = s.move("B", {40, 30});  // 20 mm < 30 mm EMD
+  EXPECT_FALSE(fb.legal());
+  ASSERT_EQ(fb.violations.size(), 1u);
+  EXPECT_EQ(fb.violations[0].kind, ViolationKind::kEmd);
+}
+
+TEST_F(InteractiveTest, RotationClearsEmd) {
+  InteractiveSession s(d_, layout_);
+  s.move("B", {40, 30});
+  const EditFeedback fb = s.rotate("B", 90.0);
+  EXPECT_TRUE(fb.legal());
+}
+
+TEST_F(InteractiveTest, UndoRestores) {
+  InteractiveSession s(d_, layout_);
+  s.move("B", {40, 30});
+  EXPECT_TRUE(s.undo());
+  EXPECT_EQ(s.layout().placements[1].position, (geom::Vec2{70, 30}));
+  EXPECT_FALSE(s.undo());  // single-level history consumed
+}
+
+TEST_F(InteractiveTest, UnplaceRemoves) {
+  InteractiveSession s(d_, layout_);
+  s.unplace("B");
+  EXPECT_FALSE(s.layout().placements[1].placed);
+  const DrcReport r = s.full_check();
+  EXPECT_EQ(r.count(ViolationKind::kUnplaced), 1u);
+  EXPECT_TRUE(s.undo());
+  EXPECT_TRUE(s.layout().placements[1].placed);
+}
+
+TEST_F(InteractiveTest, SuggestPositionFindsNearbyLegalSpot) {
+  InteractiveSession s(d_, layout_);
+  // Target violates EMD; the adviser must find a legal point nearby.
+  const auto pos = s.suggest_position("B", {40, 30}, 30.0);
+  ASSERT_TRUE(pos.has_value());
+  const EditFeedback fb = s.move("B", *pos);
+  EXPECT_TRUE(fb.legal());
+}
+
+TEST_F(InteractiveTest, SuggestPositionReturnsTargetIfLegal) {
+  InteractiveSession s(d_, layout_);
+  const auto pos = s.suggest_position("B", {65, 30}, 30.0);
+  ASSERT_TRUE(pos.has_value());
+  EXPECT_EQ(*pos, (geom::Vec2{65, 30}));
+}
+
+TEST_F(InteractiveTest, SuggestRotationOnlyWhenNeeded) {
+  InteractiveSession s(d_, layout_);
+  // Currently legal: nothing to suggest.
+  EXPECT_FALSE(s.suggest_rotation("B").has_value());
+  s.move("B", {40, 30});
+  const auto rot = s.suggest_rotation("B");
+  ASSERT_TRUE(rot.has_value());
+  EXPECT_TRUE(s.rotate("B", *rot).legal());
+}
+
+TEST_F(InteractiveTest, MoveToBoardValidation) {
+  InteractiveSession s(d_, layout_);
+  EXPECT_THROW(s.move_to_board("B", 3, {10, 10}), std::invalid_argument);
+  d_.set_board_count(2);
+  d_.add_area({"b1", 1,
+               geom::Polygon::rectangle(geom::Rect::from_corners({0, 0}, {50, 50}))});
+  InteractiveSession s2(d_, layout_);
+  const EditFeedback fb = s2.move_to_board("B", 1, {25, 25});
+  EXPECT_TRUE(fb.legal());
+  EXPECT_EQ(s2.layout().placements[1].board, 1);
+}
+
+TEST_F(InteractiveTest, ConstructionValidatesSize) {
+  Layout bad;
+  bad.placements.resize(1);
+  EXPECT_THROW(InteractiveSession(d_, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace emi::place

@@ -1,0 +1,102 @@
+#include "src/place/partition.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emi::place {
+namespace {
+
+Design clustered_design() {
+  // Two natural clusters of 4, connected internally by many nets and to
+  // each other by a single bridge net - the min cut is 1.
+  Design d;
+  d.set_board_count(2);
+  d.add_area({"b0", 0, geom::Polygon::rectangle(geom::Rect::from_corners({0, 0}, {50, 50}))});
+  d.add_area({"b1", 1, geom::Polygon::rectangle(geom::Rect::from_corners({0, 0}, {50, 50}))});
+  for (int i = 0; i < 8; ++i) {
+    Component c;
+    c.name = "C" + std::to_string(i);
+    c.width_mm = 10;
+    c.depth_mm = 10;
+    d.add_component(c);
+  }
+  // Cluster 1: C0..C3, cluster 2: C4..C7.
+  d.add_net({"n1", {{"C0", ""}, {"C1", ""}}});
+  d.add_net({"n2", {{"C1", ""}, {"C2", ""}}});
+  d.add_net({"n3", {{"C2", ""}, {"C3", ""}}});
+  d.add_net({"n4", {{"C0", ""}, {"C3", ""}}});
+  d.add_net({"n5", {{"C4", ""}, {"C5", ""}}});
+  d.add_net({"n6", {{"C5", ""}, {"C6", ""}}});
+  d.add_net({"n7", {{"C6", ""}, {"C7", ""}}});
+  d.add_net({"n8", {{"C4", ""}, {"C7", ""}}});
+  d.add_net({"bridge", {{"C3", ""}, {"C4", ""}}});
+  return d;
+}
+
+TEST(Partition, FindsTheNaturalCut) {
+  Design d = clustered_design();
+  const Partitioner part(d);
+  const PartitionResult r = part.bipartition();
+  EXPECT_EQ(r.cut_nets, 1u);
+  // The clusters land on different boards, whichever way round.
+  EXPECT_EQ(r.board[0], r.board[1]);
+  EXPECT_EQ(r.board[1], r.board[2]);
+  EXPECT_EQ(r.board[2], r.board[3]);
+  EXPECT_EQ(r.board[4], r.board[5]);
+  EXPECT_EQ(r.board[5], r.board[6]);
+  EXPECT_EQ(r.board[6], r.board[7]);
+  EXPECT_NE(r.board[0], r.board[4]);
+  EXPECT_NEAR(r.area_share_0, 0.5, 0.01);
+}
+
+TEST(Partition, PinnedComponentsStay) {
+  Design d = clustered_design();
+  d.components()[0].board = 1;  // pin C0 to board 1
+  const Partitioner part(d);
+  const PartitionResult r = part.bipartition();
+  EXPECT_EQ(r.board[0], 1);
+}
+
+TEST(Partition, GroupsMoveTogether) {
+  Design d = clustered_design();
+  for (int i : {0, 4}) d.components()[static_cast<std::size_t>(i)].group = "same";
+  const Partitioner part(d);
+  const PartitionResult r = part.bipartition();
+  EXPECT_EQ(r.board[0], r.board[4]);  // grouped cells are one move unit
+}
+
+TEST(Partition, BalanceToleranceRespected) {
+  Design d = clustered_design();
+  PartitionOptions opt;
+  opt.balance_tolerance = 0.1;
+  const PartitionResult r = Partitioner(d).bipartition(opt);
+  EXPECT_GE(r.area_share_0, 0.4 - 1e-9);
+  EXPECT_LE(r.area_share_0, 0.6 + 1e-9);
+}
+
+TEST(Partition, CutCountMatchesManual) {
+  Design d = clustered_design();
+  const Partitioner part(d);
+  std::vector<int> all_zero(8, 0);
+  EXPECT_EQ(part.cut_count(all_zero), 0u);
+  std::vector<int> split{0, 0, 0, 0, 1, 1, 1, 1};
+  EXPECT_EQ(part.cut_count(split), 1u);  // only the bridge
+  std::vector<int> alternate{0, 1, 0, 1, 0, 1, 0, 1};
+  EXPECT_EQ(part.cut_count(alternate), 9u);
+}
+
+TEST(Partition, ConflictingGroupPinsThrow) {
+  Design d = clustered_design();
+  d.components()[0].group = "g";
+  d.components()[1].group = "g";
+  d.components()[0].board = 0;
+  d.components()[1].board = 1;
+  EXPECT_THROW(Partitioner(d).bipartition(), std::invalid_argument);
+}
+
+TEST(Partition, EmptyDesignThrows) {
+  Design d;
+  EXPECT_THROW(Partitioner(d).bipartition(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace emi::place

@@ -1,0 +1,100 @@
+#include "src/place/rotation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emi::place {
+namespace {
+
+Design design_with_rules(std::size_t n, double pemd) {
+  Design d;
+  d.add_area({"board", 0,
+              geom::Polygon::rectangle(geom::Rect::from_corners({0, 0}, {200, 200}))});
+  for (std::size_t i = 0; i < n; ++i) {
+    Component c;
+    c.name = "C" + std::to_string(i);
+    c.axis_deg = 90.0;
+    d.add_component(c);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      d.add_emd_rule("C" + std::to_string(i), "C" + std::to_string(j), pemd);
+    }
+  }
+  return d;
+}
+
+TEST(Rotation, TwoComponentsBecomePerpendicular) {
+  Design d = design_with_rules(2, 20.0);
+  const RotationOptimizer opt(d);
+  const RotationResult r = opt.optimize(Layout::unplaced(d));
+  EXPECT_DOUBLE_EQ(r.initial_emd_mm, 20.0);       // both at rotation 0
+  EXPECT_NEAR(r.total_emd_mm, 0.0, 1e-9);         // optimizer decouples them
+  EXPECT_NEAR(geom::axis_angle_deg(r.rotation_deg[0] + 90.0, r.rotation_deg[1] + 90.0),
+              90.0, 1e-9);
+}
+
+TEST(Rotation, ThreeMutuallyCoupledCannotAllDecouple) {
+  // With 0/90 rotations and three pairwise rules, at least one pair stays
+  // parallel: the optimum is exactly one full EMD left.
+  Design d = design_with_rules(3, 20.0);
+  const RotationOptimizer opt(d);
+  const RotationResult r = opt.optimize(Layout::unplaced(d));
+  EXPECT_NEAR(r.total_emd_mm, 20.0, 1e-9);
+  EXPECT_LT(r.total_emd_mm, r.initial_emd_mm);
+}
+
+TEST(Rotation, PreplacedRotationRespected) {
+  Design d = design_with_rules(2, 20.0);
+  d.components()[0].preplaced = true;
+  Layout fixed = Layout::unplaced(d);
+  fixed.placements[0] = {{10, 10}, 90.0, 0, true};
+  const RotationOptimizer opt(d);
+  const RotationResult r = opt.optimize(fixed);
+  EXPECT_DOUBLE_EQ(r.rotation_deg[0], 90.0);  // kept
+  // The free one decouples against it: perpendicular again.
+  EXPECT_NEAR(r.total_emd_mm, 0.0, 1e-9);
+}
+
+TEST(Rotation, RestrictedRotationSetHonored) {
+  Design d = design_with_rules(2, 20.0);
+  // Second component may only be parallel (0 or 180): no decoupling exists.
+  d.components()[1].allowed_rotations = {0.0, 180.0};
+  d.components()[0].allowed_rotations = {0.0, 180.0};
+  const RotationOptimizer opt(d);
+  const RotationResult r = opt.optimize(Layout::unplaced(d));
+  EXPECT_NEAR(r.total_emd_mm, 20.0, 1e-9);
+}
+
+TEST(Rotation, ObjectiveMatchesManualSum) {
+  Design d = design_with_rules(3, 10.0);
+  const RotationOptimizer opt(d);
+  // All parallel: 3 pairs x 10 mm.
+  EXPECT_NEAR(opt.total_emd({0.0, 0.0, 0.0}), 30.0, 1e-12);
+  // One perpendicular: pairs (0,1) and (0,2) vanish, (1,2) stays.
+  EXPECT_NEAR(opt.total_emd({90.0, 0.0, 0.0}), 10.0, 1e-12);
+  EXPECT_THROW(opt.total_emd({0.0}), std::invalid_argument);
+}
+
+TEST(Rotation, ConvergesWithinSweepBudget) {
+  Design d = design_with_rules(8, 15.0);
+  const RotationOptimizer opt(d);
+  RotationOptions ro;
+  ro.max_sweeps = 20;
+  const RotationResult r = opt.optimize(Layout::unplaced(d), ro);
+  EXPECT_LE(r.sweeps, 20u);
+  EXPECT_LE(r.total_emd_mm, r.initial_emd_mm);
+}
+
+TEST(Rotation, NoRulesNoWork) {
+  Design d;
+  Component c;
+  c.name = "X";
+  d.add_component(c);
+  const RotationOptimizer opt(d);
+  const RotationResult r = opt.optimize(Layout::unplaced(d));
+  EXPECT_DOUBLE_EQ(r.total_emd_mm, 0.0);
+  EXPECT_DOUBLE_EQ(r.initial_emd_mm, 0.0);
+}
+
+}  // namespace
+}  // namespace emi::place

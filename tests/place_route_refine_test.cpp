@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "src/place/drc.hpp"
+#include "src/place/placer.hpp"
+#include "src/place/refine.hpp"
+#include "src/place/route.hpp"
+
+namespace emi::place {
+namespace {
+
+Design routed_design() {
+  Design d;
+  d.set_clearance(1.0);
+  d.add_area({"board", 0,
+              geom::Polygon::rectangle(geom::Rect::from_corners({0, 0}, {100, 80}))});
+  for (const char* name : {"A", "B", "C", "D"}) {
+    Component c;
+    c.name = name;
+    c.width_mm = 10;
+    c.depth_mm = 8;
+    c.height_mm = 5;
+    d.add_component(c);
+  }
+  d.add_net({"N1", {{"A", ""}, {"B", ""}}});
+  d.add_net({"N2", {{"A", ""}, {"C", ""}, {"D", ""}}});
+  return d;
+}
+
+Layout square_layout(const Design& d) {
+  Layout l = Layout::unplaced(d);
+  l.placements[0] = {{20, 20}, 0.0, 0, true};
+  l.placements[1] = {{60, 20}, 0.0, 0, true};
+  l.placements[2] = {{20, 60}, 0.0, 0, true};
+  l.placements[3] = {{60, 60}, 0.0, 0, true};
+  return l;
+}
+
+TEST(Router, TwoPinNetIsManhattanShortest) {
+  Design d = routed_design();
+  Layout l = square_layout(d);
+  const auto routed = route_nets(d, l);
+  ASSERT_EQ(routed.size(), 2u);
+  // N1: A(20,20) -> B(60,20): the star sits between them; total length
+  // equals the Manhattan distance.
+  EXPECT_NEAR(routed[0].total_length_mm, 40.0, 1e-9);
+  for (const TraceSegment& s : routed[0].segments) {
+    // Manhattan: every segment is axis-parallel.
+    EXPECT_TRUE(std::abs(s.a.x - s.b.x) < 1e-9 || std::abs(s.a.y - s.b.y) < 1e-9);
+  }
+}
+
+TEST(Router, StarNetLengthIsHpwlBound) {
+  Design d = routed_design();
+  Layout l = square_layout(d);
+  const auto routed = route_nets(d, l);
+  // N2 spans A(20,20), C(20,60), D(60,60): HPWL = 80; the Steiner star
+  // route is at least that and at most twice.
+  EXPECT_GE(routed[1].total_length_mm, 80.0 - 1e-9);
+  EXPECT_LE(routed[1].total_length_mm, 160.0);
+}
+
+TEST(Router, SkipsIncompleteNets) {
+  Design d = routed_design();
+  Layout l = square_layout(d);
+  l.placements[1].placed = false;  // B unplaced -> N1 unroutable
+  const auto routed = route_nets(d, l);
+  EXPECT_TRUE(routed[0].segments.empty());
+  EXPECT_FALSE(routed[1].segments.empty());
+}
+
+TEST(Router, SkipsCrossBoardNets) {
+  Design d = routed_design();
+  d.set_board_count(2);
+  Layout l = square_layout(d);
+  l.placements[1].board = 1;
+  const auto routed = route_nets(d, l);
+  EXPECT_TRUE(routed[0].segments.empty());
+}
+
+TEST(Router, TotalLength) {
+  Design d = routed_design();
+  Layout l = square_layout(d);
+  const auto routed = route_nets(d, l);
+  EXPECT_NEAR(total_trace_length(routed),
+              routed[0].total_length_mm + routed[1].total_length_mm, 1e-9);
+}
+
+TEST(Refine, ImprovesCostAndStaysLegal) {
+  Design d = routed_design();
+  // Scatter badly: nets stretched to opposite corners.
+  Layout l = Layout::unplaced(d);
+  l.placements[0] = {{10, 10}, 0.0, 0, true};
+  l.placements[1] = {{90, 70}, 0.0, 0, true};
+  l.placements[2] = {{90, 10}, 0.0, 0, true};
+  l.placements[3] = {{10, 70}, 0.0, 0, true};
+  ASSERT_TRUE(DrcEngine(d).check(l).clean());
+
+  RefineOptions opt;
+  opt.iterations = 3000;
+  opt.seed = 42;
+  const RefineResult res = refine_layout(d, l, opt);
+  EXPECT_LT(res.cost_after, res.cost_before);
+  EXPECT_GT(res.improvement(), 0.2);
+  EXPECT_GT(res.accepted, 0u);
+  EXPECT_TRUE(DrcEngine(d).check(l).clean());
+}
+
+TEST(Refine, DeterministicPerSeed) {
+  Design d = routed_design();
+  Layout l1 = square_layout(d);
+  Layout l2 = square_layout(d);
+  RefineOptions opt;
+  opt.iterations = 500;
+  refine_layout(d, l1, opt);
+  refine_layout(d, l2, opt);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(l1.placements[i].position, l2.placements[i].position);
+  }
+}
+
+TEST(Refine, HonorsEmdRules) {
+  Design d = routed_design();
+  d.add_emd_rule("A", "B", 30.0);
+  Layout l = square_layout(d);
+  RefineOptions opt;
+  opt.iterations = 2000;
+  opt.seed = 3;
+  refine_layout(d, l, opt);
+  const DrcReport rep = DrcEngine(d).check(l);
+  EXPECT_EQ(rep.count(ViolationKind::kEmd), 0u);
+}
+
+TEST(Refine, PreplacedNeverMoves) {
+  Design d = routed_design();
+  d.components()[0].preplaced = true;
+  Layout l = square_layout(d);
+  const geom::Vec2 fixed = l.placements[0].position;
+  refine_layout(d, l);
+  EXPECT_EQ(l.placements[0].position, fixed);
+}
+
+TEST(Refine, EmptyLayoutNoCrash) {
+  Design d = routed_design();
+  Layout l = Layout::unplaced(d);
+  const RefineResult res = refine_layout(d, l);
+  EXPECT_DOUBLE_EQ(res.cost_after, res.cost_before);
+}
+
+}  // namespace
+}  // namespace emi::place

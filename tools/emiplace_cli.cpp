@@ -1,0 +1,188 @@
+// emiplace - command-line front end to the placement tool.
+//
+// Subcommands:
+//   info  <design>                      print design statistics
+//   place <design> [-o layout] [--compact] [--refine N] [--seed S]
+//                                       run the automatic three-step flow
+//   drc   <design> [layout]             check a design (+ saved layout)
+//   route <design> <layout>             route nets, print trace table
+//   svg   <design> <layout> [board]     render a board to SVG on stdout
+//
+// The design file format is the ASCII interface documented in
+// src/io/design_format.hpp. With no -o, results go to stdout.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "src/io/design_format.hpp"
+#include "src/io/reports.hpp"
+#include "src/io/svg.hpp"
+#include "src/place/compactor.hpp"
+#include "src/place/drc.hpp"
+#include "src/place/metrics.hpp"
+#include "src/place/placer.hpp"
+#include "src/place/refine.hpp"
+#include "src/place/route.hpp"
+
+namespace {
+
+using namespace emi;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: emiplace <command> [args]\n"
+               "  info  <design>\n"
+               "  place <design> [-o layout] [--compact] [--refine N] [--seed S]\n"
+               "  drc   <design> [layout]\n"
+               "  route <design> <layout>\n"
+               "  svg   <design> <layout> [board]\n");
+  return 2;
+}
+
+int cmd_info(const std::string& path) {
+  const io::LoadedDesign ld = io::load_design_file(path);
+  const place::Design& d = ld.design;
+  std::printf("design: %s\n", path.c_str());
+  std::printf("  boards:      %d\n", d.board_count());
+  std::printf("  components:  %zu\n", d.components().size());
+  std::printf("  nets:        %zu\n", d.nets().size());
+  std::printf("  areas:       %zu\n", d.areas().size());
+  std::printf("  keepouts:    %zu\n", d.keepouts().size());
+  std::printf("  EMD rules:   %zu\n", d.emd_rules().size());
+  std::printf("  groups:      %zu\n", d.groups().size());
+  std::printf("  clearance:   %.2f mm\n", d.clearance());
+  std::size_t preplaced = 0;
+  for (const auto& p : ld.layout.placements) preplaced += p.placed ? 1 : 0;
+  std::printf("  preplaced:   %zu\n", preplaced);
+  return 0;
+}
+
+int cmd_place(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string design_path = argv[0];
+  std::string out_path;
+  bool compact = false;
+  std::size_t refine_iters = 0;
+  std::uint64_t seed = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "-o") && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--compact")) {
+      compact = true;
+    } else if (!std::strcmp(argv[i], "--refine") && i + 1 < argc) {
+      refine_iters = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
+      seed = std::stoull(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+      return usage();
+    }
+  }
+
+  io::LoadedDesign ld = io::load_design_file(design_path);
+  const place::PlaceStats stats = place::auto_place(ld.design, ld.layout);
+  std::fprintf(stderr, "placed %zu, failed %zu in %.1f ms\n", stats.placed,
+               stats.failed, stats.elapsed_seconds * 1e3);
+  for (const std::string& f : stats.failed_components) {
+    std::fprintf(stderr, "  FAILED: %s\n", f.c_str());
+  }
+  if (compact) {
+    const place::CompactionResult c = place::compact_layout(ld.design, ld.layout);
+    std::fprintf(stderr, "compacted: area %.0f -> %.0f mm^2\n", c.area_before_mm2,
+                 c.area_after_mm2);
+  }
+  if (refine_iters > 0) {
+    place::RefineOptions ropt;
+    ropt.iterations = refine_iters;
+    ropt.seed = seed;
+    const place::RefineResult r = place::refine_layout(ld.design, ld.layout, ropt);
+    std::fprintf(stderr, "refined: cost %.1f -> %.1f\n", r.cost_before, r.cost_after);
+  }
+  const place::DrcReport rep = place::DrcEngine(ld.design).check(ld.layout);
+  std::fprintf(stderr, "DRC: %s (%zu violations)\n",
+               rep.clean() ? "CLEAN" : "VIOLATIONS", rep.violations.size());
+
+  if (out_path.empty()) {
+    io::save_layout(std::cout, ld.design, ld.layout);
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    io::save_layout(out, ld.design, ld.layout);
+    std::fprintf(stderr, "layout written to %s\n", out_path.c_str());
+  }
+  return stats.failed == 0 && rep.clean() ? 0 : 1;
+}
+
+int cmd_drc(int argc, char** argv) {
+  if (argc < 1) return usage();
+  io::LoadedDesign ld = io::load_design_file(argv[0]);
+  place::Layout layout = ld.layout;
+  if (argc >= 2) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", argv[1]);
+      return 1;
+    }
+    layout = io::load_layout(in, ld.design);
+  }
+  const place::DrcReport rep = place::DrcEngine(ld.design).check(layout);
+  io::write_drc_report(std::cout, rep);
+  return rep.clean() ? 0 : 1;
+}
+
+int cmd_route(int argc, char** argv) {
+  if (argc < 2) return usage();
+  io::LoadedDesign ld = io::load_design_file(argv[0]);
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", argv[1]);
+    return 1;
+  }
+  const place::Layout layout = io::load_layout(in, ld.design);
+  const auto routed = place::route_nets(ld.design, layout);
+  std::printf("net,length_mm,segments\n");
+  for (const auto& rn : routed) {
+    std::printf("%s,%.1f,%zu\n", rn.net.c_str(), rn.total_length_mm,
+                rn.segments.size());
+  }
+  std::printf("# total %.1f mm\n", place::total_trace_length(routed));
+  return 0;
+}
+
+int cmd_svg(int argc, char** argv) {
+  if (argc < 2) return usage();
+  io::LoadedDesign ld = io::load_design_file(argv[0]);
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", argv[1]);
+    return 1;
+  }
+  const place::Layout layout = io::load_layout(in, ld.design);
+  io::SvgOptions opt;
+  if (argc >= 3) opt.board = std::stoi(argv[2]);
+  io::write_layout_svg(std::cout, ld.design, layout, opt);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "info" && argc >= 3) return cmd_info(argv[2]);
+    if (cmd == "place") return cmd_place(argc - 2, argv + 2);
+    if (cmd == "drc") return cmd_drc(argc - 2, argv + 2);
+    if (cmd == "route") return cmd_route(argc - 2, argv + 2);
+    if (cmd == "svg") return cmd_svg(argc - 2, argv + 2);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
