@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_baseline_placer.dir/bench_abl_baseline_placer.cpp.o"
+  "CMakeFiles/bench_abl_baseline_placer.dir/bench_abl_baseline_placer.cpp.o.d"
+  "bench_abl_baseline_placer"
+  "bench_abl_baseline_placer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_baseline_placer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

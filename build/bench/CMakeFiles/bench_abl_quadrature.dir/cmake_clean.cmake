@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_quadrature.dir/bench_abl_quadrature.cpp.o"
+  "CMakeFiles/bench_abl_quadrature.dir/bench_abl_quadrature.cpp.o.d"
+  "bench_abl_quadrature"
+  "bench_abl_quadrature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_quadrature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

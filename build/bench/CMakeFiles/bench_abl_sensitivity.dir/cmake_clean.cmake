@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_sensitivity.dir/bench_abl_sensitivity.cpp.o"
+  "CMakeFiles/bench_abl_sensitivity.dir/bench_abl_sensitivity.cpp.o.d"
+  "bench_abl_sensitivity"
+  "bench_abl_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_capacitive.dir/bench_ext_capacitive.cpp.o"
+  "CMakeFiles/bench_ext_capacitive.dir/bench_ext_capacitive.cpp.o.d"
+  "bench_ext_capacitive"
+  "bench_ext_capacitive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_capacitive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

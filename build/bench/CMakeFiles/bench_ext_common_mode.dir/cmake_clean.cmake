@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_common_mode.dir/bench_ext_common_mode.cpp.o"
+  "CMakeFiles/bench_ext_common_mode.dir/bench_ext_common_mode.cpp.o.d"
+  "bench_ext_common_mode"
+  "bench_ext_common_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_common_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

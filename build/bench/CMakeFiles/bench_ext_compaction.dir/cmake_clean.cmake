@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_compaction.dir/bench_ext_compaction.cpp.o"
+  "CMakeFiles/bench_ext_compaction.dir/bench_ext_compaction.cpp.o.d"
+  "bench_ext_compaction"
+  "bench_ext_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

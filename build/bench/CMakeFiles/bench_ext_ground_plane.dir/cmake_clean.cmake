@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_ground_plane.dir/bench_ext_ground_plane.cpp.o"
+  "CMakeFiles/bench_ext_ground_plane.dir/bench_ext_ground_plane.cpp.o.d"
+  "bench_ext_ground_plane"
+  "bench_ext_ground_plane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_ground_plane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

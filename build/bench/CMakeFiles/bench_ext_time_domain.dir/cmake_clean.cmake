@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_time_domain.dir/bench_ext_time_domain.cpp.o"
+  "CMakeFiles/bench_ext_time_domain.dir/bench_ext_time_domain.cpp.o.d"
+  "bench_ext_time_domain"
+  "bench_ext_time_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_time_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

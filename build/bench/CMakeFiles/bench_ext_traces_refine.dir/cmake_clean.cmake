@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_traces_refine.dir/bench_ext_traces_refine.cpp.o"
+  "CMakeFiles/bench_ext_traces_refine.dir/bench_ext_traces_refine.cpp.o.d"
+  "bench_ext_traces_refine"
+  "bench_ext_traces_refine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_traces_refine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

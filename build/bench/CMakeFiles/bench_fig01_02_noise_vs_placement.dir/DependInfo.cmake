@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig01_02_noise_vs_placement.cpp" "bench/CMakeFiles/bench_fig01_02_noise_vs_placement.dir/bench_fig01_02_noise_vs_placement.cpp.o" "gcc" "bench/CMakeFiles/bench_fig01_02_noise_vs_placement.dir/bench_fig01_02_noise_vs_placement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/emi_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/emi_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/emi/CMakeFiles/emi_emi.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckt/CMakeFiles/emi_ckt.dir/DependInfo.cmake"
+  "/root/repo/build/src/peec/CMakeFiles/emi_peec.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/emi_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/emi_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/emi_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

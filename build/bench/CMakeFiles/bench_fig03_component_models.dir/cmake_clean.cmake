@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_component_models.dir/bench_fig03_component_models.cpp.o"
+  "CMakeFiles/bench_fig03_component_models.dir/bench_fig03_component_models.cpp.o.d"
+  "bench_fig03_component_models"
+  "bench_fig03_component_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_component_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

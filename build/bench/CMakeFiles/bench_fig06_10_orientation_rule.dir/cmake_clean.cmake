@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_10_orientation_rule.dir/bench_fig06_10_orientation_rule.cpp.o"
+  "CMakeFiles/bench_fig06_10_orientation_rule.dir/bench_fig06_10_orientation_rule.cpp.o.d"
+  "bench_fig06_10_orientation_rule"
+  "bench_fig06_10_orientation_rule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_10_orientation_rule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

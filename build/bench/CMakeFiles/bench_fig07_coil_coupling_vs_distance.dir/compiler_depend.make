@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig07_coil_coupling_vs_distance.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_cmchoke_positions.dir/bench_fig08_cmchoke_positions.cpp.o"
+  "CMakeFiles/bench_fig08_cmchoke_positions.dir/bench_fig08_cmchoke_positions.cpp.o.d"
+  "bench_fig08_cmchoke_positions"
+  "bench_fig08_cmchoke_positions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_cmchoke_positions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

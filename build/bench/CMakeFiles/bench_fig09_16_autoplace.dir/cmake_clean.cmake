@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_16_autoplace.dir/bench_fig09_16_autoplace.cpp.o"
+  "CMakeFiles/bench_fig09_16_autoplace.dir/bench_fig09_16_autoplace.cpp.o.d"
+  "bench_fig09_16_autoplace"
+  "bench_fig09_16_autoplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_16_autoplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

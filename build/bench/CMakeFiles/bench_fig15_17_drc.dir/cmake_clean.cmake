@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_17_drc.dir/bench_fig15_17_drc.cpp.o"
+  "CMakeFiles/bench_fig15_17_drc.dir/bench_fig15_17_drc.cpp.o.d"
+  "bench_fig15_17_drc"
+  "bench_fig15_17_drc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_17_drc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_peec.dir/bench_perf_peec.cpp.o"
+  "CMakeFiles/bench_perf_peec.dir/bench_perf_peec.cpp.o.d"
+  "bench_perf_peec"
+  "bench_perf_peec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_peec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_placer.dir/bench_perf_placer.cpp.o"
+  "CMakeFiles/bench_perf_placer.dir/bench_perf_placer.cpp.o.d"
+  "bench_perf_placer"
+  "bench_perf_placer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_placer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

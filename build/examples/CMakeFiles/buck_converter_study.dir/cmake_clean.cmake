@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buck_converter_study.dir/buck_converter_study.cpp.o"
+  "CMakeFiles/buck_converter_study.dir/buck_converter_study.cpp.o.d"
+  "buck_converter_study"
+  "buck_converter_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buck_converter_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

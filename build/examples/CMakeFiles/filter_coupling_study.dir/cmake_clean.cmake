@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_coupling_study.dir/filter_coupling_study.cpp.o"
+  "CMakeFiles/filter_coupling_study.dir/filter_coupling_study.cpp.o.d"
+  "filter_coupling_study"
+  "filter_coupling_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_coupling_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

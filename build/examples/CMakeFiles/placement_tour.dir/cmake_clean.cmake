@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placement_tour.dir/placement_tour.cpp.o"
+  "CMakeFiles/placement_tour.dir/placement_tour.cpp.o.d"
+  "placement_tour"
+  "placement_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placement_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

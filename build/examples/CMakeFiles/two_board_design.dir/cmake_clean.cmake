@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_board_design.dir/two_board_design.cpp.o"
+  "CMakeFiles/two_board_design.dir/two_board_design.cpp.o.d"
+  "two_board_design"
+  "two_board_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_board_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ckt/ac.cpp" "src/ckt/CMakeFiles/emi_ckt.dir/ac.cpp.o" "gcc" "src/ckt/CMakeFiles/emi_ckt.dir/ac.cpp.o.d"
+  "/root/repo/src/ckt/circuit.cpp" "src/ckt/CMakeFiles/emi_ckt.dir/circuit.cpp.o" "gcc" "src/ckt/CMakeFiles/emi_ckt.dir/circuit.cpp.o.d"
+  "/root/repo/src/ckt/transient.cpp" "src/ckt/CMakeFiles/emi_ckt.dir/transient.cpp.o" "gcc" "src/ckt/CMakeFiles/emi_ckt.dir/transient.cpp.o.d"
+  "/root/repo/src/ckt/waveform.cpp" "src/ckt/CMakeFiles/emi_ckt.dir/waveform.cpp.o" "gcc" "src/ckt/CMakeFiles/emi_ckt.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/emi_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emi_ckt.dir/ac.cpp.o"
+  "CMakeFiles/emi_ckt.dir/ac.cpp.o.d"
+  "CMakeFiles/emi_ckt.dir/circuit.cpp.o"
+  "CMakeFiles/emi_ckt.dir/circuit.cpp.o.d"
+  "CMakeFiles/emi_ckt.dir/transient.cpp.o"
+  "CMakeFiles/emi_ckt.dir/transient.cpp.o.d"
+  "CMakeFiles/emi_ckt.dir/waveform.cpp.o"
+  "CMakeFiles/emi_ckt.dir/waveform.cpp.o.d"
+  "libemi_ckt.a"
+  "libemi_ckt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emi_ckt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/emi/cispr25.cpp" "src/emi/CMakeFiles/emi_emi.dir/cispr25.cpp.o" "gcc" "src/emi/CMakeFiles/emi_emi.dir/cispr25.cpp.o.d"
+  "/root/repo/src/emi/emission.cpp" "src/emi/CMakeFiles/emi_emi.dir/emission.cpp.o" "gcc" "src/emi/CMakeFiles/emi_emi.dir/emission.cpp.o.d"
+  "/root/repo/src/emi/ferrite.cpp" "src/emi/CMakeFiles/emi_emi.dir/ferrite.cpp.o" "gcc" "src/emi/CMakeFiles/emi_emi.dir/ferrite.cpp.o.d"
+  "/root/repo/src/emi/lisn.cpp" "src/emi/CMakeFiles/emi_emi.dir/lisn.cpp.o" "gcc" "src/emi/CMakeFiles/emi_emi.dir/lisn.cpp.o.d"
+  "/root/repo/src/emi/measurement.cpp" "src/emi/CMakeFiles/emi_emi.dir/measurement.cpp.o" "gcc" "src/emi/CMakeFiles/emi_emi.dir/measurement.cpp.o.d"
+  "/root/repo/src/emi/noise_source.cpp" "src/emi/CMakeFiles/emi_emi.dir/noise_source.cpp.o" "gcc" "src/emi/CMakeFiles/emi_emi.dir/noise_source.cpp.o.d"
+  "/root/repo/src/emi/rules.cpp" "src/emi/CMakeFiles/emi_emi.dir/rules.cpp.o" "gcc" "src/emi/CMakeFiles/emi_emi.dir/rules.cpp.o.d"
+  "/root/repo/src/emi/sensitivity.cpp" "src/emi/CMakeFiles/emi_emi.dir/sensitivity.cpp.o" "gcc" "src/emi/CMakeFiles/emi_emi.dir/sensitivity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ckt/CMakeFiles/emi_ckt.dir/DependInfo.cmake"
+  "/root/repo/build/src/peec/CMakeFiles/emi_peec.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/emi_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/emi_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emi_emi.dir/cispr25.cpp.o"
+  "CMakeFiles/emi_emi.dir/cispr25.cpp.o.d"
+  "CMakeFiles/emi_emi.dir/emission.cpp.o"
+  "CMakeFiles/emi_emi.dir/emission.cpp.o.d"
+  "CMakeFiles/emi_emi.dir/ferrite.cpp.o"
+  "CMakeFiles/emi_emi.dir/ferrite.cpp.o.d"
+  "CMakeFiles/emi_emi.dir/lisn.cpp.o"
+  "CMakeFiles/emi_emi.dir/lisn.cpp.o.d"
+  "CMakeFiles/emi_emi.dir/measurement.cpp.o"
+  "CMakeFiles/emi_emi.dir/measurement.cpp.o.d"
+  "CMakeFiles/emi_emi.dir/noise_source.cpp.o"
+  "CMakeFiles/emi_emi.dir/noise_source.cpp.o.d"
+  "CMakeFiles/emi_emi.dir/rules.cpp.o"
+  "CMakeFiles/emi_emi.dir/rules.cpp.o.d"
+  "CMakeFiles/emi_emi.dir/sensitivity.cpp.o"
+  "CMakeFiles/emi_emi.dir/sensitivity.cpp.o.d"
+  "libemi_emi.a"
+  "libemi_emi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emi_emi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

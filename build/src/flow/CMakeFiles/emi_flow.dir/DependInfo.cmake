@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/boost_converter.cpp" "src/flow/CMakeFiles/emi_flow.dir/boost_converter.cpp.o" "gcc" "src/flow/CMakeFiles/emi_flow.dir/boost_converter.cpp.o.d"
+  "/root/repo/src/flow/buck_converter.cpp" "src/flow/CMakeFiles/emi_flow.dir/buck_converter.cpp.o" "gcc" "src/flow/CMakeFiles/emi_flow.dir/buck_converter.cpp.o.d"
+  "/root/repo/src/flow/cm_model.cpp" "src/flow/CMakeFiles/emi_flow.dir/cm_model.cpp.o" "gcc" "src/flow/CMakeFiles/emi_flow.dir/cm_model.cpp.o.d"
+  "/root/repo/src/flow/demo_board.cpp" "src/flow/CMakeFiles/emi_flow.dir/demo_board.cpp.o" "gcc" "src/flow/CMakeFiles/emi_flow.dir/demo_board.cpp.o.d"
+  "/root/repo/src/flow/design_flow.cpp" "src/flow/CMakeFiles/emi_flow.dir/design_flow.cpp.o" "gcc" "src/flow/CMakeFiles/emi_flow.dir/design_flow.cpp.o.d"
+  "/root/repo/src/flow/trace_model.cpp" "src/flow/CMakeFiles/emi_flow.dir/trace_model.cpp.o" "gcc" "src/flow/CMakeFiles/emi_flow.dir/trace_model.cpp.o.d"
+  "/root/repo/src/flow/transient_buck.cpp" "src/flow/CMakeFiles/emi_flow.dir/transient_buck.cpp.o" "gcc" "src/flow/CMakeFiles/emi_flow.dir/transient_buck.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/emi/CMakeFiles/emi_emi.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/emi_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/emi_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckt/CMakeFiles/emi_ckt.dir/DependInfo.cmake"
+  "/root/repo/build/src/peec/CMakeFiles/emi_peec.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/emi_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/emi_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emi_flow.dir/boost_converter.cpp.o"
+  "CMakeFiles/emi_flow.dir/boost_converter.cpp.o.d"
+  "CMakeFiles/emi_flow.dir/buck_converter.cpp.o"
+  "CMakeFiles/emi_flow.dir/buck_converter.cpp.o.d"
+  "CMakeFiles/emi_flow.dir/cm_model.cpp.o"
+  "CMakeFiles/emi_flow.dir/cm_model.cpp.o.d"
+  "CMakeFiles/emi_flow.dir/demo_board.cpp.o"
+  "CMakeFiles/emi_flow.dir/demo_board.cpp.o.d"
+  "CMakeFiles/emi_flow.dir/design_flow.cpp.o"
+  "CMakeFiles/emi_flow.dir/design_flow.cpp.o.d"
+  "CMakeFiles/emi_flow.dir/trace_model.cpp.o"
+  "CMakeFiles/emi_flow.dir/trace_model.cpp.o.d"
+  "CMakeFiles/emi_flow.dir/transient_buck.cpp.o"
+  "CMakeFiles/emi_flow.dir/transient_buck.cpp.o.d"
+  "libemi_flow.a"
+  "libemi_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emi_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emi_geom.dir/collision.cpp.o"
+  "CMakeFiles/emi_geom.dir/collision.cpp.o.d"
+  "CMakeFiles/emi_geom.dir/polygon.cpp.o"
+  "CMakeFiles/emi_geom.dir/polygon.cpp.o.d"
+  "libemi_geom.a"
+  "libemi_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emi_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

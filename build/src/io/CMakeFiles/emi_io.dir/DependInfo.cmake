@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/design_format.cpp" "src/io/CMakeFiles/emi_io.dir/design_format.cpp.o" "gcc" "src/io/CMakeFiles/emi_io.dir/design_format.cpp.o.d"
+  "/root/repo/src/io/reports.cpp" "src/io/CMakeFiles/emi_io.dir/reports.cpp.o" "gcc" "src/io/CMakeFiles/emi_io.dir/reports.cpp.o.d"
+  "/root/repo/src/io/spice.cpp" "src/io/CMakeFiles/emi_io.dir/spice.cpp.o" "gcc" "src/io/CMakeFiles/emi_io.dir/spice.cpp.o.d"
+  "/root/repo/src/io/svg.cpp" "src/io/CMakeFiles/emi_io.dir/svg.cpp.o" "gcc" "src/io/CMakeFiles/emi_io.dir/svg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/place/CMakeFiles/emi_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/emi/CMakeFiles/emi_emi.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckt/CMakeFiles/emi_ckt.dir/DependInfo.cmake"
+  "/root/repo/build/src/peec/CMakeFiles/emi_peec.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/emi_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/emi_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emi_io.dir/design_format.cpp.o"
+  "CMakeFiles/emi_io.dir/design_format.cpp.o.d"
+  "CMakeFiles/emi_io.dir/reports.cpp.o"
+  "CMakeFiles/emi_io.dir/reports.cpp.o.d"
+  "CMakeFiles/emi_io.dir/spice.cpp.o"
+  "CMakeFiles/emi_io.dir/spice.cpp.o.d"
+  "CMakeFiles/emi_io.dir/svg.cpp.o"
+  "CMakeFiles/emi_io.dir/svg.cpp.o.d"
+  "libemi_io.a"
+  "libemi_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emi_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

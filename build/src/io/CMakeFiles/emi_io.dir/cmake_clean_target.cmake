@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libemi_io.a"
+)

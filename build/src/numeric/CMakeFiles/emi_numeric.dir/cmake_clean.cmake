@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emi_numeric.dir/fft.cpp.o"
+  "CMakeFiles/emi_numeric.dir/fft.cpp.o.d"
+  "CMakeFiles/emi_numeric.dir/stats.cpp.o"
+  "CMakeFiles/emi_numeric.dir/stats.cpp.o.d"
+  "libemi_numeric.a"
+  "libemi_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emi_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

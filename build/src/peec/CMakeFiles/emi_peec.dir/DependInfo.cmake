@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/peec/biot_savart.cpp" "src/peec/CMakeFiles/emi_peec.dir/biot_savart.cpp.o" "gcc" "src/peec/CMakeFiles/emi_peec.dir/biot_savart.cpp.o.d"
+  "/root/repo/src/peec/capacitance.cpp" "src/peec/CMakeFiles/emi_peec.dir/capacitance.cpp.o" "gcc" "src/peec/CMakeFiles/emi_peec.dir/capacitance.cpp.o.d"
+  "/root/repo/src/peec/component_model.cpp" "src/peec/CMakeFiles/emi_peec.dir/component_model.cpp.o" "gcc" "src/peec/CMakeFiles/emi_peec.dir/component_model.cpp.o.d"
+  "/root/repo/src/peec/coupling.cpp" "src/peec/CMakeFiles/emi_peec.dir/coupling.cpp.o" "gcc" "src/peec/CMakeFiles/emi_peec.dir/coupling.cpp.o.d"
+  "/root/repo/src/peec/ground_plane.cpp" "src/peec/CMakeFiles/emi_peec.dir/ground_plane.cpp.o" "gcc" "src/peec/CMakeFiles/emi_peec.dir/ground_plane.cpp.o.d"
+  "/root/repo/src/peec/partial_inductance.cpp" "src/peec/CMakeFiles/emi_peec.dir/partial_inductance.cpp.o" "gcc" "src/peec/CMakeFiles/emi_peec.dir/partial_inductance.cpp.o.d"
+  "/root/repo/src/peec/winding.cpp" "src/peec/CMakeFiles/emi_peec.dir/winding.cpp.o" "gcc" "src/peec/CMakeFiles/emi_peec.dir/winding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/emi_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/emi_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emi_peec.dir/biot_savart.cpp.o"
+  "CMakeFiles/emi_peec.dir/biot_savart.cpp.o.d"
+  "CMakeFiles/emi_peec.dir/capacitance.cpp.o"
+  "CMakeFiles/emi_peec.dir/capacitance.cpp.o.d"
+  "CMakeFiles/emi_peec.dir/component_model.cpp.o"
+  "CMakeFiles/emi_peec.dir/component_model.cpp.o.d"
+  "CMakeFiles/emi_peec.dir/coupling.cpp.o"
+  "CMakeFiles/emi_peec.dir/coupling.cpp.o.d"
+  "CMakeFiles/emi_peec.dir/ground_plane.cpp.o"
+  "CMakeFiles/emi_peec.dir/ground_plane.cpp.o.d"
+  "CMakeFiles/emi_peec.dir/partial_inductance.cpp.o"
+  "CMakeFiles/emi_peec.dir/partial_inductance.cpp.o.d"
+  "CMakeFiles/emi_peec.dir/winding.cpp.o"
+  "CMakeFiles/emi_peec.dir/winding.cpp.o.d"
+  "libemi_peec.a"
+  "libemi_peec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emi_peec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

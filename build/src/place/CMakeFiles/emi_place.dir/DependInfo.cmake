@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/place/baseline.cpp" "src/place/CMakeFiles/emi_place.dir/baseline.cpp.o" "gcc" "src/place/CMakeFiles/emi_place.dir/baseline.cpp.o.d"
+  "/root/repo/src/place/compactor.cpp" "src/place/CMakeFiles/emi_place.dir/compactor.cpp.o" "gcc" "src/place/CMakeFiles/emi_place.dir/compactor.cpp.o.d"
+  "/root/repo/src/place/design.cpp" "src/place/CMakeFiles/emi_place.dir/design.cpp.o" "gcc" "src/place/CMakeFiles/emi_place.dir/design.cpp.o.d"
+  "/root/repo/src/place/drc.cpp" "src/place/CMakeFiles/emi_place.dir/drc.cpp.o" "gcc" "src/place/CMakeFiles/emi_place.dir/drc.cpp.o.d"
+  "/root/repo/src/place/interactive.cpp" "src/place/CMakeFiles/emi_place.dir/interactive.cpp.o" "gcc" "src/place/CMakeFiles/emi_place.dir/interactive.cpp.o.d"
+  "/root/repo/src/place/metrics.cpp" "src/place/CMakeFiles/emi_place.dir/metrics.cpp.o" "gcc" "src/place/CMakeFiles/emi_place.dir/metrics.cpp.o.d"
+  "/root/repo/src/place/partition.cpp" "src/place/CMakeFiles/emi_place.dir/partition.cpp.o" "gcc" "src/place/CMakeFiles/emi_place.dir/partition.cpp.o.d"
+  "/root/repo/src/place/placer.cpp" "src/place/CMakeFiles/emi_place.dir/placer.cpp.o" "gcc" "src/place/CMakeFiles/emi_place.dir/placer.cpp.o.d"
+  "/root/repo/src/place/refine.cpp" "src/place/CMakeFiles/emi_place.dir/refine.cpp.o" "gcc" "src/place/CMakeFiles/emi_place.dir/refine.cpp.o.d"
+  "/root/repo/src/place/rotation.cpp" "src/place/CMakeFiles/emi_place.dir/rotation.cpp.o" "gcc" "src/place/CMakeFiles/emi_place.dir/rotation.cpp.o.d"
+  "/root/repo/src/place/route.cpp" "src/place/CMakeFiles/emi_place.dir/route.cpp.o" "gcc" "src/place/CMakeFiles/emi_place.dir/route.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/emi_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/emi_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emi_place.dir/baseline.cpp.o"
+  "CMakeFiles/emi_place.dir/baseline.cpp.o.d"
+  "CMakeFiles/emi_place.dir/compactor.cpp.o"
+  "CMakeFiles/emi_place.dir/compactor.cpp.o.d"
+  "CMakeFiles/emi_place.dir/design.cpp.o"
+  "CMakeFiles/emi_place.dir/design.cpp.o.d"
+  "CMakeFiles/emi_place.dir/drc.cpp.o"
+  "CMakeFiles/emi_place.dir/drc.cpp.o.d"
+  "CMakeFiles/emi_place.dir/interactive.cpp.o"
+  "CMakeFiles/emi_place.dir/interactive.cpp.o.d"
+  "CMakeFiles/emi_place.dir/metrics.cpp.o"
+  "CMakeFiles/emi_place.dir/metrics.cpp.o.d"
+  "CMakeFiles/emi_place.dir/partition.cpp.o"
+  "CMakeFiles/emi_place.dir/partition.cpp.o.d"
+  "CMakeFiles/emi_place.dir/placer.cpp.o"
+  "CMakeFiles/emi_place.dir/placer.cpp.o.d"
+  "CMakeFiles/emi_place.dir/refine.cpp.o"
+  "CMakeFiles/emi_place.dir/refine.cpp.o.d"
+  "CMakeFiles/emi_place.dir/rotation.cpp.o"
+  "CMakeFiles/emi_place.dir/rotation.cpp.o.d"
+  "CMakeFiles/emi_place.dir/route.cpp.o"
+  "CMakeFiles/emi_place.dir/route.cpp.o.d"
+  "libemi_place.a"
+  "libemi_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emi_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

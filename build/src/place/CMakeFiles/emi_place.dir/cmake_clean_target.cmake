@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libemi_place.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckt_ac_test.dir/ckt_ac_test.cpp.o"
+  "CMakeFiles/ckt_ac_test.dir/ckt_ac_test.cpp.o.d"
+  "ckt_ac_test"
+  "ckt_ac_test.pdb"
+  "ckt_ac_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckt_ac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

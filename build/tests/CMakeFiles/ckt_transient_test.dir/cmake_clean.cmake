@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckt_transient_test.dir/ckt_transient_test.cpp.o"
+  "CMakeFiles/ckt_transient_test.dir/ckt_transient_test.cpp.o.d"
+  "ckt_transient_test"
+  "ckt_transient_test.pdb"
+  "ckt_transient_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckt_transient_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

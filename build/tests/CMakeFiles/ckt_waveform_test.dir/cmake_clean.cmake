@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckt_waveform_test.dir/ckt_waveform_test.cpp.o"
+  "CMakeFiles/ckt_waveform_test.dir/ckt_waveform_test.cpp.o.d"
+  "ckt_waveform_test"
+  "ckt_waveform_test.pdb"
+  "ckt_waveform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckt_waveform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emc_ferrite_test.dir/emc_ferrite_test.cpp.o"
+  "CMakeFiles/emc_ferrite_test.dir/emc_ferrite_test.cpp.o.d"
+  "emc_ferrite_test"
+  "emc_ferrite_test.pdb"
+  "emc_ferrite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emc_ferrite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

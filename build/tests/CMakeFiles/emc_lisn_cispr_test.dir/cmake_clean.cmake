@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emc_lisn_cispr_test.dir/emc_lisn_cispr_test.cpp.o"
+  "CMakeFiles/emc_lisn_cispr_test.dir/emc_lisn_cispr_test.cpp.o.d"
+  "emc_lisn_cispr_test"
+  "emc_lisn_cispr_test.pdb"
+  "emc_lisn_cispr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emc_lisn_cispr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

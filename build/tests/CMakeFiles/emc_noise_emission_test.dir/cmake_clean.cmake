@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emc_noise_emission_test.dir/emc_noise_emission_test.cpp.o"
+  "CMakeFiles/emc_noise_emission_test.dir/emc_noise_emission_test.cpp.o.d"
+  "emc_noise_emission_test"
+  "emc_noise_emission_test.pdb"
+  "emc_noise_emission_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emc_noise_emission_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

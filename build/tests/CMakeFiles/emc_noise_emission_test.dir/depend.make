@@ -1,0 +1,2 @@
+# Empty dependencies file for emc_noise_emission_test.
+# This may be replaced when dependencies are built.

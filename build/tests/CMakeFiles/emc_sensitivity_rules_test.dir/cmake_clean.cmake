@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emc_sensitivity_rules_test.dir/emc_sensitivity_rules_test.cpp.o"
+  "CMakeFiles/emc_sensitivity_rules_test.dir/emc_sensitivity_rules_test.cpp.o.d"
+  "emc_sensitivity_rules_test"
+  "emc_sensitivity_rules_test.pdb"
+  "emc_sensitivity_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emc_sensitivity_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

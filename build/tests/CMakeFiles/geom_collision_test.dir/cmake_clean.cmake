@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom_collision_test.dir/geom_collision_test.cpp.o"
+  "CMakeFiles/geom_collision_test.dir/geom_collision_test.cpp.o.d"
+  "geom_collision_test"
+  "geom_collision_test.pdb"
+  "geom_collision_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom_collision_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom_rect_test.dir/geom_rect_test.cpp.o"
+  "CMakeFiles/geom_rect_test.dir/geom_rect_test.cpp.o.d"
+  "geom_rect_test"
+  "geom_rect_test.pdb"
+  "geom_rect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom_rect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

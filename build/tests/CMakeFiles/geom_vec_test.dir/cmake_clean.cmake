@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom_vec_test.dir/geom_vec_test.cpp.o"
+  "CMakeFiles/geom_vec_test.dir/geom_vec_test.cpp.o.d"
+  "geom_vec_test"
+  "geom_vec_test.pdb"
+  "geom_vec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom_vec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_format_test.dir/io_format_test.cpp.o"
+  "CMakeFiles/io_format_test.dir/io_format_test.cpp.o.d"
+  "io_format_test"
+  "io_format_test.pdb"
+  "io_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_spice_flow_ext_test.dir/io_spice_flow_ext_test.cpp.o"
+  "CMakeFiles/io_spice_flow_ext_test.dir/io_spice_flow_ext_test.cpp.o.d"
+  "io_spice_flow_ext_test"
+  "io_spice_flow_ext_test.pdb"
+  "io_spice_flow_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_spice_flow_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

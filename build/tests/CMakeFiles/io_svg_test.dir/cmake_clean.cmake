@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_svg_test.dir/io_svg_test.cpp.o"
+  "CMakeFiles/io_svg_test.dir/io_svg_test.cpp.o.d"
+  "io_svg_test"
+  "io_svg_test.pdb"
+  "io_svg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_svg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

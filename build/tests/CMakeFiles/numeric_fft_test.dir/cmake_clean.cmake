@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numeric_fft_test.dir/numeric_fft_test.cpp.o"
+  "CMakeFiles/numeric_fft_test.dir/numeric_fft_test.cpp.o.d"
+  "numeric_fft_test"
+  "numeric_fft_test.pdb"
+  "numeric_fft_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numeric_fft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numeric_linalg_test.dir/numeric_linalg_test.cpp.o"
+  "CMakeFiles/numeric_linalg_test.dir/numeric_linalg_test.cpp.o.d"
+  "numeric_linalg_test"
+  "numeric_linalg_test.pdb"
+  "numeric_linalg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numeric_linalg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

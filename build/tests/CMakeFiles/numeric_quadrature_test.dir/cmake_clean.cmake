@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numeric_quadrature_test.dir/numeric_quadrature_test.cpp.o"
+  "CMakeFiles/numeric_quadrature_test.dir/numeric_quadrature_test.cpp.o.d"
+  "numeric_quadrature_test"
+  "numeric_quadrature_test.pdb"
+  "numeric_quadrature_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numeric_quadrature_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

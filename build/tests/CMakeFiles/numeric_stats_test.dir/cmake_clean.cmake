@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numeric_stats_test.dir/numeric_stats_test.cpp.o"
+  "CMakeFiles/numeric_stats_test.dir/numeric_stats_test.cpp.o.d"
+  "numeric_stats_test"
+  "numeric_stats_test.pdb"
+  "numeric_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numeric_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

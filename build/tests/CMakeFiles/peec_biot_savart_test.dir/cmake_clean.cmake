@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peec_biot_savart_test.dir/peec_biot_savart_test.cpp.o"
+  "CMakeFiles/peec_biot_savart_test.dir/peec_biot_savart_test.cpp.o.d"
+  "peec_biot_savart_test"
+  "peec_biot_savart_test.pdb"
+  "peec_biot_savart_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peec_biot_savart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

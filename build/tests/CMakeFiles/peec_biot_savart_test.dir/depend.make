@@ -1,0 +1,2 @@
+# Empty dependencies file for peec_biot_savart_test.
+# This may be replaced when dependencies are built.

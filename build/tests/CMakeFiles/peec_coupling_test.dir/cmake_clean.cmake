@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peec_coupling_test.dir/peec_coupling_test.cpp.o"
+  "CMakeFiles/peec_coupling_test.dir/peec_coupling_test.cpp.o.d"
+  "peec_coupling_test"
+  "peec_coupling_test.pdb"
+  "peec_coupling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peec_coupling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

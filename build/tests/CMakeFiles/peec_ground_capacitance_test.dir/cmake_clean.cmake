@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peec_ground_capacitance_test.dir/peec_ground_capacitance_test.cpp.o"
+  "CMakeFiles/peec_ground_capacitance_test.dir/peec_ground_capacitance_test.cpp.o.d"
+  "peec_ground_capacitance_test"
+  "peec_ground_capacitance_test.pdb"
+  "peec_ground_capacitance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peec_ground_capacitance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for peec_ground_capacitance_test.
+# This may be replaced when dependencies are built.

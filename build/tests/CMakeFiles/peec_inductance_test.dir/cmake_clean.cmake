@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peec_inductance_test.dir/peec_inductance_test.cpp.o"
+  "CMakeFiles/peec_inductance_test.dir/peec_inductance_test.cpp.o.d"
+  "peec_inductance_test"
+  "peec_inductance_test.pdb"
+  "peec_inductance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peec_inductance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peec_winding_test.dir/peec_winding_test.cpp.o"
+  "CMakeFiles/peec_winding_test.dir/peec_winding_test.cpp.o.d"
+  "peec_winding_test"
+  "peec_winding_test.pdb"
+  "peec_winding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peec_winding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

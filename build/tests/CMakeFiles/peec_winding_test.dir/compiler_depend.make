@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for peec_winding_test.
+# This may be replaced when dependencies are built.

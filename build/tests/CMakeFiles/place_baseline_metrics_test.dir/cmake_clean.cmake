@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/place_baseline_metrics_test.dir/place_baseline_metrics_test.cpp.o"
+  "CMakeFiles/place_baseline_metrics_test.dir/place_baseline_metrics_test.cpp.o.d"
+  "place_baseline_metrics_test"
+  "place_baseline_metrics_test.pdb"
+  "place_baseline_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/place_baseline_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/place_compactor_test.dir/place_compactor_test.cpp.o"
+  "CMakeFiles/place_compactor_test.dir/place_compactor_test.cpp.o.d"
+  "place_compactor_test"
+  "place_compactor_test.pdb"
+  "place_compactor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/place_compactor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

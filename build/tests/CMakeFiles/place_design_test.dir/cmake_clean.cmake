@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/place_design_test.dir/place_design_test.cpp.o"
+  "CMakeFiles/place_design_test.dir/place_design_test.cpp.o.d"
+  "place_design_test"
+  "place_design_test.pdb"
+  "place_design_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/place_design_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

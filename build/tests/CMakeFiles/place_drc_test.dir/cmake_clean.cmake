@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/place_drc_test.dir/place_drc_test.cpp.o"
+  "CMakeFiles/place_drc_test.dir/place_drc_test.cpp.o.d"
+  "place_drc_test"
+  "place_drc_test.pdb"
+  "place_drc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/place_drc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

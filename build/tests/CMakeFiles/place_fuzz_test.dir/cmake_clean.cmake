@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/place_fuzz_test.dir/place_fuzz_test.cpp.o"
+  "CMakeFiles/place_fuzz_test.dir/place_fuzz_test.cpp.o.d"
+  "place_fuzz_test"
+  "place_fuzz_test.pdb"
+  "place_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/place_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

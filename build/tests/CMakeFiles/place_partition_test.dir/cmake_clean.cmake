@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/place_partition_test.dir/place_partition_test.cpp.o"
+  "CMakeFiles/place_partition_test.dir/place_partition_test.cpp.o.d"
+  "place_partition_test"
+  "place_partition_test.pdb"
+  "place_partition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/place_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/place_rotation_test.dir/place_rotation_test.cpp.o"
+  "CMakeFiles/place_rotation_test.dir/place_rotation_test.cpp.o.d"
+  "place_rotation_test"
+  "place_rotation_test.pdb"
+  "place_rotation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/place_rotation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/place_route_refine_test.dir/place_route_refine_test.cpp.o"
+  "CMakeFiles/place_route_refine_test.dir/place_route_refine_test.cpp.o.d"
+  "place_route_refine_test"
+  "place_route_refine_test.pdb"
+  "place_route_refine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/place_route_refine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emiplace_cli.dir/emiplace_cli.cpp.o"
+  "CMakeFiles/emiplace_cli.dir/emiplace_cli.cpp.o.d"
+  "emiplace"
+  "emiplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emiplace_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

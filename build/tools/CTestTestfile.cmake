@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_info "/root/repo/build/tools/emiplace" "info" "/root/repo/data/demo29.design")
+set_tests_properties(cli_info PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_place_drc_route "/usr/bin/cmake" "-DCLI=/root/repo/build/tools/emiplace" "-DDESIGN=/root/repo/data/demo29.design" "-P" "/root/repo/tools/cli_smoke.cmake")
+set_tests_properties(cli_place_drc_route PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
