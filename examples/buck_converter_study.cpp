@@ -76,6 +76,10 @@ int main() {
               res.place_stats.elapsed_seconds * 1e3);
   io::write_drc_report(std::cout, res.drc_improved);
 
+  // --- run profile: stage times, cache traffic, pool activity ---------------
+  std::printf("\n");
+  io::write_profile(std::cout, res.profile);
+
   const bool ok = res.drc_improved.clean() && res.peak_improvement_db > 3.0 &&
                   r_with > r_without;
   std::printf("\nstudy result: %s\n", ok ? "REPRODUCED" : "NOT REPRODUCED");

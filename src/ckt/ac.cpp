@@ -4,6 +4,7 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "src/core/parallel.hpp"
 #include "src/numeric/lu.hpp"
 #include "src/numeric/matrix.hpp"
 
@@ -46,15 +47,20 @@ AcSolution ac_solve(const Circuit& c, const std::vector<double>& freqs_hz,
   if (!opt.source_scale.empty() && opt.source_scale.size() != freqs_hz.size()) {
     throw std::invalid_argument("ac_solve: source_scale size mismatch");
   }
+  // Validate up front so the parallel region below never throws off-thread.
+  for (const double f : freqs_hz) {
+    if (f <= 0.0) throw std::invalid_argument("ac_solve: frequency must be > 0");
+  }
   const std::size_t n_unknowns = c.unknown_count();
   const auto lmat = c.inductance_matrix();
 
-  std::vector<std::vector<Complex>> solutions;
-  solutions.reserve(freqs_hz.size());
+  // Frequency points are independent MNA solves; each one stamps its own
+  // matrix and writes its own solution slot, so the sweep parallelizes with
+  // bit-identical results for any thread count.
+  std::vector<std::vector<Complex>> solutions(freqs_hz.size());
 
-  for (std::size_t fi = 0; fi < freqs_hz.size(); ++fi) {
+  const auto solve_point = [&](std::size_t fi) {
     const double f = freqs_hz[fi];
-    if (f <= 0.0) throw std::invalid_argument("ac_solve: frequency must be > 0");
     const double w = 2.0 * std::numbers::pi * f;
     const double scale = opt.source_scale.empty() ? 1.0 : opt.source_scale[fi];
 
@@ -125,8 +131,9 @@ AcSolution ac_solve(const Circuit& c, const std::vector<double>& freqs_hz,
       if (is.n2 >= 0) rhs[is.n2] += i0;
     }
 
-    solutions.push_back(num::solve(std::move(a), rhs));
-  }
+    solutions[fi] = num::solve(std::move(a), rhs);
+  };
+  core::parallel_for(0, freqs_hz.size(), solve_point, /*grain=*/4);
 
   return AcSolution(c, freqs_hz, std::move(solutions));
 }

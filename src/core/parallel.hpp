@@ -1,0 +1,81 @@
+// parallel_for / parallel_reduce with a deterministic ordered-reduction
+// contract, built on core::ThreadPool.
+//
+// Chunking rule: a range [begin, end) is split into contiguous chunks of
+// exactly `grain` items (last chunk possibly shorter). The chunk boundaries
+// depend ONLY on the range size and the grain - never on the thread count or
+// on scheduling - so:
+//   * parallel_for is bit-identical to the serial loop for any thread count
+//     (each index writes its own result slot), and
+//   * parallel_reduce folds each chunk serially in index order into a
+//     per-chunk partial, then combines the partials serially in chunk order.
+//     The association ((c0)+(c1))+(c2)... is fixed by the grain, so results
+//     are bit-identical across thread counts (1 thread included). Note the
+//     canonical association is the *chunked* one: changing the grain is an
+//     (ulp-level, for floating point) behavior change, changing the thread
+//     count is not.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "src/core/thread_pool.hpp"
+
+namespace emi::core {
+
+inline std::size_t chunk_count(std::size_t n, std::size_t grain) {
+  if (grain == 0) grain = 1;
+  return (n + grain - 1) / grain;
+}
+
+// fn(i) for i in [begin, end). `grain` = items per scheduled chunk; pick it
+// so one chunk amortizes scheduling (default 1: every item is heavy).
+template <typename Fn>
+void parallel_for(std::size_t begin, std::size_t end, const Fn& fn,
+                  std::size_t grain = 1) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = chunk_count(n, grain);
+  const std::function<void(std::size_t)> run_chunk = [&](std::size_t c) {
+    const std::size_t lo = begin + c * grain;
+    const std::size_t hi = lo + grain < end ? lo + grain : end;
+    for (std::size_t i = lo; i < hi; ++i) fn(i);
+  };
+  ThreadPool::global().run_chunks(chunks, run_chunk);
+}
+
+// Ordered reduction: acc = combine(acc, map(i)) folded left-to-right within
+// each chunk (seeded by `identity`), partials combined left-to-right across
+// chunks (seeded by `init`).
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(std::size_t begin, std::size_t end, T init, T identity,
+                  const Map& map, const Combine& combine, std::size_t grain = 1) {
+  if (end <= begin) return init;
+  const std::size_t n = end - begin;
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = chunk_count(n, grain);
+  std::vector<T> partial(chunks, identity);
+  const std::function<void(std::size_t)> run_chunk = [&](std::size_t c) {
+    const std::size_t lo = begin + c * grain;
+    const std::size_t hi = lo + grain < end ? lo + grain : end;
+    T acc = identity;
+    for (std::size_t i = lo; i < hi; ++i) acc = combine(acc, map(i));
+    partial[c] = acc;
+  };
+  ThreadPool::global().run_chunks(chunks, run_chunk);
+  T total = init;
+  for (const T& p : partial) total = combine(total, p);
+  return total;
+}
+
+// The common case: ordered floating-point sum of map(i).
+template <typename Map>
+double parallel_sum(std::size_t begin, std::size_t end, const Map& map,
+                    std::size_t grain = 1) {
+  return parallel_reduce<double>(
+      begin, end, 0.0, 0.0, map, [](double a, double b) { return a + b; }, grain);
+}
+
+}  // namespace emi::core

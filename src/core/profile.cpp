@@ -1,0 +1,82 @@
+#include "src/core/profile.hpp"
+
+#include <algorithm>
+
+namespace emi::core {
+
+Profile::Profile(const Profile& other) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  seconds_ = other.seconds_;
+  counts_ = other.counts_;
+}
+
+Profile& Profile::operator=(const Profile& other) {
+  if (this == &other) return *this;
+  // Lock both in a fixed order to avoid deadlock on cross-assignment.
+  std::scoped_lock lock(mu_, other.mu_);
+  seconds_ = other.seconds_;
+  counts_ = other.counts_;
+  return *this;
+}
+
+void Profile::add_seconds(std::string_view name, double s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = seconds_.find(name);
+  if (it == seconds_.end()) {
+    seconds_.emplace(std::string(name), s);
+  } else {
+    it->second += s;
+  }
+}
+
+void Profile::add_count(std::string_view name, std::uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counts_.find(name);
+  if (it == counts_.end()) {
+    counts_.emplace(std::string(name), n);
+  } else {
+    it->second += n;
+  }
+}
+
+void Profile::merge(const Profile& other) {
+  if (this == &other) return;
+  std::scoped_lock lock(mu_, other.mu_);
+  for (const auto& [name, s] : other.seconds_) seconds_[name] += s;
+  for (const auto& [name, n] : other.counts_) counts_[name] += n;
+}
+
+std::vector<Profile::Entry> Profile::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry> out;
+  out.reserve(seconds_.size() + counts_.size());
+  for (const auto& [name, s] : seconds_) out.push_back({name, s, 0});
+  for (const auto& [name, n] : counts_) {
+    bool merged = false;
+    for (Entry& e : out) {
+      if (e.name == name) {
+        e.count = n;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) out.push_back({name, 0.0, n});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Entry& a, const Entry& b) { return a.name < b.name; });
+  return out;
+}
+
+double Profile::seconds(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = seconds_.find(name);
+  return it == seconds_.end() ? 0.0 : it->second;
+}
+
+std::uint64_t Profile::count(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counts_.find(name);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+}  // namespace emi::core

@@ -1,0 +1,67 @@
+// Lightweight instrumentation facade: named wall-clock timers and counters
+// accumulated into a core::Profile value. The flow attaches a Profile to its
+// FlowResult and io/reports prints it - the repo's observability surface.
+//
+// Thread-safety: add_seconds/add_count/merge lock internally, so workers of
+// a parallel region may report into the same Profile. Reading (entries())
+// takes the same lock; entries come back sorted by name so reports are
+// deterministic.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace emi::core {
+
+class Profile {
+ public:
+  Profile() = default;
+  Profile(const Profile& other);
+  Profile& operator=(const Profile& other);
+
+  void add_seconds(std::string_view name, double s);
+  void add_count(std::string_view name, std::uint64_t n);
+  void merge(const Profile& other);
+
+  struct Entry {
+    std::string name;
+    double seconds = 0.0;        // 0 for pure counters
+    std::uint64_t count = 0;     // 0 for pure timers
+  };
+  // Union of timers and counters, sorted by name.
+  std::vector<Entry> entries() const;
+
+  double seconds(std::string_view name) const;       // 0 if absent
+  std::uint64_t count(std::string_view name) const;  // 0 if absent
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, double, std::less<>> seconds_;
+  std::map<std::string, std::uint64_t, std::less<>> counts_;
+};
+
+// Adds the elapsed wall time to `profile` under `name` on destruction.
+class ScopedTimer {
+ public:
+  ScopedTimer(Profile& profile, std::string_view name)
+      : profile_(&profile), name_(name), t0_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    profile_->add_seconds(
+        name_, std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+                   .count());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Profile* profile_;
+  std::string name_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace emi::core

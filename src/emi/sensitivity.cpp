@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "src/core/parallel.hpp"
 #include "src/numeric/stats.hpp"
 
 namespace emi::emc {
@@ -18,35 +20,32 @@ std::vector<CouplingSensitivity> rank_coupling_sensitivity(
 
   const EmissionSpectrum baseline = conducted_emission(c, meas_node, source, opt.sweep);
 
-  // Remember pre-existing coupling values so each probe is applied on a
-  // clean slate and restored afterwards.
-  const auto existing_k = [&](const std::string& a, const std::string& b) {
-    const std::size_t ia = c.inductor_index(a);
-    const std::size_t ib = c.inductor_index(b);
-    for (const auto& k : c.couplings()) {
-      if ((k.l1 == ia && k.l2 == ib) || (k.l1 == ib && k.l2 == ia)) return k.k;
-    }
-    return 0.0;
-  };
-
-  std::vector<CouplingSensitivity> out;
+  // The n(n-1)/2 probe sweeps are independent: each one runs against its own
+  // copy of the circuit (the copy is trivial next to an AC sweep) with the
+  // probe coupling overriding whatever the pair already had. Results land in
+  // index-addressed slots, so the ranking is thread-count invariant.
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
   for (std::size_t i = 0; i < names.size(); ++i) {
-    for (std::size_t j = i + 1; j < names.size(); ++j) {
-      const double k0 = existing_k(names[i], names[j]);
-      c.set_coupling(names[i], names[j], opt.probe_k);
-      const EmissionSpectrum probed = conducted_emission(c, meas_node, source, opt.sweep);
-      c.set_coupling(names[i], names[j], k0);
-
-      const std::vector<double> d = delta_db(baseline, probed);
-      double max_d = 0.0, sum_d = 0.0;
-      for (double v : d) {
-        max_d = std::max(max_d, std::fabs(v));
-        sum_d += std::fabs(v);
-      }
-      out.push_back({names[i], names[j], max_d,
-                     d.empty() ? 0.0 : sum_d / static_cast<double>(d.size())});
-    }
+    for (std::size_t j = i + 1; j < names.size(); ++j) pairs.emplace_back(i, j);
   }
+
+  std::vector<CouplingSensitivity> out(pairs.size());
+  core::parallel_for(0, pairs.size(), [&](std::size_t pi) {
+    const auto& [i, j] = pairs[pi];
+    ckt::Circuit probe = c;
+    probe.set_coupling(names[i], names[j], opt.probe_k);
+    const EmissionSpectrum probed =
+        conducted_emission(probe, meas_node, source, opt.sweep);
+
+    const std::vector<double> d = delta_db(baseline, probed);
+    double max_d = 0.0, sum_d = 0.0;
+    for (double v : d) {
+      max_d = std::max(max_d, std::fabs(v));
+      sum_d += std::fabs(v);
+    }
+    out[pi] = {names[i], names[j], max_d,
+               d.empty() ? 0.0 : sum_d / static_cast<double>(d.size())};
+  });
 
   std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
     return a.max_delta_db > b.max_delta_db;

@@ -4,20 +4,27 @@
 #include <cmath>
 #include <set>
 
+#include "src/core/thread_pool.hpp"
+
 namespace emi::flow {
 
 FlowResult run_design_flow(BuckConverter& bc, const place::Layout& initial_layout,
                            const FlowOptions& opt) {
   FlowResult res;
   const peec::CouplingExtractor extractor(opt.quadrature);
+  const core::PoolStats pool0 = core::ThreadPool::global().stats();
 
   // Step 1+2: sensitivity analysis on the coupling-capable inductors.
-  emc::SensitivityOptions sens_opt;
-  sens_opt.sweep = opt.sweep;
-  for (const auto& [l, mi] : bc.inductor_model) sens_opt.candidates.push_back(l);
-  std::sort(sens_opt.candidates.begin(), sens_opt.candidates.end());
-  res.ranking = emc::rank_coupling_sensitivity(bc.circuit, bc.meas_node, bc.noise,
-                                               sens_opt);
+  {
+    core::ScopedTimer t(res.profile, "flow.sensitivity_s");
+    emc::SensitivityOptions sens_opt;
+    sens_opt.sweep = opt.sweep;
+    for (const auto& [l, mi] : bc.inductor_model) sens_opt.candidates.push_back(l);
+    std::sort(sens_opt.candidates.begin(), sens_opt.candidates.end());
+    res.ranking = emc::rank_coupling_sensitivity(bc.circuit, bc.meas_node, bc.noise,
+                                                 sens_opt);
+  }
+  res.profile.add_count("flow.pairs_ranked", res.ranking.size());
 
   // Select the pairs worth a field simulation.
   for (const auto& s : res.ranking) {
@@ -28,29 +35,36 @@ FlowResult run_design_flow(BuckConverter& bc, const place::Layout& initial_layou
       ++res.field_solves_saved;
     }
   }
+  res.profile.add_count("flow.field_solves_saved", res.field_solves_saved);
 
   // Step 3+4: extract couplings for the initial layout, predict emissions.
-  const ckt::Circuit coupled = circuit_with_couplings(bc, initial_layout, extractor,
-                                                      opt.k_min, res.simulated_pairs);
-  res.initial_prediction = emc::conducted_emission(coupled, bc.meas_node, bc.noise,
-                                                   opt.sweep);
-  res.initial_no_coupling = emc::conducted_emission(bc.circuit, bc.meas_node, bc.noise,
-                                                    opt.sweep);
+  {
+    core::ScopedTimer t(res.profile, "flow.initial_prediction_s");
+    const ckt::Circuit coupled = circuit_with_couplings(bc, initial_layout, extractor,
+                                                        opt.k_min, res.simulated_pairs);
+    res.initial_prediction = emc::conducted_emission(coupled, bc.meas_node, bc.noise,
+                                                     opt.sweep);
+    res.initial_no_coupling = emc::conducted_emission(bc.circuit, bc.meas_node,
+                                                      bc.noise, opt.sweep);
+  }
 
   // Step 5: derive PEMD rules for the component pairs behind the simulated
   // inductor pairs and install them in the board design.
-  const emc::RuleDeriver deriver(extractor, {opt.k_threshold, 2.0, 200.0, 0.25});
-  std::set<std::pair<std::string, std::string>> done;
-  for (const auto& [la, lb] : res.simulated_pairs) {
-    const peec::ComponentFieldModel* ma = bc.model_for_inductor(la);
-    const peec::ComponentFieldModel* mb = bc.model_for_inductor(lb);
-    if (ma == nullptr || mb == nullptr) continue;
-    auto key = std::minmax(ma->name, mb->name);
-    if (!done.insert(key).second) continue;
-    emc::MinDistanceRule rule = deriver.derive(*ma, *mb);
-    res.rules.push_back(rule);
-    if (rule.pemd_mm > 0.0) {
-      bc.board.add_emd_rule(rule.comp_a, rule.comp_b, rule.pemd_mm);
+  {
+    core::ScopedTimer t(res.profile, "flow.rule_derivation_s");
+    const emc::RuleDeriver deriver(extractor, {opt.k_threshold, 2.0, 200.0, 0.25});
+    std::set<std::pair<std::string, std::string>> done;
+    for (const auto& [la, lb] : res.simulated_pairs) {
+      const peec::ComponentFieldModel* ma = bc.model_for_inductor(la);
+      const peec::ComponentFieldModel* mb = bc.model_for_inductor(lb);
+      if (ma == nullptr || mb == nullptr) continue;
+      auto key = std::minmax(ma->name, mb->name);
+      if (!done.insert(key).second) continue;
+      emc::MinDistanceRule rule = deriver.derive(*ma, *mb);
+      res.rules.push_back(rule);
+      if (rule.pemd_mm > 0.0) {
+        bc.board.add_emd_rule(rule.comp_a, rule.comp_b, rule.pemd_mm);
+      }
     }
   }
 
@@ -60,19 +74,27 @@ FlowResult run_design_flow(BuckConverter& bc, const place::Layout& initial_layou
 
   // Step 6: automatic placement. PWRLOOP stays preplaced (the switching cell
   // location is fixed by the power semiconductors/heat sink).
-  res.improved_layout = place::Layout::unplaced(bc.board);
-  const std::size_t loop_idx = bc.board.component_index("PWRLOOP");
-  res.improved_layout.placements[loop_idx] =
-      initial_layout.placements[loop_idx];
-  bc.board.components()[loop_idx].preplaced = true;
-  res.place_stats = place::auto_place(bc.board, res.improved_layout, opt.placement);
+  {
+    core::ScopedTimer t(res.profile, "flow.placement_s");
+    res.improved_layout = place::Layout::unplaced(bc.board);
+    const std::size_t loop_idx = bc.board.component_index("PWRLOOP");
+    res.improved_layout.placements[loop_idx] =
+        initial_layout.placements[loop_idx];
+    bc.board.components()[loop_idx].preplaced = true;
+    res.place_stats = place::auto_place(bc.board, res.improved_layout, opt.placement);
+  }
+  res.profile.add_count("place.candidates_evaluated",
+                        res.place_stats.candidates_evaluated);
 
   // Step 7: verify - DRC (Fig 17) and re-predict emissions (Fig 2).
-  res.drc_improved = drc.check(res.improved_layout);
-  const ckt::Circuit improved_ckt = circuit_with_couplings(
-      bc, res.improved_layout, extractor, opt.k_min, res.simulated_pairs);
-  res.improved_prediction = emc::conducted_emission(improved_ckt, bc.meas_node,
-                                                    bc.noise, opt.sweep);
+  {
+    core::ScopedTimer t(res.profile, "flow.verification_s");
+    res.drc_improved = drc.check(res.improved_layout);
+    const ckt::Circuit improved_ckt = circuit_with_couplings(
+        bc, res.improved_layout, extractor, opt.k_min, res.simulated_pairs);
+    res.improved_prediction = emc::conducted_emission(improved_ckt, bc.meas_node,
+                                                      bc.noise, opt.sweep);
+  }
 
   double best = 0.0;
   for (std::size_t i = 0; i < res.initial_prediction.level_dbuv.size(); ++i) {
@@ -80,6 +102,18 @@ FlowResult run_design_flow(BuckConverter& bc, const place::Layout& initial_layou
                               res.improved_prediction.level_dbuv[i]);
   }
   res.peak_improvement_db = best;
+
+  const peec::ExtractionCacheStats cache = extractor.cache_stats();
+  res.profile.add_count("peec.self_cache_hits", cache.self_hits);
+  res.profile.add_count("peec.self_cache_misses", cache.self_misses);
+  res.profile.add_count("peec.mutual_cache_hits", cache.mutual_hits);
+  res.profile.add_count("peec.mutual_cache_misses", cache.mutual_misses);
+
+  const core::PoolStats pool1 = core::ThreadPool::global().stats();
+  res.profile.add_count("pool.threads", core::ThreadPool::global_thread_count());
+  res.profile.add_count("pool.batches", pool1.batches - pool0.batches);
+  res.profile.add_count("pool.chunks", pool1.chunks - pool0.chunks);
+  res.profile.add_count("pool.steals", pool1.steals - pool0.steals);
   return res;
 }
 

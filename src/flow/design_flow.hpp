@@ -13,6 +13,7 @@
 // of the system volume."
 #pragma once
 
+#include "src/core/profile.hpp"
 #include "src/emi/measurement.hpp"
 #include "src/emi/rules.hpp"
 #include "src/emi/sensitivity.hpp"
@@ -56,6 +57,10 @@ struct FlowResult {
   emc::EmissionSpectrum improved_prediction;
   // Emission deltas.
   double peak_improvement_db = 0.0;  // max over frequency of initial - improved
+  // Per-stage wall times (flow.*), extraction cache traffic (peec.*),
+  // placement work (place.*) and pool activity (pool.*) for this run.
+  // Printed by io::write_profile.
+  core::Profile profile;
 };
 
 // Run the full flow on a converter starting from `initial_layout`.

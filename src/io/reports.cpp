@@ -69,4 +69,20 @@ void write_layout_table(std::ostream& out, const place::Design& d,
   }
 }
 
+void write_profile(std::ostream& out, const core::Profile& profile) {
+  out << "profile (" << profile.entries().size() << " entries):\n";
+  for (const core::Profile::Entry& e : profile.entries()) {
+    out << "  " << e.name << " = ";
+    if (e.seconds > 0.0) {
+      out << std::fixed << std::setprecision(6) << e.seconds << " s";
+      out.unsetf(std::ios::fixed);
+      out << std::setprecision(6);
+      if (e.count > 0) out << " (" << e.count << ')';
+    } else {
+      out << e.count;
+    }
+    out << "\n";
+  }
+}
+
 }  // namespace emi::io

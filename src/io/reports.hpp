@@ -6,6 +6,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "src/core/profile.hpp"
 #include "src/emi/cispr25.hpp"
 #include "src/emi/emission.hpp"
 #include "src/peec/coupling.hpp"
@@ -32,5 +33,9 @@ void write_group_boxes(std::ostream& out, const std::vector<place::GroupBox>& bo
 // Placed layout as readable rows (component, x, y, rot, board).
 void write_layout_table(std::ostream& out, const place::Design& d,
                         const place::Layout& layout);
+
+// Execution profile of a flow run (stage wall times, cache traffic, pool
+// activity), one `name value` row per entry, sorted by name.
+void write_profile(std::ostream& out, const core::Profile& profile);
 
 }  // namespace emi::io

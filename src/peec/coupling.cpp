@@ -1,15 +1,85 @@
 #include "src/peec/coupling.hpp"
 
+#include <bit>
 #include <cmath>
+#include <mutex>
 #include <stdexcept>
 
 namespace emi::peec {
 
+namespace {
+
+// Keep the memoized mutual table bounded; a full clear is the eviction
+// policy. Eviction timing never changes returned values (entries are pure
+// functions of their key), only how often they are recomputed.
+constexpr std::size_t kMutualCacheCap = 1u << 16;
+
+inline std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a(std::uint64_t h, double v) {
+  return fnv1a(h, std::bit_cast<std::uint64_t>(v));
+}
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+
+}  // namespace
+
+std::uint64_t model_digest(const ComponentFieldModel& m) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv1a(h, static_cast<std::uint64_t>(m.kind));
+  h = fnv1a(h, m.mu_eff);
+  h = fnv1a(h, m.stray_scale);
+  h = fnv1a(h, m.local_axis.x);
+  h = fnv1a(h, m.local_axis.y);
+  h = fnv1a(h, m.local_axis.z);
+  h = fnv1a(h, static_cast<std::uint64_t>(m.local_path.segments.size()));
+  for (const Segment& s : m.local_path.segments) {
+    h = fnv1a(h, s.a.x);
+    h = fnv1a(h, s.a.y);
+    h = fnv1a(h, s.a.z);
+    h = fnv1a(h, s.b.x);
+    h = fnv1a(h, s.b.y);
+    h = fnv1a(h, s.b.z);
+    h = fnv1a(h, s.radius);
+    h = fnv1a(h, s.weight);
+  }
+  return h;
+}
+
+std::size_t CouplingExtractor::MutualKeyHash::operator()(const MutualKey& k) const {
+  std::uint64_t h = kFnvOffset;
+  h = fnv1a(h, k.digest_lo);
+  h = fnv1a(h, k.digest_hi);
+  h = fnv1a(h, k.tx);
+  h = fnv1a(h, k.ty);
+  h = fnv1a(h, k.tz);
+  h = fnv1a(h, k.rot);
+  h = fnv1a(h, k.quad);
+  return static_cast<std::size_t>(h);
+}
+
 double CouplingExtractor::self_inductance(const ComponentFieldModel& m) const {
-  if (const auto it = self_cache_.find(&m); it != self_cache_.end()) return it->second;
+  const std::uint64_t id = model_digest(m);
+  {
+    std::shared_lock lock(self_mu_);
+    if (const auto it = self_cache_.find(id); it != self_cache_.end()) {
+      self_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  self_misses_.fetch_add(1, std::memory_order_relaxed);
   const double l_air = path_inductance(m.local_path, opt_);
   const double l = m.mu_eff * l_air;
-  self_cache_.emplace(&m, l);
+  {
+    std::unique_lock lock(self_mu_);
+    self_cache_.emplace(id, l);
+  }
   return l;
 }
 
@@ -17,9 +87,63 @@ double CouplingExtractor::mutual(const PlacedModel& a, const PlacedModel& b) con
   if (a.model == nullptr || b.model == nullptr) {
     throw std::invalid_argument("CouplingExtractor::mutual: null model");
   }
-  const SegmentPath pa = a.model->path_at(a.pose);
-  const SegmentPath pb = b.model->path_at(b.pose);
-  return a.model->stray_scale * b.model->stray_scale * path_mutual(pa, pb, opt_);
+  const double stray = a.model->stray_scale * b.model->stray_scale;
+
+  // Canonical pair order (smaller digest first) and canonical relative pose:
+  // second model expressed in the first model's frame. Rigid translations of
+  // the pair - the placer's bread and butter - collapse to one key.
+  const std::uint64_t da = model_digest(*a.model);
+  const std::uint64_t db = model_digest(*b.model);
+  // Identical models (equal digests) are common - the paper's X-cap pair -
+  // so break the tie on pose, keeping mutual(a,b) and mutual(b,a) on one key.
+  const auto pose_before = [](const Pose& p, const Pose& q) {
+    if (p.position.x != q.position.x) return p.position.x < q.position.x;
+    if (p.position.y != q.position.y) return p.position.y < q.position.y;
+    if (p.position.z != q.position.z) return p.position.z < q.position.z;
+    return p.rot_deg < q.rot_deg;
+  };
+  const PlacedModel* first = &a;
+  const PlacedModel* second = &b;
+  std::uint64_t dlo = da, dhi = db;
+  if (db < da || (da == db && pose_before(b.pose, a.pose))) {
+    first = &b;
+    second = &a;
+    dlo = db;
+    dhi = da;
+  }
+  const double rel_rot =
+      geom::normalize_deg(second->pose.rot_deg - first->pose.rot_deg);
+  const Vec3 rel_pos =
+      geom::rotate_z(second->pose.position - first->pose.position,
+                     geom::deg_to_rad(-first->pose.rot_deg));
+  const MutualKey key{dlo,
+                      dhi,
+                      std::bit_cast<std::uint64_t>(rel_pos.x),
+                      std::bit_cast<std::uint64_t>(rel_pos.y),
+                      std::bit_cast<std::uint64_t>(rel_pos.z),
+                      std::bit_cast<std::uint64_t>(rel_rot),
+                      (static_cast<std::uint64_t>(opt_.order) << 32) |
+                          static_cast<std::uint64_t>(opt_.subdivisions)};
+  {
+    std::shared_lock lock(mutual_mu_);
+    if (const auto it = mutual_cache_.find(key); it != mutual_cache_.end()) {
+      mutual_hits_.fetch_add(1, std::memory_order_relaxed);
+      return stray * it->second;
+    }
+  }
+  mutual_misses_.fetch_add(1, std::memory_order_relaxed);
+
+  // Compute in the canonical frame so the stored value is a pure function of
+  // the key: a concurrent duplicate computation lands on identical bits.
+  const SegmentPath pf = first->model->path_at(Pose{});
+  const SegmentPath ps = second->model->path_at(Pose{rel_pos, rel_rot});
+  const double m_air = path_mutual(pf, ps, opt_);
+  {
+    std::unique_lock lock(mutual_mu_);
+    if (mutual_cache_.size() >= kMutualCacheCap) mutual_cache_.clear();
+    mutual_cache_.emplace(key, m_air);
+  }
+  return stray * m_air;
 }
 
 double CouplingExtractor::coupling_factor(const PlacedModel& a,
@@ -87,6 +211,15 @@ double CouplingExtractor::min_distance_for_coupling(const ComponentFieldModel& a
     }
   }
   return hi;
+}
+
+ExtractionCacheStats CouplingExtractor::cache_stats() const {
+  ExtractionCacheStats s;
+  s.self_hits = self_hits_.load(std::memory_order_relaxed);
+  s.self_misses = self_misses_.load(std::memory_order_relaxed);
+  s.mutual_hits = mutual_hits_.load(std::memory_order_relaxed);
+  s.mutual_misses = mutual_misses_.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace emi::peec

@@ -1,8 +1,26 @@
 // Coupling extraction: self inductance, mutual inductance and coupling
 // factor k = M / sqrt(L1*L2) between placed component field models, plus the
 // distance/angle sweeps the design rules are derived from.
+//
+// Caching. Extraction is the hot path of the whole pipeline (rule
+// derivation bisections, per-layout coupling installation, benches), and the
+// same geometry recurs constantly, so the extractor memoizes two levels:
+//   * self inductance, keyed by the model's content digest (self L is
+//     pose-invariant), and
+//   * mutual inductance, keyed by (digest pair, canonical relative pose,
+//     quadrature options). A pair translated rigidly across the board maps
+//     to the same key and hits.
+// Both caches are guarded by shared_mutex and are keyed by *content*, not by
+// object address, so concurrent extraction from a thread pool is safe and a
+// model destroyed/reallocated at the same address cannot alias a stale
+// entry. Cached mutuals are always *computed* in the canonical relative
+// frame, so the returned bits are a pure function of the key - results do
+// not depend on which thread or call site populated the cache.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -16,6 +34,19 @@ struct PlacedModel {
   Pose pose{};
 };
 
+// Stable identity of a field model: a 64-bit FNV-1a digest over kind,
+// material parameters and conductor geometry. Copies share a digest (and so
+// share cache entries - correct, extraction only reads that content);
+// mutating a copy changes it.
+std::uint64_t model_digest(const ComponentFieldModel& m);
+
+struct ExtractionCacheStats {
+  std::uint64_t self_hits = 0;
+  std::uint64_t self_misses = 0;
+  std::uint64_t mutual_hits = 0;
+  std::uint64_t mutual_misses = 0;
+};
+
 class CouplingExtractor {
  public:
   explicit CouplingExtractor(QuadratureOptions opt = {}) : opt_(opt) {}
@@ -23,11 +54,12 @@ class CouplingExtractor {
   const QuadratureOptions& options() const { return opt_; }
 
   // Effective self inductance (air-core PEEC result scaled by mu_eff).
-  // Results are cached per model instance: self L is pose-invariant.
   double self_inductance(const ComponentFieldModel& m) const;
 
   // Mutual inductance between two placed models (air-core Neumann result
-  // scaled by the models' stray factors).
+  // scaled by the models' stray factors). Evaluated in the pair's canonical
+  // relative frame, so the result is invariant under rigid motion of the
+  // pair and symmetric in the arguments, bit-for-bit.
   double mutual(const PlacedModel& a, const PlacedModel& b) const;
 
   // Coupling factor k = M / sqrt(La * Lb). Signed: the sign indicates field
@@ -71,9 +103,30 @@ class CouplingExtractor {
                                    double d_lo_mm, double d_hi_mm,
                                    double tol_mm = 0.1) const;
 
+  ExtractionCacheStats cache_stats() const;
+
  private:
+  struct MutualKey {
+    std::uint64_t digest_lo;  // smaller model digest (canonical pair order)
+    std::uint64_t digest_hi;
+    std::uint64_t tx, ty, tz;  // bit patterns of the canonical translation
+    std::uint64_t rot;         // bit pattern of the relative rotation (deg)
+    std::uint64_t quad;        // quadrature order/subdivisions
+    bool operator==(const MutualKey&) const = default;
+  };
+  struct MutualKeyHash {
+    std::size_t operator()(const MutualKey& k) const;
+  };
+
   QuadratureOptions opt_;
-  mutable std::unordered_map<const ComponentFieldModel*, double> self_cache_;
+  mutable std::shared_mutex self_mu_;
+  mutable std::unordered_map<std::uint64_t, double> self_cache_;
+  mutable std::shared_mutex mutual_mu_;
+  mutable std::unordered_map<MutualKey, double, MutualKeyHash> mutual_cache_;
+  mutable std::atomic<std::uint64_t> self_hits_{0};
+  mutable std::atomic<std::uint64_t> self_misses_{0};
+  mutable std::atomic<std::uint64_t> mutual_hits_{0};
+  mutable std::atomic<std::uint64_t> mutual_misses_{0};
 };
 
 }  // namespace emi::peec

@@ -4,12 +4,20 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/core/parallel.hpp"
 #include "src/numeric/quadrature.hpp"
 
 namespace emi::peec {
 
 namespace {
 constexpr double kMmToM = 1e-3;
+
+// Below this many segment-pair integrals the double sum runs on the calling
+// thread; the scheduling cost of a parallel region would dominate. The
+// serial path accumulates per-outer-segment rows in the same order as the
+// parallel ordered reduction, so crossing the threshold (or changing the
+// thread count) never changes the returned bits for a given input.
+constexpr std::size_t kParallelPairThreshold = 256;
 }
 
 double self_inductance_wire(double length_mm, double radius_mm) {
@@ -92,24 +100,37 @@ double self_inductance(const Segment& s) {
 
 double path_inductance(const SegmentPath& path, const QuadratureOptions& opt) {
   const auto& segs = path.segments;
-  double total = 0.0;
-  for (std::size_t i = 0; i < segs.size(); ++i) {
-    total += segs[i].weight * segs[i].weight * self_inductance(segs[i]);
-    for (std::size_t j = i + 1; j < segs.size(); ++j) {
-      total += 2.0 * segs[i].weight * segs[j].weight * mutual_neumann(segs[i], segs[j], opt);
+  const std::size_t n = segs.size();
+  // Row i: the self term plus the upper-triangle mutual terms of segment i.
+  const auto row = [&](std::size_t i) {
+    double r = segs[i].weight * segs[i].weight * self_inductance(segs[i]);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      r += 2.0 * segs[i].weight * segs[j].weight * mutual_neumann(segs[i], segs[j], opt);
     }
-  }
+    return r;
+  };
+  if (n * n >= kParallelPairThreshold) return core::parallel_sum(0, n, row);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) total += row(i);
   return total;
 }
 
 double path_mutual(const SegmentPath& p1, const SegmentPath& p2,
                    const QuadratureOptions& opt) {
-  double total = 0.0;
-  for (const Segment& s1 : p1.segments) {
-    for (const Segment& s2 : p2.segments) {
-      total += s1.weight * s2.weight * mutual_neumann(s1, s2, opt);
+  const auto& s1 = p1.segments;
+  const auto& s2 = p2.segments;
+  const auto row = [&](std::size_t i) {
+    double r = 0.0;
+    for (const Segment& b : s2) {
+      r += s1[i].weight * b.weight * mutual_neumann(s1[i], b, opt);
     }
+    return r;
+  };
+  if (s1.size() * s2.size() >= kParallelPairThreshold) {
+    return core::parallel_sum(0, s1.size(), row);
   }
+  double total = 0.0;
+  for (std::size_t i = 0; i < s1.size(); ++i) total += row(i);
   return total;
 }
 

@@ -8,6 +8,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "src/core/parallel.hpp"
+
 namespace emi::place {
 
 namespace {
@@ -387,21 +389,41 @@ PlaceStats SequentialPlacer::place(Layout& layout, const std::vector<double>& ro
         rots = c.allowed_rotations;
         step = opt.grid_step_mm * opt.refine_factor;
       }
+      // Gather the attempt's full candidate list, evaluate legality + cost
+      // in parallel batches (both are read-only against the layout), then
+      // scan serially in generation order. The scan keeps the serial
+      // tie-break (first candidate wins at equal cost), so results are
+      // identical for any thread count.
+      struct Candidate {
+        Placement placement;
+        const Area* area;
+      };
+      std::vector<Candidate> cands;
       for (const Area* area : d.areas_for(comp, proto.board)) {
         for (double rot : rots) {
           Placement cand = proto;
           cand.rot_deg = rot;
           for (const geom::Vec2& pos : candidates_in_area(comp, cand, *area, step)) {
             cand.position = pos;
-            ++stats.candidates_evaluated;
-            if (!is_legal(layout, comp, cand)) continue;
-            const double cost = cost_of(comp, cand, *area);
-            if (cost < best_cost) {
-              best_cost = cost;
-              best = cand;
-              placed = true;
-            }
+            cands.push_back({cand, area});
           }
+        }
+      }
+      stats.candidates_evaluated += cands.size();
+      std::vector<double> cand_cost(cands.size(),
+                                    std::numeric_limits<double>::infinity());
+      core::parallel_for(
+          0, cands.size(),
+          [&](std::size_t ci) {
+            if (!is_legal(layout, comp, cands[ci].placement)) return;
+            cand_cost[ci] = cost_of(comp, cands[ci].placement, *cands[ci].area);
+          },
+          /*grain=*/16);
+      for (std::size_t ci = 0; ci < cands.size(); ++ci) {
+        if (cand_cost[ci] < best_cost) {
+          best_cost = cand_cost[ci];
+          best = cands[ci].placement;
+          placed = true;
         }
       }
       step *= opt.refine_factor;

@@ -1,0 +1,123 @@
+// Serial-vs-parallel determinism (the core layer's headline guarantee):
+// running the same computation with 1 lane and with N lanes must produce
+// bit-identical results - rankings, spectra and layouts compared with
+// operator== on doubles, no tolerances. This is what makes the parallel
+// refactor safe to adopt everywhere: thread count is a pure performance knob.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/thread_pool.hpp"
+#include "src/io/reports.hpp"
+#include "src/emi/measurement.hpp"
+#include "src/emi/sensitivity.hpp"
+#include "src/flow/buck_converter.hpp"
+#include "src/flow/design_flow.hpp"
+
+namespace emi {
+namespace {
+
+class ThreadCountGuard {
+ public:
+  ~ThreadCountGuard() {
+    core::ThreadPool::set_global_thread_count(core::ThreadPool::default_thread_count());
+  }
+};
+
+void expect_same_spectrum(const emc::EmissionSpectrum& a,
+                          const emc::EmissionSpectrum& b) {
+  ASSERT_EQ(a.freqs_hz.size(), b.freqs_hz.size());
+  for (std::size_t i = 0; i < a.freqs_hz.size(); ++i) {
+    EXPECT_EQ(a.freqs_hz[i], b.freqs_hz[i]) << i;
+    EXPECT_EQ(a.level_dbuv[i], b.level_dbuv[i]) << i;  // bit-identical
+  }
+}
+
+void expect_same_layout(const place::Layout& a, const place::Layout& b) {
+  ASSERT_EQ(a.placements.size(), b.placements.size());
+  for (std::size_t i = 0; i < a.placements.size(); ++i) {
+    EXPECT_EQ(a.placements[i].position.x, b.placements[i].position.x) << i;
+    EXPECT_EQ(a.placements[i].position.y, b.placements[i].position.y) << i;
+    EXPECT_EQ(a.placements[i].rot_deg, b.placements[i].rot_deg) << i;
+    EXPECT_EQ(a.placements[i].board, b.placements[i].board) << i;
+    EXPECT_EQ(a.placements[i].placed, b.placements[i].placed) << i;
+  }
+}
+
+TEST(Determinism, SensitivityRankingIsThreadCountInvariant) {
+  ThreadCountGuard guard;
+  const flow::BuckConverter bc = flow::make_buck_converter();
+  emc::SensitivityOptions opt;
+  opt.sweep.n_points = 40;
+
+  core::ThreadPool::set_global_thread_count(1);
+  const auto serial =
+      emc::rank_coupling_sensitivity(bc.circuit, bc.meas_node, bc.noise, opt);
+  ASSERT_FALSE(serial.empty());
+
+  for (std::size_t lanes : {2u, 4u}) {
+    core::ThreadPool::set_global_thread_count(lanes);
+    const auto parallel =
+        emc::rank_coupling_sensitivity(bc.circuit, bc.meas_node, bc.noise, opt);
+    ASSERT_EQ(serial.size(), parallel.size()) << lanes << " lanes";
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i].inductor_a, parallel[i].inductor_a) << i;
+      EXPECT_EQ(serial[i].inductor_b, parallel[i].inductor_b) << i;
+      EXPECT_EQ(serial[i].max_delta_db, parallel[i].max_delta_db) << i;
+      EXPECT_EQ(serial[i].mean_delta_db, parallel[i].mean_delta_db) << i;
+    }
+  }
+}
+
+// The whole pipeline - sensitivity, extraction (with its caches), emission
+// sweeps, auto-placement - end to end, 1 lane vs 4 lanes.
+TEST(Determinism, DesignFlowIsThreadCountInvariant) {
+  ThreadCountGuard guard;
+  flow::FlowOptions opt;
+  opt.sweep.n_points = 40;
+
+  const auto run_with = [&](std::size_t lanes) {
+    core::ThreadPool::set_global_thread_count(lanes);
+    flow::BuckConverter bc = flow::make_buck_converter();
+    return flow::run_design_flow(bc, flow::layout_unfavorable(bc), opt);
+  };
+
+  const flow::FlowResult serial = run_with(1);
+  const flow::FlowResult parallel = run_with(4);
+
+  ASSERT_EQ(serial.ranking.size(), parallel.ranking.size());
+  for (std::size_t i = 0; i < serial.ranking.size(); ++i) {
+    EXPECT_EQ(serial.ranking[i].inductor_a, parallel.ranking[i].inductor_a);
+    EXPECT_EQ(serial.ranking[i].inductor_b, parallel.ranking[i].inductor_b);
+    EXPECT_EQ(serial.ranking[i].max_delta_db, parallel.ranking[i].max_delta_db);
+  }
+  EXPECT_EQ(serial.simulated_pairs, parallel.simulated_pairs);
+  ASSERT_EQ(serial.rules.size(), parallel.rules.size());
+  for (std::size_t i = 0; i < serial.rules.size(); ++i) {
+    EXPECT_EQ(serial.rules[i].comp_a, parallel.rules[i].comp_a);
+    EXPECT_EQ(serial.rules[i].comp_b, parallel.rules[i].comp_b);
+    EXPECT_EQ(serial.rules[i].pemd_mm, parallel.rules[i].pemd_mm);
+  }
+  expect_same_spectrum(serial.initial_prediction, parallel.initial_prediction);
+  expect_same_spectrum(serial.improved_prediction, parallel.improved_prediction);
+  expect_same_layout(serial.improved_layout, parallel.improved_layout);
+  EXPECT_EQ(serial.peak_improvement_db, parallel.peak_improvement_db);
+
+  // The profile rides along with the result: stage timers, cache traffic
+  // and pool activity all present and printable.
+  EXPECT_GT(serial.profile.seconds("flow.sensitivity_s"), 0.0);
+  EXPECT_GT(serial.profile.count("peec.mutual_cache_hits") +
+                serial.profile.count("peec.mutual_cache_misses"),
+            0u);
+  EXPECT_EQ(parallel.profile.count("pool.threads"), 4u);
+  std::ostringstream os;
+  io::write_profile(os, parallel.profile);
+  EXPECT_NE(os.str().find("flow.placement_s"), std::string::npos);
+  EXPECT_NE(os.str().find("pool.batches"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace emi

@@ -1,0 +1,140 @@
+// The extraction caches of CouplingExtractor: content-digest model identity,
+// canonical-relative-pose mutual memoization, hit/miss accounting, and
+// correctness of cached results against the raw PEEC kernels.
+#include "src/peec/coupling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "src/peec/component_model.hpp"
+#include "src/peec/partial_inductance.hpp"
+
+namespace emi::peec {
+namespace {
+
+class MutualCacheTest : public ::testing::Test {
+ protected:
+  ComponentFieldModel ca_ = x_capacitor("CA");
+  ComponentFieldModel cb_ = x_capacitor("CB");
+  CouplingExtractor ex_;
+};
+
+TEST_F(MutualCacheTest, ModelDigestTracksContentNotAddress) {
+  // Copies share a digest; mutating any cached-relevant field changes it.
+  ComponentFieldModel copy = ca_;
+  EXPECT_EQ(model_digest(ca_), model_digest(copy));
+  copy.mu_eff = 10.0;
+  EXPECT_NE(model_digest(ca_), model_digest(copy));
+  ComponentFieldModel scaled = ca_;
+  scaled.stray_scale = 0.5;
+  EXPECT_NE(model_digest(ca_), model_digest(scaled));
+  // Name is presentation, not field content: CA and CB share geometry.
+  EXPECT_EQ(model_digest(ca_), model_digest(cb_));
+}
+
+TEST_F(MutualCacheTest, TranslatedPairHitsSameEntry) {
+  const PlacedModel a0{&ca_, {{0.0, 0.0, 0.0}, 30.0}};
+  const PlacedModel b0{&cb_, {{25.0, 4.0, 0.0}, 75.0}};
+  const double m0 = ex_.mutual(a0, b0);
+  const ExtractionCacheStats after_first = ex_.cache_stats();
+  EXPECT_EQ(after_first.mutual_misses, 1u);
+  EXPECT_EQ(after_first.mutual_hits, 0u);
+
+  // Rigid translation of the whole pair: same relative pose, cache hit,
+  // bit-identical mutual.
+  const PlacedModel a1{&ca_, {{-7.5, 113.25, 0.0}, 30.0}};
+  const PlacedModel b1{&cb_, {{17.5, 117.25, 0.0}, 75.0}};
+  const double m1 = ex_.mutual(a1, b1);
+  EXPECT_EQ(m0, m1);
+  const ExtractionCacheStats after_second = ex_.cache_stats();
+  EXPECT_EQ(after_second.mutual_misses, 1u);
+  EXPECT_EQ(after_second.mutual_hits, 1u);
+}
+
+TEST_F(MutualCacheTest, SwappedArgumentsHitAndMatchExactly) {
+  const PlacedModel a{&ca_, {{0.0, 0.0, 0.0}, 0.0}};
+  const PlacedModel b{&cb_, {{22.0, 5.0, 0.0}, 30.0}};
+  const double mab = ex_.mutual(a, b);
+  const double mba = ex_.mutual(b, a);
+  // Canonical pair ordering makes reciprocity exact, not just numerical.
+  EXPECT_EQ(mab, mba);
+  EXPECT_EQ(ex_.cache_stats().mutual_hits, 1u);
+  EXPECT_EQ(ex_.cache_stats().mutual_misses, 1u);
+}
+
+TEST_F(MutualCacheTest, DifferentRelativePoseMisses) {
+  const PlacedModel a{&ca_, {{0.0, 0.0, 0.0}, 0.0}};
+  const PlacedModel near{&cb_, {{20.0, 0.0, 0.0}, 0.0}};
+  const PlacedModel far{&cb_, {{40.0, 0.0, 0.0}, 0.0}};
+  const double m_near = ex_.mutual(a, near);
+  const double m_far = ex_.mutual(a, far);
+  EXPECT_NE(m_near, m_far);
+  EXPECT_EQ(ex_.cache_stats().mutual_misses, 2u);
+  EXPECT_EQ(ex_.cache_stats().mutual_hits, 0u);
+}
+
+TEST_F(MutualCacheTest, QuadratureOptionsSeparateCachedValues) {
+  QuadratureOptions coarse;
+  coarse.order = 2;
+  coarse.subdivisions = 1;
+  const CouplingExtractor ex_coarse(coarse);
+  const PlacedModel a{&ca_, {{0.0, 0.0, 0.0}, 0.0}};
+  const PlacedModel b{&cb_, {{18.0, 3.0, 0.0}, 20.0}};
+  const double m_fine = ex_.mutual(a, b);
+  const double m_coarse = ex_coarse.mutual(a, b);
+  // Different quadrature, different result - no cross-contamination, and
+  // each extractor logged its own miss.
+  EXPECT_NE(m_fine, m_coarse);
+  EXPECT_EQ(ex_.cache_stats().mutual_misses, 1u);
+  EXPECT_EQ(ex_coarse.cache_stats().mutual_misses, 1u);
+}
+
+TEST_F(MutualCacheTest, CachedMutualMatchesRawKernel) {
+  const Pose pa{{3.0, -2.0, 0.0}, 40.0};
+  const Pose pb{{29.0, 6.0, 0.0}, 130.0};
+  const PlacedModel a{&ca_, pa};
+  const PlacedModel b{&cb_, pb};
+  const double cached = ex_.mutual(a, b);
+  const double raw =
+      path_mutual(ca_.path_at(pa), cb_.path_at(pb), ex_.options());
+  // The cached value is computed in the canonical relative frame; it must
+  // agree with the world-frame kernel to rigid-motion-invariance accuracy.
+  EXPECT_NEAR(cached, raw, std::fabs(raw) * 1e-9 + 1e-18);
+  // And repeat calls return the first bits.
+  EXPECT_EQ(ex_.mutual(a, b), cached);
+}
+
+TEST_F(MutualCacheTest, StrayScaleAppliedOutsideTheCache) {
+  ComponentFieldModel scaled = cb_;
+  scaled.stray_scale = 0.25;
+  const PlacedModel a{&ca_, {{0.0, 0.0, 0.0}, 0.0}};
+  const PlacedModel b{&cb_, {{24.0, 0.0, 0.0}, 0.0}};
+  const PlacedModel bs{&scaled, {{24.0, 0.0, 0.0}, 0.0}};
+  const double m = ex_.mutual(a, b);
+  const double ms = ex_.mutual(a, bs);
+  EXPECT_NEAR(ms, 0.25 * m, std::fabs(m) * 1e-12);
+}
+
+TEST_F(MutualCacheTest, SelfCacheCountsHitsAndSurvivesReallocation) {
+  auto m1 = std::make_unique<ComponentFieldModel>(x_capacitor("M1"));
+  const double l1 = ex_.self_inductance(*m1);
+  EXPECT_EQ(ex_.cache_stats().self_misses, 1u);
+  EXPECT_EQ(ex_.self_inductance(*m1), l1);
+  EXPECT_EQ(ex_.cache_stats().self_hits, 1u);
+
+  // Destroy the model and allocate a different one. With address-based keys
+  // the new model could alias the stale entry; content digests cannot.
+  m1.reset();
+  XCapacitorParams big;
+  big.pin_pitch_mm = 37.5;
+  auto m2 = std::make_unique<ComponentFieldModel>(x_capacitor("M2", big));
+  const double l2 = ex_.self_inductance(*m2);
+  EXPECT_NE(l2, l1);
+  EXPECT_NEAR(l2, CouplingExtractor(ex_.options()).self_inductance(*m2),
+              std::fabs(l2) * 1e-12);
+}
+
+}  // namespace
+}  // namespace emi::peec
