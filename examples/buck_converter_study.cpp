@@ -28,6 +28,19 @@ int main() {
   opt.sweep.n_points = 120;
   const flow::FlowResult res = flow::run_design_flow(bc, bad, opt);
 
+  // --- robustness diagnostics ---------------------------------------------
+  // Stages that retried or failed (e.g. under EMI_FAULT_INJECT) land here;
+  // the remaining figures are printed from whatever the flow completed.
+  if (!res.diagnostics.empty()) {
+    std::printf("\nstage diagnostics (%s run):\n",
+                res.complete ? "complete" : "partial");
+    for (const flow::StageDiagnostic& d : res.diagnostics) {
+      std::printf("  %-24s %-9s after %d attempt(s): %s\n", d.stage.c_str(),
+                  d.recovered ? "recovered" : "FAILED", d.attempts,
+                  d.status.to_string().c_str());
+    }
+  }
+
   // --- sensitivity ranking (the paper's complexity reducer) ---------------
   std::printf("\ncoupling sensitivity ranking (probe k = 0.05):\n");
   for (std::size_t i = 0; i < res.ranking.size() && i < 8; ++i) {
@@ -40,34 +53,40 @@ int main() {
               res.field_solves_saved + res.simulated_pairs.size());
 
   // --- Fig 12/13/14: measurement vs predictions ----------------------------
-  const emc::EmissionSpectrum measurement = emc::pseudo_measure(res.initial_prediction);
-  const double r_with =
-      num::pearson(res.initial_prediction.level_dbuv, measurement.level_dbuv);
-  const double r_without =
-      num::pearson(res.initial_no_coupling.level_dbuv, measurement.level_dbuv);
-  const double err_with =
-      num::mean_abs_error(res.initial_prediction.level_dbuv, measurement.level_dbuv);
-  const double err_without =
-      num::mean_abs_error(res.initial_no_coupling.level_dbuv, measurement.level_dbuv);
-  std::printf("\nprediction vs (synthetic) measurement, unfavorable layout:\n");
-  std::printf("  neglecting couplings: Pearson r = %.3f, mean error %5.1f dB\n",
-              r_without, err_without);
-  std::printf("  including couplings:  Pearson r = %.3f, mean error %5.1f dB\n",
-              r_with, err_with);
+  double r_with = 0.0, r_without = 0.0;
+  if (res.initial_prediction.level_dbuv.empty()) {
+    std::printf("\nno initial prediction available - skipping Fig 12/13/14.\n");
+  } else {
+    const emc::EmissionSpectrum measurement = emc::pseudo_measure(res.initial_prediction);
+    r_with = num::pearson(res.initial_prediction.level_dbuv, measurement.level_dbuv);
+    r_without = num::pearson(res.initial_no_coupling.level_dbuv, measurement.level_dbuv);
+    const double err_with =
+        num::mean_abs_error(res.initial_prediction.level_dbuv, measurement.level_dbuv);
+    const double err_without =
+        num::mean_abs_error(res.initial_no_coupling.level_dbuv, measurement.level_dbuv);
+    std::printf("\nprediction vs (synthetic) measurement, unfavorable layout:\n");
+    std::printf("  neglecting couplings: Pearson r = %.3f, mean error %5.1f dB\n",
+                r_without, err_without);
+    std::printf("  including couplings:  Pearson r = %.3f, mean error %5.1f dB\n",
+                r_with, err_with);
+  }
 
   // --- Fig 1 vs Fig 2: emissions and CISPR 25 margin ----------------------
-  const auto margin_bad = emc::limit_margin(res.initial_prediction.freqs_hz,
-                                            res.initial_prediction.level_dbuv, 3);
-  const auto margin_good = emc::limit_margin(res.improved_prediction.freqs_hz,
-                                             res.improved_prediction.level_dbuv, 3);
-  std::printf("\nCISPR 25 class 3 margin:\n");
-  std::printf("  unfavorable layout: worst %+6.1f dB at %.2f MHz (%zu points over)\n",
-              margin_bad.worst_margin_db, margin_bad.worst_freq_hz / 1e6,
-              margin_bad.violations);
-  std::printf("  optimized layout:   worst %+6.1f dB at %.2f MHz (%zu points over)\n",
-              margin_good.worst_margin_db, margin_good.worst_freq_hz / 1e6,
-              margin_good.violations);
-  std::printf("  peak improvement: %.1f dB\n", res.peak_improvement_db);
+  if (!res.initial_prediction.level_dbuv.empty() &&
+      !res.improved_prediction.level_dbuv.empty()) {
+    const auto margin_bad = emc::limit_margin(res.initial_prediction.freqs_hz,
+                                              res.initial_prediction.level_dbuv, 3);
+    const auto margin_good = emc::limit_margin(res.improved_prediction.freqs_hz,
+                                               res.improved_prediction.level_dbuv, 3);
+    std::printf("\nCISPR 25 class 3 margin:\n");
+    std::printf("  unfavorable layout: worst %+6.1f dB at %.2f MHz (%zu points over)\n",
+                margin_bad.worst_margin_db, margin_bad.worst_freq_hz / 1e6,
+                margin_bad.violations);
+    std::printf("  optimized layout:   worst %+6.1f dB at %.2f MHz (%zu points over)\n",
+                margin_good.worst_margin_db, margin_good.worst_freq_hz / 1e6,
+                margin_good.violations);
+    std::printf("  peak improvement: %.1f dB\n", res.peak_improvement_db);
+  }
 
   // --- Fig 15/17: DRC before/after ------------------------------------------
   std::printf("\nDRC of the original layout (Fig 15):\n");
@@ -80,6 +99,14 @@ int main() {
   std::printf("\n");
   io::write_profile(std::cout, res.profile);
 
+  if (!res.complete) {
+    // Partial run (fault injection or a genuine numeric failure): the study
+    // cannot claim reproduction, but it degraded gracefully - report and
+    // exit cleanly rather than crash.
+    std::printf("\nstudy result: PARTIAL (%zu stage diagnostic(s), see above)\n",
+                res.diagnostics.size());
+    return 0;
+  }
   const bool ok = res.drc_improved.clean() && res.peak_improvement_db > 3.0 &&
                   r_with > r_without;
   std::printf("\nstudy result: %s\n", ok ? "REPRODUCED" : "NOT REPRODUCED");

@@ -42,8 +42,9 @@ std::vector<double> AcSolution::voltage_magnitude(const std::string& node) const
   return out;
 }
 
-AcSolution ac_solve(const Circuit& c, const std::vector<double>& freqs_hz,
-                    const AcOptions& opt) {
+CheckedAcSolution ac_solve_checked(const Circuit& c,
+                                   const std::vector<double>& freqs_hz,
+                                   const AcOptions& opt) {
   if (!opt.source_scale.empty() && opt.source_scale.size() != freqs_hz.size()) {
     throw std::invalid_argument("ac_solve: source_scale size mismatch");
   }
@@ -55,9 +56,12 @@ AcSolution ac_solve(const Circuit& c, const std::vector<double>& freqs_hz,
   const auto lmat = c.inductance_matrix();
 
   // Frequency points are independent MNA solves; each one stamps its own
-  // matrix and writes its own solution slot, so the sweep parallelizes with
-  // bit-identical results for any thread count.
+  // matrix and writes its own solution and status slots, so the sweep
+  // parallelizes with bit-identical results (and failure lists) for any
+  // thread count.
   std::vector<std::vector<Complex>> solutions(freqs_hz.size());
+  std::vector<core::Status> statuses(freqs_hz.size());
+  std::vector<double> conds(freqs_hz.size(), 0.0);
 
   const auto solve_point = [&](std::size_t fi) {
     const double f = freqs_hz[fi];
@@ -131,11 +135,54 @@ AcSolution ac_solve(const Circuit& c, const std::vector<double>& freqs_hz,
       if (is.n2 >= 0) rhs[is.n2] += i0;
     }
 
-    solutions[fi] = num::solve(std::move(a), rhs);
+    const core::Result<num::Lu<Complex>> lu =
+        num::Lu<Complex>::factor(std::move(a), {opt.pivot_threshold});
+    if (!lu.ok()) {
+      statuses[fi] = lu.status();
+      solutions[fi].assign(n_unknowns, Complex{});
+      return;
+    }
+    conds[fi] = lu.value().condition_estimate();
+    if (conds[fi] > opt.condition_limit) {
+      statuses[fi] = core::Status(
+          core::ErrorCode::kIllConditioned, "ckt.ac",
+          "condition estimate " + std::to_string(conds[fi]) + " exceeds limit " +
+              std::to_string(opt.condition_limit));
+      solutions[fi].assign(n_unknowns, Complex{});
+      return;
+    }
+    core::Result<std::vector<Complex>> x = lu.value().try_solve(rhs);
+    if (!x.ok()) {
+      statuses[fi] = x.status();
+      solutions[fi].assign(n_unknowns, Complex{});
+      return;
+    }
+    solutions[fi] = std::move(x).value();
   };
   core::parallel_for(0, freqs_hz.size(), solve_point, /*grain=*/4);
 
-  return AcSolution(c, freqs_hz, std::move(solutions));
+  CheckedAcSolution out{AcSolution(c, freqs_hz, std::move(solutions)), {}};
+  for (std::size_t fi = 0; fi < freqs_hz.size(); ++fi) {
+    if (!statuses[fi].ok()) {
+      out.failures.push_back({fi, freqs_hz[fi], conds[fi], statuses[fi]});
+    }
+  }
+  return out;
+}
+
+AcSolution ac_solve(const Circuit& c, const std::vector<double>& freqs_hz,
+                    const AcOptions& opt) {
+  CheckedAcSolution checked = ac_solve_checked(c, freqs_hz, opt);
+  if (!checked.ok()) {
+    const AcPointFailure& f = checked.failures.front();
+    core::Status(f.status.code(), "ckt.ac",
+                 "sweep failed at " + std::to_string(checked.failures.size()) + "/" +
+                     std::to_string(freqs_hz.size()) + " points; first at index " +
+                     std::to_string(f.freq_index) + " (" + std::to_string(f.freq_hz) +
+                     " Hz): " + f.status.message())
+        .raise();
+  }
+  return std::move(checked.solution);
 }
 
 }  // namespace emi::ckt

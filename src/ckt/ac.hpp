@@ -4,10 +4,12 @@
 #pragma once
 
 #include <complex>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "src/ckt/circuit.hpp"
+#include "src/core/status.hpp"
 
 namespace emi::ckt {
 
@@ -43,11 +45,42 @@ struct AcOptions {
   // Per-frequency scale applied to every source's AC magnitude. Used by the
   // EMI flow to impose the trapezoidal noise-source envelope. Empty = 1.
   std::vector<double> source_scale;
+  // Forwarded to the per-point LU factorization; a pivot below it reports
+  // the point as singular. Flow-stage retries jitter this.
+  double pivot_threshold = 1e-300;
+  // Points whose pivot-ratio condition estimate exceeds this limit are
+  // reported as ill-conditioned. Disabled by default: MNA matrices span
+  // g_min..1/r_on legitimately, so a useful limit is workload-specific.
+  double condition_limit = std::numeric_limits<double>::infinity();
+};
+
+// One failed point of a checked sweep.
+struct AcPointFailure {
+  std::size_t freq_index = 0;
+  double freq_hz = 0.0;
+  double condition_estimate = 0.0;  // 0 when factorization never completed
+  core::Status status;              // kSingular / kIllConditioned / kInjectedFault
+};
+
+// Checked sweep outcome: failed points hold zero phasors in `solution` and
+// one entry each in `failures` (ascending freq_index, so the list is
+// deterministic for any thread count).
+struct CheckedAcSolution {
+  AcSolution solution;
+  std::vector<AcPointFailure> failures;
+  bool ok() const { return failures.empty(); }
 };
 
 // Solve the circuit at each frequency. Diodes are treated as open (g_min);
 // switches as their frozen ac_state resistance.
 AcSolution ac_solve(const Circuit& c, const std::vector<double>& freqs_hz,
                     const AcOptions& opt = {});
+
+// Structured variant: never throws on numeric failure; singular or
+// ill-conditioned points are skipped and reported instead of unwinding the
+// sweep (throwing from inside the parallel region would terminate).
+CheckedAcSolution ac_solve_checked(const Circuit& c,
+                                   const std::vector<double>& freqs_hz,
+                                   const AcOptions& opt = {});
 
 }  // namespace emi::ckt

@@ -1,0 +1,87 @@
+// Deterministic, seed-driven fault injection.
+//
+// Armed from the environment (EMI_FAULT_INJECT="<site>:<rate>:<seed>", comma
+// separated for several sites) or programmatically from tests. Whether a
+// given probe fires is a pure function of (site, seed, key): the caller
+// supplies a *stable* 64-bit key derived from the work item's content (matrix
+// digest, token text, cache key, chunk count), never from arrival order - so
+// the same faults fire on every run, for any thread count, under TSan.
+//
+// Sites:
+//   pool   - a parallel batch loses its lanes and degrades to serial
+//            (results are bit-identical by the pool's determinism contract)
+//   cache  - a PEEC extraction-cache lookup is forced to miss (recompute)
+//   lu     - an LU factorization reports an injected singular pivot
+//   io     - a design-format numeric field fails to parse
+//
+// Zero overhead when off: call sites go through fault::should_fire(), which
+// is one relaxed atomic load of a process-wide "armed" flag before anything
+// else happens.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <string>
+
+namespace emi::core {
+
+enum class FaultSite : std::uint8_t { kPool = 0, kCache, kLu, kIo };
+inline constexpr std::size_t kFaultSiteCount = 4;
+
+const char* fault_site_name(FaultSite s);
+
+class FaultInjector {
+ public:
+  // Process-wide injector; the first call parses EMI_FAULT_INJECT.
+  static FaultInjector& instance();
+
+  // Parse and apply "<site>:<rate>:<seed>[,...]". Returns false and arms
+  // nothing new on a malformed spec.
+  bool configure_from_spec(const std::string& spec);
+  void configure(FaultSite site, double rate, std::uint64_t seed);
+  void disarm();  // all sites off, counters reset
+
+  // Deterministic decision for one probe; bumps the site's fired counter
+  // when it fires. Prefer fault::should_fire() at call sites.
+  bool fire(FaultSite site, std::uint64_t key);
+
+  double rate(FaultSite site) const;
+  std::uint64_t fired(FaultSite site) const;
+
+ private:
+  FaultInjector();
+
+  struct SiteState {
+    // Fire iff hash(seed, key) < threshold; ~0 is the "always" sentinel.
+    std::atomic<std::uint64_t> threshold{0};
+    std::atomic<std::uint64_t> seed{0};
+    std::atomic<std::uint64_t> fired{0};
+  };
+  SiteState sites_[kFaultSiteCount];
+};
+
+namespace fault {
+
+// The armed flag lives outside the singleton so disabled call sites pay a
+// single relaxed load.
+inline std::atomic<bool> g_armed{false};
+
+inline bool armed() { return g_armed.load(std::memory_order_relaxed); }
+
+inline bool should_fire(FaultSite site, std::uint64_t key) {
+  return armed() && FaultInjector::instance().fire(site, key);
+}
+
+// Key-building mix (boost-style hash combine); keys must depend only on the
+// work item's content, never on scheduling.
+inline std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+inline std::uint64_t mix(std::uint64_t h, double v) {
+  return mix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+}  // namespace fault
+}  // namespace emi::core

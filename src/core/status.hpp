@@ -1,0 +1,152 @@
+// Structured error taxonomy - the repo's vocabulary for reportable failure.
+//
+// A Status is (code, stage, message): which class of failure, which pipeline
+// stage observed it ("numeric.lu", "ckt.ac", "io.design_format", ...) and a
+// human-readable explanation. Result<T> is "a T or a Status". Both are plain
+// values, so they cross thread-pool lanes safely - a parallel region records
+// per-slot Statuses instead of throwing off-thread (which would terminate).
+//
+// At API edges that keep the legacy throwing contract, Status::raise()
+// converts back to the exception vocabulary documented in README (caller
+// mistakes -> std::invalid_argument, numeric/runtime failures ->
+// StatusError, which is-a std::runtime_error carrying the Status).
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace emi::core {
+
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,    // caller mistake (bad sizes, unknown names)
+  kParseError,         // malformed input text
+  kSingular,           // exactly/numerically singular linear system
+  kIllConditioned,     // solvable but condition estimate beyond the limit
+  kInjectedFault,      // fired by core::FaultInjector (EMI_FAULT_INJECT)
+  kIoError,            // file system / stream failure
+  kFailedPrecondition, // object not in a usable state for the call
+  kInternal,           // unclassified failure mapped from an exception
+};
+
+inline const char* error_code_name(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kParseError: return "parse_error";
+    case ErrorCode::kSingular: return "singular";
+    case ErrorCode::kIllConditioned: return "ill_conditioned";
+    case ErrorCode::kInjectedFault: return "injected_fault";
+    case ErrorCode::kIoError: return "io_error";
+    case ErrorCode::kFailedPrecondition: return "failed_precondition";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+class Status;
+class StatusError;
+
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(ErrorCode code, std::string stage, std::string message)
+      : code_(code), stage_(std::move(stage)), message_(std::move(message)) {}
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& stage() const { return stage_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const {
+    if (ok()) return "ok";
+    std::string s = stage_.empty() ? std::string() : stage_ + ": ";
+    s += error_code_name(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  bool operator==(const Status& o) const {
+    return code_ == o.code_ && stage_ == o.stage_ && message_ == o.message_;
+  }
+
+  // Convert to the legacy exception vocabulary (defined below StatusError).
+  [[noreturn]] void raise() const;
+  void throw_if_error() const {
+    if (!ok()) raise();
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string stage_;
+  std::string message_;
+};
+
+// Runtime-class failures raise as StatusError so catchers can recover the
+// structured Status; it remains a std::runtime_error for legacy callers.
+class StatusError : public std::runtime_error {
+ public:
+  explicit StatusError(Status s) : std::runtime_error(s.to_string()), status_(std::move(s)) {}
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+inline void Status::raise() const {
+  switch (code_) {
+    case ErrorCode::kOk:
+      throw std::logic_error("Status::raise() on OK status");
+    case ErrorCode::kInvalidArgument:
+    case ErrorCode::kParseError:
+    case ErrorCode::kFailedPrecondition:
+      throw std::invalid_argument(to_string());
+    default:
+      throw StatusError(*this);
+  }
+}
+
+// A T or an error Status. The error constructor is implicit so functions can
+// `return status;` / `return value;` symmetrically.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status(ErrorCode::kInternal, "core.result", "error Result built from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  // Value access raises the held Status on an error Result.
+  T& value() & {
+    status_.throw_if_error();
+    return *value_;
+  }
+  const T& value() const& {
+    status_.throw_if_error();
+    return *value_;
+  }
+  T&& value() && {
+    status_.throw_if_error();
+    return std::move(*value_);
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds
+};
+
+}  // namespace emi::core

@@ -4,11 +4,14 @@
 #include <cstdlib>
 #include <string>
 
+#include "src/core/fault_injection.hpp"
+
 namespace emi::core {
 
 namespace {
 
 thread_local bool tls_on_worker = false;
+thread_local int tls_serial_depth = 0;
 
 // Cumulative counters live outside the hot path's lock; relaxed ordering is
 // enough for monotonic counters read only by reporting code.
@@ -17,6 +20,7 @@ struct AtomicStats {
   std::atomic<std::uint64_t> chunks{0};
   std::atomic<std::uint64_t> steals{0};
   std::atomic<std::uint64_t> inline_batches{0};
+  std::atomic<std::uint64_t> serial_fallbacks{0};
 };
 AtomicStats g_stats;
 
@@ -85,9 +89,16 @@ void ThreadPool::worker_main(std::size_t lane) {
 void ThreadPool::run_chunks(std::size_t n_chunks,
                             const std::function<void(std::size_t)>& fn) {
   if (n_chunks == 0) return;
+  // Degraded batches run serially: a live ScopedSerialFallback, or the
+  // "pool" fault site simulating lane loss. The key is the chunk count -
+  // content of the batch, not scheduling - so injection is deterministic.
+  const bool degraded =
+      tls_serial_depth > 0 ||
+      fault::should_fire(FaultSite::kPool, fault::mix(0, static_cast<std::uint64_t>(n_chunks)));
+  if (degraded) g_stats.serial_fallbacks.fetch_add(1, std::memory_order_relaxed);
   // Nested parallel regions (and trivial batches on a worker-less pool) run
   // inline: deadlock-free, no oversubscription, identical results.
-  if (tls_on_worker || workers_.empty() || n_chunks == 1) {
+  if (tls_on_worker || workers_.empty() || n_chunks == 1 || degraded) {
     if (tls_on_worker) g_stats.inline_batches.fetch_add(1, std::memory_order_relaxed);
     for (std::size_t i = 0; i < n_chunks; ++i) {
       fn(i);
@@ -133,8 +144,14 @@ PoolStats ThreadPool::stats() const {
   s.chunks = g_stats.chunks.load(std::memory_order_relaxed);
   s.steals = g_stats.steals.load(std::memory_order_relaxed);
   s.inline_batches = g_stats.inline_batches.load(std::memory_order_relaxed);
+  s.serial_fallbacks = g_stats.serial_fallbacks.load(std::memory_order_relaxed);
   return s;
 }
+
+bool ThreadPool::serial_fallback_active() { return tls_serial_depth > 0; }
+
+ScopedSerialFallback::ScopedSerialFallback() { ++tls_serial_depth; }
+ScopedSerialFallback::~ScopedSerialFallback() { --tls_serial_depth; }
 
 namespace {
 std::mutex g_global_mu;

@@ -35,6 +35,10 @@ struct PoolStats {
   std::uint64_t chunks = 0;         // chunks executed in total
   std::uint64_t steals = 0;         // chunks taken from another lane's deque
   std::uint64_t inline_batches = 0; // nested batches run inline on a worker
+  std::uint64_t serial_fallbacks = 0; // batches degraded to serial execution
+                                      // (ScopedSerialFallback or fault site
+                                      // "pool"); results are unaffected by
+                                      // the determinism contract
 };
 
 class ThreadPool {
@@ -70,6 +74,9 @@ class ThreadPool {
   // EMI_THREADS env var if set (>=1), else std::thread::hardware_concurrency.
   static std::size_t default_thread_count();
 
+  // True while a ScopedSerialFallback is alive on the calling thread.
+  static bool serial_fallback_active();
+
  private:
   struct Batch {
     std::mutex mu;
@@ -95,6 +102,18 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   bool stop_ = false;
   PoolStats stats_;
+};
+
+// Degradation lever for the robustness layer: while alive, every batch this
+// thread submits runs inline (serially). By the determinism contract this
+// never changes results - it removes the pool from the failure surface, so
+// flow-stage retries use it as their last-attempt fallback.
+class ScopedSerialFallback {
+ public:
+  ScopedSerialFallback();
+  ~ScopedSerialFallback();
+  ScopedSerialFallback(const ScopedSerialFallback&) = delete;
+  ScopedSerialFallback& operator=(const ScopedSerialFallback&) = delete;
 };
 
 }  // namespace emi::core

@@ -11,17 +11,19 @@ EmissionSpectrum conducted_emission(const ckt::Circuit& c, const std::string& me
                                     const TrapezoidSpectrum& source,
                                     const EmissionSweepOptions& opt) {
   const std::vector<double> freqs = num::log_space(opt.f_min_hz, opt.f_max_hz, opt.n_points);
-  return conducted_emission_scaled(c, meas_node, freqs, envelope_series(source, freqs));
+  return conducted_emission_scaled(c, meas_node, freqs, envelope_series(source, freqs),
+                                   opt.ac);
 }
 
 EmissionSpectrum conducted_emission_scaled(const ckt::Circuit& c,
                                            const std::string& meas_node,
                                            const std::vector<double>& freqs_hz,
-                                           const std::vector<double>& source_envelope) {
+                                           const std::vector<double>& source_envelope,
+                                           const ckt::AcOptions& ac) {
   if (freqs_hz.size() != source_envelope.size()) {
     throw std::invalid_argument("conducted_emission_scaled: grid mismatch");
   }
-  ckt::AcOptions ac_opt;
+  ckt::AcOptions ac_opt = ac;
   ac_opt.source_scale = source_envelope;
   const ckt::AcSolution sol = ckt::ac_solve(c, freqs_hz, ac_opt);
 

@@ -21,6 +21,9 @@ struct EmissionSweepOptions {
   double f_min_hz = 150e3;   // CISPR 25 conducted range
   double f_max_hz = 108e6;
   std::size_t n_points = 200;
+  // Solver knobs forwarded to the per-point MNA solve (source_scale is
+  // overwritten by the envelope).
+  ckt::AcOptions ac{};
 };
 
 // Run the sweep. The circuit must contain a voltage source named
@@ -36,7 +39,8 @@ EmissionSpectrum conducted_emission(const ckt::Circuit& c,
 EmissionSpectrum conducted_emission_scaled(const ckt::Circuit& c,
                                            const std::string& meas_node,
                                            const std::vector<double>& freqs_hz,
-                                           const std::vector<double>& source_envelope);
+                                           const std::vector<double>& source_envelope,
+                                           const ckt::AcOptions& ac = {});
 
 // Spectrum of a transient waveform at the measurement node, in dBuV.
 // Discards the first `settle_fraction` of the record (startup transient).

@@ -2,11 +2,57 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <set>
 
 #include "src/core/thread_pool.hpp"
 
 namespace emi::flow {
+
+namespace {
+
+// Retry driver for one pipeline stage. The body receives the attempt index
+// so it can perturb its numerics (the flow jitters the AC pivot threshold,
+// which re-keys injected lu faults); the final retry additionally forces
+// serial lanes - a scheduling change only, results are bit-identical by the
+// pool's determinism contract. Exceptions are normalized into Status:
+// structured errors keep their code, caller mistakes map to
+// kInvalidArgument, anything else to kInternal.
+bool run_stage(const char* stage, int attempts, std::vector<StageDiagnostic>& diags,
+               const std::function<void(int)>& body) {
+  attempts = std::max(attempts, 1);
+  core::Status last;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    try {
+      if (attempt + 1 == attempts && attempts > 1) {
+        core::ScopedSerialFallback serial;
+        body(attempt);
+      } else {
+        body(attempt);
+      }
+      if (attempt > 0) diags.push_back({stage, last, attempt + 1, true});
+      return true;
+    } catch (const core::StatusError& e) {
+      last = e.status();
+    } catch (const std::invalid_argument& e) {
+      last = core::Status(core::ErrorCode::kInvalidArgument, stage, e.what());
+    } catch (const std::exception& e) {
+      last = core::Status(core::ErrorCode::kInternal, stage, e.what());
+    }
+  }
+  diags.push_back({stage, last, attempts, false});
+  return false;
+}
+
+emc::EmissionSweepOptions jittered(const emc::EmissionSweepOptions& sweep, int attempt) {
+  emc::EmissionSweepOptions s = sweep;
+  if (attempt > 0) {
+    s.ac.pivot_threshold *= 1.0 + static_cast<double>(attempt) * 1e-3;
+  }
+  return s;
+}
+
+}  // namespace
 
 FlowResult run_design_flow(BuckConverter& bc, const place::Layout& initial_layout,
                            const FlowOptions& opt) {
@@ -14,54 +60,80 @@ FlowResult run_design_flow(BuckConverter& bc, const place::Layout& initial_layou
   const peec::CouplingExtractor extractor(opt.quadrature);
   const core::PoolStats pool0 = core::ThreadPool::global().stats();
 
+  std::vector<std::string> candidates;
+  for (const auto& [l, mi] : bc.inductor_model) candidates.push_back(l);
+  std::sort(candidates.begin(), candidates.end());
+
   // Step 1+2: sensitivity analysis on the coupling-capable inductors.
-  {
-    core::ScopedTimer t(res.profile, "flow.sensitivity_s");
-    emc::SensitivityOptions sens_opt;
-    sens_opt.sweep = opt.sweep;
-    for (const auto& [l, mi] : bc.inductor_model) sens_opt.candidates.push_back(l);
-    std::sort(sens_opt.candidates.begin(), sens_opt.candidates.end());
-    res.ranking = emc::rank_coupling_sensitivity(bc.circuit, bc.meas_node, bc.noise,
-                                                 sens_opt);
-  }
+  const bool sens_ok =
+      run_stage("flow.sensitivity", opt.stage_attempts, res.diagnostics, [&](int attempt) {
+        core::ScopedTimer t(res.profile, "flow.sensitivity_s");
+        emc::SensitivityOptions sens_opt;
+        sens_opt.sweep = jittered(opt.sweep, attempt);
+        sens_opt.candidates = candidates;
+        res.ranking = emc::rank_coupling_sensitivity(bc.circuit, bc.meas_node, bc.noise,
+                                                     sens_opt);
+      });
   res.profile.add_count("flow.pairs_ranked", res.ranking.size());
 
-  // Select the pairs worth a field simulation.
-  for (const auto& s : res.ranking) {
-    if (opt.sensitivity_threshold_db <= 0.0 ||
-        s.max_delta_db >= opt.sensitivity_threshold_db) {
-      res.simulated_pairs.emplace_back(s.inductor_a, s.inductor_b);
-    } else {
-      ++res.field_solves_saved;
+  // Select the pairs worth a field simulation. If the ranking is unavailable
+  // the flow degrades to the state of practice: simulate every pair (no
+  // pruning), which is slower but never wrong.
+  if (sens_ok) {
+    for (const auto& s : res.ranking) {
+      if (opt.sensitivity_threshold_db <= 0.0 ||
+          s.max_delta_db >= opt.sensitivity_threshold_db) {
+        res.simulated_pairs.emplace_back(s.inductor_a, s.inductor_b);
+      } else {
+        ++res.field_solves_saved;
+      }
+    }
+  } else {
+    res.ranking.clear();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      for (std::size_t j = i + 1; j < candidates.size(); ++j) {
+        res.simulated_pairs.emplace_back(candidates[i], candidates[j]);
+      }
     }
   }
   res.profile.add_count("flow.field_solves_saved", res.field_solves_saved);
 
   // Step 3+4: extract couplings for the initial layout, predict emissions.
-  {
-    core::ScopedTimer t(res.profile, "flow.initial_prediction_s");
-    const ckt::Circuit coupled = circuit_with_couplings(bc, initial_layout, extractor,
-                                                        opt.k_min, res.simulated_pairs);
-    res.initial_prediction = emc::conducted_emission(coupled, bc.meas_node, bc.noise,
-                                                     opt.sweep);
-    res.initial_no_coupling = emc::conducted_emission(bc.circuit, bc.meas_node,
-                                                      bc.noise, opt.sweep);
-  }
+  const bool initial_ok = run_stage(
+      "flow.initial_prediction", opt.stage_attempts, res.diagnostics, [&](int attempt) {
+        core::ScopedTimer t(res.profile, "flow.initial_prediction_s");
+        const emc::EmissionSweepOptions sweep = jittered(opt.sweep, attempt);
+        const ckt::Circuit coupled = circuit_with_couplings(
+            bc, initial_layout, extractor, opt.k_min, res.simulated_pairs);
+        res.initial_prediction = emc::conducted_emission(coupled, bc.meas_node, bc.noise,
+                                                         sweep);
+        res.initial_no_coupling = emc::conducted_emission(bc.circuit, bc.meas_node,
+                                                          bc.noise, sweep);
+      });
+  if (!initial_ok) res.complete = false;
 
   // Step 5: derive PEMD rules for the component pairs behind the simulated
-  // inductor pairs and install them in the board design.
-  {
-    core::ScopedTimer t(res.profile, "flow.rule_derivation_s");
-    const emc::RuleDeriver deriver(extractor, {opt.k_threshold, 2.0, 200.0, 0.25});
-    std::set<std::pair<std::string, std::string>> done;
-    for (const auto& [la, lb] : res.simulated_pairs) {
-      const peec::ComponentFieldModel* ma = bc.model_for_inductor(la);
-      const peec::ComponentFieldModel* mb = bc.model_for_inductor(lb);
-      if (ma == nullptr || mb == nullptr) continue;
-      auto key = std::minmax(ma->name, mb->name);
-      if (!done.insert(key).second) continue;
-      emc::MinDistanceRule rule = deriver.derive(*ma, *mb);
-      res.rules.push_back(rule);
+  // inductor pairs and install them in the board design. Rules accumulate in
+  // a stage-local list so a retried attempt never installs duplicates.
+  std::vector<emc::MinDistanceRule> derived;
+  const bool rules_ok = run_stage(
+      "flow.rule_derivation", opt.stage_attempts, res.diagnostics, [&](int) {
+        core::ScopedTimer t(res.profile, "flow.rule_derivation_s");
+        derived.clear();
+        const emc::RuleDeriver deriver(extractor, {opt.k_threshold, 2.0, 200.0, 0.25});
+        std::set<std::pair<std::string, std::string>> done;
+        for (const auto& [la, lb] : res.simulated_pairs) {
+          const peec::ComponentFieldModel* ma = bc.model_for_inductor(la);
+          const peec::ComponentFieldModel* mb = bc.model_for_inductor(lb);
+          if (ma == nullptr || mb == nullptr) continue;
+          auto key = std::minmax(ma->name, mb->name);
+          if (!done.insert(key).second) continue;
+          derived.push_back(deriver.derive(*ma, *mb));
+        }
+      });
+  if (rules_ok) {
+    res.rules = std::move(derived);
+    for (const emc::MinDistanceRule& rule : res.rules) {
       if (rule.pemd_mm > 0.0) {
         bc.board.add_emd_rule(rule.comp_a, rule.comp_b, rule.pemd_mm);
       }
@@ -73,35 +145,46 @@ FlowResult run_design_flow(BuckConverter& bc, const place::Layout& initial_layou
   res.drc_initial = drc.check(initial_layout);
 
   // Step 6: automatic placement. PWRLOOP stays preplaced (the switching cell
-  // location is fixed by the power semiconductors/heat sink).
-  {
-    core::ScopedTimer t(res.profile, "flow.placement_s");
-    res.improved_layout = place::Layout::unplaced(bc.board);
-    const std::size_t loop_idx = bc.board.component_index("PWRLOOP");
-    res.improved_layout.placements[loop_idx] =
-        initial_layout.placements[loop_idx];
-    bc.board.components()[loop_idx].preplaced = true;
-    res.place_stats = place::auto_place(bc.board, res.improved_layout, opt.placement);
-  }
+  // location is fixed by the power semiconductors/heat sink). A missing
+  // PWRLOOP is a caller mistake, so it is checked before the retry loop and
+  // still raises.
+  const std::size_t loop_idx = bc.board.component_index("PWRLOOP");
+  const bool place_ok = run_stage(
+      "flow.placement", opt.stage_attempts, res.diagnostics, [&](int) {
+        core::ScopedTimer t(res.profile, "flow.placement_s");
+        res.improved_layout = place::Layout::unplaced(bc.board);
+        res.improved_layout.placements[loop_idx] = initial_layout.placements[loop_idx];
+        bc.board.components()[loop_idx].preplaced = true;
+        res.place_stats = place::auto_place(bc.board, res.improved_layout, opt.placement);
+      });
   res.profile.add_count("place.candidates_evaluated",
                         res.place_stats.candidates_evaluated);
 
-  // Step 7: verify - DRC (Fig 17) and re-predict emissions (Fig 2).
-  {
-    core::ScopedTimer t(res.profile, "flow.verification_s");
-    res.drc_improved = drc.check(res.improved_layout);
-    const ckt::Circuit improved_ckt = circuit_with_couplings(
-        bc, res.improved_layout, extractor, opt.k_min, res.simulated_pairs);
-    res.improved_prediction = emc::conducted_emission(improved_ckt, bc.meas_node,
-                                                      bc.noise, opt.sweep);
+  // Step 7: verify - DRC (Fig 17) and re-predict emissions (Fig 2). Without
+  // a placed layout there is nothing to verify.
+  bool verify_ok = false;
+  if (place_ok) {
+    verify_ok = run_stage(
+        "flow.verification", opt.stage_attempts, res.diagnostics, [&](int attempt) {
+          core::ScopedTimer t(res.profile, "flow.verification_s");
+          res.drc_improved = drc.check(res.improved_layout);
+          const ckt::Circuit improved_ckt = circuit_with_couplings(
+              bc, res.improved_layout, extractor, opt.k_min, res.simulated_pairs);
+          res.improved_prediction = emc::conducted_emission(
+              improved_ckt, bc.meas_node, bc.noise, jittered(opt.sweep, attempt));
+        });
   }
+  if (!place_ok || !verify_ok) res.complete = false;
 
-  double best = 0.0;
-  for (std::size_t i = 0; i < res.initial_prediction.level_dbuv.size(); ++i) {
-    best = std::max(best, res.initial_prediction.level_dbuv[i] -
-                              res.improved_prediction.level_dbuv[i]);
+  if (!res.initial_prediction.level_dbuv.empty() &&
+      res.initial_prediction.level_dbuv.size() == res.improved_prediction.level_dbuv.size()) {
+    double best = 0.0;
+    for (std::size_t i = 0; i < res.initial_prediction.level_dbuv.size(); ++i) {
+      best = std::max(best, res.initial_prediction.level_dbuv[i] -
+                                res.improved_prediction.level_dbuv[i]);
+    }
+    res.peak_improvement_db = best;
   }
-  res.peak_improvement_db = best;
 
   const peec::ExtractionCacheStats cache = extractor.cache_stats();
   res.profile.add_count("peec.self_cache_hits", cache.self_hits);
@@ -114,6 +197,8 @@ FlowResult run_design_flow(BuckConverter& bc, const place::Layout& initial_layou
   res.profile.add_count("pool.batches", pool1.batches - pool0.batches);
   res.profile.add_count("pool.chunks", pool1.chunks - pool0.chunks);
   res.profile.add_count("pool.steals", pool1.steals - pool0.steals);
+  res.profile.add_count("pool.serial_fallbacks",
+                        pool1.serial_fallbacks - pool0.serial_fallbacks);
   return res;
 }
 

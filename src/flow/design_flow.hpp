@@ -14,6 +14,7 @@
 #pragma once
 
 #include "src/core/profile.hpp"
+#include "src/core/status.hpp"
 #include "src/emi/measurement.hpp"
 #include "src/emi/rules.hpp"
 #include "src/emi/sensitivity.hpp"
@@ -36,6 +37,21 @@ struct FlowOptions {
   peec::QuadratureOptions quadrature{};
   place::AutoPlaceOptions placement{};
   int cispr_class = 3;
+  // Per-stage retry budget. A retry jitters the AC pivot threshold (which
+  // re-keys injected lu faults) and the last attempt runs with serial lanes -
+  // a scheduling change only, results are bit-identical by the pool's
+  // determinism contract.
+  int stage_attempts = 2;
+};
+
+// One entry per stage that did not succeed on its first attempt. `recovered`
+// means a retry eventually went through; otherwise the stage was skipped or
+// degraded and FlowResult::complete is false for critical stages.
+struct StageDiagnostic {
+  std::string stage;    // "flow.sensitivity", "flow.placement", ...
+  core::Status status;  // last failure observed for this stage
+  int attempts = 0;     // attempts consumed (including the failing ones)
+  bool recovered = false;
 };
 
 struct FlowResult {
@@ -61,10 +77,20 @@ struct FlowResult {
   // placement work (place.*) and pool activity (pool.*) for this run.
   // Printed by io::write_profile.
   core::Profile profile;
+  // Robustness bookkeeping: every stage that needed a retry or failed
+  // outright leaves a diagnostic. `complete` is false when a stage the
+  // downstream results depend on (predictions, placement, verification)
+  // ultimately failed; the populated fields up to that stage remain valid.
+  std::vector<StageDiagnostic> diagnostics;
+  bool complete = true;
 };
 
 // Run the full flow on a converter starting from `initial_layout`.
 // `bc.board` is extended in place with the derived EMD rules.
+//
+// Never throws for numeric/injected failures inside stages: those come back
+// as a partial FlowResult with `diagnostics` filled in. Caller mistakes
+// (e.g. a design without PWRLOOP) still raise std::invalid_argument.
 FlowResult run_design_flow(BuckConverter& bc, const place::Layout& initial_layout,
                            const FlowOptions& opt = {});
 

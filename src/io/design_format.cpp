@@ -1,12 +1,27 @@
 #include "src/io/design_format.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "src/core/fault_injection.hpp"
+
 namespace emi::io {
 
 namespace {
+
+// Guardrails against absurd counts: a parse diagnostic beats an allocation
+// of a billion placement slots.
+constexpr int kMaxBoards = 1024;
+constexpr int kMaxBoardIndex = 4095;
+
+// Stable io fault key: token text and line number, independent of threads.
+std::uint64_t io_fault_key(const std::string& s, std::size_t line) {
+  std::uint64_t h = core::fault::mix(0, static_cast<std::uint64_t>(line));
+  for (const char c : s) h = core::fault::mix(h, static_cast<std::uint64_t>(c));
+  return h;
+}
 
 std::vector<std::string> tokenize(const std::string& line) {
   std::vector<std::string> out;
@@ -20,14 +35,21 @@ std::vector<std::string> tokenize(const std::string& line) {
 }
 
 double to_double(const std::string& s, std::size_t line) {
+  if (core::fault::armed() &&
+      core::fault::should_fire(core::FaultSite::kIo, io_fault_key(s, line))) {
+    throw ParseError(line, "injected parse fault (EMI_FAULT_INJECT site io)");
+  }
+  double v = 0.0;
   try {
     std::size_t pos = 0;
-    const double v = std::stod(s, &pos);
+    v = std::stod(s, &pos);
     if (pos != s.size()) throw std::invalid_argument("");
-    return v;
   } catch (...) {
     throw ParseError(line, "expected a number, got '" + s + "'");
   }
+  // NaN/Inf fields would silently poison downstream geometry and MNA.
+  if (!std::isfinite(v)) throw ParseError(line, "non-finite number '" + s + "'");
+  return v;
 }
 
 int to_int(const std::string& s, std::size_t line) {
@@ -39,6 +61,15 @@ int to_int(const std::string& s, std::size_t line) {
   } catch (...) {
     throw ParseError(line, "expected an integer, got '" + s + "'");
   }
+}
+
+int to_board(const std::string& s, std::size_t line, int lo = 0) {
+  const int v = to_int(s, line);
+  if (v < lo || v > kMaxBoardIndex) {
+    throw ParseError(line, "board index out of range [" + std::to_string(lo) + "," +
+                               std::to_string(kMaxBoardIndex) + "]: " + s);
+  }
+  return v;
 }
 
 std::vector<std::string> split_csv(const std::string& s) {
@@ -93,10 +124,17 @@ LoadedDesign load_design(std::istream& in) {
     try {
       if (kw == "boards") {
         if (toks.size() != 2) throw ParseError(line_no, "boards N");
-        d.set_board_count(to_int(toks[1], line_no));
+        const int n = to_int(toks[1], line_no);
+        if (n < 1 || n > kMaxBoards) {
+          throw ParseError(line_no, "board count out of range [1," +
+                                        std::to_string(kMaxBoards) + "]: " + toks[1]);
+        }
+        d.set_board_count(n);
       } else if (kw == "clearance") {
         if (toks.size() != 2) throw ParseError(line_no, "clearance MM");
-        d.set_clearance(to_double(toks[1], line_no));
+        const double mm = to_double(toks[1], line_no);
+        if (mm < 0.0) throw ParseError(line_no, "negative clearance: " + toks[1]);
+        d.set_clearance(mm);
       } else if (kw == "component") {
         if (toks.size() < 5) throw ParseError(line_no, "component NAME W D H [opts]");
         place::Component c;
@@ -114,7 +152,7 @@ LoadedDesign load_design(std::istream& in) {
           } else if (key == "group") {
             c.group = value;
           } else if (key == "board") {
-            c.board = to_int(value, line_no);
+            c.board = to_board(value, line_no, /*lo=*/-1);
           } else if (key == "rot") {
             c.allowed_rotations.clear();
             for (const auto& r : split_csv(value)) {
@@ -163,7 +201,7 @@ LoadedDesign load_design(std::istream& in) {
         }
         place::Area a;
         a.name = toks[1];
-        a.board = to_int(toks[2], line_no);
+        a.board = to_board(toks[2], line_no);
         std::vector<geom::Vec2> pts;
         for (std::size_t i = 3; i + 1 < toks.size(); i += 2) {
           pts.push_back({to_double(toks[i], line_no), to_double(toks[i + 1], line_no)});
@@ -176,7 +214,7 @@ LoadedDesign load_design(std::istream& in) {
         }
         place::Keepout k;
         k.name = toks[1];
-        k.board = to_int(toks[2], line_no);
+        k.board = to_board(toks[2], line_no);
         k.volume.base = geom::Rect::from_corners(
             {to_double(toks[3], line_no), to_double(toks[4], line_no)},
             {to_double(toks[5], line_no), to_double(toks[6], line_no)});
@@ -194,7 +232,7 @@ LoadedDesign load_design(std::istream& in) {
         pp.comp = toks[1];
         pp.p.position = {to_double(toks[2], line_no), to_double(toks[3], line_no)};
         pp.p.rot_deg = to_double(toks[4], line_no);
-        pp.p.board = to_int(toks[5], line_no);
+        pp.p.board = to_board(toks[5], line_no);
         pp.p.placed = true;
         pp.line = line_no;
         places.push_back(std::move(pp));
@@ -309,6 +347,35 @@ void save_layout(std::ostream& out, const place::Design& d, const place::Layout&
   }
 }
 
+core::Result<LoadedDesign> try_load_design(std::istream& in) {
+  try {
+    return load_design(in);
+  } catch (const ParseError& e) {
+    return core::Status(core::ErrorCode::kParseError, "io.design_format", e.what());
+  } catch (const std::exception& e) {
+    return core::Status(core::ErrorCode::kIoError, "io.design_format", e.what());
+  }
+}
+
+core::Result<LoadedDesign> try_load_design_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return core::Status(core::ErrorCode::kIoError, "io.design_format",
+                        "cannot open design file: " + path);
+  }
+  return try_load_design(in);
+}
+
+core::Result<place::Layout> try_load_layout(std::istream& in, const place::Design& d) {
+  try {
+    return load_layout(in, d);
+  } catch (const ParseError& e) {
+    return core::Status(core::ErrorCode::kParseError, "io.design_format", e.what());
+  } catch (const std::exception& e) {
+    return core::Status(core::ErrorCode::kIoError, "io.design_format", e.what());
+  }
+}
+
 place::Layout load_layout(std::istream& in, const place::Design& d) {
   place::Layout layout = place::Layout::unplaced(d);
   std::string line;
@@ -324,7 +391,7 @@ place::Layout load_layout(std::istream& in, const place::Design& d) {
     place::Placement p;
     p.position = {to_double(toks[2], line_no), to_double(toks[3], line_no)};
     p.rot_deg = to_double(toks[4], line_no);
-    p.board = to_int(toks[5], line_no);
+    p.board = to_board(toks[5], line_no);
     p.placed = true;
     layout.placements[*idx] = p;
   }

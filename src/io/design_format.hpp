@@ -24,6 +24,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "src/core/status.hpp"
 #include "src/place/design.hpp"
 
 namespace emi::io {
@@ -41,6 +42,15 @@ struct LoadedDesign {
 
 LoadedDesign load_design(std::istream& in);
 LoadedDesign load_design_file(const std::string& path);
+
+// Structured variants: every malformed input - truncated lines, non-numeric
+// or non-finite fields, duplicate names, out-of-range counts - comes back as
+// a kParseError Status whose message carries the line number (kIoError for
+// unreadable files). Nothing escapes as a bare std::invalid_argument from
+// the stod/stoi helpers.
+core::Result<LoadedDesign> try_load_design(std::istream& in);
+core::Result<LoadedDesign> try_load_design_file(const std::string& path);
+core::Result<place::Layout> try_load_layout(std::istream& in, const place::Design& d);
 
 void save_design(std::ostream& out, const place::Design& d,
                  const place::Layout* layout = nullptr);

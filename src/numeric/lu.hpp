@@ -1,24 +1,113 @@
 // LU decomposition with partial pivoting and linear solve, templated over
-// double and std::complex<double>. Throws on (numerically) singular systems -
-// for MNA that indicates a floating node or an inconsistent netlist, which is
-// a modelling error worth failing loudly on.
+// double and std::complex<double>.
+//
+// Two surfaces:
+//   * the legacy throwing one (Lu ctor / solve() / solve(a,b) / inverse) -
+//     for MNA a singular system indicates a floating node or an
+//     inconsistent netlist, a modelling error worth failing loudly on; and
+//   * the structured one (Lu::factor / try_solve returning
+//     core::Result) - for pipelines that must skip-and-report instead of
+//     unwinding, e.g. the parallel AC sweep, where throwing off-thread
+//     would terminate the process.
+// Both run the identical factorization; the throwing ctor merely raises the
+// Status the checked path would have returned.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "src/core/fault_injection.hpp"
+#include "src/core/status.hpp"
 #include "src/numeric/matrix.hpp"
 
 namespace emi::num {
 
+struct LuOptions {
+  // A pivot magnitude below this is reported as numerically singular. Part
+  // of the numeric contract (and of the lu fault-injection key), so a
+  // jittered threshold re-decides injected faults on retry.
+  double pivot_threshold = 1e-300;
+};
+
 template <typename T>
 class Lu {
  public:
-  explicit Lu(Matrix<T> a) : lu_(std::move(a)), perm_(lu_.rows()) {
-    if (lu_.rows() != lu_.cols()) throw std::invalid_argument("Lu: matrix not square");
+  explicit Lu(Matrix<T> a, const LuOptions& opt = {})
+      : lu_(std::move(a)), perm_(lu_.rows()) {
+    status_ = factorize(opt);
+    status_.throw_if_error();
+  }
+
+  // Non-throwing factorization; the error Status carries the failing column
+  // (singular) or kInjectedFault when the lu fault site fired.
+  static core::Result<Lu<T>> factor(Matrix<T> a, const LuOptions& opt = {}) {
+    Lu<T> lu(Unchecked{}, std::move(a), opt);
+    if (!lu.status_.ok()) return lu.status_;
+    return core::Result<Lu<T>>(std::move(lu));
+  }
+
+  const core::Status& status() const { return status_; }
+  bool ok() const { return status_.ok(); }
+
+  // max|pivot| / min|pivot| over the factorization - a cheap lower bound on
+  // the condition number, good enough to flag near-singular systems.
+  double condition_estimate() const { return cond_; }
+
+  std::vector<T> solve(const std::vector<T>& b) const {
+    status_.throw_if_error();
+    if (b.size() != lu_.rows()) throw std::invalid_argument("Lu::solve: size mismatch");
+    return solve_impl(b);
+  }
+
+  core::Result<std::vector<T>> try_solve(const std::vector<T>& b) const {
+    if (!status_.ok()) return status_;
+    if (b.size() != lu_.rows()) {
+      return core::Status(core::ErrorCode::kInvalidArgument, "numeric.lu",
+                          "solve: size mismatch");
+    }
+    return solve_impl(b);
+  }
+
+ private:
+  struct Unchecked {};
+  Lu(Unchecked, Matrix<T> a, const LuOptions& opt)
+      : lu_(std::move(a)), perm_(lu_.rows()) {
+    status_ = factorize(opt);
+  }
+
+  // Stable per-call identity for the lu fault site: matrix content (shape +
+  // corner/center diagonal entries) and the pivot threshold. Independent of
+  // threads and arrival order, distinct across an AC sweep's frequencies.
+  std::uint64_t fault_key(const LuOptions& opt) const {
     const std::size_t n = lu_.rows();
+    std::uint64_t h = core::fault::mix(0, static_cast<std::uint64_t>(n));
+    if (n > 0) {
+      h = core::fault::mix(h, std::abs(lu_(0, 0)));
+      h = core::fault::mix(h, std::abs(lu_(n / 2, n / 2)));
+      h = core::fault::mix(h, std::abs(lu_(n - 1, n - 1)));
+    }
+    return core::fault::mix(h, opt.pivot_threshold);
+  }
+
+  core::Status factorize(const LuOptions& opt) {
+    using core::ErrorCode;
+    if (lu_.rows() != lu_.cols()) {
+      return {ErrorCode::kInvalidArgument, "numeric.lu", "matrix not square"};
+    }
+    const std::size_t n = lu_.rows();
+    if (core::fault::armed() &&
+        core::fault::should_fire(core::FaultSite::kLu, fault_key(opt))) {
+      return {ErrorCode::kInjectedFault, "numeric.lu",
+              "injected singular pivot (EMI_FAULT_INJECT site lu)"};
+    }
     for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+    double max_pivot = 0.0;
+    double min_pivot = std::numeric_limits<double>::infinity();
     for (std::size_t col = 0; col < n; ++col) {
       // Partial pivot on the largest magnitude in the column.
       std::size_t pivot = col;
@@ -30,7 +119,14 @@ class Lu {
           pivot = r;
         }
       }
-      if (best < 1e-300) throw std::runtime_error("Lu: singular matrix");
+      if (best < opt.pivot_threshold) {
+        return {ErrorCode::kSingular, "numeric.lu",
+                "singular matrix: pivot " + std::to_string(best) + " at column " +
+                    std::to_string(col) + " below threshold " +
+                    std::to_string(opt.pivot_threshold)};
+      }
+      max_pivot = std::max(max_pivot, best);
+      min_pivot = std::min(min_pivot, best);
       if (pivot != col) {
         for (std::size_t c = 0; c < n; ++c) std::swap(lu_(col, c), lu_(pivot, c));
         std::swap(perm_[col], perm_[pivot]);
@@ -43,11 +139,12 @@ class Lu {
         for (std::size_t c = col + 1; c < n; ++c) lu_(r, c) -= f * lu_(col, c);
       }
     }
+    cond_ = (n == 0 || min_pivot <= 0.0) ? 1.0 : max_pivot / min_pivot;
+    return {};
   }
 
-  std::vector<T> solve(const std::vector<T>& b) const {
+  std::vector<T> solve_impl(const std::vector<T>& b) const {
     const std::size_t n = lu_.rows();
-    if (b.size() != n) throw std::invalid_argument("Lu::solve: size mismatch");
     std::vector<T> x(n);
     // Forward substitution on the permuted RHS (L has unit diagonal).
     for (std::size_t i = 0; i < n; ++i) {
@@ -64,14 +161,24 @@ class Lu {
     return x;
   }
 
- private:
   Matrix<T> lu_;
   std::vector<std::size_t> perm_;
+  core::Status status_;
+  double cond_ = 1.0;
 };
 
 template <typename T>
 std::vector<T> solve(Matrix<T> a, const std::vector<T>& b) {
   return Lu<T>(std::move(a)).solve(b);
+}
+
+// Structured counterpart of solve(); never throws on numeric failure.
+template <typename T>
+core::Result<std::vector<T>> try_solve(Matrix<T> a, const std::vector<T>& b,
+                                       const LuOptions& opt = {}) {
+  core::Result<Lu<T>> lu = Lu<T>::factor(std::move(a), opt);
+  if (!lu.ok()) return lu.status();
+  return lu.value().try_solve(b);
 }
 
 // Matrix inverse via n solves; used for small PEEC inductance matrices.

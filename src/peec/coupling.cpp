@@ -5,6 +5,8 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "src/core/fault_injection.hpp"
+
 namespace emi::peec {
 
 namespace {
@@ -66,7 +68,13 @@ std::size_t CouplingExtractor::MutualKeyHash::operator()(const MutualKey& k) con
 
 double CouplingExtractor::self_inductance(const ComponentFieldModel& m) const {
   const std::uint64_t id = model_digest(m);
-  {
+  // Injected cache miss: recompute instead of returning the memoized value.
+  // Entries are pure functions of the key, so this perturbs timing and hit
+  // counters but never the returned inductance - exactly what the cache's
+  // correctness contract promises.
+  const bool forced_miss =
+      core::fault::should_fire(core::FaultSite::kCache, core::fault::mix(0, id));
+  if (!forced_miss) {
     std::shared_lock lock(self_mu_);
     if (const auto it = self_cache_.find(id); it != self_cache_.end()) {
       self_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -124,7 +132,9 @@ double CouplingExtractor::mutual(const PlacedModel& a, const PlacedModel& b) con
                       std::bit_cast<std::uint64_t>(rel_rot),
                       (static_cast<std::uint64_t>(opt_.order) << 32) |
                           static_cast<std::uint64_t>(opt_.subdivisions)};
-  {
+  const bool forced_miss = core::fault::should_fire(
+      core::FaultSite::kCache, core::fault::mix(1, MutualKeyHash{}(key)));
+  if (!forced_miss) {
     std::shared_lock lock(mutual_mu_);
     if (const auto it = mutual_cache_.find(key); it != mutual_cache_.end()) {
       mutual_hits_.fetch_add(1, std::memory_order_relaxed);

@@ -150,6 +150,69 @@ TEST(AcSolve, Validation) {
   EXPECT_DOUBLE_EQ(std::abs(sol.voltage("0", 0)), 0.0);  // ground is 0
 }
 
+TEST(AcSolveChecked, CleanSweepHasNoFailures) {
+  Circuit c;
+  c.add_vsource("V1", "in", "0", Waveform::dc(0.0), 1.0);
+  c.add_resistor("R1", "in", "out", 1000.0);
+  c.add_resistor("R2", "out", "0", 1000.0);
+  const CheckedAcSolution r = ac_solve_checked(c, {1e3, 1e6});
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.failures.empty());
+  EXPECT_NEAR(std::abs(r.solution.voltage("out", 0)), 0.5, 1e-9);
+}
+
+TEST(AcSolveChecked, ConditionLimitFlagsPointsInIndexOrder) {
+  Circuit c;
+  c.add_vsource("V1", "in", "0", Waveform::dc(0.0), 1.0);
+  c.add_resistor("R1", "in", "out", 1000.0);
+  c.add_resistor("R2", "out", "0", 1000.0);
+  // The MNA pivots legitimately span many orders of magnitude (g_min vs the
+  // source rows), so a tiny limit trips every frequency point.
+  AcOptions opt;
+  opt.condition_limit = 1.5;
+  const CheckedAcSolution r = ac_solve_checked(c, {1e3, 1e5, 1e6}, opt);
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.failures.size(), 3u);
+  for (std::size_t i = 0; i < r.failures.size(); ++i) {
+    EXPECT_EQ(r.failures[i].freq_index, i);  // collected in ascending order
+    EXPECT_EQ(r.failures[i].status.code(), core::ErrorCode::kIllConditioned);
+    EXPECT_GT(r.failures[i].condition_estimate, opt.condition_limit);
+  }
+  EXPECT_DOUBLE_EQ(r.failures[1].freq_hz, 1e5);
+}
+
+TEST(AcSolveChecked, SingularPointReportsWithoutThrowing) {
+  // Two ideal voltage sources across the same node pair: their branch rows
+  // are identical, so the MNA matrix is exactly singular at every frequency.
+  Circuit c;
+  c.add_vsource("V1", "in", "0", Waveform::dc(0.0), 1.0);
+  c.add_vsource("V2", "in", "0", Waveform::dc(0.0), 1.0);
+  c.add_resistor("R1", "in", "0", 1.0);
+  const CheckedAcSolution r = ac_solve_checked(c, {1e3});
+  ASSERT_EQ(r.failures.size(), 1u);
+  EXPECT_EQ(r.failures[0].status.code(), core::ErrorCode::kSingular);
+  EXPECT_EQ(r.failures[0].status.stage(), "numeric.lu");
+}
+
+TEST(AcSolve, RaisesStatusErrorNamingTheFailingIndex) {
+  Circuit c;
+  c.add_vsource("V1", "in", "0", Waveform::dc(0.0), 1.0);
+  c.add_resistor("R1", "in", "out", 1000.0);
+  c.add_resistor("R2", "out", "0", 1000.0);
+  AcOptions opt;
+  opt.condition_limit = 1.5;
+  try {
+    ac_solve(c, {1e3, 1e4}, opt);
+    FAIL() << "expected StatusError";
+  } catch (const core::StatusError& e) {
+    EXPECT_EQ(e.status().code(), core::ErrorCode::kIllConditioned);
+    EXPECT_EQ(e.status().stage(), "ckt.ac");
+    EXPECT_NE(e.status().message().find("index 0"), std::string::npos)
+        << e.status().to_string();
+    EXPECT_NE(e.status().message().find("2/2"), std::string::npos);
+  }
+}
+
 TEST(Circuit, ElementValidation) {
   Circuit c;
   EXPECT_THROW(c.add_resistor("R", "a", "b", 0.0), std::invalid_argument);

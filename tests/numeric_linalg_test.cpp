@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "src/core/fault_injection.hpp"
+#include "src/core/status.hpp"
 #include "src/numeric/lu.hpp"
 #include "src/numeric/matrix.hpp"
 #include "src/numeric/rng.hpp"
@@ -108,6 +110,70 @@ TEST_P(RandomSolve, ResidualSmall) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, RandomSolve, ::testing::Values(1, 2, 5, 10, 30, 80));
+
+TEST(LuStatus, FactorReportsSingularWithColumn) {
+  MatrixD a(2, 2);  // rank 1
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  const core::Result<Lu<double>> lu = Lu<double>::factor(a);
+  ASSERT_FALSE(lu.ok());
+  EXPECT_EQ(lu.status().code(), core::ErrorCode::kSingular);
+  EXPECT_EQ(lu.status().stage(), "numeric.lu");
+  EXPECT_NE(lu.status().message().find("column 1"), std::string::npos)
+      << lu.status().to_string();
+  // try_solve on the same matrix reports instead of throwing.
+  const core::Result<std::vector<double>> x = try_solve(a, {1.0, 2.0});
+  ASSERT_FALSE(x.ok());
+  EXPECT_EQ(x.status().code(), core::ErrorCode::kSingular);
+}
+
+TEST(LuStatus, NearSingularPivotGivesLargeConditionEstimate) {
+  MatrixD a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 1) = 1e-14;
+  // Default threshold (1e-300): factorizes, but the pivot-ratio estimate
+  // exposes how close to singular the system is.
+  const core::Result<Lu<double>> lu = Lu<double>::factor(a);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_GE(lu.value().condition_estimate(), 1e13);
+  EXPECT_TRUE(lu.value().try_solve({1.0, 1.0}).ok());
+}
+
+TEST(LuStatus, PivotThresholdFlagsNearSingular) {
+  MatrixD a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 1) = 1e-14;
+  const core::Result<Lu<double>> lu = Lu<double>::factor(a, {1e-10});
+  ASSERT_FALSE(lu.ok());
+  EXPECT_EQ(lu.status().code(), core::ErrorCode::kSingular);
+  // The legacy throwing surface raises the same Status as a StatusError.
+  try {
+    const Lu<double> l2(a, {1e-10});
+    FAIL() << "expected StatusError";
+  } catch (const core::StatusError& e) {
+    EXPECT_EQ(e.status().code(), core::ErrorCode::kSingular);
+    EXPECT_EQ(e.status().stage(), "numeric.lu");
+  }
+}
+
+TEST(LuStatus, InjectedLuFaultReportsInjectedFault) {
+  struct Guard {
+    ~Guard() { core::FaultInjector::instance().disarm(); }
+  } guard;
+  core::FaultInjector::instance().configure(core::FaultSite::kLu, 1.0, 42);
+
+  const MatrixD a = MatrixD::identity(3);
+  const core::Result<Lu<double>> lu = Lu<double>::factor(a);
+  ASSERT_FALSE(lu.ok());
+  EXPECT_EQ(lu.status().code(), core::ErrorCode::kInjectedFault);
+  EXPECT_NE(lu.status().message().find("EMI_FAULT_INJECT"), std::string::npos);
+  EXPECT_GT(core::FaultInjector::instance().fired(core::FaultSite::kLu), 0u);
+
+  core::FaultInjector::instance().disarm();
+  EXPECT_TRUE(Lu<double>::factor(a).ok());
+}
 
 TEST(Rng, DeterministicAndUniform) {
   Rng a(42), b(42);

@@ -13,3 +13,34 @@ execute_process(COMMAND ${CLI} route ${DESIGN} ${LAYOUT} RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "emiplace route failed: ${rc}")
 endif()
+
+# --- Hardening: bad inputs must exit with the documented status (2 = usage /
+# bad argument, 1 = parse or io failure) - never crash. A crash shows up as a
+# non-numeric RESULT_VARIABLE ("Segmentation fault"), which fails the EQUAL.
+function(expect_status expected)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc
+                  OUTPUT_QUIET ERROR_VARIABLE err)
+  if(NOT rc EQUAL ${expected})
+    message(FATAL_ERROR "expected exit ${expected}, got '${rc}' from: ${ARGN}\n${err}")
+  endif()
+endfunction()
+
+expect_status(2 ${CLI} place ${DESIGN} --refine 12abc)
+expect_status(2 ${CLI} place ${DESIGN} --refine -3)
+expect_status(2 ${CLI} place ${DESIGN} --seed 99999999999999999999999)
+expect_status(2 ${CLI} place ${DESIGN} --bogus-flag)
+expect_status(2 ${CLI} svg ${DESIGN} ${LAYOUT} 9999)
+expect_status(2 ${CLI} svg ${DESIGN} ${LAYOUT} zero)
+expect_status(2 ${CLI} frobnicate ${DESIGN})
+
+# Malformed design files come back as a structured parse diagnostic, exit 1.
+set(BAD ${CMAKE_CURRENT_BINARY_DIR}/smoke_bad.design)
+file(WRITE ${BAD} "boards 1\ncomponent C1 nan 4 2\n")
+expect_status(1 ${CLI} info ${BAD})
+file(WRITE ${BAD} "component C1 5\n")
+expect_status(1 ${CLI} info ${BAD})
+file(WRITE ${BAD} "boards 1000000\n")
+expect_status(1 ${CLI} info ${BAD})
+file(WRITE ${BAD} "boards 1\ncomponent C1 5 4 2 board=70000\n")
+expect_status(1 ${CLI} info ${BAD})
+expect_status(1 ${CLI} info ${CMAKE_CURRENT_BINARY_DIR}/definitely_missing.design)

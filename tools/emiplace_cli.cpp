@@ -10,11 +10,15 @@
 //
 // The design file format is the ASCII interface documented in
 // src/io/design_format.hpp. With no -o, results go to stdout.
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+
+#include "src/core/status.hpp"
 
 #include "src/io/design_format.hpp"
 #include "src/io/reports.hpp"
@@ -30,6 +34,26 @@ namespace {
 
 using namespace emi;
 
+// Strict numeric argument parsing: the whole token must be a number in
+// range, otherwise the caller prints a diagnostic and exits with the usage
+// status. std::stoul would happily accept "12abc" or wrap negatives.
+bool parse_u64(const char* s, std::uint64_t& out) {
+  if (s == nullptr || *s == '\0' || *s == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+bool parse_board(const char* s, int& out) {
+  std::uint64_t v = 0;
+  if (!parse_u64(s, v) || v > 4095) return false;
+  out = static_cast<int>(v);
+  return true;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: emiplace <command> [args]\n"
@@ -41,8 +65,19 @@ int usage() {
   return 2;
 }
 
+// Load a design or exit 1 with the structured parse diagnostic (stage,
+// error class and line number) on stderr.
+io::LoadedDesign load_or_exit(const std::string& path) {
+  core::Result<io::LoadedDesign> r = io::try_load_design_file(path);
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s\n", r.status().to_string().c_str());
+    std::exit(1);
+  }
+  return std::move(r).value();
+}
+
 int cmd_info(const std::string& path) {
-  const io::LoadedDesign ld = io::load_design_file(path);
+  const io::LoadedDesign ld = load_or_exit(path);
   const place::Design& d = ld.design;
   std::printf("design: %s\n", path.c_str());
   std::printf("  boards:      %d\n", d.board_count());
@@ -72,16 +107,24 @@ int cmd_place(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--compact")) {
       compact = true;
     } else if (!std::strcmp(argv[i], "--refine") && i + 1 < argc) {
-      refine_iters = static_cast<std::size_t>(std::stoul(argv[++i]));
+      std::uint64_t v = 0;
+      if (!parse_u64(argv[++i], v)) {
+        std::fprintf(stderr, "invalid --refine value: %s\n", argv[i]);
+        return usage();
+      }
+      refine_iters = static_cast<std::size_t>(v);
     } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
-      seed = std::stoull(argv[++i]);
+      if (!parse_u64(argv[++i], seed)) {
+        std::fprintf(stderr, "invalid --seed value: %s\n", argv[i]);
+        return usage();
+      }
     } else {
       std::fprintf(stderr, "unknown option: %s\n", argv[i]);
       return usage();
     }
   }
 
-  io::LoadedDesign ld = io::load_design_file(design_path);
+  io::LoadedDesign ld = load_or_exit(design_path);
   const place::PlaceStats stats = place::auto_place(ld.design, ld.layout);
   std::fprintf(stderr, "placed %zu, failed %zu in %.1f ms\n", stats.placed,
                stats.failed, stats.elapsed_seconds * 1e3);
@@ -120,7 +163,7 @@ int cmd_place(int argc, char** argv) {
 
 int cmd_drc(int argc, char** argv) {
   if (argc < 1) return usage();
-  io::LoadedDesign ld = io::load_design_file(argv[0]);
+  io::LoadedDesign ld = load_or_exit(argv[0]);
   place::Layout layout = ld.layout;
   if (argc >= 2) {
     std::ifstream in(argv[1]);
@@ -137,7 +180,7 @@ int cmd_drc(int argc, char** argv) {
 
 int cmd_route(int argc, char** argv) {
   if (argc < 2) return usage();
-  io::LoadedDesign ld = io::load_design_file(argv[0]);
+  io::LoadedDesign ld = load_or_exit(argv[0]);
   std::ifstream in(argv[1]);
   if (!in) {
     std::fprintf(stderr, "cannot read %s\n", argv[1]);
@@ -156,7 +199,7 @@ int cmd_route(int argc, char** argv) {
 
 int cmd_svg(int argc, char** argv) {
   if (argc < 2) return usage();
-  io::LoadedDesign ld = io::load_design_file(argv[0]);
+  io::LoadedDesign ld = load_or_exit(argv[0]);
   std::ifstream in(argv[1]);
   if (!in) {
     std::fprintf(stderr, "cannot read %s\n", argv[1]);
@@ -164,7 +207,10 @@ int cmd_svg(int argc, char** argv) {
   }
   const place::Layout layout = io::load_layout(in, ld.design);
   io::SvgOptions opt;
-  if (argc >= 3) opt.board = std::stoi(argv[2]);
+  if (argc >= 3 && !parse_board(argv[2], opt.board)) {
+    std::fprintf(stderr, "invalid board index: %s\n", argv[2]);
+    return usage();
+  }
   io::write_layout_svg(std::cout, ld.design, layout, opt);
   return 0;
 }
@@ -180,6 +226,9 @@ int main(int argc, char** argv) {
     if (cmd == "drc") return cmd_drc(argc - 2, argv + 2);
     if (cmd == "route") return cmd_route(argc - 2, argv + 2);
     if (cmd == "svg") return cmd_svg(argc - 2, argv + 2);
+  } catch (const io::ParseError& e) {
+    std::fprintf(stderr, "parse error: %s\n", e.what());
+    return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
