@@ -19,7 +19,7 @@ int main() {
 
   // Reference: highest supported effort.
   const CouplingExtractor ref_ex{QuadratureOptions{8, 6}};
-  const double m_ref = ref_ex.mutual(pa, pb);
+  const double m_ref = ref_ex.mutual(pa, pb).raw();
 
   std::printf("# Ablation: Neumann quadrature effort vs accuracy (M_ref = %.4f nH)\n",
               m_ref * 1e9);
@@ -28,7 +28,7 @@ int main() {
     for (std::size_t sub : {1ul, 2ul, 4ul}) {
       const CouplingExtractor ex{QuadratureOptions{order, sub}};
       const auto t0 = std::chrono::steady_clock::now();
-      const double m = ex.mutual(pa, pb);
+      const double m = ex.mutual(pa, pb).raw();
       const double ms =
           std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
                                                     t0)

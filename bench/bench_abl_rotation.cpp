@@ -15,6 +15,8 @@
 #include "src/place/placer.hpp"
 #include "src/place/rotation.hpp"
 
+using emi::units::Millimeters;
+
 namespace {
 
 enum class Mode { kFull, kFallbackOnly, kLocked };
@@ -25,7 +27,7 @@ enum class Mode { kFull, kFallbackOnly, kLocked };
 emi::place::Design make_tight_board() {
   using namespace emi;
   place::Design d;
-  d.set_clearance(1.0);
+  d.set_clearance(Millimeters{1.0});
   d.add_area({"board", 0,
               geom::Polygon::rectangle(geom::Rect::from_corners({0, 0}, {72, 56}))});
   for (int i = 0; i < 9; ++i) {
@@ -39,7 +41,7 @@ emi::place::Design make_tight_board() {
   }
   for (int i = 0; i < 9; ++i) {
     for (int j = i + 1; j < 9; ++j) {
-      d.add_emd_rule("M" + std::to_string(i), "M" + std::to_string(j), 26.0);
+      d.add_emd_rule("M" + std::to_string(i), "M" + std::to_string(j), Millimeters{26.0});
     }
   }
   return d;

@@ -25,7 +25,7 @@ int main() {
     std::printf("%s,%s,%s,%.1f,%.0f\n", cap.name.c_str(),
                 cap.n1 >= 0 ? both.node_name(cap.n1).c_str() : "0",
                 cap.n2 >= 0 ? both.node_name(cap.n2).c_str() : "0",
-                cap.farads * 1e15, peec::capacitive_corner_hz(cap.farads) / 1e6);
+                cap.farads * 1e15, peec::capacitive_corner(emi::units::Farad{cap.farads}).raw() / 1e6);
   }
 
   emc::EmissionSweepOptions sweep;

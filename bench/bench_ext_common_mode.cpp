@@ -14,6 +14,8 @@
 #include "src/peec/component_model.hpp"
 #include "src/peec/coupling.hpp"
 
+using emi::units::Millimeters;
+
 int main() {
   using namespace emi;
   emc::EmissionSweepOptions sweep;
@@ -46,8 +48,8 @@ int main() {
   // as on real boards; its rotation is chosen worst-case per bearing.
   const peec::ComponentFieldModel choke = peec::cm_choke("CMC");
   peec::XCapacitorParams ycap_geom;
-  ycap_geom.pin_pitch_mm = 10.0;
-  ycap_geom.loop_height_mm = 6.0;
+  ycap_geom.pin_pitch = Millimeters{10.0};
+  ycap_geom.loop_height = Millimeters{6.0};
   const peec::ComponentFieldModel ycap = peec::x_capacitor("CY", ycap_geom);
   const peec::CouplingExtractor ex;
   const double orbit = 19.0;

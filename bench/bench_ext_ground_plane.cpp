@@ -25,13 +25,13 @@ int main() {
 
   std::printf("# Extension: ground plane influence on X-cap coupling\n");
   std::printf("# L_self: free space %.1f nH, over plane %.1f nH\n",
-              free_space.self_inductance(ca) * 1e9,
-              grounded.self_inductance(ca) * 1e9);
+              free_space.self_inductance(ca).raw() * 1e9,
+              grounded.self_inductance(ca).raw() * 1e9);
 
   std::printf("distance_mm,k_free_space,k_over_plane,ratio\n");
   for (double d = 24.0; d <= 72.0; d += 6.0) {
-    const double kf = std::fabs(free_space.coupling_at(ca, cb, d));
-    const double kg = std::fabs(grounded.coupling_at(ca, cb, d));
+    const double kf = std::fabs(free_space.coupling_at(ca, cb, Millimeters{d}));
+    const double kg = std::fabs(grounded.coupling_at(ca, cb, Millimeters{d}));
     std::printf("%.1f,%.5f,%.5f,%.2f\n", d, kf, kg, kf > 0.0 ? kg / kf : 0.0);
   }
 
@@ -47,9 +47,9 @@ int main() {
     return hi;
   };
   const double pemd_free =
-      crossing([&](double d) { return free_space.coupling_at(ca, cb, d); });
+      crossing([&](double d) { return free_space.coupling_at(ca, cb, Millimeters{d}); });
   const double pemd_gnd =
-      crossing([&](double d) { return grounded.coupling_at(ca, cb, d); });
+      crossing([&](double d) { return grounded.coupling_at(ca, cb, Millimeters{d}); });
   std::printf("# PEMD (k <= 0.01): free space %.1f mm, over plane %.1f mm\n",
               pemd_free, pemd_gnd);
   std::printf("# -> rule tables MUST be derived for the board's actual plane\n");

@@ -29,7 +29,7 @@ int main() {
   for (const Row& r : rows) {
     std::printf("%s,%s,%zu,%.1f,%.1f,%.2f\n", r.model.name.c_str(), r.description,
                 r.model.local_path.segments.size(), r.model.local_path.total_length(),
-                r.model.mu_eff, ex.self_inductance(r.model) * 1e9);
+                r.model.mu_eff, ex.self_inductance(r.model).raw() * 1e9);
   }
   std::printf("# note: capacitor L_self is the field-model ESL of the internal\n");
   std::printf("# current loop; chokes include the effective-permeability factor\n");

@@ -21,13 +21,13 @@ int main() {
   const PlacedModel pb{&coil_b, {{d, 0, 0}, 0.0}};
 
   std::printf("# Fig 4: stray field of coil A (at origin) with coil B at x=%.0f mm\n", d);
-  std::printf("# coupling: M = %.2f nH, k = %.4f\n", ex.mutual(pa, pb) * 1e9,
+  std::printf("# coupling: M = %.2f nH, k = %.4f\n", ex.mutual(pa, pb).raw() * 1e9,
               ex.coupling_factor(pa, pb));
 
   // |B| map in the coil plane (z = coil center height), 1 A excitation.
   const SegmentPath path = coil_a.path_at(pa.pose);
   const double z = 6.0;  // coil axis height
-  const auto map = field_map(path, -20.0, 50.0, -25.0, 25.0, z, 15, 11);
+  const auto map = field_map(path, Millimeters{-20.0}, Millimeters{50.0}, Millimeters{-25.0}, Millimeters{25.0}, Millimeters{z}, 15, 11);
   std::printf("# |B| in uT at z=%.0f mm, 1 A excitation; rows y, cols x\n", z);
   std::printf("x_mm,y_mm,B_uT\n");
   for (const auto& s : map) {

@@ -16,19 +16,19 @@ int main() {
 
   std::printf("# Fig 5: coupling factor of two 1.5 uF X-caps, parallel axes\n");
   std::printf("distance_mm,k,decay_exponent\n");
-  const auto curve = ex.coupling_vs_distance(ca, cb, 24.0, 80.0, 15);
+  const auto curve = ex.coupling_vs_distance(ca, cb, Millimeters{24.0}, Millimeters{80.0}, 15);
   for (std::size_t i = 0; i < curve.size(); ++i) {
     double expo = 0.0;
     if (i > 0 && curve[i].k > 0.0 && curve[i - 1].k > 0.0) {
       expo = std::log(curve[i].k / curve[i - 1].k) /
-             std::log(curve[i].distance_mm / curve[i - 1].distance_mm);
+             std::log(curve[i].distance.raw() / curve[i - 1].distance.raw());
     }
-    std::printf("%.2f,%.5f,%.2f\n", curve[i].distance_mm, curve[i].k, expo);
+    std::printf("%.2f,%.5f,%.2f\n", curve[i].distance.raw(), curve[i].k, expo);
   }
 
   // The rule threshold crossing: where k drops below 0.01 (the level that
   // "already severely influences the behavior of for example a pi filter").
-  const double pemd = ex.min_distance_for_coupling(ca, cb, 0.01, 5.0, 150.0, 0.1);
+  const double pemd = ex.min_distance_for_coupling(ca, cb, 0.01, Millimeters{5.0}, Millimeters{150.0}, Millimeters{0.1}).raw();
   std::printf("# k = 0.01 crossing (the PEMD rule distance): %.1f mm\n", pemd);
   return 0;
 }

@@ -14,6 +14,8 @@
 #include "src/peec/component_model.hpp"
 #include "src/peec/coupling.hpp"
 
+using emi::units::Millimeters;
+
 int main() {
   using namespace emi;
   const peec::CouplingExtractor ex;
@@ -26,8 +28,8 @@ int main() {
   std::printf("# Fig 6 / Fig 10: orientation dependence of coupling\n");
   std::printf("angle_deg,k_capacitors_d40,k_chokes_d40,cos_rule\n");
   for (double ang = 0.0; ang <= 90.0; ang += 10.0) {
-    const double kc = ex.coupling_at(ca, cb, 40.0, 0.0, ang);
-    const double kl = ex.coupling_at(la, lb, 40.0, 0.0, ang);
+    const double kc = ex.coupling_at(ca, cb, Millimeters{40.0}, 0.0, ang);
+    const double kl = ex.coupling_at(la, lb, Millimeters{40.0}, 0.0, ang);
     std::printf("%.0f,%.5f,%.5f,%.4f\n", ang, kc, kl,
                 std::cos(geom::deg_to_rad(ang)));
   }
@@ -37,10 +39,10 @@ int main() {
   const emc::RuleDeriver deriver(ex);
   const emc::MinDistanceRule rule = deriver.derive(la, lb);
   std::printf("# Fig 10: EMD = PEMD * cos(alpha), PEMD(choke,choke) = %.1f mm\n",
-              rule.pemd_mm);
+              rule.pemd.raw());
   std::printf("alpha_deg,emd_mm\n");
   for (double ang = 0.0; ang <= 90.0; ang += 15.0) {
-    std::printf("%.0f,%.2f\n", ang, emc::effective_min_distance(rule.pemd_mm, ang));
+    std::printf("%.0f,%.2f\n", ang, emc::effective_min_distance(rule.pemd, ang).raw());
   }
 
   // Fig 6 placement table.
@@ -48,8 +50,8 @@ int main() {
   std::printf("# Fig 6: placement rules for two capacitors (k <= %.2f)\n",
               cap_rule.k_threshold);
   std::printf("arrangement,required_distance_mm\n");
-  std::printf("parallel_axes,%.1f\n", cap_rule.pemd_mm);
-  std::printf("rotated_45deg,%.1f\n", emc::effective_min_distance(cap_rule.pemd_mm, 45.0));
-  std::printf("orthogonal_axes,%.1f\n", emc::effective_min_distance(cap_rule.pemd_mm, 90.0));
+  std::printf("parallel_axes,%.1f\n", cap_rule.pemd.raw());
+  std::printf("rotated_45deg,%.1f\n", emc::effective_min_distance(cap_rule.pemd, 45.0).raw());
+  std::printf("orthogonal_axes,%.1f\n", emc::effective_min_distance(cap_rule.pemd, 90.0).raw());
   return 0;
 }

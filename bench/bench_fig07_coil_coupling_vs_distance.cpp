@@ -11,13 +11,13 @@ int main() {
   using namespace emi::peec;
 
   BobbinCoilParams small;
-  small.radius_mm = 4.0;
-  small.length_mm = 8.0;
+  small.radius = Millimeters{4.0};
+  small.length = Millimeters{8.0};
   small.turns = 24;
   BobbinCoilParams medium;  // defaults: r=6, l=12, 40 turns
   BobbinCoilParams large;
-  large.radius_mm = 9.0;
-  large.length_mm = 18.0;
+  large.radius = Millimeters{9.0};
+  large.length = Millimeters{18.0};
   large.turns = 60;
 
   const ComponentFieldModel s = bobbin_coil("SMALL", small);
@@ -29,12 +29,12 @@ int main() {
   std::printf("center_distance_mm,k_small_medium,k_small_large,k_medium_large\n");
   for (double d = 18.0; d <= 70.0; d += 4.0) {
     std::printf("%.1f,%.5f,%.5f,%.5f\n", d,
-                std::fabs(ex.coupling_at(s, m, d)),
-                std::fabs(ex.coupling_at(s, l, d)),
-                std::fabs(ex.coupling_at(m, l, d)));
+                std::fabs(ex.coupling_at(s, m, Millimeters{d})),
+                std::fabs(ex.coupling_at(s, l, Millimeters{d})),
+                std::fabs(ex.coupling_at(m, l, Millimeters{d})));
   }
   std::printf("# self inductances: small %.1f uH, medium %.1f uH, large %.1f uH\n",
-              ex.self_inductance(s) * 1e6, ex.self_inductance(m) * 1e6,
-              ex.self_inductance(l) * 1e6);
+              ex.self_inductance(s).raw() * 1e6, ex.self_inductance(m).raw() * 1e6,
+              ex.self_inductance(l).raw() * 1e6);
   return 0;
 }

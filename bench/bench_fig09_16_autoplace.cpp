@@ -13,6 +13,8 @@
 #include "src/place/metrics.hpp"
 #include "src/place/placer.hpp"
 
+using emi::units::Millimeters;
+
 namespace {
 
 void BM_AutoPlaceDemo29(benchmark::State& state) {
@@ -39,11 +41,11 @@ BENCHMARK(BM_AutoPlaceDemoTwoBoards)->Unit(benchmark::kMillisecond);
 void BM_AutoPlaceBuck(benchmark::State& state) {
   emi::flow::BuckConverter bc = emi::flow::make_buck_converter();
   // Install representative EMD rules so the timing covers rule handling.
-  bc.board.add_emd_rule("CX1", "CX2", 31.0);
-  bc.board.add_emd_rule("CX1", "LF", 20.0);
-  bc.board.add_emd_rule("CX2", "LF", 20.0);
-  bc.board.add_emd_rule("CX1", "LBUCK", 22.0);
-  bc.board.add_emd_rule("CX2", "LBUCK", 22.0);
+  bc.board.add_emd_rule("CX1", "CX2", Millimeters{31.0});
+  bc.board.add_emd_rule("CX1", "LF", Millimeters{20.0});
+  bc.board.add_emd_rule("CX2", "LF", Millimeters{20.0});
+  bc.board.add_emd_rule("CX1", "LBUCK", Millimeters{22.0});
+  bc.board.add_emd_rule("CX2", "LBUCK", Millimeters{22.0});
   for (auto _ : state) {
     emi::place::Layout l = emi::place::Layout::unplaced(bc.board);
     const auto stats = emi::place::auto_place(bc.board, l);

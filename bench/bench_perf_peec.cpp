@@ -9,6 +9,8 @@
 #include "src/peec/component_model.hpp"
 #include "src/peec/coupling.hpp"
 
+using emi::units::Millimeters;
+
 namespace {
 
 using namespace emi;
@@ -19,7 +21,7 @@ void BM_MutualCapCap(benchmark::State& state) {
   const peec::CouplingExtractor ex;
   const peec::PlacedModel pa{&a, {{0, 0, 0}, 0.0}};
   const peec::PlacedModel pb{&b, {{25, 0, 0}, 0.0}};
-  for (auto _ : state) benchmark::DoNotOptimize(ex.mutual(pa, pb));
+  for (auto _ : state) benchmark::DoNotOptimize(ex.mutual(pa, pb).raw());
 }
 BENCHMARK(BM_MutualCapCap)->Unit(benchmark::kMicrosecond);
 
@@ -32,7 +34,7 @@ void BM_MutualCoilCoil(benchmark::State& state) {
   const peec::CouplingExtractor ex;
   const peec::PlacedModel pa{&a, {{0, 0, 0}, 0.0}};
   const peec::PlacedModel pb{&b, {{30, 0, 0}, 0.0}};
-  for (auto _ : state) benchmark::DoNotOptimize(ex.mutual(pa, pb));
+  for (auto _ : state) benchmark::DoNotOptimize(ex.mutual(pa, pb).raw());
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_MutualCoilCoil)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
@@ -40,8 +42,8 @@ BENCHMARK(BM_MutualCoilCoil)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMilliseco
 void BM_SelfInductanceCached(benchmark::State& state) {
   const peec::ComponentFieldModel coil = peec::bobbin_coil("A");
   const peec::CouplingExtractor ex;
-  ex.self_inductance(coil);  // warm the cache
-  for (auto _ : state) benchmark::DoNotOptimize(ex.self_inductance(coil));
+  ex.self_inductance(coil).raw();  // warm the cache
+  for (auto _ : state) benchmark::DoNotOptimize(ex.self_inductance(coil).raw());
 }
 BENCHMARK(BM_SelfInductanceCached);
 
@@ -50,7 +52,7 @@ void BM_FieldMap(benchmark::State& state) {
   const peec::SegmentPath path = coil.path_at({});
   const auto n = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(peec::field_map(path, -30, 30, -30, 30, 6.0, n, n));
+    benchmark::DoNotOptimize(peec::field_map(path, Millimeters{-30}, Millimeters{30}, Millimeters{-30}, Millimeters{30}, Millimeters{6.0}, n, n));
   }
 }
 BENCHMARK(BM_FieldMap)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);

@@ -13,7 +13,7 @@ using namespace emi::place;
 
 Design synth_design(std::size_t n, bool rules) {
   Design d;
-  d.set_clearance(1.0);
+  d.set_clearance(Millimeters{1.0});
   const double side = 40.0 + 14.0 * static_cast<double>(n);  // keep density sane
   d.add_area({"board", 0,
               emi::geom::Polygon::rectangle(
@@ -32,7 +32,7 @@ Design synth_design(std::size_t n, bool rules) {
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t j = i + 1; j < n; ++j) {
         if ((i + j) % 2 == 0) {
-          d.add_emd_rule("C" + std::to_string(i), "C" + std::to_string(j), 16.0);
+          d.add_emd_rule("C" + std::to_string(i), "C" + std::to_string(j), Millimeters{16.0});
         }
       }
     }

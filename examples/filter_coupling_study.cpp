@@ -16,6 +16,8 @@
 #include "src/peec/component_model.hpp"
 #include "src/peec/coupling.hpp"
 
+using emi::units::Millimeters;
+
 namespace {
 
 // Pi filter between a unit noise source and a CISPR 25 LISN; returns the
@@ -73,7 +75,7 @@ int main() {
 
   std::printf("\nk(C1,C2) vs distance (parallel axes) and the resulting level:\n");
   for (double d : {15.0, 20.0, 30.0, 40.0, 55.0}) {
-    const double k = std::fabs(ex.coupling_at(ca, cb, d));
+    const double k = std::fabs(ex.coupling_at(ca, cb, Millimeters{d}));
     ckt::Circuit c = make_pi_filter();
     if (k >= 1e-4) c.add_coupling("K12", "L_C1", "L_C2", k);
     std::printf("  d = %4.1f mm  k = %.4f  ->  %6.1f dBuV\n", d, k,
@@ -82,7 +84,7 @@ int main() {
 
   std::printf("\nk(C1,C2) vs rotation of C2 at d = 20 mm (the 90-deg rule):\n");
   for (double rot : {0.0, 30.0, 60.0, 90.0}) {
-    const double k = std::fabs(ex.coupling_at(ca, cb, 20.0, 0.0, rot));
+    const double k = std::fabs(ex.coupling_at(ca, cb, Millimeters{20.0}, 0.0, rot));
     ckt::Circuit c = make_pi_filter();
     if (k >= 1e-4) c.add_coupling("K12", "L_C1", "L_C2", k);
     std::printf("  rot = %4.0f deg  k = %.4f  ->  %6.1f dBuV\n", rot, k,

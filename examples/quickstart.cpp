@@ -15,6 +15,8 @@
 #include "src/place/drc.hpp"
 #include "src/place/placer.hpp"
 
+using emi::units::Millimeters;
+
 int main() {
   using namespace emi;
 
@@ -24,26 +26,26 @@ int main() {
   const peec::CouplingExtractor extractor;
 
   std::printf("self inductance of the capacitor loop: %.1f nH\n",
-              extractor.self_inductance(cap_a) * 1e9);
+              extractor.self_inductance(cap_a).raw() * 1e9);
 
   // --- 2. coupling vs distance and rotation ----------------------------------
   std::printf("\ncoupling factor |k| vs center distance (parallel axes):\n");
-  for (const auto& p : extractor.coupling_vs_distance(cap_a, cap_b, 15.0, 60.0, 4)) {
-    std::printf("  d = %4.1f mm   k = %.4f\n", p.distance_mm, p.k);
+  for (const auto& p : extractor.coupling_vs_distance(cap_a, cap_b, Millimeters{15.0}, Millimeters{60.0}, 4)) {
+    std::printf("  d = %4.1f mm   k = %.4f\n", p.distance.raw(), p.k);
   }
   std::printf("rotating one capacitor by 90 deg at d = 20 mm: k %.4f -> %.4f\n",
-              extractor.coupling_at(cap_a, cap_b, 20.0, 0.0, 0.0),
-              extractor.coupling_at(cap_a, cap_b, 20.0, 0.0, 90.0));
+              extractor.coupling_at(cap_a, cap_b, Millimeters{20.0}, 0.0, 0.0),
+              extractor.coupling_at(cap_a, cap_b, Millimeters{20.0}, 0.0, 90.0));
 
   // --- 3. design rule ---------------------------------------------------------
   const emc::RuleDeriver deriver(extractor);  // k threshold 0.01
   const emc::MinDistanceRule rule = deriver.derive(cap_a, cap_b);
   std::printf("\nderived rule: keep %s and %s at least %.1f mm apart "
               "(parallel axes, k <= %.2f)\n",
-              rule.comp_a.c_str(), rule.comp_b.c_str(), rule.pemd_mm,
+              rule.comp_a.c_str(), rule.comp_b.c_str(), rule.pemd.raw(),
               rule.k_threshold);
   std::printf("rotated 90 deg the effective distance shrinks to %.1f mm\n",
-              emc::effective_min_distance(rule.pemd_mm, 90.0));
+              emc::effective_min_distance(Millimeters{rule.pemd.raw()}, 90.0).raw());
 
   // --- 4. placement ------------------------------------------------------------
   place::Design design;
@@ -59,7 +61,7 @@ int main() {
     c.axis_deg = 90.0;  // loop normal at rotation 0
     design.add_component(std::move(c));
   }
-  design.add_emd_rule(rule.comp_a, rule.comp_b, rule.pemd_mm);
+  design.add_emd_rule(rule.comp_a, rule.comp_b, Millimeters{rule.pemd.raw()});
 
   place::Layout layout = place::Layout::unplaced(design);
   const place::PlaceStats stats = place::auto_place(design, layout);

@@ -7,6 +7,7 @@
 #include "src/core/parallel.hpp"
 #include "src/numeric/lu.hpp"
 #include "src/numeric/matrix.hpp"
+#include "src/numeric/stats.hpp"
 
 namespace emi::ckt {
 
@@ -14,11 +15,11 @@ namespace {
 
 // Stamp helpers treating ground (-1) as the eliminated reference row/col.
 void stamp_conductance(num::MatrixC& a, NodeId n1, NodeId n2, Complex g) {
-  if (n1 >= 0) a(n1, n1) += g;
-  if (n2 >= 0) a(n2, n2) += g;
+  if (n1 >= 0) a(index(n1), index(n1)) += g;
+  if (n2 >= 0) a(index(n2), index(n2)) += g;
   if (n1 >= 0 && n2 >= 0) {
-    a(n1, n2) -= g;
-    a(n2, n1) -= g;
+    a(index(n1), index(n2)) -= g;
+    a(index(n2), index(n1)) -= g;
   }
 }
 
@@ -97,12 +98,12 @@ CheckedAcSolution ac_solve_checked(const Circuit& c,
     for (std::size_t i = 0; i < inds.size(); ++i) {
       const std::size_t bi = c.inductor_branch(i);
       if (inds[i].n1 >= 0) {
-        a(inds[i].n1, bi) += Complex{1.0, 0.0};
-        a(bi, inds[i].n1) += Complex{1.0, 0.0};
+        a(index(inds[i].n1), bi) += Complex{1.0, 0.0};
+        a(bi, index(inds[i].n1)) += Complex{1.0, 0.0};
       }
       if (inds[i].n2 >= 0) {
-        a(inds[i].n2, bi) -= Complex{1.0, 0.0};
-        a(bi, inds[i].n2) -= Complex{1.0, 0.0};
+        a(index(inds[i].n2), bi) -= Complex{1.0, 0.0};
+        a(bi, index(inds[i].n2)) -= Complex{1.0, 0.0};
       }
       for (std::size_t j = 0; j < inds.size(); ++j) {
         if (lmat[i][j] != 0.0) {
@@ -116,12 +117,12 @@ CheckedAcSolution ac_solve_checked(const Circuit& c,
     for (std::size_t i = 0; i < vs.size(); ++i) {
       const std::size_t bi = c.vsource_branch(i);
       if (vs[i].n1 >= 0) {
-        a(vs[i].n1, bi) += Complex{1.0, 0.0};
-        a(bi, vs[i].n1) += Complex{1.0, 0.0};
+        a(index(vs[i].n1), bi) += Complex{1.0, 0.0};
+        a(bi, index(vs[i].n1)) += Complex{1.0, 0.0};
       }
       if (vs[i].n2 >= 0) {
-        a(vs[i].n2, bi) -= Complex{1.0, 0.0};
-        a(bi, vs[i].n2) -= Complex{1.0, 0.0};
+        a(index(vs[i].n2), bi) -= Complex{1.0, 0.0};
+        a(bi, index(vs[i].n2)) -= Complex{1.0, 0.0};
       }
       const double phase = vs[i].ac_phase_deg * std::numbers::pi / 180.0;
       rhs[bi] = scale * vs[i].ac_mag * Complex{std::cos(phase), std::sin(phase)};
@@ -131,8 +132,8 @@ CheckedAcSolution ac_solve_checked(const Circuit& c,
     for (const ISource& is : c.isources()) {
       const double phase = is.ac_phase_deg * std::numbers::pi / 180.0;
       const Complex i0 = scale * is.ac_mag * Complex{std::cos(phase), std::sin(phase)};
-      if (is.n1 >= 0) rhs[is.n1] -= i0;
-      if (is.n2 >= 0) rhs[is.n2] += i0;
+      if (is.n1 >= 0) rhs[index(is.n1)] -= i0;
+      if (is.n2 >= 0) rhs[index(is.n2)] += i0;
     }
 
     const core::Result<num::Lu<Complex>> lu =
@@ -183,6 +184,15 @@ AcSolution ac_solve(const Circuit& c, const std::vector<double>& freqs_hz,
         .raise();
   }
   return std::move(checked.solution);
+}
+
+std::vector<units::Hertz> log_frequency_grid(units::Hertz f_lo, units::Hertz f_hi,
+                                             std::size_t n) {
+  const std::vector<double> raw = num::log_space(f_lo.raw(), f_hi.raw(), n);
+  std::vector<units::Hertz> out;
+  out.reserve(raw.size());
+  for (const double hz : raw) out.push_back(units::Hertz{hz});
+  return out;
 }
 
 }  // namespace emi::ckt

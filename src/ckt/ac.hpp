@@ -4,12 +4,14 @@
 #pragma once
 
 #include <complex>
+#include <concepts>
 #include <limits>
 #include <string>
 #include <vector>
 
 #include "src/ckt/circuit.hpp"
 #include "src/core/status.hpp"
+#include "src/core/units.hpp"
 
 namespace emi::ckt {
 
@@ -82,5 +84,33 @@ AcSolution ac_solve(const Circuit& c, const std::vector<double>& freqs_hz,
 CheckedAcSolution ac_solve_checked(const Circuit& c,
                                    const std::vector<double>& freqs_hz,
                                    const AcOptions& opt = {});
+
+// Unit-typed sweep entry points: a grid of units::Hertz cannot be confused
+// with one of rad/s (use units::cycles() to come back from angular
+// frequency). Templates (constrained to units::Hertz) rather than plain
+// overloads so braced-init double lists keep binding to the raw entry
+// points above without ambiguity.
+template <typename Q>
+  requires std::same_as<Q, units::Hertz>
+AcSolution ac_solve(const Circuit& c, const std::vector<Q>& freqs,
+                    const AcOptions& opt = {}) {
+  std::vector<double> hz;
+  hz.reserve(freqs.size());
+  for (const Q f : freqs) hz.push_back(f.raw());
+  return ac_solve(c, hz, opt);
+}
+template <typename Q>
+  requires std::same_as<Q, units::Hertz>
+CheckedAcSolution ac_solve_checked(const Circuit& c, const std::vector<Q>& freqs,
+                                   const AcOptions& opt = {}) {
+  std::vector<double> hz;
+  hz.reserve(freqs.size());
+  for (const Q f : freqs) hz.push_back(f.raw());
+  return ac_solve_checked(c, hz, opt);
+}
+
+// Logarithmically spaced frequency grid [f_lo, f_hi], n >= 2 points.
+std::vector<units::Hertz> log_frequency_grid(units::Hertz f_lo, units::Hertz f_hi,
+                                             std::size_t n);
 
 }  // namespace emi::ckt

@@ -15,11 +15,16 @@
 #include <vector>
 
 #include "src/ckt/waveform.hpp"
+#include "src/core/units.hpp"
 
 namespace emi::ckt {
 
 using NodeId = int;  // dense node index; kGround for the reference node
 inline constexpr NodeId kGround = -1;
+
+// Matrix/vector subscript for a non-ground node. Callers must have excluded
+// kGround already (MNA eliminates the reference row/col before stamping).
+constexpr std::size_t index(NodeId id) { return static_cast<std::size_t>(id); }
 
 struct Resistor {
   std::string name;
@@ -93,7 +98,7 @@ class Circuit {
   NodeId node(const std::string& name);          // find-or-create
   std::optional<NodeId> find_node(const std::string& name) const;
   std::size_t node_count() const { return node_names_.size(); }
-  const std::string& node_name(NodeId id) const { return node_names_.at(id); }
+  const std::string& node_name(NodeId id) const { return node_names_.at(index(id)); }
 
   // Element builders (return the element index within its kind) ----------
   std::size_t add_resistor(const std::string& name, const std::string& n1,
@@ -116,6 +121,22 @@ class Circuit {
   std::size_t add_diode(const std::string& name, const std::string& anode,
                         const std::string& cathode, double i_s = 1e-12, double n = 1.8);
 
+  // Unit-typed builders: identical elements, values carried as strong types
+  // from src/core/units.hpp so ohm/farad/henry mixups fail to compile. The
+  // raw-double builders above remain for bulk netlist assembly.
+  std::size_t add_resistor(const std::string& name, const std::string& n1,
+                           const std::string& n2, units::Ohm r) {
+    return add_resistor(name, n1, n2, r.raw());
+  }
+  std::size_t add_capacitor(const std::string& name, const std::string& n1,
+                            const std::string& n2, units::Farad c) {
+    return add_capacitor(name, n1, n2, c.raw());
+  }
+  std::size_t add_inductor(const std::string& name, const std::string& n1,
+                           const std::string& n2, units::Henry l) {
+    return add_inductor(name, n1, n2, l.raw());
+  }
+
   // Mutate a coupling factor in place (the sensitivity analysis sweeps
   // these). Creates the coupling if it does not exist yet.
   void set_coupling(const std::string& l1_name, const std::string& l2_name, double k);
@@ -126,6 +147,9 @@ class Circuit {
   // Update an inductor's value in place (used when layout-extracted trace
   // inductances replace schematic estimates).
   void set_inductance(const std::string& name, double henries);
+  void set_inductance(const std::string& name, units::Henry l) {
+    set_inductance(name, l.raw());
+  }
   void clear_couplings() { couplings_.clear(); }
 
   std::size_t inductor_index(const std::string& name) const;

@@ -14,15 +14,15 @@ namespace {
 constexpr double kVt = 0.02585;  // thermal voltage at 300 K
 
 void stamp_g(num::MatrixD& a, NodeId n1, NodeId n2, double g) {
-  if (n1 >= 0) a(n1, n1) += g;
-  if (n2 >= 0) a(n2, n2) += g;
+  if (n1 >= 0) a(index(n1), index(n1)) += g;
+  if (n2 >= 0) a(index(n2), index(n2)) += g;
   if (n1 >= 0 && n2 >= 0) {
-    a(n1, n2) -= g;
-    a(n2, n1) -= g;
+    a(index(n1), index(n2)) -= g;
+    a(index(n2), index(n1)) -= g;
   }
 }
 
-double node_v(const std::vector<double>& x, NodeId n) { return n >= 0 ? x[n] : 0.0; }
+double node_v(const std::vector<double>& x, NodeId n) { return n >= 0 ? x[index(n)] : 0.0; }
 
 }  // namespace
 
@@ -98,8 +98,8 @@ TransientResult transient_solve(const Circuit& c, const TransientOptions& opt) {
         const double v_prev = node_v(x_prev, cap.n1) - node_v(x_prev, cap.n2);
         const double ieq = geq * v_prev + cap_i_prev[ci];
         stamp_g(a, cap.n1, cap.n2, geq);
-        if (cap.n1 >= 0) rhs[cap.n1] += ieq;
-        if (cap.n2 >= 0) rhs[cap.n2] -= ieq;
+        if (cap.n1 >= 0) rhs[index(cap.n1)] += ieq;
+        if (cap.n2 >= 0) rhs[index(cap.n2)] -= ieq;
       }
 
       // Diodes: Newton companion around the current iterate.
@@ -113,8 +113,8 @@ TransientResult transient_solve(const Circuit& c, const TransientOptions& opt) {
         const double gd = std::max(d.i_s * e / (d.n * kVt), opt.g_min);
         const double ieq = id - gd * vd;
         stamp_g(a, d.anode, d.cathode, gd);
-        if (d.anode >= 0) rhs[d.anode] -= ieq;
-        if (d.cathode >= 0) rhs[d.cathode] += ieq;
+        if (d.anode >= 0) rhs[index(d.anode)] -= ieq;
+        if (d.cathode >= 0) rhs[index(d.cathode)] += ieq;
       }
 
       // Inductor branches with the coupled inductance matrix:
@@ -122,12 +122,12 @@ TransientResult transient_solve(const Circuit& c, const TransientOptions& opt) {
       for (std::size_t i = 0; i < inds.size(); ++i) {
         const std::size_t bi = c.inductor_branch(i);
         if (inds[i].n1 >= 0) {
-          a(inds[i].n1, bi) += 1.0;
-          a(bi, inds[i].n1) += 1.0;
+          a(index(inds[i].n1), bi) += 1.0;
+          a(bi, index(inds[i].n1)) += 1.0;
         }
         if (inds[i].n2 >= 0) {
-          a(inds[i].n2, bi) -= 1.0;
-          a(bi, inds[i].n2) -= 1.0;
+          a(index(inds[i].n2), bi) -= 1.0;
+          a(bi, index(inds[i].n2)) -= 1.0;
         }
         double hist = -ind_v_prev[i];
         for (std::size_t j = 0; j < inds.size(); ++j) {
@@ -143,20 +143,20 @@ TransientResult transient_solve(const Circuit& c, const TransientOptions& opt) {
       for (std::size_t i = 0; i < vs.size(); ++i) {
         const std::size_t bi = c.vsource_branch(i);
         if (vs[i].n1 >= 0) {
-          a(vs[i].n1, bi) += 1.0;
-          a(bi, vs[i].n1) += 1.0;
+          a(index(vs[i].n1), bi) += 1.0;
+          a(bi, index(vs[i].n1)) += 1.0;
         }
         if (vs[i].n2 >= 0) {
-          a(vs[i].n2, bi) -= 1.0;
-          a(bi, vs[i].n2) -= 1.0;
+          a(index(vs[i].n2), bi) -= 1.0;
+          a(bi, index(vs[i].n2)) -= 1.0;
         }
         rhs[bi] = vs[i].wave.value(t);
       }
 
       for (const ISource& is : c.isources()) {
         const double i0 = is.wave.value(t);
-        if (is.n1 >= 0) rhs[is.n1] -= i0;
-        if (is.n2 >= 0) rhs[is.n2] += i0;
+        if (is.n1 >= 0) rhs[index(is.n1)] -= i0;
+        if (is.n2 >= 0) rhs[index(is.n2)] += i0;
       }
 
       std::vector<double> x_new = num::solve(std::move(a), rhs);

@@ -1,0 +1,424 @@
+// Compile-time dimensional analysis for the quantities the EMI pipeline
+// mixes freely as bare doubles: board geometry in millimetres, inductance in
+// henries (often quoted in nH/uH), capacitance down to picofarads,
+// frequencies from the 150 kHz CISPR band edge to rad/s resonance terms, and
+// dB vs linear levels. Passing a metre value into a millimetre API (or a Hz
+// value into a rad/s formula) silently corrupts partial-inductance and
+// coupling-factor results; this header turns that whole bug class into a
+// compile error.
+//
+// Design:
+//   * Quantity<Dim, Ratio> wraps exactly one double. Dim is a vector of
+//     integer exponents over the SI base (m, kg, s, A) plus an angle slot
+//     that keeps rad/s distinct from Hz. Ratio is the std::ratio scale of
+//     the unit relative to the dimension's canonical SI unit (Millimeters =
+//     Quantity<Length, std::milli>).
+//   * Construction from a raw double is explicit; reading one back requires
+//     the explicit escape hatches .raw() (value in the unit's own scale,
+//     e.g. mm) or .si() (value in canonical SI, e.g. m). Converting between
+//     units of one dimension requires an explicit .to<Other>() - passing
+//     Meters where Millimeters is expected does not compile.
+//   * Arithmetic is dimension-checked at compile time. Same-unit +/- keep
+//     the unit; mixed-ratio +/- and all * / sqrt results are returned in
+//     the canonical (ratio<1>) unit of the result dimension. L * I yields
+//     flux (Wb), V / I yields Ohm, 1 / units::sqrt(L * C) yields the s^-1
+//     dimension, and angular() maps it onto rad/s.
+//   * Dimensionless results (k factors, ratios) convert implicitly to
+//     double, so coupling factors keep flowing into existing code.
+//   * Decibel is a separate log-domain strong type: dB add (gain chains)
+//     but never multiply, and conversion to/from linear is spelled out.
+//
+// Zero overhead: every Quantity is a trivially copyable single double, all
+// operations are constexpr and inline. Internal solver kernels
+// (partial_inductance, MNA stamps, placer scoring) intentionally stay on
+// raw doubles; units types guard the public API boundaries where intent is
+// declared. See DESIGN.md section 8 for the adoption and allowlist policy.
+#pragma once
+
+#include <cmath>
+#include <ratio>
+#include <type_traits>
+
+namespace emi::units {
+
+// --- dimensions ---------------------------------------------------------
+
+// Integer exponents over (length m, mass kg, time s, current A, angle rad).
+template <int L, int M, int T, int I, int A = 0>
+struct Dim {
+  static constexpr int length = L;
+  static constexpr int mass = M;
+  static constexpr int time = T;
+  static constexpr int current = I;
+  static constexpr int angle = A;
+};
+
+template <class D1, class D2>
+using DimMul = Dim<D1::length + D2::length, D1::mass + D2::mass, D1::time + D2::time,
+                   D1::current + D2::current, D1::angle + D2::angle>;
+template <class D1, class D2>
+using DimDiv = Dim<D1::length - D2::length, D1::mass - D2::mass, D1::time - D2::time,
+                   D1::current - D2::current, D1::angle - D2::angle>;
+
+template <class D>
+struct DimSqrtT {
+  static_assert(D::length % 2 == 0 && D::mass % 2 == 0 && D::time % 2 == 0 &&
+                    D::current % 2 == 0 && D::angle % 2 == 0,
+                "units::sqrt of a quantity whose dimension exponents are not all even");
+  using type = Dim<D::length / 2, D::mass / 2, D::time / 2, D::current / 2, D::angle / 2>;
+};
+template <class D>
+using DimSqrt = typename DimSqrtT<D>::type;
+
+template <class D>
+inline constexpr bool kIsScalarDim = D::length == 0 && D::mass == 0 && D::time == 0 &&
+                                     D::current == 0 && D::angle == 0;
+
+using ScalarDim = Dim<0, 0, 0, 0>;
+using LengthDim = Dim<1, 0, 0, 0>;
+using TimeDim = Dim<0, 0, 1, 0>;
+using FrequencyDim = Dim<0, 0, -1, 0>;   // cycles treated as dimensionless
+using AngleDim = Dim<0, 0, 0, 0, 1>;
+using AngularVelocityDim = Dim<0, 0, -1, 0, 1>;  // rad/s != Hz by the angle slot
+using CurrentDim = Dim<0, 0, 0, 1>;
+using VoltageDim = Dim<2, 1, -3, -1>;
+using ResistanceDim = Dim<2, 1, -3, -2>;
+using InductanceDim = Dim<2, 1, -2, -2>;
+using CapacitanceDim = Dim<-2, -1, 4, 2>;
+using FluxDim = Dim<2, 1, -2, -1>;        // weber = H * A
+using FluxDensityDim = Dim<0, 1, -2, -1>; // tesla
+
+// --- quantity -----------------------------------------------------------
+
+template <class D, class R = std::ratio<1>>
+class Quantity {
+ public:
+  using dim = D;
+  using ratio = R;
+
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double value) : v_(value) {}
+
+  // Value in this unit's own scale (mm for Millimeters, nH for NanoHenry).
+  constexpr double raw() const { return v_; }
+  // Value in the canonical SI unit of the dimension (m, H, F, Hz, ...).
+  constexpr double si() const {
+    return v_ * static_cast<double>(R::num) / static_cast<double>(R::den);
+  }
+
+  // Explicit conversion to another unit of the same dimension. The scale is
+  // applied as one integer-ratio multiply/divide so exact decimal ratios
+  // (1 m == 1000 mm) convert exactly.
+  template <class Q2>
+  constexpr Q2 to() const {
+    static_assert(std::is_same_v<typename Q2::dim, D>,
+                  "units: .to<>() target has a different dimension");
+    using R2 = typename Q2::ratio;
+    return Q2(v_ * (static_cast<double>(R::num) * static_cast<double>(R2::den)) /
+              (static_cast<double>(R::den) * static_cast<double>(R2::num)));
+  }
+
+  // Dimensionless quantities decay to double implicitly (coupling factors,
+  // scale ratios); everything else requires .raw()/.si().
+  constexpr operator double() const
+    requires(kIsScalarDim<D>)
+  {
+    return si();
+  }
+
+  constexpr Quantity operator-() const { return Quantity(-v_); }
+  constexpr Quantity& operator+=(Quantity o) {
+    v_ += o.v_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) {
+    v_ -= o.v_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double s) {
+    v_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) {
+    v_ /= s;
+    return *this;
+  }
+
+ private:
+  double v_ = 0.0;
+};
+
+// Same dimension: +/- keep the unit when the ratios match, otherwise fall
+// back to the canonical unit; comparisons always compare SI values.
+template <class D, class R1, class R2>
+constexpr auto operator+(Quantity<D, R1> a, Quantity<D, R2> b) {
+  if constexpr (std::is_same_v<R1, R2>) {
+    return Quantity<D, R1>(a.raw() + b.raw());
+  } else {
+    return Quantity<D>(a.si() + b.si());
+  }
+}
+template <class D, class R1, class R2>
+constexpr auto operator-(Quantity<D, R1> a, Quantity<D, R2> b) {
+  if constexpr (std::is_same_v<R1, R2>) {
+    return Quantity<D, R1>(a.raw() - b.raw());
+  } else {
+    return Quantity<D>(a.si() - b.si());
+  }
+}
+template <class D, class R1, class R2>
+constexpr bool operator==(Quantity<D, R1> a, Quantity<D, R2> b) {
+  if constexpr (std::is_same_v<R1, R2>) return a.raw() == b.raw();
+  return a.si() == b.si();
+}
+template <class D, class R1, class R2>
+constexpr auto operator<=>(Quantity<D, R1> a, Quantity<D, R2> b) {
+  if constexpr (std::is_same_v<R1, R2>) return a.raw() <=> b.raw();
+  return a.si() <=> b.si();
+}
+
+// Dimensional products and quotients in the canonical result unit.
+template <class D1, class R1, class D2, class R2>
+constexpr auto operator*(Quantity<D1, R1> a, Quantity<D2, R2> b) {
+  return Quantity<DimMul<D1, D2>>(a.si() * b.si());
+}
+template <class D1, class R1, class D2, class R2>
+constexpr auto operator/(Quantity<D1, R1> a, Quantity<D2, R2> b) {
+  return Quantity<DimDiv<D1, D2>>(a.si() / b.si());
+}
+
+// Scaling by dimensionless doubles keeps the unit.
+template <class D, class R>
+constexpr Quantity<D, R> operator*(Quantity<D, R> q, double s) {
+  return Quantity<D, R>(q.raw() * s);
+}
+template <class D, class R>
+constexpr Quantity<D, R> operator*(double s, Quantity<D, R> q) {
+  return Quantity<D, R>(s * q.raw());
+}
+template <class D, class R>
+constexpr Quantity<D, R> operator/(Quantity<D, R> q, double s) {
+  return Quantity<D, R>(q.raw() / s);
+}
+template <class D, class R>
+constexpr auto operator/(double s, Quantity<D, R> q) {
+  return Quantity<DimDiv<ScalarDim, D>>(s / q.si());
+}
+
+template <class D, class R>
+inline auto sqrt(Quantity<D, R> q) {
+  return Quantity<DimSqrt<D>>(std::sqrt(q.si()));
+}
+template <class D, class R>
+constexpr Quantity<D, R> abs(Quantity<D, R> q) {
+  return Quantity<D, R>(q.raw() < 0.0 ? -q.raw() : q.raw());
+}
+template <class D, class R>
+constexpr Quantity<D, R> min(Quantity<D, R> a, Quantity<D, R> b) {
+  return b < a ? b : a;
+}
+template <class D, class R>
+constexpr Quantity<D, R> max(Quantity<D, R> a, Quantity<D, R> b) {
+  return a < b ? b : a;
+}
+
+// --- named units --------------------------------------------------------
+
+using Scalar = Quantity<ScalarDim>;
+using Meters = Quantity<LengthDim>;
+using Millimeters = Quantity<LengthDim, std::milli>;
+using Micrometers = Quantity<LengthDim, std::micro>;
+using Seconds = Quantity<TimeDim>;
+using Microseconds = Quantity<TimeDim, std::micro>;
+using Hertz = Quantity<FrequencyDim>;
+using Kilohertz = Quantity<FrequencyDim, std::kilo>;
+using Megahertz = Quantity<FrequencyDim, std::mega>;
+using Radians = Quantity<AngleDim>;
+using RadPerSec = Quantity<AngularVelocityDim>;
+using Ampere = Quantity<CurrentDim>;
+using Volt = Quantity<VoltageDim>;
+using Microvolt = Quantity<VoltageDim, std::micro>;
+using Ohm = Quantity<ResistanceDim>;
+using Henry = Quantity<InductanceDim>;
+using MicroHenry = Quantity<InductanceDim, std::micro>;
+using NanoHenry = Quantity<InductanceDim, std::nano>;
+using Farad = Quantity<CapacitanceDim>;
+using MicroFarad = Quantity<CapacitanceDim, std::micro>;
+using NanoFarad = Quantity<CapacitanceDim, std::nano>;
+using PicoFarad = Quantity<CapacitanceDim, std::pico>;
+using Weber = Quantity<FluxDim>;
+using Tesla = Quantity<FluxDensityDim>;
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+// Cycles/s <-> rad/s. The angle dimension keeps these apart; the 2*pi lives
+// here and nowhere else.
+constexpr RadPerSec angular(Hertz f) { return RadPerSec(2.0 * kPi * f.raw()); }
+constexpr Hertz cycles(RadPerSec w) { return Hertz(w.raw() / (2.0 * kPi)); }
+
+// --- decibel (log domain) -----------------------------------------------
+
+// Levels and gains in dB. Deliberately NOT a Quantity: dB values add where
+// linear values multiply, so mixing the two silently is exactly the bug we
+// want to stop. No operator* exists; conversion is explicit and names the
+// amplitude (20 log10) vs power (10 log10) convention.
+class Decibel {
+ public:
+  constexpr Decibel() = default;
+  constexpr explicit Decibel(double db) : db_(db) {}
+  constexpr double raw() const { return db_; }
+
+  constexpr Decibel operator-() const { return Decibel(-db_); }
+  friend constexpr Decibel operator+(Decibel a, Decibel b) {
+    return Decibel(a.db_ + b.db_);
+  }
+  friend constexpr Decibel operator-(Decibel a, Decibel b) {
+    return Decibel(a.db_ - b.db_);
+  }
+  friend constexpr bool operator==(Decibel a, Decibel b) { return a.db_ == b.db_; }
+  friend constexpr auto operator<=>(Decibel a, Decibel b) { return a.db_ <=> b.db_; }
+
+ private:
+  double db_ = 0.0;
+};
+
+inline Decibel amplitude_db(double linear_ratio) {
+  return Decibel(20.0 * std::log10(linear_ratio));
+}
+inline Decibel power_db(double linear_ratio) {
+  return Decibel(10.0 * std::log10(linear_ratio));
+}
+inline double amplitude_ratio(Decibel db) { return std::pow(10.0, db.raw() / 20.0); }
+inline double power_ratio(Decibel db) { return std::pow(10.0, db.raw() / 10.0); }
+
+// EMC level convention: dBuV = 20 log10(V / 1 uV).
+inline Decibel dbuv(Volt v) { return amplitude_db(v.raw() * 1e6); }
+inline Volt volts_from_dbuv(Decibel level) {
+  return Volt(amplitude_ratio(level) * 1e-6);
+}
+
+// --- literals -----------------------------------------------------------
+
+inline namespace literals {
+// NOLINTBEGIN(readability-identifier-naming) - UDLs follow the unit symbols.
+constexpr Meters operator""_m(long double v) { return Meters(static_cast<double>(v)); }
+constexpr Meters operator""_m(unsigned long long v) {
+  return Meters(static_cast<double>(v));
+}
+constexpr Millimeters operator""_mm(long double v) {
+  return Millimeters(static_cast<double>(v));
+}
+constexpr Millimeters operator""_mm(unsigned long long v) {
+  return Millimeters(static_cast<double>(v));
+}
+constexpr Micrometers operator""_um(long double v) {
+  return Micrometers(static_cast<double>(v));
+}
+constexpr Micrometers operator""_um(unsigned long long v) {
+  return Micrometers(static_cast<double>(v));
+}
+constexpr Seconds operator""_s(long double v) { return Seconds(static_cast<double>(v)); }
+constexpr Seconds operator""_s(unsigned long long v) {
+  return Seconds(static_cast<double>(v));
+}
+constexpr Hertz operator""_hz(long double v) { return Hertz(static_cast<double>(v)); }
+constexpr Hertz operator""_hz(unsigned long long v) {
+  return Hertz(static_cast<double>(v));
+}
+constexpr Kilohertz operator""_khz(long double v) {
+  return Kilohertz(static_cast<double>(v));
+}
+constexpr Kilohertz operator""_khz(unsigned long long v) {
+  return Kilohertz(static_cast<double>(v));
+}
+constexpr Megahertz operator""_mhz(long double v) {
+  return Megahertz(static_cast<double>(v));
+}
+constexpr Megahertz operator""_mhz(unsigned long long v) {
+  return Megahertz(static_cast<double>(v));
+}
+constexpr Ampere operator""_a(long double v) { return Ampere(static_cast<double>(v)); }
+constexpr Ampere operator""_a(unsigned long long v) {
+  return Ampere(static_cast<double>(v));
+}
+constexpr Volt operator""_v(long double v) { return Volt(static_cast<double>(v)); }
+constexpr Volt operator""_v(unsigned long long v) {
+  return Volt(static_cast<double>(v));
+}
+constexpr Ohm operator""_ohm(long double v) { return Ohm(static_cast<double>(v)); }
+constexpr Ohm operator""_ohm(unsigned long long v) {
+  return Ohm(static_cast<double>(v));
+}
+constexpr Henry operator""_h(long double v) { return Henry(static_cast<double>(v)); }
+constexpr Henry operator""_h(unsigned long long v) {
+  return Henry(static_cast<double>(v));
+}
+constexpr MicroHenry operator""_uh(long double v) {
+  return MicroHenry(static_cast<double>(v));
+}
+constexpr MicroHenry operator""_uh(unsigned long long v) {
+  return MicroHenry(static_cast<double>(v));
+}
+constexpr NanoHenry operator""_nh(long double v) {
+  return NanoHenry(static_cast<double>(v));
+}
+constexpr NanoHenry operator""_nh(unsigned long long v) {
+  return NanoHenry(static_cast<double>(v));
+}
+constexpr Farad operator""_f(long double v) { return Farad(static_cast<double>(v)); }
+constexpr Farad operator""_f(unsigned long long v) {
+  return Farad(static_cast<double>(v));
+}
+constexpr MicroFarad operator""_uf(long double v) {
+  return MicroFarad(static_cast<double>(v));
+}
+constexpr MicroFarad operator""_uf(unsigned long long v) {
+  return MicroFarad(static_cast<double>(v));
+}
+constexpr NanoFarad operator""_nf(long double v) {
+  return NanoFarad(static_cast<double>(v));
+}
+constexpr NanoFarad operator""_nf(unsigned long long v) {
+  return NanoFarad(static_cast<double>(v));
+}
+constexpr PicoFarad operator""_pf(long double v) {
+  return PicoFarad(static_cast<double>(v));
+}
+constexpr PicoFarad operator""_pf(unsigned long long v) {
+  return PicoFarad(static_cast<double>(v));
+}
+constexpr Tesla operator""_t(long double v) { return Tesla(static_cast<double>(v)); }
+constexpr Tesla operator""_t(unsigned long long v) {
+  return Tesla(static_cast<double>(v));
+}
+constexpr Decibel operator""_db(long double v) {
+  return Decibel(static_cast<double>(v));
+}
+constexpr Decibel operator""_db(unsigned long long v) {
+  return Decibel(static_cast<double>(v));
+}
+// NOLINTEND(readability-identifier-naming)
+}  // namespace literals
+
+// --- compile-time self checks -------------------------------------------
+
+static_assert(sizeof(Millimeters) == sizeof(double));
+static_assert(std::is_trivially_copyable_v<Henry>);
+static_assert(Meters(1.0).to<Millimeters>().raw() == 1000.0);
+static_assert(Millimeters(1000.0).to<Meters>().raw() == 1.0);
+static_assert(Kilohertz(150.0).to<Hertz>().raw() == 150000.0);
+static_assert(NanoHenry(1000.0).to<MicroHenry>().raw() == 1.0);
+static_assert(Millimeters(3.0) + Millimeters(4.0) == Millimeters(7.0));
+static_assert(Meters(1.0) == Millimeters(1000.0));
+static_assert(Millimeters(1.0) < Meters(1.0));
+// Dimensional identities: L * I -> flux, V / I -> R, 1/(R*C) and the LC
+// resonance land on the s^-1 (frequency) dimension.
+static_assert(std::is_same_v<decltype(Henry(1.0) * Ampere(1.0)), Weber>);
+static_assert(std::is_same_v<decltype(Volt(1.0) / Ampere(1.0)), Ohm>);
+static_assert(std::is_same_v<decltype(1.0 / (Ohm(1.0) * Farad(1.0))), Hertz>);
+static_assert(std::is_same_v<DimSqrt<DimMul<InductanceDim, CapacitanceDim>>, TimeDim>);
+static_assert(std::is_same_v<decltype(angular(Hertz(1.0))), RadPerSec>);
+static_assert(std::is_same_v<decltype(RadPerSec(1.0) * Seconds(1.0)), Radians>);
+static_assert(double(Millimeters(500.0) / Meters(1.0)) == 0.5);
+
+}  // namespace emi::units

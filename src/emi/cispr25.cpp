@@ -55,4 +55,11 @@ LimitMargin limit_margin(const std::vector<double>& freqs_hz,
   return out;
 }
 
+std::optional<units::Decibel> cispr25_limit(units::Hertz freq, int emission_class,
+                                            Detector det) {
+  const std::optional<double> dbuv = cispr25_limit_dbuv(freq.raw(), emission_class, det);
+  if (!dbuv) return std::nullopt;
+  return units::Decibel{*dbuv};
+}
+
 }  // namespace emi::emc

@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "src/core/units.hpp"
+
 namespace emi::emc {
 
 enum class Detector { kPeak, kAverage };
@@ -26,6 +28,11 @@ const std::vector<Cispr25Band>& cispr25_bands();
 // the protected bands. Average limits sit 10 dB below peak.
 std::optional<double> cispr25_limit_dbuv(double freq_hz, int emission_class,
                                          Detector det = Detector::kPeak);
+
+// Unit-typed lookup: frequency as units::Hertz, limit as a log-domain
+// units::Decibel (dBuV) that cannot be multiplied into linear quantities.
+std::optional<units::Decibel> cispr25_limit(units::Hertz freq, int emission_class,
+                                            Detector det = Detector::kPeak);
 
 // Worst (smallest) margin of a spectrum against the limit line:
 // min over in-band points of (limit - level). Negative = limit exceeded.

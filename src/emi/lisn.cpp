@@ -10,7 +10,7 @@ std::string attach_lisn(ckt::Circuit& c, const std::string& supply_node,
                         const LisnParams& p) {
   const std::string meas = prefix + "_meas";
   // Supply -> 5 uH -> DUT.
-  c.add_inductor(prefix + "_L", supply_node, dut_node, p.l_henry);
+  c.add_inductor(prefix + "_L", supply_node, dut_node, p.l);
   // Damping across the AN inductor keeps the network's resonance bounded.
   c.add_resistor(prefix + "_Rd", supply_node, dut_node, p.r_damp);
   // DUT -> 0.1 uF -> measurement node -> 50 ohm -> ground.
@@ -19,10 +19,11 @@ std::string attach_lisn(ckt::Circuit& c, const std::string& supply_node,
   return meas;
 }
 
-double lisn_coupling_gain(double freq_hz, const LisnParams& p) {
-  const double w = 2.0 * std::numbers::pi * freq_hz;
-  const double zc = 1.0 / (w * p.c_couple);
-  return p.r_receiver / std::sqrt(p.r_receiver * p.r_receiver + zc * zc);
+double lisn_coupling_gain(units::Hertz freq, const LisnParams& p) {
+  const double w = 2.0 * std::numbers::pi * freq.raw();
+  const double zc = 1.0 / (w * p.c_couple.raw());
+  const double r = p.r_receiver.raw();
+  return r / std::sqrt(r * r + zc * zc);
 }
 
 }  // namespace emi::emc

@@ -8,16 +8,17 @@
 #include <string>
 
 #include "src/ckt/circuit.hpp"
+#include "src/core/units.hpp"
 
 namespace emi::emc {
 
 struct LisnParams {
-  double l_henry = 5e-6;    // CISPR 25 AN inductance
-  double c_couple = 0.1e-6; // coupling capacitor to the receiver
-  double r_receiver = 50.0; // EMI receiver input impedance
+  units::Henry l{5e-6};          // CISPR 25 AN inductance
+  units::Farad c_couple{0.1e-6}; // coupling capacitor to the receiver
+  units::Ohm r_receiver{50.0};   // EMI receiver input impedance
   // Damping network of the AN (parallel R across the inductor's supply side
   // per CISPR 16-1-2 style networks).
-  double r_damp = 1000.0;
+  units::Ohm r_damp{1000.0};
 };
 
 // Insert a LISN between `supply_node` (battery side) and `dut_node` (device
@@ -30,6 +31,6 @@ std::string attach_lisn(ckt::Circuit& c, const std::string& supply_node,
 
 // Ideal-LISN transfer sanity value: at high frequency the receiver sees the
 // DUT node through the coupling cap, so |V_meas/V_dut| -> R/(R + Zc) -> 1.
-double lisn_coupling_gain(double freq_hz, const LisnParams& p = {});
+double lisn_coupling_gain(units::Hertz freq, const LisnParams& p = {});
 
 }  // namespace emi::emc

@@ -6,15 +6,15 @@
 
 namespace emi::emc {
 
-double effective_min_distance(double pemd_mm, double axis_angle_deg) {
+Millimeters effective_min_distance(Millimeters pemd, double axis_angle_deg) {
   const double folded = geom::axis_angle_deg(0.0, axis_angle_deg);
-  return pemd_mm * std::fabs(std::cos(geom::deg_to_rad(folded)));
+  return pemd * std::fabs(std::cos(geom::deg_to_rad(folded)));
 }
 
 MinDistanceRule RuleDeriver::derive(const peec::ComponentFieldModel& a,
                                     const peec::ComponentFieldModel& b) const {
-  const double pemd = extractor_->min_distance_for_coupling(
-      a, b, opt_.k_threshold, opt_.d_search_lo_mm, opt_.d_search_hi_mm, opt_.tol_mm);
+  const Millimeters pemd = extractor_->min_distance_for_coupling(
+      a, b, opt_.k_threshold, opt_.d_search_lo, opt_.d_search_hi, opt_.tol);
   return {a.name, b.name, pemd, opt_.k_threshold};
 }
 

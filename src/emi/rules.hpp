@@ -7,28 +7,31 @@
 #include <string>
 #include <vector>
 
+#include "src/core/units.hpp"
 #include "src/peec/coupling.hpp"
 
 namespace emi::emc {
 
+using units::Millimeters;
+
 struct MinDistanceRule {
   std::string comp_a;
   std::string comp_b;
-  double pemd_mm;       // minimum distance at parallel magnetic axes
+  Millimeters pemd;     // minimum distance at parallel magnetic axes
   double k_threshold;   // coupling level the rule guarantees staying under
 };
 
 // Effective minimum distance after rotation; angle in degrees between the
 // two magnetic axes (folded to [0, 90]).
-double effective_min_distance(double pemd_mm, double axis_angle_deg);
+Millimeters effective_min_distance(Millimeters pemd, double axis_angle_deg);
 
 struct RuleDeriverOptions {
   // A coupling factor of 0.01 "already severely influences the behavior of
   // for example a pi filter circuit" - the default rule threshold.
   double k_threshold = 0.01;
-  double d_search_lo_mm = 2.0;
-  double d_search_hi_mm = 200.0;
-  double tol_mm = 0.25;
+  Millimeters d_search_lo{2.0};
+  Millimeters d_search_hi{200.0};
+  Millimeters tol{0.25};
 };
 
 class RuleDeriver {

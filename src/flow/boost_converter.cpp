@@ -65,12 +65,12 @@ ConverterModel make_boost_converter() {
   // Field models.
   peec::XCapacitorParams xcap;
   peec::BobbinCoilParams filter_coil;
-  filter_coil.radius_mm = 5.0;
-  filter_coil.length_mm = 12.0;
+  filter_coil.radius = peec::Millimeters{5.0};
+  filter_coil.length = peec::Millimeters{12.0};
   filter_coil.turns = 36;
   peec::BobbinCoilParams boost_coil;
-  boost_coil.radius_mm = 9.0;
-  boost_coil.length_mm = 18.0;
+  boost_coil.radius = peec::Millimeters{9.0};
+  boost_coil.length = peec::Millimeters{18.0};
   boost_coil.turns = 52;
   peec::ElectrolyticCapParams elcap;
 
@@ -108,7 +108,7 @@ ConverterModel make_boost_converter() {
 
   // Board.
   place::Design& b = bc.board;
-  b.set_clearance(1.0);
+  b.set_clearance(place::Millimeters{1.0});
   b.set_board_count(1);
   b.add_area({"board", 0, geom::Polygon::rectangle(
                               geom::Rect::from_corners({0.0, 0.0}, {80.0, 58.0}))});

@@ -101,12 +101,12 @@ BuckConverter make_buck_converter() {
   peec::XCapacitorParams xcap;          // 3.3 uF film X-capacitor
   peec::ElectrolyticCapParams elcap;
   peec::BobbinCoilParams filter_coil;   // input filter choke
-  filter_coil.radius_mm = 6.0;
-  filter_coil.length_mm = 14.0;
+  filter_coil.radius = peec::Millimeters{6.0};
+  filter_coil.length = peec::Millimeters{14.0};
   filter_coil.turns = 42;
   peec::BobbinCoilParams buck_coil;     // buck inductor, larger
-  buck_coil.radius_mm = 8.0;
-  buck_coil.length_mm = 16.0;
+  buck_coil.radius = peec::Millimeters{8.0};
+  buck_coil.length = peec::Millimeters{16.0};
   buck_coil.turns = 48;
 
   bc.models.push_back(peec::x_capacitor("CX1", xcap));
@@ -145,7 +145,7 @@ BuckConverter make_buck_converter() {
 
   // --- placement design ------------------------------------------------------
   place::Design& b = bc.board;
-  b.set_clearance(1.0);
+  b.set_clearance(place::Millimeters{1.0});
   b.set_board_count(1);
   b.add_area({"board", 0, geom::Polygon::rectangle(
                              geom::Rect::from_corners({0.0, 0.0}, {70.0, 50.0}))});
@@ -290,8 +290,9 @@ ckt::Circuit add_parasitic_capacitances(const BuckConverter& bc,
     const place::Component& pc = bc.board.components()[ci];
     peec::Body body;
     body.center_mm = {p.position.x, p.position.y, pc.height_mm / 2.0};
-    body.equiv_radius_mm =
-        peec::body_equivalent_radius(pc.width_mm, pc.depth_mm, pc.height_mm);
+    body.equiv_radius = peec::body_equivalent_radius(peec::Millimeters{pc.width_mm},
+                                                     peec::Millimeters{pc.depth_mm},
+                                                     peec::Millimeters{pc.height_mm});
     bodies.emplace_back(comp, body);
   }
   std::sort(bodies.begin(), bodies.end(),
@@ -302,7 +303,8 @@ ckt::Circuit add_parasitic_capacitances(const BuckConverter& bc,
       const std::string& node_a = bc.component_node.at(bodies[i].first);
       const std::string& node_b = bc.component_node.at(bodies[j].first);
       if (node_a == node_b) continue;  // same net: no interference path
-      const double cap = peec::body_capacitance(bodies[i].second, bodies[j].second);
+      const double cap =
+          peec::body_capacitance(bodies[i].second, bodies[j].second).raw();
       if (cap >= c_min_farad) {
         base.add_capacitor("CP_" + bodies[i].first + "_" + bodies[j].first, node_a,
                            node_b, cap);

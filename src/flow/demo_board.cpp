@@ -66,7 +66,7 @@ double pemd_for(Kind a, Kind b) {
 
 place::Design make_demo_board() {
   place::Design d;
-  d.set_clearance(1.0);
+  d.set_clearance(place::Millimeters{1.0});
   d.set_board_count(1);
 
   // L-shaped board outline (the "different arbitrary shaped placement
@@ -102,7 +102,7 @@ place::Design make_demo_board() {
     for (std::size_t j = i + 1; j < n; ++j) {
       const double pemd = pemd_for(kSpecs[i].kind, kSpecs[j].kind);
       if (pemd > 0.0) {
-        d.add_emd_rule(kSpecs[i].name, kSpecs[j].name, pemd);
+        d.add_emd_rule(kSpecs[i].name, kSpecs[j].name, place::Millimeters{pemd});
         ++rules;
       }
     }

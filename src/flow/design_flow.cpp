@@ -120,7 +120,9 @@ FlowResult run_design_flow(BuckConverter& bc, const place::Layout& initial_layou
       "flow.rule_derivation", opt.stage_attempts, res.diagnostics, [&](int) {
         core::ScopedTimer t(res.profile, "flow.rule_derivation_s");
         derived.clear();
-        const emc::RuleDeriver deriver(extractor, {opt.k_threshold, 2.0, 200.0, 0.25});
+        const emc::RuleDeriver deriver(
+            extractor, {opt.k_threshold, emc::Millimeters{2.0}, emc::Millimeters{200.0},
+                        emc::Millimeters{0.25}});
         std::set<std::pair<std::string, std::string>> done;
         for (const auto& [la, lb] : res.simulated_pairs) {
           const peec::ComponentFieldModel* ma = bc.model_for_inductor(la);
@@ -134,8 +136,8 @@ FlowResult run_design_flow(BuckConverter& bc, const place::Layout& initial_layou
   if (rules_ok) {
     res.rules = std::move(derived);
     for (const emc::MinDistanceRule& rule : res.rules) {
-      if (rule.pemd_mm > 0.0) {
-        bc.board.add_emd_rule(rule.comp_a, rule.comp_b, rule.pemd_mm);
+      if (rule.pemd.raw() > 0.0) {
+        bc.board.add_emd_rule(rule.comp_a, rule.comp_b, rule.pemd);
       }
     }
   }

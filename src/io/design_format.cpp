@@ -134,7 +134,7 @@ LoadedDesign load_design(std::istream& in) {
         if (toks.size() != 2) throw ParseError(line_no, "clearance MM");
         const double mm = to_double(toks[1], line_no);
         if (mm < 0.0) throw ParseError(line_no, "negative clearance: " + toks[1]);
-        d.set_clearance(mm);
+        d.set_clearance(place::Millimeters{mm});
       } else if (kw == "component") {
         if (toks.size() < 5) throw ParseError(line_no, "component NAME W D H [opts]");
         place::Component c;
@@ -225,7 +225,7 @@ LoadedDesign load_design(std::istream& in) {
         d.add_keepout(std::move(k));
       } else if (kw == "pemd") {
         if (toks.size() != 4) throw ParseError(line_no, "pemd A B MM");
-        d.add_emd_rule(toks[1], toks[2], to_double(toks[3], line_no));
+        d.add_emd_rule(toks[1], toks[2], place::Millimeters{to_double(toks[3], line_no)});
       } else if (kw == "place") {
         if (toks.size() != 6) throw ParseError(line_no, "place COMP X Y ROT BOARD");
         PendingPlace pp;
@@ -272,7 +272,7 @@ void save_design(std::ostream& out, const place::Design& d,
                  const place::Layout* layout) {
   out << "# emiplace design file\n";
   out << "boards " << d.board_count() << "\n";
-  out << "clearance " << d.clearance() << "\n";
+  out << "clearance " << d.clearance().raw() << "\n";
   for (const place::Component& c : d.components()) {
     out << "component " << c.name << ' ' << c.width_mm << ' ' << c.depth_mm << ' '
         << c.height_mm << " axis=" << c.axis_deg;
@@ -326,7 +326,7 @@ void save_design(std::ostream& out, const place::Design& d,
         << ' ' << k.volume.z_lo << ' ' << k.volume.z_hi << "\n";
   }
   for (const place::EmdRule& r : d.emd_rules()) {
-    out << "pemd " << r.comp_a << ' ' << r.comp_b << ' ' << r.pemd_mm << "\n";
+    out << "pemd " << r.comp_a << ' ' << r.comp_b << ' ' << r.pemd.raw() << "\n";
   }
   if (layout != nullptr) save_layout(out, d, *layout);
 }

@@ -20,8 +20,8 @@ void write_drc_report(std::ostream& out, const place::DrcReport& report) {
     out << "EMD rule status (" << report.emd_status.size() << " pairs):\n";
     for (const place::EmdStatus& s : report.emd_status) {
       out << "  [" << (s.ok ? "GREEN" : "RED") << "] " << s.comp_a << " <-> "
-          << s.comp_b << "  pemd=" << s.pemd_mm << "mm emd=" << s.effective_emd_mm
-          << "mm dist=" << std::fixed << std::setprecision(2) << s.distance_mm
+          << s.comp_b << "  pemd=" << s.pemd.raw() << "mm emd=" << s.effective_emd.raw()
+          << "mm dist=" << std::fixed << std::setprecision(2) << s.distance.raw()
           << "mm\n";
       out.unsetf(std::ios::fixed);
       out << std::setprecision(6);
@@ -48,7 +48,7 @@ void write_spectrum_csv(std::ostream& out, const emc::EmissionSpectrum& spec,
 void write_coupling_curve_csv(
     std::ostream& out, const std::vector<peec::CouplingExtractor::CurvePoint>& curve) {
   out << "distance_mm,k\n";
-  for (const auto& p : curve) out << p.distance_mm << ',' << p.k << "\n";
+  for (const auto& p : curve) out << p.distance.raw() << ',' << p.k << "\n";
 }
 
 void write_group_boxes(std::ostream& out, const std::vector<place::GroupBox>& boxes) {

@@ -84,7 +84,7 @@ void write_layout_svg(std::ostream& out, const place::Design& d,
       const place::Placement& pj = layout.placements[j];
       if (!pi.placed || !pj.placed) continue;
       if (pi.board != opt.board || pj.board != opt.board) continue;
-      const double emd = d.effective_emd(i, pi, j, pj);
+      const double emd = d.effective_emd(i, pi, j, pj).raw();
       if (emd <= 0.0) continue;
       const bool ok = geom::distance(pi.position, pj.position) >= emd;
       const char* color = ok ? "#2e8b57" : "#cc2222";

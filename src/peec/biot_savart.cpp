@@ -7,7 +7,7 @@
 
 namespace emi::peec {
 
-Vec3 segment_field(const Segment& s, const Vec3& p, double current_a) {
+Vec3 segment_field(const Segment& s, const Vec3& p, Ampere current) {
   const double len = s.length();
   if (len <= 0.0) return {};
   const Vec3 d = s.direction();
@@ -36,31 +36,35 @@ Vec3 segment_field(const Segment& s, const Vec3& p, double current_a) {
     return {};
   }
   const double rho_m = rho_eff * 1e-3;
-  const double mag = kMu0 * current_a * s.weight / (4.0 * geom::kPi * rho_m) * (sin2 - sin1);
+  const double mag =
+      kMu0 * current.raw() * s.weight / (4.0 * geom::kPi * rho_m) * (sin2 - sin1);
   return azimuth * mag;
 }
 
-Vec3 path_field(const SegmentPath& path, const Vec3& p, double current_a) {
+Vec3 path_field(const SegmentPath& path, const Vec3& p, Ampere current) {
   Vec3 b{};
-  for (const Segment& s : path.segments) b += segment_field(s, p, current_a);
+  for (const Segment& s : path.segments) b += segment_field(s, p, current);
   return b;
 }
 
-std::vector<FieldSample> field_map(const SegmentPath& path, double x_min, double x_max,
-                                   double y_min, double y_max, double z, std::size_t nx,
-                                   std::size_t ny, double current_a) {
+std::vector<FieldSample> field_map(const SegmentPath& path, Millimeters x_min,
+                                   Millimeters x_max, Millimeters y_min,
+                                   Millimeters y_max, Millimeters z, std::size_t nx,
+                                   std::size_t ny, Ampere current) {
   std::vector<FieldSample> out;
   out.reserve(nx * ny);
+  const double x0 = x_min.raw(), x1 = x_max.raw();
+  const double y0 = y_min.raw(), y1 = y_max.raw();
   for (std::size_t iy = 0; iy < ny; ++iy) {
     for (std::size_t ix = 0; ix < nx; ++ix) {
       const double x =
-          nx > 1 ? x_min + (x_max - x_min) * static_cast<double>(ix) / static_cast<double>(nx - 1)
-                 : x_min;
+          nx > 1 ? x0 + (x1 - x0) * static_cast<double>(ix) / static_cast<double>(nx - 1)
+                 : x0;
       const double y =
-          ny > 1 ? y_min + (y_max - y_min) * static_cast<double>(iy) / static_cast<double>(ny - 1)
-                 : y_min;
-      const Vec3 p{x, y, z};
-      out.push_back({p, path_field(path, p, current_a)});
+          ny > 1 ? y0 + (y1 - y0) * static_cast<double>(iy) / static_cast<double>(ny - 1)
+                 : y0;
+      const Vec3 p{x, y, z.raw()};
+      out.push_back({p, path_field(path, p, current)});
     }
   }
   return out;

@@ -5,26 +5,31 @@
 
 #include <vector>
 
+#include "src/core/units.hpp"
 #include "src/peec/segment.hpp"
 
 namespace emi::peec {
 
-// Field of a finite straight segment carrying `current_a * weight` amperes,
-// evaluated at point p (mm). Returns tesla. Uses the exact finite-segment
-// closed form; on-axis / on-conductor points are regularized by the segment
-// radius.
-Vec3 segment_field(const Segment& s, const Vec3& p, double current_a = 1.0);
+using units::Ampere;
+using units::Millimeters;
+
+// Field of a finite straight segment carrying `current * weight`, evaluated
+// at point p (mm). Returns tesla (component vector, raw). Uses the exact
+// finite-segment closed form; on-axis / on-conductor points are regularized
+// by the segment radius.
+Vec3 segment_field(const Segment& s, const Vec3& p, Ampere current = Ampere{1.0});
 
 // Superposed field of a whole path.
-Vec3 path_field(const SegmentPath& path, const Vec3& p, double current_a = 1.0);
+Vec3 path_field(const SegmentPath& path, const Vec3& p, Ampere current = Ampere{1.0});
 
 // Regular grid sample of |B| (and components) in a z = height plane.
 struct FieldSample {
   Vec3 position;  // mm
   Vec3 b;         // tesla
 };
-std::vector<FieldSample> field_map(const SegmentPath& path, double x_min, double x_max,
-                                   double y_min, double y_max, double z, std::size_t nx,
-                                   std::size_t ny, double current_a = 1.0);
+std::vector<FieldSample> field_map(const SegmentPath& path, Millimeters x_min,
+                                   Millimeters x_max, Millimeters y_min,
+                                   Millimeters y_max, Millimeters z, std::size_t nx,
+                                   std::size_t ny, Ampere current = Ampere{1.0});
 
 }  // namespace emi::peec

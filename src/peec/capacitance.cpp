@@ -7,35 +7,37 @@
 
 namespace emi::peec {
 
-double body_equivalent_radius(double width_mm, double depth_mm, double height_mm) {
-  if (width_mm <= 0.0 || depth_mm <= 0.0 || height_mm <= 0.0) {
+Millimeters body_equivalent_radius(Millimeters width, Millimeters depth,
+                                   Millimeters height) {
+  const double w = width.raw(), d = depth.raw(), h = height.raw();
+  if (w <= 0.0 || d <= 0.0 || h <= 0.0) {
     throw std::invalid_argument("body_equivalent_radius: nonpositive dimensions");
   }
-  const double area = 2.0 * (width_mm * depth_mm + width_mm * height_mm +
-                             depth_mm * height_mm);
-  return std::sqrt(area / (4.0 * std::numbers::pi));
+  const double area = 2.0 * (w * d + w * h + d * h);
+  return Millimeters{std::sqrt(area / (4.0 * std::numbers::pi))};
 }
 
-double sphere_mutual_capacitance(double r1_mm, double r2_mm, double distance_mm) {
-  if (r1_mm <= 0.0 || r2_mm <= 0.0) {
+Farad sphere_mutual_capacitance(Millimeters r1, Millimeters r2, Millimeters distance) {
+  if (r1.raw() <= 0.0 || r2.raw() <= 0.0) {
     throw std::invalid_argument("sphere_mutual_capacitance: nonpositive radius");
   }
   // Keep the distance at least at touching spheres; closer makes the
   // first-order series invalid (and physically they'd collide anyway).
-  const double d = std::max(distance_mm, r1_mm + r2_mm);
-  return 4.0 * std::numbers::pi * kEps0 * (r1_mm * r2_mm / d) * 1e-3;
+  const double d = std::max(distance.raw(), r1.raw() + r2.raw());
+  return Farad{4.0 * std::numbers::pi * kEps0 * (r1.raw() * r2.raw() / d) * 1e-3};
 }
 
-double body_capacitance(const Body& a, const Body& b) {
-  return sphere_mutual_capacitance(a.equiv_radius_mm, b.equiv_radius_mm,
-                                   geom::distance(a.center_mm, b.center_mm));
+Farad body_capacitance(const Body& a, const Body& b) {
+  return sphere_mutual_capacitance(a.equiv_radius, b.equiv_radius,
+                                   Millimeters{geom::distance(a.center_mm, b.center_mm)});
 }
 
-double capacitive_corner_hz(double c_farad, double z0_ohm) {
-  if (c_farad <= 0.0 || z0_ohm <= 0.0) {
-    throw std::invalid_argument("capacitive_corner_hz: nonpositive input");
+Hertz capacitive_corner(Farad c, Ohm z0) {
+  if (c.raw() <= 0.0 || z0.raw() <= 0.0) {
+    throw std::invalid_argument("capacitive_corner: nonpositive input");
   }
-  return 1.0 / (2.0 * std::numbers::pi * z0_ohm * c_farad);
+  // Dimensionally 1/(R*C) is s^-1; the 2*pi turns the corner into cycles.
+  return Hertz{(1.0 / (z0 * c)).raw() / (2.0 * std::numbers::pi)};
 }
 
 }  // namespace emi::peec

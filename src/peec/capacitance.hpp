@@ -10,31 +10,37 @@
 // extracted capacitance and for the HF trend study.
 #pragma once
 
+#include "src/core/units.hpp"
 #include "src/geom/vec.hpp"
 
 namespace emi::peec {
 
+using units::Farad;
+using units::Hertz;
+using units::Millimeters;
+using units::Ohm;
+
 inline constexpr double kEps0 = 8.8541878128e-12;  // F/m
 
-// Equivalent sphere radius of a w x d x h body (mm): the radius of the
-// sphere with the same surface area as the bounding box, a standard
+// Equivalent sphere radius of a w x d x h body: the radius of the sphere
+// with the same surface area as the bounding box, a standard
 // capacitance-preserving shape reduction.
-double body_equivalent_radius(double width_mm, double depth_mm, double height_mm);
+Millimeters body_equivalent_radius(Millimeters width, Millimeters depth,
+                                   Millimeters height);
 
 // First-order mutual capacitance between two spheres (radii r1, r2, center
-// distance d, all mm) in free space. Clamped when the spheres would
-// interpenetrate. Returns farads.
-double sphere_mutual_capacitance(double r1_mm, double r2_mm, double distance_mm);
+// distance d) in free space. Clamped when the spheres would interpenetrate.
+Farad sphere_mutual_capacitance(Millimeters r1, Millimeters r2, Millimeters distance);
 
 // Body-to-body parasitic capacitance between two placed components.
 struct Body {
-  geom::Vec3 center_mm;
-  double equiv_radius_mm;
+  geom::Vec3 center_mm;  // board frame, mm
+  Millimeters equiv_radius;
 };
-double body_capacitance(const Body& a, const Body& b);
+Farad body_capacitance(const Body& a, const Body& b);
 
 // The frequency above which a coupling capacitance C starts to matter
 // against a node impedance level Z0: f = 1 / (2*pi*Z0*C).
-double capacitive_corner_hz(double c_farad, double z0_ohm = 50.0);
+Hertz capacitive_corner(Farad c, Ohm z0 = Ohm{50.0});
 
 }  // namespace emi::peec

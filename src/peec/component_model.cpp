@@ -7,12 +7,12 @@ namespace emi::peec {
 
 namespace {
 
-ComponentFieldModel capacitor_loop(const std::string& name, double width_mm,
-                                   double height_mm, double lead_radius_mm) {
+ComponentFieldModel capacitor_loop(const std::string& name, Millimeters width,
+                                   Millimeters height, Millimeters lead_radius) {
   ComponentFieldModel m;
   m.name = name;
   m.kind = ModelKind::kCapacitorLoop;
-  m.local_path = rectangular_loop(width_mm, height_mm, lead_radius_mm);
+  m.local_path = rectangular_loop(width, height, lead_radius);
   m.local_axis = {0.0, 1.0, 0.0};  // loop lies in x/z, normal = +y
   return m;
 }
@@ -20,18 +20,17 @@ ComponentFieldModel capacitor_loop(const std::string& name, double width_mm,
 }  // namespace
 
 ComponentFieldModel x_capacitor(const std::string& name, const XCapacitorParams& p) {
-  return capacitor_loop(name, p.pin_pitch_mm, p.loop_height_mm + p.standoff_mm,
-                        p.lead_radius_mm);
+  return capacitor_loop(name, p.pin_pitch, p.loop_height + p.standoff, p.lead_radius);
 }
 
 ComponentFieldModel tantalum_capacitor(const std::string& name,
                                        const TantalumCapParams& p) {
-  return capacitor_loop(name, p.body_length_mm, p.loop_height_mm, p.lead_radius_mm);
+  return capacitor_loop(name, p.body_length, p.loop_height, p.lead_radius);
 }
 
 ComponentFieldModel electrolytic_capacitor(const std::string& name,
                                            const ElectrolyticCapParams& p) {
-  return capacitor_loop(name, p.lead_spacing_mm, p.can_height_mm, p.lead_radius_mm);
+  return capacitor_loop(name, p.lead_spacing, p.can_height, p.lead_radius);
 }
 
 ComponentFieldModel bobbin_coil(const std::string& name, const BobbinCoilParams& p) {
@@ -40,10 +39,10 @@ ComponentFieldModel bobbin_coil(const std::string& name, const BobbinCoilParams&
   m.kind = ModelKind::kBobbinCoil;
   // Coil center sits one radius above the board; axis along +y in the board
   // plane so that component rotation changes the coupling geometry.
-  const Vec3 center{0.0, 0.0, p.radius_mm};
+  const Vec3 center{0.0, 0.0, p.radius.raw()};
   const Vec3 axis{0.0, 1.0, 0.0};
-  m.local_path = solenoid(center, axis, p.radius_mm, p.length_mm, p.turns, p.n_rings,
-                          p.n_facets, p.wire_radius_mm);
+  m.local_path = solenoid(center, axis, p.radius, p.length, p.turns, p.n_rings,
+                          p.n_facets, p.wire_radius);
   m.local_axis = axis;
   m.mu_eff = p.mu_eff;
   return m;
@@ -56,7 +55,7 @@ ComponentFieldModel cm_choke(const std::string& name, const CmChokeParams& p) {
   ComponentFieldModel m;
   m.name = name;
   m.kind = ModelKind::kCmChoke;
-  const Vec3 center{0.0, 0.0, p.minor_radius_mm + 1.0};  // toroid lying flat
+  const Vec3 center{0.0, 0.0, p.minor_radius.raw() + 1.0};  // toroid lying flat
   const double pitch = 360.0 / static_cast<double>(p.n_windings);
   SegmentPath path;
   for (std::size_t w = 0; w < p.n_windings; ++w) {
@@ -73,10 +72,10 @@ ComponentFieldModel cm_choke(const std::string& name, const CmChokeParams& p) {
     }
     if (sense == 0) continue;
     const double start = static_cast<double>(w) * pitch - p.sector_span_deg / 2.0;
-    SegmentPath sector = toroid_sector_winding(center, p.major_radius_mm,
-                                               p.minor_radius_mm, start,
+    SegmentPath sector = toroid_sector_winding(center, p.major_radius,
+                                               p.minor_radius, start,
                                                p.sector_span_deg, p.turns_per_winding,
-                                               p.n_rings, p.n_facets, p.wire_radius_mm,
+                                               p.n_rings, p.n_facets, p.wire_radius,
                                                sense);
     path.segments.insert(path.segments.end(), sector.segments.begin(),
                          sector.segments.end());
@@ -92,11 +91,11 @@ ComponentFieldModel cm_choke(const std::string& name, const CmChokeParams& p) {
 }
 
 ComponentFieldModel trace_model(const std::string& name, const Vec3& a, const Vec3& b,
-                                double width_mm, double thickness_mm) {
+                                Millimeters width, Millimeters thickness) {
   ComponentFieldModel m;
   m.name = name;
   m.kind = ModelKind::kTrace;
-  m.local_path = trace(a, b, width_mm, thickness_mm);
+  m.local_path = trace(a, b, width, thickness);
   const Vec3 d = (b - a).normalized();
   // The stray field of a straight trace circulates around it; use the
   // in-plane perpendicular as the nominal axis for rule purposes.

@@ -16,6 +16,7 @@
 #include <cstddef>
 #include <string>
 
+#include "src/core/units.hpp"
 #include "src/peec/winding.hpp"
 
 namespace emi::peec {
@@ -45,27 +46,27 @@ struct ComponentFieldModel {
 // Film X/safety capacitor (e.g. the paper's 1.5 uF X-capacitors, Fig 5):
 // the pin-body-pin current path forms a loop of pin pitch x loop height.
 struct XCapacitorParams {
-  double pin_pitch_mm = 22.5;
-  double loop_height_mm = 10.0;
-  double lead_radius_mm = 0.4;
-  double standoff_mm = 1.0;  // board-to-body gap included in the loop
+  Millimeters pin_pitch{22.5};
+  Millimeters loop_height{10.0};
+  Millimeters lead_radius{0.4};
+  Millimeters standoff{1.0};  // board-to-body gap included in the loop
 };
 ComponentFieldModel x_capacitor(const std::string& name, const XCapacitorParams& p = {});
 
 // SMD tantalum electrolytic capacitor (paper Fig 3): a small flat loop.
 struct TantalumCapParams {
-  double body_length_mm = 5.0;
-  double loop_height_mm = 2.0;
-  double lead_radius_mm = 0.3;
+  Millimeters body_length{5.0};
+  Millimeters loop_height{2.0};
+  Millimeters lead_radius{0.3};
 };
 ComponentFieldModel tantalum_capacitor(const std::string& name,
                                        const TantalumCapParams& p = {});
 
 // Radial electrolytic capacitor: taller loop (lead spacing x can height).
 struct ElectrolyticCapParams {
-  double lead_spacing_mm = 5.0;
-  double can_height_mm = 12.0;
-  double lead_radius_mm = 0.35;
+  Millimeters lead_spacing{5.0};
+  Millimeters can_height{12.0};
+  Millimeters lead_radius{0.35};
 };
 ComponentFieldModel electrolytic_capacitor(const std::string& name,
                                            const ElectrolyticCapParams& p = {});
@@ -74,12 +75,12 @@ ComponentFieldModel electrolytic_capacitor(const std::string& name,
 // an effective-permeability core correction. Axis along local +y (in the
 // board plane) so that rotating the component rotates its magnetic axis.
 struct BobbinCoilParams {
-  double radius_mm = 6.0;
-  double length_mm = 12.0;
+  Millimeters radius{6.0};
+  Millimeters length{12.0};
   std::size_t turns = 40;
   std::size_t n_rings = 5;
   std::size_t n_facets = 12;
-  double wire_radius_mm = 0.4;
+  Millimeters wire_radius{0.4};
   double mu_eff = 8.0;  // typical open-magnetic-path bobbin core
 };
 ComponentFieldModel bobbin_coil(const std::string& name, const BobbinCoilParams& p = {});
@@ -92,12 +93,12 @@ ComponentFieldModel bobbin_coil(const std::string& name, const BobbinCoilParams&
 // windings the sector symmetry leaves no decoupled position.
 struct CmChokeParams {
   std::size_t n_windings = 2;        // 2 or 3
-  double major_radius_mm = 10.0;
-  double minor_radius_mm = 3.5;
+  Millimeters major_radius{10.0};
+  Millimeters minor_radius{3.5};
   std::size_t turns_per_winding = 12;
   std::size_t n_rings = 6;           // rings per winding
   std::size_t n_facets = 10;
-  double wire_radius_mm = 0.5;
+  Millimeters wire_radius{0.5};
   double sector_span_deg = 140.0;    // occupied arc per winding
   double mu_eff = 30.0;              // effective (leakage-path) permeability
   // For 3-winding (three-phase) chokes the leakage excitation rotates with
@@ -111,6 +112,7 @@ ComponentFieldModel cm_choke(const std::string& name, const CmChokeParams& p = {
 
 // Straight PCB trace (with return loop implied elsewhere in the netlist).
 ComponentFieldModel trace_model(const std::string& name, const Vec3& a, const Vec3& b,
-                                double width_mm = 1.0, double thickness_mm = 0.035);
+                                Millimeters width = Millimeters{1.0},
+                                Millimeters thickness = Millimeters{0.035});
 
 }  // namespace emi::peec

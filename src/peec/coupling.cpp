@@ -66,7 +66,7 @@ std::size_t CouplingExtractor::MutualKeyHash::operator()(const MutualKey& k) con
   return static_cast<std::size_t>(h);
 }
 
-double CouplingExtractor::self_inductance(const ComponentFieldModel& m) const {
+Henry CouplingExtractor::self_inductance(const ComponentFieldModel& m) const {
   const std::uint64_t id = model_digest(m);
   // Injected cache miss: recompute instead of returning the memoized value.
   // Entries are pure functions of the key, so this perturbs timing and hit
@@ -78,7 +78,7 @@ double CouplingExtractor::self_inductance(const ComponentFieldModel& m) const {
     std::shared_lock lock(self_mu_);
     if (const auto it = self_cache_.find(id); it != self_cache_.end()) {
       self_hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
+      return Henry{it->second};
     }
   }
   self_misses_.fetch_add(1, std::memory_order_relaxed);
@@ -88,10 +88,10 @@ double CouplingExtractor::self_inductance(const ComponentFieldModel& m) const {
     std::unique_lock lock(self_mu_);
     self_cache_.emplace(id, l);
   }
-  return l;
+  return Henry{l};
 }
 
-double CouplingExtractor::mutual(const PlacedModel& a, const PlacedModel& b) const {
+Henry CouplingExtractor::mutual(const PlacedModel& a, const PlacedModel& b) const {
   if (a.model == nullptr || b.model == nullptr) {
     throw std::invalid_argument("CouplingExtractor::mutual: null model");
   }
@@ -138,7 +138,7 @@ double CouplingExtractor::mutual(const PlacedModel& a, const PlacedModel& b) con
     std::shared_lock lock(mutual_mu_);
     if (const auto it = mutual_cache_.find(key); it != mutual_cache_.end()) {
       mutual_hits_.fetch_add(1, std::memory_order_relaxed);
-      return stray * it->second;
+      return Henry{stray * it->second};
     }
   }
   mutual_misses_.fetch_add(1, std::memory_order_relaxed);
@@ -153,37 +153,38 @@ double CouplingExtractor::mutual(const PlacedModel& a, const PlacedModel& b) con
     if (mutual_cache_.size() >= kMutualCacheCap) mutual_cache_.clear();
     mutual_cache_.emplace(key, m_air);
   }
-  return stray * m_air;
+  return Henry{stray * m_air};
 }
 
 double CouplingExtractor::coupling_factor(const PlacedModel& a,
                                           const PlacedModel& b) const {
-  const double la = self_inductance(*a.model);
-  const double lb = self_inductance(*b.model);
-  if (la <= 0.0 || lb <= 0.0) return 0.0;
-  return mutual(a, b) / std::sqrt(la * lb);
+  const Henry la = self_inductance(*a.model);
+  const Henry lb = self_inductance(*b.model);
+  if (la.raw() <= 0.0 || lb.raw() <= 0.0) return 0.0;
+  // M / sqrt(La * Lb) is dimensionless; the quantity algebra checks it.
+  return mutual(a, b) / units::sqrt(la * lb);
 }
 
 double CouplingExtractor::coupling_at(const ComponentFieldModel& a,
                                       const ComponentFieldModel& b,
-                                      double center_distance_mm, double rot_a_deg,
+                                      Millimeters center_distance, double rot_a_deg,
                                       double rot_b_deg) const {
   const PlacedModel pa{&a, Pose{{0.0, 0.0, 0.0}, rot_a_deg}};
-  const PlacedModel pb{&b, Pose{{center_distance_mm, 0.0, 0.0}, rot_b_deg}};
+  const PlacedModel pb{&b, Pose{{center_distance.raw(), 0.0, 0.0}, rot_b_deg}};
   return coupling_factor(pa, pb);
 }
 
 std::vector<CouplingExtractor::CurvePoint> CouplingExtractor::coupling_vs_distance(
-    const ComponentFieldModel& a, const ComponentFieldModel& b, double d_min_mm,
-    double d_max_mm, std::size_t n_points, double rot_b_deg) const {
-  if (n_points < 2 || d_max_mm <= d_min_mm) {
+    const ComponentFieldModel& a, const ComponentFieldModel& b, Millimeters d_min,
+    Millimeters d_max, std::size_t n_points, double rot_b_deg) const {
+  if (n_points < 2 || d_max <= d_min) {
     throw std::invalid_argument("coupling_vs_distance: bad sweep range");
   }
   std::vector<CurvePoint> out;
   out.reserve(n_points);
   for (std::size_t i = 0; i < n_points; ++i) {
-    const double d = d_min_mm + (d_max_mm - d_min_mm) * static_cast<double>(i) /
-                                    static_cast<double>(n_points - 1);
+    const Millimeters d = d_min + (d_max - d_min) * (static_cast<double>(i) /
+                                                     static_cast<double>(n_points - 1));
     out.push_back({d, std::fabs(coupling_at(a, b, d, 0.0, rot_b_deg))});
   }
   return out;
@@ -191,29 +192,30 @@ std::vector<CouplingExtractor::CurvePoint> CouplingExtractor::coupling_vs_distan
 
 std::vector<CouplingExtractor::AnglePoint> CouplingExtractor::coupling_vs_angle(
     const ComponentFieldModel& a, const ComponentFieldModel& b,
-    double center_distance_mm, std::size_t n_points) const {
+    Millimeters center_distance, std::size_t n_points) const {
   if (n_points < 2) throw std::invalid_argument("coupling_vs_angle: need points");
   std::vector<AnglePoint> out;
   out.reserve(n_points);
   for (std::size_t i = 0; i < n_points; ++i) {
     const double ang = 90.0 * static_cast<double>(i) / static_cast<double>(n_points - 1);
-    out.push_back({ang, coupling_at(a, b, center_distance_mm, 0.0, ang)});
+    out.push_back({ang, coupling_at(a, b, center_distance, 0.0, ang)});
   }
   return out;
 }
 
-double CouplingExtractor::min_distance_for_coupling(const ComponentFieldModel& a,
-                                                    const ComponentFieldModel& b,
-                                                    double k_threshold, double d_lo_mm,
-                                                    double d_hi_mm, double tol_mm) const {
+Millimeters CouplingExtractor::min_distance_for_coupling(
+    const ComponentFieldModel& a, const ComponentFieldModel& b, double k_threshold,
+    Millimeters d_lo, Millimeters d_hi, Millimeters tol) const {
   if (k_threshold <= 0.0) throw std::invalid_argument("min_distance: threshold <= 0");
-  if (d_hi_mm <= d_lo_mm) throw std::invalid_argument("min_distance: bad bracket");
-  const auto k_at = [&](double d) { return std::fabs(coupling_at(a, b, d, 0.0, 0.0)); };
-  if (k_at(d_lo_mm) <= k_threshold) return d_lo_mm;
-  if (k_at(d_hi_mm) > k_threshold) return d_hi_mm;
-  double lo = d_lo_mm, hi = d_hi_mm;
-  while (hi - lo > tol_mm) {
-    const double mid = 0.5 * (lo + hi);
+  if (d_hi <= d_lo) throw std::invalid_argument("min_distance: bad bracket");
+  const auto k_at = [&](Millimeters d) {
+    return std::fabs(coupling_at(a, b, d, 0.0, 0.0));
+  };
+  if (k_at(d_lo) <= k_threshold) return d_lo;
+  if (k_at(d_hi) > k_threshold) return d_hi;
+  Millimeters lo = d_lo, hi = d_hi;
+  while (hi - lo > tol) {
+    const Millimeters mid = 0.5 * (lo + hi);
     if (k_at(mid) > k_threshold) {
       lo = mid;
     } else {

@@ -24,10 +24,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/core/units.hpp"
 #include "src/peec/component_model.hpp"
 #include "src/peec/partial_inductance.hpp"
 
 namespace emi::peec {
+
+using units::Henry;
 
 struct PlacedModel {
   const ComponentFieldModel* model = nullptr;
@@ -54,13 +57,13 @@ class CouplingExtractor {
   const QuadratureOptions& options() const { return opt_; }
 
   // Effective self inductance (air-core PEEC result scaled by mu_eff).
-  double self_inductance(const ComponentFieldModel& m) const;
+  Henry self_inductance(const ComponentFieldModel& m) const;
 
   // Mutual inductance between two placed models (air-core Neumann result
   // scaled by the models' stray factors). Evaluated in the pair's canonical
   // relative frame, so the result is invariant under rigid motion of the
   // pair and symmetric in the arguments, bit-for-bit.
-  double mutual(const PlacedModel& a, const PlacedModel& b) const;
+  Henry mutual(const PlacedModel& a, const PlacedModel& b) const;
 
   // Coupling factor k = M / sqrt(La * Lb). Signed: the sign indicates field
   // orientation; design rules use |k|.
@@ -69,17 +72,17 @@ class CouplingExtractor {
   // Convenience: k with model A at the origin (rotation rot_a_deg) and model
   // B at center distance d along +x (rotation rot_b_deg).
   double coupling_at(const ComponentFieldModel& a, const ComponentFieldModel& b,
-                     double center_distance_mm, double rot_a_deg = 0.0,
+                     Millimeters center_distance, double rot_a_deg = 0.0,
                      double rot_b_deg = 0.0) const;
 
   struct CurvePoint {
-    double distance_mm;
+    Millimeters distance;
     double k;
   };
   // |k| sampled over [d_min, d_max]; the Fig 5 / Fig 7 sweeps.
   std::vector<CurvePoint> coupling_vs_distance(const ComponentFieldModel& a,
                                                const ComponentFieldModel& b,
-                                               double d_min_mm, double d_max_mm,
+                                               Millimeters d_min, Millimeters d_max,
                                                std::size_t n_points,
                                                double rot_b_deg = 0.0) const;
 
@@ -91,17 +94,18 @@ class CouplingExtractor {
   // orientation sweep, expected ~ k0 * cos(angle).
   std::vector<AnglePoint> coupling_vs_angle(const ComponentFieldModel& a,
                                             const ComponentFieldModel& b,
-                                            double center_distance_mm,
+                                            Millimeters center_distance,
                                             std::size_t n_points) const;
 
   // Smallest center distance at which |k| drops to `k_threshold` with
   // parallel magnetic axes - the PEMD design rule. Monotone bisection over
   // [d_lo, d_hi]; returns d_lo if even the closest spacing is below
   // threshold, d_hi if the threshold cannot be met in range.
-  double min_distance_for_coupling(const ComponentFieldModel& a,
-                                   const ComponentFieldModel& b, double k_threshold,
-                                   double d_lo_mm, double d_hi_mm,
-                                   double tol_mm = 0.1) const;
+  Millimeters min_distance_for_coupling(const ComponentFieldModel& a,
+                                        const ComponentFieldModel& b,
+                                        double k_threshold, Millimeters d_lo,
+                                        Millimeters d_hi,
+                                        Millimeters tol = Millimeters{0.1}) const;
 
   ExtractionCacheStats cache_stats() const;
 

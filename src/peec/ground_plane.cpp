@@ -24,7 +24,7 @@ SegmentPath with_ground_plane(const SegmentPath& path, double plane_z) {
   return out;
 }
 
-double GroundedCouplingExtractor::self_inductance(const ComponentFieldModel& m) const {
+Henry GroundedCouplingExtractor::self_inductance(const ComponentFieldModel& m) const {
   // Note: unlike the free-space extractor this is not cached; grounded
   // extraction is used for rule studies, not inner loops.
   const SegmentPath mirrored = with_ground_plane(m.local_path, plane_z_);
@@ -50,11 +50,11 @@ double GroundedCouplingExtractor::self_inductance(const ComponentFieldModel& m) 
       l += r.weight * img.weight * mutual_neumann(r, img, opt_);
     }
   }
-  return m.mu_eff * l;
+  return Henry{m.mu_eff * l};
 }
 
-double GroundedCouplingExtractor::mutual(const PlacedModel& a,
-                                         const PlacedModel& b) const {
+Henry GroundedCouplingExtractor::mutual(const PlacedModel& a,
+                                        const PlacedModel& b) const {
   if (a.model == nullptr || b.model == nullptr) {
     throw std::invalid_argument("GroundedCouplingExtractor::mutual: null model");
   }
@@ -62,23 +62,23 @@ double GroundedCouplingExtractor::mutual(const PlacedModel& a,
   // full mirrored source path against the real segments of b.
   const SegmentPath pa = with_ground_plane(a.model->path_at(a.pose), plane_z_);
   const SegmentPath pb = b.model->path_at(b.pose);
-  return a.model->stray_scale * b.model->stray_scale * path_mutual(pa, pb, opt_);
+  return Henry{a.model->stray_scale * b.model->stray_scale * path_mutual(pa, pb, opt_)};
 }
 
 double GroundedCouplingExtractor::coupling_factor(const PlacedModel& a,
                                                   const PlacedModel& b) const {
-  const double la = self_inductance(*a.model);
-  const double lb = self_inductance(*b.model);
-  if (la <= 0.0 || lb <= 0.0) return 0.0;
-  return mutual(a, b) / std::sqrt(la * lb);
+  const Henry la = self_inductance(*a.model);
+  const Henry lb = self_inductance(*b.model);
+  if (la.raw() <= 0.0 || lb.raw() <= 0.0) return 0.0;
+  return mutual(a, b) / units::sqrt(la * lb);
 }
 
 double GroundedCouplingExtractor::coupling_at(const ComponentFieldModel& a,
                                               const ComponentFieldModel& b,
-                                              double center_distance_mm,
+                                              Millimeters center_distance,
                                               double rot_a_deg, double rot_b_deg) const {
   const PlacedModel pa{&a, Pose{{0.0, 0.0, 0.0}, rot_a_deg}};
-  const PlacedModel pb{&b, Pose{{center_distance_mm, 0.0, 0.0}, rot_b_deg}};
+  const PlacedModel pb{&b, Pose{{center_distance.raw(), 0.0, 0.0}, rot_b_deg}};
   return coupling_factor(pa, pb);
 }
 

@@ -37,11 +37,11 @@ class GroundedCouplingExtractor {
   GroundedCouplingExtractor(double plane_z, QuadratureOptions opt = {})
       : plane_z_(plane_z), opt_(opt) {}
 
-  double self_inductance(const ComponentFieldModel& m) const;
-  double mutual(const PlacedModel& a, const PlacedModel& b) const;
+  Henry self_inductance(const ComponentFieldModel& m) const;
+  Henry mutual(const PlacedModel& a, const PlacedModel& b) const;
   double coupling_factor(const PlacedModel& a, const PlacedModel& b) const;
   double coupling_at(const ComponentFieldModel& a, const ComponentFieldModel& b,
-                     double center_distance_mm, double rot_a_deg = 0.0,
+                     Millimeters center_distance, double rot_a_deg = 0.0,
                      double rot_b_deg = 0.0) const;
 
  private:

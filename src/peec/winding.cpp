@@ -26,10 +26,12 @@ void perp_frame(const Vec3& axis, Vec3& u, Vec3& v) {
 
 }  // namespace
 
-SegmentPath ring(const Vec3& center, const Vec3& axis, double radius_mm,
-                 std::size_t n_facets, double wire_radius_mm, double weight) {
+SegmentPath ring(const Vec3& center, const Vec3& axis, Millimeters radius,
+                 std::size_t n_facets, Millimeters wire_radius, double weight) {
   if (n_facets < 3) throw std::invalid_argument("ring: need at least 3 facets");
-  if (radius_mm <= 0.0) throw std::invalid_argument("ring: nonpositive radius");
+  if (radius.raw() <= 0.0) throw std::invalid_argument("ring: nonpositive radius");
+  const double radius_mm = radius.raw();
+  const double wire_radius_mm = wire_radius.raw();
   Vec3 u, v;
   perp_frame(axis, u, v);
   SegmentPath out;
@@ -45,9 +47,10 @@ SegmentPath ring(const Vec3& center, const Vec3& axis, double radius_mm,
   return out;
 }
 
-SegmentPath solenoid(const Vec3& center, const Vec3& axis, double radius_mm,
-                     double length_mm, std::size_t turns, std::size_t n_rings,
-                     std::size_t n_facets, double wire_radius_mm) {
+SegmentPath solenoid(const Vec3& center, const Vec3& axis, Millimeters radius,
+                     Millimeters length, std::size_t turns, std::size_t n_rings,
+                     std::size_t n_facets, Millimeters wire_radius) {
+  const double length_mm = length.raw();
   if (n_rings == 0) throw std::invalid_argument("solenoid: need at least 1 ring");
   if (turns == 0) throw std::invalid_argument("solenoid: need at least 1 turn");
   const Vec3 n = axis.normalized();
@@ -59,19 +62,20 @@ SegmentPath solenoid(const Vec3& center, const Vec3& axis, double radius_mm,
         n_rings == 1 ? 0.0
                      : (static_cast<double>(i) + 0.5) / static_cast<double>(n_rings) - 0.5;
     const Vec3 c = center + n * (frac * length_mm);
-    SegmentPath r = ring(c, n, radius_mm, n_facets, wire_radius_mm, turns_per_ring);
+    SegmentPath r = ring(c, n, radius, n_facets, wire_radius, turns_per_ring);
     out.segments.insert(out.segments.end(), r.segments.begin(), r.segments.end());
   }
   return out;
 }
 
-SegmentPath toroid_sector_winding(const Vec3& center, double major_radius_mm,
-                                  double minor_radius_mm, double sector_start_deg,
+SegmentPath toroid_sector_winding(const Vec3& center, Millimeters major_radius,
+                                  Millimeters minor_radius, double sector_start_deg,
                                   double sector_span_deg, std::size_t turns,
                                   std::size_t n_rings, std::size_t n_facets,
-                                  double wire_radius_mm, int sense) {
+                                  Millimeters wire_radius, int sense) {
   if (n_rings == 0) throw std::invalid_argument("toroid_sector_winding: need rings");
-  if (major_radius_mm <= minor_radius_mm) {
+  const double major_radius_mm = major_radius.raw();
+  if (major_radius <= minor_radius) {
     throw std::invalid_argument("toroid_sector_winding: major radius must exceed minor");
   }
   const double turns_per_ring = static_cast<double>(turns) / static_cast<double>(n_rings);
@@ -84,18 +88,20 @@ SegmentPath toroid_sector_winding(const Vec3& center, double major_radius_mm,
     // The winding ring encircles the core: its axis is the toroid tangent.
     const Vec3 tangent{-std::sin(phi), std::cos(phi), 0.0};
     SegmentPath r =
-        ring(c, tangent, minor_radius_mm, n_facets, wire_radius_mm, sgn * turns_per_ring);
+        ring(c, tangent, minor_radius, n_facets, wire_radius, sgn * turns_per_ring);
     out.segments.insert(out.segments.end(), r.segments.begin(), r.segments.end());
   }
   return out;
 }
 
-SegmentPath rectangular_loop(double width_mm, double height_mm, double wire_radius_mm,
-                             double weight) {
-  if (width_mm <= 0.0 || height_mm <= 0.0) {
+SegmentPath rectangular_loop(Millimeters width, Millimeters height,
+                             Millimeters wire_radius, double weight) {
+  if (width.raw() <= 0.0 || height.raw() <= 0.0) {
     throw std::invalid_argument("rectangular_loop: nonpositive dimensions");
   }
-  const double w = width_mm / 2.0;
+  const double height_mm = height.raw();
+  const double wire_radius_mm = wire_radius.raw();
+  const double w = width.raw() / 2.0;
   // Loop in the x/z plane; normal along +y.
   const Vec3 p0{-w, 0.0, 0.0};
   const Vec3 p1{-w, 0.0, height_mm};
@@ -109,9 +115,10 @@ SegmentPath rectangular_loop(double width_mm, double height_mm, double wire_radi
   return out;
 }
 
-SegmentPath trace(const Vec3& a, const Vec3& b, double width_mm, double thickness_mm) {
+SegmentPath trace(const Vec3& a, const Vec3& b, Millimeters width,
+                  Millimeters thickness) {
   SegmentPath out;
-  out.segments.push_back({a, b, equivalent_radius(width_mm, thickness_mm), 1.0});
+  out.segments.push_back({a, b, equivalent_radius(width.raw(), thickness.raw()), 1.0});
   return out;
 }
 

@@ -6,10 +6,13 @@
 
 #include <cstddef>
 
+#include "src/core/units.hpp"
 #include "src/geom/angle.hpp"
 #include "src/peec/segment.hpp"
 
 namespace emi::peec {
+
+using units::Millimeters;
 
 // Rigid placement of a component model in board coordinates: translate by
 // `position` (mm) after rotating about the z axis by `rot_deg` CCW.
@@ -31,15 +34,15 @@ SegmentPath transformed(const SegmentPath& path, const Pose& pose);
 // `center`, with ring plane normal `axis` (unit). `weight` carries the turn
 // count when one ring stands for several tightly wound turns ("segmented
 // rings" in the paper's Fig 11 description).
-SegmentPath ring(const Vec3& center, const Vec3& axis, double radius_mm,
-                 std::size_t n_facets, double wire_radius_mm, double weight = 1.0);
+SegmentPath ring(const Vec3& center, const Vec3& axis, Millimeters radius,
+                 std::size_t n_facets, Millimeters wire_radius, double weight = 1.0);
 
 // Solenoid approximation of a bobbin coil: `n_rings` segmented rings evenly
 // spaced over `length_mm` along `axis`, each standing for turns/n_rings
 // turns.
-SegmentPath solenoid(const Vec3& center, const Vec3& axis, double radius_mm,
-                     double length_mm, std::size_t turns, std::size_t n_rings,
-                     std::size_t n_facets, double wire_radius_mm);
+SegmentPath solenoid(const Vec3& center, const Vec3& axis, Millimeters radius,
+                     Millimeters length, std::size_t turns, std::size_t n_rings,
+                     std::size_t n_facets, Millimeters wire_radius);
 
 // Winding covering an angular sector of a toroid. The toroid lies in the
 // x/y plane, centered at `center`, with major radius R and minor (winding)
@@ -48,20 +51,22 @@ SegmentPath solenoid(const Vec3& center, const Vec3& axis, double radius_mm,
 // axes follow the toroid circumference. `sense` (+1/-1) sets the winding
 // direction, which is what differentiates common-mode from differential-mode
 // excitation of a current-compensated choke.
-SegmentPath toroid_sector_winding(const Vec3& center, double major_radius_mm,
-                                  double minor_radius_mm, double sector_start_deg,
+SegmentPath toroid_sector_winding(const Vec3& center, Millimeters major_radius,
+                                  Millimeters minor_radius, double sector_start_deg,
                                   double sector_span_deg, std::size_t turns,
                                   std::size_t n_rings, std::size_t n_facets,
-                                  double wire_radius_mm, int sense = +1);
+                                  Millimeters wire_radius, int sense = +1);
 
 // Planar rectangular current loop in the x/z plane (a capacitor's
 // pin-body-pin current path standing `height` above the board): from pin 1
 // up, across the body, down to pin 2. The loop normal (magnetic axis) points
 // along +y in the local frame.
-SegmentPath rectangular_loop(double width_mm, double height_mm, double wire_radius_mm,
-                             double weight = 1.0);
+SegmentPath rectangular_loop(Millimeters width, Millimeters height,
+                             Millimeters wire_radius, double weight = 1.0);
 
-// Straight trace bar from a to b with rectangular cross-section.
-SegmentPath trace(const Vec3& a, const Vec3& b, double width_mm, double thickness_mm);
+// Straight trace bar from a to b (endpoints in mm, board frame) with
+// rectangular cross-section.
+SegmentPath trace(const Vec3& a, const Vec3& b, Millimeters width,
+                  Millimeters thickness);
 
 }  // namespace emi::peec

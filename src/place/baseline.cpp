@@ -30,9 +30,9 @@ bool legal(const Design& d, const Layout& layout, std::size_t comp,
     if (j == comp) continue;
     const Placement& pj = layout.placements[j];
     if (!pj.placed || pj.board != cand.board) continue;
-    if (!geom::clearance_ok(fp, d.footprint(j, pj), d.clearance())) return false;
+    if (!geom::clearance_ok(fp, d.footprint(j, pj), d.clearance().raw())) return false;
     if (honor_emd) {
-      const double emd = d.effective_emd(comp, cand, j, pj);
+      const double emd = d.effective_emd(comp, cand, j, pj).raw();
       if (emd > 0.0 && geom::distance(cand.position, pj.position) < emd) return false;
     }
   }

@@ -38,13 +38,13 @@ void Design::add_area(Area a) {
 
 void Design::add_keepout(Keepout k) { keepouts_.push_back(std::move(k)); }
 
-void Design::add_emd_rule(const std::string& a, const std::string& b, double pemd_mm) {
-  if (pemd_mm < 0.0) throw std::invalid_argument("PEMD must be >= 0");
+void Design::add_emd_rule(const std::string& a, const std::string& b, Millimeters pemd) {
+  if (pemd.raw() < 0.0) throw std::invalid_argument("PEMD must be >= 0");
   const std::size_t i = component_index(a);
   const std::size_t j = component_index(b);
   if (i == j) throw std::invalid_argument("EMD rule on a single component: " + a);
-  emd_rules_.push_back({a, b, pemd_mm});
-  pemd_[pair_key(i, j)] = pemd_mm;
+  emd_rules_.push_back({a, b, pemd});
+  pemd_[pair_key(i, j)] = pemd.raw();
 }
 
 std::size_t Design::component_index(const std::string& name) const {
@@ -59,9 +59,9 @@ std::optional<std::size_t> Design::find_component(const std::string& name) const
   return it->second;
 }
 
-double Design::pemd(std::size_t i, std::size_t j) const {
+Millimeters Design::pemd(std::size_t i, std::size_t j) const {
   const auto it = pemd_.find(pair_key(i, j));
-  return it == pemd_.end() ? 0.0 : it->second;
+  return Millimeters{it == pemd_.end() ? 0.0 : it->second};
 }
 
 std::vector<const Area*> Design::areas_for(std::size_t comp, int board) const {
@@ -104,10 +104,10 @@ double Design::axis_deg(std::size_t i, const Placement& p) const {
   return geom::normalize_deg(components_.at(i).axis_deg + p.rot_deg);
 }
 
-double Design::effective_emd(std::size_t i, const Placement& pi, std::size_t j,
-                             const Placement& pj) const {
-  const double rule = pemd(i, j);
-  if (rule <= 0.0) return 0.0;
+Millimeters Design::effective_emd(std::size_t i, const Placement& pi, std::size_t j,
+                                  const Placement& pj) const {
+  const Millimeters rule = pemd(i, j);
+  if (rule.raw() <= 0.0) return Millimeters{0.0};
   const double alpha = geom::axis_angle_deg(axis_deg(i, pi), axis_deg(j, pj));
   return rule * std::fabs(std::cos(geom::deg_to_rad(alpha)));
 }

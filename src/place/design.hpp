@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/core/units.hpp"
 #include "src/geom/angle.hpp"
 #include "src/geom/collision.hpp"
 #include "src/geom/cuboid.hpp"
@@ -22,6 +23,8 @@
 #include "src/geom/rect.hpp"
 
 namespace emi::place {
+
+using units::Millimeters;
 
 // A pin location in the component frame (component center = origin,
 // rotation 0). Pins drive net-length estimation.
@@ -79,7 +82,7 @@ struct Keepout {
 struct EmdRule {
   std::string comp_a;
   std::string comp_b;
-  double pemd_mm = 0.0;
+  Millimeters pemd{0.0};
 };
 
 // Placement state of one component.
@@ -97,8 +100,8 @@ class Design {
   void add_net(Net n);
   void add_area(Area a);
   void add_keepout(Keepout k);
-  void add_emd_rule(const std::string& a, const std::string& b, double pemd_mm);
-  void set_clearance(double mm) { clearance_mm_ = mm; }
+  void add_emd_rule(const std::string& a, const std::string& b, Millimeters pemd);
+  void set_clearance(Millimeters c) { clearance_mm_ = c.raw(); }
   void set_board_count(int n) { n_boards_ = n; }
 
   // Access -----------------------------------------------------------------
@@ -108,14 +111,14 @@ class Design {
   const std::vector<Area>& areas() const { return areas_; }
   const std::vector<Keepout>& keepouts() const { return keepouts_; }
   const std::vector<EmdRule>& emd_rules() const { return emd_rules_; }
-  double clearance() const { return clearance_mm_; }
+  Millimeters clearance() const { return Millimeters{clearance_mm_}; }
   int board_count() const { return n_boards_; }
 
   std::size_t component_index(const std::string& name) const;
   std::optional<std::size_t> find_component(const std::string& name) const;
 
   // PEMD between component indices (0 if no rule).
-  double pemd(std::size_t i, std::size_t j) const;
+  Millimeters pemd(std::size_t i, std::size_t j) const;
 
   // Areas on a board that component i may use.
   std::vector<const Area*> areas_for(std::size_t comp, int board) const;
@@ -130,8 +133,8 @@ class Design {
   double axis_deg(std::size_t i, const Placement& p) const;
   // Effective minimum distance between placed components i and j:
   // EMD = PEMD * |cos(angle between magnetic axes)|.
-  double effective_emd(std::size_t i, const Placement& pi, std::size_t j,
-                       const Placement& pj) const;
+  Millimeters effective_emd(std::size_t i, const Placement& pi, std::size_t j,
+                            const Placement& pj) const;
   // Board-frame pin position.
   geom::Vec2 pin_position(std::size_t comp, const std::string& pin,
                           const Placement& p) const;

@@ -79,13 +79,13 @@ void DrcEngine::check_pair(const Layout& layout, std::size_t i, std::size_t j,
     out.push_back({ViolationKind::kOverlap, na, nb, 0.0, 0.0, "footprints overlap"});
   } else {
     const double gap = fi.gap_to(fj);
-    if (gap < d.clearance()) {
-      out.push_back({ViolationKind::kClearance, na, nb, gap, d.clearance(),
+    if (gap < d.clearance().raw()) {
+      out.push_back({ViolationKind::kClearance, na, nb, gap, d.clearance().raw(),
                      "edge gap below clearance"});
     }
   }
 
-  const double emd = d.effective_emd(i, pi, j, pj);
+  const double emd = d.effective_emd(i, pi, j, pj).raw();
   if (emd > 0.0) {
     const double dist = geom::distance(pi.position, pj.position);
     if (dist < emd) {
@@ -174,15 +174,16 @@ DrcReport DrcEngine::check(const Layout& layout) const {
     const std::size_t j = d.component_index(r.comp_b);
     const Placement& pi = layout.placements[i];
     const Placement& pj = layout.placements[j];
-    EmdStatus st{r.comp_a, r.comp_b, r.pemd_mm, 0.0, 0.0, false};
+    EmdStatus st{r.comp_a, r.comp_b, r.pemd, units::Millimeters{0.0},
+                 units::Millimeters{0.0}, false};
     if (pi.placed && pj.placed && pi.board == pj.board) {
-      st.effective_emd_mm = d.effective_emd(i, pi, j, pj);
-      st.distance_mm = geom::distance(pi.position, pj.position);
-      st.ok = st.distance_mm >= st.effective_emd_mm;
+      st.effective_emd = d.effective_emd(i, pi, j, pj);
+      st.distance = units::Millimeters{geom::distance(pi.position, pj.position)};
+      st.ok = st.distance >= st.effective_emd;
     } else if (pi.placed && pj.placed) {
       // Different boards: magnetically decoupled by construction.
-      st.effective_emd_mm = 0.0;
-      st.distance_mm = std::numeric_limits<double>::infinity();
+      st.effective_emd = units::Millimeters{0.0};
+      st.distance = units::Millimeters{std::numeric_limits<double>::infinity()};
       st.ok = true;
     }
     report.emd_status.push_back(st);

@@ -39,9 +39,9 @@ struct Violation {
 struct EmdStatus {
   std::string comp_a;
   std::string comp_b;
-  double pemd_mm;
-  double effective_emd_mm;  // after the cos(alpha) orientation reduction
-  double distance_mm;       // measured center-to-center
+  units::Millimeters pemd;
+  units::Millimeters effective_emd;  // after the cos(alpha) orientation reduction
+  units::Millimeters distance;       // measured center-to-center
   bool ok;
 };
 

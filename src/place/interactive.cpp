@@ -93,7 +93,7 @@ std::optional<double> InteractiveSession::suggest_rotation(
     for (std::size_t j = 0; j < design_->components().size(); ++j) {
       if (j == idx || !layout_.placements[j].placed) continue;
       if (layout_.placements[j].board != cand.board) continue;
-      const double emd = design_->effective_emd(idx, cand, j, layout_.placements[j]);
+      const double emd = design_->effective_emd(idx, cand, j, layout_.placements[j]).raw();
       if (emd > 0.0 &&
           geom::distance(cand.position, layout_.placements[j].position) < emd) {
         return false;

@@ -44,7 +44,7 @@ LayoutMetrics compute_metrics(const Design& d, const Layout& layout) {
     const Placement& pj = layout.placements[j];
     if (!pi.placed || !pj.placed || pi.board != pj.board) continue;
     any_rule = true;
-    const double emd = d.effective_emd(i, pi, j, pj);
+    const double emd = d.effective_emd(i, pi, j, pj).raw();
     const double slack = geom::distance(pi.position, pj.position) - emd;
     m.min_emd_slack_mm = std::min(m.min_emd_slack_mm, slack);
     if (slack < 0.0) ++m.emd_violations;

@@ -35,8 +35,8 @@ std::vector<std::size_t> SequentialPlacer::priority_order() const {
   for (const EmdRule& r : d.emd_rules()) {
     const std::size_t i = d.component_index(r.comp_a);
     const std::size_t j = d.component_index(r.comp_b);
-    emd_budget[i] += r.pemd_mm;
-    emd_budget[j] += r.pemd_mm;
+    emd_budget[i] += r.pemd.raw();
+    emd_budget[j] += r.pemd.raw();
   }
   std::vector<std::size_t> degree(n, 0);
   for (const Net& net : d.nets()) {
@@ -105,8 +105,8 @@ bool SequentialPlacer::is_legal(const Layout& layout, std::size_t comp,
     const Placement& pj = layout.placements[j];
     if (!pj.placed || pj.board != cand.board) continue;
     const geom::Rect fj = d.footprint(j, pj);
-    if (!geom::clearance_ok(fp, fj, d.clearance())) return false;
-    const double emd = d.effective_emd(comp, cand, j, pj);
+    if (!geom::clearance_ok(fp, fj, d.clearance().raw())) return false;
+    const double emd = d.effective_emd(comp, cand, j, pj).raw();
     if (emd > 0.0 && geom::distance(cand.position, pj.position) < emd) return false;
   }
 
@@ -326,7 +326,7 @@ PlaceStats SequentialPlacer::place(Layout& layout, const std::vector<double>& ro
     const geom::Rect fp0 = d.footprint(comp, proto);
     const double hw = fp0.width() / 2.0;
     const double hh = fp0.height() / 2.0;
-    const double cl = d.clearance() + 1e-6;
+    const double cl = d.clearance().raw() + 1e-6;
 
     // Contact candidates: slide against each placed component's footprint.
     for (std::size_t j = 0; j < n; ++j) {

@@ -9,7 +9,7 @@ namespace {
 
 double pair_emd(const Design& d, std::size_t i, double rot_i, std::size_t j,
                 double rot_j) {
-  const double rule = d.pemd(i, j);
+  const double rule = d.pemd(i, j).raw();
   if (rule <= 0.0) return 0.0;
   const double ai = d.components()[i].axis_deg + rot_i;
   const double aj = d.components()[j].axis_deg + rot_j;

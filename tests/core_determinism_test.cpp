@@ -99,7 +99,7 @@ TEST(Determinism, DesignFlowIsThreadCountInvariant) {
   for (std::size_t i = 0; i < serial.rules.size(); ++i) {
     EXPECT_EQ(serial.rules[i].comp_a, parallel.rules[i].comp_a);
     EXPECT_EQ(serial.rules[i].comp_b, parallel.rules[i].comp_b);
-    EXPECT_EQ(serial.rules[i].pemd_mm, parallel.rules[i].pemd_mm);
+    EXPECT_EQ(serial.rules[i].pemd.raw(), parallel.rules[i].pemd.raw());
   }
   expect_same_spectrum(serial.initial_prediction, parallel.initial_prediction);
   expect_same_spectrum(serial.improved_prediction, parallel.improved_prediction);

@@ -111,7 +111,8 @@ TEST(FaultInjector, DecisionsAreAPureFunctionOfSiteSeedKey) {
     }
   }
   // Rate is honored statistically over the key space.
-  const std::size_t fired = std::count(first.begin(), first.end(), true);
+  const auto fired =
+      static_cast<std::size_t>(std::count(first.begin(), first.end(), true));
   EXPECT_GT(fired, 2000u * 40 / 100);
   EXPECT_LT(fired, 2000u * 60 / 100);
   EXPECT_EQ(inj.fired(FaultSite::kLu), fired * 4);

@@ -40,8 +40,8 @@ TEST(Lisn, HighFrequencyNoiseReachesReceiver) {
 }
 
 TEST(Lisn, CouplingGainRises) {
-  EXPECT_LT(lisn_coupling_gain(10e3), lisn_coupling_gain(1e6));
-  EXPECT_NEAR(lisn_coupling_gain(100e6), 1.0, 1e-3);
+  EXPECT_LT(lisn_coupling_gain(units::Hertz{10e3}), lisn_coupling_gain(units::Hertz{1e6}));
+  EXPECT_NEAR(lisn_coupling_gain(units::Hertz{100e6}), 1.0, 1e-3);
 }
 
 TEST(Cispr25, BandLookup) {

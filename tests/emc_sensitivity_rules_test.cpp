@@ -94,12 +94,12 @@ TEST(Sensitivity, SignificantPairsFilter) {
 }
 
 TEST(Rules, EffectiveMinDistanceCosLaw) {
-  EXPECT_DOUBLE_EQ(effective_min_distance(20.0, 0.0), 20.0);
-  EXPECT_NEAR(effective_min_distance(20.0, 60.0), 10.0, 1e-12);
-  EXPECT_NEAR(effective_min_distance(20.0, 90.0), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(effective_min_distance(Millimeters{20.0}, 0.0).raw(), 20.0);
+  EXPECT_NEAR(effective_min_distance(Millimeters{20.0}, 60.0).raw(), 10.0, 1e-12);
+  EXPECT_NEAR(effective_min_distance(Millimeters{20.0}, 90.0).raw(), 0.0, 1e-12);
   // Axis folding: 180 deg is the same axis, 120 folds to 60.
-  EXPECT_DOUBLE_EQ(effective_min_distance(20.0, 180.0), 20.0);
-  EXPECT_NEAR(effective_min_distance(20.0, 120.0), 10.0, 1e-12);
+  EXPECT_DOUBLE_EQ(effective_min_distance(Millimeters{20.0}, 180.0).raw(), 20.0);
+  EXPECT_NEAR(effective_min_distance(Millimeters{20.0}, 120.0).raw(), 10.0, 1e-12);
 }
 
 TEST(Rules, DeriverProducesOrderedRuleTable) {
@@ -112,8 +112,8 @@ TEST(Rules, DeriverProducesOrderedRuleTable) {
   const MinDistanceRule r = deriver.derive(c1, c2);
   EXPECT_EQ(r.comp_a, "C1");
   EXPECT_EQ(r.comp_b, "C2");
-  EXPECT_GT(r.pemd_mm, 5.0);
-  EXPECT_LT(r.pemd_mm, 100.0);
+  EXPECT_GT(r.pemd.raw(), 5.0);
+  EXPECT_LT(r.pemd.raw(), 100.0);
   EXPECT_DOUBLE_EQ(r.k_threshold, 0.01);
 
   const auto all = deriver.derive_all({&c1, &c2, &lf});
@@ -124,9 +124,9 @@ TEST(Rules, StricterThresholdLargerDistance) {
   const peec::ComponentFieldModel c1 = peec::x_capacitor("C1");
   const peec::ComponentFieldModel c2 = peec::x_capacitor("C2");
   const peec::CouplingExtractor ex;
-  const RuleDeriver loose(ex, {0.05, 2.0, 200.0, 0.25});
-  const RuleDeriver strict(ex, {0.005, 2.0, 200.0, 0.25});
-  EXPECT_GT(strict.derive(c1, c2).pemd_mm, loose.derive(c1, c2).pemd_mm);
+  const RuleDeriver loose(ex, {0.05, Millimeters{2.0}, Millimeters{200.0}, Millimeters{0.25}});
+  const RuleDeriver strict(ex, {0.005, Millimeters{2.0}, Millimeters{200.0}, Millimeters{0.25}});
+  EXPECT_GT(strict.derive(c1, c2).pemd.raw(), loose.derive(c1, c2).pemd.raw());
 }
 
 }  // namespace

@@ -8,6 +8,8 @@
 #include "src/place/drc.hpp"
 #include "src/place/metrics.hpp"
 
+using emi::units::Millimeters;
+
 namespace emi::io {
 namespace {
 
@@ -34,7 +36,7 @@ TEST(DesignFormat, ParsesEverything) {
   const LoadedDesign ld = load_design(in);
   const place::Design& d = ld.design;
   EXPECT_EQ(d.board_count(), 2);
-  EXPECT_DOUBLE_EQ(d.clearance(), 0.8);
+  EXPECT_DOUBLE_EQ(d.clearance().raw(), 0.8);
   ASSERT_EQ(d.components().size(), 3u);
   const place::Component& cx1 = d.components()[d.component_index("CX1")];
   EXPECT_DOUBLE_EQ(cx1.width_mm, 26.0);
@@ -55,7 +57,7 @@ TEST(DesignFormat, ParsesEverything) {
   ASSERT_EQ(d.keepouts().size(), 2u);
   EXPECT_DOUBLE_EQ(d.keepouts()[1].volume.z_lo, 8.0);
   ASSERT_EQ(d.emd_rules().size(), 1u);
-  EXPECT_DOUBLE_EQ(d.emd_rules()[0].pemd_mm, 21.5);
+  EXPECT_DOUBLE_EQ(d.emd_rules()[0].pemd.raw(), 21.5);
   // Preplacement applied.
   const std::size_t conn = d.component_index("CONN");
   EXPECT_TRUE(ld.layout.placements[conn].placed);
@@ -74,7 +76,7 @@ TEST(DesignFormat, RoundTripPreservesStructure) {
   EXPECT_EQ(ld2.design.areas().size(), ld.design.areas().size());
   EXPECT_EQ(ld2.design.keepouts().size(), ld.design.keepouts().size());
   EXPECT_EQ(ld2.design.emd_rules().size(), ld.design.emd_rules().size());
-  EXPECT_DOUBLE_EQ(ld2.design.clearance(), ld.design.clearance());
+  EXPECT_DOUBLE_EQ(ld2.design.clearance().raw(), ld.design.clearance().raw());
   EXPECT_EQ(ld2.design.board_count(), ld.design.board_count());
   for (std::size_t i = 0; i < ld.layout.placements.size(); ++i) {
     EXPECT_EQ(ld2.layout.placements[i].placed, ld.layout.placements[i].placed);
@@ -138,7 +140,7 @@ TEST(Reports, DrcReportMentionsStatus) {
   d.add_component(c);
   c.name = "B";
   d.add_component(c);
-  d.add_emd_rule("A", "B", 30.0);
+  d.add_emd_rule("A", "B", Millimeters{30.0});
   place::Layout l = place::Layout::unplaced(d);
   l.placements[0] = {{10, 10}, 0.0, 0, true};
   l.placements[1] = {{20, 10}, 0.0, 0, true};

@@ -4,6 +4,8 @@
 
 #include <sstream>
 
+using emi::units::Millimeters;
+
 namespace emi::io {
 namespace {
 
@@ -24,7 +26,7 @@ place::Design svg_design() {
   c.name = "U1";
   c.group = "";
   d.add_component(c);
-  d.add_emd_rule("CA", "CB", 30.0);
+  d.add_emd_rule("CA", "CB", Millimeters{30.0});
   return d;
 }
 

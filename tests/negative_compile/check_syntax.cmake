@@ -1,0 +1,33 @@
+# Runs the compiler front-end only (-fsyntax-only) on SOURCE and asserts the
+# outcome named by EXPECT. Used for negative-compile cases that pull in
+# library headers (no link step, so missing definitions don't matter).
+#
+#   cmake -DCOMPILER=<c++> -DROOT=<repo root> -DSOURCE=<file> \
+#         -DEXPECT=FAIL|OK -P check_syntax.cmake
+foreach(var COMPILER ROOT SOURCE EXPECT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check_syntax.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${COMPILER} -std=c++20 -fsyntax-only -I${ROOT} ${SOURCE}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+if(EXPECT STREQUAL "FAIL")
+  if(rc EQUAL 0)
+    message(FATAL_ERROR
+            "${SOURCE} compiled but is a negative-compile case; the type "
+            "misuse it encodes is no longer rejected")
+  endif()
+  message(STATUS "rejected as expected: ${SOURCE}")
+elseif(EXPECT STREQUAL "OK")
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "positive control ${SOURCE} failed to compile:\n${err}")
+  endif()
+  message(STATUS "compiled as expected: ${SOURCE}")
+else()
+  message(FATAL_ERROR "EXPECT must be FAIL or OK, got '${EXPECT}'")
+endif()

@@ -1,0 +1,20 @@
+// Positive control for the negative-compile harness: the same shapes as the
+// must-fail cases, written correctly. If this stops compiling the harness is
+// reporting failures for the wrong reason.
+#include "src/core/units.hpp"
+#include "src/peec/winding.hpp"
+
+int main() {
+  using namespace emi;
+  using namespace emi::units::literals;
+  auto sum = 1.0_mm + 2.0_mm;
+  units::Millimeters d{5.0};
+  double x = d.raw();
+  auto gain = 3.0_db + 6.0_db;
+  const units::Millimeters radius = (0.01_m).to<units::Millimeters>();
+  (void)sum;
+  (void)x;
+  (void)gain;
+  (void)radius;
+  return 0;
+}

@@ -1,0 +1,9 @@
+// MUST NOT COMPILE: dB values are log-domain; they add, never multiply.
+#include "src/core/units.hpp"
+
+int main() {
+  using namespace emi::units::literals;
+  auto nonsense = 3.0_db * 6.0_db;
+  (void)nonsense;
+  return 0;
+}

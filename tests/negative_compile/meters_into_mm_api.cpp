@@ -1,0 +1,12 @@
+// MUST NOT COMPILE: a peec API taking Millimeters rejects Meters; crossing
+// scales requires an explicit .to<Millimeters>().
+#include "src/peec/winding.hpp"
+
+int main() {
+  using namespace emi;
+  const units::Meters radius{0.01};
+  const peec::SegmentPath r =
+      peec::ring({0, 0, 0}, {0, 0, 1}, radius, 16, units::Millimeters{0.5});
+  (void)r;
+  return 0;
+}

@@ -1,0 +1,9 @@
+// MUST NOT COMPILE: adding quantities of different dimensions.
+#include "src/core/units.hpp"
+
+int main() {
+  using namespace emi::units;
+  auto nonsense = Millimeters{1.0} + Hertz{1.0};
+  (void)nonsense;
+  return 0;
+}

@@ -1,0 +1,10 @@
+// MUST NOT COMPILE: implicit conversions between raw doubles and
+// dimensioned quantities in either direction.
+#include "src/core/units.hpp"
+
+int main() {
+  emi::units::Millimeters d = 5.0;  // construction is explicit
+  double x = d;                     // reading back requires .raw()/.si()
+  (void)x;
+  return 0;
+}

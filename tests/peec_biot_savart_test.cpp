@@ -15,7 +15,7 @@ namespace {
 TEST(SegmentField, LongWireLimit) {
   const Segment s{{-500, 0, 0}, {500, 0, 0}, 0.5};
   const double rho = 10.0;  // mm
-  const Vec3 b = segment_field(s, {0.0, rho, 0.0}, 2.0);
+  const Vec3 b = segment_field(s, {0.0, rho, 0.0}, Ampere{2.0});
   const double expected = kMu0 * 2.0 / (2.0 * geom::kPi * rho * 1e-3);
   EXPECT_NEAR(b.norm() / expected, 1.0, 1e-3);
   // Direction: current +x, point at +y -> B along +z (right-hand rule).
@@ -41,19 +41,19 @@ TEST(SegmentField, OnAxisIsZero) {
 
 TEST(SegmentField, FieldScalesWithCurrentAndWeight) {
   Segment s{{0, 0, 0}, {50, 0, 0}, 0.3};
-  const Vec3 b1 = segment_field(s, {25, 8, 0}, 1.0);
-  const Vec3 b2 = segment_field(s, {25, 8, 0}, 3.0);
+  const Vec3 b1 = segment_field(s, {25, 8, 0}, Ampere{1.0});
+  const Vec3 b2 = segment_field(s, {25, 8, 0}, Ampere{3.0});
   EXPECT_NEAR(b2.norm() / b1.norm(), 3.0, 1e-12);
   s.weight = 2.0;
-  const Vec3 bw = segment_field(s, {25, 8, 0}, 1.0);
+  const Vec3 bw = segment_field(s, {25, 8, 0}, Ampere{1.0});
   EXPECT_NEAR(bw.norm() / b1.norm(), 2.0, 1e-12);
 }
 
 // Circular loop center: B = mu0*I/(2R). A 32-gon ring gets very close.
 TEST(PathField, LoopCenterMatchesAnalytic) {
   const double R = 10.0;
-  const SegmentPath loop = ring({0, 0, 0}, {0, 0, 1}, R, 32, 0.2);
-  const Vec3 b = path_field(loop, {0, 0, 0}, 1.5);
+  const SegmentPath loop = ring({0, 0, 0}, {0, 0, 1}, Millimeters{R}, 32, Millimeters{0.2});
+  const Vec3 b = path_field(loop, {0, 0, 0}, Ampere{1.5});
   const double expected = kMu0 * 1.5 / (2.0 * R * 1e-3);
   EXPECT_NEAR(b.norm() / expected, 1.0, 0.01);
   EXPECT_NEAR(std::fabs(b.z) / b.norm(), 1.0, 1e-9);  // field along the axis
@@ -62,7 +62,7 @@ TEST(PathField, LoopCenterMatchesAnalytic) {
 // On-axis field of a loop falls off as (1 + (z/R)^2)^(-3/2).
 TEST(PathField, LoopAxisFalloff) {
   const double R = 10.0;
-  const SegmentPath loop = ring({0, 0, 0}, {0, 0, 1}, R, 32, 0.2);
+  const SegmentPath loop = ring({0, 0, 0}, {0, 0, 1}, Millimeters{R}, 32, Millimeters{0.2});
   const double b0 = path_field(loop, {0, 0, 0}).norm();
   const double bz = path_field(loop, {0, 0, 2 * R}).norm();
   const double expected_ratio = std::pow(1.0 + 4.0, -1.5);
@@ -72,7 +72,7 @@ TEST(PathField, LoopAxisFalloff) {
 // Dipole limit: far from the loop along the axis, B ~ mu0*m/(2*pi*z^3).
 TEST(PathField, DipoleFarField) {
   const double R = 5.0;
-  const SegmentPath loop = ring({0, 0, 0}, {0, 0, 1}, R, 32, 0.2);
+  const SegmentPath loop = ring({0, 0, 0}, {0, 0, 1}, Millimeters{R}, 32, Millimeters{0.2});
   const double z = 100.0;
   const double b = path_field(loop, {0, 0, z}).norm();
   // Dipole moment of the 32-gon: I times the polygon area (slightly below
@@ -84,8 +84,8 @@ TEST(PathField, DipoleFarField) {
 }
 
 TEST(FieldMap, GridShapeAndSymmetry) {
-  const SegmentPath loop = ring({0, 0, 0}, {0, 0, 1}, 8.0, 24, 0.3);
-  const auto map = field_map(loop, -20, 20, -20, 20, 5.0, 9, 9);
+  const SegmentPath loop = ring({0, 0, 0}, {0, 0, 1}, Millimeters{8.0}, 24, Millimeters{0.3});
+  const auto map = field_map(loop, Millimeters{-20}, Millimeters{20}, Millimeters{-20}, Millimeters{20}, Millimeters{5.0}, 9, 9);
   ASSERT_EQ(map.size(), 81u);
   // The loop is symmetric: |B| at (x, y) equals |B| at (-x, -y).
   const auto at = [&](std::size_t ix, std::size_t iy) {

@@ -17,9 +17,9 @@ class CouplingTest : public ::testing::Test {
 };
 
 TEST_F(CouplingTest, SelfInductancePositiveAndCached) {
-  const double l1 = ex_.self_inductance(ca_);
+  const double l1 = ex_.self_inductance(ca_).raw();
   EXPECT_GT(l1, 0.0);
-  EXPECT_DOUBLE_EQ(ex_.self_inductance(ca_), l1);  // cache hit, same value
+  EXPECT_DOUBLE_EQ(ex_.self_inductance(ca_).raw(), l1);  // cache hit, same value
   // X-cap loop ESL lands in the tens of nH - physically sensible.
   EXPECT_GT(l1 * 1e9, 10.0);
   EXPECT_LT(l1 * 1e9, 120.0);
@@ -28,7 +28,7 @@ TEST_F(CouplingTest, SelfInductancePositiveAndCached) {
 TEST_F(CouplingTest, EffectivePermeabilityScalesSelfL) {
   ComponentFieldModel cored = ca_;
   cored.mu_eff = 10.0;
-  EXPECT_NEAR(ex_.self_inductance(cored) / ex_.self_inductance(ca_), 10.0, 1e-9);
+  EXPECT_NEAR(ex_.self_inductance(cored).raw() / ex_.self_inductance(ca_).raw(), 10.0, 1e-9);
 }
 
 TEST_F(CouplingTest, CoreReducesCouplingFactor) {
@@ -36,43 +36,43 @@ TEST_F(CouplingTest, CoreReducesCouplingFactor) {
   // coupling flux stays air-borne, so k drops by sqrt(mu_eff).
   ComponentFieldModel cored = cb_;
   cored.mu_eff = 9.0;
-  const double k_air = std::fabs(ex_.coupling_at(ca_, cb_, 25.0));
-  const double k_cored = std::fabs(ex_.coupling_at(ca_, cored, 25.0));
+  const double k_air = std::fabs(ex_.coupling_at(ca_, cb_, Millimeters{25.0}));
+  const double k_cored = std::fabs(ex_.coupling_at(ca_, cored, Millimeters{25.0}));
   EXPECT_NEAR(k_cored / k_air, 1.0 / 3.0, 0.02);
 }
 
 TEST_F(CouplingTest, MutualReciprocity) {
   const PlacedModel a{&ca_, {{0, 0, 0}, 0.0}};
   const PlacedModel b{&cb_, {{22, 5, 0}, 30.0}};
-  EXPECT_NEAR(ex_.mutual(a, b), ex_.mutual(b, a), 1e-18);
+  EXPECT_NEAR(ex_.mutual(a, b).raw(), ex_.mutual(b, a).raw(), 1e-18);
 }
 
 TEST_F(CouplingTest, CouplingFactorBelowOne) {
   // Even at tight spacing |k| stays physical.
-  const double k = ex_.coupling_at(ca_, cb_, 12.0);
+  const double k = ex_.coupling_at(ca_, cb_, Millimeters{12.0});
   EXPECT_LT(std::fabs(k), 1.0);
 }
 
 TEST_F(CouplingTest, KFallsMonotonicallyWithDistance) {
   // Beyond the near-field sign crossover (two coplanar loops flip mutual
   // sign around one pin pitch of separation) |k| falls monotonically.
-  const auto curve = ex_.coupling_vs_distance(ca_, cb_, 30.0, 90.0, 9);
+  const auto curve = ex_.coupling_vs_distance(ca_, cb_, Millimeters{30.0}, Millimeters{90.0}, 9);
   ASSERT_EQ(curve.size(), 9u);
   for (std::size_t i = 1; i < curve.size(); ++i) {
-    EXPECT_LT(curve[i].k, curve[i - 1].k) << "at " << curve[i].distance_mm;
+    EXPECT_LT(curve[i].k, curve[i - 1].k) << "at " << curve[i].distance.raw();
   }
 }
 
 TEST_F(CouplingTest, FarFieldDipoleScaling) {
   // Two small loops far apart couple like dipoles: k ~ 1/d^3.
-  const double k60 = std::fabs(ex_.coupling_at(ca_, cb_, 60.0));
-  const double k120 = std::fabs(ex_.coupling_at(ca_, cb_, 120.0));
+  const double k60 = std::fabs(ex_.coupling_at(ca_, cb_, Millimeters{60.0}));
+  const double k120 = std::fabs(ex_.coupling_at(ca_, cb_, Millimeters{120.0}));
   EXPECT_NEAR(k60 / k120, 8.0, 2.0);  // cube law within near-field correction
 }
 
 TEST_F(CouplingTest, PerpendicularAxesDecouple) {
-  const double k0 = std::fabs(ex_.coupling_at(ca_, cb_, 20.0, 0.0, 0.0));
-  const double k90 = std::fabs(ex_.coupling_at(ca_, cb_, 20.0, 0.0, 90.0));
+  const double k0 = std::fabs(ex_.coupling_at(ca_, cb_, Millimeters{20.0}, 0.0, 0.0));
+  const double k90 = std::fabs(ex_.coupling_at(ca_, cb_, Millimeters{20.0}, 0.0, 90.0));
   EXPECT_LT(k90, 0.02 * k0);
 }
 
@@ -80,7 +80,7 @@ TEST_F(CouplingTest, AngleSweepFollowsCosineShapeFarField) {
   // In the dipole regime the coupling of two in-plane loops follows
   // k(alpha) = k0 * cos(alpha) as one loop rotates - the physical basis of
   // the EMD = PEMD * cos(alpha) rule. Near field deviates, so test far.
-  const auto sweep = ex_.coupling_vs_angle(ca_, cb_, 60.0, 7);
+  const auto sweep = ex_.coupling_vs_angle(ca_, cb_, Millimeters{60.0}, 7);
   ASSERT_EQ(sweep.size(), 7u);
   const double k0 = sweep.front().k;
   for (const auto& p : sweep) {
@@ -95,28 +95,28 @@ TEST_F(CouplingTest, AngleSweepMagnitudeDropsToZeroAtNinety) {
   // Independent of distance regime, rotating one capacitor by 90 degrees
   // kills the coupling - the paper's Fig 6 placement rule.
   for (double d : {20.0, 30.0, 45.0}) {
-    const auto sweep = ex_.coupling_vs_angle(ca_, cb_, d, 4);
+    const auto sweep = ex_.coupling_vs_angle(ca_, cb_, Millimeters{d}, 4);
     EXPECT_LT(std::fabs(sweep.back().k), 0.05 * std::fabs(sweep.front().k) + 1e-9)
         << "d = " << d;
   }
 }
 
 TEST_F(CouplingTest, MinDistanceRuleBrackets) {
-  const double pemd = ex_.min_distance_for_coupling(ca_, cb_, 0.01, 5.0, 150.0, 0.1);
+  const double pemd = ex_.min_distance_for_coupling(ca_, cb_, 0.01, Millimeters{5.0}, Millimeters{150.0}, Millimeters{0.1}).raw();
   EXPECT_GT(pemd, 5.0);
   EXPECT_LT(pemd, 150.0);
   // At the derived distance the coupling is at or below the threshold...
-  EXPECT_LE(std::fabs(ex_.coupling_at(ca_, cb_, pemd)), 0.0105);
+  EXPECT_LE(std::fabs(ex_.coupling_at(ca_, cb_, Millimeters{pemd})), 0.0105);
   // ...and just inside it is above.
-  EXPECT_GT(std::fabs(ex_.coupling_at(ca_, cb_, pemd - 1.0)), 0.0095);
+  EXPECT_GT(std::fabs(ex_.coupling_at(ca_, cb_, Millimeters{pemd - 1.0})), 0.0095);
 }
 
 TEST_F(CouplingTest, MinDistanceEdgeCases) {
   // Threshold already met at the near end -> returns d_lo.
-  EXPECT_DOUBLE_EQ(ex_.min_distance_for_coupling(ca_, cb_, 0.9, 5.0, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(ex_.min_distance_for_coupling(ca_, cb_, 0.9, Millimeters{5.0}, Millimeters{100.0}).raw(), 5.0);
   // Impossible threshold -> returns d_hi.
-  EXPECT_DOUBLE_EQ(ex_.min_distance_for_coupling(ca_, cb_, 1e-9, 5.0, 40.0), 40.0);
-  EXPECT_THROW(ex_.min_distance_for_coupling(ca_, cb_, 0.0, 5.0, 40.0),
+  EXPECT_DOUBLE_EQ(ex_.min_distance_for_coupling(ca_, cb_, 1e-9, Millimeters{5.0}, Millimeters{40.0}).raw(), 40.0);
+  EXPECT_THROW(ex_.min_distance_for_coupling(ca_, cb_, 0.0, Millimeters{5.0}, Millimeters{40.0}).raw(),
                std::invalid_argument);
 }
 
@@ -149,21 +149,21 @@ TEST(ComponentModels, CoilToCapCouplingSensible) {
   const auto coil = bobbin_coil("L1");
   const auto cap = x_capacitor("C1");
   CouplingExtractor ex;
-  const double k20 = std::fabs(ex.coupling_at(coil, cap, 25.0));
+  const double k20 = std::fabs(ex.coupling_at(coil, cap, Millimeters{25.0}));
   EXPECT_GT(k20, 1e-4);
   EXPECT_LT(k20, 0.5);
-  const double k60 = std::fabs(ex.coupling_at(coil, cap, 60.0));
+  const double k60 = std::fabs(ex.coupling_at(coil, cap, Millimeters{60.0}));
   EXPECT_LT(k60, k20);
 }
 
 TEST(ComponentModels, TwoCoilsOfDifferentSizeCouple) {
   // The Fig 7 configuration: bobbin coils of different size.
-  const auto small = bobbin_coil("S", {.radius_mm = 4.0, .length_mm = 8.0, .turns = 25});
-  const auto big = bobbin_coil("B", {.radius_mm = 8.0, .length_mm = 16.0, .turns = 50});
+  const auto small = bobbin_coil("S", {.radius = Millimeters{4.0}, .length = Millimeters{8.0}, .turns = 25});
+  const auto big = bobbin_coil("B", {.radius = Millimeters{8.0}, .length = Millimeters{16.0}, .turns = 50});
   CouplingExtractor ex;
   double prev = 1.0;
   for (double d : {20.0, 30.0, 45.0, 65.0}) {
-    const double k = std::fabs(ex.coupling_at(small, big, d));
+    const double k = std::fabs(ex.coupling_at(small, big, Millimeters{d}));
     EXPECT_LT(k, prev);
     prev = k;
   }
@@ -174,7 +174,7 @@ TEST(CouplingExtractor, NullModelThrows) {
   const PlacedModel bad{nullptr, {}};
   const ComponentFieldModel m = x_capacitor("C");
   const PlacedModel ok{&m, {}};
-  EXPECT_THROW(ex.mutual(bad, ok), std::invalid_argument);
+  EXPECT_THROW(ex.mutual(bad, ok).raw(), std::invalid_argument);
 }
 
 }  // namespace

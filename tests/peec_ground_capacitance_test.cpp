@@ -16,7 +16,7 @@ TEST(GroundPlane, MirrorPoint) {
 }
 
 TEST(GroundPlane, ImagePathDoublesSegmentsWithNegatedWeight) {
-  const SegmentPath loop = rectangular_loop(10.0, 5.0, 0.3);
+  const SegmentPath loop = rectangular_loop(Millimeters{10.0}, Millimeters{5.0}, Millimeters{0.3});
   // Loop sits at z >= 0; mirror across z = 0.
   const SegmentPath mirrored = with_ground_plane(loop, 0.0);
   ASSERT_EQ(mirrored.segments.size(), 2 * loop.segments.size());
@@ -46,8 +46,8 @@ TEST(GroundPlane, FluxConfinementRaisesCoplanarLoopCoupling) {
   const CouplingExtractor free_space;
   const GroundedCouplingExtractor grounded(0.0);
   for (double d : {25.0, 40.0, 60.0}) {
-    const double k_free = std::fabs(free_space.coupling_at(ca, cb, d));
-    const double k_gnd = std::fabs(grounded.coupling_at(ca, cb, d));
+    const double k_free = std::fabs(free_space.coupling_at(ca, cb, Millimeters{d}));
+    const double k_gnd = std::fabs(grounded.coupling_at(ca, cb, Millimeters{d}));
     EXPECT_GT(k_gnd, k_free) << "d = " << d;
     EXPECT_LT(k_gnd, 10.0 * k_free) << "d = " << d;  // bounded enhancement
   }
@@ -57,8 +57,8 @@ TEST(GroundPlane, SelfInductanceReduced) {
   const ComponentFieldModel cap = x_capacitor("C");
   const CouplingExtractor free_space;
   const GroundedCouplingExtractor grounded(0.0);
-  const double l_free = free_space.self_inductance(cap);
-  const double l_gnd = grounded.self_inductance(cap);
+  const double l_free = free_space.self_inductance(cap).raw();
+  const double l_gnd = grounded.self_inductance(cap).raw();
   EXPECT_LT(l_gnd, l_free);
   EXPECT_GT(l_gnd, 0.2 * l_free);  // but not unphysically small
 }
@@ -69,8 +69,8 @@ TEST(GroundPlane, FarPlaneApproachesFreeSpace) {
   const CouplingExtractor free_space;
   // A plane far below the components barely matters.
   const GroundedCouplingExtractor far_plane(-500.0);
-  const double k_free = free_space.coupling_at(ca, cb, 30.0);
-  const double k_far = far_plane.coupling_at(ca, cb, 30.0);
+  const double k_free = free_space.coupling_at(ca, cb, Millimeters{30.0});
+  const double k_far = far_plane.coupling_at(ca, cb, Millimeters{30.0});
   EXPECT_NEAR(k_far / k_free, 1.0, 0.02);
 }
 
@@ -80,19 +80,19 @@ TEST(GroundPlane, MutualReciprocity) {
   const GroundedCouplingExtractor g(0.0);
   const PlacedModel pa{&ca, {{0, 0, 0}, 0.0}};
   const PlacedModel pb{&cb, {{30, 5, 0}, 20.0}};
-  EXPECT_NEAR(g.mutual(pa, pb), g.mutual(pb, pa), 1e-15);
+  EXPECT_NEAR(g.mutual(pa, pb).raw(), g.mutual(pb, pa).raw(), 1e-15);
 }
 
 TEST(Capacitance, EquivalentRadius) {
   // A cube of side a has surface 6a^2 -> r = a*sqrt(6/(4pi)) ~ 0.691a.
-  const double r = body_equivalent_radius(10.0, 10.0, 10.0);
+  const double r = body_equivalent_radius(Millimeters{10.0}, Millimeters{10.0}, Millimeters{10.0}).raw();
   EXPECT_NEAR(r, 10.0 * std::sqrt(6.0 / (4.0 * std::numbers::pi)), 1e-9);
-  EXPECT_THROW(body_equivalent_radius(0.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(body_equivalent_radius(Millimeters{0.0}, Millimeters{1.0}, Millimeters{1.0}).raw(), std::invalid_argument);
 }
 
 TEST(Capacitance, SphereMutualFallsAsOneOverD) {
-  const double c20 = sphere_mutual_capacitance(5.0, 5.0, 20.0);
-  const double c40 = sphere_mutual_capacitance(5.0, 5.0, 40.0);
+  const double c20 = sphere_mutual_capacitance(Millimeters{5.0}, Millimeters{5.0}, Millimeters{20.0}).raw();
+  const double c40 = sphere_mutual_capacitance(Millimeters{5.0}, Millimeters{5.0}, Millimeters{40.0}).raw();
   EXPECT_NEAR(c20 / c40, 2.0, 1e-9);
   // Plausible magnitude: two 5 mm spheres at 20 mm are a fraction of a pF.
   EXPECT_GT(c20, 0.05e-12);
@@ -100,23 +100,24 @@ TEST(Capacitance, SphereMutualFallsAsOneOverD) {
 }
 
 TEST(Capacitance, ClampsAtTouchingSpheres) {
-  const double touching = sphere_mutual_capacitance(5.0, 5.0, 10.0);
-  const double closer = sphere_mutual_capacitance(5.0, 5.0, 2.0);
+  const double touching = sphere_mutual_capacitance(Millimeters{5.0}, Millimeters{5.0}, Millimeters{10.0}).raw();
+  const double closer = sphere_mutual_capacitance(Millimeters{5.0}, Millimeters{5.0}, Millimeters{2.0}).raw();
   EXPECT_DOUBLE_EQ(touching, closer);
-  EXPECT_THROW(sphere_mutual_capacitance(0.0, 5.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(sphere_mutual_capacitance(Millimeters{0.0}, Millimeters{5.0}, Millimeters{10.0}),
+               std::invalid_argument);
 }
 
 TEST(Capacitance, BodyHelper) {
-  const Body a{{0, 0, 5}, 6.0};
-  const Body b{{30, 0, 5}, 4.0};
-  EXPECT_NEAR(body_capacitance(a, b), sphere_mutual_capacitance(6.0, 4.0, 30.0), 1e-20);
+  const Body a{{0, 0, 5}, Millimeters{6.0}};
+  const Body b{{30, 0, 5}, Millimeters{4.0}};
+  EXPECT_NEAR(body_capacitance(a, b).raw(), sphere_mutual_capacitance(Millimeters{6.0}, Millimeters{4.0}, Millimeters{30.0}).raw(), 1e-20);
 }
 
 TEST(Capacitance, CornerFrequency) {
   // 1 pF against 50 ohm: ~3.2 GHz; 100 pF: ~32 MHz.
-  EXPECT_NEAR(capacitive_corner_hz(1e-12) / 1e9, 3.18, 0.01);
-  EXPECT_NEAR(capacitive_corner_hz(100e-12) / 1e6, 31.8, 0.1);
-  EXPECT_THROW(capacitive_corner_hz(0.0), std::invalid_argument);
+  EXPECT_NEAR(capacitive_corner(Farad{1e-12}).raw() / 1e9, 3.18, 0.01);
+  EXPECT_NEAR(capacitive_corner(Farad{100e-12}).raw() / 1e6, 31.8, 0.1);
+  EXPECT_THROW(capacitive_corner(Farad{0.0}), std::invalid_argument);
 }
 
 }  // namespace

@@ -37,7 +37,7 @@ TEST_F(MutualCacheTest, ModelDigestTracksContentNotAddress) {
 TEST_F(MutualCacheTest, TranslatedPairHitsSameEntry) {
   const PlacedModel a0{&ca_, {{0.0, 0.0, 0.0}, 30.0}};
   const PlacedModel b0{&cb_, {{25.0, 4.0, 0.0}, 75.0}};
-  const double m0 = ex_.mutual(a0, b0);
+  const double m0 = ex_.mutual(a0, b0).raw();
   const ExtractionCacheStats after_first = ex_.cache_stats();
   EXPECT_EQ(after_first.mutual_misses, 1u);
   EXPECT_EQ(after_first.mutual_hits, 0u);
@@ -46,7 +46,7 @@ TEST_F(MutualCacheTest, TranslatedPairHitsSameEntry) {
   // bit-identical mutual.
   const PlacedModel a1{&ca_, {{-7.5, 113.25, 0.0}, 30.0}};
   const PlacedModel b1{&cb_, {{17.5, 117.25, 0.0}, 75.0}};
-  const double m1 = ex_.mutual(a1, b1);
+  const double m1 = ex_.mutual(a1, b1).raw();
   EXPECT_EQ(m0, m1);
   const ExtractionCacheStats after_second = ex_.cache_stats();
   EXPECT_EQ(after_second.mutual_misses, 1u);
@@ -56,8 +56,8 @@ TEST_F(MutualCacheTest, TranslatedPairHitsSameEntry) {
 TEST_F(MutualCacheTest, SwappedArgumentsHitAndMatchExactly) {
   const PlacedModel a{&ca_, {{0.0, 0.0, 0.0}, 0.0}};
   const PlacedModel b{&cb_, {{22.0, 5.0, 0.0}, 30.0}};
-  const double mab = ex_.mutual(a, b);
-  const double mba = ex_.mutual(b, a);
+  const double mab = ex_.mutual(a, b).raw();
+  const double mba = ex_.mutual(b, a).raw();
   // Canonical pair ordering makes reciprocity exact, not just numerical.
   EXPECT_EQ(mab, mba);
   EXPECT_EQ(ex_.cache_stats().mutual_hits, 1u);
@@ -68,8 +68,8 @@ TEST_F(MutualCacheTest, DifferentRelativePoseMisses) {
   const PlacedModel a{&ca_, {{0.0, 0.0, 0.0}, 0.0}};
   const PlacedModel near{&cb_, {{20.0, 0.0, 0.0}, 0.0}};
   const PlacedModel far{&cb_, {{40.0, 0.0, 0.0}, 0.0}};
-  const double m_near = ex_.mutual(a, near);
-  const double m_far = ex_.mutual(a, far);
+  const double m_near = ex_.mutual(a, near).raw();
+  const double m_far = ex_.mutual(a, far).raw();
   EXPECT_NE(m_near, m_far);
   EXPECT_EQ(ex_.cache_stats().mutual_misses, 2u);
   EXPECT_EQ(ex_.cache_stats().mutual_hits, 0u);
@@ -82,8 +82,8 @@ TEST_F(MutualCacheTest, QuadratureOptionsSeparateCachedValues) {
   const CouplingExtractor ex_coarse(coarse);
   const PlacedModel a{&ca_, {{0.0, 0.0, 0.0}, 0.0}};
   const PlacedModel b{&cb_, {{18.0, 3.0, 0.0}, 20.0}};
-  const double m_fine = ex_.mutual(a, b);
-  const double m_coarse = ex_coarse.mutual(a, b);
+  const double m_fine = ex_.mutual(a, b).raw();
+  const double m_coarse = ex_coarse.mutual(a, b).raw();
   // Different quadrature, different result - no cross-contamination, and
   // each extractor logged its own miss.
   EXPECT_NE(m_fine, m_coarse);
@@ -96,14 +96,14 @@ TEST_F(MutualCacheTest, CachedMutualMatchesRawKernel) {
   const Pose pb{{29.0, 6.0, 0.0}, 130.0};
   const PlacedModel a{&ca_, pa};
   const PlacedModel b{&cb_, pb};
-  const double cached = ex_.mutual(a, b);
+  const double cached = ex_.mutual(a, b).raw();
   const double raw =
       path_mutual(ca_.path_at(pa), cb_.path_at(pb), ex_.options());
   // The cached value is computed in the canonical relative frame; it must
   // agree with the world-frame kernel to rigid-motion-invariance accuracy.
   EXPECT_NEAR(cached, raw, std::fabs(raw) * 1e-9 + 1e-18);
   // And repeat calls return the first bits.
-  EXPECT_EQ(ex_.mutual(a, b), cached);
+  EXPECT_EQ(ex_.mutual(a, b).raw(), cached);
 }
 
 TEST_F(MutualCacheTest, StrayScaleAppliedOutsideTheCache) {
@@ -112,27 +112,27 @@ TEST_F(MutualCacheTest, StrayScaleAppliedOutsideTheCache) {
   const PlacedModel a{&ca_, {{0.0, 0.0, 0.0}, 0.0}};
   const PlacedModel b{&cb_, {{24.0, 0.0, 0.0}, 0.0}};
   const PlacedModel bs{&scaled, {{24.0, 0.0, 0.0}, 0.0}};
-  const double m = ex_.mutual(a, b);
-  const double ms = ex_.mutual(a, bs);
+  const double m = ex_.mutual(a, b).raw();
+  const double ms = ex_.mutual(a, bs).raw();
   EXPECT_NEAR(ms, 0.25 * m, std::fabs(m) * 1e-12);
 }
 
 TEST_F(MutualCacheTest, SelfCacheCountsHitsAndSurvivesReallocation) {
   auto m1 = std::make_unique<ComponentFieldModel>(x_capacitor("M1"));
-  const double l1 = ex_.self_inductance(*m1);
+  const double l1 = ex_.self_inductance(*m1).raw();
   EXPECT_EQ(ex_.cache_stats().self_misses, 1u);
-  EXPECT_EQ(ex_.self_inductance(*m1), l1);
+  EXPECT_EQ(ex_.self_inductance(*m1).raw(), l1);
   EXPECT_EQ(ex_.cache_stats().self_hits, 1u);
 
   // Destroy the model and allocate a different one. With address-based keys
   // the new model could alias the stale entry; content digests cannot.
   m1.reset();
   XCapacitorParams big;
-  big.pin_pitch_mm = 37.5;
+  big.pin_pitch = Millimeters{37.5};
   auto m2 = std::make_unique<ComponentFieldModel>(x_capacitor("M2", big));
-  const double l2 = ex_.self_inductance(*m2);
+  const double l2 = ex_.self_inductance(*m2).raw();
   EXPECT_NE(l2, l1);
-  EXPECT_NEAR(l2, CouplingExtractor(ex_.options()).self_inductance(*m2),
+  EXPECT_NEAR(l2, CouplingExtractor(ex_.options()).self_inductance(*m2).raw(),
               std::fabs(l2) * 1e-12);
 }
 

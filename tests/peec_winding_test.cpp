@@ -10,7 +10,7 @@ namespace emi::peec {
 namespace {
 
 TEST(Ring, GeometryClosedAndOnCircle) {
-  const SegmentPath r = ring({0, 0, 0}, {0, 0, 1}, 10.0, 16, 0.5);
+  const SegmentPath r = ring({0, 0, 0}, {0, 0, 1}, Millimeters{10.0}, 16, Millimeters{0.5});
   ASSERT_EQ(r.segments.size(), 16u);
   for (std::size_t i = 0; i < r.segments.size(); ++i) {
     // Chain closure: end of segment i is start of segment i+1.
@@ -27,19 +27,19 @@ TEST(Ring, GeometryClosedAndOnCircle) {
 // within ~10 % of the circular value.
 TEST(Ring, LoopInductanceNearAnalytic) {
   const double R = 10.0, a = 0.5;
-  const SegmentPath r = ring({0, 0, 0}, {0, 0, 1}, R, 24, a);
+  const SegmentPath r = ring({0, 0, 0}, {0, 0, 1}, Millimeters{R}, 24, Millimeters{a});
   const double l = path_inductance(r, {6, 2});
   const double analytic = kMu0 * R * 1e-3 * (std::log(8.0 * R / a) - 2.0);
   EXPECT_NEAR(l / analytic, 1.0, 0.12);
 }
 
 TEST(Ring, Validation) {
-  EXPECT_THROW(ring({0, 0, 0}, {0, 0, 1}, 10.0, 2, 0.5), std::invalid_argument);
-  EXPECT_THROW(ring({0, 0, 0}, {0, 0, 1}, -1.0, 8, 0.5), std::invalid_argument);
+  EXPECT_THROW(ring({0, 0, 0}, {0, 0, 1}, Millimeters{10.0}, 2, Millimeters{0.5}), std::invalid_argument);
+  EXPECT_THROW(ring({0, 0, 0}, {0, 0, 1}, Millimeters{-1.0}, 8, Millimeters{0.5}), std::invalid_argument);
 }
 
 TEST(Solenoid, TurnWeightsSumToTurns) {
-  const SegmentPath s = solenoid({0, 0, 0}, {0, 1, 0}, 6.0, 12.0, 40, 5, 12, 0.4);
+  const SegmentPath s = solenoid({0, 0, 0}, {0, 1, 0}, Millimeters{6.0}, Millimeters{12.0}, 40, 5, 12, Millimeters{0.4});
   ASSERT_EQ(s.segments.size(), 5u * 12u);
   double weight_per_ring = 0.0;
   for (std::size_t i = 0; i < 12; ++i) weight_per_ring = s.segments[i].weight;
@@ -47,8 +47,8 @@ TEST(Solenoid, TurnWeightsSumToTurns) {
 }
 
 TEST(Solenoid, InductanceScalesWithTurnsSquared) {
-  const SegmentPath s1 = solenoid({0, 0, 0}, {0, 1, 0}, 6.0, 12.0, 20, 5, 12, 0.4);
-  const SegmentPath s2 = solenoid({0, 0, 0}, {0, 1, 0}, 6.0, 12.0, 40, 5, 12, 0.4);
+  const SegmentPath s1 = solenoid({0, 0, 0}, {0, 1, 0}, Millimeters{6.0}, Millimeters{12.0}, 20, 5, 12, Millimeters{0.4});
+  const SegmentPath s2 = solenoid({0, 0, 0}, {0, 1, 0}, Millimeters{6.0}, Millimeters{12.0}, 40, 5, 12, Millimeters{0.4});
   const double ratio = path_inductance(s2, {4, 1}) / path_inductance(s1, {4, 1});
   EXPECT_NEAR(ratio, 4.0, 1e-6);
 }
@@ -59,7 +59,7 @@ TEST(Solenoid, InductanceScalesWithTurnsSquared) {
 TEST(Solenoid, OrderOfMagnitudeVsIdeal) {
   const double radius = 5.0, len = 20.0;
   const std::size_t turns = 50;
-  const SegmentPath s = solenoid({0, 0, 0}, {0, 0, 1}, radius, len, turns, 8, 16, 0.3);
+  const SegmentPath s = solenoid({0, 0, 0}, {0, 0, 1}, Millimeters{radius}, Millimeters{len}, turns, 8, 16, Millimeters{0.3});
   const double l = path_inductance(s, {4, 1});
   const double area = geom::kPi * radius * radius * 1e-6;
   const double ideal = kMu0 * static_cast<double>(turns * turns) * area / (len * 1e-3);
@@ -69,9 +69,9 @@ TEST(Solenoid, OrderOfMagnitudeVsIdeal) {
 
 TEST(ToroidSector, SenseFlipsWeights) {
   const SegmentPath pos =
-      toroid_sector_winding({0, 0, 0}, 10.0, 3.0, 0.0, 120.0, 10, 4, 8, 0.4, +1);
+      toroid_sector_winding({0, 0, 0}, Millimeters{10.0}, Millimeters{3.0}, 0.0, 120.0, 10, 4, 8, Millimeters{0.4}, +1);
   const SegmentPath neg =
-      toroid_sector_winding({0, 0, 0}, 10.0, 3.0, 0.0, 120.0, 10, 4, 8, 0.4, -1);
+      toroid_sector_winding({0, 0, 0}, Millimeters{10.0}, Millimeters{3.0}, 0.0, 120.0, 10, 4, 8, Millimeters{0.4}, -1);
   ASSERT_EQ(pos.segments.size(), neg.segments.size());
   for (std::size_t i = 0; i < pos.segments.size(); ++i) {
     EXPECT_DOUBLE_EQ(pos.segments[i].weight, -neg.segments[i].weight);
@@ -80,7 +80,7 @@ TEST(ToroidSector, SenseFlipsWeights) {
 
 TEST(ToroidSector, RingCentersOnMajorCircle) {
   const SegmentPath w =
-      toroid_sector_winding({0, 0, 0}, 10.0, 3.0, 0.0, 90.0, 8, 4, 8, 0.4);
+      toroid_sector_winding({0, 0, 0}, Millimeters{10.0}, Millimeters{3.0}, 0.0, 90.0, 8, 4, 8, Millimeters{0.4});
   // Each ring has 8 facets; ring centers = mean of facet vertices.
   for (std::size_t ring_i = 0; ring_i < 4; ++ring_i) {
     Vec3 c{};
@@ -88,12 +88,12 @@ TEST(ToroidSector, RingCentersOnMajorCircle) {
     c = c / 8.0;
     EXPECT_NEAR(std::sqrt(c.x * c.x + c.y * c.y), 10.0, 0.5);
   }
-  EXPECT_THROW(toroid_sector_winding({0, 0, 0}, 2.0, 3.0, 0.0, 90.0, 8, 4, 8, 0.4),
+  EXPECT_THROW(toroid_sector_winding({0, 0, 0}, Millimeters{2.0}, Millimeters{3.0}, 0.0, 90.0, 8, 4, 8, Millimeters{0.4}),
                std::invalid_argument);
 }
 
 TEST(RectangularLoop, GeometryAndAxis) {
-  const SegmentPath p = rectangular_loop(20.0, 8.0, 0.4);
+  const SegmentPath p = rectangular_loop(Millimeters{20.0}, Millimeters{8.0}, Millimeters{0.4});
   ASSERT_EQ(p.segments.size(), 4u);
   EXPECT_NEAR(p.total_length(), 2.0 * (20.0 + 8.0), 1e-12);
   // Loop lies in the x/z plane: all y coordinates zero.
@@ -101,11 +101,11 @@ TEST(RectangularLoop, GeometryAndAxis) {
     EXPECT_DOUBLE_EQ(s.a.y, 0.0);
     EXPECT_DOUBLE_EQ(s.b.y, 0.0);
   }
-  EXPECT_THROW(rectangular_loop(0.0, 8.0, 0.4), std::invalid_argument);
+  EXPECT_THROW(rectangular_loop(Millimeters{0.0}, Millimeters{8.0}, Millimeters{0.4}), std::invalid_argument);
 }
 
 TEST(Pose, TransformRotatesAndTranslates) {
-  const SegmentPath p = rectangular_loop(10.0, 4.0, 0.3);
+  const SegmentPath p = rectangular_loop(Millimeters{10.0}, Millimeters{4.0}, Millimeters{0.3});
   const Pose pose{{5.0, 7.0, 0.0}, 90.0};
   const SegmentPath t = transformed(p, pose);
   ASSERT_EQ(t.segments.size(), p.segments.size());
@@ -124,7 +124,7 @@ TEST(Pose, AxisRotation) {
 }
 
 TEST(Trace, EquivalentRadius) {
-  const SegmentPath t = trace({0, 0, 0}, {10, 0, 0}, 1.0, 0.035);
+  const SegmentPath t = trace({0, 0, 0}, {10, 0, 0}, Millimeters{1.0}, Millimeters{0.035});
   ASSERT_EQ(t.segments.size(), 1u);
   EXPECT_NEAR(t.segments[0].radius, 0.2235 * 1.035, 1e-12);
 }

@@ -9,7 +9,7 @@ namespace {
 
 Design rule_design(std::size_t n) {
   Design d;
-  d.set_clearance(1.0);
+  d.set_clearance(Millimeters{1.0});
   d.add_area({"board", 0,
               geom::Polygon::rectangle(geom::Rect::from_corners({0, 0}, {120, 90}))});
   for (std::size_t i = 0; i < n; ++i) {
@@ -23,7 +23,7 @@ Design rule_design(std::size_t n) {
   }
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
-      d.add_emd_rule("C" + std::to_string(i), "C" + std::to_string(j), 20.0);
+      d.add_emd_rule("C" + std::to_string(i), "C" + std::to_string(j), Millimeters{20.0});
     }
   }
   return d;

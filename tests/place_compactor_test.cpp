@@ -10,7 +10,7 @@ namespace {
 
 Design spread_design(std::size_t n, double pemd = 0.0) {
   Design d;
-  d.set_clearance(1.0);
+  d.set_clearance(Millimeters{1.0});
   d.add_area({"board", 0,
               geom::Polygon::rectangle(geom::Rect::from_corners({0, 0}, {120, 90}))});
   for (std::size_t i = 0; i < n; ++i) {
@@ -25,7 +25,7 @@ Design spread_design(std::size_t n, double pemd = 0.0) {
   if (pemd > 0.0) {
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t j = i + 1; j < n; ++j) {
-        d.add_emd_rule("C" + std::to_string(i), "C" + std::to_string(j), pemd);
+        d.add_emd_rule("C" + std::to_string(i), "C" + std::to_string(j), Millimeters{pemd});
       }
     }
   }

@@ -62,12 +62,12 @@ TEST(Design, EmptyAllowedRotationsDefaulted) {
 
 TEST(Design, PemdLookupIsSymmetric) {
   Design d = two_comp_design();
-  d.add_emd_rule("A", "B", 17.5);
-  EXPECT_DOUBLE_EQ(d.pemd(0, 1), 17.5);
-  EXPECT_DOUBLE_EQ(d.pemd(1, 0), 17.5);
-  EXPECT_DOUBLE_EQ(d.pemd(0, 0), 0.0);
-  EXPECT_THROW(d.add_emd_rule("A", "A", 5.0), std::invalid_argument);
-  EXPECT_THROW(d.add_emd_rule("A", "B", -1.0), std::invalid_argument);
+  d.add_emd_rule("A", "B", Millimeters{17.5});
+  EXPECT_DOUBLE_EQ(d.pemd(0, 1).raw(), 17.5);
+  EXPECT_DOUBLE_EQ(d.pemd(1, 0).raw(), 17.5);
+  EXPECT_DOUBLE_EQ(d.pemd(0, 0).raw(), 0.0);
+  EXPECT_THROW(d.add_emd_rule("A", "A", Millimeters{5.0}), std::invalid_argument);
+  EXPECT_THROW(d.add_emd_rule("A", "B", Millimeters{-1.0}), std::invalid_argument);
 }
 
 TEST(Design, FootprintRespectsRotation) {
@@ -89,16 +89,16 @@ TEST(Design, AxisFollowsRotation) {
 
 TEST(Design, EffectiveEmdCosLaw) {
   Design d = two_comp_design();
-  d.add_emd_rule("A", "B", 20.0);
+  d.add_emd_rule("A", "B", Millimeters{20.0});
   const Placement pa{{0, 0}, 0.0, 0, true};
   Placement pb{{50, 0}, 0.0, 0, true};
-  EXPECT_NEAR(d.effective_emd(0, pa, 1, pb), 20.0, 1e-12);  // parallel
+  EXPECT_NEAR(d.effective_emd(0, pa, 1, pb).raw(), 20.0, 1e-12);  // parallel
   pb.rot_deg = 90.0;
-  EXPECT_NEAR(d.effective_emd(0, pa, 1, pb), 0.0, 1e-12);   // perpendicular
+  EXPECT_NEAR(d.effective_emd(0, pa, 1, pb).raw(), 0.0, 1e-12);   // perpendicular
   pb.rot_deg = 60.0;
-  EXPECT_NEAR(d.effective_emd(0, pa, 1, pb), 10.0, 1e-12);  // cos(60)
+  EXPECT_NEAR(d.effective_emd(0, pa, 1, pb).raw(), 10.0, 1e-12);  // cos(60)
   pb.rot_deg = 180.0;
-  EXPECT_NEAR(d.effective_emd(0, pa, 1, pb), 20.0, 1e-12);  // same axis
+  EXPECT_NEAR(d.effective_emd(0, pa, 1, pb).raw(), 20.0, 1e-12);  // same axis
 }
 
 TEST(Design, PinPositionsRotate) {

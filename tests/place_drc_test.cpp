@@ -9,7 +9,7 @@ namespace {
 class DrcTest : public ::testing::Test {
  protected:
   DrcTest() {
-    d_.set_clearance(1.0);
+    d_.set_clearance(Millimeters{1.0});
     d_.add_area({"board", 0,
                  geom::Polygon::rectangle(geom::Rect::from_corners({0, 0}, {100, 60}))});
     Component c;
@@ -23,7 +23,7 @@ class DrcTest : public ::testing::Test {
     d_.add_component(c);
     c.name = "C";
     d_.add_component(c);
-    d_.add_emd_rule("A", "B", 30.0);
+    d_.add_emd_rule("A", "B", Millimeters{30.0});
     layout_ = Layout::unplaced(d_);
     place("A", {20, 20}, 0.0);
     place("B", {70, 20}, 0.0);
@@ -45,7 +45,7 @@ TEST_F(DrcTest, CleanLayout) {
   EXPECT_TRUE(r.clean()) << r.violations.size();
   ASSERT_EQ(r.emd_status.size(), 1u);
   EXPECT_TRUE(r.emd_status[0].ok);
-  EXPECT_DOUBLE_EQ(r.emd_status[0].distance_mm, 50.0);
+  EXPECT_DOUBLE_EQ(r.emd_status[0].distance.raw(), 50.0);
 }
 
 TEST_F(DrcTest, UnplacedComponent) {
@@ -95,7 +95,7 @@ TEST_F(DrcTest, EmdViolationAndRotationCure) {
   r = check();
   EXPECT_EQ(r.count(ViolationKind::kEmd), 0u);
   EXPECT_TRUE(r.emd_status[0].ok);
-  EXPECT_NEAR(r.emd_status[0].effective_emd_mm, 0.0, 1e-9);
+  EXPECT_NEAR(r.emd_status[0].effective_emd.raw(), 0.0, 1e-9);
 }
 
 TEST_F(DrcTest, DifferentBoardsDecouple) {

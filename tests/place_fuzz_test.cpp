@@ -22,7 +22,7 @@ namespace {
 Design random_design(std::uint64_t seed) {
   num::Rng rng(seed);
   Design d;
-  d.set_clearance(rng.uniform(0.5, 1.5));
+  d.set_clearance(Millimeters{rng.uniform(0.5, 1.5)});
 
   const double bw = rng.uniform(90.0, 160.0);
   const double bh = rng.uniform(70.0, 120.0);
@@ -56,7 +56,7 @@ Design random_design(std::uint64_t seed) {
     for (std::size_t j = i + 1; j < n; ++j) {
       if (rng.uniform() < 0.35) {
         d.add_emd_rule("C" + std::to_string(i), "C" + std::to_string(j),
-                       rng.uniform(8.0, 22.0));
+                       Millimeters{rng.uniform(8.0, 22.0)});
       }
     }
   }

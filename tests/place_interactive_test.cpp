@@ -8,7 +8,7 @@ namespace {
 class InteractiveTest : public ::testing::Test {
  protected:
   InteractiveTest() {
-    d_.set_clearance(1.0);
+    d_.set_clearance(Millimeters{1.0});
     d_.add_area({"board", 0,
                  geom::Polygon::rectangle(geom::Rect::from_corners({0, 0}, {100, 60}))});
     Component c;
@@ -20,7 +20,7 @@ class InteractiveTest : public ::testing::Test {
     d_.add_component(c);
     c.name = "B";
     d_.add_component(c);
-    d_.add_emd_rule("A", "B", 30.0);
+    d_.add_emd_rule("A", "B", Millimeters{30.0});
     layout_ = Layout::unplaced(d_);
     layout_.placements[0] = {{20, 30}, 0.0, 0, true};
     layout_.placements[1] = {{70, 30}, 0.0, 0, true};

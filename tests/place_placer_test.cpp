@@ -9,7 +9,7 @@ namespace {
 
 Design basic_design(std::size_t n_comps, double pemd = 0.0) {
   Design d;
-  d.set_clearance(1.0);
+  d.set_clearance(Millimeters{1.0});
   d.add_area({"board", 0,
               geom::Polygon::rectangle(geom::Rect::from_corners({0, 0}, {100, 80}))});
   for (std::size_t i = 0; i < n_comps; ++i) {
@@ -24,7 +24,7 @@ Design basic_design(std::size_t n_comps, double pemd = 0.0) {
   if (pemd > 0.0) {
     for (std::size_t i = 0; i < n_comps; ++i) {
       for (std::size_t j = i + 1; j < n_comps; ++j) {
-        d.add_emd_rule("C" + std::to_string(i), "C" + std::to_string(j), pemd);
+        d.add_emd_rule("C" + std::to_string(i), "C" + std::to_string(j), Millimeters{pemd});
       }
     }
   }
@@ -112,7 +112,7 @@ TEST(AutoPlace, ImpossibleRuleFails) {
 
 TEST(AutoPlace, TwoBoardFlowUsesPartitioning) {
   Design d;
-  d.set_clearance(1.0);
+  d.set_clearance(Millimeters{1.0});
   d.set_board_count(2);
   d.add_area({"b0", 0, geom::Polygon::rectangle(geom::Rect::from_corners({0, 0}, {60, 60}))});
   d.add_area({"b1", 1, geom::Polygon::rectangle(geom::Rect::from_corners({0, 0}, {60, 60}))});
@@ -137,7 +137,7 @@ TEST(AutoPlace, TwoBoardFlowUsesPartitioning) {
 
 TEST(SequentialPlacer, PriorityPutsConstrainedFirst) {
   Design d = basic_design(3);
-  d.add_emd_rule("C1", "C2", 30.0);  // C1, C2 carry EMD budget, C0 none
+  d.add_emd_rule("C1", "C2", Millimeters{30.0});  // C1, C2 carry EMD budget, C0 none
   const SequentialPlacer p(d);
   const auto order = p.priority_order();
   EXPECT_EQ(order.back(), d.component_index("C0"));

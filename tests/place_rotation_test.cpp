@@ -17,7 +17,7 @@ Design design_with_rules(std::size_t n, double pemd) {
   }
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
-      d.add_emd_rule("C" + std::to_string(i), "C" + std::to_string(j), pemd);
+      d.add_emd_rule("C" + std::to_string(i), "C" + std::to_string(j), Millimeters{pemd});
     }
   }
   return d;

@@ -10,7 +10,7 @@ namespace {
 
 Design routed_design() {
   Design d;
-  d.set_clearance(1.0);
+  d.set_clearance(Millimeters{1.0});
   d.add_area({"board", 0,
               geom::Polygon::rectangle(geom::Rect::from_corners({0, 0}, {100, 80}))});
   for (const char* name : {"A", "B", "C", "D"}) {
@@ -120,7 +120,7 @@ TEST(Refine, DeterministicPerSeed) {
 
 TEST(Refine, HonorsEmdRules) {
   Design d = routed_design();
-  d.add_emd_rule("A", "B", 30.0);
+  d.add_emd_rule("A", "B", Millimeters{30.0});
   Layout l = square_layout(d);
   RefineOptions opt;
   opt.iterations = 2000;

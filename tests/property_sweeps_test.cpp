@@ -91,14 +91,14 @@ TEST_P(MutualReciprocity, RandomPoses) {
                         rng.uniform(0.0, 360.0)};
     const peec::PlacedModel ma{&a, pa};
     const peec::PlacedModel mb{&b, pb};
-    const double m_ab = ex.mutual(ma, mb);
-    const double m_ba = ex.mutual(mb, ma);
+    const double m_ab = ex.mutual(ma, mb).raw();
+    const double m_ba = ex.mutual(mb, ma).raw();
     EXPECT_NEAR(m_ab, m_ba, 1e-15 + 1e-9 * std::fabs(m_ab));
     // Rigid translation of BOTH models leaves the mutual unchanged.
     const geom::Vec3 shift{rng.uniform(-10, 10), rng.uniform(-10, 10), 0.0};
     const peec::PlacedModel ma2{&a, {pa.position + shift, pa.rot_deg}};
     const peec::PlacedModel mb2{&b, {pb.position + shift, pb.rot_deg}};
-    EXPECT_NEAR(ex.mutual(ma2, mb2), m_ab, 1e-15 + 1e-6 * std::fabs(m_ab));
+    EXPECT_NEAR(ex.mutual(ma2, mb2).raw(), m_ab, 1e-15 + 1e-6 * std::fabs(m_ab));
   }
 }
 

@@ -87,7 +87,7 @@ int cmd_info(const std::string& path) {
   std::printf("  keepouts:    %zu\n", d.keepouts().size());
   std::printf("  EMD rules:   %zu\n", d.emd_rules().size());
   std::printf("  groups:      %zu\n", d.groups().size());
-  std::printf("  clearance:   %.2f mm\n", d.clearance());
+  std::printf("  clearance:   %.2f mm\n", d.clearance().raw());
   std::size_t preplaced = 0;
   for (const auto& p : ld.layout.placements) preplaced += p.placed ? 1 : 0;
   std::printf("  preplaced:   %zu\n", preplaced);

@@ -1,0 +1,15 @@
+// Deliberately unconverted header: unit_lint's selftest asserts the lint
+// flags every declaration below. Never include this file in a build.
+#pragma once
+
+namespace emi::lint_fixture {
+
+double unconverted_distance(double foo_mm, double bar_hz);
+
+struct BadParams {
+  double cap_farad = 1e-9;
+  double shunt_ohm = 50.0;
+  float level_db = 0.0F;
+};
+
+}  // namespace emi::lint_fixture
