@@ -64,7 +64,18 @@ CheckedAcSolution ac_solve_checked(const Circuit& c,
   std::vector<core::Status> statuses(freqs_hz.size());
   std::vector<double> conds(freqs_hz.size(), 0.0);
 
+  // Per-frequency-point cooperative stop: capture the submitting thread's
+  // scope once (thread-locals do not cross pool lanes) and record a stop
+  // Status in the point's own slot instead of throwing off-thread. The
+  // failure then surfaces as kDeadlineExceeded / kCancelled through the
+  // normal failure list, and the owning stage discards the sweep.
+  const core::CancelScope* cscope = core::CancelScope::current();
   const auto solve_point = [&](std::size_t fi) {
+    if (cscope != nullptr && cscope->should_stop()) {
+      statuses[fi] = cscope->stop_status("ckt.ac");
+      solutions[fi].assign(n_unknowns, Complex{});
+      return;
+    }
     const double f = freqs_hz[fi];
     const double w = 2.0 * std::numbers::pi * f;
     const double scale = opt.source_scale.empty() ? 1.0 : opt.source_scale[fi];
@@ -161,6 +172,20 @@ CheckedAcSolution ac_solve_checked(const Circuit& c,
     solutions[fi] = std::move(x).value();
   };
   core::parallel_for(0, freqs_hz.size(), solve_point, /*grain=*/4);
+
+  // Chunks skipped by a stopped scope never ran solve_point at all: give
+  // those points zero phasors and the stop Status, so the sweep's shape
+  // invariants hold (every solution vector sized, every skipped point in the
+  // failure list) and the stop reason - not an indexing accident downstream -
+  // is what the owning stage observes.
+  if (cscope != nullptr && cscope->should_stop()) {
+    for (std::size_t fi = 0; fi < freqs_hz.size(); ++fi) {
+      if (solutions[fi].size() != n_unknowns) {
+        solutions[fi].assign(n_unknowns, Complex{});
+        if (statuses[fi].ok()) statuses[fi] = cscope->stop_status("ckt.ac");
+      }
+    }
+  }
 
   CheckedAcSolution out{AcSolution(c, freqs_hz, std::move(solutions)), {}};
   for (std::size_t fi = 0; fi < freqs_hz.size(); ++fi) {

@@ -1,0 +1,69 @@
+#include "src/core/deadline.hpp"
+
+#include <string>
+
+namespace emi::core {
+
+namespace {
+thread_local const CancelScope* t_current_scope = nullptr;
+}  // namespace
+
+CancelScope::CancelScope(Deadline deadline, CancelToken* token)
+    : deadline_(deadline), token_(token), parent_(t_current_scope) {
+  t_current_scope = this;
+}
+
+CancelScope::~CancelScope() { t_current_scope = parent_; }
+
+bool CancelScope::should_stop() const {
+  if (stop_.load(std::memory_order_relaxed) != 0) return true;
+  Stop reason = Stop::kNone;
+  if (token_ != nullptr && token_->cancel_requested()) {
+    reason = Stop::kCancel;
+  } else if (deadline_.has_expired()) {
+    reason = Stop::kDeadline;
+  } else if (parent_ != nullptr && parent_->should_stop()) {
+    // Inherit the enclosing scope's stop: an expired flow budget stops every
+    // stage scope nested inside it. Cancellation outranks expiry there too.
+    reason = parent_->stop_reason() == Stop::kCancel ? Stop::kCancel : Stop::kDeadline;
+  }
+  if (reason == Stop::kNone) return false;
+  std::uint8_t expected = 0;
+  stop_.compare_exchange_strong(expected, static_cast<std::uint8_t>(reason),
+                                std::memory_order_relaxed);
+  return true;
+}
+
+Status CancelScope::stop_status(std::string_view stage) const {
+  switch (stop_reason()) {
+    case Stop::kNone:
+      return Status();
+    case Stop::kCancel:
+      return Status(ErrorCode::kCancelled, std::string(stage),
+                    "cancelled by CancelToken");
+    case Stop::kDeadline:
+      // Fixed text: diagnostics must be reproducible run to run, so the
+      // message never carries clock readings.
+      return Status(ErrorCode::kDeadlineExceeded, std::string(stage),
+                    "stage budget exhausted");
+  }
+  return Status();
+}
+
+void CancelScope::throw_if_stopped(std::string_view stage) const {
+  if (should_stop()) stop_status(stage).raise();
+}
+
+const CancelScope* CancelScope::current() { return t_current_scope; }
+
+bool CancelScope::poll() {
+  const CancelScope* s = t_current_scope;
+  return s == nullptr || !s->should_stop();
+}
+
+void CancelScope::check(std::string_view stage) {
+  const CancelScope* s = t_current_scope;
+  if (s != nullptr && s->should_stop()) s->stop_status(stage).raise();
+}
+
+}  // namespace emi::core

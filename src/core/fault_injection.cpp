@@ -23,6 +23,8 @@ bool parse_site(const std::string& name, FaultSite& out) {
   else if (name == "cache") out = FaultSite::kCache;
   else if (name == "lu") out = FaultSite::kLu;
   else if (name == "io") out = FaultSite::kIo;
+  else if (name == "deadline") out = FaultSite::kDeadline;
+  else if (name == "ckpt") out = FaultSite::kCkpt;
   else return false;
   return true;
 }
@@ -35,6 +37,8 @@ const char* fault_site_name(FaultSite s) {
     case FaultSite::kCache: return "cache";
     case FaultSite::kLu: return "lu";
     case FaultSite::kIo: return "io";
+    case FaultSite::kDeadline: return "deadline";
+    case FaultSite::kCkpt: return "ckpt";
   }
   return "unknown";
 }
@@ -44,7 +48,8 @@ FaultInjector::FaultInjector() {
     if (!configure_from_spec(env)) {
       std::fprintf(stderr,
                    "EMI_FAULT_INJECT: malformed spec '%s' ignored "
-                   "(want <site>:<rate>:<seed>[,...], site in pool|cache|lu|io)\n",
+                   "(want <site>:<rate>:<seed>[,...], site in "
+                   "pool|cache|lu|io|deadline|ckpt)\n",
                    env);
     }
   }
@@ -70,8 +75,11 @@ bool FaultInjector::configure_from_spec(const std::string& spec) {
   std::vector<Parsed> parsed;
   std::istringstream ss(spec);
   std::string entry;
+  bool trailing_comma = !spec.empty() && spec.back() == ',';
   while (std::getline(ss, entry, ',')) {
-    if (entry.empty()) continue;
+    // Empty entries (leading/doubled/trailing commas) are malformed, not
+    // skipped: a typo must disarm the whole spec, never half of it.
+    if (entry.empty()) return false;
     const auto c1 = entry.find(':');
     const auto c2 = entry.find(':', c1 == std::string::npos ? c1 : c1 + 1);
     if (c1 == std::string::npos || c2 == std::string::npos) return false;
@@ -91,7 +99,10 @@ bool FaultInjector::configure_from_spec(const std::string& spec) {
     if (!(p.rate >= 0.0) || !(p.rate <= 1.0)) return false;
     parsed.push_back(p);
   }
-  if (parsed.empty()) return false;
+  if (parsed.empty() || trailing_comma) return false;
+  // All-or-nothing replacement: a successful spec describes the complete
+  // armed configuration, so sites from an earlier configure don't linger.
+  disarm();
   for (const Parsed& p : parsed) configure(p.site, p.rate, p.seed);
   return true;
 }

@@ -13,6 +13,11 @@
 //   cache  - a PEEC extraction-cache lookup is forced to miss (recompute)
 //   lu     - an LU factorization reports an injected singular pivot
 //   io     - a design-format numeric field fails to parse
+//   deadline - a flow stage attempt starts with an already-expired deadline
+//            (key = stage name hash mixed with attempt index), driving the
+//            cooperative-stop and degradation-ladder paths deterministically
+//   ckpt   - a flow checkpoint write is torn (payload truncated before the
+//            atomic rename), so resume must reject it by checksum
 //
 // Zero overhead when off: call sites go through fault::should_fire(), which
 // is one relaxed atomic load of a process-wide "armed" flag before anything
@@ -23,11 +28,12 @@
 #include <bit>
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace emi::core {
 
-enum class FaultSite : std::uint8_t { kPool = 0, kCache, kLu, kIo };
-inline constexpr std::size_t kFaultSiteCount = 4;
+enum class FaultSite : std::uint8_t { kPool = 0, kCache, kLu, kIo, kDeadline, kCkpt };
+inline constexpr std::size_t kFaultSiteCount = 6;
 
 const char* fault_site_name(FaultSite s);
 
@@ -81,6 +87,17 @@ inline std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
 }
 inline std::uint64_t mix(std::uint64_t h, double v) {
   return mix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+// FNV-1a over text - the key builder for string-identified work items
+// (stage names, checkpoint payloads). Content-derived, scheduling-free.
+inline std::uint64_t fnv64(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
 }
 
 }  // namespace fault

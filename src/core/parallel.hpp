@@ -14,12 +14,22 @@
 //     canonical association is the *chunked* one: changing the grain is an
 //     (ulp-level, for floating point) behavior change, changing the thread
 //     count is not.
+//
+// Cooperative cancellation: each call captures the submitting thread's
+// innermost core::CancelScope and re-checks it at every chunk boundary (on
+// whichever lane runs the chunk). Once the scope reports a stop, remaining
+// chunks are skipped entirely - their result slots keep their initial
+// values. That is safe because the scope-owning stage discards all of its
+// output on a stop (CancelScope::throw_if_stopped); a chunk is never
+// half-run, so a *completed* region is bit-identical whether or not a scope
+// was armed.
 #pragma once
 
 #include <cstddef>
 #include <functional>
 #include <vector>
 
+#include "src/core/deadline.hpp"
 #include "src/core/thread_pool.hpp"
 
 namespace emi::core {
@@ -38,7 +48,9 @@ void parallel_for(std::size_t begin, std::size_t end, const Fn& fn,
   const std::size_t n = end - begin;
   if (grain == 0) grain = 1;
   const std::size_t chunks = chunk_count(n, grain);
-  const std::function<void(std::size_t)> run_chunk = [&](std::size_t c) {
+  const CancelScope* scope = CancelScope::current();
+  const std::function<void(std::size_t)> run_chunk = [&, scope](std::size_t c) {
+    if (scope != nullptr && scope->should_stop()) return;  // skip whole chunk
     const std::size_t lo = begin + c * grain;
     const std::size_t hi = lo + grain < end ? lo + grain : end;
     for (std::size_t i = lo; i < hi; ++i) fn(i);
@@ -57,7 +69,9 @@ T parallel_reduce(std::size_t begin, std::size_t end, T init, T identity,
   if (grain == 0) grain = 1;
   const std::size_t chunks = chunk_count(n, grain);
   std::vector<T> partial(chunks, identity);
-  const std::function<void(std::size_t)> run_chunk = [&](std::size_t c) {
+  const CancelScope* scope = CancelScope::current();
+  const std::function<void(std::size_t)> run_chunk = [&, scope](std::size_t c) {
+    if (scope != nullptr && scope->should_stop()) return;  // partial stays identity
     const std::size_t lo = begin + c * grain;
     const std::size_t hi = lo + grain < end ? lo + grain : end;
     T acc = identity;

@@ -29,6 +29,8 @@ enum class ErrorCode : std::uint8_t {
   kIoError,            // file system / stream failure
   kFailedPrecondition, // object not in a usable state for the call
   kInternal,           // unclassified failure mapped from an exception
+  kDeadlineExceeded,   // a core::Deadline budget ran out (cooperative stop)
+  kCancelled,          // a core::CancelToken was raised (cooperative stop)
 };
 
 inline const char* error_code_name(ErrorCode c) {
@@ -42,6 +44,8 @@ inline const char* error_code_name(ErrorCode c) {
     case ErrorCode::kIoError: return "io_error";
     case ErrorCode::kFailedPrecondition: return "failed_precondition";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kCancelled: return "cancelled";
   }
   return "unknown";
 }

@@ -4,45 +4,101 @@
 #include <cmath>
 #include <functional>
 #include <set>
+#include <utility>
 
+#include "src/core/fault_injection.hpp"
 #include "src/core/thread_pool.hpp"
+#include "src/flow/checkpoint.hpp"
 
 namespace emi::flow {
 
 namespace {
 
-// Retry driver for one pipeline stage. The body receives the attempt index
-// so it can perturb its numerics (the flow jitters the AC pivot threshold,
-// which re-keys injected lu faults); the final retry additionally forces
-// serial lanes - a scheduling change only, results are bit-identical by the
-// pool's determinism contract. Exceptions are normalized into Status:
-// structured errors keep their code, caller mistakes map to
-// kInvalidArgument, anything else to kInternal.
-bool run_stage(const char* stage, int attempts, std::vector<StageDiagnostic>& diags,
-               const std::function<void(int)>& body) {
-  attempts = std::max(attempts, 1);
-  core::Status last;
-  for (int attempt = 0; attempt < attempts; ++attempt) {
-    try {
-      if (attempt + 1 == attempts && attempts > 1) {
-        core::ScopedSerialFallback serial;
-        body(attempt);
-      } else {
-        body(attempt);
+enum class StageOutcome { kOk, kFailed, kCancelled };
+
+// Retry driver for one pipeline stage, now budget-aware. Every attempt runs
+// under a CancelScope bound to the tighter of the flow deadline and a fresh
+// per-attempt stage budget; the stage body's poll points stop cooperatively
+// and the scope epilogue discards the attempt's output by raising.
+//
+// Degradation ladder: a deadline-expired attempt bumps `degrade`, and the
+// body receives it so the retry can run a cheaper configuration (coarser
+// quadrature, coarser placement grid, fewer sensitivity points) under a
+// fresh stage budget. A raised CancelToken aborts the stage - and, via
+// `cancelled`, the pipeline - immediately; an exhausted *flow* budget fails
+// the stage without running it, so the remaining pipeline degrades to a
+// partial result instead of burning time it no longer has.
+//
+// All of these decisions happen at attempt boundaries, as pure functions of
+// per-attempt outcomes - never mid-chunk - so a run taking a given
+// degradation path is bit-identical to any other run taking that path, at
+// any thread count.
+//
+// Exceptions are normalized into Status as before: structured errors keep
+// their code, caller mistakes map to kInvalidArgument, anything else to
+// kInternal. The final retry forces serial lanes - a scheduling change only.
+struct StageDriver {
+  const FlowOptions* opt;
+  core::Deadline flow_deadline;
+  std::vector<StageDiagnostic>* diags;
+  bool cancelled = false;     // a stage observed kCancelled: stop the pipeline
+  bool flow_expired = false;  // total budget gone: fail remaining stages fast
+
+  StageOutcome run(const char* stage, const std::function<void(int, int)>& body) {
+    const int attempts = std::max(opt->stage_attempts, 1);
+    core::Status last;
+    int degrade = 0;
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+      if (flow_deadline.has_expired()) flow_expired = true;
+      if (flow_expired) {
+        last = core::Status(core::ErrorCode::kDeadlineExceeded, stage,
+                            "flow budget exhausted");
+        diags->push_back({stage, last, attempt, false});
+        return StageOutcome::kFailed;
       }
-      if (attempt > 0) diags.push_back({stage, last, attempt + 1, true});
-      return true;
-    } catch (const core::StatusError& e) {
-      last = e.status();
-    } catch (const std::invalid_argument& e) {
-      last = core::Status(core::ErrorCode::kInvalidArgument, stage, e.what());
-    } catch (const std::exception& e) {
-      last = core::Status(core::ErrorCode::kInternal, stage, e.what());
+      core::Deadline deadline = flow_deadline;
+      if (opt->stage_budget_ms > 0) {
+        deadline = core::Deadline::sooner(
+            deadline, core::Deadline::after_ms(opt->stage_budget_ms));
+      }
+      // Injected expiry: the attempt starts already out of time, driving the
+      // cooperative-stop and degradation paths deterministically (the key
+      // depends only on stage name and attempt index).
+      if (core::fault::should_fire(
+              core::FaultSite::kDeadline,
+              core::fault::mix(core::fault::fnv64(stage),
+                               static_cast<std::uint64_t>(attempt)))) {
+        deadline = core::Deadline::expired();
+      }
+      try {
+        core::CancelScope scope(deadline, opt->cancel);
+        if (attempt + 1 == attempts && attempts > 1) {
+          core::ScopedSerialFallback serial;
+          body(attempt, degrade);
+        } else {
+          body(attempt, degrade);
+        }
+        scope.throw_if_stopped(stage);
+        if (attempt > 0) diags->push_back({stage, last, attempt + 1, true});
+        return StageOutcome::kOk;
+      } catch (const core::StatusError& e) {
+        last = e.status();
+        if (last.code() == core::ErrorCode::kCancelled) {
+          cancelled = true;
+          diags->push_back({stage, last, attempt + 1, false});
+          return StageOutcome::kCancelled;
+        }
+        if (last.code() == core::ErrorCode::kDeadlineExceeded) ++degrade;
+      } catch (const std::invalid_argument& e) {
+        last = core::Status(core::ErrorCode::kInvalidArgument, stage, e.what());
+      } catch (const std::exception& e) {
+        last = core::Status(core::ErrorCode::kInternal, stage, e.what());
+      }
     }
+    diags->push_back({stage, last, attempts, false});
+    return StageOutcome::kFailed;
   }
-  diags.push_back({stage, last, attempts, false});
-  return false;
-}
+};
 
 emc::EmissionSweepOptions jittered(const emc::EmissionSweepOptions& sweep, int attempt) {
   emc::EmissionSweepOptions s = sweep;
@@ -52,89 +108,185 @@ emc::EmissionSweepOptions jittered(const emc::EmissionSweepOptions& sweep, int a
   return s;
 }
 
-}  // namespace
-
-FlowResult run_design_flow(BuckConverter& bc, const place::Layout& initial_layout,
-                           const FlowOptions& opt) {
-  FlowResult res;
+// Shared driver behind run_design_flow (empty checkpoint) and
+// resume_design_flow (restored checkpoint): stages whose bit is already set
+// are skipped and their serialized results used as-is.
+FlowResult run_flow_from(BuckConverter& bc, const place::Layout& initial_layout,
+                         const FlowOptions& opt, FlowCheckpoint ck) {
+  FlowResult& res = ck.result;
   const peec::CouplingExtractor extractor(opt.quadrature);
+  // Degraded-retry extractor: same physics, coarser quadrature. Only used by
+  // attempts that follow a deadline expiry.
+  peec::QuadratureOptions coarse_q = opt.quadrature;
+  coarse_q.order = std::max<std::size_t>(2, opt.quadrature.order / 2);
+  coarse_q.subdivisions = 1;
+  const peec::CouplingExtractor coarse_extractor(coarse_q);
+  const auto pick_extractor = [&](int degrade) -> const peec::CouplingExtractor& {
+    return degrade > 0 ? coarse_extractor : extractor;
+  };
   const core::PoolStats pool0 = core::ThreadPool::global().stats();
+
+  StageDriver driver{&opt,
+                     opt.total_budget_ms > 0 ? core::Deadline::after_ms(opt.total_budget_ms)
+                                             : core::Deadline::unlimited(),
+                     &res.diagnostics};
 
   std::vector<std::string> candidates;
   for (const auto& [l, mi] : bc.inductor_model) candidates.push_back(l);
   std::sort(candidates.begin(), candidates.end());
 
-  // Step 1+2: sensitivity analysis on the coupling-capable inductors.
-  const bool sens_ok =
-      run_stage("flow.sensitivity", opt.stage_attempts, res.diagnostics, [&](int attempt) {
-        core::ScopedTimer t(res.profile, "flow.sensitivity_s");
-        emc::SensitivityOptions sens_opt;
-        sens_opt.sweep = jittered(opt.sweep, attempt);
-        sens_opt.candidates = candidates;
-        res.ranking = emc::rank_coupling_sensitivity(bc.circuit, bc.meas_node, bc.noise,
-                                                     sens_opt);
-      });
-  res.profile.add_count("flow.pairs_ranked", res.ranking.size());
+  ck.context_digest = flow_context_digest(bc, initial_layout, opt);
 
-  // Select the pairs worth a field simulation. If the ranking is unavailable
-  // the flow degrades to the state of practice: simulate every pair (no
-  // pruning), which is slower but never wrong.
-  if (sens_ok) {
-    for (const auto& s : res.ranking) {
-      if (opt.sensitivity_threshold_db <= 0.0 ||
-          s.max_delta_db >= opt.sensitivity_threshold_db) {
-        res.simulated_pairs.emplace_back(s.inductor_a, s.inductor_b);
-      } else {
-        ++res.field_solves_saved;
+  const auto finalize = [&]() -> FlowResult {
+    const peec::ExtractionCacheStats c0 = extractor.cache_stats();
+    const peec::ExtractionCacheStats c1 = coarse_extractor.cache_stats();
+    res.profile.add_count("peec.self_cache_hits", c0.self_hits + c1.self_hits);
+    res.profile.add_count("peec.self_cache_misses", c0.self_misses + c1.self_misses);
+    res.profile.add_count("peec.mutual_cache_hits", c0.mutual_hits + c1.mutual_hits);
+    res.profile.add_count("peec.mutual_cache_misses",
+                          c0.mutual_misses + c1.mutual_misses);
+    const core::PoolStats pool1 = core::ThreadPool::global().stats();
+    res.profile.add_count("pool.threads", core::ThreadPool::global_thread_count());
+    res.profile.add_count("pool.batches", pool1.batches - pool0.batches);
+    res.profile.add_count("pool.chunks", pool1.chunks - pool0.chunks);
+    res.profile.add_count("pool.steals", pool1.steals - pool0.steals);
+    res.profile.add_count("pool.serial_fallbacks",
+                          pool1.serial_fallbacks - pool0.serial_fallbacks);
+    return std::move(res);
+  };
+
+  // Checkpoint the decided stage; returns true when the flow should return
+  // right here, simulating a crash after the write (tests' stop_after hook).
+  const auto checkpoint_after = [&](FlowStage stage, bool ok_bit) -> bool {
+    ck.set(stage, ok_bit);
+    if (!opt.checkpoint_path.empty()) {
+      const core::Status st = save_checkpoint_file(opt.checkpoint_path, ck);
+      if (!st.ok()) res.diagnostics.push_back({"flow.checkpoint", st, 1, false});
+    }
+    return opt.stop_after_stage == flow_stage_name(stage);
+  };
+
+  // Step 1+2: sensitivity analysis on the coupling-capable inductors. If the
+  // ranking is unavailable the flow degrades to the state of practice:
+  // simulate every pair (no pruning), which is slower but never wrong. The
+  // pair selection is part of the stage's decided outcome, so a resume
+  // restores it from the checkpoint instead of re-deriving it.
+  bool sens_ok;
+  if (ck.done(FlowStage::kSensitivity)) {
+    sens_ok = ck.ok(FlowStage::kSensitivity);
+  } else {
+    const StageOutcome so = driver.run(
+        "flow.sensitivity", [&](int attempt, int degrade) {
+          core::ScopedTimer t(res.profile, "flow.sensitivity_s");
+          emc::SensitivityOptions sens_opt;
+          sens_opt.sweep = jittered(opt.sweep, attempt);
+          if (degrade > 0) {
+            // Degraded retry after an expired budget: fewer sweep points.
+            sens_opt.sweep.n_points =
+                std::max<std::size_t>(25, sens_opt.sweep.n_points >> degrade);
+          }
+          sens_opt.candidates = candidates;
+          res.ranking = emc::rank_coupling_sensitivity(bc.circuit, bc.meas_node,
+                                                       bc.noise, sens_opt);
+        });
+    if (so == StageOutcome::kCancelled) {
+      res.complete = false;
+      return finalize();
+    }
+    sens_ok = so == StageOutcome::kOk;
+    res.simulated_pairs.clear();
+    res.field_solves_saved = 0;
+    if (sens_ok) {
+      for (const auto& s : res.ranking) {
+        if (opt.sensitivity_threshold_db <= 0.0 ||
+            s.max_delta_db >= opt.sensitivity_threshold_db) {
+          res.simulated_pairs.emplace_back(s.inductor_a, s.inductor_b);
+        } else {
+          ++res.field_solves_saved;
+        }
+      }
+    } else {
+      res.ranking.clear();
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        for (std::size_t j = i + 1; j < candidates.size(); ++j) {
+          res.simulated_pairs.emplace_back(candidates[i], candidates[j]);
+        }
       }
     }
-  } else {
-    res.ranking.clear();
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      for (std::size_t j = i + 1; j < candidates.size(); ++j) {
-        res.simulated_pairs.emplace_back(candidates[i], candidates[j]);
-      }
+    if (checkpoint_after(FlowStage::kSensitivity, sens_ok)) {
+      res.complete = false;
+      return finalize();
     }
   }
+  res.profile.add_count("flow.pairs_ranked", res.ranking.size());
   res.profile.add_count("flow.field_solves_saved", res.field_solves_saved);
 
   // Step 3+4: extract couplings for the initial layout, predict emissions.
-  const bool initial_ok = run_stage(
-      "flow.initial_prediction", opt.stage_attempts, res.diagnostics, [&](int attempt) {
-        core::ScopedTimer t(res.profile, "flow.initial_prediction_s");
-        const emc::EmissionSweepOptions sweep = jittered(opt.sweep, attempt);
-        const ckt::Circuit coupled = circuit_with_couplings(
-            bc, initial_layout, extractor, opt.k_min, res.simulated_pairs);
-        res.initial_prediction = emc::conducted_emission(coupled, bc.meas_node, bc.noise,
-                                                         sweep);
-        res.initial_no_coupling = emc::conducted_emission(bc.circuit, bc.meas_node,
-                                                          bc.noise, sweep);
-      });
-  if (!initial_ok) res.complete = false;
+  if (!ck.done(FlowStage::kInitialPrediction)) {
+    const StageOutcome so = driver.run(
+        "flow.initial_prediction", [&](int attempt, int degrade) {
+          core::ScopedTimer t(res.profile, "flow.initial_prediction_s");
+          const emc::EmissionSweepOptions sweep = jittered(opt.sweep, attempt);
+          const ckt::Circuit coupled =
+              circuit_with_couplings(bc, initial_layout, pick_extractor(degrade),
+                                     opt.k_min, res.simulated_pairs);
+          res.initial_prediction =
+              emc::conducted_emission(coupled, bc.meas_node, bc.noise, sweep);
+          res.initial_no_coupling =
+              emc::conducted_emission(bc.circuit, bc.meas_node, bc.noise, sweep);
+        });
+    if (so == StageOutcome::kCancelled) {
+      res.complete = false;
+      return finalize();
+    }
+    if (so != StageOutcome::kOk) res.complete = false;
+    if (checkpoint_after(FlowStage::kInitialPrediction, so == StageOutcome::kOk)) {
+      res.complete = false;
+      return finalize();
+    }
+  }
 
   // Step 5: derive PEMD rules for the component pairs behind the simulated
-  // inductor pairs and install them in the board design. Rules accumulate in
-  // a stage-local list so a retried attempt never installs duplicates.
-  std::vector<emc::MinDistanceRule> derived;
-  const bool rules_ok = run_stage(
-      "flow.rule_derivation", opt.stage_attempts, res.diagnostics, [&](int) {
-        core::ScopedTimer t(res.profile, "flow.rule_derivation_s");
-        derived.clear();
-        const emc::RuleDeriver deriver(
-            extractor, {opt.k_threshold, emc::Millimeters{2.0}, emc::Millimeters{200.0},
-                        emc::Millimeters{0.25}});
-        std::set<std::pair<std::string, std::string>> done;
-        for (const auto& [la, lb] : res.simulated_pairs) {
-          const peec::ComponentFieldModel* ma = bc.model_for_inductor(la);
-          const peec::ComponentFieldModel* mb = bc.model_for_inductor(lb);
-          if (ma == nullptr || mb == nullptr) continue;
-          auto key = std::minmax(ma->name, mb->name);
-          if (!done.insert(key).second) continue;
-          derived.push_back(deriver.derive(*ma, *mb));
-        }
-      });
+  // inductor pairs. Rules accumulate in a stage-local list so a retried
+  // attempt never installs duplicates; installation into the board happens
+  // after the outcome is decided, and therefore also on the resume path.
+  bool rules_ok;
+  if (ck.done(FlowStage::kRuleDerivation)) {
+    rules_ok = ck.ok(FlowStage::kRuleDerivation);
+  } else {
+    std::vector<emc::MinDistanceRule> derived;
+    const StageOutcome so = driver.run(
+        "flow.rule_derivation", [&](int, int degrade) {
+          core::ScopedTimer t(res.profile, "flow.rule_derivation_s");
+          derived.clear();
+          // Degraded retry: coarser quadrature and a coarser bisection
+          // tolerance - rules stay conservative, just less finely resolved.
+          const emc::RuleDeriver deriver(
+              pick_extractor(degrade),
+              {opt.k_threshold, emc::Millimeters{2.0}, emc::Millimeters{200.0},
+               emc::Millimeters{degrade > 0 ? 1.0 : 0.25}});
+          std::set<std::pair<std::string, std::string>> done;
+          for (const auto& [la, lb] : res.simulated_pairs) {
+            const peec::ComponentFieldModel* ma = bc.model_for_inductor(la);
+            const peec::ComponentFieldModel* mb = bc.model_for_inductor(lb);
+            if (ma == nullptr || mb == nullptr) continue;
+            auto key = std::minmax(ma->name, mb->name);
+            if (!done.insert(key).second) continue;
+            derived.push_back(deriver.derive(*ma, *mb));
+          }
+        });
+    if (so == StageOutcome::kCancelled) {
+      res.complete = false;
+      return finalize();
+    }
+    rules_ok = so == StageOutcome::kOk;
+    if (rules_ok) res.rules = std::move(derived);
+    if (checkpoint_after(FlowStage::kRuleDerivation, rules_ok)) {
+      res.complete = false;
+      return finalize();
+    }
+  }
   if (rules_ok) {
-    res.rules = std::move(derived);
     for (const emc::MinDistanceRule& rule : res.rules) {
       if (rule.pemd.raw() > 0.0) {
         bc.board.add_emd_rule(rule.comp_a, rule.comp_b, rule.pemd);
@@ -142,7 +294,9 @@ FlowResult run_design_flow(BuckConverter& bc, const place::Layout& initial_layou
     }
   }
 
-  // DRC of the initial layout against the derived rules (Fig 15).
+  // DRC of the initial layout against the derived rules (Fig 15). Cheap and
+  // a pure function of restored state, so it is recomputed on resume rather
+  // than serialized.
   const place::DrcEngine drc(bc.board);
   res.drc_initial = drc.check(initial_layout);
 
@@ -151,35 +305,76 @@ FlowResult run_design_flow(BuckConverter& bc, const place::Layout& initial_layou
   // PWRLOOP is a caller mistake, so it is checked before the retry loop and
   // still raises.
   const std::size_t loop_idx = bc.board.component_index("PWRLOOP");
-  const bool place_ok = run_stage(
-      "flow.placement", opt.stage_attempts, res.diagnostics, [&](int) {
-        core::ScopedTimer t(res.profile, "flow.placement_s");
-        res.improved_layout = place::Layout::unplaced(bc.board);
-        res.improved_layout.placements[loop_idx] = initial_layout.placements[loop_idx];
-        bc.board.components()[loop_idx].preplaced = true;
-        res.place_stats = place::auto_place(bc.board, res.improved_layout, opt.placement);
-      });
+  bool place_ok;
+  if (ck.done(FlowStage::kPlacement)) {
+    place_ok = ck.ok(FlowStage::kPlacement);
+    bc.board.components()[loop_idx].preplaced = true;
+  } else {
+    const StageOutcome so = driver.run(
+        "flow.placement", [&](int, int degrade) {
+          core::ScopedTimer t(res.profile, "flow.placement_s");
+          res.improved_layout = place::Layout::unplaced(bc.board);
+          res.improved_layout.placements[loop_idx] = initial_layout.placements[loop_idx];
+          bc.board.components()[loop_idx].preplaced = true;
+          place::AutoPlaceOptions popt = opt.placement;
+          if (degrade > 0) {
+            // Degraded retry: coarser candidate grid, fewer refinements.
+            popt.placer.grid_step_mm *= static_cast<double>(1 << degrade);
+            popt.placer.max_refines =
+                popt.placer.max_refines > static_cast<std::size_t>(degrade)
+                    ? popt.placer.max_refines - static_cast<std::size_t>(degrade)
+                    : 1;
+          }
+          res.place_stats = place::auto_place(bc.board, res.improved_layout, popt);
+        });
+    if (so == StageOutcome::kCancelled) {
+      res.complete = false;
+      return finalize();
+    }
+    place_ok = so == StageOutcome::kOk;
+    // Wall time is observability, not a result: zero it so checkpointed and
+    // fresh stats compare bit-identical.
+    res.place_stats.elapsed_seconds = 0.0;
+    if (checkpoint_after(FlowStage::kPlacement, place_ok)) {
+      res.complete = false;
+      return finalize();
+    }
+  }
   res.profile.add_count("place.candidates_evaluated",
                         res.place_stats.candidates_evaluated);
 
   // Step 7: verify - DRC (Fig 17) and re-predict emissions (Fig 2). Without
   // a placed layout there is nothing to verify.
   bool verify_ok = false;
-  if (place_ok) {
-    verify_ok = run_stage(
-        "flow.verification", opt.stage_attempts, res.diagnostics, [&](int attempt) {
+  if (ck.done(FlowStage::kVerification)) {
+    verify_ok = ck.ok(FlowStage::kVerification);
+    if (verify_ok) res.drc_improved = drc.check(res.improved_layout);
+  } else if (place_ok) {
+    const StageOutcome so = driver.run(
+        "flow.verification", [&](int attempt, int degrade) {
           core::ScopedTimer t(res.profile, "flow.verification_s");
           res.drc_improved = drc.check(res.improved_layout);
-          const ckt::Circuit improved_ckt = circuit_with_couplings(
-              bc, res.improved_layout, extractor, opt.k_min, res.simulated_pairs);
+          const ckt::Circuit improved_ckt =
+              circuit_with_couplings(bc, res.improved_layout, pick_extractor(degrade),
+                                     opt.k_min, res.simulated_pairs);
           res.improved_prediction = emc::conducted_emission(
               improved_ckt, bc.meas_node, bc.noise, jittered(opt.sweep, attempt));
         });
+    if (so == StageOutcome::kCancelled) {
+      res.complete = false;
+      return finalize();
+    }
+    verify_ok = so == StageOutcome::kOk;
+    if (checkpoint_after(FlowStage::kVerification, verify_ok)) {
+      res.complete = false;
+      return finalize();
+    }
   }
   if (!place_ok || !verify_ok) res.complete = false;
 
   if (!res.initial_prediction.level_dbuv.empty() &&
-      res.initial_prediction.level_dbuv.size() == res.improved_prediction.level_dbuv.size()) {
+      res.initial_prediction.level_dbuv.size() ==
+          res.improved_prediction.level_dbuv.size()) {
     double best = 0.0;
     for (std::size_t i = 0; i < res.initial_prediction.level_dbuv.size(); ++i) {
       best = std::max(best, res.initial_prediction.level_dbuv[i] -
@@ -188,20 +383,43 @@ FlowResult run_design_flow(BuckConverter& bc, const place::Layout& initial_layou
     res.peak_improvement_db = best;
   }
 
-  const peec::ExtractionCacheStats cache = extractor.cache_stats();
-  res.profile.add_count("peec.self_cache_hits", cache.self_hits);
-  res.profile.add_count("peec.self_cache_misses", cache.self_misses);
-  res.profile.add_count("peec.mutual_cache_hits", cache.mutual_hits);
-  res.profile.add_count("peec.mutual_cache_misses", cache.mutual_misses);
+  return finalize();
+}
 
-  const core::PoolStats pool1 = core::ThreadPool::global().stats();
-  res.profile.add_count("pool.threads", core::ThreadPool::global_thread_count());
-  res.profile.add_count("pool.batches", pool1.batches - pool0.batches);
-  res.profile.add_count("pool.chunks", pool1.chunks - pool0.chunks);
-  res.profile.add_count("pool.steals", pool1.steals - pool0.steals);
-  res.profile.add_count("pool.serial_fallbacks",
-                        pool1.serial_fallbacks - pool0.serial_fallbacks);
-  return res;
+}  // namespace
+
+FlowResult run_design_flow(BuckConverter& bc, const place::Layout& initial_layout,
+                           const FlowOptions& opt) {
+  return run_flow_from(bc, initial_layout, opt, FlowCheckpoint{});
+}
+
+FlowResult resume_design_flow(BuckConverter& bc, const place::Layout& initial_layout,
+                              const FlowOptions& opt) {
+  FlowResult rejected;
+  rejected.complete = false;
+  if (opt.checkpoint_path.empty()) {
+    rejected.diagnostics.push_back(
+        {"flow.checkpoint",
+         core::Status(core::ErrorCode::kInvalidArgument, "flow.checkpoint",
+                      "resume requested without a checkpoint path"),
+         0, false});
+    return rejected;
+  }
+  core::Result<FlowCheckpoint> loaded = load_checkpoint_file(opt.checkpoint_path);
+  if (!loaded.ok()) {
+    rejected.diagnostics.push_back({"flow.checkpoint", loaded.status(), 0, false});
+    return rejected;
+  }
+  FlowCheckpoint ck = std::move(loaded).value();
+  if (ck.context_digest != flow_context_digest(bc, initial_layout, opt)) {
+    rejected.diagnostics.push_back(
+        {"flow.checkpoint",
+         core::Status(core::ErrorCode::kFailedPrecondition, "flow.checkpoint",
+                      "checkpoint was written for a different flow configuration"),
+         0, false});
+    return rejected;
+  }
+  return run_flow_from(bc, initial_layout, opt, std::move(ck));
 }
 
 }  // namespace emi::flow

@@ -13,6 +13,9 @@
 // of the system volume."
 #pragma once
 
+#include <cstdint>
+
+#include "src/core/deadline.hpp"
 #include "src/core/profile.hpp"
 #include "src/core/status.hpp"
 #include "src/emi/measurement.hpp"
@@ -42,6 +45,36 @@ struct FlowOptions {
   // a scheduling change only, results are bit-identical by the pool's
   // determinism contract.
   int stage_attempts = 2;
+
+  // Time budgets (milliseconds; 0 = unlimited). The total budget bounds the
+  // whole flow, the stage budget bounds each attempt of each stage; an
+  // attempt runs under the tighter of the two. Expiry is cooperative (poll
+  // points inside extraction / AC sweeps / placement) and surfaces as a
+  // kDeadlineExceeded StageDiagnostic - never a hang or a throw out of
+  // run_design_flow. An expired attempt is retried in *degraded* form
+  // (coarser quadrature, coarser placement grid, fewer sensitivity points);
+  // once the total budget is gone, remaining stages are skipped and the
+  // partial FlowResult comes back with complete=false. Degradation decisions
+  // are made only at attempt boundaries, so a run that takes a given
+  // degradation path is bit-identical to any other run taking that path.
+  std::int64_t total_budget_ms = 0;
+  std::int64_t stage_budget_ms = 0;
+  // Optional cooperative cancellation (operator Ctrl-C, supervising
+  // service). Raising it stops the flow at the next poll point; the current
+  // stage's output is discarded and the partial result carries a kCancelled
+  // diagnostic. Not owned; may be null.
+  core::CancelToken* cancel = nullptr;
+
+  // Crash safety: when non-empty, a versioned checkpoint (see
+  // flow/checkpoint.hpp) is atomically rewritten at this path after every
+  // stage whose outcome became final, and resume_design_flow() can pick the
+  // run up from it.
+  std::string checkpoint_path;
+  // Deterministic crash stand-in for tests: return right after the named
+  // stage's checkpoint is written ("sensitivity", "initial_prediction",
+  // "rule_derivation", "placement", "verification"). The file state is
+  // exactly what a SIGKILL after that write would leave. Empty = off.
+  std::string stop_after_stage;
 };
 
 // One entry per stage that did not succeed on its first attempt. `recovered`
@@ -93,5 +126,16 @@ struct FlowResult {
 // (e.g. a design without PWRLOOP) still raise std::invalid_argument.
 FlowResult run_design_flow(BuckConverter& bc, const place::Layout& initial_layout,
                            const FlowOptions& opt = {});
+
+// Resume a flow from the checkpoint at opt.checkpoint_path: stages recorded
+// as decided are skipped (their serialized results restored), the rest run
+// normally. By the determinism contract the resumed FlowResult is
+// bit-identical to an uninterrupted run's (profile timings aside). A
+// missing, corrupt, truncated, or configuration-mismatched checkpoint is
+// rejected: nothing runs and the returned partial result carries the
+// structured reason (kIoError / line-numbered kParseError /
+// kFailedPrecondition) as a "flow.checkpoint" diagnostic.
+FlowResult resume_design_flow(BuckConverter& bc, const place::Layout& initial_layout,
+                              const FlowOptions& opt);
 
 }  // namespace emi::flow

@@ -1,0 +1,67 @@
+#include "src/io/atomic_writer.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define EMI_HAVE_FSYNC 1
+#endif
+
+namespace emi::io {
+
+namespace {
+
+core::Status io_error(const std::string& what, const std::string& path) {
+  return core::Status(core::ErrorCode::kIoError, "io.atomic",
+                      what + " '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+core::Status AtomicFileWriter::commit() {
+  if (!buf_) {
+    return core::Status(core::ErrorCode::kIoError, "io.atomic",
+                        "buffered stream failed before commit: " + path_);
+  }
+  return commit_content(buf_.str());
+}
+
+core::Status AtomicFileWriter::commit_content(const std::string& content) {
+  if (committed_) {
+    return core::Status(core::ErrorCode::kFailedPrecondition, "io.atomic",
+                        "already committed: " + path_);
+  }
+  const std::string tmp = tmp_path();
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return io_error("cannot create", tmp);
+  bool ok = content.empty() ||
+            std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  ok = ok && std::fflush(f) == 0;
+#ifdef EMI_HAVE_FSYNC
+  ok = ok && ::fsync(::fileno(f)) == 0;
+#endif
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) {
+    const core::Status st = io_error("cannot write", tmp);
+    std::remove(tmp.c_str());
+    return st;
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    const core::Status st = io_error("cannot rename into", path_);
+    std::remove(tmp.c_str());
+    return st;
+  }
+  committed_ = true;
+  return core::Status();
+}
+
+core::Status write_file_atomic(const std::string& path,
+                               const std::function<void(std::ostream&)>& fill) {
+  AtomicFileWriter w(path);
+  fill(w.stream());
+  return w.commit();
+}
+
+}  // namespace emi::io

@@ -1,0 +1,62 @@
+// Crash-safe file output: everything the library writes to disk goes
+// through one all-or-nothing primitive, so a crash (or SIGKILL) mid-write
+// can never leave a half-written report, layout, SVG, or checkpoint behind.
+//
+// Protocol: the payload is buffered in memory first, then committed with
+//   write to "<path>.tmp"  ->  fflush + fsync  ->  rename over <path>.
+// rename(2) is atomic on POSIX, so readers observe either the previous
+// complete file or the new complete file - never a torn intermediate. The
+// fsync before the rename closes the power-loss window where the rename is
+// durable but the data blocks are not.
+//
+// Failures (unwritable directory, full disk, failed stream) come back as a
+// kIoError core::Status - callers on the flow path surface them as stage
+// diagnostics instead of losing them in an ignored ostream badbit.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "src/core/status.hpp"
+
+namespace emi::io {
+
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(std::string path) : path_(std::move(path)) {}
+
+  // Destroying an uncommitted writer discards the buffer; nothing touches
+  // the filesystem until commit().
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  // Buffer to write the payload into. Stream state is checked at commit;
+  // callers can use the usual ostream API without per-write checks.
+  std::ostream& stream() { return buf_; }
+
+  const std::string& path() const { return path_; }
+  std::string tmp_path() const { return path_ + ".tmp"; }
+
+  // Publish the buffered payload atomically. Returns kIoError (with errno
+  // text) on any failure and removes the tmp file; the destination is left
+  // exactly as it was. A second commit is a kFailedPrecondition.
+  core::Status commit();
+
+  // Testing/fault hook: commit exactly `content`, bypassing the buffer.
+  // The flow checkpoint's torn-write injection truncates its payload and
+  // hands it here, simulating a crash mid-write *without* the atomic
+  // protocol (the whole point is that resume must still reject it).
+  core::Status commit_content(const std::string& content);
+
+ private:
+  std::string path_;
+  std::ostringstream buf_;
+  bool committed_ = false;
+};
+
+// One-shot convenience: fill(out) into a buffer, then commit atomically.
+core::Status write_file_atomic(const std::string& path,
+                               const std::function<void(std::ostream&)>& fill);
+
+}  // namespace emi::io

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "src/core/fault_injection.hpp"
+#include "src/io/atomic_writer.hpp"
 
 namespace emi::io {
 
@@ -331,11 +332,15 @@ void save_design(std::ostream& out, const place::Design& d,
   if (layout != nullptr) save_layout(out, d, *layout);
 }
 
+core::Status try_save_design_file(const std::string& path, const place::Design& d,
+                                  const place::Layout* layout) {
+  return write_file_atomic(path,
+                           [&](std::ostream& o) { save_design(o, d, layout); });
+}
+
 void save_design_file(const std::string& path, const place::Design& d,
                       const place::Layout* layout) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot write design file: " + path);
-  save_design(out, d, layout);
+  try_save_design_file(path, d, layout).throw_if_error();
 }
 
 void save_layout(std::ostream& out, const place::Design& d, const place::Layout& l) {

@@ -54,8 +54,13 @@ core::Result<place::Layout> try_load_layout(std::istream& in, const place::Desig
 
 void save_design(std::ostream& out, const place::Design& d,
                  const place::Layout* layout = nullptr);
+// Crash-safe: commits through io::AtomicFileWriter (tmp + fsync + rename),
+// so an interrupted save leaves the previous file intact. The throwing
+// variant raises the Status of the structured one.
 void save_design_file(const std::string& path, const place::Design& d,
                       const place::Layout* layout = nullptr);
+core::Status try_save_design_file(const std::string& path, const place::Design& d,
+                                  const place::Layout* layout = nullptr);
 
 // Layout-only round trip (place lines).
 void save_layout(std::ostream& out, const place::Design& d, const place::Layout& l);

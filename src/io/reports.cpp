@@ -3,6 +3,8 @@
 #include <iomanip>
 #include <iostream>
 
+#include "src/io/atomic_writer.hpp"
+
 namespace emi::io {
 
 void write_drc_report(std::ostream& out, const place::DrcReport& report) {
@@ -83,6 +85,37 @@ void write_profile(std::ostream& out, const core::Profile& profile) {
     }
     out << "\n";
   }
+}
+
+core::Status write_drc_report_file(const std::string& path,
+                                   const place::DrcReport& report) {
+  return write_file_atomic(path,
+                           [&](std::ostream& o) { write_drc_report(o, report); });
+}
+
+core::Status write_spectrum_csv_file(const std::string& path,
+                                     const emc::EmissionSpectrum& spec,
+                                     int cispr_class) {
+  return write_file_atomic(
+      path, [&](std::ostream& o) { write_spectrum_csv(o, spec, cispr_class); });
+}
+
+core::Status write_coupling_curve_csv_file(
+    const std::string& path,
+    const std::vector<peec::CouplingExtractor::CurvePoint>& curve) {
+  return write_file_atomic(
+      path, [&](std::ostream& o) { write_coupling_curve_csv(o, curve); });
+}
+
+core::Status write_layout_table_file(const std::string& path, const place::Design& d,
+                                     const place::Layout& layout) {
+  return write_file_atomic(
+      path, [&](std::ostream& o) { write_layout_table(o, d, layout); });
+}
+
+core::Status write_profile_file(const std::string& path, const core::Profile& profile) {
+  return write_file_atomic(path,
+                           [&](std::ostream& o) { write_profile(o, profile); });
 }
 
 }  // namespace emi::io

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "src/core/profile.hpp"
+#include "src/core/status.hpp"
 #include "src/emi/cispr25.hpp"
 #include "src/emi/emission.hpp"
 #include "src/peec/coupling.hpp"
@@ -37,5 +38,22 @@ void write_layout_table(std::ostream& out, const place::Design& d,
 // Execution profile of a flow run (stage wall times, cache traffic, pool
 // activity), one `name value` row per entry, sorted by name.
 void write_profile(std::ostream& out, const core::Profile& profile);
+
+// Crash-safe file variants: each buffers the report and publishes it through
+// io::AtomicFileWriter (tmp + fsync + rename), so a crash mid-write leaves
+// the previous file intact instead of a torn one. Failures (unwritable
+// directory, full disk) come back as a kIoError Status rather than a
+// silently ignored ostream badbit.
+core::Status write_drc_report_file(const std::string& path,
+                                   const place::DrcReport& report);
+core::Status write_spectrum_csv_file(const std::string& path,
+                                     const emc::EmissionSpectrum& spec,
+                                     int cispr_class = 0);
+core::Status write_coupling_curve_csv_file(
+    const std::string& path,
+    const std::vector<peec::CouplingExtractor::CurvePoint>& curve);
+core::Status write_layout_table_file(const std::string& path, const place::Design& d,
+                                     const place::Layout& layout);
+core::Status write_profile_file(const std::string& path, const core::Profile& profile);
 
 }  // namespace emi::io

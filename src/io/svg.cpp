@@ -5,6 +5,8 @@
 #include <ostream>
 #include <string>
 
+#include "src/io/atomic_writer.hpp"
+
 namespace emi::io {
 
 namespace {
@@ -122,6 +124,13 @@ void write_layout_svg(std::ostream& out, const place::Design& d,
   }
 
   out << "</svg>\n";
+}
+
+core::Status write_layout_svg_file(const std::string& path, const place::Design& d,
+                                   const place::Layout& layout,
+                                   const SvgOptions& opt) {
+  return write_file_atomic(
+      path, [&](std::ostream& o) { write_layout_svg(o, d, layout, opt); });
 }
 
 }  // namespace emi::io

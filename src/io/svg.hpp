@@ -6,7 +6,9 @@
 #pragma once
 
 #include <iosfwd>
+#include <string>
 
+#include "src/core/status.hpp"
 #include "src/place/drc.hpp"
 
 namespace emi::io {
@@ -24,5 +26,11 @@ struct SvgOptions {
 // EMD rules and the current placement (same math as the DRC).
 void write_layout_svg(std::ostream& out, const place::Design& d,
                       const place::Layout& layout, const SvgOptions& opt = {});
+
+// Crash-safe file variant: renders into a buffer, then publishes via
+// io::AtomicFileWriter (tmp + fsync + rename). kIoError Status on failure.
+core::Status write_layout_svg_file(const std::string& path, const place::Design& d,
+                                   const place::Layout& layout,
+                                   const SvgOptions& opt = {});
 
 }  // namespace emi::io

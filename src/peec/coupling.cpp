@@ -5,6 +5,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "src/core/deadline.hpp"
 #include "src/core/fault_injection.hpp"
 
 namespace emi::peec {
@@ -67,6 +68,11 @@ std::size_t CouplingExtractor::MutualKeyHash::operator()(const MutualKey& k) con
 }
 
 Henry CouplingExtractor::self_inductance(const ComponentFieldModel& m) const {
+  // Per-pair cooperative stop probe: once the owning stage's CancelScope
+  // reports a stop, skip the quadrature and return the zero sentinel without
+  // touching the cache. The stage discards all results on a stop, so the
+  // sentinel never reaches a caller that keeps them.
+  if (!core::CancelScope::poll()) return Henry{0.0};
   const std::uint64_t id = model_digest(m);
   // Injected cache miss: recompute instead of returning the memoized value.
   // Entries are pure functions of the key, so this perturbs timing and hit
@@ -95,6 +101,9 @@ Henry CouplingExtractor::mutual(const PlacedModel& a, const PlacedModel& b) cons
   if (a.model == nullptr || b.model == nullptr) {
     throw std::invalid_argument("CouplingExtractor::mutual: null model");
   }
+  // Same cooperative stop contract as self_inductance: sentinel out, cache
+  // untouched, results discarded by the stopped stage.
+  if (!core::CancelScope::poll()) return Henry{0.0};
   const double stray = a.model->stray_scale * b.model->stray_scale;
 
   // Canonical pair order (smaller digest first) and canonical relative pose:
@@ -215,6 +224,9 @@ Millimeters CouplingExtractor::min_distance_for_coupling(
   if (k_at(d_hi) > k_threshold) return d_hi;
   Millimeters lo = d_lo, hi = d_hi;
   while (hi - lo > tol) {
+    // Bisections chain many extractions serially; bail out between steps
+    // once the stage is stopped (the returned bracket edge is discarded).
+    if (!core::CancelScope::poll()) return hi;
     const Millimeters mid = 0.5 * (lo + hi);
     if (k_at(mid) > k_threshold) {
       lo = mid;

@@ -8,6 +8,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "src/core/deadline.hpp"
 #include "src/core/parallel.hpp"
 
 namespace emi::place {
@@ -361,7 +362,13 @@ PlaceStats SequentialPlacer::place(Layout& layout, const std::vector<double>& ro
     return cands;
   };
 
+  // Candidate evaluation below polls the scope per candidate; the
+  // per-component check here raises on the submitting thread, so a stopped
+  // placement run exits before committing a component placed with a
+  // partially evaluated candidate set.
+  const core::CancelScope* cscope = core::CancelScope::current();
   for (std::size_t comp : priority_order()) {
+    core::CancelScope::check("place.sequential");
     if (layout.placements[comp].placed) continue;  // preplaced = obstacle
     const Component& c = d.components()[comp];
 
@@ -415,6 +422,10 @@ PlaceStats SequentialPlacer::place(Layout& layout, const std::vector<double>& ro
       core::parallel_for(
           0, cands.size(),
           [&](std::size_t ci) {
+            // Per-candidate poll: a stopped scope leaves the cost at
+            // infinity; the check at the top of the component loop then
+            // raises before the half-evaluated attempt can be committed.
+            if (cscope != nullptr && cscope->should_stop()) return;
             if (!is_legal(layout, comp, cands[ci].placement)) return;
             cand_cost[ci] = cost_of(comp, cands[ci].placement, *cands[ci].area);
           },
@@ -453,6 +464,7 @@ PlaceStats auto_place(const Design& d, Layout& layout, const AutoPlaceOptions& o
   // Step 1: optimal rotation.
   const RotationOptimizer rot_opt(d);
   const RotationResult rot = rot_opt.optimize(layout, opt.rotation);
+  core::CancelScope::check("place.auto");
 
   // Step 2: partitioning (two boards only).
   std::vector<int> boards(d.components().size(), 0);
@@ -470,6 +482,7 @@ PlaceStats auto_place(const Design& d, Layout& layout, const AutoPlaceOptions& o
   }
 
   // Step 3: sequential placement.
+  core::CancelScope::check("place.auto");
   const SequentialPlacer placer(d);
   PlaceStats stats = placer.place(layout, rot.rotation_deg, boards, opt.placer);
   stats.rotation_emd_before_mm = rot.initial_emd_mm;

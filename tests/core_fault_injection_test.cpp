@@ -85,6 +85,14 @@ TEST(FaultInjector, SpecParsingAllOrNothing) {
   EXPECT_DOUBLE_EQ(inj.rate(FaultSite::kPool), 1.0);
   EXPECT_NEAR(inj.rate(FaultSite::kIo), 0.25, 1e-12);
 
+  // The deadline and ckpt sites parse like any other, alone or combined.
+  EXPECT_TRUE(inj.configure_from_spec("deadline:1:3"));
+  EXPECT_DOUBLE_EQ(inj.rate(FaultSite::kDeadline), 1.0);
+  EXPECT_TRUE(inj.configure_from_spec("ckpt:0.5:9,deadline:0.25:4"));
+  EXPECT_NEAR(inj.rate(FaultSite::kCkpt), 0.5, 1e-12);
+  EXPECT_NEAR(inj.rate(FaultSite::kDeadline), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(inj.rate(FaultSite::kPool), 0.0);  // reconfigure replaces all
+
   // Malformed specs arm nothing - including the valid entries before the
   // broken one.
   inj.disarm();
@@ -94,8 +102,24 @@ TEST(FaultInjector, SpecParsingAllOrNothing) {
   EXPECT_FALSE(inj.configure_from_spec("lu:1.5:1"));
   EXPECT_FALSE(inj.configure_from_spec(""));
   EXPECT_FALSE(inj.configure_from_spec("lu:1:1,bogus:1:2"));
+  EXPECT_FALSE(inj.configure_from_spec("deadline:1:1,"));
+  EXPECT_FALSE(inj.configure_from_spec(",deadline:1:1"));
   EXPECT_DOUBLE_EQ(inj.rate(FaultSite::kLu), 0.0);
+  EXPECT_DOUBLE_EQ(inj.rate(FaultSite::kDeadline), 0.0);
   EXPECT_FALSE(fault::armed());
+}
+
+// The sites are salted apart: the same (seed, key) makes independent
+// decisions at deadline and ckpt, like at every other site pair.
+TEST(FaultInjector, NewSitesAreSaltedApart) {
+  DisarmGuard guard;
+  FaultInjector& inj = FaultInjector::instance();
+  ASSERT_TRUE(inj.configure_from_spec("deadline:0.5:21,ckpt:0.5:21"));
+  std::size_t differing = 0;
+  for (std::uint64_t k = 0; k < 2000; ++k) {
+    differing += inj.fire(FaultSite::kDeadline, k) != inj.fire(FaultSite::kCkpt, k);
+  }
+  EXPECT_GT(differing, 500u);
 }
 
 TEST(FaultInjector, DecisionsAreAPureFunctionOfSiteSeedKey) {

@@ -1,0 +1,120 @@
+// Crash-safe file publication: AtomicFileWriter buffers, then publishes via
+// tmp + fsync + rename, so readers see either the old file or the complete
+// new one - never a torn write. Failures surface as kIoError Status values.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/core/profile.hpp"
+#include "src/io/atomic_writer.hpp"
+#include "src/io/reports.hpp"
+
+namespace emi::io {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+TEST(AtomicFileWriter, WritesContentAndCleansUpTmp) {
+  const std::string path = temp_path("atomic_basic.txt");
+  AtomicFileWriter w(path);
+  w.stream() << "hello\natomic\n";
+  const core::Status st = w.commit();
+  ASSERT_TRUE(st.ok()) << st.to_string();
+  EXPECT_EQ(slurp(path), "hello\natomic\n");
+  // The tmp file must not survive a successful commit.
+  std::ifstream tmp(w.tmp_path());
+  EXPECT_FALSE(tmp.good());
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFileWriter, OverwriteReplacesWholeFile) {
+  const std::string path = temp_path("atomic_overwrite.txt");
+  ASSERT_TRUE(AtomicFileWriter(path).commit_content("old content, long line\n").ok());
+  ASSERT_TRUE(AtomicFileWriter(path).commit_content("new\n").ok());
+  EXPECT_EQ(slurp(path), "new\n");  // no remnants of the longer old file
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFileWriter, DoubleCommitIsAFailedPrecondition) {
+  const std::string path = temp_path("atomic_double.txt");
+  AtomicFileWriter w(path);
+  w.stream() << "once\n";
+  ASSERT_TRUE(w.commit().ok());
+  const core::Status st = w.commit();
+  EXPECT_EQ(st.code(), core::ErrorCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFileWriter, UnwritableDirectoryIsAnIoError) {
+  const core::Status st =
+      AtomicFileWriter("/definitely/missing/dir/file.txt").commit_content("x");
+  EXPECT_EQ(st.code(), core::ErrorCode::kIoError);
+  EXPECT_NE(st.to_string().find("cannot"), std::string::npos);
+}
+
+TEST(AtomicFileWriter, FailedBufferedStreamRefusesToCommit) {
+  const std::string path = temp_path("atomic_badstream.txt");
+  AtomicFileWriter w(path);
+  w.stream() << "partial";
+  w.stream().setstate(std::ios::badbit);
+  const core::Status st = w.commit();
+  EXPECT_EQ(st.code(), core::ErrorCode::kIoError);
+  // Nothing was published.
+  std::ifstream in(path);
+  EXPECT_FALSE(in.good());
+}
+
+TEST(AtomicFileWriter, WriteFileAtomicHelper) {
+  const std::string path = temp_path("atomic_helper.txt");
+  const core::Status st =
+      write_file_atomic(path, [](std::ostream& o) { o << "via helper\n"; });
+  ASSERT_TRUE(st.ok()) << st.to_string();
+  EXPECT_EQ(slurp(path), "via helper\n");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFileWriter, EmptyContentIsFine) {
+  const std::string path = temp_path("atomic_empty.txt");
+  ASSERT_TRUE(AtomicFileWriter(path).commit_content("").ok());
+  EXPECT_EQ(slurp(path), "");
+  std::remove(path.c_str());
+}
+
+// The Status-returning report writers must publish byte-identical content to
+// their ostream counterparts.
+TEST(ReportFileWriters, MatchStreamVariantsByteForByte) {
+  core::Profile profile;
+  profile.add_seconds("flow.total_seconds", 1.25);
+  profile.add_count("pool.batches", 3);
+
+  std::ostringstream direct;
+  write_profile(direct, profile);
+
+  const std::string path = temp_path("atomic_profile.txt");
+  const core::Status st = write_profile_file(path, profile);
+  ASSERT_TRUE(st.ok()) << st.to_string();
+  EXPECT_EQ(slurp(path), direct.str());
+  std::remove(path.c_str());
+}
+
+TEST(ReportFileWriters, FailuresComeBackAsStatusNotSilence) {
+  core::Profile profile;
+  const core::Status st =
+      write_profile_file("/definitely/missing/dir/profile.txt", profile);
+  EXPECT_EQ(st.code(), core::ErrorCode::kIoError);
+}
+
+}  // namespace
+}  // namespace emi::io

@@ -44,3 +44,39 @@ expect_status(1 ${CLI} info ${BAD})
 file(WRITE ${BAD} "boards 1\ncomponent C1 5 4 2 board=70000\n")
 expect_status(1 ${CLI} info ${BAD})
 expect_status(1 ${CLI} info ${CMAKE_CURRENT_BINARY_DIR}/definitely_missing.design)
+
+# --- Flow subcommand: checkpoint after rule derivation (deterministic SIGKILL
+# stand-in), resume, and check the resumed run's outputs are byte-identical to
+# an uninterrupted run at the same settings.
+set(CKPT ${CMAKE_CURRENT_BINARY_DIR}/smoke_flow.ckpt)
+set(RESUMED ${CMAKE_CURRENT_BINARY_DIR}/smoke_resumed)
+set(FRESH ${CMAKE_CURRENT_BINARY_DIR}/smoke_fresh)
+file(REMOVE ${CKPT})
+# Interrupted run exits 1 (partial result) but must not crash.
+expect_status(1 ${CLI} flow buck --points 40 --checkpoint ${CKPT}
+              --stop-after rule_derivation)
+expect_status(0 ${CLI} flow buck --points 40 --checkpoint ${CKPT} --resume
+              -o ${RESUMED})
+expect_status(0 ${CLI} flow buck --points 40 -o ${FRESH})
+foreach(part initial improved layout)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                  ${RESUMED}_${part}.csv ${FRESH}_${part}.csv
+                  RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "resumed flow ${part} output differs from fresh run")
+  endif()
+endforeach()
+
+# Flow hardening: bad arguments are usage errors, corrupt checkpoints are
+# structured rejections (exit 1), never crashes.
+expect_status(2 ${CLI} flow teapot)
+expect_status(2 ${CLI} flow buck --stop-after frobnication)
+expect_status(2 ${CLI} flow buck --points 1)
+expect_status(2 ${CLI} flow buck --resume)
+expect_status(2 ${CLI} --fault-inject bogus flow buck)
+expect_status(2 ${CLI} --fault-inject pool:notarate:1 flow buck)
+expect_status(2 ${CLI} --fault-inject "pool:0.1:1,junk" flow buck)
+file(WRITE ${CKPT}.corrupt "EMICKPT 1 0000000000000000\ngarbage\n")
+expect_status(1 ${CLI} flow buck --points 40 --checkpoint ${CKPT}.corrupt --resume)
+expect_status(1 ${CLI} flow buck --points 40
+              --checkpoint ${CMAKE_CURRENT_BINARY_DIR}/missing.ckpt --resume)

@@ -6,10 +6,20 @@
 //                                       run the automatic three-step flow
 //   drc   <design> [layout]             check a design (+ saved layout)
 //   route <design> <layout>             route nets, print trace table
-//   svg   <design> <layout> [board]     render a board to SVG on stdout
+//   svg   <design> <layout> [board] [-o file]
+//                                       render a board to SVG
+//   flow  [buck|boost] [--points N] [--budget-ms MS] [--stage-budget-ms MS]
+//         [--checkpoint FILE] [--resume] [--stop-after STAGE] [-o PREFIX]
+//                                       run the paper's end-to-end EMI flow
+//                                       on a built-in converter
+//
+// Global option (any command): --fault-inject <site>:<rate>:<seed>[,...]
+// arms the deterministic fault injector, same syntax as EMI_FAULT_INJECT.
 //
 // The design file format is the ASCII interface documented in
-// src/io/design_format.hpp. With no -o, results go to stdout.
+// src/io/design_format.hpp. With no -o, results go to stdout. File outputs
+// are written atomically (tmp + rename), so an interrupted run never leaves
+// a torn file behind.
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -17,9 +27,14 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "src/core/fault_injection.hpp"
 #include "src/core/status.hpp"
 
+#include "src/flow/checkpoint.hpp"
+#include "src/flow/design_flow.hpp"
+#include "src/io/atomic_writer.hpp"
 #include "src/io/design_format.hpp"
 #include "src/io/reports.hpp"
 #include "src/io/svg.hpp"
@@ -61,7 +76,11 @@ int usage() {
                "  place <design> [-o layout] [--compact] [--refine N] [--seed S]\n"
                "  drc   <design> [layout]\n"
                "  route <design> <layout>\n"
-               "  svg   <design> <layout> [board]\n");
+               "  svg   <design> <layout> [board] [-o file]\n"
+               "  flow  [buck|boost] [--points N] [--budget-ms MS]\n"
+               "        [--stage-budget-ms MS] [--checkpoint FILE] [--resume]\n"
+               "        [--stop-after STAGE] [-o PREFIX]\n"
+               "global: --fault-inject <site>:<rate>:<seed>[,...]\n");
   return 2;
 }
 
@@ -150,12 +169,12 @@ int cmd_place(int argc, char** argv) {
   if (out_path.empty()) {
     io::save_layout(std::cout, ld.design, ld.layout);
   } else {
-    std::ofstream out(out_path);
-    if (!out) {
-      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    const core::Status st = io::write_file_atomic(
+        out_path, [&](std::ostream& o) { io::save_layout(o, ld.design, ld.layout); });
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.to_string().c_str());
       return 1;
     }
-    io::save_layout(out, ld.design, ld.layout);
     std::fprintf(stderr, "layout written to %s\n", out_path.c_str());
   }
   return stats.failed == 0 && rep.clean() ? 0 : 1;
@@ -207,17 +226,153 @@ int cmd_svg(int argc, char** argv) {
   }
   const place::Layout layout = io::load_layout(in, ld.design);
   io::SvgOptions opt;
-  if (argc >= 3 && !parse_board(argv[2], opt.board)) {
-    std::fprintf(stderr, "invalid board index: %s\n", argv[2]);
+  std::string out_path;
+  for (int i = 2; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "-o") && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (i == 2 && parse_board(argv[i], opt.board)) {
+      // positional board index
+    } else {
+      std::fprintf(stderr, "invalid board index or option: %s\n", argv[i]);
+      return usage();
+    }
+  }
+  if (out_path.empty()) {
+    io::write_layout_svg(std::cout, ld.design, layout, opt);
+  } else {
+    const core::Status st = io::write_layout_svg_file(out_path, ld.design, layout, opt);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.to_string().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int cmd_flow(int argc, char** argv) {
+  std::string topology = "buck";
+  flow::FlowOptions fopt;
+  fopt.sweep.n_points = 60;  // CLI default: quick sweeps
+  std::string out_prefix;
+  bool resume = false;
+  int i = 0;
+  if (argc >= 1 && argv[0][0] != '-') topology = argv[i++];
+  if (topology != "buck" && topology != "boost") {
+    std::fprintf(stderr, "unknown topology: %s\n", topology.c_str());
     return usage();
   }
-  io::write_layout_svg(std::cout, ld.design, layout, opt);
-  return 0;
+  for (; i < argc; ++i) {
+    std::uint64_t v = 0;
+    if (!std::strcmp(argv[i], "--points") && i + 1 < argc) {
+      if (!parse_u64(argv[++i], v) || v < 2 || v > 100000) {
+        std::fprintf(stderr, "invalid --points value: %s\n", argv[i]);
+        return usage();
+      }
+      fopt.sweep.n_points = static_cast<std::size_t>(v);
+    } else if (!std::strcmp(argv[i], "--budget-ms") && i + 1 < argc) {
+      if (!parse_u64(argv[++i], v)) {
+        std::fprintf(stderr, "invalid --budget-ms value: %s\n", argv[i]);
+        return usage();
+      }
+      fopt.total_budget_ms = static_cast<std::int64_t>(v);
+    } else if (!std::strcmp(argv[i], "--stage-budget-ms") && i + 1 < argc) {
+      if (!parse_u64(argv[++i], v)) {
+        std::fprintf(stderr, "invalid --stage-budget-ms value: %s\n", argv[i]);
+        return usage();
+      }
+      fopt.stage_budget_ms = static_cast<std::int64_t>(v);
+    } else if (!std::strcmp(argv[i], "--checkpoint") && i + 1 < argc) {
+      fopt.checkpoint_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--resume")) {
+      resume = true;
+    } else if (!std::strcmp(argv[i], "--stop-after") && i + 1 < argc) {
+      if (!flow::flow_stage_from_name(argv[++i])) {
+        std::fprintf(stderr, "unknown --stop-after stage: %s\n", argv[i]);
+        return usage();
+      }
+      fopt.stop_after_stage = argv[i];
+    } else if (!std::strcmp(argv[i], "-o") && i + 1 < argc) {
+      out_prefix = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+      return usage();
+    }
+  }
+  if (resume && fopt.checkpoint_path.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint\n");
+    return usage();
+  }
+
+  flow::BuckConverter bc =
+      topology == "buck" ? flow::make_buck_converter() : flow::make_boost_converter();
+  const place::Layout initial = topology == "buck"
+                                    ? flow::layout_unfavorable(bc)
+                                    : flow::boost_layout_unfavorable(bc);
+  const flow::FlowResult res = resume ? flow::resume_design_flow(bc, initial, fopt)
+                                      : flow::run_design_flow(bc, initial, fopt);
+
+  std::fprintf(stderr, "flow(%s): %zu pairs ranked, %zu simulated, %zu solves saved\n",
+               topology.c_str(), res.ranking.size(), res.simulated_pairs.size(),
+               res.field_solves_saved);
+  for (const flow::StageDiagnostic& d : res.diagnostics) {
+    std::fprintf(stderr, "  [%s] attempts=%d %s: %s\n",
+                 d.recovered ? "recovered" : "failed", d.attempts, d.stage.c_str(),
+                 d.status.to_string().c_str());
+  }
+  std::fprintf(stderr, "complete: %s  rules: %zu  peak improvement: %.2f dB\n",
+               res.complete ? "yes" : "no", res.rules.size(),
+               res.peak_improvement_db);
+
+  if (!out_prefix.empty()) {
+    // The improved spectrum/layout only exist for a completed flow; a partial
+    // run (expired budget, --stop-after) still gets the initial prediction.
+    std::vector<std::pair<std::string, core::Status>> outs;
+    outs.emplace_back(out_prefix + "_initial.csv",
+                      io::write_spectrum_csv_file(out_prefix + "_initial.csv",
+                                                  res.initial_prediction,
+                                                  fopt.cispr_class));
+    if (res.complete) {
+      outs.emplace_back(out_prefix + "_improved.csv",
+                        io::write_spectrum_csv_file(out_prefix + "_improved.csv",
+                                                    res.improved_prediction,
+                                                    fopt.cispr_class));
+      outs.emplace_back(out_prefix + "_layout.csv",
+                        io::write_layout_table_file(out_prefix + "_layout.csv",
+                                                    bc.board, res.improved_layout));
+    }
+    for (const auto& o : outs) {
+      if (!o.second.ok()) {
+        std::fprintf(stderr, "%s\n", o.second.to_string().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "wrote %s\n", o.first.c_str());
+    }
+  }
+  return res.complete ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Global --fault-inject: same spec syntax as EMI_FAULT_INJECT, validated
+  // strictly - a malformed spec (any entry of a multi-entry list) is a usage
+  // error, not a silently disarmed injector.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--fault-inject")) {
+      if (i + 1 >= argc ||
+          !core::FaultInjector::instance().configure_from_spec(argv[i + 1])) {
+        std::fprintf(stderr, "invalid --fault-inject spec: %s\n",
+                     i + 1 < argc ? argv[i + 1] : "(missing)");
+        return usage();
+      }
+      ++i;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
@@ -226,6 +381,7 @@ int main(int argc, char** argv) {
     if (cmd == "drc") return cmd_drc(argc - 2, argv + 2);
     if (cmd == "route") return cmd_route(argc - 2, argv + 2);
     if (cmd == "svg") return cmd_svg(argc - 2, argv + 2);
+    if (cmd == "flow") return cmd_flow(argc - 2, argv + 2);
   } catch (const io::ParseError& e) {
     std::fprintf(stderr, "parse error: %s\n", e.what());
     return 1;
