@@ -1,19 +1,157 @@
 // Performance: PEEC extraction primitives. Scaling of the Neumann double
-// sum with model complexity, self-inductance caching, field-map rendering
-// and a full AC emission sweep.
+// sum with model complexity, self-inductance caching, field-map rendering,
+// a full AC emission sweep, and the pair-kernel microbenchmarks behind
+// BENCH_peec_kernel.json (legacy nested quadrature vs the sampled SoA
+// kernel vs the gated fast paths, serial and parallel, plus batched
+// extraction vs per-call extraction).
 #include <benchmark/benchmark.h>
 
+#include <utility>
+#include <vector>
+
+#include "src/core/thread_pool.hpp"
 #include "src/emi/emission.hpp"
 #include "src/flow/buck_converter.hpp"
 #include "src/peec/biot_savart.hpp"
 #include "src/peec/component_model.hpp"
 #include "src/peec/coupling.hpp"
+#include "src/peec/sampled_path.hpp"
 
 using emi::units::Millimeters;
 
 namespace {
 
 using namespace emi;
+
+// Shared geometry for the kernel microbenchmarks: the paper's bobbin-coil
+// solenoid pair (60 x 60 segments) at the acceptance configuration, order 4
+// with 2 subdivisions.
+struct KernelBenchFixture {
+  peec::ComponentFieldModel a = peec::bobbin_coil("A");
+  peec::ComponentFieldModel b = peec::bobbin_coil("B");
+  peec::SegmentPath pa = a.path_at({});
+  peec::SegmentPath pb = b.path_at(peec::Pose{{30, 4, 0}, 25.0});
+  peec::QuadratureOptions q{4, 2};
+};
+
+const KernelBenchFixture& kernel_fixture() {
+  static const KernelBenchFixture f;
+  return f;
+}
+
+void BM_KernelPair_Legacy(benchmark::State& state) {
+  const KernelBenchFixture& f = kernel_fixture();
+  core::ScopedSerialFallback serial;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(peec::path_mutual_legacy(f.pa, f.pb, f.q));
+  }
+}
+BENCHMARK(BM_KernelPair_Legacy)->Unit(benchmark::kMicrosecond);
+
+void BM_KernelPair_Sampled(benchmark::State& state) {
+  // Sampling included: what path_mutual() costs end to end.
+  const KernelBenchFixture& f = kernel_fixture();
+  core::ScopedSerialFallback serial;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(peec::path_mutual(f.pa, f.pb, f.q));
+  }
+}
+BENCHMARK(BM_KernelPair_Sampled)->Unit(benchmark::kMicrosecond);
+
+void BM_KernelPair_SampledPrebuilt(benchmark::State& state) {
+  // The pair kernel alone, over SampledPaths built once (the extractor's
+  // steady state: one build per model, many pair evaluations).
+  const KernelBenchFixture& f = kernel_fixture();
+  const peec::SampledPath sa = peec::sample_path(f.pa, f.q);
+  const peec::SampledPath sb = peec::sample_path(f.pb, f.q);
+  core::ScopedSerialFallback serial;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(peec::path_mutual_sampled(sa, sb, {}));
+  }
+}
+BENCHMARK(BM_KernelPair_SampledPrebuilt)->Unit(benchmark::kMicrosecond);
+
+void BM_KernelPair_FastPaths(benchmark::State& state) {
+  // Analytic + far-field gates on (the design-flow opt-in configuration).
+  const KernelBenchFixture& f = kernel_fixture();
+  const peec::SampledPath sa = peec::sample_path(f.pa, f.q);
+  const peec::SampledPath sb = peec::sample_path(f.pb, f.q);
+  peec::KernelOptions fast;
+  fast.analytic_parallel = true;
+  fast.far_field = true;
+  core::ScopedSerialFallback serial;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(peec::path_mutual_sampled(sa, sb, fast));
+  }
+}
+BENCHMARK(BM_KernelPair_FastPaths)->Unit(benchmark::kMicrosecond);
+
+void BM_KernelSamplePathBuild(benchmark::State& state) {
+  const KernelBenchFixture& f = kernel_fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(peec::sample_path(f.pa, f.q).px.data());
+  }
+}
+BENCHMARK(BM_KernelSamplePathBuild)->Unit(benchmark::kMicrosecond);
+
+void BM_KernelPair_LegacyParallel(benchmark::State& state) {
+  const KernelBenchFixture& f = kernel_fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(peec::path_mutual_legacy(f.pa, f.pb, f.q));
+  }
+}
+BENCHMARK(BM_KernelPair_LegacyParallel)->Unit(benchmark::kMicrosecond);
+
+void BM_KernelPair_SampledParallel(benchmark::State& state) {
+  const KernelBenchFixture& f = kernel_fixture();
+  const peec::SampledPath sa = peec::sample_path(f.pa, f.q);
+  const peec::SampledPath sb = peec::sample_path(f.pb, f.q);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(peec::path_mutual_sampled(sa, sb, {}));
+  }
+}
+BENCHMARK(BM_KernelPair_SampledParallel)->Unit(benchmark::kMicrosecond);
+
+// Batched extraction of every model pair of the buck converter vs the same
+// work as N^2 individual mutual() calls. Fresh extractor per iteration so
+// both variants measure cold-cache extraction plus locking, not cache hits.
+void BM_KernelExtraction_PerCall(benchmark::State& state) {
+  const flow::BuckConverter bc = flow::make_buck_converter();
+  const place::Layout layout = flow::layout_unfavorable(bc);
+  std::vector<peec::PlacedModel> models;
+  for (const auto& m : bc.models) {
+    models.push_back({&m, flow::pose_of(bc, layout, m.name)});
+  }
+  for (auto _ : state) {
+    const peec::CouplingExtractor ex;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < models.size(); ++i) {
+      for (std::size_t j = i + 1; j < models.size(); ++j) {
+        sum += ex.mutual(models[i], models[j]).raw();
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_KernelExtraction_PerCall)->Unit(benchmark::kMillisecond);
+
+void BM_KernelExtraction_Batched(benchmark::State& state) {
+  const flow::BuckConverter bc = flow::make_buck_converter();
+  const place::Layout layout = flow::layout_unfavorable(bc);
+  std::vector<peec::PlacedModel> models;
+  for (const auto& m : bc.models) {
+    models.push_back({&m, flow::pose_of(bc, layout, m.name)});
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    for (std::size_t j = i + 1; j < models.size(); ++j) pairs.emplace_back(i, j);
+  }
+  for (auto _ : state) {
+    const peec::CouplingExtractor ex;
+    benchmark::DoNotOptimize(ex.mutual_batch(models, pairs).data());
+  }
+}
+BENCHMARK(BM_KernelExtraction_Batched)->Unit(benchmark::kMillisecond);
 
 void BM_MutualCapCap(benchmark::State& state) {
   const peec::ComponentFieldModel a = peec::x_capacitor("A");

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <stdexcept>
 #include <tuple>
+#include <unordered_map>
 
 namespace emi::flow {
 
@@ -258,16 +259,41 @@ ckt::Circuit circuit_with_couplings(
     }
   }
 
+  // One batched mutual extraction for the whole pair list (one cache probe,
+  // one flat parallel region over the unique canonical poses) instead of a
+  // per-pair coupling_factor() lock round-trip. Each k is computed from the
+  // batch result by the same expression coupling_factor uses, so installed
+  // couplings are bit-identical to the per-call path.
+  std::vector<peec::PlacedModel> models;
+  std::unordered_map<std::string, std::size_t> model_of;
+  std::vector<std::pair<std::size_t, std::size_t>> idx;
+  idx.reserve(todo.size());
+  const auto placed_index = [&](const std::string& l) {
+    const auto it = model_of.find(l);
+    if (it != model_of.end()) return it->second;
+    const peec::ComponentFieldModel* m = bc.model_for_inductor(l);
+    if (m == nullptr) return static_cast<std::size_t>(-1);
+    models.push_back({m, pose_of(bc, layout, m->name)});
+    return model_of.emplace(l, models.size() - 1).first->second;
+  };
   for (const auto& [la, lb] : todo) {
-    const peec::ComponentFieldModel* ma = bc.model_for_inductor(la);
-    const peec::ComponentFieldModel* mb = bc.model_for_inductor(lb);
-    if (ma == nullptr || mb == nullptr) {
+    const std::size_t ia = placed_index(la);
+    const std::size_t ib = placed_index(lb);
+    if (ia == static_cast<std::size_t>(-1) || ib == static_cast<std::size_t>(-1)) {
       throw std::invalid_argument("circuit_with_couplings: unmapped inductor pair " +
                                   la + "/" + lb);
     }
-    const peec::PlacedModel pa{ma, pose_of(bc, layout, ma->name)};
-    const peec::PlacedModel pb{mb, pose_of(bc, layout, mb->name)};
-    const double k = extractor.coupling_factor(pa, pb);
+    idx.emplace_back(ia, ib);
+  }
+  const std::vector<units::Henry> ms = extractor.mutual_batch(models, idx);
+
+  for (std::size_t p = 0; p < todo.size(); ++p) {
+    const auto& [la, lb] = todo[p];
+    const units::Henry sa = extractor.self_inductance(*models[idx[p].first].model);
+    const units::Henry sb = extractor.self_inductance(*models[idx[p].second].model);
+    const double k = (sa.raw() <= 0.0 || sb.raw() <= 0.0)
+                         ? 0.0
+                         : ms[p] / units::sqrt(sa * sb);
     if (std::fabs(k) >= k_min) {
       // K magnitudes are capped defensively: the simplified field models can
       // overestimate k for overlapping footprints, and |k| >= 1 would be

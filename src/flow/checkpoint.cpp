@@ -169,6 +169,14 @@ std::uint64_t flow_context_digest(const BuckConverter& bc,
        << dbits(p.rot_deg) << ' ' << p.board << ' ' << (p.placed ? 1 : 0) << '\n';
   }
   ss << "quad " << opt.quadrature.order << ' ' << opt.quadrature.subdivisions << '\n';
+  // Kernel gates and the batched-extraction knobs change extracted values /
+  // pair selection / placement costs, so they are part of the context: a
+  // checkpoint written under different gates must not be resumed.
+  ss << "kern " << (opt.kernel.analytic_parallel ? 1 : 0) << ' '
+     << (opt.kernel.far_field ? 1 : 0) << ' ' << dbits(opt.kernel.far_field_ratio)
+     << ' ' << (opt.geometric_prescreen ? 1 : 0) << ' '
+     << (opt.coupling_aware_placement ? 1 : 0) << ' ' << dbits(opt.w_coupling)
+     << '\n';
   ss << "sweep " << dbits(opt.sweep.f_min_hz) << ' ' << dbits(opt.sweep.f_max_hz)
      << ' ' << opt.sweep.n_points << '\n';
   ss << "thr " << dbits(opt.sensitivity_threshold_db) << ' ' << dbits(opt.k_threshold)

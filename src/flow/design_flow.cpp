@@ -114,17 +114,18 @@ emc::EmissionSweepOptions jittered(const emc::EmissionSweepOptions& sweep, int a
 FlowResult run_flow_from(BuckConverter& bc, const place::Layout& initial_layout,
                          const FlowOptions& opt, FlowCheckpoint ck) {
   FlowResult& res = ck.result;
-  const peec::CouplingExtractor extractor(opt.quadrature);
+  const peec::CouplingExtractor extractor(opt.quadrature, opt.kernel);
   // Degraded-retry extractor: same physics, coarser quadrature. Only used by
   // attempts that follow a deadline expiry.
   peec::QuadratureOptions coarse_q = opt.quadrature;
   coarse_q.order = std::max<std::size_t>(2, opt.quadrature.order / 2);
   coarse_q.subdivisions = 1;
-  const peec::CouplingExtractor coarse_extractor(coarse_q);
+  const peec::CouplingExtractor coarse_extractor(coarse_q, opt.kernel);
   const auto pick_extractor = [&](int degrade) -> const peec::CouplingExtractor& {
     return degrade > 0 ? coarse_extractor : extractor;
   };
   const core::PoolStats pool0 = core::ThreadPool::global().stats();
+  const peec::KernelStats kern0 = peec::kernel_stats();
 
   StageDriver driver{&opt,
                      opt.total_budget_ms > 0 ? core::Deadline::after_ms(opt.total_budget_ms)
@@ -145,6 +146,17 @@ FlowResult run_flow_from(BuckConverter& bc, const place::Layout& initial_layout,
     res.profile.add_count("peec.mutual_cache_hits", c0.mutual_hits + c1.mutual_hits);
     res.profile.add_count("peec.mutual_cache_misses",
                           c0.mutual_misses + c1.mutual_misses);
+    // Kernel work done by this run: integrand evaluations and how many pairs
+    // each path handled (process-wide counters, reported as deltas).
+    const peec::KernelStats kern1 = peec::kernel_stats();
+    res.profile.add_count("peec.kernel_sample_evals",
+                          kern1.sample_evals - kern0.sample_evals);
+    res.profile.add_count("peec.kernel_exact_pairs",
+                          kern1.exact_pairs - kern0.exact_pairs);
+    res.profile.add_count("peec.kernel_analytic_pairs",
+                          kern1.analytic_pairs - kern0.analytic_pairs);
+    res.profile.add_count("peec.kernel_far_field_pairs",
+                          kern1.far_field_pairs - kern0.far_field_pairs);
     const core::PoolStats pool1 = core::ThreadPool::global().stats();
     res.profile.add_count("pool.threads", core::ThreadPool::global_thread_count());
     res.profile.add_count("pool.batches", pool1.batches - pool0.batches);
@@ -212,6 +224,39 @@ FlowResult run_flow_from(BuckConverter& bc, const place::Layout& initial_layout,
           res.simulated_pairs.emplace_back(candidates[i], candidates[j]);
         }
       }
+    }
+    if (opt.geometric_prescreen && !res.simulated_pairs.empty()) {
+      // Geometry prescreen: one batched extraction over the candidate models
+      // at their initial poses; pairs the layout already decouples
+      // (|k| < k_min) skip field simulation. Part of the stage's decided
+      // outcome, so it lands in the checkpoint. The extracted mutuals stay
+      // cached and are reused by the prediction stages.
+      std::vector<peec::PlacedModel> geo_models;
+      std::vector<std::string> geo_names;
+      for (const std::string& l : candidates) {
+        const peec::ComponentFieldModel* m = bc.model_for_inductor(l);
+        if (m == nullptr) continue;
+        geo_models.push_back({m, pose_of(bc, initial_layout, m->name)});
+        geo_names.push_back(l);
+      }
+      std::set<std::pair<std::string, std::string>> keep;
+      for (const emc::GeometricCoupling& g :
+           emc::rank_geometric_coupling(extractor, geo_models, geo_names)) {
+        if (g.k_abs >= opt.k_min) {
+          keep.insert({std::min(g.inductor_a, g.inductor_b),
+                       std::max(g.inductor_a, g.inductor_b)});
+        }
+      }
+      std::vector<std::pair<std::string, std::string>> kept;
+      for (const auto& pr : res.simulated_pairs) {
+        if (keep.count({std::min(pr.first, pr.second),
+                        std::max(pr.first, pr.second)}) != 0) {
+          kept.push_back(pr);
+        } else {
+          ++res.field_solves_saved;
+        }
+      }
+      res.simulated_pairs = std::move(kept);
     }
     if (checkpoint_after(FlowStage::kSensitivity, sens_ok)) {
       res.complete = false;
@@ -324,6 +369,50 @@ FlowResult run_flow_from(BuckConverter& bc, const place::Layout& initial_layout,
                 popt.placer.max_refines > static_cast<std::size_t>(degrade)
                     ? popt.placer.max_refines - static_cast<std::size_t>(degrade)
                     : 1;
+          }
+          if (opt.coupling_aware_placement) {
+            // Penalize candidates by extracted coupling against everything
+            // already placed: one mutual_batch per candidate (the placer
+            // evaluates candidates from parallel workers; nested batches run
+            // inline, and the canonical-pose cache absorbs the recurring
+            // relative poses). The layout reference is stable during each
+            // component's candidate evaluation - the placer only commits a
+            // placement after the parallel region.
+            const peec::CouplingExtractor& ext = pick_extractor(degrade);
+            const place::Layout& lay = res.improved_layout;
+            popt.placer.candidate_cost =
+                [&bc, &ext, &lay, w = opt.w_coupling](
+                    std::size_t comp, const place::Placement& cand) -> double {
+                  const peec::ComponentFieldModel* mc =
+                      bc.model_for_component(bc.board.components()[comp].name);
+                  if (mc == nullptr) return 0.0;
+                  std::vector<peec::PlacedModel> models;
+                  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+                  models.push_back({mc, peec::Pose{{cand.position.x, cand.position.y, 0.0},
+                                                   cand.rot_deg}});
+                  for (std::size_t j = 0; j < lay.placements.size(); ++j) {
+                    if (j == comp || !lay.placements[j].placed) continue;
+                    const peec::ComponentFieldModel* mj =
+                        bc.model_for_component(bc.board.components()[j].name);
+                    if (mj == nullptr) continue;
+                    const place::Placement& p = lay.placements[j];
+                    pairs.emplace_back(0, models.size());
+                    models.push_back(
+                        {mj, peec::Pose{{p.position.x, p.position.y, 0.0}, p.rot_deg}});
+                  }
+                  if (pairs.empty()) return 0.0;
+                  const std::vector<units::Henry> ms = ext.mutual_batch(models, pairs);
+                  const double lc = ext.self_inductance(*mc).raw();
+                  double pen = 0.0;
+                  for (std::size_t pi = 0; pi < pairs.size(); ++pi) {
+                    const double lj =
+                        ext.self_inductance(*models[pairs[pi].second].model).raw();
+                    if (lc > 0.0 && lj > 0.0) {
+                      pen += std::fabs(ms[pi].raw() / std::sqrt(lc * lj));
+                    }
+                  }
+                  return w * pen;
+                };
           }
           res.place_stats = place::auto_place(bc.board, res.improved_layout, popt);
         });

@@ -7,15 +7,11 @@
 
 #include "src/core/deadline.hpp"
 #include "src/core/fault_injection.hpp"
+#include "src/core/parallel.hpp"
 
 namespace emi::peec {
 
 namespace {
-
-// Keep the memoized mutual table bounded; a full clear is the eviction
-// policy. Eviction timing never changes returned values (entries are pure
-// functions of their key), only how often they are recomputed.
-constexpr std::size_t kMutualCacheCap = 1u << 16;
 
 inline std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) {
@@ -64,6 +60,8 @@ std::size_t CouplingExtractor::MutualKeyHash::operator()(const MutualKey& k) con
   h = fnv1a(h, k.tz);
   h = fnv1a(h, k.rot);
   h = fnv1a(h, k.quad);
+  h = fnv1a(h, k.kern);
+  h = fnv1a(h, k.kern_ratio);
   return static_cast<std::size_t>(h);
 }
 
@@ -97,15 +95,8 @@ Henry CouplingExtractor::self_inductance(const ComponentFieldModel& m) const {
   return Henry{l};
 }
 
-Henry CouplingExtractor::mutual(const PlacedModel& a, const PlacedModel& b) const {
-  if (a.model == nullptr || b.model == nullptr) {
-    throw std::invalid_argument("CouplingExtractor::mutual: null model");
-  }
-  // Same cooperative stop contract as self_inductance: sentinel out, cache
-  // untouched, results discarded by the stopped stage.
-  if (!core::CancelScope::poll()) return Henry{0.0};
-  const double stray = a.model->stray_scale * b.model->stray_scale;
-
+CouplingExtractor::CanonicalPair CouplingExtractor::canonicalize(
+    const PlacedModel& a, const PlacedModel& b) const {
   // Canonical pair order (smaller digest first) and canonical relative pose:
   // second model expressed in the first model's frame. Rigid translations of
   // the pair - the placer's bread and butter - collapse to one key.
@@ -119,50 +110,198 @@ Henry CouplingExtractor::mutual(const PlacedModel& a, const PlacedModel& b) cons
     if (p.position.z != q.position.z) return p.position.z < q.position.z;
     return p.rot_deg < q.rot_deg;
   };
-  const PlacedModel* first = &a;
-  const PlacedModel* second = &b;
+  CanonicalPair c;
+  c.first = &a;
+  c.second = &b;
   std::uint64_t dlo = da, dhi = db;
   if (db < da || (da == db && pose_before(b.pose, a.pose))) {
-    first = &b;
-    second = &a;
+    c.first = &b;
+    c.second = &a;
     dlo = db;
     dhi = da;
   }
-  const double rel_rot =
-      geom::normalize_deg(second->pose.rot_deg - first->pose.rot_deg);
-  const Vec3 rel_pos =
-      geom::rotate_z(second->pose.position - first->pose.position,
-                     geom::deg_to_rad(-first->pose.rot_deg));
-  const MutualKey key{dlo,
-                      dhi,
-                      std::bit_cast<std::uint64_t>(rel_pos.x),
-                      std::bit_cast<std::uint64_t>(rel_pos.y),
-                      std::bit_cast<std::uint64_t>(rel_pos.z),
-                      std::bit_cast<std::uint64_t>(rel_rot),
-                      (static_cast<std::uint64_t>(opt_.order) << 32) |
-                          static_cast<std::uint64_t>(opt_.subdivisions)};
+  c.rel_rot =
+      geom::normalize_deg(c.second->pose.rot_deg - c.first->pose.rot_deg);
+  c.rel_pos =
+      geom::rotate_z(c.second->pose.position - c.first->pose.position,
+                     geom::deg_to_rad(-c.first->pose.rot_deg));
+  c.stray = a.model->stray_scale * b.model->stray_scale;
+  c.key = MutualKey{dlo,
+                    dhi,
+                    std::bit_cast<std::uint64_t>(c.rel_pos.x),
+                    std::bit_cast<std::uint64_t>(c.rel_pos.y),
+                    std::bit_cast<std::uint64_t>(c.rel_pos.z),
+                    std::bit_cast<std::uint64_t>(c.rel_rot),
+                    (static_cast<std::uint64_t>(opt_.order) << 32) |
+                        static_cast<std::uint64_t>(opt_.subdivisions),
+                    (kernel_.analytic_parallel ? 1ull : 0ull) |
+                        (kernel_.far_field ? 2ull : 0ull),
+                    std::bit_cast<std::uint64_t>(kernel_.far_field_ratio)};
+  return c;
+}
+
+double CouplingExtractor::compute_mutual_air(const CanonicalPair& c) const {
+  // Compute in the canonical frame so the stored value is a pure function of
+  // the key: a concurrent duplicate computation lands on identical bits.
+  const SegmentPath pf = c.first->model->path_at(Pose{});
+  const SegmentPath ps = c.second->model->path_at(Pose{c.rel_pos, c.rel_rot});
+  return path_mutual(pf, ps, opt_, kernel_);
+}
+
+void CouplingExtractor::store_mutual_locked(const MutualKey& key,
+                                            double m_air) const {
+  if (mutual_cache_.size() >= kMutualCacheCap) {
+    // Evict the oldest-inserted half rather than clearing outright: the
+    // working set of a long sweep survives, and entries are pure functions
+    // of their keys, so eviction timing only affects recomputation
+    // frequency, never values. Counters are untouched - they stay monotone
+    // across evictions.
+    const std::size_t evict = mutual_order_.size() / 2;
+    for (std::size_t i = 0; i < evict; ++i) mutual_cache_.erase(mutual_order_[i]);
+    mutual_order_.erase(mutual_order_.begin(),
+                        mutual_order_.begin() + static_cast<std::ptrdiff_t>(evict));
+  }
+  if (mutual_cache_.emplace(key, m_air).second) mutual_order_.push_back(key);
+}
+
+Henry CouplingExtractor::mutual(const PlacedModel& a, const PlacedModel& b) const {
+  if (a.model == nullptr || b.model == nullptr) {
+    throw std::invalid_argument("CouplingExtractor::mutual: null model");
+  }
+  // Same cooperative stop contract as self_inductance: sentinel out, cache
+  // untouched, results discarded by the stopped stage.
+  if (!core::CancelScope::poll()) return Henry{0.0};
+  const CanonicalPair c = canonicalize(a, b);
   const bool forced_miss = core::fault::should_fire(
-      core::FaultSite::kCache, core::fault::mix(1, MutualKeyHash{}(key)));
+      core::FaultSite::kCache, core::fault::mix(1, MutualKeyHash{}(c.key)));
   if (!forced_miss) {
     std::shared_lock lock(mutual_mu_);
-    if (const auto it = mutual_cache_.find(key); it != mutual_cache_.end()) {
+    if (const auto it = mutual_cache_.find(c.key); it != mutual_cache_.end()) {
       mutual_hits_.fetch_add(1, std::memory_order_relaxed);
-      return Henry{stray * it->second};
+      return Henry{c.stray * it->second};
     }
   }
   mutual_misses_.fetch_add(1, std::memory_order_relaxed);
-
-  // Compute in the canonical frame so the stored value is a pure function of
-  // the key: a concurrent duplicate computation lands on identical bits.
-  const SegmentPath pf = first->model->path_at(Pose{});
-  const SegmentPath ps = second->model->path_at(Pose{rel_pos, rel_rot});
-  const double m_air = path_mutual(pf, ps, opt_);
+  const double m_air = compute_mutual_air(c);
   {
     std::unique_lock lock(mutual_mu_);
-    if (mutual_cache_.size() >= kMutualCacheCap) mutual_cache_.clear();
-    mutual_cache_.emplace(key, m_air);
+    store_mutual_locked(c.key, m_air);
   }
-  return Henry{stray * m_air};
+  return Henry{c.stray * m_air};
+}
+
+std::vector<Henry> CouplingExtractor::mutual_batch(
+    std::span<const PlacedModel> models,
+    std::span<const std::pair<std::size_t, std::size_t>> pairs) const {
+  std::vector<Henry> out(pairs.size(), Henry{0.0});
+  if (pairs.empty()) return out;
+  for (const auto& [ia, ib] : pairs) {
+    if (ia >= models.size() || ib >= models.size()) {
+      throw std::invalid_argument("mutual_batch: pair index out of range");
+    }
+    if (models[ia].model == nullptr || models[ib].model == nullptr) {
+      throw std::invalid_argument("mutual_batch: null model");
+    }
+  }
+  if (!core::CancelScope::poll()) return out;  // sentinel zeros, cache untouched
+
+  // Canonicalize every pair, then collapse duplicates: jobs holds one entry
+  // per distinct canonical key, slot[p] maps each input pair to its job.
+  struct Job {
+    CanonicalPair c;
+    double m_air = 0.0;
+    bool computed = false;  // false for cached hits and cancelled jobs
+    bool cached = false;
+  };
+  std::vector<Job> jobs;
+  jobs.reserve(pairs.size());
+  std::unordered_map<MutualKey, std::size_t, MutualKeyHash> job_of;
+  job_of.reserve(pairs.size());
+  std::vector<std::size_t> slot(pairs.size());
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    CanonicalPair c = canonicalize(models[pairs[p].first], models[pairs[p].second]);
+    const auto [it, inserted] = job_of.emplace(c.key, jobs.size());
+    if (inserted) jobs.push_back(Job{c, 0.0, false, false});
+    slot[p] = it->second;
+    // A duplicate of an earlier batch entry is served by that entry's
+    // computation, exactly like a second sequential mutual() call would be
+    // served by the cache: count it as a hit.
+    if (!inserted) mutual_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // One shared-lock probe for the whole batch.
+  {
+    std::shared_lock lock(mutual_mu_);
+    for (Job& job : jobs) {
+      const bool forced_miss = core::fault::should_fire(
+          core::FaultSite::kCache, core::fault::mix(1, MutualKeyHash{}(job.c.key)));
+      if (forced_miss) continue;
+      if (const auto it = mutual_cache_.find(job.c.key); it != mutual_cache_.end()) {
+        job.m_air = it->second;
+        job.cached = true;
+      }
+    }
+  }
+
+  // One flat parallel region over the unique misses. Each job writes only
+  // its own slot; values are pure functions of the canonical key, so the
+  // schedule cannot affect results.
+  std::vector<std::size_t> miss;
+  miss.reserve(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    if (jobs[j].cached) {
+      mutual_hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      mutual_misses_.fetch_add(1, std::memory_order_relaxed);
+      miss.push_back(j);
+    }
+  }
+  core::parallel_for(
+      0, miss.size(),
+      [&](std::size_t k) {
+        Job& job = jobs[miss[k]];
+        if (!core::CancelScope::poll()) return;  // leave sentinel, skip store
+        job.m_air = compute_mutual_air(job.c);
+        job.computed = true;
+      },
+      1);
+
+  // One bulk store of everything actually computed.
+  {
+    std::unique_lock lock(mutual_mu_);
+    for (const std::size_t j : miss) {
+      if (jobs[j].computed) store_mutual_locked(jobs[j].c.key, jobs[j].m_air);
+    }
+  }
+
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    const Job& job = jobs[slot[p]];
+    out[p] = Henry{job.c.stray * job.m_air};
+  }
+  return out;
+}
+
+std::vector<Henry> CouplingExtractor::mutual_matrix(
+    std::span<const PlacedModel> models) const {
+  const std::size_t n = models.size();
+  std::vector<Henry> m(n * n, Henry{0.0});
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  pairs.reserve(n * (n - 1) / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) pairs.emplace_back(i, j);
+  }
+  const std::vector<Henry> off = mutual_batch(models, pairs);
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    m[pairs[p].first * n + pairs[p].second] = off[p];
+    m[pairs[p].second * n + pairs[p].first] = off[p];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (models[i].model == nullptr) {
+      throw std::invalid_argument("mutual_matrix: null model");
+    }
+    m[i * n + i] = self_inductance(*models[i].model);
+  }
+  return m;
 }
 
 double CouplingExtractor::coupling_factor(const PlacedModel& a,
@@ -189,12 +328,33 @@ std::vector<CouplingExtractor::CurvePoint> CouplingExtractor::coupling_vs_distan
   if (n_points < 2 || d_max <= d_min) {
     throw std::invalid_argument("coupling_vs_distance: bad sweep range");
   }
-  std::vector<CurvePoint> out;
-  out.reserve(n_points);
+  // One batch for the whole sweep: self terms are shared, the mutual points
+  // extract in a single parallel region. k values match the per-point
+  // coupling_at() formula bit for bit.
+  const Henry la = self_inductance(a);
+  const Henry lb = self_inductance(b);
+  std::vector<PlacedModel> models;
+  models.reserve(n_points + 1);
+  models.push_back({&a, Pose{{0.0, 0.0, 0.0}, 0.0}});
+  std::vector<Millimeters> dist;
+  dist.reserve(n_points);
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  pairs.reserve(n_points);
   for (std::size_t i = 0; i < n_points; ++i) {
     const Millimeters d = d_min + (d_max - d_min) * (static_cast<double>(i) /
                                                      static_cast<double>(n_points - 1));
-    out.push_back({d, std::fabs(coupling_at(a, b, d, 0.0, rot_b_deg))});
+    dist.push_back(d);
+    models.push_back({&b, Pose{{d.raw(), 0.0, 0.0}, rot_b_deg}});
+    pairs.emplace_back(0, models.size() - 1);
+  }
+  const std::vector<Henry> ms = mutual_batch(models, pairs);
+  std::vector<CurvePoint> out;
+  out.reserve(n_points);
+  for (std::size_t i = 0; i < n_points; ++i) {
+    const double k = (la.raw() <= 0.0 || lb.raw() <= 0.0)
+                         ? 0.0
+                         : ms[i] / units::sqrt(la * lb);
+    out.push_back({dist[i], std::fabs(k)});
   }
   return out;
 }
@@ -203,11 +363,29 @@ std::vector<CouplingExtractor::AnglePoint> CouplingExtractor::coupling_vs_angle(
     const ComponentFieldModel& a, const ComponentFieldModel& b,
     Millimeters center_distance, std::size_t n_points) const {
   if (n_points < 2) throw std::invalid_argument("coupling_vs_angle: need points");
+  const Henry la = self_inductance(a);
+  const Henry lb = self_inductance(b);
+  std::vector<PlacedModel> models;
+  models.reserve(n_points + 1);
+  models.push_back({&a, Pose{{0.0, 0.0, 0.0}, 0.0}});
+  std::vector<double> angles;
+  angles.reserve(n_points);
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  pairs.reserve(n_points);
+  for (std::size_t i = 0; i < n_points; ++i) {
+    const double ang = 90.0 * static_cast<double>(i) / static_cast<double>(n_points - 1);
+    angles.push_back(ang);
+    models.push_back({&b, Pose{{center_distance.raw(), 0.0, 0.0}, ang}});
+    pairs.emplace_back(0, models.size() - 1);
+  }
+  const std::vector<Henry> ms = mutual_batch(models, pairs);
   std::vector<AnglePoint> out;
   out.reserve(n_points);
   for (std::size_t i = 0; i < n_points; ++i) {
-    const double ang = 90.0 * static_cast<double>(i) / static_cast<double>(n_points - 1);
-    out.push_back({ang, coupling_at(a, b, center_distance, 0.0, ang)});
+    const double k = (la.raw() <= 0.0 || lb.raw() <= 0.0)
+                         ? 0.0
+                         : ms[i] / units::sqrt(la * lb);
+    out.push_back({angles[i], k});
   }
   return out;
 }

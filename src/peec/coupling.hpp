@@ -21,7 +21,9 @@
 #include <atomic>
 #include <cstdint>
 #include <shared_mutex>
+#include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/core/units.hpp"
@@ -52,9 +54,22 @@ struct ExtractionCacheStats {
 
 class CouplingExtractor {
  public:
-  explicit CouplingExtractor(QuadratureOptions opt = {}) : opt_(opt) {}
+  // `kernel` gates the approximate pair fast paths (partial_inductance.hpp).
+  // The default keeps the exact kernel, so default-constructed extractors
+  // return bit-identical values to older builds; kernel options are part of
+  // every mutual cache key, so extractors with different gates never share
+  // entries.
+  explicit CouplingExtractor(QuadratureOptions opt = {}, KernelOptions kernel = {})
+      : opt_(opt), kernel_(kernel) {}
 
   const QuadratureOptions& options() const { return opt_; }
+  const KernelOptions& kernel_options() const { return kernel_; }
+
+  // Mutual-cache capacity. Insertion past the cap evicts the
+  // oldest-inserted half (values are pure functions of their keys, so
+  // eviction timing only affects recomputation frequency, never values; the
+  // hit/miss counters stay monotone across evictions).
+  static constexpr std::size_t kMutualCacheCap = 1u << 16;
 
   // Effective self inductance (air-core PEEC result scaled by mu_eff).
   Henry self_inductance(const ComponentFieldModel& m) const;
@@ -68,6 +83,22 @@ class CouplingExtractor {
   // Coupling factor k = M / sqrt(La * Lb). Signed: the sign indicates field
   // orientation; design rules use |k|.
   double coupling_factor(const PlacedModel& a, const PlacedModel& b) const;
+
+  // Batched mutual extraction: `pairs` indexes into `models`. One
+  // canonicalization pass, one shared-lock cache probe for the whole batch,
+  // then a single flat parallel region over the *unique* canonical-pose
+  // misses (duplicates within the batch count as hits and are computed
+  // once), and one bulk store - instead of N^2 per-call lock round-trips.
+  // Each value is bit-identical to the corresponding mutual(a, b) call.
+  std::vector<Henry> mutual_batch(
+      std::span<const PlacedModel> models,
+      std::span<const std::pair<std::size_t, std::size_t>> pairs) const;
+
+  // Full coupling matrix, row-major n x n: diagonal entries are effective
+  // self inductances, off-diagonals mutual inductances via one
+  // mutual_batch over the upper triangle (mirrored; mutual() is symmetric
+  // bit-for-bit by canonicalization).
+  std::vector<Henry> mutual_matrix(std::span<const PlacedModel> models) const;
 
   // Convenience: k with model A at the origin (rotation rot_a_deg) and model
   // B at center distance d along +x (rotation rot_b_deg).
@@ -116,17 +147,35 @@ class CouplingExtractor {
     std::uint64_t tx, ty, tz;  // bit patterns of the canonical translation
     std::uint64_t rot;         // bit pattern of the relative rotation (deg)
     std::uint64_t quad;        // quadrature order/subdivisions
+    std::uint64_t kern;        // fast-path gate flags (bit0 analytic, bit1 far)
+    std::uint64_t kern_ratio;  // bit pattern of far_field_ratio
     bool operator==(const MutualKey&) const = default;
   };
   struct MutualKeyHash {
     std::size_t operator()(const MutualKey& k) const;
   };
+  // A pair reduced to its canonical relative frame: everything mutual() and
+  // mutual_batch() need to probe the cache and, on a miss, compute.
+  struct CanonicalPair {
+    MutualKey key;
+    const PlacedModel* first;
+    const PlacedModel* second;
+    Vec3 rel_pos;
+    double rel_rot;
+    double stray;
+  };
+  CanonicalPair canonicalize(const PlacedModel& a, const PlacedModel& b) const;
+  double compute_mutual_air(const CanonicalPair& c) const;
+  // Requires mutual_mu_ held exclusively.
+  void store_mutual_locked(const MutualKey& key, double m_air) const;
 
   QuadratureOptions opt_;
+  KernelOptions kernel_;
   mutable std::shared_mutex self_mu_;
   mutable std::unordered_map<std::uint64_t, double> self_cache_;
   mutable std::shared_mutex mutual_mu_;
   mutable std::unordered_map<MutualKey, double, MutualKeyHash> mutual_cache_;
+  mutable std::vector<MutualKey> mutual_order_;  // insertion order, for eviction
   mutable std::atomic<std::uint64_t> self_hits_{0};
   mutable std::atomic<std::uint64_t> self_misses_{0};
   mutable std::atomic<std::uint64_t> mutual_hits_{0};

@@ -1,23 +1,55 @@
 #include "src/peec/partial_inductance.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
 
 #include "src/core/parallel.hpp"
 #include "src/numeric/quadrature.hpp"
+#include "src/peec/sampled_path.hpp"
 
 namespace emi::peec {
 
 namespace {
-constexpr double kMmToM = 1e-3;
 
-// Below this many segment-pair integrals the double sum runs on the calling
-// thread; the scheduling cost of a parallel region would dominate. The
-// serial path accumulates per-outer-segment rows in the same order as the
-// parallel ordered reduction, so crossing the threshold (or changing the
-// thread count) never changes the returned bits for a given input.
-constexpr std::size_t kParallelPairThreshold = 256;
+std::atomic<std::uint64_t> g_sample_evals{0};
+std::atomic<std::uint64_t> g_exact_pairs{0};
+std::atomic<std::uint64_t> g_analytic_pairs{0};
+std::atomic<std::uint64_t> g_far_field_pairs{0};
+
+}  // namespace
+
+namespace detail {
+
+void tally_exact_pair(std::uint64_t sample_evals) {
+  g_sample_evals.fetch_add(sample_evals, std::memory_order_relaxed);
+  g_exact_pairs.fetch_add(1, std::memory_order_relaxed);
+}
+
+void tally_analytic_pair() { g_analytic_pairs.fetch_add(1, std::memory_order_relaxed); }
+
+void tally_far_field_pair() {
+  g_far_field_pairs.fetch_add(1, std::memory_order_relaxed);
+}
+
+void tally_pairs(std::uint64_t exact_pairs, std::uint64_t sample_evals,
+                 std::uint64_t analytic_pairs, std::uint64_t far_field_pairs) {
+  if (sample_evals != 0) g_sample_evals.fetch_add(sample_evals, std::memory_order_relaxed);
+  if (exact_pairs != 0) g_exact_pairs.fetch_add(exact_pairs, std::memory_order_relaxed);
+  if (analytic_pairs != 0) g_analytic_pairs.fetch_add(analytic_pairs, std::memory_order_relaxed);
+  if (far_field_pairs != 0) g_far_field_pairs.fetch_add(far_field_pairs, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+KernelStats kernel_stats() {
+  KernelStats s;
+  s.sample_evals = g_sample_evals.load(std::memory_order_relaxed);
+  s.exact_pairs = g_exact_pairs.load(std::memory_order_relaxed);
+  s.analytic_pairs = g_analytic_pairs.load(std::memory_order_relaxed);
+  s.far_field_pairs = g_far_field_pairs.load(std::memory_order_relaxed);
+  return s;
 }
 
 double self_inductance_wire(double length_mm, double radius_mm) {
@@ -26,8 +58,9 @@ double self_inductance_wire(double length_mm, double radius_mm) {
   }
   const double l = length_mm * kMmToM;
   const double r = radius_mm * kMmToM;
-  // Degenerate stubby segments (l < r) have negligible partial inductance;
-  // the formula would go negative, so clamp.
+  // Stubby segments (l <= 2r, i.e. shorter than their own diameter) have
+  // negligible partial inductance and the formula goes negative just below
+  // l = 2r * e^(3/4); clamp them to zero.
   if (length_mm <= 2.0 * radius_mm) return 0.0;
   return kMu0 * l / (2.0 * geom::kPi) * (std::log(2.0 * l / r) - 0.75);
 }
@@ -52,6 +85,23 @@ double mutual_parallel_filaments(double length_mm, double distance_mm) {
   const double u = l / d;
   return kMu0 * l / (2.0 * geom::kPi) *
          (std::log(u + std::sqrt(1.0 + u * u)) - std::sqrt(1.0 + 1.0 / (u * u)) + 1.0 / u);
+}
+
+double mutual_parallel_offset(double l1_mm, double l2_mm, double lateral_mm,
+                              double offset_mm) {
+  if (l1_mm <= 0.0 || l2_mm <= 0.0 || lateral_mm <= 0.0) {
+    throw std::invalid_argument("mutual_parallel_offset: nonpositive dimensions");
+  }
+  const double rho = lateral_mm;
+  // G is the double antiderivative of 1/sqrt((u-t)^2 + rho^2); the four-term
+  // difference below is int_0^l1 int_o^{o+l2} dt du / sqrt((u-t)^2+rho^2).
+  const auto G = [rho](double u) {
+    return u * std::asinh(u / rho) - std::sqrt(u * u + rho * rho);
+  };
+  const double o = offset_mm;
+  const double integral_mm =
+      (G(o + l2_mm) - G(o + l2_mm - l1_mm)) - (G(o) - G(o - l1_mm));
+  return kMu0 / (4.0 * geom::kPi) * integral_mm * kMmToM;
 }
 
 double mutual_neumann(const Segment& s1, const Segment& s2, const QuadratureOptions& opt) {
@@ -89,6 +139,7 @@ double mutual_neumann(const Segment& s1, const Segment& s2, const QuadratureOpti
           a1, b1, opt.order);
     }
   }
+  detail::tally_exact_pair(sub * sub * opt.order * opt.order);
   // dl1.dl2 = dot * dt1 * dt2; convert the mm-valued integral (mm^2/mm = mm)
   // to metres.
   return kMu0 / (4.0 * geom::kPi) * dot * integral_mm * kMmToM;
@@ -101,11 +152,13 @@ double self_inductance(const Segment& s) {
 double path_inductance(const SegmentPath& path, const QuadratureOptions& opt) {
   const auto& segs = path.segments;
   const std::size_t n = segs.size();
+  if (n == 0) return 0.0;
+  const SampledPath sp = sample_path(path, opt);
   // Row i: the self term plus the upper-triangle mutual terms of segment i.
   const auto row = [&](std::size_t i) {
     double r = segs[i].weight * segs[i].weight * self_inductance(segs[i]);
     for (std::size_t j = i + 1; j < n; ++j) {
-      r += 2.0 * segs[i].weight * segs[j].weight * mutual_neumann(segs[i], segs[j], opt);
+      r += 2.0 * segs[i].weight * segs[j].weight * sampled_mutual_exact(sp, i, sp, j);
     }
     return r;
   };
@@ -116,7 +169,15 @@ double path_inductance(const SegmentPath& path, const QuadratureOptions& opt) {
 }
 
 double path_mutual(const SegmentPath& p1, const SegmentPath& p2,
-                   const QuadratureOptions& opt) {
+                   const QuadratureOptions& opt, const KernelOptions& kopt) {
+  if (p1.segments.empty() || p2.segments.empty()) return 0.0;
+  const SampledPath a = sample_path(p1, opt);
+  const SampledPath b = sample_path(p2, opt);
+  return path_mutual_sampled(a, b, kopt);
+}
+
+double path_mutual_legacy(const SegmentPath& p1, const SegmentPath& p2,
+                          const QuadratureOptions& opt) {
   const auto& s1 = p1.segments;
   const auto& s2 = p2.segments;
   const auto row = [&](std::size_t i) {

@@ -2,12 +2,19 @@
 //
 // Self terms use the classic round-wire / rectangular-bar closed forms
 // (Rosa/Grover, Ruehli). Mutual terms use the exact closed form for
-// parallel coaxially-aligned filaments where it applies and a Neumann
-// double Gauss-Legendre quadrature for the general case. Inputs are in
-// millimetres, outputs in henries.
+// parallel filaments where it applies and a Neumann double Gauss-Legendre
+// quadrature for the general case. Inputs are in millimetres, outputs in
+// henries.
+//
+// The production pair kernel lives in sampled_path.hpp: paths are sampled
+// once (positions, weights, jacobians in structure-of-arrays form) and the
+// pair integral runs over the precomputed grids. mutual_neumann() here is
+// the legacy nested-quadrature reference it is tested against; both compute
+// the identical floating-point sequence, so they agree bit for bit.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "src/geom/angle.hpp"
 #include "src/peec/segment.hpp"
@@ -15,6 +22,14 @@
 namespace emi::peec {
 
 inline constexpr double kMu0 = 4.0e-7 * 3.14159265358979323846;  // H/m
+inline constexpr double kMmToM = 1e-3;
+
+// Below this many segment-pair integrals a path-level double sum runs on the
+// calling thread; the scheduling cost of a parallel region would dominate.
+// The serial and parallel schedules accumulate in the same order, so
+// crossing the threshold (or changing the thread count) never changes the
+// returned bits for a given input.
+inline constexpr std::size_t kParallelPairThreshold = 256;
 
 // Options controlling the accuracy/cost tradeoff of the Neumann integral.
 // The ablation bench sweeps these.
@@ -22,6 +37,52 @@ struct QuadratureOptions {
   std::size_t order = 6;        // Gauss-Legendre points per segment axis (1..8)
   std::size_t subdivisions = 2; // split each segment before integrating
 };
+
+// Gates for the approximate pair-kernel fast paths. Both default off: the
+// exact quadrature runs and results stay bit-identical with older builds.
+// The design flow (and other callers that tolerate the documented error)
+// opts in explicitly. Error bounds, measured against the order-8 exact
+// kernel by the peec_sampled_kernel battery:
+//   * analytic_parallel: the closed form is exact for filaments; the
+//     residual is the quadrature's own truncation error at the gate
+//     boundary. Agreement with the order-8 kernel is better than 1e-3 at
+//     the tightest admitted geometry (lateral offset 0.25 * max length) and
+//     better than 1e-8 once the offset reaches the segment length.
+//   * far_field: midpoint approximation, relative error O((l/R)^2), below
+//     1.5 / far_field_ratio^2 (2% at the default ratio 8).
+struct KernelOptions {
+  // Closed-form parallel-filament solution (mutual_parallel_offset) for
+  // (near-)parallel segment pairs whose lateral separation is at least a
+  // quarter of the longer segment and clear of the radius guard.
+  bool analytic_parallel = false;
+  // Midpoint approximation M = mu0/(4pi) * dot * l1*l2/R when the center
+  // separation R exceeds far_field_ratio * max(l1, l2).
+  bool far_field = false;
+  double far_field_ratio = 8.0;
+};
+
+// Process-wide monotone kernel counters (relaxed atomics, PoolStats-style):
+// snapshot before and after a region and subtract. `sample_evals` counts
+// 1/r integrand evaluations; the pair counters classify how each segment
+// pair was served.
+struct KernelStats {
+  std::uint64_t sample_evals = 0;
+  std::uint64_t exact_pairs = 0;
+  std::uint64_t analytic_pairs = 0;
+  std::uint64_t far_field_pairs = 0;
+};
+KernelStats kernel_stats();
+
+namespace detail {
+// Counter plumbing shared by the legacy and sampled kernels.
+void tally_exact_pair(std::uint64_t sample_evals);
+void tally_analytic_pair();
+void tally_far_field_pair();
+// Bulk form used by the row kernel: counts are accumulated in plain locals
+// over a whole segment row and published with one atomic add per counter.
+void tally_pairs(std::uint64_t exact_pairs, std::uint64_t sample_evals,
+                 std::uint64_t analytic_pairs, std::uint64_t far_field_pairs);
+}  // namespace detail
 
 // Partial self inductance of a straight round wire of length l and radius r
 // (uniform current): L = mu0*l/(2*pi) * (ln(2l/r) - 3/4).
@@ -36,10 +97,21 @@ double self_inductance_bar(double length_mm, double width_mm, double thickness_m
 // M = mu0*l/(2*pi) * (ln(l/d + sqrt(1 + l^2/d^2)) - sqrt(1 + d^2/l^2) + d/l).
 double mutual_parallel_filaments(double length_mm, double distance_mm);
 
+// General parallel-filament closed form (Grover): filament 1 spans [0, l1]
+// along the common axis, filament 2 spans [offset, offset + l2] at lateral
+// distance `lateral`. Via G(u) = u*asinh(u/rho) - sqrt(u^2 + rho^2),
+//   M = mu0/(4*pi) * [G(o+l2) - G(o+l2-l1) - G(o) + G(o-l1)].
+// Unsigned: the caller applies the direction cosine. Reduces to
+// mutual_parallel_filaments for l1 = l2, offset = 0.
+double mutual_parallel_offset(double l1_mm, double l2_mm, double lateral_mm,
+                              double offset_mm);
+
 // General mutual partial inductance between two arbitrary segments via the
 // Neumann integral  M = mu0/(4*pi) * int int (dl1 . dl2) / |r1 - r2|.
 // Perpendicular segments correctly yield ~0. Near-singular configurations
 // are regularized by clamping |r1-r2| to the geometric mean of the radii.
+// Legacy nested-quadrature reference; sampled_path.hpp holds the fast
+// bit-identical production kernel.
 double mutual_neumann(const Segment& s1, const Segment& s2,
                       const QuadratureOptions& opt = {});
 
@@ -49,11 +121,22 @@ double self_inductance(const Segment& s);
 
 // Loop inductance of a closed (or terminal-to-terminal) current path: the
 // double sum of partial self and mutual terms, weighted by the per-segment
-// current weights.
+// current weights. Always runs the exact kernel (self-inductance accuracy
+// is what the effective-permeability calibration rests on, and a path's own
+// segments are too close for the fast-path gates anyway).
 double path_inductance(const SegmentPath& path, const QuadratureOptions& opt = {});
 
-// Mutual inductance between two current paths (double sum of Neumann terms).
+// Mutual inductance between two current paths (double sum of Neumann
+// terms). Samples both paths once and runs the flat sampled kernel;
+// `kopt` gates the approximate fast paths (default: exact, bit-identical
+// to path_mutual_legacy).
 double path_mutual(const SegmentPath& p1, const SegmentPath& p2,
-                   const QuadratureOptions& opt = {});
+                   const QuadratureOptions& opt = {},
+                   const KernelOptions& kopt = {});
+
+// The pre-sampling implementation (row-parallel nested quadrature), kept as
+// the equivalence reference for tests and benches.
+double path_mutual_legacy(const SegmentPath& p1, const SegmentPath& p2,
+                          const QuadratureOptions& opt = {});
 
 }  // namespace emi::peec

@@ -1,0 +1,77 @@
+// Precomputed quadrature sampling of segment paths - the fast form of the
+// PEEC mutual-inductance kernel.
+//
+// sample_path() resolves the Gauss-Legendre rule once per SegmentPath and
+// stores, structure-of-arrays, everything the Neumann pair kernel needs:
+// sample positions, raw node weights, per-subinterval jacobians and the
+// per-segment direction/length/radius/current-weight. The pair kernel is
+// then a flat double loop over contiguous arrays - no gauss_rule switch, no
+// nested lambdas, no per-call validation - whose inner distance pass the
+// compiler can vectorize. The arithmetic is the exact sequence of operations
+// mutual_neumann() performs, only with the operands precomputed, so for a
+// given geometry sampled_mutual_exact() returns the same bits.
+//
+// KernelOptions (partial_inductance.hpp) gates two approximate fast paths on
+// top; both are off by default so default-option extraction stays
+// bit-identical to the exact kernel. Error bounds are documented at
+// sampled_mutual() and verified by the peec_sampled_kernel accuracy battery.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/peec/partial_inductance.hpp"
+#include "src/peec/segment.hpp"
+
+namespace emi::peec {
+
+// Structure-of-arrays quadrature sampling of one SegmentPath. Sample arrays
+// are segment-major with a uniform stride of samples_per_segment() =
+// subdivisions * order; jacobians are per (segment, subinterval).
+struct SampledPath {
+  std::size_t order = 0;  // Gauss points per subinterval
+  std::size_t n_sub = 0;  // subintervals per segment
+
+  // Per sample (segment-major): position and the raw Gauss node weight.
+  std::vector<double> px, py, pz, wt;
+  // Per (segment, subinterval): the 0.5*(b-a) jacobian of that subinterval.
+  std::vector<double> half;
+  // Per segment: unit direction, start point, midpoint, length, equivalent
+  // radius and current weight. Zero-length segments store a zero direction.
+  std::vector<double> dx, dy, dz;
+  std::vector<double> ax, ay, az;
+  std::vector<double> mx, my, mz;
+  std::vector<double> len, rad, wgt;
+
+  std::size_t segment_count() const { return wgt.size(); }
+  std::size_t samples_per_segment() const { return order * n_sub; }
+};
+
+// Evaluate the quadrature grid of `path` once. Validates opt.order against
+// the tabulated rules (throws std::invalid_argument outside 1..8, like the
+// legacy kernel's first gauss_rule call would).
+SampledPath sample_path(const SegmentPath& path, const QuadratureOptions& opt = {});
+
+// Neumann mutual partial inductance of segment i of `a` against segment j of
+// `b`. Bit-identical to mutual_neumann(a_segment, b_segment, opt) for paths
+// sampled with the same options.
+double sampled_mutual_exact(const SampledPath& a, std::size_t i,
+                            const SampledPath& b, std::size_t j);
+
+// Same, with the KernelOptions fast paths applied where their gates hold
+// (see partial_inductance.hpp for the gates and documented error bounds).
+// With default-constructed KernelOptions this is sampled_mutual_exact().
+double sampled_mutual(const SampledPath& a, std::size_t i, const SampledPath& b,
+                      std::size_t j, const KernelOptions& kopt);
+
+// Mutual inductance between two sampled paths: the weighted double sum over
+// all segment pairs, evaluated by a row kernel that batches one row of A
+// against B's whole contiguous sample block (classification first, then an
+// L1-blocked distance pass at divider throughput). Large cases parallelize
+// over rows; row totals are folded serially in row order, so the returned
+// bits match the serial double loop - and the legacy row-parallel
+// path_mutual - at any thread count.
+double path_mutual_sampled(const SampledPath& a, const SampledPath& b,
+                           const KernelOptions& kopt = {});
+
+}  // namespace emi::peec

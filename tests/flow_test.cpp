@@ -166,5 +166,46 @@ TEST(DesignFlow, NoPruningSimulatesAllPairs) {
   EXPECT_EQ(res.simulated_pairs.size(), 21u);  // 7 choose 2
 }
 
+TEST(DesignFlow, SurfacesKernelCountersInProfile) {
+  BuckConverter bc = make_buck_converter();
+  FlowOptions opt;
+  opt.sweep.n_points = 30;
+  const FlowResult res = run_design_flow(bc, layout_unfavorable(bc), opt);
+  // The extraction work of this run, as deltas of the process-wide kernel
+  // counters. Default options: everything runs the exact path.
+  EXPECT_GT(res.profile.count("peec.kernel_sample_evals"), 0u);
+  EXPECT_GT(res.profile.count("peec.kernel_exact_pairs"), 0u);
+  EXPECT_EQ(res.profile.count("peec.kernel_analytic_pairs"), 0u);
+  EXPECT_EQ(res.profile.count("peec.kernel_far_field_pairs"), 0u);
+}
+
+TEST(DesignFlow, FastPathAndBatchedOptInsCompleteAndStayClose) {
+  BuckConverter ref_bc = make_buck_converter();
+  FlowOptions ref_opt;
+  ref_opt.sweep.n_points = 30;
+  const FlowResult ref = run_design_flow(ref_bc, layout_unfavorable(ref_bc), ref_opt);
+
+  BuckConverter bc = make_buck_converter();
+  FlowOptions opt;
+  opt.sweep.n_points = 30;
+  opt.kernel.analytic_parallel = true;
+  opt.kernel.far_field = true;
+  opt.geometric_prescreen = true;
+  opt.coupling_aware_placement = true;
+  const FlowResult res = run_design_flow(bc, layout_unfavorable(bc), opt);
+
+  EXPECT_TRUE(res.complete);
+  EXPECT_TRUE(res.drc_improved.clean());
+  EXPECT_EQ(res.place_stats.failed, 0u);
+  // The fast-path gates fired somewhere in the run, and the flow still
+  // reaches a comparable improvement (the approximations are percent-level).
+  EXPECT_GT(res.profile.count("peec.kernel_analytic_pairs") +
+                res.profile.count("peec.kernel_far_field_pairs"),
+            0u);
+  EXPECT_GT(res.peak_improvement_db, 10.0);
+  EXPECT_NEAR(res.initial_prediction.level_dbuv.front(),
+              ref.initial_prediction.level_dbuv.front(), 3.0);
+}
+
 }  // namespace
 }  // namespace emi::flow

@@ -32,6 +32,18 @@ TEST(SelfInductance, DegenerateStubbyWireClampsToZero) {
   EXPECT_THROW(self_inductance_wire(10.0, 0.0), std::invalid_argument);
 }
 
+TEST(SelfInductance, StubbyWireBoundaryIsExactlyDiameter) {
+  // The clamp criterion is l <= 2r (shorter than its own diameter): zero at
+  // and below the boundary, the positive closed form just above it.
+  EXPECT_DOUBLE_EQ(self_inductance_wire(1.0, 0.5), 0.0);     // l == 2r
+  EXPECT_DOUBLE_EQ(self_inductance_wire(0.999, 0.5), 0.0);   // l < 2r
+  const double just_above = self_inductance_wire(1.0 + 1e-9, 0.5);
+  EXPECT_GT(just_above, 0.0);
+  const double expected = 2e-7 * (1.0 + 1e-9) * 1e-3 *
+                          (std::log(2.0 * (1.0 + 1e-9) / 0.5) - 0.75);
+  EXPECT_NEAR(just_above, expected, std::fabs(expected) * 1e-12);
+}
+
 // Ruehli bar formula: 10 mm x 1 mm x 0.035 mm PCB trace ~ 8.1 nH.
 TEST(SelfInductance, BarMatchesRuehliFormula) {
   const double l = self_inductance_bar(10.0, 1.0, 0.035);

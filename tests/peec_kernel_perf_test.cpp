@@ -1,0 +1,79 @@
+// Fast perf smoke for the sampled kernel, counter-based so it is robust on
+// loaded CI machines: the sampled kernel must not perform more integrand
+// evaluations than the legacy nested kernel, and the fast-path configuration
+// must (a) agree with the exact kernel within the documented bounds and
+// (b) measurably cut the evaluation count on a realistic pair.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/peec/component_model.hpp"
+#include "src/peec/partial_inductance.hpp"
+#include "src/peec/sampled_path.hpp"
+
+namespace emi::peec {
+namespace {
+
+struct KernelDelta {
+  KernelStats before = kernel_stats();
+  KernelStats sample() const {
+    const KernelStats now = kernel_stats();
+    return {now.sample_evals - before.sample_evals,
+            now.exact_pairs - before.exact_pairs,
+            now.analytic_pairs - before.analytic_pairs,
+            now.far_field_pairs - before.far_field_pairs};
+  }
+};
+
+TEST(KernelPerfSmoke, SampledDoesNoMoreWorkThanLegacy) {
+  const ComponentFieldModel ma = bobbin_coil("A");
+  const ComponentFieldModel mb = bobbin_coil("B");
+  const SegmentPath pa = ma.path_at({});
+  const SegmentPath pb = mb.path_at(Pose{{30.0, 4.0, 0.0}, 25.0});
+  const QuadratureOptions q{4, 2};
+
+  KernelDelta legacy_delta;
+  const double ref = path_mutual_legacy(pa, pb, q);
+  const KernelStats legacy = legacy_delta.sample();
+
+  KernelDelta sampled_delta;
+  const double got = path_mutual(pa, pb, q);
+  const KernelStats sampled = sampled_delta.sample();
+
+  EXPECT_EQ(ref, got);
+  ASSERT_GT(legacy.sample_evals, 0u);
+  EXPECT_LE(sampled.sample_evals, legacy.sample_evals);
+  EXPECT_EQ(sampled.exact_pairs, legacy.exact_pairs);
+}
+
+TEST(KernelPerfSmoke, FastPathsAgreeAndSkipEvaluations) {
+  const ComponentFieldModel ma = bobbin_coil("A");
+  const ComponentFieldModel mb = bobbin_coil("B");
+  const SegmentPath pa = ma.path_at({});
+  // Far enough that the far-field gate admits most pairs at the default
+  // ratio, near enough that the mutual is still well above zero.
+  const SegmentPath pb = mb.path_at(Pose{{120.0, 10.0, 0.0}, 0.0});
+  const QuadratureOptions q{4, 2};
+
+  KernelDelta exact_delta;
+  const double exact = path_mutual(pa, pb, q);
+  const KernelStats exact_stats = exact_delta.sample();
+
+  KernelOptions fast;
+  fast.analytic_parallel = true;
+  fast.far_field = true;
+  KernelDelta fast_delta;
+  const double approx = path_mutual(pa, pb, q, fast);
+  const KernelStats fast_stats = fast_delta.sample();
+
+  // Documented far-field bound at the default ratio 8: 1.5/64.
+  ASSERT_NE(exact, 0.0);
+  EXPECT_LT(std::fabs((approx - exact) / exact), 1.5 / 64.0);
+  // The fast configuration must actually reroute pairs off the exact path.
+  EXPECT_GT(fast_stats.analytic_pairs + fast_stats.far_field_pairs, 0u);
+  EXPECT_LT(fast_stats.sample_evals, exact_stats.sample_evals);
+  EXPECT_LT(fast_stats.exact_pairs, exact_stats.exact_pairs);
+}
+
+}  // namespace
+}  // namespace emi::peec

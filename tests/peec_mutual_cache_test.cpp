@@ -7,6 +7,9 @@
 
 #include <cmath>
 #include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "src/peec/component_model.hpp"
 #include "src/peec/partial_inductance.hpp"
@@ -134,6 +137,125 @@ TEST_F(MutualCacheTest, SelfCacheCountsHitsAndSurvivesReallocation) {
   EXPECT_NE(l2, l1);
   EXPECT_NEAR(l2, CouplingExtractor(ex_.options()).self_inductance(*m2).raw(),
               std::fabs(l2) * 1e-12);
+}
+
+TEST_F(MutualCacheTest, EvictionKeepsNewestHalfAndMonotoneCounters) {
+  // Cheapest possible extraction: single-segment trace models at order 1 /
+  // no subdivision, so filling past the cap stays fast.
+  QuadratureOptions tiny;
+  tiny.order = 1;
+  tiny.subdivisions = 1;
+  const CouplingExtractor ex(tiny);
+  const ComponentFieldModel ta = trace_model("TA", {0, 0, 0}, {10, 0, 0});
+  const ComponentFieldModel tb = trace_model("TB", {0, 0, 0}, {8, 0, 0});
+  const PlacedModel a{&ta, {{0.0, 0.0, 0.0}, 0.0}};
+
+  const auto b_at = [&](std::size_t i) {
+    // Distinct relative pose per index -> distinct cache key.
+    return PlacedModel{&tb, {{20.0 + 0.125 * static_cast<double>(i), 0.0, 0.0}, 0.0}};
+  };
+
+  const std::size_t n = CouplingExtractor::kMutualCacheCap + 16;
+  const double first = ex.mutual(a, b_at(0)).raw();
+  for (std::size_t i = 1; i < n; ++i) (void)ex.mutual(a, b_at(i));
+  const ExtractionCacheStats filled = ex.cache_stats();
+  EXPECT_EQ(filled.mutual_misses, n);
+  EXPECT_EQ(filled.mutual_hits, 0u);
+
+  // The cap was crossed, so the oldest-inserted half is gone: the first key
+  // misses again (and recomputes the same bits), while the newest key is
+  // still resident and hits.
+  EXPECT_EQ(ex.mutual(a, b_at(n - 1)).raw(), ex.mutual(a, b_at(n - 1)).raw());
+  const ExtractionCacheStats newest = ex.cache_stats();
+  EXPECT_EQ(newest.mutual_hits, 2u);
+  EXPECT_EQ(newest.mutual_misses, n);
+
+  EXPECT_EQ(ex.mutual(a, b_at(0)).raw(), first);
+  const ExtractionCacheStats refetched = ex.cache_stats();
+  EXPECT_EQ(refetched.mutual_misses, n + 1);
+  // Counters are cumulative traffic, never reset by eviction.
+  EXPECT_GE(refetched.mutual_misses, filled.mutual_misses);
+  EXPECT_GE(refetched.mutual_hits, filled.mutual_hits);
+}
+
+TEST_F(MutualCacheTest, BatchMatchesPerCallBitwise) {
+  const ComponentFieldModel coil = bobbin_coil("L1");
+  std::vector<PlacedModel> models = {
+      {&ca_, {{0.0, 0.0, 0.0}, 0.0}},
+      {&cb_, {{22.0, 5.0, 0.0}, 30.0}},
+      {&coil, {{40.0, -6.0, 0.0}, 90.0}},
+  };
+  std::vector<std::pair<std::size_t, std::size_t>> pairs = {
+      {0, 1}, {0, 2}, {1, 2}, {1, 0},  // swapped duplicate of {0,1}
+      {0, 1},                          // literal duplicate
+  };
+  const std::vector<Henry> batch = ex_.mutual_batch(models, pairs);
+  ASSERT_EQ(batch.size(), pairs.size());
+
+  const CouplingExtractor fresh(ex_.options());
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    EXPECT_EQ(batch[p].raw(),
+              fresh.mutual(models[pairs[p].first], models[pairs[p].second]).raw())
+        << "pair " << p;
+  }
+  // 3 unique canonical poses; the swapped and literal duplicates are hits.
+  EXPECT_EQ(ex_.cache_stats().mutual_misses, 3u);
+  EXPECT_EQ(ex_.cache_stats().mutual_hits, 2u);
+
+  // Re-running the batch is all hits and returns the same bits.
+  const std::vector<Henry> again = ex_.mutual_batch(models, pairs);
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    EXPECT_EQ(batch[p].raw(), again[p].raw());
+  }
+  EXPECT_EQ(ex_.cache_stats().mutual_misses, 3u);
+  EXPECT_EQ(ex_.cache_stats().mutual_hits, 7u);
+}
+
+TEST_F(MutualCacheTest, BatchValidatesInputs) {
+  std::vector<PlacedModel> models = {{&ca_, {{0.0, 0.0, 0.0}, 0.0}}};
+  const std::vector<std::pair<std::size_t, std::size_t>> oob = {{0, 1}};
+  EXPECT_THROW((void)ex_.mutual_batch(models, oob), std::invalid_argument);
+  models.push_back({nullptr, {{10.0, 0.0, 0.0}, 0.0}});
+  const std::vector<std::pair<std::size_t, std::size_t>> null_pair = {{0, 1}};
+  EXPECT_THROW((void)ex_.mutual_batch(models, null_pair), std::invalid_argument);
+}
+
+TEST_F(MutualCacheTest, MutualMatrixSymmetricWithSelfDiagonal) {
+  const ComponentFieldModel coil = bobbin_coil("L1");
+  const std::vector<PlacedModel> models = {
+      {&ca_, {{0.0, 0.0, 0.0}, 0.0}},
+      {&cb_, {{24.0, 3.0, 0.0}, 45.0}},
+      {&coil, {{50.0, 10.0, 0.0}, 90.0}},
+  };
+  const std::size_t n = models.size();
+  const std::vector<Henry> m = ex_.mutual_matrix(models);
+  ASSERT_EQ(m.size(), n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(m[i * n + i].raw(), ex_.self_inductance(*models[i].model).raw());
+    for (std::size_t j = i + 1; j < n; ++j) {
+      EXPECT_EQ(m[i * n + j].raw(), m[j * n + i].raw());
+      EXPECT_EQ(m[i * n + j].raw(), ex_.mutual(models[i], models[j]).raw());
+    }
+  }
+}
+
+TEST_F(MutualCacheTest, KernelOptionsSeparateCachedValues) {
+  KernelOptions fast;
+  fast.analytic_parallel = true;
+  fast.far_field = true;
+  fast.far_field_ratio = 4.0;
+  const CouplingExtractor ex_fast(QuadratureOptions{}, fast);
+  // Far pair: the fast extractor reroutes it, the exact one does not; the
+  // kernel gates are part of the key, so the two extractors never share
+  // entries even for the same geometry.
+  const PlacedModel a{&ca_, {{0.0, 0.0, 0.0}, 0.0}};
+  const PlacedModel b{&cb_, {{180.0, 0.0, 0.0}, 0.0}};
+  const double exact = ex_.mutual(a, b).raw();
+  const double approx = ex_fast.mutual(a, b).raw();
+  EXPECT_EQ(ex_.cache_stats().mutual_misses, 1u);
+  EXPECT_EQ(ex_fast.cache_stats().mutual_misses, 1u);
+  // Approximation is close (far-field bound) but not the same bits.
+  EXPECT_NEAR(approx, exact, std::fabs(exact) * 0.1 + 1e-18);
 }
 
 }  // namespace

@@ -1,0 +1,248 @@
+// Accuracy battery for the sampled pair kernel (sampled_path.hpp): the
+// exact path must reproduce the legacy nested quadrature bit for bit across
+// geometry and quadrature sweeps, and the gated fast paths must stay inside
+// the relative-error bounds documented on KernelOptions, measured against
+// the order-8 exact kernel.
+#include "src/peec/sampled_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/core/thread_pool.hpp"
+#include "src/peec/component_model.hpp"
+#include "src/peec/partial_inductance.hpp"
+
+namespace emi::peec {
+namespace {
+
+Segment make_segment(const Vec3& a, const Vec3& b, double radius = 0.25,
+                     double weight = 1.0) {
+  return Segment{a, b, radius, weight};
+}
+
+double rel_err(double got, double ref) {
+  if (ref == 0.0) return std::fabs(got);
+  return std::fabs((got - ref) / ref);
+}
+
+// The documented reference for the fast-path bounds: order-8 exact.
+double exact_ref(const Segment& s1, const Segment& s2) {
+  return mutual_neumann(s1, s2, QuadratureOptions{8, 2});
+}
+
+TEST(SampledKernel, ExactMatchesLegacyBitwiseAcrossGeometry) {
+  // Distance x angle x lateral offset x quadrature sweep: every combination
+  // must agree with the legacy nested kernel to the last bit.
+  for (double dist : {3.0, 8.0, 20.0, 60.0}) {
+    for (double ang_deg : {0.0, 15.0, 45.0, 75.0, 90.0}) {
+      for (double off : {0.0, 4.0}) {
+        const double c = std::cos(ang_deg * geom::kPi / 180.0);
+        const double s = std::sin(ang_deg * geom::kPi / 180.0);
+        const Segment s1 = make_segment({0, 0, 0}, {10, 0, 0}, 0.2, 1.0);
+        const Segment s2 = make_segment({dist, off, 1.0},
+                                        {dist + 12 * c, off + 12 * s, 1.0}, 0.3, 0.8);
+        for (std::size_t order : {1u, 2u, 4u, 6u, 8u}) {
+          for (std::size_t sub : {1u, 2u, 3u}) {
+            const QuadratureOptions q{order, sub};
+            SegmentPath p1, p2;
+            p1.segments = {s1};
+            p2.segments = {s2};
+            const SampledPath a = sample_path(p1, q);
+            const SampledPath b = sample_path(p2, q);
+            const double ref = mutual_neumann(s1, s2, q);
+            const double got = sampled_mutual_exact(a, 0, b, 0);
+            EXPECT_EQ(ref, got) << "dist=" << dist << " ang=" << ang_deg
+                                << " off=" << off << " order=" << order
+                                << " sub=" << sub;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SampledKernel, PathMutualMatchesLegacyBitwise) {
+  const ComponentFieldModel ma = bobbin_coil("A");
+  const ComponentFieldModel mb = bobbin_coil("B");
+  const SegmentPath pa = ma.path_at({});
+  const SegmentPath pb = mb.path_at(Pose{{30.0, 4.0, 0.0}, 25.0});
+  for (std::size_t order : {2u, 4u, 6u}) {
+    const QuadratureOptions q{order, 2};
+    EXPECT_EQ(path_mutual_legacy(pa, pb, q), path_mutual(pa, pb, q))
+        << "order=" << order;
+  }
+}
+
+TEST(SampledKernel, SerialAndParallelSchedulesAgreeBitwise) {
+  const ComponentFieldModel ma = bobbin_coil("A");
+  const ComponentFieldModel mb = bobbin_coil("B");
+  const SegmentPath pa = ma.path_at({});
+  const SegmentPath pb = mb.path_at(Pose{{25.0, -3.0, 0.0}, 70.0});
+  const QuadratureOptions q{4, 2};
+  const double parallel = path_mutual(pa, pb, q);
+  double serial;
+  {
+    core::ScopedSerialFallback fallback;
+    serial = path_mutual(pa, pb, q);
+  }
+  EXPECT_EQ(parallel, serial);
+}
+
+TEST(SampledKernel, DefaultOptionsNeverTakeFastPaths) {
+  // Far-apart parallel pair: prime fast-path territory, but with default
+  // KernelOptions the sampled kernel must still return the exact bits and
+  // classify the pair as exact.
+  const Segment s1 = make_segment({0, 0, 0}, {10, 0, 0});
+  const Segment s2 = make_segment({0, 200.0, 0}, {10, 200.0, 0});
+  const QuadratureOptions q{4, 2};
+  SegmentPath p1, p2;
+  p1.segments = {s1};
+  p2.segments = {s2};
+  const SampledPath a = sample_path(p1, q);
+  const SampledPath b = sample_path(p2, q);
+
+  const double ref = sampled_mutual_exact(a, 0, b, 0);
+  const KernelStats before = kernel_stats();
+  const double got = sampled_mutual(a, 0, b, 0, KernelOptions{});
+  const KernelStats after = kernel_stats();
+  EXPECT_EQ(got, ref);
+  EXPECT_EQ(after.exact_pairs - before.exact_pairs, 1u);
+  EXPECT_EQ(after.analytic_pairs, before.analytic_pairs);
+  EXPECT_EQ(after.far_field_pairs, before.far_field_pairs);
+}
+
+TEST(SampledKernel, AnalyticParallelWithinDocumentedBound) {
+  // Offset-parallel pairs across lateral separation and axial offset. The
+  // documented bound: better than 1e-3 at the tightest admitted geometry
+  // (lateral = 0.25 * max length), better than 1e-8 once lateral reaches the
+  // segment length.
+  KernelOptions kopt;
+  kopt.analytic_parallel = true;
+  const double l1 = 10.0, l2 = 7.0;
+  const QuadratureOptions q{4, 2};
+  std::size_t analytic_hits = 0;
+  for (double lateral : {2.5, 5.0, 10.0, 20.0}) {
+    for (double offset : {0.0, 4.0, 12.0}) {
+      const Segment s1 = make_segment({0, 0, 0}, {l1, 0, 0}, 0.1);
+      const Segment s2 = make_segment({offset, lateral, 0},
+                                      {offset + l2, lateral, 0}, 0.1);
+      SegmentPath p1, p2;
+      p1.segments = {s1};
+      p2.segments = {s2};
+      const SampledPath a = sample_path(p1, q);
+      const SampledPath b = sample_path(p2, q);
+
+      const KernelStats before = kernel_stats();
+      const double got = sampled_mutual(a, 0, b, 0, kopt);
+      const KernelStats after = kernel_stats();
+      if (after.analytic_pairs == before.analytic_pairs) continue;  // gated out
+      ++analytic_hits;
+      const double ref = exact_ref(s1, s2);
+      const double bound = lateral >= l1 ? 1e-8 : 1e-3;
+      EXPECT_LT(rel_err(got, ref), bound)
+          << "lateral=" << lateral << " offset=" << offset;
+    }
+  }
+  // The gate must actually admit the configurations the bound speaks about.
+  EXPECT_GE(analytic_hits, 8u);
+}
+
+TEST(SampledKernel, FarFieldWithinDocumentedBound) {
+  // Relative error below 1.5 / ratio^2 for every admitted pair, at the
+  // default ratio and a stricter one.
+  const double l1 = 10.0, l2 = 8.0;
+  const QuadratureOptions q{4, 2};
+  for (double ratio : {8.0, 16.0}) {
+    KernelOptions kopt;
+    kopt.far_field = true;
+    kopt.far_field_ratio = ratio;
+    std::size_t far_hits = 0;
+    for (double dist : {90.0, 130.0, 170.0, 250.0}) {
+      for (double ang_deg : {0.0, 30.0, 60.0}) {
+        const double c = std::cos(ang_deg * geom::kPi / 180.0);
+        const double s = std::sin(ang_deg * geom::kPi / 180.0);
+        const Segment s1 = make_segment({0, 0, 0}, {l1, 0, 0}, 0.1);
+        const Segment s2 = make_segment({dist, 2.0, 0.0},
+                                        {dist + l2 * c, 2.0 + l2 * s, 0.0}, 0.1);
+        SegmentPath p1, p2;
+        p1.segments = {s1};
+        p2.segments = {s2};
+        const SampledPath a = sample_path(p1, q);
+        const SampledPath b = sample_path(p2, q);
+
+        const KernelStats before = kernel_stats();
+        const double got = sampled_mutual(a, 0, b, 0, kopt);
+        const KernelStats after = kernel_stats();
+        if (after.far_field_pairs == before.far_field_pairs) continue;
+        ++far_hits;
+        EXPECT_LT(rel_err(got, exact_ref(s1, s2)), 1.5 / (ratio * ratio))
+            << "ratio=" << ratio << " dist=" << dist << " ang=" << ang_deg;
+      }
+    }
+    EXPECT_GE(far_hits, 6u);
+  }
+}
+
+TEST(SampledKernel, PathInductanceUnchangedBySampling) {
+  // path_inductance runs on the sampled kernel too; it must match the
+  // legacy double sum term by term.
+  const ComponentFieldModel m = bobbin_coil("L");
+  const SegmentPath p = m.path_at({});
+  const QuadratureOptions q{4, 2};
+  double ref = 0.0;
+  const auto& segs = p.segments;
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    double row = segs[i].weight * segs[i].weight * self_inductance(segs[i]);
+    for (std::size_t j = i + 1; j < segs.size(); ++j) {
+      row += 2.0 * segs[i].weight * segs[j].weight * mutual_neumann(segs[i], segs[j], q);
+    }
+    ref += row;
+  }
+  EXPECT_EQ(ref, path_inductance(p, q));
+}
+
+TEST(SampledKernel, ZeroLengthAndPerpendicularSegments) {
+  const QuadratureOptions q{4, 2};
+  // Perpendicular pair: essentially zero, and still bit-identical to legacy.
+  const Segment s1 = make_segment({0, 0, 0}, {10, 0, 0});
+  const Segment s2 = make_segment({5, 5, 0}, {5, 15, 0});
+  SegmentPath p1, p2;
+  p1.segments = {s1};
+  p2.segments = {s2};
+  SampledPath a = sample_path(p1, q);
+  SampledPath b = sample_path(p2, q);
+  EXPECT_EQ(mutual_neumann(s1, s2, q), sampled_mutual_exact(a, 0, b, 0));
+  EXPECT_NEAR(sampled_mutual_exact(a, 0, b, 0), 0.0, 1e-15);
+
+  // A zero-length segment contributes exactly zero through every gate.
+  const Segment zero = make_segment({3, 3, 3}, {3, 3, 3});
+  SegmentPath pz;
+  pz.segments = {zero};
+  const SampledPath z = sample_path(pz, q);
+  EXPECT_EQ(0.0, sampled_mutual_exact(z, 0, b, 0));
+  KernelOptions fast;
+  fast.analytic_parallel = true;
+  fast.far_field = true;
+  EXPECT_EQ(0.0, sampled_mutual(z, 0, b, 0, fast));
+}
+
+TEST(SampledKernel, SampledPathLayoutInvariants) {
+  const ComponentFieldModel m = bobbin_coil("L");
+  const SegmentPath p = m.path_at(Pose{{12.0, -5.0, 0.0}, 40.0});
+  const QuadratureOptions q{6, 2};
+  const SampledPath sp = sample_path(p, q);
+  ASSERT_EQ(sp.segment_count(), p.segments.size());
+  EXPECT_EQ(sp.order, q.order);
+  EXPECT_EQ(sp.n_sub, q.subdivisions);
+  EXPECT_EQ(sp.samples_per_segment(), q.order * q.subdivisions);
+  EXPECT_EQ(sp.px.size(), sp.segment_count() * sp.samples_per_segment());
+  EXPECT_EQ(sp.half.size(), sp.segment_count() * sp.n_sub);
+  for (std::size_t i = 0; i < sp.segment_count(); ++i) {
+    EXPECT_EQ(sp.wgt[i], p.segments[i].weight);
+  }
+}
+
+}  // namespace
+}  // namespace emi::peec
