@@ -1,0 +1,105 @@
+// Performance: the EMI service end to end - submit -> result latency and
+// throughput (jobs/s, reported as items_per_second) at 1/4/16 concurrent
+// sessions hammering one daemon-grade svc::Service on the buck golden.
+//
+// Two regimes per session count:
+//   cold  - a fresh Service (fresh two-tier cache) per iteration; every job
+//           pays the full extraction cost.
+//   warm  - one long-lived Service; after the first iteration the shared
+//           global tier serves every extraction, so the steady-state numbers
+//           are what a long-running daemon delivers.
+// The cold/warm ratio is the amortization the session/shared cache split
+// buys (the reduced-order reuse motivation, PAPERS.md).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/svc/job.hpp"
+#include "src/svc/service.hpp"
+
+namespace {
+
+using namespace emi;
+
+constexpr std::size_t kSweepPoints = 30;  // the buck golden at CLI-quick scale
+
+std::string bench_dir(const char* tag) {
+  const std::string dir =
+      std::filesystem::temp_directory_path().string() + "/bench_serve_" + tag;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+svc::JobSpec spec_for(int session) {
+  svc::JobSpec spec;
+  spec.topology = "buck";
+  spec.sweep_points = kSweepPoints;
+  spec.client = "bench-" + std::to_string(session);
+  return spec;
+}
+
+// One round: `sessions` threads each submit one job under their own session
+// and block until its terminal record. Aborts the benchmark on any
+// non-`done` outcome, so the numbers never average over failed work.
+void run_round(benchmark::State& state, svc::Service& svc, int sessions) {
+  std::vector<std::thread> clients;
+  std::atomic<bool> ok{true};
+  clients.reserve(static_cast<std::size_t>(sessions));
+  for (int s = 0; s < sessions; ++s) {
+    clients.emplace_back([&svc, &ok, s] {
+      const core::Result<std::uint64_t> id = svc.submit(spec_for(s));
+      if (!id.ok()) {
+        ok = false;
+        return;
+      }
+      const core::Result<svc::JobRecord> rec = svc.wait(id.value());
+      if (!rec.ok() || rec.value().state != svc::JobState::kDone) ok = false;
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  if (!ok) state.SkipWithError("job failed");
+}
+
+// Cold: every iteration builds a fresh service (empty caches, empty state
+// dir), so per-job cost includes the full PEEC extraction.
+void BM_ServeSubmitResult_Cold(benchmark::State& state) {
+  const int sessions = static_cast<int>(state.range(0));
+  const std::string dir = bench_dir("cold");
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::filesystem::remove_all(dir);
+    svc::Service svc({dir, 2, 64});
+    state.ResumeTiming();
+    run_round(state, svc, sessions);
+  }
+  state.SetItemsProcessed(state.iterations() * sessions);
+}
+BENCHMARK(BM_ServeSubmitResult_Cold)
+    ->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Warm: one service lives across iterations; the global cache tier is warm
+// after the first round and every later job is served from shared entries.
+void BM_ServeSubmitResult_Warm(benchmark::State& state) {
+  const int sessions = static_cast<int>(state.range(0));
+  const std::string dir = bench_dir("warm");
+  std::filesystem::remove_all(dir);
+  svc::Service svc({dir, 2, 4096});
+  run_round(state, svc, sessions);  // warm the global tier outside the timing
+  for (auto _ : state) {
+    run_round(state, svc, sessions);
+  }
+  state.SetItemsProcessed(state.iterations() * sessions);
+}
+BENCHMARK(BM_ServeSubmitResult_Warm)
+    ->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

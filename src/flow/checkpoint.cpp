@@ -191,12 +191,12 @@ std::uint64_t flow_context_digest(const BuckConverter& bc,
   return core::fault::fnv64(ss.str());
 }
 
-std::string serialize_checkpoint(const FlowCheckpoint& ck) {
-  const FlowResult& r = ck.result;
-  std::ostringstream out;
-  out << "EMICKPT 1 " << hex64(ck.context_digest) << '\n';
-  out << "stages " << std::hex << ck.stages_done << ' ' << ck.stages_ok << std::dec
-      << '\n';
+namespace {
+
+// The result sections of the checkpoint ("complete" through "diags"), shared
+// by serialize_checkpoint and result_fingerprint so the fingerprint is taken
+// over exactly the bytes a checkpoint would persist.
+void put_result_body(std::ostream& out, const FlowResult& r) {
   out << "complete " << (r.complete ? 1 : 0) << '\n';
   out << "saved " << r.field_solves_saved << '\n';
 
@@ -237,10 +237,25 @@ std::string serialize_checkpoint(const FlowCheckpoint& ck) {
         << (d.status.stage().empty() ? "-" : d.status.stage()) << ' '
         << one_line(d.status.message()) << '\n';
   }
+}
 
+}  // namespace
+
+std::string serialize_checkpoint(const FlowCheckpoint& ck) {
+  std::ostringstream out;
+  out << kCheckpointMagic << ' ' << hex64(ck.context_digest) << '\n';
+  out << "stages " << std::hex << ck.stages_done << ' ' << ck.stages_ok << std::dec
+      << '\n';
+  put_result_body(out, ck.result);
   std::string payload = out.str();
   payload += "checksum " + hex64(core::fault::fnv64(payload)) + '\n';
   return payload;
+}
+
+std::uint64_t result_fingerprint(const FlowResult& r) {
+  std::ostringstream out;
+  put_result_body(out, r);
+  return core::fault::fnv64(out.str());
 }
 
 core::Result<FlowCheckpoint> parse_checkpoint(const std::string& text) {

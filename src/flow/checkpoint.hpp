@@ -37,6 +37,11 @@
 
 namespace emi::flow {
 
+// Header tag + format version of the on-disk checkpoint, "EMICKPT 1".
+// Reported by `emiplace version` so operators can tell at a glance whether
+// two binaries can exchange checkpoints / job state.
+inline constexpr std::string_view kCheckpointMagic = "EMICKPT 1";
+
 // The five checkpointable pipeline stages, in execution order. A stage's bit
 // is set once its outcome is final - success or permanent failure - so a
 // resume never re-runs (and never re-diagnoses) a decided stage.
@@ -78,6 +83,15 @@ std::uint64_t flow_context_digest(const BuckConverter& bc,
 
 // Full text including the trailing checksum line.
 std::string serialize_checkpoint(const FlowCheckpoint& ck);
+
+// FNV-1a over the canonical result serialization (the checkpoint body,
+// without header or checksum): the 64-bit identity of a FlowResult's decided
+// content. Two results with equal fingerprints serialized identically, so
+// the service's "resumed run == uninterrupted run, bit for bit" guarantee is
+// checkable by comparing fingerprints. Deliberately computed from the
+// in-memory result, never from checkpoint file bytes - the ckpt fault site
+// tears files on purpose.
+std::uint64_t result_fingerprint(const FlowResult& r);
 // Validate + parse; kParseError ("line N: ...") on any corruption.
 core::Result<FlowCheckpoint> parse_checkpoint(const std::string& text);
 

@@ -1,485 +1,15 @@
 #include "src/flow/design_flow.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <functional>
-#include <set>
 #include <utility>
 
-#include "src/core/fault_injection.hpp"
-#include "src/core/thread_pool.hpp"
 #include "src/flow/checkpoint.hpp"
+#include "src/flow/flow_units.hpp"
 
 namespace emi::flow {
 
-namespace {
-
-enum class StageOutcome { kOk, kFailed, kCancelled };
-
-// Retry driver for one pipeline stage, now budget-aware. Every attempt runs
-// under a CancelScope bound to the tighter of the flow deadline and a fresh
-// per-attempt stage budget; the stage body's poll points stop cooperatively
-// and the scope epilogue discards the attempt's output by raising.
-//
-// Degradation ladder: a deadline-expired attempt bumps `degrade`, and the
-// body receives it so the retry can run a cheaper configuration (coarser
-// quadrature, coarser placement grid, fewer sensitivity points) under a
-// fresh stage budget. A raised CancelToken aborts the stage - and, via
-// `cancelled`, the pipeline - immediately; an exhausted *flow* budget fails
-// the stage without running it, so the remaining pipeline degrades to a
-// partial result instead of burning time it no longer has.
-//
-// All of these decisions happen at attempt boundaries, as pure functions of
-// per-attempt outcomes - never mid-chunk - so a run taking a given
-// degradation path is bit-identical to any other run taking that path, at
-// any thread count.
-//
-// Exceptions are normalized into Status as before: structured errors keep
-// their code, caller mistakes map to kInvalidArgument, anything else to
-// kInternal. The final retry forces serial lanes - a scheduling change only.
-struct StageDriver {
-  const FlowOptions* opt;
-  core::Deadline flow_deadline;
-  std::vector<StageDiagnostic>* diags;
-  bool cancelled = false;     // a stage observed kCancelled: stop the pipeline
-  bool flow_expired = false;  // total budget gone: fail remaining stages fast
-
-  StageOutcome run(const char* stage, const std::function<void(int, int)>& body) {
-    const int attempts = std::max(opt->stage_attempts, 1);
-    core::Status last;
-    int degrade = 0;
-    for (int attempt = 0; attempt < attempts; ++attempt) {
-      if (flow_deadline.has_expired()) flow_expired = true;
-      if (flow_expired) {
-        last = core::Status(core::ErrorCode::kDeadlineExceeded, stage,
-                            "flow budget exhausted");
-        diags->push_back({stage, last, attempt, false});
-        return StageOutcome::kFailed;
-      }
-      core::Deadline deadline = flow_deadline;
-      if (opt->stage_budget_ms > 0) {
-        deadline = core::Deadline::sooner(
-            deadline, core::Deadline::after_ms(opt->stage_budget_ms));
-      }
-      // Injected expiry: the attempt starts already out of time, driving the
-      // cooperative-stop and degradation paths deterministically (the key
-      // depends only on stage name and attempt index).
-      if (core::fault::should_fire(
-              core::FaultSite::kDeadline,
-              core::fault::mix(core::fault::fnv64(stage),
-                               static_cast<std::uint64_t>(attempt)))) {
-        deadline = core::Deadline::expired();
-      }
-      try {
-        core::CancelScope scope(deadline, opt->cancel);
-        if (attempt + 1 == attempts && attempts > 1) {
-          core::ScopedSerialFallback serial;
-          body(attempt, degrade);
-        } else {
-          body(attempt, degrade);
-        }
-        scope.throw_if_stopped(stage);
-        if (attempt > 0) diags->push_back({stage, last, attempt + 1, true});
-        return StageOutcome::kOk;
-      } catch (const core::StatusError& e) {
-        last = e.status();
-        if (last.code() == core::ErrorCode::kCancelled) {
-          cancelled = true;
-          diags->push_back({stage, last, attempt + 1, false});
-          return StageOutcome::kCancelled;
-        }
-        if (last.code() == core::ErrorCode::kDeadlineExceeded) ++degrade;
-      } catch (const std::invalid_argument& e) {
-        last = core::Status(core::ErrorCode::kInvalidArgument, stage, e.what());
-      } catch (const std::exception& e) {
-        last = core::Status(core::ErrorCode::kInternal, stage, e.what());
-      }
-    }
-    diags->push_back({stage, last, attempts, false});
-    return StageOutcome::kFailed;
-  }
-};
-
-emc::EmissionSweepOptions jittered(const emc::EmissionSweepOptions& sweep, int attempt) {
-  emc::EmissionSweepOptions s = sweep;
-  if (attempt > 0) {
-    s.ac.pivot_threshold *= 1.0 + static_cast<double>(attempt) * 1e-3;
-  }
-  return s;
-}
-
-// Shared driver behind run_design_flow (empty checkpoint) and
-// resume_design_flow (restored checkpoint): stages whose bit is already set
-// are skipped and their serialized results used as-is.
-FlowResult run_flow_from(BuckConverter& bc, const place::Layout& initial_layout,
-                         const FlowOptions& opt, FlowCheckpoint ck) {
-  FlowResult& res = ck.result;
-  const peec::CouplingExtractor extractor(opt.quadrature, opt.kernel);
-  // Degraded-retry extractor: same physics, coarser quadrature. Only used by
-  // attempts that follow a deadline expiry.
-  peec::QuadratureOptions coarse_q = opt.quadrature;
-  coarse_q.order = std::max<std::size_t>(2, opt.quadrature.order / 2);
-  coarse_q.subdivisions = 1;
-  const peec::CouplingExtractor coarse_extractor(coarse_q, opt.kernel);
-  const auto pick_extractor = [&](int degrade) -> const peec::CouplingExtractor& {
-    return degrade > 0 ? coarse_extractor : extractor;
-  };
-  const core::PoolStats pool0 = core::ThreadPool::global().stats();
-  const peec::KernelStats kern0 = peec::kernel_stats();
-
-  StageDriver driver{&opt,
-                     opt.total_budget_ms > 0 ? core::Deadline::after_ms(opt.total_budget_ms)
-                                             : core::Deadline::unlimited(),
-                     &res.diagnostics};
-
-  std::vector<std::string> candidates;
-  for (const auto& [l, mi] : bc.inductor_model) candidates.push_back(l);
-  std::sort(candidates.begin(), candidates.end());
-
-  ck.context_digest = flow_context_digest(bc, initial_layout, opt);
-
-  const auto finalize = [&]() -> FlowResult {
-    const peec::ExtractionCacheStats c0 = extractor.cache_stats();
-    const peec::ExtractionCacheStats c1 = coarse_extractor.cache_stats();
-    res.profile.add_count("peec.self_cache_hits", c0.self_hits + c1.self_hits);
-    res.profile.add_count("peec.self_cache_misses", c0.self_misses + c1.self_misses);
-    res.profile.add_count("peec.mutual_cache_hits", c0.mutual_hits + c1.mutual_hits);
-    res.profile.add_count("peec.mutual_cache_misses",
-                          c0.mutual_misses + c1.mutual_misses);
-    // Kernel work done by this run: integrand evaluations and how many pairs
-    // each path handled (process-wide counters, reported as deltas).
-    const peec::KernelStats kern1 = peec::kernel_stats();
-    res.profile.add_count("peec.kernel_sample_evals",
-                          kern1.sample_evals - kern0.sample_evals);
-    res.profile.add_count("peec.kernel_exact_pairs",
-                          kern1.exact_pairs - kern0.exact_pairs);
-    res.profile.add_count("peec.kernel_analytic_pairs",
-                          kern1.analytic_pairs - kern0.analytic_pairs);
-    res.profile.add_count("peec.kernel_far_field_pairs",
-                          kern1.far_field_pairs - kern0.far_field_pairs);
-    const core::PoolStats pool1 = core::ThreadPool::global().stats();
-    res.profile.add_count("pool.threads", core::ThreadPool::global_thread_count());
-    res.profile.add_count("pool.batches", pool1.batches - pool0.batches);
-    res.profile.add_count("pool.chunks", pool1.chunks - pool0.chunks);
-    res.profile.add_count("pool.steals", pool1.steals - pool0.steals);
-    res.profile.add_count("pool.serial_fallbacks",
-                          pool1.serial_fallbacks - pool0.serial_fallbacks);
-    return std::move(res);
-  };
-
-  // Checkpoint the decided stage; returns true when the flow should return
-  // right here, simulating a crash after the write (tests' stop_after hook).
-  const auto checkpoint_after = [&](FlowStage stage, bool ok_bit) -> bool {
-    ck.set(stage, ok_bit);
-    if (!opt.checkpoint_path.empty()) {
-      const core::Status st = save_checkpoint_file(opt.checkpoint_path, ck);
-      if (!st.ok()) res.diagnostics.push_back({"flow.checkpoint", st, 1, false});
-    }
-    return opt.stop_after_stage == flow_stage_name(stage);
-  };
-
-  // Step 1+2: sensitivity analysis on the coupling-capable inductors. If the
-  // ranking is unavailable the flow degrades to the state of practice:
-  // simulate every pair (no pruning), which is slower but never wrong. The
-  // pair selection is part of the stage's decided outcome, so a resume
-  // restores it from the checkpoint instead of re-deriving it.
-  bool sens_ok;
-  if (ck.done(FlowStage::kSensitivity)) {
-    sens_ok = ck.ok(FlowStage::kSensitivity);
-  } else {
-    const StageOutcome so = driver.run(
-        "flow.sensitivity", [&](int attempt, int degrade) {
-          core::ScopedTimer t(res.profile, "flow.sensitivity_s");
-          emc::SensitivityOptions sens_opt;
-          sens_opt.sweep = jittered(opt.sweep, attempt);
-          if (degrade > 0) {
-            // Degraded retry after an expired budget: fewer sweep points.
-            sens_opt.sweep.n_points =
-                std::max<std::size_t>(25, sens_opt.sweep.n_points >> degrade);
-          }
-          sens_opt.candidates = candidates;
-          res.ranking = emc::rank_coupling_sensitivity(bc.circuit, bc.meas_node,
-                                                       bc.noise, sens_opt);
-        });
-    if (so == StageOutcome::kCancelled) {
-      res.complete = false;
-      return finalize();
-    }
-    sens_ok = so == StageOutcome::kOk;
-    res.simulated_pairs.clear();
-    res.field_solves_saved = 0;
-    if (sens_ok) {
-      for (const auto& s : res.ranking) {
-        if (opt.sensitivity_threshold_db <= 0.0 ||
-            s.max_delta_db >= opt.sensitivity_threshold_db) {
-          res.simulated_pairs.emplace_back(s.inductor_a, s.inductor_b);
-        } else {
-          ++res.field_solves_saved;
-        }
-      }
-    } else {
-      res.ranking.clear();
-      for (std::size_t i = 0; i < candidates.size(); ++i) {
-        for (std::size_t j = i + 1; j < candidates.size(); ++j) {
-          res.simulated_pairs.emplace_back(candidates[i], candidates[j]);
-        }
-      }
-    }
-    if (opt.geometric_prescreen && !res.simulated_pairs.empty()) {
-      // Geometry prescreen: one batched extraction over the candidate models
-      // at their initial poses; pairs the layout already decouples
-      // (|k| < k_min) skip field simulation. Part of the stage's decided
-      // outcome, so it lands in the checkpoint. The extracted mutuals stay
-      // cached and are reused by the prediction stages.
-      std::vector<peec::PlacedModel> geo_models;
-      std::vector<std::string> geo_names;
-      for (const std::string& l : candidates) {
-        const peec::ComponentFieldModel* m = bc.model_for_inductor(l);
-        if (m == nullptr) continue;
-        geo_models.push_back({m, pose_of(bc, initial_layout, m->name)});
-        geo_names.push_back(l);
-      }
-      std::set<std::pair<std::string, std::string>> keep;
-      for (const emc::GeometricCoupling& g :
-           emc::rank_geometric_coupling(extractor, geo_models, geo_names)) {
-        if (g.k_abs >= opt.k_min) {
-          keep.insert({std::min(g.inductor_a, g.inductor_b),
-                       std::max(g.inductor_a, g.inductor_b)});
-        }
-      }
-      std::vector<std::pair<std::string, std::string>> kept;
-      for (const auto& pr : res.simulated_pairs) {
-        if (keep.count({std::min(pr.first, pr.second),
-                        std::max(pr.first, pr.second)}) != 0) {
-          kept.push_back(pr);
-        } else {
-          ++res.field_solves_saved;
-        }
-      }
-      res.simulated_pairs = std::move(kept);
-    }
-    if (checkpoint_after(FlowStage::kSensitivity, sens_ok)) {
-      res.complete = false;
-      return finalize();
-    }
-  }
-  res.profile.add_count("flow.pairs_ranked", res.ranking.size());
-  res.profile.add_count("flow.field_solves_saved", res.field_solves_saved);
-
-  // Step 3+4: extract couplings for the initial layout, predict emissions.
-  if (!ck.done(FlowStage::kInitialPrediction)) {
-    const StageOutcome so = driver.run(
-        "flow.initial_prediction", [&](int attempt, int degrade) {
-          core::ScopedTimer t(res.profile, "flow.initial_prediction_s");
-          const emc::EmissionSweepOptions sweep = jittered(opt.sweep, attempt);
-          const ckt::Circuit coupled =
-              circuit_with_couplings(bc, initial_layout, pick_extractor(degrade),
-                                     opt.k_min, res.simulated_pairs);
-          res.initial_prediction =
-              emc::conducted_emission(coupled, bc.meas_node, bc.noise, sweep);
-          res.initial_no_coupling =
-              emc::conducted_emission(bc.circuit, bc.meas_node, bc.noise, sweep);
-        });
-    if (so == StageOutcome::kCancelled) {
-      res.complete = false;
-      return finalize();
-    }
-    if (so != StageOutcome::kOk) res.complete = false;
-    if (checkpoint_after(FlowStage::kInitialPrediction, so == StageOutcome::kOk)) {
-      res.complete = false;
-      return finalize();
-    }
-  }
-
-  // Step 5: derive PEMD rules for the component pairs behind the simulated
-  // inductor pairs. Rules accumulate in a stage-local list so a retried
-  // attempt never installs duplicates; installation into the board happens
-  // after the outcome is decided, and therefore also on the resume path.
-  bool rules_ok;
-  if (ck.done(FlowStage::kRuleDerivation)) {
-    rules_ok = ck.ok(FlowStage::kRuleDerivation);
-  } else {
-    std::vector<emc::MinDistanceRule> derived;
-    const StageOutcome so = driver.run(
-        "flow.rule_derivation", [&](int, int degrade) {
-          core::ScopedTimer t(res.profile, "flow.rule_derivation_s");
-          derived.clear();
-          // Degraded retry: coarser quadrature and a coarser bisection
-          // tolerance - rules stay conservative, just less finely resolved.
-          const emc::RuleDeriver deriver(
-              pick_extractor(degrade),
-              {opt.k_threshold, emc::Millimeters{2.0}, emc::Millimeters{200.0},
-               emc::Millimeters{degrade > 0 ? 1.0 : 0.25}});
-          std::set<std::pair<std::string, std::string>> done;
-          for (const auto& [la, lb] : res.simulated_pairs) {
-            const peec::ComponentFieldModel* ma = bc.model_for_inductor(la);
-            const peec::ComponentFieldModel* mb = bc.model_for_inductor(lb);
-            if (ma == nullptr || mb == nullptr) continue;
-            auto key = std::minmax(ma->name, mb->name);
-            if (!done.insert(key).second) continue;
-            derived.push_back(deriver.derive(*ma, *mb));
-          }
-        });
-    if (so == StageOutcome::kCancelled) {
-      res.complete = false;
-      return finalize();
-    }
-    rules_ok = so == StageOutcome::kOk;
-    if (rules_ok) res.rules = std::move(derived);
-    if (checkpoint_after(FlowStage::kRuleDerivation, rules_ok)) {
-      res.complete = false;
-      return finalize();
-    }
-  }
-  if (rules_ok) {
-    for (const emc::MinDistanceRule& rule : res.rules) {
-      if (rule.pemd.raw() > 0.0) {
-        bc.board.add_emd_rule(rule.comp_a, rule.comp_b, rule.pemd);
-      }
-    }
-  }
-
-  // DRC of the initial layout against the derived rules (Fig 15). Cheap and
-  // a pure function of restored state, so it is recomputed on resume rather
-  // than serialized.
-  const place::DrcEngine drc(bc.board);
-  res.drc_initial = drc.check(initial_layout);
-
-  // Step 6: automatic placement. PWRLOOP stays preplaced (the switching cell
-  // location is fixed by the power semiconductors/heat sink). A missing
-  // PWRLOOP is a caller mistake, so it is checked before the retry loop and
-  // still raises.
-  const std::size_t loop_idx = bc.board.component_index("PWRLOOP");
-  bool place_ok;
-  if (ck.done(FlowStage::kPlacement)) {
-    place_ok = ck.ok(FlowStage::kPlacement);
-    bc.board.components()[loop_idx].preplaced = true;
-  } else {
-    const StageOutcome so = driver.run(
-        "flow.placement", [&](int, int degrade) {
-          core::ScopedTimer t(res.profile, "flow.placement_s");
-          res.improved_layout = place::Layout::unplaced(bc.board);
-          res.improved_layout.placements[loop_idx] = initial_layout.placements[loop_idx];
-          bc.board.components()[loop_idx].preplaced = true;
-          place::AutoPlaceOptions popt = opt.placement;
-          if (degrade > 0) {
-            // Degraded retry: coarser candidate grid, fewer refinements.
-            popt.placer.grid_step_mm *= static_cast<double>(1 << degrade);
-            popt.placer.max_refines =
-                popt.placer.max_refines > static_cast<std::size_t>(degrade)
-                    ? popt.placer.max_refines - static_cast<std::size_t>(degrade)
-                    : 1;
-          }
-          if (opt.coupling_aware_placement) {
-            // Penalize candidates by extracted coupling against everything
-            // already placed: one mutual_batch per candidate (the placer
-            // evaluates candidates from parallel workers; nested batches run
-            // inline, and the canonical-pose cache absorbs the recurring
-            // relative poses). The layout reference is stable during each
-            // component's candidate evaluation - the placer only commits a
-            // placement after the parallel region.
-            const peec::CouplingExtractor& ext = pick_extractor(degrade);
-            const place::Layout& lay = res.improved_layout;
-            popt.placer.candidate_cost =
-                [&bc, &ext, &lay, w = opt.w_coupling](
-                    std::size_t comp, const place::Placement& cand) -> double {
-                  const peec::ComponentFieldModel* mc =
-                      bc.model_for_component(bc.board.components()[comp].name);
-                  if (mc == nullptr) return 0.0;
-                  std::vector<peec::PlacedModel> models;
-                  std::vector<std::pair<std::size_t, std::size_t>> pairs;
-                  models.push_back({mc, peec::Pose{{cand.position.x, cand.position.y, 0.0},
-                                                   cand.rot_deg}});
-                  for (std::size_t j = 0; j < lay.placements.size(); ++j) {
-                    if (j == comp || !lay.placements[j].placed) continue;
-                    const peec::ComponentFieldModel* mj =
-                        bc.model_for_component(bc.board.components()[j].name);
-                    if (mj == nullptr) continue;
-                    const place::Placement& p = lay.placements[j];
-                    pairs.emplace_back(0, models.size());
-                    models.push_back(
-                        {mj, peec::Pose{{p.position.x, p.position.y, 0.0}, p.rot_deg}});
-                  }
-                  if (pairs.empty()) return 0.0;
-                  const std::vector<units::Henry> ms = ext.mutual_batch(models, pairs);
-                  const double lc = ext.self_inductance(*mc).raw();
-                  double pen = 0.0;
-                  for (std::size_t pi = 0; pi < pairs.size(); ++pi) {
-                    const double lj =
-                        ext.self_inductance(*models[pairs[pi].second].model).raw();
-                    if (lc > 0.0 && lj > 0.0) {
-                      pen += std::fabs(ms[pi].raw() / std::sqrt(lc * lj));
-                    }
-                  }
-                  return w * pen;
-                };
-          }
-          res.place_stats = place::auto_place(bc.board, res.improved_layout, popt);
-        });
-    if (so == StageOutcome::kCancelled) {
-      res.complete = false;
-      return finalize();
-    }
-    place_ok = so == StageOutcome::kOk;
-    // Wall time is observability, not a result: zero it so checkpointed and
-    // fresh stats compare bit-identical.
-    res.place_stats.elapsed_seconds = 0.0;
-    if (checkpoint_after(FlowStage::kPlacement, place_ok)) {
-      res.complete = false;
-      return finalize();
-    }
-  }
-  res.profile.add_count("place.candidates_evaluated",
-                        res.place_stats.candidates_evaluated);
-
-  // Step 7: verify - DRC (Fig 17) and re-predict emissions (Fig 2). Without
-  // a placed layout there is nothing to verify.
-  bool verify_ok = false;
-  if (ck.done(FlowStage::kVerification)) {
-    verify_ok = ck.ok(FlowStage::kVerification);
-    if (verify_ok) res.drc_improved = drc.check(res.improved_layout);
-  } else if (place_ok) {
-    const StageOutcome so = driver.run(
-        "flow.verification", [&](int attempt, int degrade) {
-          core::ScopedTimer t(res.profile, "flow.verification_s");
-          res.drc_improved = drc.check(res.improved_layout);
-          const ckt::Circuit improved_ckt =
-              circuit_with_couplings(bc, res.improved_layout, pick_extractor(degrade),
-                                     opt.k_min, res.simulated_pairs);
-          res.improved_prediction = emc::conducted_emission(
-              improved_ckt, bc.meas_node, bc.noise, jittered(opt.sweep, attempt));
-        });
-    if (so == StageOutcome::kCancelled) {
-      res.complete = false;
-      return finalize();
-    }
-    verify_ok = so == StageOutcome::kOk;
-    if (checkpoint_after(FlowStage::kVerification, verify_ok)) {
-      res.complete = false;
-      return finalize();
-    }
-  }
-  if (!place_ok || !verify_ok) res.complete = false;
-
-  if (!res.initial_prediction.level_dbuv.empty() &&
-      res.initial_prediction.level_dbuv.size() ==
-          res.improved_prediction.level_dbuv.size()) {
-    double best = 0.0;
-    for (std::size_t i = 0; i < res.initial_prediction.level_dbuv.size(); ++i) {
-      best = std::max(best, res.initial_prediction.level_dbuv[i] -
-                                res.improved_prediction.level_dbuv[i]);
-    }
-    res.peak_improvement_db = best;
-  }
-
-  return finalize();
-}
-
-}  // namespace
-
 FlowResult run_design_flow(BuckConverter& bc, const place::Layout& initial_layout,
                            const FlowOptions& opt) {
-  return run_flow_from(bc, initial_layout, opt, FlowCheckpoint{});
+  return FlowEngine(bc, initial_layout, opt).run();
 }
 
 FlowResult resume_design_flow(BuckConverter& bc, const place::Layout& initial_layout,
@@ -508,7 +38,7 @@ FlowResult resume_design_flow(BuckConverter& bc, const place::Layout& initial_la
          0, false});
     return rejected;
   }
-  return run_flow_from(bc, initial_layout, opt, std::move(ck));
+  return FlowEngine(bc, initial_layout, opt, std::move(ck)).run();
 }
 
 }  // namespace emi::flow

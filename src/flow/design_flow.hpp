@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "src/core/deadline.hpp"
 #include "src/core/profile.hpp"
@@ -22,6 +23,7 @@
 #include "src/emi/rules.hpp"
 #include "src/emi/sensitivity.hpp"
 #include "src/flow/buck_converter.hpp"
+#include "src/peec/extraction_cache.hpp"
 #include "src/place/drc.hpp"
 #include "src/place/metrics.hpp"
 #include "src/place/placer.hpp"
@@ -83,6 +85,15 @@ struct FlowOptions {
   // stage's output is discarded and the partial result carries a kCancelled
   // diagnostic. Not owned; may be null.
   core::CancelToken* cancel = nullptr;
+
+  // Shared extraction cache (two-tier; see peec/extraction_cache.hpp). When
+  // set, every extractor the flow builds attaches to it, so repeated runs -
+  // e.g. the jobs of one service session - reuse each other's extracted
+  // geometry. Null keeps per-extractor private caches, the pre-service
+  // behavior. Deliberately NOT part of the checkpoint context: cached values
+  // are pure functions of their keys, so cache topology never changes result
+  // bits.
+  std::shared_ptr<peec::ExtractionCache> extraction_cache;
 
   // Crash safety: when non-empty, a versioned checkpoint (see
   // flow/checkpoint.hpp) is atomically rewritten at this path after every

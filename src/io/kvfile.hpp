@@ -1,0 +1,48 @@
+// Checksummed key/value state files: the persistence primitive behind the
+// service's per-job `job.state` records. Same durability recipe as the flow
+// checkpoint - line-oriented text, a trailing FNV-1a checksum over every
+// preceding byte, and atomic publication through io::AtomicFileWriter - so
+// a record on disk is either a complete, validated snapshot or rejected
+// with a line-numbered kParseError. Never half-loaded.
+//
+// Format:
+//
+//   <magic>                       e.g. "EMIJOB 1"
+//   kv <key> <value...>           value = rest of line, may contain spaces
+//   ...
+//   checksum <fnv64-hex16>
+//
+// Records preserve order and allow duplicate keys; interpretation is the
+// caller's. Values are flattened to one line on write (stray '\n'/'\r'
+// become spaces), mirroring the checkpoint's defensive serialization.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/core/status.hpp"
+
+namespace emi::io {
+
+using KvRecord = std::pair<std::string, std::string>;
+
+std::string serialize_kv(std::string_view magic, std::span<const KvRecord> records);
+
+// Validate checksum + magic, then parse. kParseError ("line N: ...") on any
+// corruption or a magic mismatch (wrong file kind / format version).
+core::Result<std::vector<KvRecord>> parse_kv(std::string_view magic,
+                                             const std::string& text);
+
+// Atomic write; kIoError on filesystem failure. Deliberately *not* wired to
+// a fault-injection tear site: the atomic protocol makes torn job state
+// impossible by construction, and the service's no-lost-jobs invariant
+// depends on that (the per-job flow checkpoint keeps its own tear site).
+core::Status save_kv_file(const std::string& path, std::string_view magic,
+                          std::span<const KvRecord> records);
+core::Result<std::vector<KvRecord>> load_kv_file(const std::string& path,
+                                                 std::string_view magic);
+
+}  // namespace emi::io

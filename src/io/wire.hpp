@@ -1,0 +1,60 @@
+// Line-oriented wire protocol framing for the serve mode: a byte stream
+// arrives in arbitrary chunks (partial lines, several lines per read), and
+// the framer re-slices it into complete '\n'-terminated lines with a hard
+// per-line size guard, so a misbehaving or malicious client cannot grow the
+// server's buffer without bound.
+//
+// The protocol itself (src/svc/server.cpp) is space-separated tokens:
+//   SUBMIT design=<path> ...\n
+//   STATUS job=<id>\n
+// split_tokens / kv_value do the token-level parsing. Everything here is
+// pure string manipulation - no sockets, no threads - so the framing and
+// parsing are unit-testable without I/O.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/status.hpp"
+
+namespace emi::io {
+
+// Whitespace-separated tokens (space/tab); empty tokens never appear.
+std::vector<std::string> split_tokens(std::string_view line);
+
+// Protocol fields are `key=value` tokens. Returns the value of the first
+// token carrying `key`, or nullopt. The value may be empty ("key=").
+std::optional<std::string> kv_value(const std::vector<std::string>& tokens,
+                                    std::string_view key);
+
+class LineFramer {
+ public:
+  // Generous for the serve protocol (paths and ids, not payloads); a line
+  // beyond this poisons the framer instead of buffering forever.
+  static constexpr std::size_t kMaxLine = 64 * 1024;
+
+  explicit LineFramer(std::size_t max_line = kMaxLine) : max_line_(max_line) {}
+
+  // Append received bytes. Returns kResourceExhausted-style kInvalidArgument
+  // once an unterminated line exceeds the guard; the framer then stays
+  // poisoned (the connection should be dropped).
+  core::Status feed(std::string_view bytes);
+
+  // Next complete line, stripped of the trailing '\n' (and a '\r' before it,
+  // so netcat/socat in CRLF mode work). nullopt when no full line is
+  // buffered yet.
+  std::optional<std::string> next_line();
+
+  bool poisoned() const { return poisoned_; }
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;  // start of the first unconsumed byte
+  std::size_t max_line_;
+  bool poisoned_ = false;
+};
+
+}  // namespace emi::io

@@ -2,7 +2,6 @@
 
 #include <bit>
 #include <cmath>
-#include <mutex>
 #include <stdexcept>
 
 #include "src/core/deadline.hpp"
@@ -51,18 +50,12 @@ std::uint64_t model_digest(const ComponentFieldModel& m) {
   return h;
 }
 
-std::size_t CouplingExtractor::MutualKeyHash::operator()(const MutualKey& k) const {
-  std::uint64_t h = kFnvOffset;
-  h = fnv1a(h, k.digest_lo);
-  h = fnv1a(h, k.digest_hi);
-  h = fnv1a(h, k.tx);
-  h = fnv1a(h, k.ty);
-  h = fnv1a(h, k.tz);
-  h = fnv1a(h, k.rot);
-  h = fnv1a(h, k.quad);
-  h = fnv1a(h, k.kern);
-  h = fnv1a(h, k.kern_ratio);
-  return static_cast<std::size_t>(h);
+std::uint64_t CouplingExtractor::self_key(std::uint64_t digest) const {
+  // Bake the quadrature into the map key (shared caches serve extractors
+  // with different options); the fault-injection key below intentionally
+  // stays the bare digest so injected-miss patterns match older builds.
+  return fnv1a(digest, (static_cast<std::uint64_t>(opt_.order) << 32) |
+                           static_cast<std::uint64_t>(opt_.subdivisions));
 }
 
 Henry CouplingExtractor::self_inductance(const ComponentFieldModel& m) const {
@@ -79,19 +72,15 @@ Henry CouplingExtractor::self_inductance(const ComponentFieldModel& m) const {
   const bool forced_miss =
       core::fault::should_fire(core::FaultSite::kCache, core::fault::mix(0, id));
   if (!forced_miss) {
-    std::shared_lock lock(self_mu_);
-    if (const auto it = self_cache_.find(id); it != self_cache_.end()) {
+    if (const std::optional<double> v = cache_->lookup_self(self_key(id))) {
       self_hits_.fetch_add(1, std::memory_order_relaxed);
-      return Henry{it->second};
+      return Henry{*v};
     }
   }
   self_misses_.fetch_add(1, std::memory_order_relaxed);
   const double l_air = path_inductance(m.local_path, opt_);
   const double l = m.mu_eff * l_air;
-  {
-    std::unique_lock lock(self_mu_);
-    self_cache_.emplace(id, l);
-  }
+  cache_->store_self(self_key(id), l);
   return Henry{l};
 }
 
@@ -126,17 +115,17 @@ CouplingExtractor::CanonicalPair CouplingExtractor::canonicalize(
       geom::rotate_z(c.second->pose.position - c.first->pose.position,
                      geom::deg_to_rad(-c.first->pose.rot_deg));
   c.stray = a.model->stray_scale * b.model->stray_scale;
-  c.key = MutualKey{dlo,
-                    dhi,
-                    std::bit_cast<std::uint64_t>(c.rel_pos.x),
-                    std::bit_cast<std::uint64_t>(c.rel_pos.y),
-                    std::bit_cast<std::uint64_t>(c.rel_pos.z),
-                    std::bit_cast<std::uint64_t>(c.rel_rot),
-                    (static_cast<std::uint64_t>(opt_.order) << 32) |
-                        static_cast<std::uint64_t>(opt_.subdivisions),
-                    (kernel_.analytic_parallel ? 1ull : 0ull) |
-                        (kernel_.far_field ? 2ull : 0ull),
-                    std::bit_cast<std::uint64_t>(kernel_.far_field_ratio)};
+  c.key = MutualCacheKey{dlo,
+                         dhi,
+                         std::bit_cast<std::uint64_t>(c.rel_pos.x),
+                         std::bit_cast<std::uint64_t>(c.rel_pos.y),
+                         std::bit_cast<std::uint64_t>(c.rel_pos.z),
+                         std::bit_cast<std::uint64_t>(c.rel_rot),
+                         (static_cast<std::uint64_t>(opt_.order) << 32) |
+                             static_cast<std::uint64_t>(opt_.subdivisions),
+                         (kernel_.analytic_parallel ? 1ull : 0ull) |
+                             (kernel_.far_field ? 2ull : 0ull),
+                         std::bit_cast<std::uint64_t>(kernel_.far_field_ratio)};
   return c;
 }
 
@@ -148,22 +137,6 @@ double CouplingExtractor::compute_mutual_air(const CanonicalPair& c) const {
   return path_mutual(pf, ps, opt_, kernel_);
 }
 
-void CouplingExtractor::store_mutual_locked(const MutualKey& key,
-                                            double m_air) const {
-  if (mutual_cache_.size() >= kMutualCacheCap) {
-    // Evict the oldest-inserted half rather than clearing outright: the
-    // working set of a long sweep survives, and entries are pure functions
-    // of their keys, so eviction timing only affects recomputation
-    // frequency, never values. Counters are untouched - they stay monotone
-    // across evictions.
-    const std::size_t evict = mutual_order_.size() / 2;
-    for (std::size_t i = 0; i < evict; ++i) mutual_cache_.erase(mutual_order_[i]);
-    mutual_order_.erase(mutual_order_.begin(),
-                        mutual_order_.begin() + static_cast<std::ptrdiff_t>(evict));
-  }
-  if (mutual_cache_.emplace(key, m_air).second) mutual_order_.push_back(key);
-}
-
 Henry CouplingExtractor::mutual(const PlacedModel& a, const PlacedModel& b) const {
   if (a.model == nullptr || b.model == nullptr) {
     throw std::invalid_argument("CouplingExtractor::mutual: null model");
@@ -173,20 +146,16 @@ Henry CouplingExtractor::mutual(const PlacedModel& a, const PlacedModel& b) cons
   if (!core::CancelScope::poll()) return Henry{0.0};
   const CanonicalPair c = canonicalize(a, b);
   const bool forced_miss = core::fault::should_fire(
-      core::FaultSite::kCache, core::fault::mix(1, MutualKeyHash{}(c.key)));
+      core::FaultSite::kCache, core::fault::mix(1, MutualCacheKeyHash{}(c.key)));
   if (!forced_miss) {
-    std::shared_lock lock(mutual_mu_);
-    if (const auto it = mutual_cache_.find(c.key); it != mutual_cache_.end()) {
+    if (const std::optional<double> v = cache_->lookup_mutual(c.key)) {
       mutual_hits_.fetch_add(1, std::memory_order_relaxed);
-      return Henry{c.stray * it->second};
+      return Henry{c.stray * *v};
     }
   }
   mutual_misses_.fetch_add(1, std::memory_order_relaxed);
   const double m_air = compute_mutual_air(c);
-  {
-    std::unique_lock lock(mutual_mu_);
-    store_mutual_locked(c.key, m_air);
-  }
+  cache_->store_mutual(c.key, m_air);
   return Henry{c.stray * m_air};
 }
 
@@ -215,7 +184,7 @@ std::vector<Henry> CouplingExtractor::mutual_batch(
   };
   std::vector<Job> jobs;
   jobs.reserve(pairs.size());
-  std::unordered_map<MutualKey, std::size_t, MutualKeyHash> job_of;
+  std::unordered_map<MutualCacheKey, std::size_t, MutualCacheKeyHash> job_of;
   job_of.reserve(pairs.size());
   std::vector<std::size_t> slot(pairs.size());
   for (std::size_t p = 0; p < pairs.size(); ++p) {
@@ -229,17 +198,27 @@ std::vector<Henry> CouplingExtractor::mutual_batch(
     if (!inserted) mutual_hits_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  // One shared-lock probe for the whole batch.
-  {
-    std::shared_lock lock(mutual_mu_);
-    for (Job& job : jobs) {
-      const bool forced_miss = core::fault::should_fire(
-          core::FaultSite::kCache, core::fault::mix(1, MutualKeyHash{}(job.c.key)));
-      if (forced_miss) continue;
-      if (const auto it = mutual_cache_.find(job.c.key); it != mutual_cache_.end()) {
-        job.m_air = it->second;
-        job.cached = true;
-      }
+  // One batched tier probe for the unique keys. Forced-miss jobs are masked
+  // out by pre-setting their found flag, so no tier serves (or counts) them -
+  // the same "skip the probe entirely" behavior as the per-call path.
+  std::vector<MutualCacheKey> keys(jobs.size());
+  std::vector<double> vals(jobs.size(), 0.0);
+  std::vector<char> found(jobs.size(), 0);
+  std::vector<char> forced(jobs.size(), 0);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    keys[j] = jobs[j].c.key;
+    if (core::fault::should_fire(
+            core::FaultSite::kCache,
+            core::fault::mix(1, MutualCacheKeyHash{}(keys[j])))) {
+      forced[j] = 1;
+      found[j] = 1;
+    }
+  }
+  cache_->lookup_mutual_batch(keys, vals, found);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    if (found[j] && !forced[j]) {
+      jobs[j].m_air = vals[j];
+      jobs[j].cached = true;
     }
   }
 
@@ -267,12 +246,17 @@ std::vector<Henry> CouplingExtractor::mutual_batch(
       1);
 
   // One bulk store of everything actually computed.
-  {
-    std::unique_lock lock(mutual_mu_);
-    for (const std::size_t j : miss) {
-      if (jobs[j].computed) store_mutual_locked(jobs[j].c.key, jobs[j].m_air);
+  std::vector<MutualCacheKey> store_keys;
+  std::vector<double> store_vals;
+  store_keys.reserve(miss.size());
+  store_vals.reserve(miss.size());
+  for (const std::size_t j : miss) {
+    if (jobs[j].computed) {
+      store_keys.push_back(jobs[j].c.key);
+      store_vals.push_back(jobs[j].m_air);
     }
   }
+  if (!store_keys.empty()) cache_->store_mutual_batch(store_keys, store_vals);
 
   for (std::size_t p = 0; p < pairs.size(); ++p) {
     const Job& job = jobs[slot[p]];

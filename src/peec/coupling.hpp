@@ -10,24 +10,28 @@
 //   * mutual inductance, keyed by (digest pair, canonical relative pose,
 //     quadrature options). A pair translated rigidly across the board maps
 //     to the same key and hits.
-// Both caches are guarded by shared_mutex and are keyed by *content*, not by
-// object address, so concurrent extraction from a thread pool is safe and a
-// model destroyed/reallocated at the same address cannot alias a stale
-// entry. Cached mutuals are always *computed* in the canonical relative
-// frame, so the returned bits are a pure function of the key - results do
-// not depend on which thread or call site populated the cache.
+// The storage itself lives in peec::ExtractionCache (extraction_cache.hpp),
+// a two-tier shareable structure: by default every extractor owns a private
+// parentless cache (the pre-split behavior, bit-identical), but a service
+// can hand several extractors one session cache backed by a shared global
+// tier. Entries are keyed by *content*, not by object address, so concurrent
+// extraction from a thread pool is safe and a model destroyed/reallocated at
+// the same address cannot alias a stale entry. Cached mutuals are always
+// *computed* in the canonical relative frame, so the returned bits are a
+// pure function of the key - results do not depend on which thread, call
+// site, extractor, or session populated the cache.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <shared_mutex>
+#include <memory>
 #include <span>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "src/core/units.hpp"
 #include "src/peec/component_model.hpp"
+#include "src/peec/extraction_cache.hpp"
 #include "src/peec/partial_inductance.hpp"
 
 namespace emi::peec {
@@ -58,18 +62,26 @@ class CouplingExtractor {
   // The default keeps the exact kernel, so default-constructed extractors
   // return bit-identical values to older builds; kernel options are part of
   // every mutual cache key, so extractors with different gates never share
-  // entries.
-  explicit CouplingExtractor(QuadratureOptions opt = {}, KernelOptions kernel = {})
-      : opt_(opt), kernel_(kernel) {}
+  // entries. `cache` optionally injects a shared (possibly tiered)
+  // ExtractionCache - null keeps a fresh private cache, the pre-split
+  // behavior. Quadrature and kernel configuration are baked into every key,
+  // so differently-configured extractors can share one cache safely.
+  explicit CouplingExtractor(QuadratureOptions opt = {}, KernelOptions kernel = {},
+                             std::shared_ptr<ExtractionCache> cache = nullptr)
+      : opt_(opt),
+        kernel_(kernel),
+        cache_(cache != nullptr ? std::move(cache)
+                                : std::make_shared<ExtractionCache>()) {}
 
   const QuadratureOptions& options() const { return opt_; }
   const KernelOptions& kernel_options() const { return kernel_; }
+  const std::shared_ptr<ExtractionCache>& cache() const { return cache_; }
 
   // Mutual-cache capacity. Insertion past the cap evicts the
   // oldest-inserted half (values are pure functions of their keys, so
   // eviction timing only affects recomputation frequency, never values; the
   // hit/miss counters stay monotone across evictions).
-  static constexpr std::size_t kMutualCacheCap = 1u << 16;
+  static constexpr std::size_t kMutualCacheCap = ExtractionCache::kMutualCap;
 
   // Effective self inductance (air-core PEEC result scaled by mu_eff).
   Henry self_inductance(const ComponentFieldModel& m) const;
@@ -141,23 +153,10 @@ class CouplingExtractor {
   ExtractionCacheStats cache_stats() const;
 
  private:
-  struct MutualKey {
-    std::uint64_t digest_lo;  // smaller model digest (canonical pair order)
-    std::uint64_t digest_hi;
-    std::uint64_t tx, ty, tz;  // bit patterns of the canonical translation
-    std::uint64_t rot;         // bit pattern of the relative rotation (deg)
-    std::uint64_t quad;        // quadrature order/subdivisions
-    std::uint64_t kern;        // fast-path gate flags (bit0 analytic, bit1 far)
-    std::uint64_t kern_ratio;  // bit pattern of far_field_ratio
-    bool operator==(const MutualKey&) const = default;
-  };
-  struct MutualKeyHash {
-    std::size_t operator()(const MutualKey& k) const;
-  };
   // A pair reduced to its canonical relative frame: everything mutual() and
   // mutual_batch() need to probe the cache and, on a miss, compute.
   struct CanonicalPair {
-    MutualKey key;
+    MutualCacheKey key;
     const PlacedModel* first;
     const PlacedModel* second;
     Vec3 rel_pos;
@@ -166,16 +165,18 @@ class CouplingExtractor {
   };
   CanonicalPair canonicalize(const PlacedModel& a, const PlacedModel& b) const;
   double compute_mutual_air(const CanonicalPair& c) const;
-  // Requires mutual_mu_ held exclusively.
-  void store_mutual_locked(const MutualKey& key, double m_air) const;
+  // Self-tier cache key: model digest mixed with the quadrature options (the
+  // quadrature changes computed self inductance, and the cache may be shared
+  // across differently-configured extractors).
+  std::uint64_t self_key(std::uint64_t model_digest) const;
 
   QuadratureOptions opt_;
   KernelOptions kernel_;
-  mutable std::shared_mutex self_mu_;
-  mutable std::unordered_map<std::uint64_t, double> self_cache_;
-  mutable std::shared_mutex mutual_mu_;
-  mutable std::unordered_map<MutualKey, double, MutualKeyHash> mutual_cache_;
-  mutable std::vector<MutualKey> mutual_order_;  // insertion order, for eviction
+  // Shared (possibly tiered) storage; never null. The per-extractor hit/miss
+  // counters below account *this extractor's* traffic (hit = served from any
+  // tier) - exactly the pre-split cache_stats() semantics - while per-tier
+  // service counters live on the ExtractionCache itself.
+  std::shared_ptr<ExtractionCache> cache_;
   mutable std::atomic<std::uint64_t> self_hits_{0};
   mutable std::atomic<std::uint64_t> self_misses_{0};
   mutable std::atomic<std::uint64_t> mutual_hits_{0};

@@ -1,0 +1,128 @@
+// Two-tier extraction cache: the digest-keyed self/mutual memoization that
+// used to live inside CouplingExtractor, pulled out so caches can be *shared*
+// and *layered*.
+//
+// A cache optionally chains to a parent tier. The intended topology is the
+// service's: every session owns a private tier whose parent is one shared
+// read-mostly global tier. Lookups probe the private tier first, then the
+// parent chain; computed values are stored into the private tier and
+// *published* to the root tier, so one session's expensive extraction is
+// amortized across every later session that asks for the same geometry.
+//
+// Correctness under sharing. Every entry is a pure function of its key: the
+// mutual key carries the canonical relative pose, the quadrature options and
+// the kernel fast-path gates; the self key carries the model digest and the
+// quadrature options. Two extractors configured differently therefore never
+// alias each other's entries, no matter how the tiers are wired, and a value
+// observed through any tier is bit-identical to recomputing it. Eviction and
+// publication timing only affect recomputation frequency, never values.
+//
+// Thread safety: each tier is guarded by its own shared_mutex; the parent
+// pointer is immutable after construction, so probes walk the chain without
+// global coordination. Tier counters (hits served by this tier / misses that
+// fell through it) are relaxed atomics - monotone, never reset by eviction.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace emi::peec {
+
+// Key of one cached mutual inductance: canonical pair digests, canonical
+// relative pose bits, quadrature and kernel-gate configuration. Built by
+// CouplingExtractor::canonicalize; everything that can change the computed
+// bits is part of the key.
+struct MutualCacheKey {
+  std::uint64_t digest_lo = 0;  // smaller model digest (canonical pair order)
+  std::uint64_t digest_hi = 0;
+  std::uint64_t tx = 0, ty = 0, tz = 0;  // bit patterns, canonical translation
+  std::uint64_t rot = 0;         // bit pattern of the relative rotation (deg)
+  std::uint64_t quad = 0;        // quadrature order/subdivisions
+  std::uint64_t kern = 0;        // fast-path gate flags (bit0 analytic, bit1 far)
+  std::uint64_t kern_ratio = 0;  // bit pattern of far_field_ratio
+  bool operator==(const MutualCacheKey&) const = default;
+};
+
+struct MutualCacheKeyHash {
+  std::size_t operator()(const MutualCacheKey& k) const;
+};
+
+// Monotone per-tier service counters: `hits` = lookups served from this
+// tier's own map, `misses` = lookups that probed this tier and fell through
+// (for a root tier that is the compute count it triggered).
+struct CacheTierStats {
+  std::uint64_t self_hits = 0;
+  std::uint64_t self_misses = 0;
+  std::uint64_t mutual_hits = 0;
+  std::uint64_t mutual_misses = 0;
+};
+
+class ExtractionCache {
+ public:
+  // Mutual-tier capacity. Insertion past the cap evicts the oldest-inserted
+  // half (see store_mutual); identical policy and constant as the pre-split
+  // per-extractor cache.
+  static constexpr std::size_t kMutualCap = 1u << 16;
+
+  // A parentless cache is a self-contained tier (the pre-split behavior).
+  // With a parent, lookups fall through to it and computed values are
+  // published to the *root* of the chain.
+  explicit ExtractionCache(std::shared_ptr<ExtractionCache> parent = nullptr)
+      : parent_(std::move(parent)) {}
+
+  ExtractionCache(const ExtractionCache&) = delete;
+  ExtractionCache& operator=(const ExtractionCache&) = delete;
+
+  const std::shared_ptr<ExtractionCache>& parent() const { return parent_; }
+
+  // --- self tier ---------------------------------------------------------
+  // Probe this tier, then the parent chain. Counts one hit on the serving
+  // tier and one miss on every tier the probe fell through.
+  std::optional<double> lookup_self(std::uint64_t key) const;
+  // Store into this tier and publish to the chain's root (no-op when this
+  // tier is the root). Values are pure functions of keys, so a concurrent
+  // duplicate store writes identical bits.
+  void store_self(std::uint64_t key, double value);
+
+  // --- mutual tier -------------------------------------------------------
+  std::optional<double> lookup_mutual(const MutualCacheKey& key) const;
+  // Batched probe under one shared lock per tier: out[i]/found[i] filled for
+  // every key served; unserved slots are left untouched. Counts like
+  // lookup_mutual, one probe per key.
+  void lookup_mutual_batch(std::span<const MutualCacheKey> keys,
+                           std::span<double> out, std::span<char> found) const;
+  void store_mutual(const MutualCacheKey& key, double value);
+  // Bulk store under one unique lock per tier (this tier + the root).
+  void store_mutual_batch(std::span<const MutualCacheKey> keys,
+                          std::span<const double> values);
+
+  CacheTierStats stats() const;
+
+ private:
+  // Probe only this tier's own maps (one shared-lock round), counting the
+  // outcome on this tier.
+  std::optional<double> probe_self_local(std::uint64_t key) const;
+  std::optional<double> probe_mutual_local(const MutualCacheKey& key) const;
+  // Requires mutual_mu_ held exclusively; evict-oldest-half at capacity.
+  void store_mutual_locked(const MutualCacheKey& key, double value);
+  ExtractionCache* root();
+
+  std::shared_ptr<ExtractionCache> parent_;
+  mutable std::shared_mutex self_mu_;
+  std::unordered_map<std::uint64_t, double> self_cache_;
+  mutable std::shared_mutex mutual_mu_;
+  std::unordered_map<MutualCacheKey, double, MutualCacheKeyHash> mutual_cache_;
+  std::vector<MutualCacheKey> mutual_order_;  // insertion order, for eviction
+  mutable std::atomic<std::uint64_t> self_hits_{0};
+  mutable std::atomic<std::uint64_t> self_misses_{0};
+  mutable std::atomic<std::uint64_t> mutual_hits_{0};
+  mutable std::atomic<std::uint64_t> mutual_misses_{0};
+};
+
+}  // namespace emi::peec

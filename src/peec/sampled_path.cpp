@@ -478,4 +478,13 @@ double path_mutual_sampled(const SampledPath& A, const SampledPath& B,
   return total;
 }
 
+bool kernel_clones_enabled() {
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__)
+  return true;
+#else
+  return false;
+#endif
+}
+
 }  // namespace emi::peec

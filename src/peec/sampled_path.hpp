@@ -74,4 +74,10 @@ double sampled_mutual(const SampledPath& a, std::size_t i, const SampledPath& b,
 double path_mutual_sampled(const SampledPath& a, const SampledPath& b,
                            const KernelOptions& kopt = {});
 
+// True when the hot kernels above were compiled with per-ISA clones
+// (target_clones default/avx2/avx512f, ifunc dispatch); false on toolchains
+// without the attribute and in sanitizer builds, which skip the clones.
+// Informational only (`emiplace version`): clone dispatch never changes bits.
+bool kernel_clones_enabled();
+
 }  // namespace emi::peec

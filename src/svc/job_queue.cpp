@@ -1,0 +1,59 @@
+#include "src/svc/job_queue.hpp"
+
+namespace emi::svc {
+
+core::Status JobQueue::push(std::uint64_t id) {
+  {
+    std::lock_guard lock(mu_);
+    if (closed_) {
+      return core::Status(core::ErrorCode::kFailedPrecondition, "svc.queue",
+                          "queue closed");
+    }
+    if (q_.size() >= capacity_) {
+      return core::Status(core::ErrorCode::kFailedPrecondition, "svc.queue",
+                          "queue full (capacity " + std::to_string(capacity_) + ")");
+    }
+    q_.push_back(id);
+  }
+  cv_.notify_one();
+  return core::Status();
+}
+
+std::optional<std::uint64_t> JobQueue::pop() {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || !q_.empty(); });
+  if (q_.empty()) return std::nullopt;  // closed and drained
+  const std::uint64_t id = q_.front();
+  q_.pop_front();
+  return id;
+}
+
+void JobQueue::close() {
+  {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool JobQueue::closed() const {
+  std::lock_guard lock(mu_);
+  return closed_;
+}
+
+std::size_t JobQueue::size() const {
+  std::lock_guard lock(mu_);
+  return q_.size();
+}
+
+std::size_t JobQueue::capacity() const {
+  std::lock_guard lock(mu_);
+  return capacity_;
+}
+
+void JobQueue::raise_capacity(std::size_t min_capacity) {
+  std::lock_guard lock(mu_);
+  if (min_capacity > capacity_) capacity_ = min_capacity;
+}
+
+}  // namespace emi::svc

@@ -1,0 +1,56 @@
+// Bounded deterministic FIFO feeding the service's executors. Jobs are
+// identified by id; the queue never reorders (strict submission order out),
+// so with one executor the execution order is exactly the submission order,
+// and with N executors the *dequeue* order still is - only overlap varies,
+// which by the extraction/flow determinism contract cannot change result
+// bits.
+//
+// push() never blocks: a full queue is an immediate, deterministic
+// kFailedPrecondition (the protocol surfaces it as an ERR the client can
+// retry), not a stall inside the accept loop. pop() blocks until a job or
+// close(); close() drains waiters with nullopt so executors exit cleanly.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "src/core/status.hpp"
+
+namespace emi::svc {
+
+class JobQueue {
+ public:
+  explicit JobQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  // kFailedPrecondition when full or closed.
+  core::Status push(std::uint64_t id);
+
+  // Next id in FIFO order; blocks while empty, nullopt once closed and
+  // drained.
+  std::optional<std::uint64_t> pop();
+
+  void close();
+  bool closed() const;
+  std::size_t size() const;
+  std::size_t capacity() const;
+
+  // Recovery hook: grow the bound (never shrink) before executors start, so
+  // a restart can re-queue more jobs than the configured capacity -
+  // shutdown must never lose work to its own admission control.
+  void raise_capacity(std::size_t min_capacity);
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::uint64_t> q_;
+  bool closed_ = false;
+};
+
+}  // namespace emi::svc

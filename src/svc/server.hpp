@@ -1,0 +1,74 @@
+// `emiplace serve`: a line-oriented protocol over a Unix domain socket in
+// front of svc::Service. One request line in, one reply line out:
+//
+//   PING                                          -> OK pong
+//   SUBMIT topology=buck [points=N] [budget_ms=N] [stage_budget_ms=N]
+//          [client=NAME] [stop_after=STAGE]       -> OK id=N
+//   STATUS job=N                                  -> OK id=N state=... ...
+//   RESULT job=N      (blocks until terminal)     -> OK id=N state=... ...
+//   CANCEL job=N                                  -> OK id=N cancelled
+//   STATS                                         -> OK submitted=... ...
+//   SHUTDOWN                                      -> OK shutting_down
+//
+// Errors come back as `ERR code=<error-code-name> msg=<text>`; an unknown
+// verb or malformed field is code=invalid_argument, a full queue is
+// code=failed_precondition - the client can retry. Replies are single
+// lines, so `socat - UNIX-CONNECT:<sock>` is a complete interactive client.
+//
+// The server is a single poll() loop: many concurrent clients, no thread
+// per connection. RESULT does not stall the loop - the connection is parked
+// on a waiter list and answered when the job reaches a terminal state;
+// execution itself happens on the service's executor threads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/status.hpp"
+#include "src/svc/service.hpp"
+
+namespace emi::svc {
+
+// Outcome of one protocol line. Pure function of (service state, line) -
+// unit-testable without a socket. `deferred` marks a RESULT on a
+// non-terminal job: no reply yet, answer when `wait_job` finishes.
+struct CommandOutcome {
+  std::string reply;
+  bool deferred = false;
+  std::uint64_t wait_job = 0;
+  bool shutdown = false;
+};
+
+CommandOutcome handle_command(Service& svc, const std::string& line);
+
+// Single reply line for a job record ("OK id=... state=... ...").
+std::string format_job_reply(const JobRecord& rec);
+
+class SocketServer {
+ public:
+  // Binds lazily in serve(); `socket_path` must fit sockaddr_un (~107
+  // bytes) - keep serve sockets in short paths (/tmp).
+  SocketServer(Service& svc, std::string socket_path);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  // Bind + listen + poll loop. Returns kOk after a clean SHUTDOWN / stop(),
+  // kIoError if the socket cannot be created. The socket file is unlinked
+  // on exit.
+  core::Status serve();
+
+  // Ask a serve() running on another thread to exit after its current poll
+  // tick.
+  void stop();
+
+  const std::string& socket_path() const { return socket_path_; }
+
+ private:
+  Service& svc_;
+  std::string socket_path_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace emi::svc

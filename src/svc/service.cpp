@@ -1,0 +1,315 @@
+#include "src/svc/service.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "src/flow/buck_converter.hpp"
+#include "src/flow/checkpoint.hpp"
+#include "src/flow/design_flow.hpp"
+#include "src/flow/flow_units.hpp"
+
+namespace emi::svc {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Ids of state directories that look like job dirs, ascending. Shared by
+// recovery and nothing else; malformed names are ignored.
+std::vector<std::uint64_t> scan_job_ids(const std::string& state_dir) {
+  std::vector<std::uint64_t> ids;
+  std::error_code ec;
+  for (const fs::directory_entry& e : fs::directory_iterator(state_dir, ec)) {
+    const std::string name = e.path().filename().string();
+    if (name.rfind("job-", 0) != 0) continue;
+    std::uint64_t id = 0;
+    bool ok = name.size() > 4;
+    for (std::size_t i = 4; ok && i < name.size(); ++i) {
+      if (name[i] < '0' || name[i] > '9') {
+        ok = false;
+      } else {
+        id = id * 10 + static_cast<std::uint64_t>(name[i] - '0');
+      }
+    }
+    if (ok) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+// First failure note worth surfacing: the last diagnostic of an incomplete
+// result (the stage that sealed its fate), flattened for the kv record.
+std::string terminal_detail(const flow::FlowResult& res) {
+  if (res.complete || res.diagnostics.empty()) return std::string();
+  return res.diagnostics.back().status.to_string();
+}
+
+}  // namespace
+
+Service::Service(ServiceOptions opt)
+    : opt_(std::move(opt)), queue_(std::max<std::size_t>(opt_.queue_capacity, 1)) {
+  if (opt_.state_dir.empty()) {
+    throw std::runtime_error("svc.service: state_dir is required");
+  }
+  std::error_code ec;
+  fs::create_directories(opt_.state_dir, ec);
+  if (ec) {
+    throw std::runtime_error("svc.service: cannot create state dir " +
+                             opt_.state_dir + ": " + ec.message());
+  }
+  recover();
+  const std::size_t n = std::max<std::size_t>(opt_.executors, 1);
+  executors_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    executors_.emplace_back([this] { executor_loop(); });
+  }
+}
+
+Service::~Service() {
+  queue_.close();
+  for (std::thread& t : executors_) t.join();
+}
+
+std::string Service::job_dir(std::uint64_t id) const {
+  return opt_.state_dir + "/job-" + std::to_string(id);
+}
+
+Service::Job* Service::find(std::uint64_t id) {
+  const auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : it->second.get();
+}
+
+const Service::Job* Service::find(std::uint64_t id) const {
+  const auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : it->second.get();
+}
+
+void Service::persist(Job& job) {
+  const core::Status st =
+      save_job_record(job_dir(job.rec.id) + "/job.state", job.rec);
+  if (!st.ok()) job.rec.detail = st.to_string();
+}
+
+void Service::recover() {
+  // Re-queue in id order (= original submission order), before any executor
+  // starts, so recovered work runs ahead of new submissions and in a
+  // deterministic order.
+  const std::vector<std::uint64_t> ids = scan_job_ids(opt_.state_dir);
+  std::vector<std::uint64_t> requeue;
+  for (const std::uint64_t id : ids) {
+    auto job = std::make_unique<Job>();
+    core::Result<JobRecord> loaded = load_job_record(job_dir(id) + "/job.state");
+    if (loaded.ok()) {
+      job->rec = std::move(loaded).value();
+      job->rec.id = id;  // directory name is authoritative
+      if (!job_state_terminal(job->rec.state)) {
+        // queued: never started. running: interrupted mid-flight - its flow
+        // checkpoint (if intact) makes the rerun a resume.
+        job->rec.state = JobState::kQueued;
+        job->recovered_run = true;
+        requeue.push_back(id);
+      }
+    } else {
+      // job.state damaged outside the atomic-write protocol (the writer
+      // itself cannot tear). Keep the job visible as failed instead of
+      // silently dropping it; the file is left untouched as evidence.
+      job->rec.id = id;
+      job->rec.state = JobState::kFailed;
+      job->rec.detail = loaded.status().to_string();
+    }
+    ++recovered_;
+    jobs_.emplace(id, std::move(job));
+    next_id_ = std::max(next_id_, id + 1);
+  }
+  // Shutdown must never lose work: grow the bound if a restart brings back
+  // more jobs than the configured capacity.
+  queue_.raise_capacity(requeue.size());
+  for (const std::uint64_t id : requeue) (void)queue_.push(id);
+}
+
+core::Result<std::uint64_t> Service::submit(const JobSpec& spec) {
+  if (core::Status st = validate_job_spec(spec); !st.ok()) return st;
+  std::lock_guard lock(mu_);
+  const std::uint64_t id = next_id_;
+  std::error_code ec;
+  fs::create_directories(job_dir(id), ec);
+  if (ec) {
+    return core::Status(core::ErrorCode::kIoError, "svc.service",
+                        "cannot create job dir: " + ec.message());
+  }
+  auto job = std::make_unique<Job>();
+  job->rec.id = id;
+  job->rec.spec = spec;
+  job->rec.state = JobState::kQueued;
+  // Durable before queued: a job id handed to a client survives any crash
+  // from this point on.
+  if (core::Status st = save_job_record(job_dir(id) + "/job.state", job->rec);
+      !st.ok()) {
+    fs::remove_all(job_dir(id), ec);
+    return st;
+  }
+  if (core::Status st = queue_.push(id); !st.ok()) {
+    // Full queue: undo the durable record so a restart cannot resurrect a
+    // job whose submission the client saw rejected.
+    fs::remove_all(job_dir(id), ec);
+    return st;
+  }
+  next_id_ = id + 1;
+  ++submitted_;
+  jobs_.emplace(id, std::move(job));
+  return id;
+}
+
+core::Result<JobRecord> Service::status(std::uint64_t id) const {
+  std::lock_guard lock(mu_);
+  const Job* job = find(id);
+  if (job == nullptr) {
+    return core::Status(core::ErrorCode::kInvalidArgument, "svc.service",
+                        "unknown job id: " + std::to_string(id));
+  }
+  return job->rec;
+}
+
+core::Status Service::cancel(std::uint64_t id) {
+  std::lock_guard lock(mu_);
+  Job* job = find(id);
+  if (job == nullptr) {
+    return core::Status(core::ErrorCode::kInvalidArgument, "svc.service",
+                        "unknown job id: " + std::to_string(id));
+  }
+  if (job_state_terminal(job->rec.state) || job->crash_simmed) return core::Status();
+  if (job->rec.state == JobState::kQueued) {
+    job->rec.state = JobState::kCancelled;
+    job->rec.detail = "cancelled before start";
+    persist(*job);
+    terminal_cv_.notify_all();
+    return core::Status();
+  }
+  // Running: raise the token; the executor finalizes the record at the
+  // flow's next poll point.
+  job->cancel.request_cancel();
+  return core::Status();
+}
+
+core::Result<JobRecord> Service::wait(std::uint64_t id) {
+  std::unique_lock lock(mu_);
+  if (find(id) == nullptr) {
+    return core::Status(core::ErrorCode::kInvalidArgument, "svc.service",
+                        "unknown job id: " + std::to_string(id));
+  }
+  terminal_cv_.wait(lock, [&] {
+    const Job* job = find(id);
+    return job_state_terminal(job->rec.state) || job->crash_simmed;
+  });
+  return find(id)->rec;
+}
+
+ServiceStats Service::stats() const {
+  std::lock_guard lock(mu_);
+  ServiceStats s;
+  s.submitted = submitted_;
+  s.recovered = recovered_;
+  for (const auto& [id, job] : jobs_) {
+    switch (job->rec.state) {
+      case JobState::kQueued: ++s.queued; break;
+      case JobState::kRunning: ++s.running; break;
+      case JobState::kDone: ++s.done; break;
+      case JobState::kFailed: ++s.failed; break;
+      case JobState::kCancelled: ++s.cancelled; break;
+    }
+  }
+  s.sessions = sessions_.session_count();
+  s.global_cache = sessions_.global_cache()->stats();
+  return s;
+}
+
+void Service::executor_loop() {
+  while (const std::optional<std::uint64_t> id = queue_.pop()) {
+    Job* job = nullptr;
+    {
+      std::lock_guard lock(mu_);
+      job = find(*id);
+      if (job == nullptr || job->rec.state != JobState::kQueued) {
+        continue;  // cancelled while queued, or stale entry
+      }
+      job->rec.state = JobState::kRunning;
+      persist(*job);
+    }
+    run_job(*job);
+  }
+}
+
+void Service::run_job(Job& job) {
+  const JobSpec spec = job.rec.spec;
+  const std::string ckpt_path = job_dir(job.rec.id) + "/flow.ckpt";
+
+  flow::FlowResult res;
+  bool crash_simmed = false;
+  try {
+    flow::BuckConverter bc = spec.topology == "buck" ? flow::make_buck_converter()
+                                                     : flow::make_boost_converter();
+    const place::Layout initial = spec.topology == "buck"
+                                      ? flow::layout_unfavorable(bc)
+                                      : flow::boost_layout_unfavorable(bc);
+    flow::FlowOptions fopt;
+    fopt.sweep.n_points = spec.sweep_points;
+    fopt.total_budget_ms = spec.total_budget_ms;
+    fopt.stage_budget_ms = spec.stage_budget_ms;
+    fopt.cancel = &job.cancel;
+    fopt.checkpoint_path = ckpt_path;
+    // The crash-sim hook models exactly one crash: a recovered job runs with
+    // it disarmed, the way a real restart runs after a real SIGKILL.
+    fopt.stop_after_stage = job.recovered_run ? std::string() : spec.stop_after_stage;
+    fopt.extraction_cache = sessions_.session_cache(spec.client);
+
+    // Resume when the job left an intact checkpoint for this exact
+    // configuration; anything else (first run, torn file, changed digest)
+    // is a fresh deterministic rerun.
+    flow::FlowCheckpoint ck;
+    core::Result<flow::FlowCheckpoint> loaded = flow::load_checkpoint_file(ckpt_path);
+    if (loaded.ok() &&
+        loaded.value().context_digest == flow::flow_context_digest(bc, initial, fopt)) {
+      ck = std::move(loaded).value();
+    } else if (!loaded.ok()) {
+      std::error_code ec;
+      std::filesystem::remove(ckpt_path, ec);  // drop torn/stale bytes, if any
+    }
+
+    flow::FlowEngine engine(bc, initial, fopt, std::move(ck));
+    res = engine.run();
+    crash_simmed = engine.halted() && !fopt.stop_after_stage.empty() &&
+                   !job.cancel.cancel_requested();
+  } catch (const std::exception& e) {
+    res.complete = false;
+    res.diagnostics.push_back(
+        {"svc.job",
+         core::Status(core::ErrorCode::kInternal, "svc.job", e.what()), 1, false});
+  }
+
+  std::lock_guard lock(mu_);
+  if (crash_simmed) {
+    // Deterministic SIGKILL stand-in: stop here with the disk still saying
+    // `running` - exactly the state a real kill would leave - but unblock
+    // wait()ers in this process.
+    job.crash_simmed = true;
+    terminal_cv_.notify_all();
+    return;
+  }
+  job.rec.fingerprint = flow::result_fingerprint(res);
+  job.rec.complete = res.complete;
+  if (job.cancel.cancel_requested()) {
+    job.rec.state = JobState::kCancelled;
+    job.rec.detail = "cancelled while running";
+  } else if (res.complete) {
+    job.rec.state = JobState::kDone;
+  } else {
+    job.rec.state = JobState::kFailed;
+    job.rec.detail = terminal_detail(res);
+  }
+  persist(job);
+  terminal_cv_.notify_all();
+}
+
+}  // namespace emi::svc

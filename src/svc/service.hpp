@@ -1,0 +1,136 @@
+// The EMI design flow as a service: a bounded FIFO of flow jobs executed by
+// a small pool of executor threads, with per-job crash-safe state under one
+// state directory and per-client shared extraction caches.
+//
+// Layout of the state directory:
+//
+//   <state_dir>/job-<id>/job.state    checksummed kv record (svc/job.hpp)
+//   <state_dir>/job-<id>/flow.ckpt    the job's flow checkpoint (EMICKPT 1)
+//
+// Crash safety. job.state is rewritten atomically at every transition, and
+// the flow checkpoint is rewritten after every decided stage - so a SIGKILL
+// at any instant loses at most the stage in flight. On construction the
+// service scans the directory in job-id order: `queued` jobs re-enter the
+// queue, `running` jobs are re-queued and resume from their checkpoint
+// (falling back to a fresh deterministic rerun when the checkpoint is
+// missing, torn, or from a different configuration), terminal jobs stay
+// queryable. By the flow determinism contract a resumed job's result is
+// bit-identical to an uninterrupted run's - the recorded fingerprint makes
+// that checkable.
+//
+// Determinism. Executors only decide *when* a job runs, never what it
+// computes: job results are pure functions of the JobSpec (shared caches
+// return bit-identical values by key purity; the pool is deterministic at
+// any thread count), so identical specs submitted to any mix of sessions
+// yield identical fingerprints regardless of queue interleaving.
+//
+// A graceful shutdown (destructor) closes the queue, finishes the jobs
+// already running, and leaves still-queued jobs on disk in `queued` state
+// for the next start - shutdown never cancels or loses work.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/deadline.hpp"
+#include "src/core/status.hpp"
+#include "src/svc/job.hpp"
+#include "src/svc/job_queue.hpp"
+#include "src/svc/session.hpp"
+
+namespace emi::svc {
+
+struct ServiceOptions {
+  std::string state_dir;           // required; created if absent
+  std::size_t executors = 1;       // worker threads taking jobs off the queue
+  std::size_t queue_capacity = 64; // SUBMIT fails deterministically when full
+};
+
+struct ServiceStats {
+  std::uint64_t submitted = 0;  // accepted by this process (excludes recovered)
+  std::uint64_t recovered = 0;  // re-queued or restored by the startup scan
+  std::uint64_t queued = 0;     // current state counts over all known jobs
+  std::uint64_t running = 0;
+  std::uint64_t done = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t sessions = 0;
+  peec::CacheTierStats global_cache;  // shared-tier hit/miss counters
+};
+
+class Service {
+ public:
+  // Scans `opt.state_dir` and recovers jobs before any executor starts, so
+  // recovered jobs run before newly submitted ones. Throws std::runtime_error
+  // only if the state directory cannot be created.
+  explicit Service(ServiceOptions opt);
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  // Validate, persist as queued, enqueue. Returns the job id, or the
+  // validation / queue-full / persistence error (nothing enqueued unless
+  // durable first).
+  core::Result<std::uint64_t> submit(const JobSpec& spec);
+
+  // Snapshot of the job's current record; kInvalidArgument for unknown ids.
+  core::Result<JobRecord> status(std::uint64_t id) const;
+
+  // Cooperative cancel: a queued job is marked cancelled and skipped at
+  // dequeue; a running job's CancelToken is raised and the flow stops at
+  // its next poll point. Cancelling a terminal job is a no-op (ok).
+  core::Status cancel(std::uint64_t id);
+
+  // Block until the job reaches a terminal state (or its executor halted
+  // via the crash-sim hook) and return the final record.
+  core::Result<JobRecord> wait(std::uint64_t id);
+
+  ServiceStats stats() const;
+
+  const std::string& state_dir() const { return opt_.state_dir; }
+  std::string job_dir(std::uint64_t id) const;
+
+ private:
+  struct Job {
+    JobRecord rec;
+    core::CancelToken cancel;
+    // Crash-sim halt: the executor stopped without writing a terminal
+    // state (in-memory only; disk still says `running`).
+    bool crash_simmed = false;
+    // Re-queued by the startup scan: the spec's crash-sim hook already
+    // fired in the previous process, so this run executes it disarmed -
+    // recovery models the restart *after* the crash, not another crash.
+    bool recovered_run = false;
+  };
+
+  void executor_loop();
+  void run_job(Job& job);
+  // Persist the record to the job's state file; failures become the job's
+  // detail but never tear the file (atomic writer).
+  void persist(Job& job);
+  void recover();
+  Job* find(std::uint64_t id);
+  const Job* find(std::uint64_t id) const;
+
+  ServiceOptions opt_;
+  JobQueue queue_;
+  SessionManager sessions_;
+
+  mutable std::mutex mu_;                 // guards jobs_, next_id_, counters
+  std::condition_variable terminal_cv_;   // signalled on any terminal transition
+  std::map<std::uint64_t, std::unique_ptr<Job>> jobs_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t recovered_ = 0;
+
+  std::vector<std::thread> executors_;
+};
+
+}  // namespace emi::svc

@@ -1,0 +1,21 @@
+#include "src/svc/session.hpp"
+
+namespace emi::svc {
+
+std::shared_ptr<peec::ExtractionCache> SessionManager::session_cache(
+    const std::string& client) {
+  std::lock_guard lock(mu_);
+  auto it = sessions_.find(client);
+  if (it == sessions_.end()) {
+    it = sessions_.emplace(client, std::make_shared<peec::ExtractionCache>(global_))
+             .first;
+  }
+  return it->second;
+}
+
+std::size_t SessionManager::session_count() const {
+  std::lock_guard lock(mu_);
+  return sessions_.size();
+}
+
+}  // namespace emi::svc

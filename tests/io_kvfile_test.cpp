@@ -1,0 +1,105 @@
+// Checksummed kv state files - the persistence primitive under the
+// service's job records: byte-stable serialization, line-numbered rejection
+// of every corruption class, and the atomic file round trip.
+#include "src/io/kvfile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/core/fault_injection.hpp"
+
+namespace emi::io {
+namespace {
+
+constexpr std::string_view kMagic = "EMITEST 1";
+
+std::vector<KvRecord> sample_records() {
+  return {{"state", "running"},
+          {"detail", "value with spaces"},
+          {"state", "done"},  // duplicates preserved, order preserved
+          {"empty", "-"}};
+}
+
+TEST(KvFile, RoundTripPreservesOrderAndDuplicates) {
+  const std::vector<KvRecord> in = sample_records();
+  const std::string text = serialize_kv(kMagic, in);
+  const core::Result<std::vector<KvRecord>> out = parse_kv(kMagic, text);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), in);
+  // Identical records serialize to identical bytes (fingerprint stability).
+  EXPECT_EQ(serialize_kv(kMagic, sample_records()), text);
+}
+
+TEST(KvFile, NewlinesInValuesAreFlattened) {
+  const std::vector<KvRecord> in = {{"detail", "line1\nline2\rline3"}};
+  const core::Result<std::vector<KvRecord>> out =
+      parse_kv(kMagic, serialize_kv(kMagic, in));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value()[0].second, "line1 line2 line3");
+}
+
+TEST(KvFile, MagicMismatchIsLineOneParseError) {
+  const std::string text = serialize_kv("EMIOTHER 7", sample_records());
+  const core::Result<std::vector<KvRecord>> out = parse_kv(kMagic, text);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), core::ErrorCode::kParseError);
+  EXPECT_NE(out.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(KvFile, TruncationAndCorruptionAreStructuredRejections) {
+  const std::string text = serialize_kv(kMagic, sample_records());
+
+  // Truncated before the checksum line: "missing checksum".
+  const std::string truncated = text.substr(0, text.rfind("checksum "));
+  core::Result<std::vector<KvRecord>> out = parse_kv(kMagic, truncated);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), core::ErrorCode::kParseError);
+  EXPECT_NE(out.status().message().find("checksum"), std::string::npos);
+
+  // A flipped payload byte: checksum mismatch.
+  std::string flipped = text;
+  flipped[text.find("running") + 1] ^= 0x20;
+  out = parse_kv(kMagic, flipped);
+  ASSERT_FALSE(out.ok());
+  EXPECT_NE(out.status().message().find("mismatch"), std::string::npos);
+
+  // Bytes appended after the checksum line.
+  out = parse_kv(kMagic, text + "stray\n");
+  ASSERT_FALSE(out.ok());
+  EXPECT_NE(out.status().message().find("trailing"), std::string::npos);
+
+  EXPECT_FALSE(parse_kv(kMagic, "").ok());
+}
+
+TEST(KvFile, MalformedRecordBehindValidChecksumIsLineNumbered) {
+  // Corruption the checksum cannot catch (written by a buggy producer, not a
+  // torn write): a non-kv payload line with a *correct* checksum.
+  std::string payload = std::string(kMagic) + "\nnot-a-kv-line\n";
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(core::fault::fnv64(payload)));
+  const core::Result<std::vector<KvRecord>> out =
+      parse_kv(kMagic, payload + "checksum " + buf + "\n");
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), core::ErrorCode::kParseError);
+  EXPECT_NE(out.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(KvFile, FileRoundTripAndMissingFile) {
+  const std::string path = std::string(::testing::TempDir()) + "kvfile_rt.state";
+  ASSERT_TRUE(save_kv_file(path, kMagic, sample_records()).ok());
+  const core::Result<std::vector<KvRecord>> out = load_kv_file(path, kMagic);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), sample_records());
+
+  const core::Result<std::vector<KvRecord>> missing =
+      load_kv_file(path + ".does-not-exist", kMagic);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), core::ErrorCode::kIoError);
+}
+
+}  // namespace
+}  // namespace emi::io

@@ -1,0 +1,76 @@
+// Wire framing for the serve protocol: byte streams re-sliced into lines
+// across arbitrary chunk boundaries, CRLF tolerance, the oversized-line
+// guard, and the token/kv parsing the command handler builds on.
+#include "src/io/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace emi::io {
+namespace {
+
+TEST(SplitTokens, SplitsOnSpacesAndTabs) {
+  const std::vector<std::string> t = split_tokens("  SUBMIT \t topology=buck  ");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0], "SUBMIT");
+  EXPECT_EQ(t[1], "topology=buck");
+  EXPECT_TRUE(split_tokens("").empty());
+  EXPECT_TRUE(split_tokens(" \t ").empty());
+}
+
+TEST(KvValue, FirstMatchWinsAndEmptyValuesAreValues) {
+  const std::vector<std::string> t =
+      split_tokens("SUBMIT topology=buck topology=boost client=");
+  EXPECT_EQ(kv_value(t, "topology"), "buck");
+  EXPECT_EQ(kv_value(t, "client"), "");
+  EXPECT_FALSE(kv_value(t, "points").has_value());
+  // A bare `topology` token (no '=') is not a field.
+  EXPECT_FALSE(kv_value(split_tokens("STATUS topology"), "topology").has_value());
+}
+
+TEST(LineFramer, ReassemblesAcrossChunkBoundaries) {
+  LineFramer f;
+  ASSERT_TRUE(f.feed("STA").ok());
+  EXPECT_FALSE(f.next_line().has_value());
+  ASSERT_TRUE(f.feed("TUS job=1\nPI").ok());
+  EXPECT_EQ(f.next_line(), "STATUS job=1");
+  EXPECT_FALSE(f.next_line().has_value());
+  ASSERT_TRUE(f.feed("NG\n").ok());
+  EXPECT_EQ(f.next_line(), "PING");
+}
+
+TEST(LineFramer, SeveralLinesPerFeedAndCrlf) {
+  LineFramer f;
+  ASSERT_TRUE(f.feed("PING\r\nSTATS\n\n").ok());
+  EXPECT_EQ(f.next_line(), "PING");
+  EXPECT_EQ(f.next_line(), "STATS");
+  EXPECT_EQ(f.next_line(), "");  // blank line is an (empty) line
+  EXPECT_FALSE(f.next_line().has_value());
+}
+
+TEST(LineFramer, OversizedLinePoisons) {
+  LineFramer f(16);
+  const core::Status st = f.feed(std::string(17, 'x'));
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), core::ErrorCode::kInvalidArgument);
+  EXPECT_TRUE(f.poisoned());
+  EXPECT_FALSE(f.next_line().has_value());
+  // Poisoned framers stay poisoned: the connection must be dropped.
+  EXPECT_EQ(f.feed("PING\n").code(), core::ErrorCode::kFailedPrecondition);
+}
+
+TEST(LineFramer, TerminatedLinesNeverPoisonRegardlessOfVolume) {
+  LineFramer f(32);
+  // Many short lines through a tiny guard: total volume is unbounded, only
+  // individual unterminated lines count against the limit.
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(f.feed("STATUS job=42\n").ok());
+    ASSERT_EQ(f.next_line(), "STATUS job=42");
+  }
+  EXPECT_FALSE(f.poisoned());
+}
+
+}  // namespace
+}  // namespace emi::io

@@ -1,0 +1,98 @@
+// The service's bounded FIFO job queue: strict submission order out, an
+// immediate deterministic error when full or closed, clean executor drain on
+// close, and the recovery capacity hook.
+#include "src/svc/job_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace emi::svc {
+namespace {
+
+TEST(JobQueue, FifoOrderOut) {
+  JobQueue q(8);
+  for (std::uint64_t id = 1; id <= 5; ++id) ASSERT_TRUE(q.push(id).ok());
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    const auto got = q.pop();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, id);
+  }
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(JobQueue, FullQueueIsFailedPreconditionNotAStall) {
+  JobQueue q(2);
+  ASSERT_TRUE(q.push(1).ok());
+  ASSERT_TRUE(q.push(2).ok());
+  const core::Status st = q.push(3);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), core::ErrorCode::kFailedPrecondition);
+  // Draining one slot re-admits.
+  ASSERT_TRUE(q.pop().has_value());
+  EXPECT_TRUE(q.push(3).ok());
+}
+
+TEST(JobQueue, CloseDrainsThenReturnsNullopt) {
+  JobQueue q(8);
+  ASSERT_TRUE(q.push(7).ok());
+  q.close();
+  EXPECT_FALSE(q.push(8).ok());  // closed rejects new work...
+  const auto got = q.pop();      // ...but queued work still comes out
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 7u);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(JobQueue, CloseWakesBlockedConsumers) {
+  JobQueue q(4);
+  std::vector<std::thread> consumers;
+  std::atomic<int> drained{0};
+  for (int i = 0; i < 3; ++i) {
+    consumers.emplace_back([&] {
+      while (q.pop().has_value()) {
+      }
+      drained.fetch_add(1);
+    });
+  }
+  q.close();
+  for (std::thread& t : consumers) t.join();
+  EXPECT_EQ(drained.load(), 3);
+}
+
+TEST(JobQueue, RaiseCapacityGrowsNeverShrinks) {
+  JobQueue q(2);
+  q.raise_capacity(5);
+  EXPECT_EQ(q.capacity(), 5u);
+  q.raise_capacity(1);  // never shrink: recovery must not lose admission room
+  EXPECT_EQ(q.capacity(), 5u);
+  for (std::uint64_t id = 1; id <= 5; ++id) EXPECT_TRUE(q.push(id).ok());
+  EXPECT_FALSE(q.push(6).ok());
+}
+
+TEST(JobQueue, ConcurrentProducersAllIdsDeliveredOnce) {
+  JobQueue q(256);
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < 32; ++i) {
+        ASSERT_TRUE(q.push(static_cast<std::uint64_t>(t) * 100 + i).ok());
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  q.close();
+  std::vector<bool> seen(400, false);
+  while (const auto id = q.pop()) {
+    ASSERT_LT(*id, seen.size());
+    EXPECT_FALSE(seen[*id]);
+    seen[*id] = true;
+  }
+  int count = 0;
+  for (const bool b : seen) count += b ? 1 : 0;
+  EXPECT_EQ(count, 128);
+}
+
+}  // namespace
+}  // namespace emi::svc

@@ -1,0 +1,216 @@
+// The serve protocol layer: handle_command as a pure function of (service
+// state, line) - every verb, every malformed-field rejection, the deferred
+// RESULT contract - plus one end-to-end pass over a real Unix socket
+// (connect, SUBMIT, blocking RESULT, STATS, SHUTDOWN) driving the poll loop.
+#include "src/svc/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "src/svc/service.hpp"
+
+namespace emi::svc {
+namespace {
+
+std::string fresh_dir(const char* name) {
+  const std::string dir = std::string(::testing::TempDir()) + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(HandleCommand, PingAndUnknownVerbs) {
+  Service svc({fresh_dir("srv_ping"), 1, 8});
+  EXPECT_EQ(handle_command(svc, "PING").reply, "OK pong");
+  EXPECT_EQ(handle_command(svc, "  PING  ").reply, "OK pong");
+
+  const CommandOutcome bad = handle_command(svc, "FROBNICATE x=1");
+  EXPECT_EQ(bad.reply.rfind("ERR code=invalid_argument", 0), 0u) << bad.reply;
+  EXPECT_EQ(handle_command(svc, "").reply.rfind("ERR code=invalid_argument", 0),
+            0u);
+}
+
+TEST(HandleCommand, SubmitStatusLifecycle) {
+  Service svc({fresh_dir("srv_lifecycle"), 1, 8});
+  const CommandOutcome sub =
+      handle_command(svc, "SUBMIT topology=buck points=30 client=alice");
+  ASSERT_EQ(sub.reply, "OK id=1");
+
+  (void)svc.wait(1);
+  const CommandOutcome st = handle_command(svc, "STATUS job=1");
+  EXPECT_EQ(st.reply.rfind("OK id=1 state=done complete=1 fingerprint=", 0), 0u)
+      << st.reply;
+  EXPECT_NE(st.reply.find(" topology=buck"), std::string::npos);
+  EXPECT_NE(st.reply.find(" client=alice"), std::string::npos);
+
+  // RESULT on a terminal job answers immediately, identically to STATUS.
+  const CommandOutcome res = handle_command(svc, "RESULT job=1");
+  EXPECT_FALSE(res.deferred);
+  EXPECT_EQ(res.reply, st.reply);
+}
+
+TEST(HandleCommand, MalformedFieldsAreInvalidArgument) {
+  Service svc({fresh_dir("srv_malformed"), 1, 8});
+  const char* bad_lines[] = {
+      "SUBMIT topology=teapot",          // unknown topology (spec validation)
+      "SUBMIT topology=buck points=1",   // out-of-range points
+      "SUBMIT topology=buck points=abc", // malformed number
+      "SUBMIT topology=buck budget_ms=-5",
+      "SUBMIT topology=buck stage_budget_ms=1x",
+      "SUBMIT topology=buck stop_after=frobnication",
+      "STATUS job=abc",
+      "STATUS",
+      "CANCEL job=",
+  };
+  for (const char* line : bad_lines) {
+    EXPECT_EQ(handle_command(svc, line).reply.rfind("ERR code=invalid_argument", 0),
+              0u)
+        << line;
+  }
+  // Unknown-but-well-formed ids are invalid_argument, too.
+  EXPECT_EQ(handle_command(svc, "STATUS job=99").reply.rfind(
+                "ERR code=invalid_argument", 0),
+            0u);
+  EXPECT_EQ(svc.stats().submitted, 0u);
+}
+
+TEST(HandleCommand, ResultOnNonTerminalJobDefers) {
+  Service svc({fresh_dir("srv_defer"), 1, 8});
+  // A crash-simmed job is deterministically non-terminal: the executor
+  // halted with disk still saying `running`.
+  JobSpec spec;
+  spec.sweep_points = 30;
+  spec.stop_after_stage = "sensitivity";
+  const auto id = svc.submit(spec);
+  ASSERT_TRUE(id.ok());
+  (void)svc.wait(id.value());  // unblocks on the crash-sim halt
+
+  const CommandOutcome res =
+      handle_command(svc, "RESULT job=" + std::to_string(id.value()));
+  EXPECT_TRUE(res.deferred);
+  EXPECT_EQ(res.wait_job, id.value());
+  EXPECT_TRUE(res.reply.empty());
+  // STATUS on the same job answers immediately with the live state.
+  const CommandOutcome st =
+      handle_command(svc, "STATUS job=" + std::to_string(id.value()));
+  EXPECT_FALSE(st.deferred);
+  EXPECT_NE(st.reply.find("state=running"), std::string::npos);
+}
+
+TEST(HandleCommand, CancelStatsShutdown) {
+  Service svc({fresh_dir("srv_misc"), 2, 8});
+  JobSpec spec;
+  spec.sweep_points = 30;
+  const auto id = svc.submit(spec);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(handle_command(svc, "CANCEL job=1").reply, "OK id=1 cancelled");
+  (void)svc.wait(1);
+
+  const CommandOutcome stats = handle_command(svc, "STATS");
+  EXPECT_EQ(stats.reply.rfind("OK submitted=1 recovered=0", 0), 0u)
+      << stats.reply;
+  EXPECT_NE(stats.reply.find(" cache_self_hits="), std::string::npos);
+  EXPECT_NE(stats.reply.find(" cache_mutual_misses="), std::string::npos);
+
+  const CommandOutcome sd = handle_command(svc, "SHUTDOWN");
+  EXPECT_EQ(sd.reply, "OK shutting_down");
+  EXPECT_TRUE(sd.shutdown);
+}
+
+// --- socket end to end ------------------------------------------------------
+
+class Client {
+ public:
+  explicit Client(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    // The server binds lazily; retry briefly until it is listening.
+    for (int i = 0; i < 200; ++i) {
+      if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+        connected_ = true;
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return connected_; }
+
+  std::string roundtrip(const std::string& line) {
+    const std::string req = line + "\n";
+    std::size_t off = 0;
+    while (off < req.size()) {
+      const ssize_t n = ::send(fd_, req.data() + off, req.size() - off, 0);
+      if (n <= 0) return "<send failed>";
+      off += static_cast<std::size_t>(n);
+    }
+    while (buf_.find('\n') == std::string::npos) {
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n <= 0) return "<closed>";
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+    const std::size_t nl = buf_.find('\n');
+    std::string reply = buf_.substr(0, nl);
+    buf_.erase(0, nl + 1);
+    return reply;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buf_;
+};
+
+TEST(SocketServer, EndToEndSubmitResultStatsShutdown) {
+  const std::string dir = fresh_dir("srv_sock");
+  // Keep the socket path short: sockaddr_un caps it around 107 bytes.
+  const std::string sock = "/tmp/emiplace_test_" + std::to_string(::getpid()) +
+                           ".sock";
+  Service svc({dir, 2, 16});
+  SocketServer server(svc, sock);
+  std::thread serving([&] { EXPECT_TRUE(server.serve().ok()); });
+
+  {
+    Client c(sock);
+    ASSERT_TRUE(c.connected());
+    EXPECT_EQ(c.roundtrip("PING"), "OK pong");
+
+    const std::string sub = c.roundtrip("SUBMIT topology=buck points=30");
+    ASSERT_EQ(sub, "OK id=1");
+    // Blocking RESULT: the connection parks on the waiter list until the
+    // executor finishes, then gets the terminal record.
+    const std::string res = c.roundtrip("RESULT job=1");
+    EXPECT_EQ(res.rfind("OK id=1 state=done complete=1", 0), 0u) << res;
+
+    // A second client interleaves on the same poll loop.
+    Client c2(sock);
+    ASSERT_TRUE(c2.connected());
+    EXPECT_EQ(c2.roundtrip("STATUS job=1"), res);
+    EXPECT_EQ(c2.roundtrip("CANCEL job=1"), "OK id=1 cancelled");  // no-op ok
+
+    const std::string stats = c.roundtrip("STATS");
+    EXPECT_EQ(stats.rfind("OK submitted=1", 0), 0u) << stats;
+    EXPECT_NE(stats.find(" done=1"), std::string::npos);
+
+    EXPECT_EQ(c.roundtrip("SHUTDOWN"), "OK shutting_down");
+  }
+  serving.join();
+  // The socket file is unlinked on exit.
+  EXPECT_FALSE(std::filesystem::exists(sock));
+}
+
+}  // namespace
+}  // namespace emi::svc

@@ -1,0 +1,283 @@
+// The job service end to end: lifecycle persistence, bit-identical results
+// across queue interleavings and sessions, cooperative cancel, crash-sim
+// halt + restart recovery (resume from the job's flow checkpoint), corrupt
+// checkpoint fallback, and a fault-injection soak asserting no job is ever
+// lost or left non-terminal.
+#include "src/svc/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/core/fault_injection.hpp"
+#include "src/svc/job.hpp"
+
+namespace emi::svc {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Guards {
+  ~Guards() { core::FaultInjector::instance().disarm(); }
+};
+
+std::string fresh_dir(const char* name) {
+  const std::string dir = std::string(::testing::TempDir()) + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+JobSpec quick_spec(const std::string& client = "t") {
+  JobSpec spec;
+  spec.topology = "buck";
+  spec.sweep_points = 30;
+  spec.client = client;
+  return spec;
+}
+
+TEST(SvcService, LifecyclePersistsTerminalRecord) {
+  const std::string dir = fresh_dir("svc_lifecycle");
+  Service svc({dir, 1, 8});
+  const core::Result<std::uint64_t> id = svc.submit(quick_spec());
+  ASSERT_TRUE(id.ok());
+  const core::Result<JobRecord> rec = svc.wait(id.value());
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec.value().state, JobState::kDone);
+  EXPECT_TRUE(rec.value().complete);
+  EXPECT_NE(rec.value().fingerprint, 0u);
+
+  // The terminal record survived to disk in the documented location.
+  const core::Result<JobRecord> on_disk =
+      load_job_record(svc.job_dir(id.value()) + "/job.state");
+  ASSERT_TRUE(on_disk.ok());
+  EXPECT_EQ(on_disk.value().state, JobState::kDone);
+  EXPECT_EQ(on_disk.value().fingerprint, rec.value().fingerprint);
+  // And the per-job flow checkpoint exists next to it.
+  EXPECT_TRUE(fs::exists(svc.job_dir(id.value()) + "/flow.ckpt"));
+}
+
+TEST(SvcService, RejectsInvalidSpecsAndUnknownIds) {
+  const std::string dir = fresh_dir("svc_invalid");
+  Service svc({dir, 1, 8});
+  JobSpec bad = quick_spec();
+  bad.topology = "teapot";
+  EXPECT_EQ(svc.submit(bad).status().code(), core::ErrorCode::kInvalidArgument);
+  bad = quick_spec();
+  bad.sweep_points = 1;
+  EXPECT_EQ(svc.submit(bad).status().code(), core::ErrorCode::kInvalidArgument);
+  bad = quick_spec();
+  bad.stop_after_stage = "frobnication";
+  EXPECT_EQ(svc.submit(bad).status().code(), core::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(svc.status(99).status().code(), core::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(svc.cancel(99).code(), core::ErrorCode::kInvalidArgument);
+  // Nothing invalid left a directory behind.
+  EXPECT_EQ(svc.stats().submitted, 0u);
+}
+
+// The tentpole determinism contract: identical specs submitted to any mix of
+// sessions, against any executor count, come back with identical
+// fingerprints - queue interleaving and cache sharing never change bits.
+TEST(SvcService, IdenticalJobsBitIdenticalAcrossInterleavings) {
+  std::uint64_t serial_fp = 0;
+  {
+    Service svc({fresh_dir("svc_serial"), 1, 16});
+    const auto id = svc.submit(quick_spec("solo"));
+    ASSERT_TRUE(id.ok());
+    const auto rec = svc.wait(id.value());
+    ASSERT_TRUE(rec.ok());
+    ASSERT_EQ(rec.value().state, JobState::kDone);
+    serial_fp = rec.value().fingerprint;
+  }
+
+  Service svc({fresh_dir("svc_parallel"), 4, 16});
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    const auto id = svc.submit(quick_spec("client-" + std::to_string(i % 2)));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  for (const std::uint64_t id : ids) {
+    const auto rec = svc.wait(id);
+    ASSERT_TRUE(rec.ok());
+    EXPECT_EQ(rec.value().state, JobState::kDone);
+    EXPECT_EQ(rec.value().fingerprint, serial_fp);
+  }
+  EXPECT_GE(svc.stats().sessions, 2u);
+}
+
+TEST(SvcService, CancelQueuedJobNeverRuns) {
+  const std::string dir = fresh_dir("svc_cancel");
+  Service svc({dir, 1, 8});
+  // Fill the single executor, then cancel a job stuck behind it.
+  const auto running = svc.submit(quick_spec());
+  const auto queued = svc.submit(quick_spec());
+  ASSERT_TRUE(running.ok());
+  ASSERT_TRUE(queued.ok());
+  ASSERT_TRUE(svc.cancel(queued.value()).ok());
+  const auto rec = svc.wait(queued.value());
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec.value().state, JobState::kCancelled);
+  EXPECT_FALSE(rec.value().complete);
+  // Cancelling a terminal job is an ok no-op.
+  EXPECT_TRUE(svc.cancel(queued.value()).ok());
+  // The job ahead of it is unaffected.
+  EXPECT_EQ(svc.wait(running.value()).value().state, JobState::kDone);
+}
+
+// Crash-sim halt, then restart recovery: the stop_after hook halts the
+// executor with the disk still saying `running` (the exact file state of a
+// SIGKILL); a new service over the same state dir re-queues the job, resumes
+// from its flow checkpoint, and the final fingerprint is bit-identical to an
+// uninterrupted run's.
+TEST(SvcService, CrashSimThenRestartResumesBitIdentical) {
+  std::uint64_t reference_fp = 0;
+  {
+    Service svc({fresh_dir("svc_ref"), 1, 8});
+    const auto id = svc.submit(quick_spec("crash"));
+    ASSERT_TRUE(id.ok());
+    reference_fp = svc.wait(id.value()).value().fingerprint;
+  }
+
+  const std::string dir = fresh_dir("svc_crash");
+  std::uint64_t job_id = 0;
+  {
+    Service svc({dir, 1, 8});
+    JobSpec spec = quick_spec("crash");
+    spec.stop_after_stage = "rule_derivation";
+    const auto id = svc.submit(spec);
+    ASSERT_TRUE(id.ok());
+    job_id = id.value();
+    const auto rec = svc.wait(job_id);  // unblocks on the crash-sim halt
+    ASSERT_TRUE(rec.ok());
+    EXPECT_EQ(rec.value().state, JobState::kRunning);  // disk agrees
+  }
+  const auto on_disk = load_job_record(dir + "/job-" + std::to_string(job_id) +
+                                       "/job.state");
+  ASSERT_TRUE(on_disk.ok());
+  ASSERT_EQ(on_disk.value().state, JobState::kRunning);
+
+  Service restarted({dir, 1, 8});
+  EXPECT_EQ(restarted.stats().recovered, 1u);
+  const auto rec = restarted.wait(job_id);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec.value().state, JobState::kDone);
+  EXPECT_EQ(rec.value().fingerprint, reference_fp);
+}
+
+// A torn flow checkpoint must never poison recovery: the job falls back to a
+// fresh deterministic rerun and still lands on the reference fingerprint.
+TEST(SvcService, CorruptCheckpointFallsBackToFreshRerun) {
+  std::uint64_t reference_fp = 0;
+  {
+    Service svc({fresh_dir("svc_ref2"), 1, 8});
+    const auto id = svc.submit(quick_spec("torn"));
+    ASSERT_TRUE(id.ok());
+    reference_fp = svc.wait(id.value()).value().fingerprint;
+  }
+
+  const std::string dir = fresh_dir("svc_torn");
+  std::uint64_t job_id = 0;
+  {
+    Service svc({dir, 1, 8});
+    JobSpec spec = quick_spec("torn");
+    spec.stop_after_stage = "sensitivity";
+    const auto id = svc.submit(spec);
+    ASSERT_TRUE(id.ok());
+    job_id = id.value();
+    (void)svc.wait(job_id);
+  }
+  // Tear the checkpoint the way a mid-write kill would.
+  const std::string ckpt = dir + "/job-" + std::to_string(job_id) + "/flow.ckpt";
+  std::ofstream out(ckpt, std::ios::trunc);
+  out << "EMICKPT 1 0000000000000000\ngarbage\n";
+  out.close();
+
+  Service restarted({dir, 1, 8});
+  const auto rec = restarted.wait(job_id);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec.value().state, JobState::kDone);
+  EXPECT_EQ(rec.value().fingerprint, reference_fp);
+}
+
+// A job.state file damaged outside the atomic-write protocol is surfaced as
+// a failed-but-visible job, never silently dropped and never re-run.
+TEST(SvcService, CorruptJobStateSurfacesAsFailed) {
+  const std::string dir = fresh_dir("svc_badstate");
+  std::uint64_t job_id = 0;
+  {
+    Service svc({dir, 1, 8});
+    const auto id = svc.submit(quick_spec());
+    ASSERT_TRUE(id.ok());
+    job_id = id.value();
+    (void)svc.wait(job_id);
+  }
+  std::ofstream out(dir + "/job-" + std::to_string(job_id) + "/job.state",
+                    std::ios::trunc);
+  out << "EMIJOB 1\nkv state done\n";  // no checksum line
+  out.close();
+
+  Service restarted({dir, 1, 8});
+  const auto rec = restarted.status(job_id);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec.value().state, JobState::kFailed);
+  EXPECT_FALSE(rec.value().detail.empty());
+  // New submissions keep allocating past the damaged id.
+  const auto id2 = restarted.submit(quick_spec());
+  ASSERT_TRUE(id2.ok());
+  EXPECT_GT(id2.value(), job_id);
+}
+
+// Soak: every injection site the flow owns (pool/cache/lu/io/ckpt) firing at
+// once. Jobs may fail - that is the taxonomy working - but every job must
+// reach a terminal state, keep its record queryable, and none may vanish.
+TEST(SvcService, FaultInjectionSoakLosesNoJobs) {
+  Guards guards;
+  ASSERT_TRUE(core::FaultInjector::instance().configure_from_spec(
+      "pool:0.05:7,cache:0.05:9,lu:0.05:11,io:0.02:13,ckpt:0.1:17"));
+  const std::string dir = fresh_dir("svc_soak");
+  constexpr int kJobs = 6;
+  std::vector<std::uint64_t> ids;
+  {
+    Service svc({dir, 2, 16});
+    for (int i = 0; i < kJobs; ++i) {
+      const auto id = svc.submit(quick_spec("soak-" + std::to_string(i % 3)));
+      ASSERT_TRUE(id.ok());
+      ids.push_back(id.value());
+    }
+    for (const std::uint64_t id : ids) {
+      const auto rec = svc.wait(id);
+      ASSERT_TRUE(rec.ok());
+      EXPECT_TRUE(job_state_terminal(rec.value().state))
+          << "job " << id << " left non-terminal";
+    }
+    const ServiceStats s = svc.stats();
+    EXPECT_EQ(s.submitted, static_cast<std::uint64_t>(kJobs));
+    EXPECT_EQ(s.queued + s.running, 0u);
+    EXPECT_EQ(s.done + s.failed + s.cancelled,
+              static_cast<std::uint64_t>(kJobs));
+  }
+  core::FaultInjector::instance().disarm();
+
+  // Restart with the injector disarmed: no terminal job reruns, nothing is
+  // re-queued, every record is still queryable.
+  Service restarted({dir, 1, 16});
+  const ServiceStats s = restarted.stats();
+  EXPECT_EQ(s.recovered, static_cast<std::uint64_t>(kJobs));
+  // Every id is still queryable - no job vanished. Any job whose terminal
+  // write was eaten by an io fault re-queues and finishes now.
+  for (const std::uint64_t id : ids) {
+    ASSERT_TRUE(restarted.status(id).ok()) << "job " << id << " lost";
+  }
+  for (const std::uint64_t id : ids) {
+    const auto rec = restarted.wait(id);
+    ASSERT_TRUE(rec.ok());
+    EXPECT_TRUE(job_state_terminal(rec.value().state));
+  }
+}
+
+}  // namespace
+}  // namespace emi::svc

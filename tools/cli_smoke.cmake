@@ -25,6 +25,18 @@ function(expect_status expected)
   endif()
 endfunction()
 
+# `version` exits 0 and names the binary version plus both on-disk format
+# versions and the kernel fast-path compile flags.
+execute_process(COMMAND ${CLI} version OUTPUT_VARIABLE ver RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "emiplace version failed: ${rc}")
+endif()
+foreach(needle "emiplace " "EMICKPT 1" "EMIJOB 1" "kernel isa clones")
+  if(NOT ver MATCHES "${needle}")
+    message(FATAL_ERROR "version output missing '${needle}':\n${ver}")
+  endif()
+endforeach()
+
 expect_status(2 ${CLI} place ${DESIGN} --refine 12abc)
 expect_status(2 ${CLI} place ${DESIGN} --refine -3)
 expect_status(2 ${CLI} place ${DESIGN} --seed 99999999999999999999999)
@@ -80,3 +92,15 @@ file(WRITE ${CKPT}.corrupt "EMICKPT 1 0000000000000000\ngarbage\n")
 expect_status(1 ${CLI} flow buck --points 40 --checkpoint ${CKPT}.corrupt --resume)
 expect_status(1 ${CLI} flow buck --points 40
               --checkpoint ${CMAKE_CURRENT_BINARY_DIR}/missing.ckpt --resume)
+
+# Serve/client hardening: missing required flags are usage errors (exit 2),
+# an unreachable daemon is a connection failure (exit 1), never a crash.
+expect_status(2 ${CLI} serve)
+expect_status(2 ${CLI} serve --socket /tmp/smoke_unused.sock)
+expect_status(2 ${CLI} serve --socket /tmp/smoke_unused.sock --state-dir d --executors 0)
+expect_status(2 ${CLI} submit)
+expect_status(2 ${CLI} submit --socket /tmp/smoke_unused.sock teapot)
+expect_status(2 ${CLI} status --socket /tmp/smoke_unused.sock)
+expect_status(2 ${CLI} result --socket /tmp/smoke_unused.sock --job 1x)
+expect_status(2 ${CLI} stats)
+expect_status(1 ${CLI} stats --socket ${CMAKE_CURRENT_BINARY_DIR}/no_daemon.sock)

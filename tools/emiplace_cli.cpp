@@ -12,6 +12,11 @@
 //         [--checkpoint FILE] [--resume] [--stop-after STAGE] [-o PREFIX]
 //                                       run the paper's end-to-end EMI flow
 //                                       on a built-in converter
+//   serve --socket PATH --state-dir DIR [--executors N] [--queue-capacity N]
+//                                       run the flow as a job-queue daemon
+//   submit|status|result|cancel|stats|shutdown --socket PATH ...
+//                                       client verbs against a running serve
+//   version                             print binary + format versions
 //
 // Global option (any command): --fault-inject <site>:<rate>:<seed>[,...]
 // arms the deterministic fault injector, same syntax as EMI_FAULT_INJECT.
@@ -20,9 +25,12 @@
 // src/io/design_format.hpp. With no -o, results go to stdout. File outputs
 // are written atomically (tmp + rename), so an interrupted run never leaves
 // a torn file behind.
-#include <cerrno>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <csignal>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -38,33 +46,29 @@
 #include "src/io/design_format.hpp"
 #include "src/io/reports.hpp"
 #include "src/io/svg.hpp"
+#include "src/peec/sampled_path.hpp"
 #include "src/place/compactor.hpp"
 #include "src/place/drc.hpp"
 #include "src/place/metrics.hpp"
 #include "src/place/placer.hpp"
 #include "src/place/refine.hpp"
 #include "src/place/route.hpp"
+#include "src/svc/job.hpp"
+#include "src/svc/server.hpp"
+#include "src/svc/service.hpp"
+#include "tools/cli_args.hpp"
+
+#ifndef EMIPLACE_VERSION
+#define EMIPLACE_VERSION "dev"
+#endif
 
 namespace {
 
 using namespace emi;
 
-// Strict numeric argument parsing: the whole token must be a number in
-// range, otherwise the caller prints a diagnostic and exits with the usage
-// status. std::stoul would happily accept "12abc" or wrap negatives.
-bool parse_u64(const char* s, std::uint64_t& out) {
-  if (s == nullptr || *s == '\0' || *s == '-') return false;
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(s, &end, 10);
-  if (errno != 0 || end == s || *end != '\0') return false;
-  out = v;
-  return true;
-}
-
-bool parse_board(const char* s, int& out) {
+bool parse_board(const std::string& s, int& out) {
   std::uint64_t v = 0;
-  if (!parse_u64(s, v) || v > 4095) return false;
+  if (!cli::parse_u64(s.c_str(), v) || v > 4095) return false;
   out = static_cast<int>(v);
   return true;
 }
@@ -80,8 +84,23 @@ int usage() {
                "  flow  [buck|boost] [--points N] [--budget-ms MS]\n"
                "        [--stage-budget-ms MS] [--checkpoint FILE] [--resume]\n"
                "        [--stop-after STAGE] [-o PREFIX]\n"
+               "  serve --socket PATH --state-dir DIR [--executors N]\n"
+               "        [--queue-capacity N]\n"
+               "  submit --socket PATH [buck|boost] [--points N] [--budget-ms MS]\n"
+               "         [--stage-budget-ms MS] [--client NAME] [--stop-after STAGE]\n"
+               "  status|result|cancel --socket PATH --job N\n"
+               "  stats|shutdown --socket PATH\n"
+               "  version\n"
                "global: --fault-inject <site>:<rate>:<seed>[,...]\n");
   return 2;
+}
+
+// Shared parse -> usage-exit mapping: every malformed flag is exit 2 with the
+// parser's diagnostic on stderr.
+bool parse_or_usage(const cli::FlagSet& flags, int argc, char** argv) {
+  const core::Status st = flags.parse(argc, argv);
+  if (!st.ok()) std::fprintf(stderr, "%s\n", st.message().c_str());
+  return st.ok();
 }
 
 // Load a design or exit 1 with the structured parse diagnostic (stage,
@@ -113,35 +132,31 @@ int cmd_info(const std::string& path) {
   return 0;
 }
 
+int cmd_version() {
+  std::printf("emiplace %s\n", EMIPLACE_VERSION);
+  std::printf("checkpoint format: %.*s\n",
+              static_cast<int>(flow::kCheckpointMagic.size()),
+              flow::kCheckpointMagic.data());
+  std::printf("job state format:  %.*s\n", static_cast<int>(svc::kJobMagic.size()),
+              svc::kJobMagic.data());
+  std::printf("kernel isa clones: %s\n",
+              peec::kernel_clones_enabled() ? "default,avx2,avx512f" : "off");
+  return 0;
+}
+
 int cmd_place(int argc, char** argv) {
   if (argc < 1) return usage();
   const std::string design_path = argv[0];
   std::string out_path;
   bool compact = false;
-  std::size_t refine_iters = 0;
+  std::uint64_t refine_iters = 0;
   std::uint64_t seed = 1;
-  for (int i = 1; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "-o") && i + 1 < argc) {
-      out_path = argv[++i];
-    } else if (!std::strcmp(argv[i], "--compact")) {
-      compact = true;
-    } else if (!std::strcmp(argv[i], "--refine") && i + 1 < argc) {
-      std::uint64_t v = 0;
-      if (!parse_u64(argv[++i], v)) {
-        std::fprintf(stderr, "invalid --refine value: %s\n", argv[i]);
-        return usage();
-      }
-      refine_iters = static_cast<std::size_t>(v);
-    } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
-      if (!parse_u64(argv[++i], seed)) {
-        std::fprintf(stderr, "invalid --seed value: %s\n", argv[i]);
-        return usage();
-      }
-    } else {
-      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
-      return usage();
-    }
-  }
+  cli::FlagSet flags;
+  flags.add_string("-o", &out_path);
+  flags.add_switch("--compact", &compact);
+  flags.add_u64("--refine", &refine_iters);
+  flags.add_u64("--seed", &seed);
+  if (!parse_or_usage(flags, argc - 1, argv + 1)) return usage();
 
   io::LoadedDesign ld = load_or_exit(design_path);
   const place::PlaceStats stats = place::auto_place(ld.design, ld.layout);
@@ -157,7 +172,7 @@ int cmd_place(int argc, char** argv) {
   }
   if (refine_iters > 0) {
     place::RefineOptions ropt;
-    ropt.iterations = refine_iters;
+    ropt.iterations = static_cast<std::size_t>(refine_iters);
     ropt.seed = seed;
     const place::RefineResult r = place::refine_layout(ld.design, ld.layout, ropt);
     std::fprintf(stderr, "refined: cost %.1f -> %.1f\n", r.cost_before, r.cost_after);
@@ -227,16 +242,16 @@ int cmd_svg(int argc, char** argv) {
   const place::Layout layout = io::load_layout(in, ld.design);
   io::SvgOptions opt;
   std::string out_path;
-  for (int i = 2; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "-o") && i + 1 < argc) {
-      out_path = argv[++i];
-    } else if (i == 2 && parse_board(argv[i], opt.board)) {
-      // positional board index
-    } else {
-      std::fprintf(stderr, "invalid board index or option: %s\n", argv[i]);
-      return usage();
+  cli::FlagSet flags;
+  flags.add_string("-o", &out_path);
+  flags.positional([&](std::size_t idx, const std::string& v) {
+    if (idx > 0 || !parse_board(v, opt.board)) {
+      return core::Status(core::ErrorCode::kInvalidArgument, "cli",
+                          "invalid board index or option: " + v);
     }
-  }
+    return core::Status();
+  });
+  if (!parse_or_usage(flags, argc - 2, argv + 2)) return usage();
   if (out_path.empty()) {
     io::write_layout_svg(std::cout, ld.design, layout, opt);
   } else {
@@ -249,55 +264,36 @@ int cmd_svg(int argc, char** argv) {
   return 0;
 }
 
+bool valid_topology(const std::string& s) { return s == "buck" || s == "boost"; }
+
+bool valid_stage(const std::string& s) {
+  return flow::flow_stage_from_name(s).has_value();
+}
+
 int cmd_flow(int argc, char** argv) {
   std::string topology = "buck";
   flow::FlowOptions fopt;
   fopt.sweep.n_points = 60;  // CLI default: quick sweeps
   std::string out_prefix;
   bool resume = false;
-  int i = 0;
-  if (argc >= 1 && argv[0][0] != '-') topology = argv[i++];
-  if (topology != "buck" && topology != "boost") {
-    std::fprintf(stderr, "unknown topology: %s\n", topology.c_str());
-    return usage();
-  }
-  for (; i < argc; ++i) {
-    std::uint64_t v = 0;
-    if (!std::strcmp(argv[i], "--points") && i + 1 < argc) {
-      if (!parse_u64(argv[++i], v) || v < 2 || v > 100000) {
-        std::fprintf(stderr, "invalid --points value: %s\n", argv[i]);
-        return usage();
-      }
-      fopt.sweep.n_points = static_cast<std::size_t>(v);
-    } else if (!std::strcmp(argv[i], "--budget-ms") && i + 1 < argc) {
-      if (!parse_u64(argv[++i], v)) {
-        std::fprintf(stderr, "invalid --budget-ms value: %s\n", argv[i]);
-        return usage();
-      }
-      fopt.total_budget_ms = static_cast<std::int64_t>(v);
-    } else if (!std::strcmp(argv[i], "--stage-budget-ms") && i + 1 < argc) {
-      if (!parse_u64(argv[++i], v)) {
-        std::fprintf(stderr, "invalid --stage-budget-ms value: %s\n", argv[i]);
-        return usage();
-      }
-      fopt.stage_budget_ms = static_cast<std::int64_t>(v);
-    } else if (!std::strcmp(argv[i], "--checkpoint") && i + 1 < argc) {
-      fopt.checkpoint_path = argv[++i];
-    } else if (!std::strcmp(argv[i], "--resume")) {
-      resume = true;
-    } else if (!std::strcmp(argv[i], "--stop-after") && i + 1 < argc) {
-      if (!flow::flow_stage_from_name(argv[++i])) {
-        std::fprintf(stderr, "unknown --stop-after stage: %s\n", argv[i]);
-        return usage();
-      }
-      fopt.stop_after_stage = argv[i];
-    } else if (!std::strcmp(argv[i], "-o") && i + 1 < argc) {
-      out_prefix = argv[++i];
-    } else {
-      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
-      return usage();
+  cli::FlagSet flags;
+  flags.add_size("--points", &fopt.sweep.n_points, 2, 100000);
+  flags.add_ms("--budget-ms", &fopt.total_budget_ms);
+  flags.add_ms("--stage-budget-ms", &fopt.stage_budget_ms);
+  flags.add_string("--checkpoint", &fopt.checkpoint_path);
+  flags.add_switch("--resume", &resume);
+  flags.add_checked("--stop-after", &fopt.stop_after_stage, valid_stage,
+                    "--stop-after stage");
+  flags.add_string("-o", &out_prefix);
+  flags.positional([&](std::size_t idx, const std::string& v) {
+    if (idx > 0 || !valid_topology(v)) {
+      return core::Status(core::ErrorCode::kInvalidArgument, "cli",
+                          "unknown topology: " + v);
     }
-  }
+    topology = v;
+    return core::Status();
+  });
+  if (!parse_or_usage(flags, argc, argv)) return usage();
   if (resume && fopt.checkpoint_path.empty()) {
     std::fprintf(stderr, "--resume requires --checkpoint\n");
     return usage();
@@ -351,6 +347,172 @@ int cmd_flow(int argc, char** argv) {
   return res.complete ? 0 : 1;
 }
 
+// --- serve daemon ----------------------------------------------------------
+
+svc::SocketServer* g_server = nullptr;
+
+void handle_signal(int) {
+  if (g_server != nullptr) g_server->stop();  // atomic store: signal-safe
+}
+
+int cmd_serve(int argc, char** argv) {
+  std::string socket_path;
+  std::string state_dir;
+  svc::ServiceOptions sopt;
+  cli::FlagSet flags;
+  flags.add_string("--socket", &socket_path);
+  flags.add_string("--state-dir", &state_dir);
+  flags.add_size("--executors", &sopt.executors, 1, 64);
+  flags.add_size("--queue-capacity", &sopt.queue_capacity, 1, 65536);
+  if (!parse_or_usage(flags, argc, argv)) return usage();
+  if (socket_path.empty() || state_dir.empty()) {
+    std::fprintf(stderr, "serve requires --socket and --state-dir\n");
+    return usage();
+  }
+  sopt.state_dir = state_dir;
+
+  try {
+    svc::Service service(sopt);
+    svc::SocketServer server(service, socket_path);
+    g_server = &server;
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    std::fprintf(stderr, "emiplace serve: socket %s, state %s, %zu executor(s)\n",
+                 socket_path.c_str(), state_dir.c_str(), sopt.executors);
+    const core::Status st = server.serve();
+    g_server = nullptr;
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.to_string().c_str());
+      return 1;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
+// --- client verbs -----------------------------------------------------------
+
+// One request line against a running serve: connect, send, print the single
+// reply line. Exit 0 on an OK reply, 1 on ERR or a connection failure.
+int client_roundtrip(const std::string& socket_path, const std::string& line) {
+  sockaddr_un addr{};
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "invalid --socket path: %s\n", socket_path.c_str());
+    return usage();
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "socket: %s\n", std::strerror(errno));
+    return 1;
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    std::fprintf(stderr, "connect %s: %s\n", socket_path.c_str(),
+                 std::strerror(errno));
+    ::close(fd);
+    return 1;
+  }
+  const std::string req = line + "\n";
+  std::size_t off = 0;
+  while (off < req.size()) {
+    const ssize_t n = ::send(fd, req.data() + off, req.size() - off, 0);
+    if (n <= 0) {
+      std::fprintf(stderr, "send: %s\n", std::strerror(errno));
+      ::close(fd);
+      return 1;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  std::string reply;
+  char buf[4096];
+  while (reply.find('\n') == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    reply.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t nl = reply.find('\n');
+  if (nl == std::string::npos) {
+    std::fprintf(stderr, "connection closed before reply\n");
+    return 1;
+  }
+  reply.resize(nl);
+  std::printf("%s\n", reply.c_str());
+  return reply.rfind("OK", 0) == 0 ? 0 : 1;
+}
+
+int cmd_submit(int argc, char** argv) {
+  std::string socket_path;
+  std::string topology = "buck";
+  std::string client;
+  std::string stop_after;
+  std::uint64_t points = 0;
+  std::int64_t budget_ms = -1;
+  std::int64_t stage_budget_ms = -1;
+  cli::FlagSet flags;
+  flags.add_string("--socket", &socket_path);
+  flags.add_u64("--points", &points, 2, 100000);
+  flags.add_ms("--budget-ms", &budget_ms);
+  flags.add_ms("--stage-budget-ms", &stage_budget_ms);
+  flags.add_string("--client", &client);
+  flags.add_checked("--stop-after", &stop_after, valid_stage, "--stop-after stage");
+  flags.positional([&](std::size_t idx, const std::string& v) {
+    if (idx > 0 || !valid_topology(v)) {
+      return core::Status(core::ErrorCode::kInvalidArgument, "cli",
+                          "unknown topology: " + v);
+    }
+    topology = v;
+    return core::Status();
+  });
+  if (!parse_or_usage(flags, argc, argv)) return usage();
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "submit requires --socket\n");
+    return usage();
+  }
+  std::string line = "SUBMIT topology=" + topology;
+  if (points != 0) line += " points=" + std::to_string(points);
+  if (budget_ms >= 0) line += " budget_ms=" + std::to_string(budget_ms);
+  if (stage_budget_ms >= 0) {
+    line += " stage_budget_ms=" + std::to_string(stage_budget_ms);
+  }
+  if (!client.empty()) line += " client=" + client;
+  if (!stop_after.empty()) line += " stop_after=" + stop_after;
+  return client_roundtrip(socket_path, line);
+}
+
+// status/result/cancel share the same `--socket S --job N` shape.
+int cmd_job_verb(const char* verb, int argc, char** argv) {
+  std::string socket_path;
+  std::uint64_t job = 0;
+  cli::FlagSet flags;
+  flags.add_string("--socket", &socket_path);
+  flags.add_u64("--job", &job);
+  if (!parse_or_usage(flags, argc, argv)) return usage();
+  bool have_job = false;
+  for (int i = 0; i < argc; ++i) have_job |= !std::strcmp(argv[i], "--job");
+  if (socket_path.empty() || !have_job) {
+    std::fprintf(stderr, "%s requires --socket and --job\n", verb);
+    return usage();
+  }
+  return client_roundtrip(socket_path,
+                          std::string(verb) + " job=" + std::to_string(job));
+}
+
+int cmd_plain_verb(const char* verb, int argc, char** argv) {
+  std::string socket_path;
+  cli::FlagSet flags;
+  flags.add_string("--socket", &socket_path);
+  if (!parse_or_usage(flags, argc, argv)) return usage();
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "%s requires --socket\n", verb);
+    return usage();
+  }
+  return client_roundtrip(socket_path, verb);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -382,6 +544,14 @@ int main(int argc, char** argv) {
     if (cmd == "route") return cmd_route(argc - 2, argv + 2);
     if (cmd == "svg") return cmd_svg(argc - 2, argv + 2);
     if (cmd == "flow") return cmd_flow(argc - 2, argv + 2);
+    if (cmd == "serve") return cmd_serve(argc - 2, argv + 2);
+    if (cmd == "submit") return cmd_submit(argc - 2, argv + 2);
+    if (cmd == "status") return cmd_job_verb("STATUS", argc - 2, argv + 2);
+    if (cmd == "result") return cmd_job_verb("RESULT", argc - 2, argv + 2);
+    if (cmd == "cancel") return cmd_job_verb("CANCEL", argc - 2, argv + 2);
+    if (cmd == "stats") return cmd_plain_verb("STATS", argc - 2, argv + 2);
+    if (cmd == "shutdown") return cmd_plain_verb("SHUTDOWN", argc - 2, argv + 2);
+    if (cmd == "version") return cmd_version();
   } catch (const io::ParseError& e) {
     std::fprintf(stderr, "parse error: %s\n", e.what());
     return 1;

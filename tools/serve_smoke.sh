@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Daemon-level crash safety: `emiplace serve` is SIGKILLed mid-job and must,
+# on restart over the same state dir, resume or re-queue every in-flight job
+# and land on results bit-identical to an uninterrupted run (checked via the
+# recorded result fingerprints).
+#
+# Usage: serve_smoke.sh <emiplace-binary> <work-dir>
+set -u
+
+CLI=$1
+WORK=$2
+SOCK="/tmp/emiplace_smoke_$$.sock"
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+trap 'kill -9 $DAEMON 2>/dev/null; rm -f "$SOCK"' EXIT
+
+fail() { echo "serve_smoke: FAIL: $*" >&2; exit 1; }
+
+start_daemon() { # args: state-dir [extra serve flags...]
+  local dir=$1; shift
+  "$CLI" serve --socket "$SOCK" --state-dir "$dir" "$@" 2>"$WORK/daemon.log" &
+  DAEMON=$!
+  for _ in $(seq 1 200); do
+    if "$CLI" stats --socket "$SOCK" >/dev/null 2>&1; then return 0; fi
+    kill -0 "$DAEMON" 2>/dev/null || fail "daemon died on start: $(cat "$WORK/daemon.log")"
+    sleep 0.05
+  done
+  fail "daemon never started listening"
+}
+
+fingerprint_of() { # arg: one OK reply line; prints the fingerprint field
+  sed -n 's/.*fingerprint=\([0-9a-f]*\).*/\1/p' <<<"$1"
+}
+
+# --- reference: an uninterrupted run's fingerprint --------------------------
+start_daemon "$WORK/ref"
+REF_REPLY=$("$CLI" submit --socket "$SOCK" buck --points 40) \
+  || fail "reference submit: $REF_REPLY"
+REF_REPLY=$("$CLI" result --socket "$SOCK" --job 1) || fail "reference result: $REF_REPLY"
+grep -q "state=done" <<<"$REF_REPLY" || fail "reference job not done: $REF_REPLY"
+REF_FP=$(fingerprint_of "$REF_REPLY")
+[ -n "$REF_FP" ] || fail "no fingerprint in: $REF_REPLY"
+"$CLI" shutdown --socket "$SOCK" >/dev/null || fail "reference shutdown"
+wait "$DAEMON" || fail "reference daemon exited nonzero"
+
+# --- SIGKILL mid-job --------------------------------------------------------
+# Job 1 halts via the deterministic crash-sim hook right after its placement
+# checkpoint, leaving disk exactly as a SIGKILL mid-job would; job 2 proves a
+# queued job behind it survives too. Then the whole daemon is SIGKILLed.
+start_daemon "$WORK/kill"
+"$CLI" submit --socket "$SOCK" buck --points 40 --stop-after placement >/dev/null \
+  || fail "crash-sim submit"
+"$CLI" submit --socket "$SOCK" buck --points 40 >/dev/null || fail "second submit"
+# The single executor runs FIFO: once job 2 is terminal, job 1 has halted.
+"$CLI" result --socket "$SOCK" --job 2 >/dev/null || fail "second job result"
+STATUS1=$("$CLI" status --socket "$SOCK" --job 1) || fail "status 1: $STATUS1"
+grep -q "state=running" <<<"$STATUS1" || fail "job 1 should be mid-job: $STATUS1"
+
+kill -9 "$DAEMON"
+wait "$DAEMON" 2>/dev/null
+# The stale socket file a SIGKILL leaves behind must not block a restart.
+[ -S "$SOCK" ] || fail "expected a stale socket file after SIGKILL"
+
+start_daemon "$WORK/kill"
+STATS=$("$CLI" stats --socket "$SOCK") || fail "stats after restart: $STATS"
+grep -q "recovered=2" <<<"$STATS" || fail "expected recovered=2 in: $STATS"
+
+REPLY1=$("$CLI" result --socket "$SOCK" --job 1) || fail "resumed result: $REPLY1"
+grep -q "state=done complete=1" <<<"$REPLY1" || fail "job 1 not done: $REPLY1"
+[ "$(fingerprint_of "$REPLY1")" = "$REF_FP" ] \
+  || fail "resumed fingerprint differs from uninterrupted run: $REPLY1 vs $REF_FP"
+
+REPLY2=$("$CLI" status --socket "$SOCK" --job 2) || fail "status 2: $REPLY2"
+grep -q "state=done" <<<"$REPLY2" || fail "job 2 lost its terminal state: $REPLY2"
+[ "$(fingerprint_of "$REPLY2")" = "$REF_FP" ] \
+  || fail "job 2 fingerprint differs across daemons: $REPLY2 vs $REF_FP"
+
+# Identical spec submitted to the restarted daemon: still the same bits.
+"$CLI" submit --socket "$SOCK" buck --points 40 >/dev/null || fail "post-restart submit"
+REPLY3=$("$CLI" result --socket "$SOCK" --job 3) || fail "post-restart result"
+[ "$(fingerprint_of "$REPLY3")" = "$REF_FP" ] \
+  || fail "post-restart fingerprint differs: $REPLY3 vs $REF_FP"
+
+"$CLI" shutdown --socket "$SOCK" >/dev/null || fail "final shutdown"
+wait "$DAEMON" || fail "daemon exited nonzero after shutdown"
+
+echo "serve_smoke: OK (fingerprint $REF_FP stable across SIGKILL + restart)"
