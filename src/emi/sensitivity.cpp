@@ -74,8 +74,11 @@ std::vector<GeometricCoupling> rank_geometric_coupling(
   if (n < 2) return {};
 
   // One batched extraction for the whole matrix: self terms on the diagonal,
-  // mutuals off it, deduplicated by canonical relative pose.
-  const std::vector<units::Henry> m = extractor.mutual_matrix(models);
+  // mutuals off it, deduplicated by canonical relative pose. The prescreen
+  // only ranks magnitudes, so it tolerates the clustered error bound; the
+  // clustered entry point is mutual_matrix bit-for-bit unless the
+  // extractor's kernel options opted in.
+  const std::vector<units::Henry> m = extractor.mutual_matrix_clustered(models);
 
   std::vector<GeometricCoupling> out;
   out.reserve(n * (n - 1) / 2);

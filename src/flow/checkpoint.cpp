@@ -177,6 +177,13 @@ std::uint64_t flow_context_digest(const BuckConverter& bc,
      << ' ' << (opt.geometric_prescreen ? 1 : 0) << ' '
      << (opt.coupling_aware_placement ? 1 : 0) << ' ' << dbits(opt.w_coupling)
      << '\n';
+  // Clustered extraction changes computed mutuals, so its configuration
+  // joins the context - but only when enabled, keeping every pre-cluster
+  // checkpoint digest (and the default-options digest) byte-identical.
+  if (opt.kernel.cluster) {
+    ss << "clus " << dbits(opt.kernel.cluster_theta) << ' '
+       << opt.kernel.cluster_leaf_segments << '\n';
+  }
   ss << "sweep " << dbits(opt.sweep.f_min_hz) << ' ' << dbits(opt.sweep.f_max_hz)
      << ' ' << opt.sweep.n_points << '\n';
   ss << "thr " << dbits(opt.sensitivity_threshold_db) << ' ' << dbits(opt.k_threshold)

@@ -415,6 +415,10 @@ FlowResult FlowEngine::finish() {
                          kern1.analytic_pairs - kern0_.analytic_pairs);
   res_.profile.add_count("peec.kernel_far_field_pairs",
                          kern1.far_field_pairs - kern0_.far_field_pairs);
+  res_.profile.add_count("peec.kernel_cluster_pairs",
+                         kern1.cluster_pairs - kern0_.cluster_pairs);
+  res_.profile.add_count("peec.kernel_cluster_skipped",
+                         kern1.cluster_skipped - kern0_.cluster_skipped);
   const core::PoolStats pool1 = core::ThreadPool::global().stats();
   res_.profile.add_count("pool.threads", core::ThreadPool::global_thread_count());
   res_.profile.add_count("pool.batches", pool1.batches - pool0_.batches);

@@ -1,0 +1,144 @@
+#include "src/flow/scenario_large.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/numeric/rng.hpp"
+
+namespace emi::flow {
+
+namespace {
+
+inline std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a(std::uint64_t h, double v) {
+  return fnv1a(h, std::bit_cast<std::uint64_t>(v));
+}
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+
+// ~2% deterministic parameter spread: enough to give every stage a distinct
+// model digest (no cross-stage cache collapse), small enough to keep every
+// stage the same physical scale.
+double spread(num::Rng& rng) { return 1.0 + 0.04 * (rng.uniform() - 0.5); }
+
+}  // namespace
+
+std::size_t LargeScenario::total_segments() const {
+  std::size_t n = 0;
+  for (const peec::ComponentFieldModel& m : models) {
+    n += m.local_path.segments.size();
+  }
+  return n;
+}
+
+LargeScenario make_large_scenario(const LargeScenarioOptions& opt) {
+  if (opt.n_stages == 0) {
+    throw std::invalid_argument("make_large_scenario: zero stages");
+  }
+  // DRC-clean-by-construction bound: the tightest footprint gap in the grid
+  // is cap-to-coil within a stage, 0.45 * pitch - 2 * jitter - 11 (cap half
+  // depth 4 + coil half depth 7), and it must clear the default 0.5
+  // clearance.
+  if (opt.pitch_mm <= 0.0 || opt.jitter_mm < 0.0 ||
+      0.45 * opt.pitch_mm - 2.0 * opt.jitter_mm - 11.0 < 0.5) {
+    throw std::invalid_argument(
+        "make_large_scenario: pitch/jitter violate the DRC margin");
+  }
+  LargeScenario s;
+  const std::size_t cols = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(opt.n_stages))));
+  const std::size_t rows = (opt.n_stages + cols - 1) / cols;
+
+  s.models.reserve(2 * opt.n_stages);
+  s.names.reserve(2 * opt.n_stages);
+  for (std::size_t st = 0; st < opt.n_stages; ++st) {
+    // Independent per-stage stream: stage k's geometry never depends on how
+    // many stages precede it, so capped-N runs are prefixes of larger ones.
+    num::Rng rng(opt.seed ^ (0x9e3779b97f4a7c15ull * (st + 1)));
+    const double x0 = static_cast<double>(st % cols) * opt.pitch_mm;
+    const double y0 = static_cast<double>(st / cols) * opt.pitch_mm;
+
+    peec::XCapacitorParams xp;
+    xp.pin_pitch = units::Millimeters{22.5 * spread(rng)};
+    xp.loop_height = units::Millimeters{10.0 * spread(rng)};
+    const std::string cap_name = "CX" + std::to_string(st);
+    s.models.push_back(peec::x_capacitor(cap_name, xp));
+    s.names.push_back(cap_name);
+    const geom::Vec2 cap_pos{x0 + rng.uniform(-opt.jitter_mm, opt.jitter_mm),
+                             y0 + rng.uniform(-opt.jitter_mm, opt.jitter_mm)};
+
+    peec::BobbinCoilParams bp;
+    bp.radius = units::Millimeters{6.0 * spread(rng)};
+    bp.length = units::Millimeters{12.0 * spread(rng)};
+    const std::string coil_name = "LF" + std::to_string(st);
+    s.models.push_back(peec::bobbin_coil(coil_name, bp));
+    s.names.push_back(coil_name);
+    // The coil sits 0.45 * pitch above the cap; the constructor bound above
+    // keeps the worst-case footprint gap past the 0.5 clearance.
+    const geom::Vec2 coil_pos{x0 + rng.uniform(-opt.jitter_mm, opt.jitter_mm),
+                              y0 + 0.45 * opt.pitch_mm +
+                                  rng.uniform(-opt.jitter_mm, opt.jitter_mm)};
+
+    place::Component cap;
+    cap.name = cap_name;
+    cap.width_mm = 24.0;
+    cap.depth_mm = 8.0;
+    cap.height_mm = 15.0;
+    s.board.add_component(cap);
+    place::Component coil;
+    coil.name = coil_name;
+    coil.width_mm = 14.0;
+    coil.depth_mm = 14.0;
+    coil.height_mm = 14.0;
+    s.board.add_component(coil);
+
+    s.layout.placements.push_back(place::Placement{cap_pos, 0.0, 0, true});
+    s.layout.placements.push_back(place::Placement{coil_pos, 0.0, 0, true});
+    s.placed.push_back(
+        peec::PlacedModel{&s.models[s.models.size() - 2],
+                          peec::Pose{{cap_pos.x, cap_pos.y, 0.0}, 0.0}});
+    s.placed.push_back(
+        peec::PlacedModel{&s.models.back(),
+                          peec::Pose{{coil_pos.x, coil_pos.y, 0.0}, 0.0}});
+  }
+
+  // One covering placement area: the grid plus a full-pitch margin, so every
+  // jittered footprint lands strictly inside and the scenario is DRC-clean
+  // by construction.
+  const double min_x = -opt.pitch_mm;
+  const double max_x = static_cast<double>(cols) * opt.pitch_mm;
+  const double min_y = -opt.pitch_mm;
+  const double max_y = static_cast<double>(rows) * opt.pitch_mm;
+  s.board.add_area(place::Area{
+      "grid", 0,
+      geom::Polygon::rectangle(geom::Rect::from_center(
+          geom::Vec2{0.5 * (min_x + max_x), 0.5 * (min_y + max_y)},
+          max_x - min_x, max_y - min_y))});
+  return s;
+}
+
+std::uint64_t layout_fingerprint(const LargeScenario& s) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv1a(h, static_cast<std::uint64_t>(s.layout.placements.size()));
+  for (const place::Placement& p : s.layout.placements) {
+    h = fnv1a(h, p.position.x);
+    h = fnv1a(h, p.position.y);
+    h = fnv1a(h, p.rot_deg);
+    h = fnv1a(h, static_cast<std::uint64_t>(p.board));
+    h = fnv1a(h, static_cast<std::uint64_t>(p.placed ? 1 : 0));
+  }
+  for (const peec::ComponentFieldModel& m : s.models) {
+    h = fnv1a(h, peec::model_digest(m));
+  }
+  return h;
+}
+
+}  // namespace emi::flow

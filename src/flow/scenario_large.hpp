@@ -1,0 +1,61 @@
+// Synthetic large-scale scenario: a grid of N identical-topology EMI filter
+// stages (X capacitor + filter coil each), scaled into the thousands of
+// segments. This is the workload that demonstrates - and then knocks down -
+// the quadratic pairwise-extraction wall: the bench_peec_scaling curve and
+// the `ctest -L large` battery both run on it.
+//
+// Fully deterministic: one seed fixes every placement jitter and every
+// per-stage model-parameter perturbation (the perturbations keep stage
+// digests distinct, so extraction cannot collapse the grid into one cached
+// pair and the measured scaling stays honest). Same options, same layout
+// fingerprint, bit for bit - asserted by the scenario_large battery.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/peec/component_model.hpp"
+#include "src/peec/coupling.hpp"
+#include "src/place/design.hpp"
+
+namespace emi::flow {
+
+struct LargeScenarioOptions {
+  std::size_t n_stages = 16;  // ~65 segments per stage (coil 60 + cap loop)
+  std::uint64_t seed = 1;
+  double pitch_mm = 40.0;   // stage grid pitch; generous DRC margins
+  double jitter_mm = 3.0;   // per-stage deterministic placement jitter
+};
+
+// The generated scenario. `placed` points into `models`; both vectors are
+// heap-backed so moving a LargeScenario keeps the pointers valid, but
+// copying would not - hence copies are deleted.
+struct LargeScenario {
+  place::Design board;
+  place::Layout layout;  // parallel to board.components(), all placed
+  std::vector<std::string> names;  // parallel to models/placed
+  std::vector<peec::ComponentFieldModel> models;
+  std::vector<peec::PlacedModel> placed;
+
+  LargeScenario() = default;
+  LargeScenario(const LargeScenario&) = delete;
+  LargeScenario& operator=(const LargeScenario&) = delete;
+  LargeScenario(LargeScenario&&) = default;
+  LargeScenario& operator=(LargeScenario&&) = default;
+
+  std::size_t total_segments() const;
+};
+
+// Builds the n_stages x 2 component grid. Throws std::invalid_argument for
+// zero stages or a jitter that could violate the grid's DRC margins
+// (jitter_mm > pitch_mm / 8).
+LargeScenario make_large_scenario(const LargeScenarioOptions& opt = {});
+
+// Order-sensitive FNV-1a digest over every placement (position, rotation,
+// board, placed flag) and every model's content digest: the determinism
+// witness the battery compares across rebuilds.
+std::uint64_t layout_fingerprint(const LargeScenario& s);
+
+}  // namespace emi::flow

@@ -44,8 +44,9 @@ struct MutualCacheKey {
   std::uint64_t tx = 0, ty = 0, tz = 0;  // bit patterns, canonical translation
   std::uint64_t rot = 0;         // bit pattern of the relative rotation (deg)
   std::uint64_t quad = 0;        // quadrature order/subdivisions
-  std::uint64_t kern = 0;        // fast-path gate flags (bit0 analytic, bit1 far)
-  std::uint64_t kern_ratio = 0;  // bit pattern of far_field_ratio
+  std::uint64_t kern = 0;  // gate flags (bit0 analytic, bit1 far, bit2 cluster)
+  std::uint64_t kern_ratio = 0;    // bit pattern of far_field_ratio
+  std::uint64_t kern_cluster = 0;  // cluster theta/leaf digest, 0 when off
   bool operator==(const MutualCacheKey&) const = default;
 };
 

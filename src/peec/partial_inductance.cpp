@@ -17,6 +17,8 @@ std::atomic<std::uint64_t> g_sample_evals{0};
 std::atomic<std::uint64_t> g_exact_pairs{0};
 std::atomic<std::uint64_t> g_analytic_pairs{0};
 std::atomic<std::uint64_t> g_far_field_pairs{0};
+std::atomic<std::uint64_t> g_cluster_pairs{0};
+std::atomic<std::uint64_t> g_cluster_skipped{0};
 
 }  // namespace
 
@@ -41,6 +43,11 @@ void tally_pairs(std::uint64_t exact_pairs, std::uint64_t sample_evals,
   if (far_field_pairs != 0) g_far_field_pairs.fetch_add(far_field_pairs, std::memory_order_relaxed);
 }
 
+void tally_cluster(std::uint64_t cluster_pairs, std::uint64_t cluster_skipped) {
+  if (cluster_pairs != 0) g_cluster_pairs.fetch_add(cluster_pairs, std::memory_order_relaxed);
+  if (cluster_skipped != 0) g_cluster_skipped.fetch_add(cluster_skipped, std::memory_order_relaxed);
+}
+
 }  // namespace detail
 
 KernelStats kernel_stats() {
@@ -49,6 +56,8 @@ KernelStats kernel_stats() {
   s.exact_pairs = g_exact_pairs.load(std::memory_order_relaxed);
   s.analytic_pairs = g_analytic_pairs.load(std::memory_order_relaxed);
   s.far_field_pairs = g_far_field_pairs.load(std::memory_order_relaxed);
+  s.cluster_pairs = g_cluster_pairs.load(std::memory_order_relaxed);
+  s.cluster_skipped = g_cluster_skipped.load(std::memory_order_relaxed);
   return s;
 }
 

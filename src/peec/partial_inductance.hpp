@@ -50,6 +50,14 @@ struct QuadratureOptions {
 //     better than 1e-8 once the offset reaches the segment length.
 //   * far_field: midpoint approximation, relative error O((l/R)^2), below
 //     1.5 / far_field_ratio^2 (2% at the default ratio 8).
+//   * cluster: hierarchical group-level generalization of far_field
+//     (cluster_tree.hpp). Well-separated *clusters* of segments interact
+//     through aggregated dipole moments; the absolute error of one admitted
+//     cluster interaction is bounded by
+//       mu0/(4pi) * L_A * L_B / R * C(theta),
+//     with L the clusters' summed |weight|*length, R the center separation
+//     and C(theta) = 1/(theta-1) + 12/(theta-1)^2 (derivation in DESIGN.md
+//     paragraph 12; verified by the peec_cluster_tree battery).
 struct KernelOptions {
   // Closed-form parallel-filament solution (mutual_parallel_offset) for
   // (near-)parallel segment pairs whose lateral separation is at least a
@@ -59,6 +67,14 @@ struct KernelOptions {
   // separation R exceeds far_field_ratio * max(l1, l2).
   bool far_field = false;
   double far_field_ratio = 8.0;
+  // Barnes-Hut style clustered extraction: segment cluster pairs whose
+  // center separation R satisfies R >= cluster_theta * (radius_a + radius_b)
+  // are served by one aggregated-moment evaluation; everything else falls
+  // back to the exact pair kernel. Requires cluster_theta >= 2 (the error
+  // bound above diverges as theta -> 1).
+  bool cluster = false;
+  double cluster_theta = 4.0;
+  std::size_t cluster_leaf_segments = 4;  // max segments per tree leaf
 };
 
 // Process-wide monotone kernel counters (relaxed atomics, PoolStats-style):
@@ -70,6 +86,11 @@ struct KernelStats {
   std::uint64_t exact_pairs = 0;
   std::uint64_t analytic_pairs = 0;
   std::uint64_t far_field_pairs = 0;
+  // Clustered extraction: `cluster_pairs` counts admitted cluster-moment
+  // interactions, `cluster_skipped` the segment pairs those interactions
+  // covered (each would otherwise have cost one exact pair integral).
+  std::uint64_t cluster_pairs = 0;
+  std::uint64_t cluster_skipped = 0;
 };
 KernelStats kernel_stats();
 
@@ -82,6 +103,8 @@ void tally_far_field_pair();
 // over a whole segment row and published with one atomic add per counter.
 void tally_pairs(std::uint64_t exact_pairs, std::uint64_t sample_evals,
                  std::uint64_t analytic_pairs, std::uint64_t far_field_pairs);
+// Bulk form used by the clustered dual traversal (cluster_tree.cpp).
+void tally_cluster(std::uint64_t cluster_pairs, std::uint64_t cluster_skipped);
 }  // namespace detail
 
 // Partial self inductance of a straight round wire of length l and radius r

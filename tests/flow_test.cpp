@@ -177,6 +177,27 @@ TEST(DesignFlow, SurfacesKernelCountersInProfile) {
   EXPECT_GT(res.profile.count("peec.kernel_exact_pairs"), 0u);
   EXPECT_EQ(res.profile.count("peec.kernel_analytic_pairs"), 0u);
   EXPECT_EQ(res.profile.count("peec.kernel_far_field_pairs"), 0u);
+  // Clustered extraction is opt-in; a default run must surface its counters
+  // as zero (the bit-identity guard for exact-by-default extraction).
+  EXPECT_EQ(res.profile.count("peec.kernel_cluster_pairs"), 0u);
+  EXPECT_EQ(res.profile.count("peec.kernel_cluster_skipped"), 0u);
+}
+
+TEST(DesignFlow, ClusteredKernelOptInCompletesAndSurfacesCounters) {
+  // Same flow with hierarchical clustering enabled at a permissive theta:
+  // the run must complete and the FlowResult profile must carry the cluster
+  // counter deltas (nonzero whenever any model pair was far enough apart to
+  // admit - the unfavorable layout spreads components across the board).
+  BuckConverter bc = make_buck_converter();
+  FlowOptions opt;
+  opt.sweep.n_points = 30;
+  opt.kernel.cluster = true;
+  opt.kernel.cluster_theta = 2.5;
+  opt.geometric_prescreen = true;
+  const FlowResult res = run_design_flow(bc, layout_unfavorable(bc), opt);
+  EXPECT_TRUE(res.complete);
+  EXPECT_GT(res.profile.count("peec.kernel_cluster_pairs"), 0u);
+  EXPECT_GT(res.profile.count("peec.kernel_cluster_skipped"), 0u);
 }
 
 TEST(DesignFlow, FastPathAndBatchedOptInsCompleteAndStayClose) {

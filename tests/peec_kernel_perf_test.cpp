@@ -7,6 +7,7 @@
 
 #include <cmath>
 
+#include "src/peec/cluster_tree.hpp"
 #include "src/peec/component_model.hpp"
 #include "src/peec/partial_inductance.hpp"
 #include "src/peec/sampled_path.hpp"
@@ -21,7 +22,9 @@ struct KernelDelta {
     return {now.sample_evals - before.sample_evals,
             now.exact_pairs - before.exact_pairs,
             now.analytic_pairs - before.analytic_pairs,
-            now.far_field_pairs - before.far_field_pairs};
+            now.far_field_pairs - before.far_field_pairs,
+            now.cluster_pairs - before.cluster_pairs,
+            now.cluster_skipped - before.cluster_skipped};
   }
 };
 
@@ -73,6 +76,53 @@ TEST(KernelPerfSmoke, FastPathsAgreeAndSkipEvaluations) {
   EXPECT_GT(fast_stats.analytic_pairs + fast_stats.far_field_pairs, 0u);
   EXPECT_LT(fast_stats.sample_evals, exact_stats.sample_evals);
   EXPECT_LT(fast_stats.exact_pairs, exact_stats.exact_pairs);
+}
+
+TEST(KernelPerfSmoke, ClusteredExtractionPopulatesCountersAndCutsWork) {
+  // Two coils far apart: the root cluster pair is admitted outright, so the
+  // clustered run must tally cluster traffic, skip (nearly) every exact
+  // pair integral, and stay inside the documented theta bound.
+  const ComponentFieldModel ma = bobbin_coil("A");
+  const ComponentFieldModel mb = bobbin_coil("B");
+  const SegmentPath pa = ma.path_at({});
+  const SegmentPath pb = mb.path_at(Pose{{150.0, 10.0, 0.0}, 0.0});
+  const QuadratureOptions q{4, 2};
+
+  KernelDelta exact_delta;
+  const double exact = path_mutual(pa, pb, q);
+  const KernelStats exact_stats = exact_delta.sample();
+
+  KernelOptions copt;
+  copt.cluster = true;
+  copt.cluster_theta = 4.0;
+  KernelDelta clus_delta;
+  const ClusteredMutual clus = path_mutual_clustered_stats(pa, pb, q, copt);
+  const KernelStats clus_stats = clus_delta.sample();
+
+  // The KernelStats plumbing is what FlowResult profile counters surface;
+  // both cluster counters must be populated by a clustered run.
+  EXPECT_GT(clus_stats.cluster_pairs, 0u);
+  EXPECT_GT(clus_stats.cluster_skipped, 0u);
+  EXPECT_EQ(clus_stats.cluster_pairs, clus.cluster_pairs);
+  EXPECT_EQ(clus_stats.cluster_skipped, clus.cluster_skipped);
+  // Every covered pair is an exact integral not performed. Covered pairs
+  // include the orthogonal ones the exact kernel would have skipped without
+  // tallying, so the sum brackets between the baseline exact count and the
+  // full double-sum pair count.
+  EXPECT_GE(clus_stats.exact_pairs + clus_stats.cluster_skipped,
+            exact_stats.exact_pairs);
+  EXPECT_LE(clus_stats.exact_pairs + clus_stats.cluster_skipped,
+            static_cast<std::uint64_t>(pa.segments.size()) *
+                pb.segments.size());
+  EXPECT_LT(clus_stats.sample_evals, exact_stats.sample_evals);
+  EXPECT_LE(std::fabs(clus.value - exact), clus.error_bound);
+
+  // An exact-by-default run never touches the cluster counters.
+  KernelDelta default_delta;
+  path_mutual(pa, pb, q);
+  const KernelStats default_stats = default_delta.sample();
+  EXPECT_EQ(default_stats.cluster_pairs, 0u);
+  EXPECT_EQ(default_stats.cluster_skipped, 0u);
 }
 
 }  // namespace

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -78,6 +80,108 @@ TEST(ExtractionCacheTiers, BatchLookupMixesTiers) {
   EXPECT_TRUE(found[1]);
   EXPECT_EQ(out[1], 2.0);
   EXPECT_FALSE(found[2]);
+}
+
+// Session-tier publish-to-root racing the root's evict-oldest-half ring:
+// several session tiers push disjoint key ranges far past kMutualCap (every
+// store publishes to the shared root, so the root evicts repeatedly) while
+// readers hammer single and batched lookups. Values are pure functions of
+// their keys, so the only legal outcomes are "absent" or "exact stored
+// bits" - and the whole storm must be TSan-clean (the gap PR 6 left open).
+TEST(ExtractionCacheTiers, PublishToRootRacesEvictOldestHalf) {
+  auto global = std::make_shared<ExtractionCache>();
+  constexpr std::uint64_t kPerWriter = ExtractionCache::kMutualCap +
+                                       ExtractionCache::kMutualCap / 2;
+  constexpr int kWriters = 2;
+  const auto value_of = [](std::uint64_t seed) {
+    return 0.25 + 1e-9 * static_cast<double>(seed);
+  };
+  const auto writer_key = [&](int w, std::uint64_t i) {
+    return key_of((static_cast<std::uint64_t>(w + 1) << 40) | i);
+  };
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      ExtractionCache session(global);
+      // Alternate single stores and batched stores so both publish paths
+      // race the eviction ring.
+      std::vector<MutualCacheKey> keys;
+      std::vector<double> vals;
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        const MutualCacheKey k = writer_key(w, i);
+        if (i % 3 == 0) {
+          session.store_mutual(k, value_of(k.digest_lo));
+        } else {
+          keys.push_back(k);
+          vals.push_back(value_of(k.digest_lo));
+          if (keys.size() == 64) {
+            session.store_mutual_batch(keys, vals);
+            keys.clear();
+            vals.clear();
+          }
+        }
+      }
+      if (!keys.empty()) session.store_mutual_batch(keys, vals);
+    });
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> served{0};
+  threads.emplace_back([&] {
+    // Reader: single probes through a session tier plus batched probes on
+    // the root, across both writers' ranges, while eviction churns.
+    ExtractionCache session(global);
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const MutualCacheKey k = writer_key(static_cast<int>(i % kWriters),
+                                          (i * 977) % kPerWriter);
+      if (const std::optional<double> v = session.lookup_mutual(k)) {
+        EXPECT_EQ(*v, value_of(k.digest_lo));
+        served.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::array<MutualCacheKey, 8> bk;
+      std::array<double, 8> bv{};
+      std::array<char, 8> bf{};
+      for (std::size_t j = 0; j < bk.size(); ++j) {
+        bk[j] = writer_key(static_cast<int>(j % kWriters),
+                           (i + j * 131) % kPerWriter);
+      }
+      global->lookup_mutual_batch(bk, bv, bf);
+      for (std::size_t j = 0; j < bk.size(); ++j) {
+        if (bf[j]) {
+          EXPECT_EQ(bv[j], value_of(bk[j].digest_lo));
+          served.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      ++i;
+    }
+  });
+  for (int w = 0; w < kWriters; ++w) threads[static_cast<std::size_t>(w)].join();
+  stop.store(true, std::memory_order_relaxed);
+  threads.back().join();
+
+  // The reader raced real traffic (the tail of each writer's range outlives
+  // eviction, so probes do land).
+  EXPECT_GT(served.load(), 0u);
+  // The storm leaves the root fully functional: a fresh key round-trips,
+  // and whatever survived the eviction churn still carries exact bits (a
+  // writer's tail can legitimately be evicted by the *other* writer's later
+  // stores, so presence is not asserted - purity is).
+  global->store_mutual(key_of(0xdeadull), 9.5);
+  EXPECT_EQ(global->lookup_mutual(key_of(0xdeadull)), 9.5);
+  std::uint64_t resident = 0;
+  for (int w = 0; w < kWriters; ++w) {
+    for (std::uint64_t i = kPerWriter - 64; i < kPerWriter; ++i) {
+      const MutualCacheKey k = writer_key(w, i);
+      if (const std::optional<double> v = global->lookup_mutual(k)) {
+        EXPECT_EQ(*v, value_of(k.digest_lo));
+        ++resident;
+      }
+    }
+  }
+  // Both ranges together exceed capacity only 3:2, so the newest tails
+  // cannot all have been evicted.
+  EXPECT_GT(resident, 0u);
 }
 
 TEST(SessionManager, SessionsAreStableAndShareOneGlobal) {
