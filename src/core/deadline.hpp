@@ -118,7 +118,7 @@ class CancelScope {
 
   // kDeadlineExceeded / kCancelled Status for the latched reason; kOk
   // (default Status) when still running.
-  Status stop_status(std::string_view stage) const;
+  [[nodiscard]] Status stop_status(std::string_view stage) const;
 
   // Stage epilogue: raises the stop as a StatusError so the stage's retry
   // driver can discard the (possibly sentinel-filled) results. No-op while

@@ -11,10 +11,11 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "src/core/thread_annotations.hpp"
 
 namespace emi::core {
 
@@ -40,9 +41,9 @@ class Profile {
   std::uint64_t count(std::string_view name) const;  // 0 if absent
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, double, std::less<>> seconds_;
-  std::map<std::string, std::uint64_t, std::less<>> counts_;
+  mutable Mutex mu_;
+  std::map<std::string, double, std::less<>> seconds_ EMI_GUARDED_BY(mu_);
+  std::map<std::string, std::uint64_t, std::less<>> counts_ EMI_GUARDED_BY(mu_);
 };
 
 // Adds the elapsed wall time to `profile` under `name` on destruction.

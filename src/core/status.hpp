@@ -53,7 +53,11 @@ inline const char* error_code_name(ErrorCode c) {
 class Status;
 class StatusError;
 
-class Status {
+// [[nodiscard]] at class level: *every* function returning a Status (or a
+// Result) by value is implicitly must-use - a discarded return is a
+// swallowed error. Deliberate discards must be spelled `(void)` with a
+// reason comment.
+class [[nodiscard]] Status {
  public:
   Status() = default;  // OK
   Status(ErrorCode code, std::string stage, std::string message)
@@ -118,7 +122,7 @@ inline void Status::raise() const {
 // A T or an error Status. The error constructor is implicit so functions can
 // `return status;` / `return value;` symmetrically.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}
   Result(Status status) : status_(std::move(status)) {

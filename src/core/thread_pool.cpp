@@ -35,7 +35,7 @@ ThreadPool::ThreadPool(std::size_t n_threads) : lanes_(n_threads + 1) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -67,7 +67,7 @@ void ThreadPool::execute(const Chunk& c) {
   (*c.fn)(c.index);
   g_stats.chunks.fetch_add(1, std::memory_order_relaxed);
   Batch* b = c.batch;
-  std::lock_guard<std::mutex> lock(b->mu);
+  MutexLock lock(b->mu);
   if (--b->remaining == 0) b->done.notify_all();
 }
 
@@ -77,9 +77,14 @@ void ThreadPool::worker_main(std::size_t lane) {
     Chunk c{};
     bool stolen = false;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return stop_ || try_pop(lane, c, stolen); });
-      if (stop_ && c.fn == nullptr) return;
+      // Manual wait loop (not the predicate overload) so the thread-safety
+      // analysis sees stop_ and try_pop run with mu_ held.
+      MutexLock lock(mu_);
+      for (;;) {
+        if (stop_) return;
+        if (try_pop(lane, c, stolen)) break;
+        work_cv_.wait(lock.native());
+      }
     }
     if (stolen) g_stats.steals.fetch_add(1, std::memory_order_relaxed);
     execute(c);
@@ -109,9 +114,12 @@ void ThreadPool::run_chunks(std::size_t n_chunks,
   }
 
   Batch batch;
-  batch.remaining = n_chunks;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(batch.mu);
+    batch.remaining = n_chunks;
+  }
+  {
+    MutexLock lock(mu_);
     // Deal chunks round-robin across all lanes, submitter lane included.
     for (std::size_t i = 0; i < n_chunks; ++i) {
       lanes_[i % lanes_.size()].queue.push_back(Chunk{&fn, i, &batch});
@@ -125,15 +133,15 @@ void ThreadPool::run_chunks(std::size_t n_chunks,
     Chunk c{};
     bool stolen = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (!try_pop(0, c, stolen)) break;
     }
     if (stolen) g_stats.steals.fetch_add(1, std::memory_order_relaxed);
     execute(c);
   }
   {
-    std::unique_lock<std::mutex> lock(batch.mu);
-    batch.done.wait(lock, [&] { return batch.remaining == 0; });
+    MutexLock lock(batch.mu);
+    while (batch.remaining != 0) batch.done.wait(lock.native());
   }
   g_stats.batches.fetch_add(1, std::memory_order_relaxed);
 }
@@ -154,8 +162,8 @@ ScopedSerialFallback::ScopedSerialFallback() { ++tls_serial_depth; }
 ScopedSerialFallback::~ScopedSerialFallback() { --tls_serial_depth; }
 
 namespace {
-std::mutex g_global_mu;
-std::unique_ptr<ThreadPool> g_global_pool;
+Mutex g_global_mu;
+std::unique_ptr<ThreadPool> g_global_pool EMI_GUARDED_BY(g_global_mu);
 }  // namespace
 
 std::size_t ThreadPool::default_thread_count() {
@@ -168,7 +176,7 @@ std::size_t ThreadPool::default_thread_count() {
 }
 
 ThreadPool& ThreadPool::global() {
-  std::lock_guard<std::mutex> lock(g_global_mu);
+  MutexLock lock(g_global_mu);
   if (!g_global_pool) {
     g_global_pool = std::make_unique<ThreadPool>(default_thread_count() - 1);
   }
@@ -177,7 +185,7 @@ ThreadPool& ThreadPool::global() {
 
 void ThreadPool::set_global_thread_count(std::size_t n_lanes) {
   if (n_lanes == 0) n_lanes = 1;
-  std::lock_guard<std::mutex> lock(g_global_mu);
+  MutexLock lock(g_global_mu);
   g_global_pool = std::make_unique<ThreadPool>(n_lanes - 1);
 }
 

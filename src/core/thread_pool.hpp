@@ -22,9 +22,10 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/core/thread_annotations.hpp"
 
 namespace emi::core {
 
@@ -79,9 +80,9 @@ class ThreadPool {
 
  private:
   struct Batch {
-    std::mutex mu;
+    Mutex mu;
     std::condition_variable done;
-    std::size_t remaining = 0;
+    std::size_t remaining EMI_GUARDED_BY(mu) = 0;
   };
   struct Chunk {
     const std::function<void(std::size_t)>* fn;
@@ -93,15 +94,15 @@ class ThreadPool {
   };
 
   void worker_main(std::size_t lane);
-  bool try_pop(std::size_t lane, Chunk& out, bool& stolen);
+  bool try_pop(std::size_t lane, Chunk& out, bool& stolen) EMI_REQUIRES(mu_);
   void execute(const Chunk& c);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::condition_variable work_cv_;
-  std::vector<Lane> lanes_;  // lane 0 = submitter, 1.. = workers
+  // Lane deques and the stop flag share the one coarse pool lock.
+  std::vector<Lane> lanes_ EMI_GUARDED_BY(mu_);  // lane 0 = submitter
   std::vector<std::thread> workers_;
-  bool stop_ = false;
-  PoolStats stats_;
+  bool stop_ EMI_GUARDED_BY(mu_) = false;
 };
 
 // Degradation lever for the robustness layer: while alive, every batch this

@@ -38,7 +38,11 @@ const peec::ComponentFieldModel* BuckConverter::model_for_component(
 std::vector<std::pair<std::string, std::string>>
 BuckConverter::inductor_component_pairs() const {
   std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(inductor_model.size());
   for (const auto& [l, mi] : inductor_model) out.emplace_back(l, models[mi].name);
+  // Hash-map iteration order is a library detail; sort so the pair list is
+  // identical on every platform (det_lint: unordered iteration feeds output).
+  std::sort(out.begin(), out.end());
   return out;
 }
 

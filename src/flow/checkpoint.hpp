@@ -93,12 +93,12 @@ std::string serialize_checkpoint(const FlowCheckpoint& ck);
 // tears files on purpose.
 std::uint64_t result_fingerprint(const FlowResult& r);
 // Validate + parse; kParseError ("line N: ...") on any corruption.
-core::Result<FlowCheckpoint> parse_checkpoint(const std::string& text);
+[[nodiscard]] core::Result<FlowCheckpoint> parse_checkpoint(const std::string& text);
 
 // Atomic write via io::AtomicFileWriter. The `ckpt` fault site tears the
 // payload (truncates it before the commit) to simulate a crash mid-write of
 // a non-atomic writer; the checksum is what catches it on load.
-core::Status save_checkpoint_file(const std::string& path, const FlowCheckpoint& ck);
-core::Result<FlowCheckpoint> load_checkpoint_file(const std::string& path);
+[[nodiscard]] core::Status save_checkpoint_file(const std::string& path, const FlowCheckpoint& ck);
+[[nodiscard]] core::Result<FlowCheckpoint> load_checkpoint_file(const std::string& path);
 
 }  // namespace emi::flow

@@ -46,9 +46,12 @@ LargeScenario make_large_scenario(const LargeScenarioOptions& opt) {
   // DRC-clean-by-construction bound: the tightest footprint gap in the grid
   // is cap-to-coil within a stage, 0.45 * pitch - 2 * jitter - 11 (cap half
   // depth 4 + coil half depth 7), and it must clear the default 0.5
-  // clearance.
-  if (opt.pitch_mm <= 0.0 || opt.jitter_mm < 0.0 ||
-      0.45 * opt.pitch_mm - 2.0 * opt.jitter_mm - 11.0 < 0.5) {
+  // clearance. Geometry below is raw mm (geom:: kernels); the strong types
+  // stop only at the option boundary.
+  const double pitch = opt.pitch.raw();
+  const double jitter = opt.jitter.raw();
+  if (pitch <= 0.0 || jitter < 0.0 ||
+      0.45 * pitch - 2.0 * jitter - 11.0 < 0.5) {
     throw std::invalid_argument(
         "make_large_scenario: pitch/jitter violate the DRC margin");
   }
@@ -63,8 +66,8 @@ LargeScenario make_large_scenario(const LargeScenarioOptions& opt) {
     // Independent per-stage stream: stage k's geometry never depends on how
     // many stages precede it, so capped-N runs are prefixes of larger ones.
     num::Rng rng(opt.seed ^ (0x9e3779b97f4a7c15ull * (st + 1)));
-    const double x0 = static_cast<double>(st % cols) * opt.pitch_mm;
-    const double y0 = static_cast<double>(st / cols) * opt.pitch_mm;
+    const double x0 = static_cast<double>(st % cols) * pitch;
+    const double y0 = static_cast<double>(st / cols) * pitch;
 
     peec::XCapacitorParams xp;
     xp.pin_pitch = units::Millimeters{22.5 * spread(rng)};
@@ -72,8 +75,8 @@ LargeScenario make_large_scenario(const LargeScenarioOptions& opt) {
     const std::string cap_name = "CX" + std::to_string(st);
     s.models.push_back(peec::x_capacitor(cap_name, xp));
     s.names.push_back(cap_name);
-    const geom::Vec2 cap_pos{x0 + rng.uniform(-opt.jitter_mm, opt.jitter_mm),
-                             y0 + rng.uniform(-opt.jitter_mm, opt.jitter_mm)};
+    const geom::Vec2 cap_pos{x0 + rng.uniform(-jitter, jitter),
+                             y0 + rng.uniform(-jitter, jitter)};
 
     peec::BobbinCoilParams bp;
     bp.radius = units::Millimeters{6.0 * spread(rng)};
@@ -83,9 +86,9 @@ LargeScenario make_large_scenario(const LargeScenarioOptions& opt) {
     s.names.push_back(coil_name);
     // The coil sits 0.45 * pitch above the cap; the constructor bound above
     // keeps the worst-case footprint gap past the 0.5 clearance.
-    const geom::Vec2 coil_pos{x0 + rng.uniform(-opt.jitter_mm, opt.jitter_mm),
-                              y0 + 0.45 * opt.pitch_mm +
-                                  rng.uniform(-opt.jitter_mm, opt.jitter_mm)};
+    const geom::Vec2 coil_pos{x0 + rng.uniform(-jitter, jitter),
+                              y0 + 0.45 * pitch +
+                                  rng.uniform(-jitter, jitter)};
 
     place::Component cap;
     cap.name = cap_name;
@@ -113,10 +116,10 @@ LargeScenario make_large_scenario(const LargeScenarioOptions& opt) {
   // One covering placement area: the grid plus a full-pitch margin, so every
   // jittered footprint lands strictly inside and the scenario is DRC-clean
   // by construction.
-  const double min_x = -opt.pitch_mm;
-  const double max_x = static_cast<double>(cols) * opt.pitch_mm;
-  const double min_y = -opt.pitch_mm;
-  const double max_y = static_cast<double>(rows) * opt.pitch_mm;
+  const double min_x = -pitch;
+  const double max_x = static_cast<double>(cols) * pitch;
+  const double min_y = -pitch;
+  const double max_y = static_cast<double>(rows) * pitch;
   s.board.add_area(place::Area{
       "grid", 0,
       geom::Polygon::rectangle(geom::Rect::from_center(

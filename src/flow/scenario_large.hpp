@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/units.hpp"
 #include "src/peec/component_model.hpp"
 #include "src/peec/coupling.hpp"
 #include "src/place/design.hpp"
@@ -25,8 +26,8 @@ namespace emi::flow {
 struct LargeScenarioOptions {
   std::size_t n_stages = 16;  // ~65 segments per stage (coil 60 + cap loop)
   std::uint64_t seed = 1;
-  double pitch_mm = 40.0;   // stage grid pitch; generous DRC margins
-  double jitter_mm = 3.0;   // per-stage deterministic placement jitter
+  units::Millimeters pitch{40.0};   // stage grid pitch; generous DRC margins
+  units::Millimeters jitter{3.0};   // per-stage deterministic placement jitter
 };
 
 // The generated scenario. `placed` points into `models`; both vectors are
@@ -50,7 +51,7 @@ struct LargeScenario {
 
 // Builds the n_stages x 2 component grid. Throws std::invalid_argument for
 // zero stages or a jitter that could violate the grid's DRC margins
-// (jitter_mm > pitch_mm / 8).
+// (jitter > pitch / 8).
 LargeScenario make_large_scenario(const LargeScenarioOptions& opt = {});
 
 // Order-sensitive FNV-1a digest over every placement (position, rotation,

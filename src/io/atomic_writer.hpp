@@ -41,13 +41,13 @@ class AtomicFileWriter {
   // Publish the buffered payload atomically. Returns kIoError (with errno
   // text) on any failure and removes the tmp file; the destination is left
   // exactly as it was. A second commit is a kFailedPrecondition.
-  core::Status commit();
+  [[nodiscard]] core::Status commit();
 
   // Testing/fault hook: commit exactly `content`, bypassing the buffer.
   // The flow checkpoint's torn-write injection truncates its payload and
   // hands it here, simulating a crash mid-write *without* the atomic
   // protocol (the whole point is that resume must still reject it).
-  core::Status commit_content(const std::string& content);
+  [[nodiscard]] core::Status commit_content(const std::string& content);
 
  private:
   std::string path_;
@@ -56,7 +56,7 @@ class AtomicFileWriter {
 };
 
 // One-shot convenience: fill(out) into a buffer, then commit atomically.
-core::Status write_file_atomic(const std::string& path,
+[[nodiscard]] core::Status write_file_atomic(const std::string& path,
                                const std::function<void(std::ostream&)>& fill);
 
 }  // namespace emi::io

@@ -48,9 +48,9 @@ LoadedDesign load_design_file(const std::string& path);
 // a kParseError Status whose message carries the line number (kIoError for
 // unreadable files). Nothing escapes as a bare std::invalid_argument from
 // the stod/stoi helpers.
-core::Result<LoadedDesign> try_load_design(std::istream& in);
-core::Result<LoadedDesign> try_load_design_file(const std::string& path);
-core::Result<place::Layout> try_load_layout(std::istream& in, const place::Design& d);
+[[nodiscard]] core::Result<LoadedDesign> try_load_design(std::istream& in);
+[[nodiscard]] core::Result<LoadedDesign> try_load_design_file(const std::string& path);
+[[nodiscard]] core::Result<place::Layout> try_load_layout(std::istream& in, const place::Design& d);
 
 void save_design(std::ostream& out, const place::Design& d,
                  const place::Layout* layout = nullptr);
@@ -59,7 +59,7 @@ void save_design(std::ostream& out, const place::Design& d,
 // variant raises the Status of the structured one.
 void save_design_file(const std::string& path, const place::Design& d,
                       const place::Layout* layout = nullptr);
-core::Status try_save_design_file(const std::string& path, const place::Design& d,
+[[nodiscard]] core::Status try_save_design_file(const std::string& path, const place::Design& d,
                                   const place::Layout* layout = nullptr);
 
 // Layout-only round trip (place lines).

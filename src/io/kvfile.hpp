@@ -33,16 +33,16 @@ std::string serialize_kv(std::string_view magic, std::span<const KvRecord> recor
 
 // Validate checksum + magic, then parse. kParseError ("line N: ...") on any
 // corruption or a magic mismatch (wrong file kind / format version).
-core::Result<std::vector<KvRecord>> parse_kv(std::string_view magic,
+[[nodiscard]] core::Result<std::vector<KvRecord>> parse_kv(std::string_view magic,
                                              const std::string& text);
 
 // Atomic write; kIoError on filesystem failure. Deliberately *not* wired to
 // a fault-injection tear site: the atomic protocol makes torn job state
 // impossible by construction, and the service's no-lost-jobs invariant
 // depends on that (the per-job flow checkpoint keeps its own tear site).
-core::Status save_kv_file(const std::string& path, std::string_view magic,
+[[nodiscard]] core::Status save_kv_file(const std::string& path, std::string_view magic,
                           std::span<const KvRecord> records);
-core::Result<std::vector<KvRecord>> load_kv_file(const std::string& path,
+[[nodiscard]] core::Result<std::vector<KvRecord>> load_kv_file(const std::string& path,
                                                  std::string_view magic);
 
 }  // namespace emi::io

@@ -44,16 +44,16 @@ void write_profile(std::ostream& out, const core::Profile& profile);
 // the previous file intact instead of a torn one. Failures (unwritable
 // directory, full disk) come back as a kIoError Status rather than a
 // silently ignored ostream badbit.
-core::Status write_drc_report_file(const std::string& path,
+[[nodiscard]] core::Status write_drc_report_file(const std::string& path,
                                    const place::DrcReport& report);
-core::Status write_spectrum_csv_file(const std::string& path,
+[[nodiscard]] core::Status write_spectrum_csv_file(const std::string& path,
                                      const emc::EmissionSpectrum& spec,
                                      int cispr_class = 0);
-core::Status write_coupling_curve_csv_file(
+[[nodiscard]] core::Status write_coupling_curve_csv_file(
     const std::string& path,
     const std::vector<peec::CouplingExtractor::CurvePoint>& curve);
-core::Status write_layout_table_file(const std::string& path, const place::Design& d,
+[[nodiscard]] core::Status write_layout_table_file(const std::string& path, const place::Design& d,
                                      const place::Layout& layout);
-core::Status write_profile_file(const std::string& path, const core::Profile& profile);
+[[nodiscard]] core::Status write_profile_file(const std::string& path, const core::Profile& profile);
 
 }  // namespace emi::io

@@ -29,7 +29,7 @@ void write_layout_svg(std::ostream& out, const place::Design& d,
 
 // Crash-safe file variant: renders into a buffer, then publishes via
 // io::AtomicFileWriter (tmp + fsync + rename). kIoError Status on failure.
-core::Status write_layout_svg_file(const std::string& path, const place::Design& d,
+[[nodiscard]] core::Status write_layout_svg_file(const std::string& path, const place::Design& d,
                                    const place::Layout& layout,
                                    const SvgOptions& opt = {});
 

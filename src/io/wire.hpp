@@ -41,7 +41,7 @@ class LineFramer {
   // Append received bytes. Returns kResourceExhausted-style kInvalidArgument
   // once an unterminated line exceeds the guard; the framer then stays
   // poisoned (the connection should be dropped).
-  core::Status feed(std::string_view bytes);
+  [[nodiscard]] core::Status feed(std::string_view bytes);
 
   // Next complete line, stripped of the trailing '\n' (and a '\r' before it,
   // so netcat/socat in CRLF mode work). nullopt when no full line is

@@ -45,7 +45,7 @@ class Lu {
 
   // Non-throwing factorization; the error Status carries the failing column
   // (singular) or kInjectedFault when the lu fault site fired.
-  static core::Result<Lu<T>> factor(Matrix<T> a, const LuOptions& opt = {}) {
+  [[nodiscard]] static core::Result<Lu<T>> factor(Matrix<T> a, const LuOptions& opt = {}) {
     Lu<T> lu(Unchecked{}, std::move(a), opt);
     if (!lu.status_.ok()) return lu.status_;
     return core::Result<Lu<T>>(std::move(lu));
@@ -64,7 +64,7 @@ class Lu {
     return solve_impl(b);
   }
 
-  core::Result<std::vector<T>> try_solve(const std::vector<T>& b) const {
+  [[nodiscard]] core::Result<std::vector<T>> try_solve(const std::vector<T>& b) const {
     if (!status_.ok()) return status_;
     if (b.size() != lu_.rows()) {
       return core::Status(core::ErrorCode::kInvalidArgument, "numeric.lu",
@@ -94,7 +94,7 @@ class Lu {
     return core::fault::mix(h, opt.pivot_threshold);
   }
 
-  core::Status factorize(const LuOptions& opt) {
+  [[nodiscard]] core::Status factorize(const LuOptions& opt) {
     using core::ErrorCode;
     if (lu_.rows() != lu_.cols()) {
       return {ErrorCode::kInvalidArgument, "numeric.lu", "matrix not square"};
@@ -174,8 +174,8 @@ std::vector<T> solve(Matrix<T> a, const std::vector<T>& b) {
 
 // Structured counterpart of solve(); never throws on numeric failure.
 template <typename T>
-core::Result<std::vector<T>> try_solve(Matrix<T> a, const std::vector<T>& b,
-                                       const LuOptions& opt = {}) {
+[[nodiscard]] core::Result<std::vector<T>> try_solve(
+    Matrix<T> a, const std::vector<T>& b, const LuOptions& opt = {}) {
   core::Result<Lu<T>> lu = Lu<T>::factor(std::move(a), opt);
   if (!lu.ok()) return lu.status();
   return lu.value().try_solve(b);

@@ -1,7 +1,5 @@
 #include "src/peec/extraction_cache.hpp"
 
-#include <mutex>
-
 namespace emi::peec {
 
 namespace {
@@ -41,7 +39,7 @@ ExtractionCache* ExtractionCache::root() {
 
 std::optional<double> ExtractionCache::probe_self_local(std::uint64_t key) const {
   {
-    std::shared_lock lock(self_mu_);
+    core::SharedReaderLock lock(self_mu_);
     if (const auto it = self_cache_.find(key); it != self_cache_.end()) {
       self_hits_.fetch_add(1, std::memory_order_relaxed);
       return it->second;
@@ -60,11 +58,11 @@ std::optional<double> ExtractionCache::lookup_self(std::uint64_t key) const {
 
 void ExtractionCache::store_self(std::uint64_t key, double value) {
   {
-    std::unique_lock lock(self_mu_);
+    core::SharedMutexLock lock(self_mu_);
     self_cache_.emplace(key, value);
   }
   if (ExtractionCache* r = root(); r != this) {
-    std::unique_lock lock(r->self_mu_);
+    core::SharedMutexLock lock(r->self_mu_);
     r->self_cache_.emplace(key, value);
   }
 }
@@ -72,7 +70,7 @@ void ExtractionCache::store_self(std::uint64_t key, double value) {
 std::optional<double> ExtractionCache::probe_mutual_local(
     const MutualCacheKey& key) const {
   {
-    std::shared_lock lock(mutual_mu_);
+    core::SharedReaderLock lock(mutual_mu_);
     if (const auto it = mutual_cache_.find(key); it != mutual_cache_.end()) {
       mutual_hits_.fetch_add(1, std::memory_order_relaxed);
       return it->second;
@@ -97,7 +95,7 @@ void ExtractionCache::lookup_mutual_batch(std::span<const MutualCacheKey> keys,
   // probed tier, same as key-at-a-time lookups.
   std::size_t unserved = 0;
   {
-    std::shared_lock lock(mutual_mu_);
+    core::SharedReaderLock lock(mutual_mu_);
     for (std::size_t i = 0; i < keys.size(); ++i) {
       if (found[i]) continue;
       if (const auto it = mutual_cache_.find(keys[i]); it != mutual_cache_.end()) {
@@ -132,11 +130,11 @@ void ExtractionCache::store_mutual_locked(const MutualCacheKey& key, double valu
 
 void ExtractionCache::store_mutual(const MutualCacheKey& key, double value) {
   {
-    std::unique_lock lock(mutual_mu_);
+    core::SharedMutexLock lock(mutual_mu_);
     store_mutual_locked(key, value);
   }
   if (ExtractionCache* r = root(); r != this) {
-    std::unique_lock lock(r->mutual_mu_);
+    core::SharedMutexLock lock(r->mutual_mu_);
     r->store_mutual_locked(key, value);
   }
 }
@@ -144,13 +142,13 @@ void ExtractionCache::store_mutual(const MutualCacheKey& key, double value) {
 void ExtractionCache::store_mutual_batch(std::span<const MutualCacheKey> keys,
                                          std::span<const double> values) {
   {
-    std::unique_lock lock(mutual_mu_);
+    core::SharedMutexLock lock(mutual_mu_);
     for (std::size_t i = 0; i < keys.size(); ++i) {
       store_mutual_locked(keys[i], values[i]);
     }
   }
   if (ExtractionCache* r = root(); r != this) {
-    std::unique_lock lock(r->mutual_mu_);
+    core::SharedMutexLock lock(r->mutual_mu_);
     for (std::size_t i = 0; i < keys.size(); ++i) {
       r->store_mutual_locked(keys[i], values[i]);
     }

@@ -17,20 +17,23 @@
 // observed through any tier is bit-identical to recomputing it. Eviction and
 // publication timing only affect recomputation frequency, never values.
 //
-// Thread safety: each tier is guarded by its own shared_mutex; the parent
-// pointer is immutable after construction, so probes walk the chain without
-// global coordination. Tier counters (hits served by this tier / misses that
-// fell through it) are relaxed atomics - monotone, never reset by eviction.
+// Thread safety: each tier is guarded by its own core::SharedMutex (readers
+// shared, writers exclusive; contracts compiler-checked via
+// src/core/thread_annotations.hpp); the parent pointer is immutable after
+// construction, so probes walk the chain without global coordination. Tier
+// counters (hits served by this tier / misses that fell through it) are
+// relaxed atomics - monotone, never reset by eviction.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
+
+#include "src/core/thread_annotations.hpp"
 
 namespace emi::peec {
 
@@ -111,15 +114,18 @@ class ExtractionCache {
   std::optional<double> probe_self_local(std::uint64_t key) const;
   std::optional<double> probe_mutual_local(const MutualCacheKey& key) const;
   // Requires mutual_mu_ held exclusively; evict-oldest-half at capacity.
-  void store_mutual_locked(const MutualCacheKey& key, double value);
+  void store_mutual_locked(const MutualCacheKey& key, double value)
+      EMI_REQUIRES(mutual_mu_);
   ExtractionCache* root();
 
   std::shared_ptr<ExtractionCache> parent_;
-  mutable std::shared_mutex self_mu_;
-  std::unordered_map<std::uint64_t, double> self_cache_;
-  mutable std::shared_mutex mutual_mu_;
-  std::unordered_map<MutualCacheKey, double, MutualCacheKeyHash> mutual_cache_;
-  std::vector<MutualCacheKey> mutual_order_;  // insertion order, for eviction
+  mutable core::SharedMutex self_mu_;
+  std::unordered_map<std::uint64_t, double> self_cache_ EMI_GUARDED_BY(self_mu_);
+  mutable core::SharedMutex mutual_mu_;
+  std::unordered_map<MutualCacheKey, double, MutualCacheKeyHash> mutual_cache_
+      EMI_GUARDED_BY(mutual_mu_);
+  // Insertion order, for eviction.
+  std::vector<MutualCacheKey> mutual_order_ EMI_GUARDED_BY(mutual_mu_);
   mutable std::atomic<std::uint64_t> self_hits_{0};
   mutable std::atomic<std::uint64_t> self_misses_{0};
   mutable std::atomic<std::uint64_t> mutual_hits_{0};

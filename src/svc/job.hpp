@@ -63,7 +63,7 @@ struct JobSpec {
 
 // Validate a spec at the submission boundary (unknown topology, zero sweep,
 // bad stage name) so malformed jobs are rejected before they are durable.
-core::Status validate_job_spec(const JobSpec& spec);
+[[nodiscard]] core::Status validate_job_spec(const JobSpec& spec);
 
 struct JobRecord {
   std::uint64_t id = 0;
@@ -80,10 +80,10 @@ struct JobRecord {
 // kv round-trip; field order is fixed so identical records serialize to
 // identical bytes.
 std::vector<io::KvRecord> job_to_records(const JobRecord& job);
-core::Result<JobRecord> job_from_records(const std::vector<io::KvRecord>& records);
+[[nodiscard]] core::Result<JobRecord> job_from_records(const std::vector<io::KvRecord>& records);
 
 // Convenience: the record file inside a job's state directory.
-core::Status save_job_record(const std::string& path, const JobRecord& job);
-core::Result<JobRecord> load_job_record(const std::string& path);
+[[nodiscard]] core::Status save_job_record(const std::string& path, const JobRecord& job);
+[[nodiscard]] core::Result<JobRecord> load_job_record(const std::string& path);
 
 }  // namespace emi::svc

@@ -4,7 +4,7 @@ namespace emi::svc {
 
 core::Status JobQueue::push(std::uint64_t id) {
   {
-    std::lock_guard lock(mu_);
+    core::MutexLock lock(mu_);
     if (closed_) {
       return core::Status(core::ErrorCode::kFailedPrecondition, "svc.queue",
                           "queue closed");
@@ -20,8 +20,10 @@ core::Status JobQueue::push(std::uint64_t id) {
 }
 
 std::optional<std::uint64_t> JobQueue::pop() {
-  std::unique_lock lock(mu_);
-  cv_.wait(lock, [&] { return closed_ || !q_.empty(); });
+  // Manual wait loop so the thread-safety analysis sees the predicate run
+  // with mu_ held.
+  core::MutexLock lock(mu_);
+  while (!closed_ && q_.empty()) cv_.wait(lock.native());
   if (q_.empty()) return std::nullopt;  // closed and drained
   const std::uint64_t id = q_.front();
   q_.pop_front();
@@ -30,29 +32,29 @@ std::optional<std::uint64_t> JobQueue::pop() {
 
 void JobQueue::close() {
   {
-    std::lock_guard lock(mu_);
+    core::MutexLock lock(mu_);
     closed_ = true;
   }
   cv_.notify_all();
 }
 
 bool JobQueue::closed() const {
-  std::lock_guard lock(mu_);
+  core::MutexLock lock(mu_);
   return closed_;
 }
 
 std::size_t JobQueue::size() const {
-  std::lock_guard lock(mu_);
+  core::MutexLock lock(mu_);
   return q_.size();
 }
 
 std::size_t JobQueue::capacity() const {
-  std::lock_guard lock(mu_);
+  core::MutexLock lock(mu_);
   return capacity_;
 }
 
 void JobQueue::raise_capacity(std::size_t min_capacity) {
-  std::lock_guard lock(mu_);
+  core::MutexLock lock(mu_);
   if (min_capacity > capacity_) capacity_ = min_capacity;
 }
 

@@ -14,10 +14,10 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 
 #include "src/core/status.hpp"
+#include "src/core/thread_annotations.hpp"
 
 namespace emi::svc {
 
@@ -29,7 +29,7 @@ class JobQueue {
   JobQueue& operator=(const JobQueue&) = delete;
 
   // kFailedPrecondition when full or closed.
-  core::Status push(std::uint64_t id);
+  [[nodiscard]] core::Status push(std::uint64_t id);
 
   // Next id in FIFO order; blocks while empty, nullopt once closed and
   // drained.
@@ -46,11 +46,11 @@ class JobQueue {
   void raise_capacity(std::size_t min_capacity);
 
  private:
-  std::size_t capacity_;
-  mutable std::mutex mu_;
+  mutable core::Mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::uint64_t> q_;
-  bool closed_ = false;
+  std::size_t capacity_ EMI_GUARDED_BY(mu_);
+  std::deque<std::uint64_t> q_ EMI_GUARDED_BY(mu_);
+  bool closed_ EMI_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace emi::svc

@@ -57,7 +57,7 @@ class SocketServer {
   // Bind + listen + poll loop. Returns kOk after a clean SHUTDOWN / stop(),
   // kIoError if the socket cannot be created. The socket file is unlinked
   // on exit.
-  core::Status serve();
+  [[nodiscard]] core::Status serve();
 
   // Ask a serve() running on another thread to exit after its current poll
   // tick.

@@ -126,12 +126,14 @@ void Service::recover() {
   // Shutdown must never lose work: grow the bound if a restart brings back
   // more jobs than the configured capacity.
   queue_.raise_capacity(requeue.size());
+  // (void): push cannot fail here - the queue is empty, not closed (no
+  // executor started yet), and capacity was just raised to >= requeue.size().
   for (const std::uint64_t id : requeue) (void)queue_.push(id);
 }
 
 core::Result<std::uint64_t> Service::submit(const JobSpec& spec) {
   if (core::Status st = validate_job_spec(spec); !st.ok()) return st;
-  std::lock_guard lock(mu_);
+  core::MutexLock lock(mu_);
   const std::uint64_t id = next_id_;
   std::error_code ec;
   fs::create_directories(job_dir(id), ec);
@@ -163,7 +165,7 @@ core::Result<std::uint64_t> Service::submit(const JobSpec& spec) {
 }
 
 core::Result<JobRecord> Service::status(std::uint64_t id) const {
-  std::lock_guard lock(mu_);
+  core::MutexLock lock(mu_);
   const Job* job = find(id);
   if (job == nullptr) {
     return core::Status(core::ErrorCode::kInvalidArgument, "svc.service",
@@ -173,7 +175,7 @@ core::Result<JobRecord> Service::status(std::uint64_t id) const {
 }
 
 core::Status Service::cancel(std::uint64_t id) {
-  std::lock_guard lock(mu_);
+  core::MutexLock lock(mu_);
   Job* job = find(id);
   if (job == nullptr) {
     return core::Status(core::ErrorCode::kInvalidArgument, "svc.service",
@@ -194,20 +196,23 @@ core::Status Service::cancel(std::uint64_t id) {
 }
 
 core::Result<JobRecord> Service::wait(std::uint64_t id) {
-  std::unique_lock lock(mu_);
-  if (find(id) == nullptr) {
+  // Manual wait loop so the thread-safety analysis sees the predicate's
+  // record reads run with mu_ held. Job objects are stable once inserted
+  // (map of unique_ptr), so the pointer survives the waits.
+  core::MutexLock lock(mu_);
+  const Job* job = find(id);
+  if (job == nullptr) {
     return core::Status(core::ErrorCode::kInvalidArgument, "svc.service",
                         "unknown job id: " + std::to_string(id));
   }
-  terminal_cv_.wait(lock, [&] {
-    const Job* job = find(id);
-    return job_state_terminal(job->rec.state) || job->crash_simmed;
-  });
-  return find(id)->rec;
+  while (!job_state_terminal(job->rec.state) && !job->crash_simmed) {
+    terminal_cv_.wait(lock.native());
+  }
+  return job->rec;
 }
 
 ServiceStats Service::stats() const {
-  std::lock_guard lock(mu_);
+  core::MutexLock lock(mu_);
   ServiceStats s;
   s.submitted = submitted_;
   s.recovered = recovered_;
@@ -229,7 +234,7 @@ void Service::executor_loop() {
   while (const std::optional<std::uint64_t> id = queue_.pop()) {
     Job* job = nullptr;
     {
-      std::lock_guard lock(mu_);
+      core::MutexLock lock(mu_);
       job = find(*id);
       if (job == nullptr || job->rec.state != JobState::kQueued) {
         continue;  // cancelled while queued, or stale entry
@@ -288,7 +293,7 @@ void Service::run_job(Job& job) {
          core::Status(core::ErrorCode::kInternal, "svc.job", e.what()), 1, false});
   }
 
-  std::lock_guard lock(mu_);
+  core::MutexLock lock(mu_);
   if (crash_simmed) {
     // Deterministic SIGKILL stand-in: stop here with the disk still saying
     // `running` - exactly the state a real kill would leave - but unblock

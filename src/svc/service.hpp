@@ -33,12 +33,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/core/deadline.hpp"
+#include "src/core/thread_annotations.hpp"
 #include "src/core/status.hpp"
 #include "src/svc/job.hpp"
 #include "src/svc/job_queue.hpp"
@@ -78,19 +78,19 @@ class Service {
   // Validate, persist as queued, enqueue. Returns the job id, or the
   // validation / queue-full / persistence error (nothing enqueued unless
   // durable first).
-  core::Result<std::uint64_t> submit(const JobSpec& spec);
+  [[nodiscard]] core::Result<std::uint64_t> submit(const JobSpec& spec);
 
   // Snapshot of the job's current record; kInvalidArgument for unknown ids.
-  core::Result<JobRecord> status(std::uint64_t id) const;
+  [[nodiscard]] core::Result<JobRecord> status(std::uint64_t id) const;
 
   // Cooperative cancel: a queued job is marked cancelled and skipped at
   // dequeue; a running job's CancelToken is raised and the flow stops at
   // its next poll point. Cancelling a terminal job is a no-op (ok).
-  core::Status cancel(std::uint64_t id);
+  [[nodiscard]] core::Status cancel(std::uint64_t id);
 
   // Block until the job reaches a terminal state (or its executor halted
   // via the crash-sim hook) and return the final record.
-  core::Result<JobRecord> wait(std::uint64_t id);
+  [[nodiscard]] core::Result<JobRecord> wait(std::uint64_t id);
 
   ServiceStats stats() const;
 
@@ -111,24 +111,27 @@ class Service {
   };
 
   void executor_loop();
-  void run_job(Job& job);
+  // Runs the flow for `job` without mu_ held (the executor exclusively owns
+  // a running job's record between the queued->running and terminal
+  // transitions, both of which happen under mu_).
+  void run_job(Job& job) EMI_EXCLUDES(mu_);
   // Persist the record to the job's state file; failures become the job's
   // detail but never tear the file (atomic writer).
-  void persist(Job& job);
-  void recover();
-  Job* find(std::uint64_t id);
-  const Job* find(std::uint64_t id) const;
+  void persist(Job& job) EMI_REQUIRES(mu_);
+  void recover() EMI_REQUIRES(mu_);  // ctor-only, before any executor starts
+  Job* find(std::uint64_t id) EMI_REQUIRES(mu_);
+  const Job* find(std::uint64_t id) const EMI_REQUIRES(mu_);
 
   ServiceOptions opt_;
   JobQueue queue_;
   SessionManager sessions_;
 
-  mutable std::mutex mu_;                 // guards jobs_, next_id_, counters
+  mutable core::Mutex mu_;                // guards jobs_, next_id_, counters
   std::condition_variable terminal_cv_;   // signalled on any terminal transition
-  std::map<std::uint64_t, std::unique_ptr<Job>> jobs_;
-  std::uint64_t next_id_ = 1;
-  std::uint64_t submitted_ = 0;
-  std::uint64_t recovered_ = 0;
+  std::map<std::uint64_t, std::unique_ptr<Job>> jobs_ EMI_GUARDED_BY(mu_);
+  std::uint64_t next_id_ EMI_GUARDED_BY(mu_) = 1;
+  std::uint64_t submitted_ EMI_GUARDED_BY(mu_) = 0;
+  std::uint64_t recovered_ EMI_GUARDED_BY(mu_) = 0;
 
   std::vector<std::thread> executors_;
 };

@@ -4,7 +4,7 @@ namespace emi::svc {
 
 std::shared_ptr<peec::ExtractionCache> SessionManager::session_cache(
     const std::string& client) {
-  std::lock_guard lock(mu_);
+  core::MutexLock lock(mu_);
   auto it = sessions_.find(client);
   if (it == sessions_.end()) {
     it = sessions_.emplace(client, std::make_shared<peec::ExtractionCache>(global_))
@@ -14,7 +14,7 @@ std::shared_ptr<peec::ExtractionCache> SessionManager::session_cache(
 }
 
 std::size_t SessionManager::session_count() const {
-  std::lock_guard lock(mu_);
+  core::MutexLock lock(mu_);
   return sessions_.size();
 }
 

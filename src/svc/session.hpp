@@ -15,9 +15,9 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "src/core/thread_annotations.hpp"
 #include "src/peec/extraction_cache.hpp"
 
 namespace emi::svc {
@@ -40,9 +40,10 @@ class SessionManager {
   std::size_t session_count() const;
 
  private:
-  std::shared_ptr<peec::ExtractionCache> global_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<peec::ExtractionCache>> sessions_;
+  std::shared_ptr<peec::ExtractionCache> global_;  // immutable after ctor
+  mutable core::Mutex mu_;
+  std::map<std::string, std::shared_ptr<peec::ExtractionCache>> sessions_
+      EMI_GUARDED_BY(mu_);
 };
 
 }  // namespace emi::svc

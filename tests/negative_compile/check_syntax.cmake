@@ -3,15 +3,22 @@
 # library headers (no link step, so missing definitions don't matter).
 #
 #   cmake -DCOMPILER=<c++> -DROOT=<repo root> -DSOURCE=<file> \
-#         -DEXPECT=FAIL|OK -P check_syntax.cmake
+#         -DEXPECT=FAIL|OK [-DEXTRA_FLAGS=<flag;flag...>] -P check_syntax.cmake
+#
+# EXTRA_FLAGS (optional, semicolon-separated) lets a battery opt into extra
+# diagnostics - the thread-safety cases pass
+# -Wthread-safety;-Werror=thread-safety under clang.
 foreach(var COMPILER ROOT SOURCE EXPECT)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "check_syntax.cmake: missing -D${var}=...")
   endif()
 endforeach()
+if(NOT DEFINED EXTRA_FLAGS)
+  set(EXTRA_FLAGS "")
+endif()
 
 execute_process(
-  COMMAND ${COMPILER} -std=c++20 -fsyntax-only -I${ROOT} ${SOURCE}
+  COMMAND ${COMPILER} -std=c++20 -fsyntax-only ${EXTRA_FLAGS} -I${ROOT} ${SOURCE}
   RESULT_VARIABLE rc
   OUTPUT_VARIABLE out
   ERROR_VARIABLE err)

@@ -1,0 +1,34 @@
+// Positive control for the thread-safety battery: disciplined use of the
+// same vocabulary (guarded fields read under a scoped lock, REQUIRES helpers
+// called with the lock held, EXCLUDES respected) must compile cleanly under
+// -Werror=thread-safety. Guards against the ts_* cases failing for reasons
+// other than the misuse they encode.
+#include "src/core/thread_annotations.hpp"
+
+namespace {
+
+class Ledger {
+ public:
+  void add(int v) EMI_EXCLUDES(mu_) {
+    emi::core::MutexLock lock(mu_);
+    add_locked(v);
+  }
+  int total() const EMI_EXCLUDES(mu_) {
+    emi::core::MutexLock lock(mu_);
+    return sum_;
+  }
+
+ private:
+  void add_locked(int v) EMI_REQUIRES(mu_) { sum_ += v; }
+
+  mutable emi::core::Mutex mu_;
+  int sum_ EMI_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Ledger l;
+  l.add(2);
+  return l.total() == 2 ? 0 : 1;
+}

@@ -1,0 +1,27 @@
+// Negative-compile case (clang only): acquiring a capability that is already
+// held (self-deadlock with std::mutex) must be rejected under
+// -Werror=thread-safety.
+#include "src/core/thread_annotations.hpp"
+
+namespace {
+
+class Queue {
+ public:
+  int drain() {
+    emi::core::MutexLock outer(mu_);
+    // MISUSE: mu_ is already held; this deadlocks at runtime.
+    emi::core::MutexLock inner(mu_);
+    return n_;
+  }
+
+ private:
+  emi::core::Mutex mu_;
+  int n_ EMI_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Queue q;
+  return q.drain();
+}

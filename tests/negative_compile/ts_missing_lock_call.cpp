@@ -1,0 +1,24 @@
+// Negative-compile case (clang only): calling an EMI_REQUIRES(mu_) helper
+// without holding the mutex must be rejected under -Werror=thread-safety.
+#include "src/core/thread_annotations.hpp"
+
+namespace {
+
+class Registry {
+ public:
+  void insert_locked() EMI_REQUIRES(mu_) { ++size_; }
+  // MISUSE: calls the locked helper with mu_ not held.
+  void insert() { insert_locked(); }
+
+ private:
+  emi::core::Mutex mu_;
+  int size_ EMI_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Registry r;
+  r.insert();
+  return 0;
+}

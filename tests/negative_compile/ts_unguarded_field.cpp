@@ -1,0 +1,28 @@
+// Negative-compile case (clang only): reading a EMI_GUARDED_BY field without
+// holding its mutex must be rejected under -Werror=thread-safety. Run by
+// check_syntax.cmake with EXTRA_FLAGS=-Wthread-safety;-Werror=thread-safety.
+#include "src/core/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    emi::core::MutexLock lock(mu_);
+    ++n_;
+  }
+  // MISUSE: reads n_ with mu_ not held.
+  int peek() const { return n_; }
+
+ private:
+  mutable emi::core::Mutex mu_;
+  int n_ EMI_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return c.peek();
+}

@@ -82,7 +82,7 @@ TEST(ScenarioLarge, RejectsDrcUnsafeOptions) {
   bad.n_stages = 0;
   EXPECT_THROW(make_large_scenario(bad), std::invalid_argument);
   bad = LargeScenarioOptions{};
-  bad.jitter_mm = bad.pitch_mm;  // far past the DRC margin
+  bad.jitter = bad.pitch;  // far past the DRC margin
   EXPECT_THROW(make_large_scenario(bad), std::invalid_argument);
 }
 

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# One-shot static-analysis gate: builds the tree under clang with the
+# thread-safety analysis enforced (EMI_THREAD_SAFETY=ON), then runs the
+# `analysis` ctest label (unit_lint + det_lint + negative-compile batteries).
+#
+#   tools/check_analysis.sh [build-dir]        default build dir: build-analysis
+#
+# Exits 0 when everything passes, non-zero on any finding. When no clang++ is
+# on PATH the thread-safety build is impossible; the script then runs the
+# compiler-independent `analysis` tests from the existing default build (if
+# present) and exits 0 with a SKIP notice for the clang half, so the gate
+# stays usable on gcc-only machines.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-"${repo_root}/build-analysis"}"
+
+clangxx=""
+for c in clang++ clang++-19 clang++-18 clang++-17 clang++-16 clang++-15 clang++-14; do
+  if command -v "$c" >/dev/null 2>&1; then
+    clangxx="$c"
+    break
+  fi
+done
+
+if [[ -z "$clangxx" ]]; then
+  echo "check_analysis: SKIP thread-safety build (no clang++ on PATH)"
+  if [[ -d "${repo_root}/build" ]]; then
+    echo "check_analysis: running 'analysis' label from existing ${repo_root}/build"
+    ctest --test-dir "${repo_root}/build" -L analysis --output-on-failure
+  else
+    echo "check_analysis: no default build dir either; nothing to run"
+  fi
+  exit 0
+fi
+
+echo "check_analysis: configuring ${build_dir} with ${clangxx} + EMI_THREAD_SAFETY=ON"
+cmake -S "$repo_root" -B "$build_dir" \
+      -DCMAKE_CXX_COMPILER="$clangxx" \
+      -DEMI_THREAD_SAFETY=ON >/dev/null
+
+# Full build: -Werror=thread-safety makes every annotation violation a build
+# failure, so compiling the whole tree IS the thread-safety check.
+cmake --build "$build_dir" -j "$(nproc)"
+
+echo "check_analysis: running 'analysis' ctest label"
+ctest --test-dir "$build_dir" -L analysis --output-on-failure
+
+echo "check_analysis: all green"

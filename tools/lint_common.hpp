@@ -1,0 +1,149 @@
+// Shared scaffolding for the repo lints (unit_lint, det_lint): comment/string
+// stripping, the `path:token` allowlist format, and the stale-entry check.
+//
+// Allowlist format: one entry per line, `path:token` (path relative to the
+// scanned root, forward slashes); `#` starts a comment. An entry matches
+// every violation of that token in that file. Entries that match nothing are
+// *stale* and fail the lint - exemptions retire with the code they excuse.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace lint {
+
+struct Violation {
+  std::string file;  // relative path
+  std::size_t line;
+  std::string token;
+  std::string why;  // one-line rule explanation for the report
+};
+
+// Strip // and /* */ comments plus string literals so commented-out code and
+// doc text never trigger a lint. Newlines are preserved for line numbers.
+inline std::string strip_comments(const std::string& src) {
+  std::string out;
+  out.reserve(src.size());
+  enum class St { kCode, kLine, kBlock, kString, kChar } st = St::kCode;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char n = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && n == '/') {
+          st = St::kLine;
+          ++i;
+        } else if (c == '/' && n == '*') {
+          st = St::kBlock;
+          ++i;
+        } else if (c == '"') {
+          st = St::kString;
+          out.push_back(' ');
+        } else if (c == '\'') {
+          st = St::kChar;
+          out.push_back(' ');
+        } else {
+          out.push_back(c);
+        }
+        break;
+      case St::kLine:
+        if (c == '\n') {
+          st = St::kCode;
+          out.push_back('\n');
+        }
+        break;
+      case St::kBlock:
+        if (c == '*' && n == '/') {
+          st = St::kCode;
+          ++i;
+        } else if (c == '\n') {
+          out.push_back('\n');
+        }
+        break;
+      case St::kString:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          st = St::kCode;
+        } else if (c == '\n') {
+          out.push_back('\n');
+        }
+        break;
+      case St::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          st = St::kCode;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+inline std::string read_file(const std::filesystem::path& file) {
+  std::ifstream in(file);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+inline std::set<std::string> load_allowlist(const std::filesystem::path& file) {
+  std::set<std::string> allow;
+  std::ifstream in(file);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    const auto b = line.find_first_not_of(" \t\r");
+    if (b == std::string::npos) continue;
+    const auto e = line.find_last_not_of(" \t\r");
+    allow.insert(line.substr(b, e - b + 1));
+  }
+  return allow;
+}
+
+// Filter `violations` against the allowlist, report survivors with
+// `report_fmt` (printf format taking file, line, token, why, file, token),
+// then report stale entries. Returns the lint's exit code.
+inline int finish_scan(const std::vector<Violation>& violations,
+                       const std::filesystem::path& allowlist_file,
+                       const char* tool, const char* report_fmt,
+                       std::size_t files_scanned) {
+  const std::set<std::string> allow = load_allowlist(allowlist_file);
+  std::set<std::string> used;
+  std::vector<Violation> real;
+  for (const Violation& v : violations) {
+    const std::string key = v.file + ":" + v.token;
+    if (allow.count(key) != 0) {
+      used.insert(key);
+    } else {
+      real.push_back(v);
+    }
+  }
+  for (const Violation& v : real) {
+    std::fprintf(stderr, report_fmt, v.file.c_str(), v.line, v.token.c_str(),
+                 v.why.c_str(), v.file.c_str(), v.token.c_str());
+  }
+  // Stale allowlist entries rot silently; flag them so fixes retire their
+  // exemptions.
+  int stale = 0;
+  for (const std::string& key : allow) {
+    if (used.count(key) == 0) {
+      std::fprintf(stderr, "allowlist entry '%s' matches nothing (stale)\n",
+                   key.c_str());
+      ++stale;
+    }
+  }
+  if (!real.empty() || stale != 0) return 1;
+  std::printf("%s: %zu files clean (%zu allowlisted findings)\n", tool,
+              files_scanned, used.size());
+  return 0;
+}
+
+}  // namespace lint

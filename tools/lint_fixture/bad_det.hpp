@@ -1,0 +1,44 @@
+// Deliberately nondeterministic fixture for the det_lint selftest. Every
+// hazard class the lint knows must appear here, so a lint change that stops
+// seeing one of them fails the selftest instead of going quietly blind.
+// Never include this header anywhere.
+#pragma once
+
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <unordered_map>
+
+namespace bad_det {
+
+inline double jitter() {
+  std::srand(static_cast<unsigned>(time(nullptr)));       // srand + time
+  return static_cast<double>(std::rand()) / RAND_MAX;     // rand
+}
+
+inline unsigned hw_seed() {
+  std::random_device rd;                                  // random_device
+  return rd();
+}
+
+inline long stamp() {
+  using clock = std::chrono::system_clock;                // system_clock
+  return clock::now().time_since_epoch().count();
+}
+
+inline double sum_in_hash_order() {
+  std::unordered_map<int, double> weights;
+  double acc = 0.0;
+  for (const auto& [k, w] : weights) acc += w;            // unordered iteration
+  return acc;
+}
+
+struct ByAddress {
+  // pointer-value ordering: varies under ASLR
+  std::size_t operator()(const int* p) const {
+    return std::hash<const int*>{}(p) ^
+           reinterpret_cast<std::uintptr_t>(p);
+  }
+};
+
+}  // namespace bad_det

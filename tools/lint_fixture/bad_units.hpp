@@ -10,6 +10,8 @@ struct BadParams {
   double cap_farad = 1e-9;
   double shunt_ohm = 50.0;
   float level_db = 0.0F;
+  long retry_delay_ms = 0;  // integral time-suffix rule
+  unsigned poll_us = 0;
 };
 
 }  // namespace emi::lint_fixture

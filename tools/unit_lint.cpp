@@ -1,7 +1,15 @@
-// unit_lint: repo-specific static check that raw double/float declarations
-// do not carry unit-suffixed names in public headers. Once a quantity has a
-// unit suffix it should be a units::Quantity strong type (src/core/units.hpp)
-// or be listed - with a reason - in the conversion allowlist.
+// unit_lint: repo-specific static check that raw numeric declarations do not
+// carry unit-suffixed names in public headers. Once a quantity has a unit
+// suffix it should be a units::Quantity strong type (src/core/units.hpp) or
+// be listed - with a reason - in the conversion allowlist.
+//
+// Two rules:
+//   1. `double`/`float` declarations whose identifier ends in a physical
+//      unit suffix (_mm, _hz, _db, ...) - the original PR 3 rule.
+//   2. integral declarations whose identifier ends in a time suffix
+//      (_ms, _us, _ns) - covers the svc/flow budget and protocol fields,
+//      which mirror wire/config formats and stay integral on purpose (each
+//      carries a reasoned allowlist entry).
 //
 // Usage:
 //   unit_lint <root-dir> <allowlist-file>     scan all .hpp under root
@@ -9,19 +17,16 @@
 //                                             produce at least one violation
 //                                             (guards the lint itself)
 //
-// Allowlist format: one entry per line, `path:identifier` (path relative to
-// the scanned root, forward slashes); `#` starts a comment. An entry matches
-// every declaration of that identifier in that header.
+// Allowlist: `path:identifier` entries, shared format with det_lint
+// (tools/lint_common.hpp); stale entries fail.
 #include <algorithm>
-#include <cctype>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <regex>
-#include <set>
-#include <sstream>
 #include <string>
 #include <vector>
+
+#include "lint_common.hpp"
 
 namespace {
 
@@ -31,7 +36,7 @@ const std::vector<std::string> kSuffixes = {
     "_mm", "_m",  "_um",    "_hz",     "_khz", "_mhz", "_farad", "_farads",
     "_f",  "_nf", "_pf",    "_uf",     "_ohm", "_ohms", "_henry", "_henries",
     "_nh", "_uh", "_a",     "_db",     "_dbuv", "_volt", "_volts", "_v",
-    "_t",  "_s",  "_sec",   "_rad_s",
+    "_t",  "_s",  "_sec",   "_rad_s",  "_ms",  "_us",   "_ns",
 };
 
 bool has_unit_suffix(const std::string& ident) {
@@ -41,119 +46,40 @@ bool has_unit_suffix(const std::string& ident) {
   });
 }
 
-struct Violation {
-  std::string file;  // relative path
-  std::size_t line;
-  std::string ident;
-};
-
-// Strip // and /* */ comments plus string literals so commented-out code and
-// doc text never trigger the lint.
-std::string strip_comments(const std::string& src) {
-  std::string out;
-  out.reserve(src.size());
-  enum class St { kCode, kLine, kBlock, kString, kChar } st = St::kCode;
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    const char c = src[i];
-    const char n = i + 1 < src.size() ? src[i + 1] : '\0';
-    switch (st) {
-      case St::kCode:
-        if (c == '/' && n == '/') {
-          st = St::kLine;
-          ++i;
-        } else if (c == '/' && n == '*') {
-          st = St::kBlock;
-          ++i;
-        } else if (c == '"') {
-          st = St::kString;
-          out.push_back(' ');
-        } else if (c == '\'') {
-          st = St::kChar;
-          out.push_back(' ');
-        } else {
-          out.push_back(c);
-        }
-        break;
-      case St::kLine:
-        if (c == '\n') {
-          st = St::kCode;
-          out.push_back('\n');
-        }
-        break;
-      case St::kBlock:
-        if (c == '*' && n == '/') {
-          st = St::kCode;
-          ++i;
-        } else if (c == '\n') {
-          out.push_back('\n');
-        }
-        break;
-      case St::kString:
-        if (c == '\\') {
-          ++i;
-        } else if (c == '"') {
-          st = St::kCode;
-        } else if (c == '\n') {
-          out.push_back('\n');
-        }
-        break;
-      case St::kChar:
-        if (c == '\\') {
-          ++i;
-        } else if (c == '\'') {
-          st = St::kCode;
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-// A declaration is `double <ident>` or `float <ident>` where <ident> carries
-// a unit suffix: catches parameters, struct fields, locals in inline code
-// and defaulted members alike.
+// Rule 1: `double <ident>` or `float <ident>` with any unit suffix: catches
+// parameters, struct fields, locals in inline code and defaulted members.
+// Rule 2: integral `<ident>_ms/_us/_ns`: raw time quantities in APIs.
 void scan_file(const fs::path& file, const std::string& rel,
-               std::vector<Violation>& out) {
-  std::ifstream in(file);
-  std::stringstream buf;
-  buf << in.rdbuf();
-  const std::string text = strip_comments(buf.str());
+               std::vector<lint::Violation>& out) {
+  const std::string text = lint::strip_comments(lint::read_file(file));
 
-  static const std::regex decl(R"((?:^|[^\w:])(?:double|float)\s+(\w+))");
+  static const std::regex fp_decl(R"((?:^|[^\w:])(?:double|float)\s+(\w+))");
+  static const std::regex int_time_decl(
+      R"((?:^|[^\w:])(?:std::)?(?:u?int(?:16|32|64)_t|int|long|unsigned|size_t)\s+(\w+_(?:ms|us|ns))\b)");
   std::size_t line_no = 1;
   std::size_t start = 0;
   while (start <= text.size()) {
     std::size_t end = text.find('\n', start);
     if (end == std::string::npos) end = text.size();
     const std::string line = text.substr(start, end - start);
-    for (auto it = std::sregex_iterator(line.begin(), line.end(), decl);
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), fp_decl);
          it != std::sregex_iterator(); ++it) {
       const std::string ident = (*it)[1].str();
-      if (has_unit_suffix(ident)) out.push_back({rel, line_no, ident});
+      if (has_unit_suffix(ident)) {
+        out.push_back({rel, line_no, ident, "raw double carries a unit suffix"});
+      }
+    }
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), int_time_decl);
+         it != std::sregex_iterator(); ++it) {
+      out.push_back(
+          {rel, line_no, (*it)[1].str(), "raw integral carries a time suffix"});
     }
     start = end + 1;
     ++line_no;
   }
 }
 
-std::set<std::string> load_allowlist(const fs::path& file) {
-  std::set<std::string> allow;
-  std::ifstream in(file);
-  std::string line;
-  while (std::getline(in, line)) {
-    const std::size_t hash = line.find('#');
-    if (hash != std::string::npos) line = line.substr(0, hash);
-    // trim
-    const auto b = line.find_first_not_of(" \t\r");
-    if (b == std::string::npos) continue;
-    const auto e = line.find_last_not_of(" \t\r");
-    allow.insert(line.substr(b, e - b + 1));
-  }
-  return allow;
-}
-
 int scan_tree(const fs::path& root, const fs::path& allowlist_file) {
-  const std::set<std::string> allow = load_allowlist(allowlist_file);
   std::vector<fs::path> headers;
   for (const auto& entry : fs::recursive_directory_iterator(root)) {
     if (entry.is_regular_file() && entry.path().extension() == ".hpp") {
@@ -162,47 +88,19 @@ int scan_tree(const fs::path& root, const fs::path& allowlist_file) {
   }
   std::sort(headers.begin(), headers.end());
 
-  std::vector<Violation> violations;
-  std::set<std::string> used;
+  std::vector<lint::Violation> violations;
   for (const fs::path& h : headers) {
-    const std::string rel = fs::relative(h, root).generic_string();
-    std::vector<Violation> file_violations;
-    scan_file(h, rel, file_violations);
-    for (const Violation& v : file_violations) {
-      const std::string key = v.file + ":" + v.ident;
-      if (allow.count(key) != 0) {
-        used.insert(key);
-      } else {
-        violations.push_back(v);
-      }
-    }
+    scan_file(h, fs::relative(h, root).generic_string(), violations);
   }
-
-  for (const Violation& v : violations) {
-    std::fprintf(stderr,
-                 "%s:%zu: raw double '%s' carries a unit suffix; use a "
-                 "units::Quantity type or add '%s:%s' to the allowlist\n",
-                 v.file.c_str(), v.line, v.ident.c_str(), v.file.c_str(),
-                 v.ident.c_str());
-  }
-  // Stale allowlist entries rot silently; flag them so conversions retire
-  // their exemptions.
-  int stale = 0;
-  for (const std::string& key : load_allowlist(allowlist_file)) {
-    if (used.count(key) == 0) {
-      std::fprintf(stderr, "allowlist entry '%s' matches nothing (stale)\n",
-                   key.c_str());
-      ++stale;
-    }
-  }
-  if (!violations.empty() || stale != 0) return 1;
-  std::printf("unit_lint: %zu headers clean (%zu allowlisted declarations)\n",
-              headers.size(), used.size());
-  return 0;
+  return lint::finish_scan(
+      violations, allowlist_file, "unit_lint",
+      "%s:%zu: declaration '%s' (%s); use a units::Quantity type or add "
+      "'%s:%s' to the allowlist\n",
+      headers.size());
 }
 
 int selftest(const fs::path& fixture) {
-  std::vector<Violation> violations;
+  std::vector<lint::Violation> violations;
   scan_file(fixture, fixture.generic_string(), violations);
   if (violations.empty()) {
     std::fprintf(stderr,
