@@ -25,6 +25,7 @@ bool parse_site(const std::string& name, FaultSite& out) {
   else if (name == "io") out = FaultSite::kIo;
   else if (name == "deadline") out = FaultSite::kDeadline;
   else if (name == "ckpt") out = FaultSite::kCkpt;
+  else if (name == "wedge") out = FaultSite::kWedge;
   else return false;
   return true;
 }
@@ -39,6 +40,7 @@ const char* fault_site_name(FaultSite s) {
     case FaultSite::kIo: return "io";
     case FaultSite::kDeadline: return "deadline";
     case FaultSite::kCkpt: return "ckpt";
+    case FaultSite::kWedge: return "wedge";
   }
   return "unknown";
 }
@@ -49,7 +51,7 @@ FaultInjector::FaultInjector() {
       std::fprintf(stderr,
                    "EMI_FAULT_INJECT: malformed spec '%s' ignored "
                    "(want <site>:<rate>:<seed>[,...], site in "
-                   "pool|cache|lu|io|deadline|ckpt)\n",
+                   "pool|cache|lu|io|deadline|ckpt|wedge)\n",
                    env);
     }
   }

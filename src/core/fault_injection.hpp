@@ -18,6 +18,10 @@
 //            cooperative-stop and degradation-ladder paths deterministically
 //   ckpt   - a flow checkpoint write is torn (payload truncated before the
 //            atomic rename), so resume must reject it by checksum
+//   wedge  - a service executor wedges on its job (no heartbeats, no poll
+//            points) until the job's CancelToken is raised; only the
+//            hung-job watchdog's lease expiry can unwedge it (key = job id
+//            mixed with attempt index, so a requeued attempt re-rolls)
 //
 // Zero overhead when off: call sites go through fault::should_fire(), which
 // is one relaxed atomic load of a process-wide "armed" flag before anything
@@ -32,8 +36,8 @@
 
 namespace emi::core {
 
-enum class FaultSite : std::uint8_t { kPool = 0, kCache, kLu, kIo, kDeadline, kCkpt };
-inline constexpr std::size_t kFaultSiteCount = 6;
+enum class FaultSite : std::uint8_t { kPool = 0, kCache, kLu, kIo, kDeadline, kCkpt, kWedge };
+inline constexpr std::size_t kFaultSiteCount = 7;
 
 const char* fault_site_name(FaultSite s);
 

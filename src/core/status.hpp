@@ -31,6 +31,7 @@ enum class ErrorCode : std::uint8_t {
   kInternal,           // unclassified failure mapped from an exception
   kDeadlineExceeded,   // a core::Deadline budget ran out (cooperative stop)
   kCancelled,          // a core::CancelToken was raised (cooperative stop)
+  kResourceExhausted,  // overload shed (full queue, unmeetable deadline) - retryable
 };
 
 inline const char* error_code_name(ErrorCode c) {
@@ -46,6 +47,7 @@ inline const char* error_code_name(ErrorCode c) {
     case ErrorCode::kInternal: return "internal";
     case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
     case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kResourceExhausted: return "resource_exhausted";
   }
   return "unknown";
 }

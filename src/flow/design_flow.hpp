@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "src/core/deadline.hpp"
@@ -85,6 +86,17 @@ struct FlowOptions {
   // stage's output is discarded and the partial result carries a kCancelled
   // diagnostic. Not owned; may be null.
   core::CancelToken* cancel = nullptr;
+
+  // Liveness heartbeat for a supervising service's hung-job watchdog:
+  // called at every stage-attempt boundary and unit step - the flow's
+  // progress points. Never called mid-chunk, so it cannot perturb results;
+  // deliberately NOT part of the checkpoint context digest. May be empty.
+  std::function<void()> heartbeat;
+  // Deterministic inter-attempt backoff (core::Backoff, seeded from the
+  // stage name): the delay before retry attempt k of a failed stage. Pure
+  // scheduling - it changes when a retry runs, never what it computes. 0 =
+  // retry immediately (the historical behavior).
+  std::int64_t retry_backoff_ms = 0;
 
   // Shared extraction cache (two-tier; see peec/extraction_cache.hpp). When
   // set, every extractor the flow builds attaches to it, so repeated runs -

@@ -64,6 +64,10 @@ bool FlowEngine::checkpoint_after(FlowStage stage, bool ok_bit) {
 
 bool FlowEngine::step() {
   if (halted_ || unit_idx_ >= kUnits.size()) return false;
+  // Unit boundary = progress proof: beat the supervising watchdog's
+  // heartbeat even when the unit is restored from a checkpoint and never
+  // enters the stage driver.
+  if (opt_.heartbeat) opt_.heartbeat();
   bool keep_going = false;
   switch (kUnits[unit_idx_]) {
     case FlowStage::kSensitivity:

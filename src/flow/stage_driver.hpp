@@ -27,9 +27,12 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
+#include <thread>
 #include <vector>
 
+#include "src/core/backoff.hpp"
 #include "src/core/deadline.hpp"
 #include "src/core/fault_injection.hpp"
 #include "src/core/status.hpp"
@@ -52,6 +55,19 @@ struct StageDriver {
     core::Status last;
     int degrade = 0;
     for (int attempt = 0; attempt < attempts; ++attempt) {
+      // Attempt boundary: prove liveness to a supervising watchdog, and
+      // space retries out (deterministic seeded schedule; scheduling only,
+      // results are unaffected). No sleep before the first attempt, and
+      // never once the flow budget is the binding constraint.
+      if (opt->heartbeat) opt->heartbeat();
+      if (attempt > 0 && opt->retry_backoff_ms > 0 && !flow_deadline.has_expired()) {
+        const core::Backoff backoff({opt->retry_backoff_ms, opt->retry_backoff_ms * 8,
+                                     2.0, 0.5},
+                                    core::fault::fnv64(stage));
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(backoff.delay_ms(attempt - 1)));
+        if (opt->heartbeat) opt->heartbeat();
+      }
       if (flow_deadline.has_expired()) flow_expired = true;
       if (flow_expired) {
         last = core::Status(core::ErrorCode::kDeadlineExceeded, stage,

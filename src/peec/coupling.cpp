@@ -81,6 +81,11 @@ Henry CouplingExtractor::self_inductance(const ComponentFieldModel& m) const {
   self_misses_.fetch_add(1, std::memory_order_relaxed);
   const double l_air = path_inductance(m.local_path, opt_);
   const double l = m.mu_eff * l_air;
+  // A stop raised mid-quadrature truncates parallel chunks, so the sum may
+  // be partial: re-poll before the store. A torn value must never reach the
+  // shared cache - it outlives this stopped stage and would poison a later
+  // attempt's bit-identical replay.
+  if (!core::CancelScope::poll()) return Henry{0.0};
   cache_->store_self(self_key(id), l);
   return Henry{l};
 }
@@ -169,6 +174,10 @@ Henry CouplingExtractor::mutual(const PlacedModel& a, const PlacedModel& b) cons
   }
   mutual_misses_.fetch_add(1, std::memory_order_relaxed);
   const double m_air = compute_mutual_air(c);
+  // Same torn-value guard as self_inductance: a stop that lands inside the
+  // quadrature's parallel region leaves a partial sum, which must not be
+  // memoized under the true key.
+  if (!core::CancelScope::poll()) return Henry{0.0};
   cache_->store_mutual(c.key, m_air);
   return Henry{c.stray * m_air};
 }
@@ -255,7 +264,10 @@ std::vector<Henry> CouplingExtractor::mutual_batch(
         Job& job = jobs[miss[k]];
         if (!core::CancelScope::poll()) return;  // leave sentinel, skip store
         job.m_air = compute_mutual_air(job.c);
-        job.computed = true;
+        // Re-poll after the compute: a stop that landed mid-quadrature (on
+        // the lane that carries the scope) truncated the inner parallel
+        // region, so the value is torn and must not reach the bulk store.
+        job.computed = core::CancelScope::poll();
       },
       1);
 

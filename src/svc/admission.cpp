@@ -1,0 +1,87 @@
+#include "src/svc/admission.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace emi::svc {
+
+namespace {
+
+// Fallback hint when no latency sample exists yet (cold start with a full
+// queue): short enough that a retrying client probes again promptly, long
+// enough to not hammer.
+constexpr std::int64_t kColdRetryMs = 50;
+
+std::int64_t to_hint_ms(double ms) {
+  const double clamped = std::max(1.0, std::ceil(ms));
+  return static_cast<std::int64_t>(clamped);
+}
+
+}  // namespace
+
+void AdmissionController::record_job_ms(double ms) {
+  if (!(ms >= 0.0)) return;  // NaN/negative: ignore
+  core::MutexLock lock(mu_);
+  ewma_ms_ = have_sample_ ? alpha_ * ms + (1.0 - alpha_) * ewma_ms_ : ms;
+  have_sample_ = true;
+}
+
+AdmissionDecision AdmissionController::admit(std::size_t queue_depth,
+                                             std::size_t queue_capacity,
+                                             std::size_t executors,
+                                             std::int64_t budget_ms) {
+  const double lanes = static_cast<double>(std::max<std::size_t>(executors, 1));
+  core::MutexLock lock(mu_);
+  const double ewma = ewma_locked();
+  // Expected ms until one executor slot frees with the current backlog.
+  const double slot_free_ms = ewma * static_cast<double>(queue_depth) / lanes;
+
+  AdmissionDecision d;
+  if (queue_depth >= queue_capacity) {
+    d.admit = false;
+    d.retry_after_ms = have_sample_ ? to_hint_ms(ewma / lanes) : kColdRetryMs;
+    d.reason = "queue full (depth " + std::to_string(queue_depth) +
+               " of capacity " + std::to_string(queue_capacity) + ")";
+    ++shed_;
+    return d;
+  }
+  // Deadline check only when the client stated one and we have evidence;
+  // a cold controller admits everything the queue bound allows.
+  if (budget_ms > 0 && have_sample_) {
+    const double projected_done_ms = slot_free_ms + ewma;
+    if (projected_done_ms > static_cast<double>(budget_ms)) {
+      // How much backlog must drain for the projection to fit the budget,
+      // converted back to wall time at the current service rate.
+      const double excess_ms = projected_done_ms - static_cast<double>(budget_ms);
+      d.admit = false;
+      d.retry_after_ms = to_hint_ms(excess_ms);
+      d.reason = "deadline unmeetable (budget " + std::to_string(budget_ms) +
+                 " ms, projected " +
+                 std::to_string(static_cast<std::int64_t>(projected_done_ms)) +
+                 " ms at depth " + std::to_string(queue_depth) + ")";
+      ++shed_;
+      return d;
+    }
+  }
+  return d;
+}
+
+double AdmissionController::ewma_job_ms() const {
+  core::MutexLock lock(mu_);
+  return ewma_locked();
+}
+
+std::uint64_t AdmissionController::shed_total() const {
+  core::MutexLock lock(mu_);
+  return shed_;
+}
+
+std::int64_t AdmissionController::retry_after_hint(std::size_t queue_depth,
+                                                   std::size_t executors) const {
+  const double lanes = static_cast<double>(std::max<std::size_t>(executors, 1));
+  core::MutexLock lock(mu_);
+  if (!have_sample_) return kColdRetryMs;
+  return to_hint_ms(ewma_locked() * static_cast<double>(queue_depth + 1) / lanes);
+}
+
+}  // namespace emi::svc

@@ -1,0 +1,72 @@
+// Deadline-aware admission control for the EMI service.
+//
+// The service's SLO currency is the per-job total budget (JobSpec::
+// total_budget_ms): a client that submits with a budget wants an answer
+// inside it, and enqueueing a job that provably cannot start before its
+// budget burns is worse than refusing it - the executor wastes a slot
+// computing a result nobody is waiting for, and every job behind it waits
+// longer. So SUBMIT consults this controller first: it tracks an EWMA of
+// recent per-job wall latency and projects, from current queue depth and
+// executor count, when a new job would *finish*. Submissions whose budget
+// the projection cannot meet are shed with kResourceExhausted plus a
+// retry_after_ms hint (how long until the backlog has drained enough for
+// the projection to fit), giving well-behaved clients (emiplace submit
+// --retry, core::Backoff) a polite schedule instead of a thundering herd.
+//
+// Budgetless submissions are only shed by the queue bound itself - with no
+// deadline there is nothing to miss, so FIFO fairness is preserved.
+//
+// Shedding changes only *whether* a job runs, never what an accepted job
+// computes, so admission control cannot perturb result bits. The EWMA is
+// fed from measured wall latency, which makes shed *decisions* load- and
+// machine-dependent by design; everything downstream of an accept stays
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/thread_annotations.hpp"
+
+namespace emi::svc {
+
+struct AdmissionDecision {
+  bool admit = true;
+  // When shed: suggested client wait before retrying, >= 1.
+  std::int64_t retry_after_ms = 0;
+  std::string reason;  // empty when admitted
+};
+
+class AdmissionController {
+ public:
+  // `alpha` weights the newest sample in the EWMA (0 < alpha <= 1).
+  explicit AdmissionController(double alpha = 0.25) : alpha_(alpha) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  // Feed one completed job's wall latency (queued->terminal, ms).
+  void record_job_ms(double ms);
+
+  // Decide one submission given current load. Pure function of (EWMA state,
+  // arguments); bumps the shed counter on a reject.
+  AdmissionDecision admit(std::size_t queue_depth, std::size_t queue_capacity,
+                          std::size_t executors, std::int64_t budget_ms);
+
+  double ewma_job_ms() const;
+  std::uint64_t shed_total() const;
+  // Current backlog-drain hint: expected ms until one executor slot frees
+  // (the retry_after a full-queue shed would carry right now).
+  std::int64_t retry_after_hint(std::size_t queue_depth, std::size_t executors) const;
+
+ private:
+  double ewma_locked() const EMI_REQUIRES(mu_) { return have_sample_ ? ewma_ms_ : 0.0; }
+
+  const double alpha_;
+  mutable core::Mutex mu_;
+  double ewma_ms_ EMI_GUARDED_BY(mu_) = 0.0;
+  bool have_sample_ EMI_GUARDED_BY(mu_) = false;
+  std::uint64_t shed_ EMI_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace emi::svc

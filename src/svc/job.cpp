@@ -12,8 +12,9 @@ namespace emi::svc {
 
 namespace {
 
-const char* const kStateNames[] = {"queued", "running", "done", "failed",
-                                   "cancelled"};
+const char* const kStateNames[] = {"queued",  "running", "done",       "failed",
+                                   "cancelled", "stalled", "quarantined"};
+constexpr std::size_t kStateCount = sizeof kStateNames / sizeof kStateNames[0];
 
 std::string hex64(std::uint64_t v) {
   char buf[17];
@@ -43,7 +44,7 @@ const char* job_state_name(JobState s) {
 }
 
 std::optional<JobState> job_state_from_name(std::string_view name) {
-  for (std::size_t i = 0; i < 5; ++i) {
+  for (std::size_t i = 0; i < kStateCount; ++i) {
     if (name == kStateNames[i]) return static_cast<JobState>(i);
   }
   return std::nullopt;
@@ -67,6 +68,10 @@ core::Status validate_job_spec(const JobSpec& spec) {
     return core::Status(core::ErrorCode::kInvalidArgument, "svc.job",
                         "unknown stop_after stage: " + spec.stop_after_stage);
   }
+  if (spec.poison && spec.stop_after_stage.empty()) {
+    return core::Status(core::ErrorCode::kInvalidArgument, "svc.job",
+                        "poison requires stop_after");
+  }
   // Client names land in space-separated kv records and protocol replies.
   for (const char c : spec.client) {
     if (std::isspace(static_cast<unsigned char>(c)) != 0) {
@@ -87,7 +92,9 @@ std::vector<io::KvRecord> job_to_records(const JobRecord& job) {
   r.emplace_back("client", job.spec.client.empty() ? "-" : job.spec.client);
   r.emplace_back("stop_after",
                  job.spec.stop_after_stage.empty() ? "-" : job.spec.stop_after_stage);
+  r.emplace_back("poison", job.spec.poison ? "1" : "0");
   r.emplace_back("state", job_state_name(job.state));
+  r.emplace_back("attempts", std::to_string(job.attempts));
   r.emplace_back("fingerprint", hex64(job.fingerprint));
   r.emplace_back("complete", job.complete ? "1" : "0");
   r.emplace_back("detail", job.detail.empty() ? "-" : job.detail);
@@ -119,6 +126,13 @@ core::Result<JobRecord> job_from_records(const std::vector<io::KvRecord>& record
       job.spec.client = value == "-" ? std::string() : value;
     } else if (key == "stop_after") {
       job.spec.stop_after_stage = value == "-" ? std::string() : value;
+    } else if (key == "poison") {
+      if (value != "0" && value != "1") return field_error(key, value);
+      job.spec.poison = value == "1";
+    } else if (key == "attempts") {
+      std::uint64_t v = 0;
+      if (!parse_u64(value, v) || v > 0xffffffffull) return field_error(key, value);
+      job.attempts = static_cast<std::uint32_t>(v);
     } else if (key == "state") {
       const std::optional<JobState> s = job_state_from_name(value);
       if (!s) return field_error(key, value);

@@ -9,12 +9,25 @@
 //
 //   queued -> running -> done | failed | cancelled      (terminal)
 //   queued -> cancelled                                  (cancel before start)
+//   running -> stalled -> queued                         (lease lapse, watchdog
+//                                                         requeue while
+//                                                         attempts remain)
+//   running -> stalled -> failed                         (attempts exhausted)
+//   queued | running | stalled -> quarantined            (startup recovery of a
+//                                                         crash-loop job;
+//                                                         terminal, never rerun)
 //
 // A restart re-queues `queued` jobs and resumes `running` ones from their
 // per-job flow checkpoint (falling back to a fresh deterministic rerun when
 // the checkpoint is missing or torn); terminal jobs stay queryable. By the
 // flow's determinism contract the resumed result is bit-identical to an
 // uninterrupted run's, checkable via the recorded result fingerprint.
+//
+// `attempts` counts queued->running transitions and is persisted *before*
+// the flow starts, so a job that crashes the process on every attempt
+// accumulates evidence across restarts; recovery quarantines any
+// non-terminal job whose count already reached the service's max_attempts,
+// killing the crash loop instead of faithfully replaying it.
 #pragma once
 
 #include <cstdint>
@@ -37,12 +50,20 @@ enum class JobState : std::uint8_t {
   kDone,
   kFailed,
   kCancelled,
+  // Lease expired without a heartbeat: the watchdog raised the job's
+  // CancelToken and is waiting for the wedged executor to let go. Not
+  // terminal - the job is requeued (attempts remaining) or failed.
+  kStalled,
+  // Startup recovery found a crash-loop job (attempts >= max). Terminal;
+  // never rerun.
+  kQuarantined,
 };
 
 const char* job_state_name(JobState s);
 std::optional<JobState> job_state_from_name(std::string_view name);
 inline bool job_state_terminal(JobState s) {
-  return s == JobState::kDone || s == JobState::kFailed || s == JobState::kCancelled;
+  return s == JobState::kDone || s == JobState::kFailed ||
+         s == JobState::kCancelled || s == JobState::kQuarantined;
 }
 
 // What a client submits: which built-in converter to run the paper's flow
@@ -59,6 +80,11 @@ struct JobSpec {
   // after this stage's checkpoint WITHOUT writing a terminal job state -
   // disk is left exactly as a SIGKILL mid-job would leave it.
   std::string stop_after_stage;
+  // Crash-loop stand-in (tests only): keep the stop_after hook armed on
+  // recovered reruns too, so every attempt "crashes" again and recovery's
+  // quarantine path can be exercised. Without this a recovered run executes
+  // with the hook disarmed (one crash, then a clean resume).
+  bool poison = false;
 };
 
 // Validate a spec at the submission boundary (unknown topology, zero sweep,
@@ -75,6 +101,9 @@ struct JobRecord {
   std::uint64_t fingerprint = 0;
   bool complete = false;       // FlowResult::complete of the terminal result
   std::string detail;          // terminal status note ("cancelled", first diag)
+  // queued->running transitions so far, persisted before each run starts;
+  // recovery quarantines non-terminal jobs whose count reached max_attempts.
+  std::uint32_t attempts = 0;
 };
 
 // kv round-trip; field order is fixed so identical records serialize to

@@ -9,11 +9,35 @@ core::Status JobQueue::push(std::uint64_t id) {
       return core::Status(core::ErrorCode::kFailedPrecondition, "svc.queue",
                           "queue closed");
     }
-    if (q_.size() >= capacity_) {
+    if (frozen_) {
       return core::Status(core::ErrorCode::kFailedPrecondition, "svc.queue",
-                          "queue full (capacity " + std::to_string(capacity_) + ")");
+                          "queue frozen (draining)");
+    }
+    if (q_.size() >= capacity_) {
+      // Depth and capacity in the message so shed decisions are diagnosable
+      // from client logs alone.
+      return core::Status(core::ErrorCode::kResourceExhausted, "svc.queue",
+                          "queue full (depth " + std::to_string(q_.size()) +
+                              " of capacity " + std::to_string(capacity_) + ")");
     }
     q_.push_back(id);
+  }
+  cv_.notify_one();
+  return core::Status();
+}
+
+core::Status JobQueue::push_forced(std::uint64_t id) {
+  {
+    core::MutexLock lock(mu_);
+    if (closed_) {
+      return core::Status(core::ErrorCode::kFailedPrecondition, "svc.queue",
+                          "queue closed");
+    }
+    if (frozen_) {
+      return core::Status(core::ErrorCode::kFailedPrecondition, "svc.queue",
+                          "queue frozen (draining)");
+    }
+    q_.push_back(id);  // deliberately no capacity check: requeued old work
   }
   cv_.notify_one();
   return core::Status();
@@ -23,7 +47,8 @@ std::optional<std::uint64_t> JobQueue::pop() {
   // Manual wait loop so the thread-safety analysis sees the predicate run
   // with mu_ held.
   core::MutexLock lock(mu_);
-  while (!closed_ && q_.empty()) cv_.wait(lock.native());
+  while (!closed_ && !frozen_ && q_.empty()) cv_.wait(lock.native());
+  if (frozen_) return std::nullopt;  // draining: leave queued work on disk
   if (q_.empty()) return std::nullopt;  // closed and drained
   const std::uint64_t id = q_.front();
   q_.pop_front();
@@ -38,9 +63,22 @@ void JobQueue::close() {
   cv_.notify_all();
 }
 
+void JobQueue::freeze() {
+  {
+    core::MutexLock lock(mu_);
+    frozen_ = true;
+  }
+  cv_.notify_all();
+}
+
 bool JobQueue::closed() const {
   core::MutexLock lock(mu_);
   return closed_;
+}
+
+bool JobQueue::frozen() const {
+  core::MutexLock lock(mu_);
+  return frozen_;
 }
 
 std::size_t JobQueue::size() const {

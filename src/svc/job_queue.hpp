@@ -6,9 +6,13 @@
 // bits.
 //
 // push() never blocks: a full queue is an immediate, deterministic
-// kFailedPrecondition (the protocol surfaces it as an ERR the client can
-// retry), not a stall inside the accept loop. pop() blocks until a job or
-// close(); close() drains waiters with nullopt so executors exit cleanly.
+// kResourceExhausted carrying depth and capacity (the protocol surfaces it
+// as an ERR with a retry_after_ms hint), not a stall inside the accept
+// loop. pop() blocks until a job or close(); close() drains waiters with
+// nullopt so executors exit cleanly. freeze() is the drain primitive: pop()
+// stops handing out work immediately (even with jobs still queued), so
+// executors finish only what they already started and the queued backlog
+// stays durable on disk for the next start.
 #pragma once
 
 #include <condition_variable>
@@ -28,15 +32,25 @@ class JobQueue {
   JobQueue(const JobQueue&) = delete;
   JobQueue& operator=(const JobQueue&) = delete;
 
-  // kFailedPrecondition when full or closed.
+  // kResourceExhausted (with depth and capacity in the message) when full;
+  // kFailedPrecondition when closed or frozen.
   [[nodiscard]] core::Status push(std::uint64_t id);
 
+  // Watchdog requeue: like push() but exempt from the capacity bound - a
+  // stalled job re-entering the queue is old admitted work, not new load,
+  // and must never be shed. Still fails when closed or frozen.
+  [[nodiscard]] core::Status push_forced(std::uint64_t id);
+
   // Next id in FIFO order; blocks while empty, nullopt once closed and
-  // drained.
+  // drained (or immediately once frozen).
   std::optional<std::uint64_t> pop();
 
   void close();
+  // Graceful-drain gate: pop() returns nullopt from now on, queued entries
+  // included, and waiters wake. Irreversible, like close().
+  void freeze();
   bool closed() const;
+  bool frozen() const;
   std::size_t size() const;
   std::size_t capacity() const;
 
@@ -51,6 +65,7 @@ class JobQueue {
   std::size_t capacity_ EMI_GUARDED_BY(mu_);
   std::deque<std::uint64_t> q_ EMI_GUARDED_BY(mu_);
   bool closed_ EMI_GUARDED_BY(mu_) = false;
+  bool frozen_ EMI_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace emi::svc

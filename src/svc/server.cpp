@@ -99,6 +99,14 @@ CommandOutcome handle_command(Service& svc, const std::string& line) {
     if (const auto v = io::kv_value(tokens, "topology")) spec.topology = *v;
     if (const auto v = io::kv_value(tokens, "client")) spec.client = *v;
     if (const auto v = io::kv_value(tokens, "stop_after")) spec.stop_after_stage = *v;
+    if (const auto v = io::kv_value(tokens, "poison")) {
+      if (*v != "0" && *v != "1") {
+        out.reply = err_reply(core::ErrorCode::kInvalidArgument,
+                              "malformed poison value: " + *v);
+        return out;
+      }
+      spec.poison = *v == "1";
+    }
     std::uint64_t n = 0;
     if (const auto v = io::kv_value(tokens, "points")) {
       if (!parse_u64(*v, n)) {
@@ -162,6 +170,8 @@ CommandOutcome handle_command(Service& svc, const std::string& line) {
                 " done=" + std::to_string(s.done) +
                 " failed=" + std::to_string(s.failed) +
                 " cancelled=" + std::to_string(s.cancelled) +
+                " stalled=" + std::to_string(s.stalled) +
+                " quarantined=" + std::to_string(s.quarantined) +
                 " sessions=" + std::to_string(s.sessions) +
                 " cache_self_hits=" + std::to_string(s.global_cache.self_hits) +
                 " cache_self_misses=" + std::to_string(s.global_cache.self_misses) +
@@ -171,7 +181,31 @@ CommandOutcome handle_command(Service& svc, const std::string& line) {
     return out;
   }
 
+  if (verb == "HEALTH") {
+    const ServiceHealth h = svc.health();
+    char ewma[32];
+    std::snprintf(ewma, sizeof ewma, "%.3f", h.ewma_job_ms);
+    out.reply = "OK queue_depth=" + std::to_string(h.queue_depth) +
+                " queue_capacity=" + std::to_string(h.queue_capacity) +
+                " executors=" + std::to_string(h.executors) +
+                " running=" + std::to_string(h.running) +
+                " stalled=" + std::to_string(h.stalled) +
+                " stall_events=" + std::to_string(h.stall_events) +
+                " shed=" + std::to_string(h.shed) +
+                " quarantined=" + std::to_string(h.quarantined) +
+                " ewma_job_ms=" + ewma +
+                " retry_after_ms=" + std::to_string(h.retry_after_ms) +
+                " draining=" + (h.draining ? "1" : "0");
+    return out;
+  }
+
   if (verb == "SHUTDOWN") {
+    if (tokens.size() > 1 && tokens[1] == "DRAIN") {
+      svc.begin_drain();
+      out.reply = "OK draining";
+      out.drain = true;
+      return out;
+    }
     out.reply = "OK shutting_down";
     out.shutdown = true;
     return out;
@@ -217,6 +251,7 @@ core::Status SocketServer::serve() {
   };
   std::map<int, Conn> conns;
   bool shutdown = false;
+  bool draining = false;
 
   const auto send_line = [](int fd, const std::string& reply) {
     std::string buf = reply + "\n";
@@ -277,6 +312,7 @@ core::Status SocketServer::serve() {
           shutdown = true;
           break;
         }
+        if (outcome.drain) draining = true;
       }
     }
 
@@ -295,6 +331,21 @@ core::Status SocketServer::serve() {
       ::close(fd);
       conns.erase(fd);
     }
+
+    // Draining: keep answering STATUS/HEALTH/RESULT until the last
+    // in-flight job lands, then leave the loop like a SHUTDOWN.
+    if (draining && svc_.drain_complete()) shutdown = true;
+  }
+
+  // Flush parked RESULT waiters with their job's current record (possibly
+  // non-terminal) so a drain/shutdown never silently drops a blocked
+  // client mid-wait.
+  for (auto& [fd, c] : conns) {
+    if (!c.waiting) continue;
+    const core::Result<JobRecord> rec = svc_.status(c.wait_job);
+    const std::string reply =
+        rec.ok() ? format_job_reply(rec.value()) : err_reply(rec.status());
+    (void)send_line(fd, reply);  // peer may already be gone; close follows
   }
 
   for (const auto& [fd, c] : conns) ::close(fd);

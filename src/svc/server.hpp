@@ -8,17 +8,27 @@
 //   RESULT job=N      (blocks until terminal)     -> OK id=N state=... ...
 //   CANCEL job=N                                  -> OK id=N cancelled
 //   STATS                                         -> OK submitted=... ...
+//   HEALTH                                        -> OK queue_depth=... ...
 //   SHUTDOWN                                      -> OK shutting_down
+//   SHUTDOWN DRAIN                                -> OK draining
 //
 // Errors come back as `ERR code=<error-code-name> msg=<text>`; an unknown
-// verb or malformed field is code=invalid_argument, a full queue is
-// code=failed_precondition - the client can retry. Replies are single
-// lines, so `socat - UNIX-CONNECT:<sock>` is a complete interactive client.
+// verb or malformed field is code=invalid_argument. An overload shed is
+// code=resource_exhausted and its msg carries a ` retry_after_ms=<N>`
+// token - the wire-protocol RETRY-AFTER hint that `emiplace submit --retry`
+// honors. Replies are single lines, so `socat - UNIX-CONNECT:<sock>` is a
+// complete interactive client.
 //
 // The server is a single poll() loop: many concurrent clients, no thread
 // per connection. RESULT does not stall the loop - the connection is parked
 // on a waiter list and answered when the job reaches a terminal state;
 // execution itself happens on the service's executor threads.
+//
+// SHUTDOWN DRAIN stops admissions immediately (further SUBMITs get
+// code=failed_precondition) but keeps the loop serving STATUS/HEALTH/STATS
+// until every in-flight job lands; queued jobs stay durable on disk for the
+// next start. On any exit, parked RESULT waiters are flushed with their
+// job's current (possibly non-terminal) record instead of a silent close.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +47,9 @@ struct CommandOutcome {
   bool deferred = false;
   std::uint64_t wait_job = 0;
   bool shutdown = false;
+  // SHUTDOWN DRAIN: Service::begin_drain() was called; the poll loop keeps
+  // serving until svc.drain_complete(), then exits.
+  bool drain = false;
 };
 
 CommandOutcome handle_command(Service& svc, const std::string& line);

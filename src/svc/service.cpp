@@ -1,10 +1,12 @@
 #include "src/svc/service.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <stdexcept>
 #include <utility>
 
+#include "src/core/fault_injection.hpp"
 #include "src/flow/buck_converter.hpp"
 #include "src/flow/checkpoint.hpp"
 #include "src/flow/design_flow.hpp"
@@ -46,6 +48,14 @@ std::string terminal_detail(const flow::FlowResult& res) {
   return res.diagnostics.back().status.to_string();
 }
 
+// Monotonic ms for heartbeat/lease arithmetic (never wall clock; steady so
+// clock adjustments cannot expire a lease).
+std::int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 Service::Service(ServiceOptions opt)
@@ -65,11 +75,18 @@ Service::Service(ServiceOptions opt)
   for (std::size_t i = 0; i < n; ++i) {
     executors_.emplace_back([this] { executor_loop(); });
   }
+  if (opt_.lease_ms > 0) {
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+  }
 }
 
 Service::~Service() {
   queue_.close();
+  // Executors first: a wedged executor only exits after the watchdog
+  // expires its lease, so the watchdog must outlive the executor joins.
   for (std::thread& t : executors_) t.join();
+  watchdog_stop_.store(true, std::memory_order_relaxed);
+  if (watchdog_.joinable()) watchdog_.join();
 }
 
 std::string Service::job_dir(std::uint64_t id) const {
@@ -105,11 +122,24 @@ void Service::recover() {
       job->rec = std::move(loaded).value();
       job->rec.id = id;  // directory name is authoritative
       if (!job_state_terminal(job->rec.state)) {
-        // queued: never started. running: interrupted mid-flight - its flow
-        // checkpoint (if intact) makes the rerun a resume.
-        job->rec.state = JobState::kQueued;
-        job->recovered_run = true;
-        requeue.push_back(id);
+        if (opt_.max_attempts > 0 && job->rec.attempts >= opt_.max_attempts) {
+          // Crash loop: this job already burned its attempts in previous
+          // processes (each one persisted before the run started) without
+          // ever reaching a terminal state. Re-queueing it would crash us
+          // too - quarantine it instead, durably and terminally.
+          job->rec.state = JobState::kQuarantined;
+          job->rec.detail = "quarantined after " +
+                            std::to_string(job->rec.attempts) +
+                            " attempts without a terminal state";
+          persist(*job);
+          ++quarantined_;
+        } else {
+          // queued: never started. running: interrupted mid-flight - its
+          // flow checkpoint (if intact) makes the rerun a resume.
+          job->rec.state = JobState::kQueued;
+          job->recovered_run = true;
+          requeue.push_back(id);
+        }
       }
     } else {
       // job.state damaged outside the atomic-write protocol (the writer
@@ -134,6 +164,20 @@ void Service::recover() {
 core::Result<std::uint64_t> Service::submit(const JobSpec& spec) {
   if (core::Status st = validate_job_spec(spec); !st.ok()) return st;
   core::MutexLock lock(mu_);
+  if (draining_) {
+    return core::Status(core::ErrorCode::kFailedPrecondition, "svc.service",
+                        "draining: not accepting new jobs");
+  }
+  // Admission control before anything becomes durable: a shed submission
+  // must leave zero trace. The retry_after_ms token rides in the message so
+  // the wire ERR line carries it verbatim for retrying clients.
+  const AdmissionDecision adm = admission_.admit(
+      queue_.size(), queue_.capacity(), executors_.size(), spec.total_budget_ms);
+  if (!adm.admit) {
+    return core::Status(core::ErrorCode::kResourceExhausted, "svc.admission",
+                        adm.reason + " retry_after_ms=" +
+                            std::to_string(adm.retry_after_ms));
+  }
   const std::uint64_t id = next_id_;
   std::error_code ec;
   fs::create_directories(job_dir(id), ec);
@@ -189,8 +233,10 @@ core::Status Service::cancel(std::uint64_t id) {
     terminal_cv_.notify_all();
     return core::Status();
   }
-  // Running: raise the token; the executor finalizes the record at the
-  // flow's next poll point.
+  // Running (or stalled): raise the token; the executor finalizes the
+  // record at the flow's next poll point. user_cancelled makes the terminal
+  // transition prefer `cancelled` over a watchdog requeue.
+  job->user_cancelled = true;
   job->cancel.request_cancel();
   return core::Status();
 }
@@ -223,11 +269,60 @@ ServiceStats Service::stats() const {
       case JobState::kDone: ++s.done; break;
       case JobState::kFailed: ++s.failed; break;
       case JobState::kCancelled: ++s.cancelled; break;
+      case JobState::kStalled: ++s.stalled; break;
+      case JobState::kQuarantined: ++s.quarantined; break;
     }
   }
   s.sessions = sessions_.session_count();
   s.global_cache = sessions_.global_cache()->stats();
   return s;
+}
+
+ServiceHealth Service::health() const {
+  core::MutexLock lock(mu_);
+  ServiceHealth h;
+  h.queue_depth = queue_.size();
+  h.queue_capacity = queue_.capacity();
+  h.executors = executors_.size();
+  for (const auto& [id, job] : jobs_) {
+    if (job->crash_simmed) continue;
+    if (job->rec.state == JobState::kRunning) ++h.running;
+    if (job->rec.state == JobState::kStalled) ++h.stalled;
+  }
+  h.stall_events = stall_events_;
+  h.shed = admission_.shed_total();
+  h.quarantined = quarantined_;
+  h.ewma_job_ms = admission_.ewma_job_ms();
+  h.retry_after_ms = admission_.retry_after_hint(h.queue_depth, h.executors);
+  h.draining = draining_;
+  return h;
+}
+
+void Service::begin_drain() {
+  {
+    core::MutexLock lock(mu_);
+    draining_ = true;
+  }
+  // Freeze, not close: pop() stops handing out queued work immediately, so
+  // executors finish only what they already started; the queued backlog is
+  // already durable as `queued` and belongs to the next start.
+  queue_.freeze();
+}
+
+bool Service::drain_complete() const {
+  core::MutexLock lock(mu_);
+  for (const auto& [id, job] : jobs_) {
+    if (job->crash_simmed) continue;
+    if (job->rec.state == JobState::kRunning || job->rec.state == JobState::kStalled) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Service::draining() const {
+  core::MutexLock lock(mu_);
+  return draining_;
 }
 
 void Service::executor_loop() {
@@ -240,18 +335,67 @@ void Service::executor_loop() {
         continue;  // cancelled while queued, or stale entry
       }
       job->rec.state = JobState::kRunning;
+      // Attempt counted and persisted BEFORE any flow work: if this attempt
+      // takes the process down, the next recovery sees the evidence.
+      ++job->rec.attempts;
+      job->cancel.reset();  // a requeued job carries the watchdog's raise
+      job->user_cancelled = false;
+      job->last_beat_ms.store(now_ms(), std::memory_order_relaxed);
       persist(*job);
     }
     run_job(*job);
   }
 }
 
+void Service::watchdog_loop() {
+  const std::int64_t lease = opt_.lease_ms;
+  const auto tick = std::chrono::milliseconds(std::clamp<std::int64_t>(lease / 4, 5, 100));
+  while (!watchdog_stop_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(tick);
+    core::MutexLock lock(mu_);
+    const std::int64_t now = now_ms();
+    for (auto& [id, job] : jobs_) {
+      if (job->rec.state != JobState::kRunning || job->crash_simmed) continue;
+      if (now - job->last_beat_ms.load(std::memory_order_relaxed) <= lease) continue;
+      // Lease lapsed: declare the stall durably, then raise the token - the
+      // only signal that can free a wedged executor. The freed executor's
+      // terminal transition decides requeue vs failed.
+      job->rec.state = JobState::kStalled;
+      job->rec.detail =
+          "lease expired (no heartbeat for " + std::to_string(lease) + " ms)";
+      ++stall_events_;
+      persist(*job);
+      job->cancel.request_cancel();
+    }
+  }
+}
+
 void Service::run_job(Job& job) {
   const JobSpec spec = job.rec.spec;
   const std::string ckpt_path = job_dir(job.rec.id) + "/flow.ckpt";
+  const std::int64_t t0 = now_ms();
 
   flow::FlowResult res;
   bool crash_simmed = false;
+  // Injected stuck executor: spin without heartbeats or poll points until
+  // the watchdog's lease expiry raises the job's CancelToken - the exact
+  // shape of a real wedge (deadlocked solver, hung filesystem). The key
+  // mixes the attempt index so a requeued attempt re-rolls its fate.
+  if (core::fault::should_fire(
+          core::FaultSite::kWedge,
+          core::fault::mix(core::fault::mix(core::fault::fnv64("svc.job"),
+                                            job.rec.id),
+                           static_cast<std::uint64_t>(job.rec.attempts)))) {
+    while (!job.cancel.cancel_requested()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    res.complete = false;
+    res.diagnostics.push_back(
+        {"svc.job",
+         core::Status(core::ErrorCode::kInjectedFault, "svc.job",
+                      "executor wedged (injected)"),
+         1, false});
+  } else {
   try {
     flow::BuckConverter bc = spec.topology == "buck" ? flow::make_buck_converter()
                                                      : flow::make_boost_converter();
@@ -264,17 +408,28 @@ void Service::run_job(Job& job) {
     fopt.stage_budget_ms = spec.stage_budget_ms;
     fopt.cancel = &job.cancel;
     fopt.checkpoint_path = ckpt_path;
+    // Lease heartbeat: beaten at stage-attempt boundaries and unit steps
+    // (flow/stage_driver.hpp), proving the executor is making progress.
+    fopt.heartbeat = [&job] {
+      job.last_beat_ms.store(now_ms(), std::memory_order_relaxed);
+    };
     // The crash-sim hook models exactly one crash: a recovered job runs with
-    // it disarmed, the way a real restart runs after a real SIGKILL.
-    fopt.stop_after_stage = job.recovered_run ? std::string() : spec.stop_after_stage;
+    // it disarmed, the way a real restart runs after a real SIGKILL. A
+    // poison spec (tests only) keeps it armed to model a crash *loop*.
+    fopt.stop_after_stage = (job.recovered_run && !spec.poison)
+                                ? std::string()
+                                : spec.stop_after_stage;
     fopt.extraction_cache = sessions_.session_cache(spec.client);
 
     // Resume when the job left an intact checkpoint for this exact
     // configuration; anything else (first run, torn file, changed digest)
-    // is a fresh deterministic rerun.
+    // is a fresh deterministic rerun. A poison spec never resumes: resuming
+    // would skip the already-decided crash stage and break the crash *loop*
+    // the spec exists to model - a poison input takes the process down at
+    // the same point on every attempt.
     flow::FlowCheckpoint ck;
     core::Result<flow::FlowCheckpoint> loaded = flow::load_checkpoint_file(ckpt_path);
-    if (loaded.ok() &&
+    if (loaded.ok() && !spec.poison &&
         loaded.value().context_digest == flow::flow_context_digest(bc, initial, fopt)) {
       ck = std::move(loaded).value();
     } else if (!loaded.ok()) {
@@ -292,6 +447,7 @@ void Service::run_job(Job& job) {
         {"svc.job",
          core::Status(core::ErrorCode::kInternal, "svc.job", e.what()), 1, false});
   }
+  }
 
   core::MutexLock lock(mu_);
   if (crash_simmed) {
@@ -299,6 +455,29 @@ void Service::run_job(Job& job) {
     // `running` - exactly the state a real kill would leave - but unblock
     // wait()ers in this process.
     job.crash_simmed = true;
+    terminal_cv_.notify_all();
+    return;
+  }
+  if (job.rec.state == JobState::kStalled && !job.user_cancelled) {
+    // The watchdog expired this job's lease while we were stuck. The
+    // attempt's output is untrustworthy either way; requeue while attempts
+    // remain, fail terminally once they're burned.
+    if (opt_.max_attempts == 0 || job.rec.attempts < opt_.max_attempts) {
+      job.rec.state = JobState::kQueued;
+      job.rec.detail = "stalled (lease expired); requeued for attempt " +
+                       std::to_string(job.rec.attempts + 1);
+      persist(job);
+      // Forced: a stalled job is old admitted work, exempt from the
+      // capacity bound. Fails only when the queue is closed or frozen -
+      // then the job stays durably `queued` for the next start.
+      (void)queue_.push_forced(job.rec.id);
+    } else {
+      job.rec.state = JobState::kFailed;
+      job.rec.complete = false;
+      job.rec.detail = "stalled after " + std::to_string(job.rec.attempts) +
+                       " attempts (lease expired each time)";
+      persist(job);
+    }
     terminal_cv_.notify_all();
     return;
   }
@@ -314,6 +493,11 @@ void Service::run_job(Job& job) {
     job.rec.detail = terminal_detail(res);
   }
   persist(job);
+  // Feed admission's latency model from jobs that consumed a full executor
+  // slot; cancelled runs are truncated and would bias the EWMA down.
+  if (job.rec.state != JobState::kCancelled) {
+    admission_.record_job_ms(static_cast<double>(now_ms() - t0));
+  }
   terminal_cv_.notify_all();
 }
 

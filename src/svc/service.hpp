@@ -24,9 +24,25 @@
 // any thread count), so identical specs submitted to any mix of sessions
 // yield identical fingerprints regardless of queue interleaving.
 //
+// Overload and resilience. SUBMIT passes through an AdmissionController
+// (svc/admission.hpp): a full queue or an unmeetable deadline is shed with
+// kResourceExhausted and a retry_after_ms hint instead of being enqueued.
+// When `lease_ms` is set, a watchdog thread supervises running jobs via
+// heartbeats beaten from the flow's stage-attempt boundaries: a lapsed
+// lease marks the job `stalled`, raises its CancelToken (the only thing
+// that can unwedge a stuck executor), and the freed executor requeues it -
+// until `max_attempts` queued->running transitions, after which it fails.
+// Attempt counts are persisted before each run, so startup recovery
+// quarantines (terminal `quarantined`) any non-terminal job that already
+// burned max_attempts - a job that crashes the process on every attempt is
+// retired instead of replayed forever.
+//
 // A graceful shutdown (destructor) closes the queue, finishes the jobs
 // already running, and leaves still-queued jobs on disk in `queued` state
-// for the next start - shutdown never cancels or loses work.
+// for the next start - shutdown never cancels or loses work. begin_drain()
+// is the protocol-visible variant (SHUTDOWN DRAIN): admissions stop,
+// executors finish only the jobs already started, and drain_complete()
+// reports when the last in-flight job landed.
 #pragma once
 
 #include <condition_variable>
@@ -40,6 +56,7 @@
 #include "src/core/deadline.hpp"
 #include "src/core/thread_annotations.hpp"
 #include "src/core/status.hpp"
+#include "src/svc/admission.hpp"
 #include "src/svc/job.hpp"
 #include "src/svc/job_queue.hpp"
 #include "src/svc/session.hpp"
@@ -49,7 +66,16 @@ namespace emi::svc {
 struct ServiceOptions {
   std::string state_dir;           // required; created if absent
   std::size_t executors = 1;       // worker threads taking jobs off the queue
-  std::size_t queue_capacity = 64; // SUBMIT fails deterministically when full
+  std::size_t queue_capacity = 64; // SUBMIT is shed deterministically when full
+  // Hung-job watchdog: a running job whose last heartbeat is older than this
+  // is declared stalled, its CancelToken raised, and it is requeued (or
+  // failed once max_attempts is burned). 0 = watchdog off. Heartbeats beat
+  // at flow stage-attempt boundaries, so the lease must comfortably exceed
+  // the longest single stage attempt of the workload.
+  std::int64_t lease_ms = 0;
+  // Upper bound on queued->running transitions per job, enforced by the
+  // watchdog requeue path and by startup recovery (quarantine).
+  std::uint32_t max_attempts = 3;
 };
 
 struct ServiceStats {
@@ -60,8 +86,26 @@ struct ServiceStats {
   std::uint64_t done = 0;
   std::uint64_t failed = 0;
   std::uint64_t cancelled = 0;
+  std::uint64_t stalled = 0;
+  std::uint64_t quarantined = 0;
   std::uint64_t sessions = 0;
   peec::CacheTierStats global_cache;  // shared-tier hit/miss counters
+};
+
+// Snapshot for the HEALTH protocol verb: the numbers an operator (or a
+// load balancer) needs to reason about shed/stall/drain behavior.
+struct ServiceHealth {
+  std::size_t queue_depth = 0;
+  std::size_t queue_capacity = 0;
+  std::size_t executors = 0;
+  std::uint64_t running = 0;       // live leases (jobs currently executing)
+  std::uint64_t stalled = 0;       // jobs currently in the stalled state
+  std::uint64_t stall_events = 0;  // lease expiries observed (cumulative)
+  std::uint64_t shed = 0;          // submissions rejected by admission control
+  std::uint64_t quarantined = 0;   // jobs quarantined by startup recovery
+  double ewma_job_ms = 0.0;        // admission EWMA of per-job service time
+  std::int64_t retry_after_ms = 0; // current backlog-drain hint
+  bool draining = false;
 };
 
 class Service {
@@ -93,6 +137,15 @@ class Service {
   [[nodiscard]] core::Result<JobRecord> wait(std::uint64_t id);
 
   ServiceStats stats() const;
+  ServiceHealth health() const;
+
+  // Graceful drain: stop admitting, freeze the queue (executors finish only
+  // what they already started; queued jobs stay durable on disk for the
+  // next start) and let drain_complete() report when in-flight work landed.
+  // Irreversible for this process.
+  void begin_drain();
+  bool drain_complete() const;
+  bool draining() const;
 
   const std::string& state_dir() const { return opt_.state_dir; }
   std::string job_dir(std::uint64_t id) const;
@@ -107,13 +160,23 @@ class Service {
     // Re-queued by the startup scan: the spec's crash-sim hook already
     // fired in the previous process, so this run executes it disarmed -
     // recovery models the restart *after* the crash, not another crash.
+    // (A poison spec keeps the hook armed; see JobSpec::poison.)
     bool recovered_run = false;
+    // A CANCEL verb reached this job while it was running or stalled; the
+    // terminal transition honors it over a watchdog requeue.
+    bool user_cancelled = false;
+    // Last heartbeat, steady-clock ms. Written lock-free from flow
+    // stage-attempt boundaries; read by the watchdog.
+    std::atomic<std::int64_t> last_beat_ms{0};
   };
 
   void executor_loop();
-  // Runs the flow for `job` without mu_ held (the executor exclusively owns
-  // a running job's record between the queued->running and terminal
-  // transitions, both of which happen under mu_).
+  void watchdog_loop() EMI_EXCLUDES(mu_);
+  // Runs the flow for `job` without mu_ held. The executor owns a running
+  // job's record between the queued->running and terminal transitions
+  // (both under mu_) - with one exception: the watchdog may flip
+  // state/detail to `stalled` under mu_, which the terminal transition
+  // re-reads under mu_ before deciding requeue vs terminal.
   void run_job(Job& job) EMI_EXCLUDES(mu_);
   // Persist the record to the job's state file; failures become the job's
   // detail but never tear the file (atomic writer).
@@ -125,6 +188,7 @@ class Service {
   ServiceOptions opt_;
   JobQueue queue_;
   SessionManager sessions_;
+  AdmissionController admission_;  // own lock, always acquired after mu_
 
   mutable core::Mutex mu_;                // guards jobs_, next_id_, counters
   std::condition_variable terminal_cv_;   // signalled on any terminal transition
@@ -132,8 +196,13 @@ class Service {
   std::uint64_t next_id_ EMI_GUARDED_BY(mu_) = 1;
   std::uint64_t submitted_ EMI_GUARDED_BY(mu_) = 0;
   std::uint64_t recovered_ EMI_GUARDED_BY(mu_) = 0;
+  std::uint64_t stall_events_ EMI_GUARDED_BY(mu_) = 0;
+  std::uint64_t quarantined_ EMI_GUARDED_BY(mu_) = 0;
+  bool draining_ EMI_GUARDED_BY(mu_) = false;
 
   std::vector<std::thread> executors_;
+  std::thread watchdog_;                  // running only when lease_ms > 0
+  std::atomic<bool> watchdog_stop_{false};
 };
 
 }  // namespace emi::svc

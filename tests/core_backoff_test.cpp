@@ -1,0 +1,69 @@
+// core::Backoff: the deterministic retry schedule. Two constructions with
+// the same (options, seed) must replay byte-identical delays; distinct seeds
+// must decorrelate; every delay must respect the jitter window
+// [(1-jitter)*d_k, d_k] and the exponential cap.
+#include "src/core/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace emi::core {
+namespace {
+
+TEST(Backoff, SameSeedReplaysIdenticalSchedule) {
+  const BackoffOptions opt{100, 10000, 2.0, 0.5};
+  const Backoff a(opt, 42), b(opt, 42);
+  for (int k = 0; k < 12; ++k) EXPECT_EQ(a.delay_ms(k), b.delay_ms(k)) << "attempt " << k;
+  // And repeated queries of the same attempt are stable (no hidden state).
+  EXPECT_EQ(a.delay_ms(3), a.delay_ms(3));
+}
+
+TEST(Backoff, DistinctSeedsDecorrelate) {
+  const BackoffOptions opt{100, 10000, 2.0, 0.5};
+  const Backoff a(opt, 1), b(opt, 2);
+  int differing = 0;
+  for (int k = 0; k < 12; ++k) differing += a.delay_ms(k) != b.delay_ms(k) ? 1 : 0;
+  // Jitter spans half of each delay; 12 coincidences would mean the seed is
+  // not actually feeding the hash.
+  EXPECT_GT(differing, 6);
+}
+
+TEST(Backoff, DelaysRespectJitterWindowAndCap) {
+  const BackoffOptions opt{50, 800, 2.0, 0.5};
+  const Backoff bo(opt, 7);
+  for (int k = 0; k < 16; ++k) {
+    // Nominal delay for attempt k: base * mult^k, clamped.
+    double nominal = 50.0;
+    for (int i = 0; i < k && nominal < 800.0; ++i) nominal *= 2.0;
+    if (nominal > 800.0) nominal = 800.0;
+    const std::int64_t d = bo.delay_ms(k);
+    EXPECT_GE(d, static_cast<std::int64_t>(nominal * 0.5) - 1) << "attempt " << k;
+    EXPECT_LE(d, static_cast<std::int64_t>(nominal)) << "attempt " << k;
+  }
+}
+
+TEST(Backoff, ZeroJitterIsRegularExponential) {
+  const Backoff bo({10, 1000, 2.0, 0.0}, 999);
+  EXPECT_EQ(bo.delay_ms(0), 10);
+  EXPECT_EQ(bo.delay_ms(1), 20);
+  EXPECT_EQ(bo.delay_ms(2), 40);
+  EXPECT_EQ(bo.delay_ms(7), 1000);   // clamped
+  EXPECT_EQ(bo.delay_ms(30), 1000);  // stays clamped, no overflow blowup
+}
+
+TEST(Backoff, DegenerateOptionsAreSafe) {
+  EXPECT_EQ(Backoff({0, 1000, 2.0, 0.5}, 3).delay_ms(4), 0);   // base 0: no delay
+  EXPECT_EQ(Backoff({-5, 1000, 2.0, 0.5}, 3).delay_ms(4), 0);  // negative base
+  // max <= 0 falls back to base (constant schedule modulo jitter).
+  const Backoff flat({100, 0, 2.0, 0.0}, 3);
+  EXPECT_EQ(flat.delay_ms(0), 100);
+  EXPECT_EQ(flat.delay_ms(9), 100);
+  // Out-of-range jitter is clamped, never produces a negative delay.
+  const Backoff wild({100, 1000, 2.0, 5.0}, 11);
+  for (int k = 0; k < 8; ++k) EXPECT_GE(wild.delay_ms(k), 0) << "attempt " << k;
+}
+
+}  // namespace
+}  // namespace emi::core

@@ -1,0 +1,102 @@
+// svc::AdmissionController: EWMA tracking, cold-start behavior, the two shed
+// conditions (queue bound, unmeetable deadline), retry_after hints, and the
+// shed counter. All checks are pure functions of fed samples - no service,
+// no clock.
+#include "src/svc/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace emi::svc {
+namespace {
+
+TEST(Admission, EwmaTracksSamples) {
+  AdmissionController ac(0.5);
+  EXPECT_EQ(ac.ewma_job_ms(), 0.0);  // cold: no evidence
+  ac.record_job_ms(100.0);
+  EXPECT_DOUBLE_EQ(ac.ewma_job_ms(), 100.0);  // first sample seeds directly
+  ac.record_job_ms(200.0);
+  EXPECT_DOUBLE_EQ(ac.ewma_job_ms(), 150.0);  // 0.5*200 + 0.5*100
+  ac.record_job_ms(150.0);
+  EXPECT_DOUBLE_EQ(ac.ewma_job_ms(), 150.0);
+}
+
+TEST(Admission, GarbageSamplesIgnored) {
+  AdmissionController ac;
+  ac.record_job_ms(-5.0);
+  ac.record_job_ms(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(ac.ewma_job_ms(), 0.0);
+  ac.record_job_ms(80.0);
+  ac.record_job_ms(-1.0);  // still ignored after warm-up
+  EXPECT_DOUBLE_EQ(ac.ewma_job_ms(), 80.0);
+}
+
+TEST(Admission, ColdControllerAdmitsEverythingButAFullQueue) {
+  AdmissionController ac;
+  // No samples: even a tiny budget is admitted - there is no evidence the
+  // deadline is unmeetable, and optimism preserves FIFO fairness.
+  EXPECT_TRUE(ac.admit(/*depth=*/7, /*capacity=*/8, /*executors=*/2, /*budget=*/1).admit);
+  // The queue bound still holds, with the fixed cold-start hint.
+  const AdmissionDecision d = ac.admit(8, 8, 2, 0);
+  EXPECT_FALSE(d.admit);
+  EXPECT_EQ(d.retry_after_ms, 50);
+  EXPECT_NE(d.reason.find("queue full (depth 8 of capacity 8)"), std::string::npos)
+      << d.reason;
+  EXPECT_EQ(ac.shed_total(), 1u);
+}
+
+TEST(Admission, FullQueueHintScalesWithServiceRate) {
+  AdmissionController ac(1.0);
+  ac.record_job_ms(400.0);
+  // One slot frees every ewma/lanes ms: 400/4 = 100.
+  const AdmissionDecision d = ac.admit(16, 16, 4, 0);
+  EXPECT_FALSE(d.admit);
+  EXPECT_EQ(d.retry_after_ms, 100);
+}
+
+TEST(Admission, UnmeetableDeadlineIsShedWithExcessHint) {
+  AdmissionController ac(1.0);
+  ac.record_job_ms(100.0);
+  // depth 4, 2 lanes: slot frees after 100*4/2 = 200 ms, job done at 300 ms.
+  // Budget 250 ms: projected overshoot of 50 ms becomes the hint.
+  const AdmissionDecision d = ac.admit(4, 64, 2, 250);
+  EXPECT_FALSE(d.admit);
+  EXPECT_EQ(d.retry_after_ms, 50);
+  EXPECT_NE(d.reason.find("deadline unmeetable"), std::string::npos) << d.reason;
+  EXPECT_NE(d.reason.find("budget 250 ms"), std::string::npos) << d.reason;
+  EXPECT_NE(d.reason.find("depth 4"), std::string::npos) << d.reason;
+  EXPECT_EQ(ac.shed_total(), 1u);
+  // Budget 300 ms exactly meets the projection: admitted.
+  EXPECT_TRUE(ac.admit(4, 64, 2, 300).admit);
+  // Budgetless submissions never hit the deadline check.
+  EXPECT_TRUE(ac.admit(63, 64, 2, 0).admit);
+  EXPECT_EQ(ac.shed_total(), 1u);
+}
+
+TEST(Admission, AdmittedDecisionIsClean) {
+  AdmissionController ac(1.0);
+  ac.record_job_ms(10.0);
+  const AdmissionDecision d = ac.admit(0, 8, 2, 1000);
+  EXPECT_TRUE(d.admit);
+  EXPECT_EQ(d.retry_after_ms, 0);
+  EXPECT_TRUE(d.reason.empty());
+  EXPECT_EQ(ac.shed_total(), 0u);
+}
+
+TEST(Admission, RetryAfterHintCountsTheNewJob) {
+  AdmissionController ac(1.0);
+  EXPECT_EQ(ac.retry_after_hint(5, 2), 50);  // cold fallback
+  ac.record_job_ms(200.0);
+  // (depth+1) jobs ahead across 2 lanes at 200 ms each: 200*6/2 = 600.
+  EXPECT_EQ(ac.retry_after_hint(5, 2), 600);
+  // Hint is never below 1 ms (a 0 would tell the client to hammer).
+  ac.record_job_ms(0.0);
+  EXPECT_GE(ac.retry_after_hint(0, 8), 1);
+  // executors=0 is treated as one lane, not a division by zero.
+  EXPECT_GE(ac.retry_after_hint(3, 0), 1);
+}
+
+}  // namespace
+}  // namespace emi::svc

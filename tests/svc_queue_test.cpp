@@ -22,16 +22,49 @@ TEST(JobQueue, FifoOrderOut) {
   EXPECT_EQ(q.size(), 0u);
 }
 
-TEST(JobQueue, FullQueueIsFailedPreconditionNotAStall) {
+TEST(JobQueue, FullQueueIsResourceExhaustedNotAStall) {
   JobQueue q(2);
   ASSERT_TRUE(q.push(1).ok());
   ASSERT_TRUE(q.push(2).ok());
   const core::Status st = q.push(3);
   ASSERT_FALSE(st.ok());
-  EXPECT_EQ(st.code(), core::ErrorCode::kFailedPrecondition);
+  // Overload shed is retryable and the message carries enough for a client
+  // to reason about backoff: both the observed depth and the capacity.
+  EXPECT_EQ(st.code(), core::ErrorCode::kResourceExhausted);
+  EXPECT_NE(st.message().find("depth 2"), std::string::npos) << st.message();
+  EXPECT_NE(st.message().find("capacity 2"), std::string::npos) << st.message();
   // Draining one slot re-admits.
   ASSERT_TRUE(q.pop().has_value());
   EXPECT_TRUE(q.push(3).ok());
+}
+
+TEST(JobQueue, FreezeStopsAdmissionAndUnblocksConsumers) {
+  JobQueue q(4);
+  ASSERT_TRUE(q.push(1).ok());
+  q.freeze();
+  EXPECT_TRUE(q.frozen());
+  // Frozen rejects new work with a precondition error (drain is a state the
+  // caller chose, not an overload condition)...
+  const core::Status st = q.push(2);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), core::ErrorCode::kFailedPrecondition);
+  // ...and forced pushes too: drain means nothing new runs, full stop.
+  EXPECT_FALSE(q.push_forced(2).ok());
+  // Queued work is NOT handed out - it stays durable on disk for the next
+  // process - and blocked consumers wake with nullopt instead of hanging.
+  EXPECT_EQ(q.size(), 1u);
+  std::thread consumer([&] { EXPECT_FALSE(q.pop().has_value()); });
+  consumer.join();
+}
+
+TEST(JobQueue, PushForcedBypassesCapacityOnly) {
+  JobQueue q(1);
+  ASSERT_TRUE(q.push(1).ok());
+  ASSERT_FALSE(q.push(2).ok());        // full for ordinary admission
+  EXPECT_TRUE(q.push_forced(2).ok());  // requeue of already-admitted work
+  EXPECT_EQ(q.size(), 2u);
+  q.close();
+  EXPECT_FALSE(q.push_forced(3).ok());  // closed still rejects everything
 }
 
 TEST(JobQueue, CloseDrainsThenReturnsNullopt) {

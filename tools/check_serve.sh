@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# One-shot serving gate: builds the serve-facing targets, then runs the
+# `serve` ctest label (queue/admission/backoff/service/server/wire unit
+# batteries) followed by the `soak` label (daemon-level fault soak: kill -9
+# recovery, overload shed + polite retry, wedge watchdog, poison quarantine,
+# graceful drain - with bit-identity checks against an unloaded reference).
+#
+#   tools/check_serve.sh [build-dir]        default build dir: build
+#
+# Exits 0 when everything passes, non-zero on any failure. Deliberately NOT
+# registered as a ctest: it wraps ctest itself, and the gtest state dirs
+# under TempDir() are per-binary, so a nested concurrent run of the same
+# batteries would collide. Run it from CI or by hand before touching svc/.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-"${repo_root}/build"}"
+
+if [[ ! -d "$build_dir" ]]; then
+  echo "check_serve: configuring ${build_dir}"
+  cmake -S "$repo_root" -B "$build_dir" >/dev/null
+fi
+
+echo "check_serve: building"
+cmake --build "$build_dir" -j "$(nproc)" >/dev/null
+
+echo "check_serve: running 'serve' ctest label"
+ctest --test-dir "$build_dir" -L serve --output-on-failure
+
+echo "check_serve: running 'soak' ctest label"
+ctest --test-dir "$build_dir" -L soak --output-on-failure
+
+echo "check_serve: all green"

@@ -13,9 +13,16 @@
 //                                       run the paper's end-to-end EMI flow
 //                                       on a built-in converter
 //   serve --socket PATH --state-dir DIR [--executors N] [--queue-capacity N]
+//         [--lease-ms MS] [--max-attempts N]
 //                                       run the flow as a job-queue daemon
-//   submit|status|result|cancel|stats|shutdown --socket PATH ...
-//                                       client verbs against a running serve
+//   submit|status|result|cancel|stats|health|shutdown --socket PATH ...
+//                                       client verbs against a running serve;
+//                                       submit --retry N backs off politely
+//                                       (deterministic seeded jitter) on
+//                                       resource_exhausted sheds, honoring
+//                                       the server's retry_after_ms hint;
+//                                       shutdown --drain finishes in-flight
+//                                       jobs and leaves the queue durable
 //   version                             print binary + format versions
 //
 // Global option (any command): --fault-inject <site>:<rate>:<seed>[,...]
@@ -29,14 +36,17 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "src/core/backoff.hpp"
 #include "src/core/fault_injection.hpp"
 #include "src/core/status.hpp"
 
@@ -85,11 +95,13 @@ int usage() {
                "        [--stage-budget-ms MS] [--checkpoint FILE] [--resume]\n"
                "        [--stop-after STAGE] [-o PREFIX]\n"
                "  serve --socket PATH --state-dir DIR [--executors N]\n"
-               "        [--queue-capacity N]\n"
+               "        [--queue-capacity N] [--lease-ms MS] [--max-attempts N]\n"
                "  submit --socket PATH [buck|boost] [--points N] [--budget-ms MS]\n"
                "         [--stage-budget-ms MS] [--client NAME] [--stop-after STAGE]\n"
+               "         [--poison] [--retry N] [--retry-base-ms MS]\n"
                "  status|result|cancel --socket PATH --job N\n"
-               "  stats|shutdown --socket PATH\n"
+               "  stats|health --socket PATH\n"
+               "  shutdown --socket PATH [--drain]\n"
                "  version\n"
                "global: --fault-inject <site>:<rate>:<seed>[,...]\n");
   return 2;
@@ -362,13 +374,17 @@ int cmd_serve(int argc, char** argv) {
   cli::FlagSet flags;
   flags.add_string("--socket", &socket_path);
   flags.add_string("--state-dir", &state_dir);
+  std::uint64_t max_attempts = 0;
   flags.add_size("--executors", &sopt.executors, 1, 64);
   flags.add_size("--queue-capacity", &sopt.queue_capacity, 1, 65536);
+  flags.add_ms("--lease-ms", &sopt.lease_ms);
+  flags.add_u64("--max-attempts", &max_attempts, 1, 1000);
   if (!parse_or_usage(flags, argc, argv)) return usage();
   if (socket_path.empty() || state_dir.empty()) {
     std::fprintf(stderr, "serve requires --socket and --state-dir\n");
     return usage();
   }
+  if (max_attempts != 0) sopt.max_attempts = static_cast<std::uint32_t>(max_attempts);
   sopt.state_dir = state_dir;
 
   try {
@@ -395,8 +411,11 @@ int cmd_serve(int argc, char** argv) {
 // --- client verbs -----------------------------------------------------------
 
 // One request line against a running serve: connect, send, print the single
-// reply line. Exit 0 on an OK reply, 1 on ERR or a connection failure.
-int client_roundtrip(const std::string& socket_path, const std::string& line) {
+// reply line. Exit 0 on an OK reply, 1 on ERR or a connection failure. When
+// `reply_out` is set, the reply line (without newline) is also stored there
+// so callers (submit --retry) can inspect error codes and hints.
+int client_roundtrip(const std::string& socket_path, const std::string& line,
+                     std::string* reply_out = nullptr) {
   sockaddr_un addr{};
   if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
     std::fprintf(stderr, "invalid --socket path: %s\n", socket_path.c_str());
@@ -441,7 +460,26 @@ int client_roundtrip(const std::string& socket_path, const std::string& line) {
   }
   reply.resize(nl);
   std::printf("%s\n", reply.c_str());
+  if (reply_out != nullptr) *reply_out = reply;
   return reply.rfind("OK", 0) == 0 ? 0 : 1;
+}
+
+// Pull a ` key=<u64>` token out of a reply line; false when absent. Used for
+// the retry_after_ms hint riding in shed ERR messages.
+bool reply_u64_token(const std::string& reply, const std::string& key,
+                     std::uint64_t& out) {
+  const std::string needle = key + "=";
+  std::size_t pos = 0;
+  while ((pos = reply.find(needle, pos)) != std::string::npos) {
+    if (pos == 0 || reply[pos - 1] == ' ') {
+      const std::size_t val = pos + needle.size();
+      std::size_t end = val;
+      while (end < reply.size() && reply[end] != ' ') ++end;
+      return cli::parse_u64(reply.substr(val, end - val).c_str(), out);
+    }
+    pos += needle.size();
+  }
+  return false;
 }
 
 int cmd_submit(int argc, char** argv) {
@@ -452,6 +490,9 @@ int cmd_submit(int argc, char** argv) {
   std::uint64_t points = 0;
   std::int64_t budget_ms = -1;
   std::int64_t stage_budget_ms = -1;
+  std::uint64_t retries = 0;
+  std::int64_t retry_base_ms = 100;
+  bool poison = false;
   cli::FlagSet flags;
   flags.add_string("--socket", &socket_path);
   flags.add_u64("--points", &points, 2, 100000);
@@ -459,6 +500,9 @@ int cmd_submit(int argc, char** argv) {
   flags.add_ms("--stage-budget-ms", &stage_budget_ms);
   flags.add_string("--client", &client);
   flags.add_checked("--stop-after", &stop_after, valid_stage, "--stop-after stage");
+  flags.add_switch("--poison", &poison);
+  flags.add_u64("--retry", &retries, 0, 100);
+  flags.add_ms("--retry-base-ms", &retry_base_ms);
   flags.positional([&](std::size_t idx, const std::string& v) {
     if (idx > 0 || !valid_topology(v)) {
       return core::Status(core::ErrorCode::kInvalidArgument, "cli",
@@ -480,7 +524,34 @@ int cmd_submit(int argc, char** argv) {
   }
   if (!client.empty()) line += " client=" + client;
   if (!stop_after.empty()) line += " stop_after=" + stop_after;
-  return client_roundtrip(socket_path, line);
+  if (poison) line += " poison=1";
+
+  // Polite retry against overload sheds only: other errors (validation,
+  // io) are not transient and fail immediately. The wait before retry k is
+  // max(server hint, deterministic seeded backoff) - the hint spaces the
+  // herd by load, the seed (from the request bytes) de-synchronizes clients
+  // that submitted identical lines, and det_lint-visible randomness is
+  // never involved.
+  const core::Backoff backoff({retry_base_ms, retry_base_ms * 16, 2.0, 0.5},
+                              core::fault::fnv64(line));
+  for (std::uint64_t attempt = 0;; ++attempt) {
+    std::string reply;
+    const int rc = client_roundtrip(socket_path, line, &reply);
+    if (rc == 0 || attempt >= retries ||
+        reply.find("code=resource_exhausted") == std::string::npos) {
+      return rc;
+    }
+    std::uint64_t hint_ms = 0;
+    (void)reply_u64_token(reply, "retry_after_ms", hint_ms);  // absent: hint 0
+    const std::int64_t wait_ms =
+        std::max<std::int64_t>(static_cast<std::int64_t>(hint_ms),
+                               backoff.delay_ms(static_cast<int>(attempt)));
+    std::fprintf(stderr, "shed; retrying in %lld ms (attempt %llu of %llu)\n",
+                 static_cast<long long>(wait_ms),
+                 static_cast<unsigned long long>(attempt + 1),
+                 static_cast<unsigned long long>(retries));
+    std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
+  }
 }
 
 // status/result/cancel share the same `--socket S --job N` shape.
@@ -511,6 +582,20 @@ int cmd_plain_verb(const char* verb, int argc, char** argv) {
     return usage();
   }
   return client_roundtrip(socket_path, verb);
+}
+
+int cmd_shutdown(int argc, char** argv) {
+  std::string socket_path;
+  bool drain = false;
+  cli::FlagSet flags;
+  flags.add_string("--socket", &socket_path);
+  flags.add_switch("--drain", &drain);
+  if (!parse_or_usage(flags, argc, argv)) return usage();
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "shutdown requires --socket\n");
+    return usage();
+  }
+  return client_roundtrip(socket_path, drain ? "SHUTDOWN DRAIN" : "SHUTDOWN");
 }
 
 }  // namespace
@@ -550,7 +635,8 @@ int main(int argc, char** argv) {
     if (cmd == "result") return cmd_job_verb("RESULT", argc - 2, argv + 2);
     if (cmd == "cancel") return cmd_job_verb("CANCEL", argc - 2, argv + 2);
     if (cmd == "stats") return cmd_plain_verb("STATS", argc - 2, argv + 2);
-    if (cmd == "shutdown") return cmd_plain_verb("SHUTDOWN", argc - 2, argv + 2);
+    if (cmd == "health") return cmd_plain_verb("HEALTH", argc - 2, argv + 2);
+    if (cmd == "shutdown") return cmd_shutdown(argc - 2, argv + 2);
     if (cmd == "version") return cmd_version();
   } catch (const io::ParseError& e) {
     std::fprintf(stderr, "parse error: %s\n", e.what());

@@ -1,9 +1,21 @@
 #!/usr/bin/env bash
-# Fault-injection soak at the daemon level: every injection site the flow
-# owns (pool/cache/lu/io/ckpt) fires while a 2-executor daemon chews through
-# a batch of jobs, then the daemon is SIGKILLed with work still in flight.
-# Invariant under test: no job is ever lost and none is left in a
-# non-terminal state once the restarted daemon drains.
+# Fault-injection + overload soak at the daemon level. Six phases:
+#
+#   1. every flow-owned injection site (pool/cache/lu/io/ckpt) armed while a
+#      2-executor daemon chews through a batch - jobs may fail (taxonomy
+#      working) but all must land terminal and stay queryable;
+#   2. SIGKILL with work in flight, restart with faults disarmed - nothing
+#      lost, nothing left non-terminal;
+#   3. overload: capacity-1 queue under a burst - sheds carry a
+#      retry_after_ms hint and `submit --retry` rides the hint to success;
+#   4. wedge: an injected hang is caught by the lease watchdog, requeued,
+#      and the retry lands on the bit-identical unloaded fingerprint;
+#   5. poison: a job that crash-sims on every attempt survives two SIGKILL
+#      cycles, burns max_attempts, and is quarantined - terminal, queryable,
+#      never replayed - while fresh submits keep working;
+#   6. graceful drain: SHUTDOWN DRAIN finishes in-flight work, parks the
+#      backlog durably, exits the serve loop on its own; a restart completes
+#      the backlog with the same reference fingerprint - zero jobs lost.
 #
 # Usage: serve_soak.sh <emiplace-binary> <work-dir>
 set -u
@@ -15,26 +27,44 @@ JOBS=6
 
 rm -rf "$WORK"
 mkdir -p "$WORK"
+DAEMON=0
 trap 'kill -9 $DAEMON 2>/dev/null; rm -f "$SOCK"' EXIT
 
 fail() { echo "serve_soak: FAIL: $*" >&2; exit 1; }
 
-start_daemon() { # args: state-dir; honors EMI_FAULT_INJECT from the caller
-  "$CLI" serve --socket "$SOCK" --state-dir "$1" --executors 2 \
-    2>"$WORK/daemon.log" &
+start_daemon() { # args: state-dir [extra serve flags...]; honors EMI_FAULT_INJECT
+  local state=$1
+  shift
+  "$CLI" serve --socket "$SOCK" --state-dir "$state" "$@" \
+    2>>"$WORK/daemon.log" &
   DAEMON=$!
   for _ in $(seq 1 200); do
     if "$CLI" stats --socket "$SOCK" >/dev/null 2>&1; then return 0; fi
-    kill -0 "$DAEMON" 2>/dev/null || fail "daemon died on start: $(cat "$WORK/daemon.log")"
+    kill -0 "$DAEMON" 2>/dev/null || fail "daemon died on start: $(tail -5 "$WORK/daemon.log")"
     sleep 0.05
   done
   fail "daemon never started listening"
 }
 
-# Phase 1: all sites armed. Jobs may fail - that is the taxonomy working -
-# but every one must reach a terminal state and stay queryable.
+stop_daemon() {
+  "$CLI" shutdown --socket "$SOCK" >/dev/null || fail "shutdown"
+  wait "$DAEMON" || fail "daemon exited nonzero after shutdown"
+}
+
+# Poll STATUS for a job until its state matches the pattern (or time out).
+wait_state() { # args: job-id state-regex
+  local reply=""
+  for _ in $(seq 1 400); do
+    reply=$("$CLI" status --socket "$SOCK" --job "$1" 2>/dev/null) || true
+    grep -Eq "state=($2)" <<<"$reply" && return 0
+    sleep 0.05
+  done
+  fail "job $1 never reached state=$2: $reply"
+}
+
+# --- Phase 1: all sites armed ----------------------------------------------
 EMI_FAULT_INJECT="pool:0.05:7,cache:0.05:9,lu:0.05:11,io:0.02:13,ckpt:0.1:17" \
-  start_daemon "$WORK/state"
+  start_daemon "$WORK/state" --executors 2
 for i in $(seq 1 "$JOBS"); do
   "$CLI" submit --socket "$SOCK" buck --points 30 --client "soak-$((i % 3))" \
     >/dev/null || fail "submit $i"
@@ -45,14 +75,14 @@ for i in $(seq 1 "$JOBS"); do
     || fail "job $i non-terminal under faults: $REPLY"
 done
 
-# Phase 2: SIGKILL with fresh work in flight, restart with faults disarmed.
+# --- Phase 2: SIGKILL mid-flight, clean restart ----------------------------
 for i in $(seq 1 "$JOBS"); do
   "$CLI" submit --socket "$SOCK" buck --points 30 >/dev/null || fail "resubmit $i"
 done
 kill -9 "$DAEMON"
 wait "$DAEMON" 2>/dev/null
 
-start_daemon "$WORK/state"
+start_daemon "$WORK/state" --executors 2
 TOTAL=$((JOBS * 2))
 for i in $(seq 1 "$TOTAL"); do
   REPLY=$("$CLI" result --socket "$SOCK" --job "$i") || fail "job $i lost: $REPLY"
@@ -62,8 +92,108 @@ done
 STATS=$("$CLI" stats --socket "$SOCK") || fail "final stats"
 grep -q " queued=0 running=0 " <<<"$STATS" \
   || fail "daemon did not drain: $STATS"
+stop_daemon
 
-"$CLI" shutdown --socket "$SOCK" >/dev/null || fail "shutdown"
-wait "$DAEMON" || fail "daemon exited nonzero after shutdown"
+# --- Phase 3: overload shed + polite retry ---------------------------------
+# Capacity-1 queue, one executor: a slow occupant plus one queued job means
+# every further submit must shed with a machine-readable retry_after_ms
+# hint, and `submit --retry` must ride hint+backoff to eventual admission.
+start_daemon "$WORK/state_shed" --executors 1 --queue-capacity 1
+"$CLI" submit --socket "$SOCK" buck --points 3000 >/dev/null || fail "occupant"
+wait_state 1 running
+"$CLI" submit --socket "$SOCK" buck --points 3000 >/dev/null || fail "queue filler"
+SHEDS=0
+for i in $(seq 1 4); do
+  REPLY=$("$CLI" submit --socket "$SOCK" buck --points 30 2>&1) && continue
+  grep -q "code=resource_exhausted" <<<"$REPLY" || fail "shed wrong code: $REPLY"
+  grep -q "retry_after_ms=" <<<"$REPLY" || fail "shed without hint: $REPLY"
+  SHEDS=$((SHEDS + 1))
+done
+[ "$SHEDS" -ge 1 ] || fail "burst never shed (queue too fast?)"
+HEALTH=$("$CLI" health --socket "$SOCK") || fail "health"
+grep -Eq " shed=[1-9]" <<<"$HEALTH" || fail "health lost the sheds: $HEALTH"
+"$CLI" submit --socket "$SOCK" buck --points 30 --retry 40 --retry-base-ms 50 \
+  >/dev/null 2>>"$WORK/retry.log" || fail "submit --retry never admitted"
+stop_daemon
 
-echo "serve_soak: OK ($TOTAL jobs, all terminal, none lost)"
+# --- Phase 4: wedge -> watchdog -> requeue -> bit-identical ----------------
+# Unloaded reference first; wedge:0.5:3 then hangs job 1 attempt 1 (the
+# fault key re-rolls per attempt), the lease watchdog stalls and requeues
+# it, and the clean retry must reproduce the reference bits. The lease is
+# sized so only the wedge (an infinite hang) trips it even when ctest runs
+# the soak next to other tests on a small box.
+start_daemon "$WORK/state_ref" --executors 1
+"$CLI" submit --socket "$SOCK" buck --points 30 >/dev/null || fail "ref submit"
+REF=$("$CLI" result --socket "$SOCK" --job 1) || fail "ref result"
+REF_FP=$(grep -o "fingerprint=[0-9a-fx]*" <<<"$REF") || fail "ref fingerprint"
+stop_daemon
+
+EMI_FAULT_INJECT="wedge:0.5:3" \
+  start_daemon "$WORK/state_wedge" --executors 1 --lease-ms 300 --max-attempts 3
+"$CLI" submit --socket "$SOCK" buck --points 30 >/dev/null || fail "wedge submit"
+REPLY=$("$CLI" result --socket "$SOCK" --job 1) || fail "wedge result"
+grep -q "state=done" <<<"$REPLY" || fail "wedged job not recovered: $REPLY"
+grep -q "$REF_FP" <<<"$REPLY" \
+  || fail "wedge retry diverged from reference: $REPLY vs $REF_FP"
+HEALTH=$("$CLI" health --socket "$SOCK") || fail "wedge health"
+grep -Eq " stall_events=[1-9]" <<<"$HEALTH" \
+  || fail "watchdog never fired: $HEALTH"
+grep -q " stalled=0 " <<<"$HEALTH" || fail "job left stuck: $HEALTH"
+stop_daemon
+
+# --- Phase 5: poison-job quarantine across SIGKILL cycles ------------------
+# poison + stop_after crash-sims at the same stage on every attempt; the
+# attempt count is durable *before* the run, so two kill -9 cycles burn
+# max_attempts=2 and recovery quarantines the job instead of replaying it.
+start_daemon "$WORK/state_poison" --executors 1 --max-attempts 2
+"$CLI" submit --socket "$SOCK" buck --points 30 --poison --stop-after sensitivity \
+  >/dev/null || fail "poison submit"
+wait_state 1 running  # attempt 1 crash-simmed: disk says running forever
+sleep 0.3
+kill -9 "$DAEMON"
+wait "$DAEMON" 2>/dev/null
+
+start_daemon "$WORK/state_poison" --executors 1 --max-attempts 2
+wait_state 1 running  # recovery requeued; attempt 2 crash-sims the same way
+sleep 0.3
+kill -9 "$DAEMON"
+wait "$DAEMON" 2>/dev/null
+
+start_daemon "$WORK/state_poison" --executors 1 --max-attempts 2
+REPLY=$("$CLI" result --socket "$SOCK" --job 1) || fail "poison result"
+grep -q "state=quarantined" <<<"$REPLY" || fail "poison not quarantined: $REPLY"
+grep -q "quarantined after 2 attempts" <<<"$REPLY" \
+  || fail "quarantine detail missing: $REPLY"
+HEALTH=$("$CLI" health --socket "$SOCK") || fail "poison health"
+grep -q " quarantined=1" <<<"$HEALTH" || fail "health lost quarantine: $HEALTH"
+# The service still takes and finishes fresh work next to the quarantine.
+"$CLI" submit --socket "$SOCK" buck --points 30 >/dev/null || fail "post-poison submit"
+REPLY=$("$CLI" result --socket "$SOCK" --job 2) || fail "post-poison result"
+grep -q "state=done" <<<"$REPLY" || fail "post-poison job failed: $REPLY"
+stop_daemon
+
+# --- Phase 6: graceful drain, zero lost jobs -------------------------------
+# SHUTDOWN DRAIN: in-flight jobs finish, the backlog stays durable, and the
+# serve loop exits on its own. The restarted daemon completes the backlog
+# and every job matches the phase-4 reference bits.
+start_daemon "$WORK/state_drain" --executors 2
+for i in $(seq 1 "$JOBS"); do
+  "$CLI" submit --socket "$SOCK" buck --points 30 >/dev/null || fail "drain submit $i"
+done
+REPLY=$("$CLI" shutdown --socket "$SOCK" --drain) || fail "shutdown --drain"
+grep -q "OK draining" <<<"$REPLY" || fail "drain not acknowledged: $REPLY"
+wait "$DAEMON" || fail "daemon exited nonzero after drain"
+
+start_daemon "$WORK/state_drain" --executors 2
+for i in $(seq 1 "$JOBS"); do
+  REPLY=$("$CLI" result --socket "$SOCK" --job "$i") || fail "drained job $i lost"
+  grep -q "state=done" <<<"$REPLY" || fail "drained job $i not done: $REPLY"
+  grep -q "$REF_FP" <<<"$REPLY" \
+    || fail "drained job $i diverged from reference: $REPLY vs $REF_FP"
+done
+STATS=$("$CLI" stats --socket "$SOCK") || fail "drain stats"
+grep -q " queued=0 running=0 " <<<"$STATS" \
+  || fail "backlog not completed after drain restart: $STATS"
+stop_daemon
+
+echo "serve_soak: OK (faults, kill -9, shed+retry, wedge, quarantine, drain)"
