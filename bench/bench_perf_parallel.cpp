@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "src/core/parallel.hpp"
@@ -80,6 +81,57 @@ void BM_SensitivityRanking(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SensitivityRanking)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Adaptive refinement vs the dense sweep above: same buck circuit, same
+// grid density, ~10x fewer MNA solves (solved/interpolated counts are
+// reported as counters).
+void BM_AdaptiveSweep(benchmark::State& state) {
+  set_lanes(state);
+  const flow::BuckConverter bc = flow::make_buck_converter();
+  emc::EmissionSweepOptions opt;
+  opt.n_points = 200;
+  sweep::SweepAccel accel;
+  accel.adaptive = true;
+  std::uint64_t full = 0, interp = 0;
+  for (auto _ : state) {
+    const emc::AdaptiveEmissionResult r = emc::conducted_emission_adaptive(
+        bc.circuit, bc.meas_node, bc.noise, opt, accel);
+    benchmark::DoNotOptimize(r.spectrum.level_dbuv.data());
+    full = r.stats.full_solves;
+    interp = r.stats.interp_points;
+  }
+  state.counters["full_solves"] = static_cast<double>(full);
+  state.counters["interp_points"] = static_cast<double>(interp);
+}
+BENCHMARK(BM_AdaptiveSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// Accelerated sensitivity ranking: one adaptive baseline + one coupling-
+// model factorization pass shared by all 21 buck pairs, against
+// BM_SensitivityRanking's 21 dense probed sweeps.
+void BM_SensitivityRankingAdaptive(benchmark::State& state) {
+  set_lanes(state);
+  const flow::BuckConverter bc = flow::make_buck_converter();
+  emc::SensitivityOptions opt;
+  opt.sweep.n_points = 60;
+  opt.accel.adaptive = true;
+  opt.accel.surrogate = true;
+  std::uint64_t full = 0, evals = 0;
+  for (auto _ : state) {
+    const emc::SensitivityReport rep = emc::rank_coupling_sensitivity_report(
+        bc.circuit, bc.meas_node, bc.noise, opt);
+    benchmark::DoNotOptimize(rep.ranking.data());
+    full = rep.stats.full_solves;
+    evals = rep.stats.surrogate_evals;
+  }
+  state.counters["full_solves"] = static_cast<double>(full);
+  state.counters["surrogate_evals"] = static_cast<double>(evals);
+}
+BENCHMARK(BM_SensitivityRankingAdaptive)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)

@@ -23,6 +23,77 @@ void stamp_conductance(num::MatrixC& a, NodeId n1, NodeId n2, Complex g) {
   }
 }
 
+// Stamp the full MNA system for one frequency point. Shared verbatim
+// between the sweep solver and the coupling probe model so both paths see
+// bit-identical systems (same stamps, same order).
+void assemble_point(const Circuit& c, const std::vector<std::vector<double>>& lmat,
+                    double w, double scale, const AcOptions& opt, num::MatrixC& a,
+                    std::vector<Complex>& rhs) {
+  // g_min to ground keeps isolated nodes solvable.
+  for (std::size_t ni = 0; ni < c.node_count(); ++ni) {
+    a(ni, ni) += Complex{opt.g_min, 0.0};
+  }
+
+  for (const Resistor& r : c.resistors()) {
+    stamp_conductance(a, r.n1, r.n2, Complex{1.0 / r.ohms, 0.0});
+  }
+  for (const Switch& s : c.switches()) {
+    const double res = s.ac_state_on ? s.r_on : s.r_off;
+    stamp_conductance(a, s.n1, s.n2, Complex{1.0 / res, 0.0});
+  }
+  for (const Diode& d : c.diodes()) {
+    // AC: diode is open apart from g_min leakage.
+    stamp_conductance(a, d.anode, d.cathode, Complex{opt.g_min, 0.0});
+  }
+  for (const Capacitor& cap : c.capacitors()) {
+    stamp_conductance(a, cap.n1, cap.n2, Complex{0.0, w * cap.farads});
+  }
+
+  // Inductor branches: KCL contribution and branch voltage equations
+  // including the full (mutual) inductance matrix.
+  const auto& inds = c.inductors();
+  for (std::size_t i = 0; i < inds.size(); ++i) {
+    const std::size_t bi = c.inductor_branch(i);
+    if (inds[i].n1 >= 0) {
+      a(index(inds[i].n1), bi) += Complex{1.0, 0.0};
+      a(bi, index(inds[i].n1)) += Complex{1.0, 0.0};
+    }
+    if (inds[i].n2 >= 0) {
+      a(index(inds[i].n2), bi) -= Complex{1.0, 0.0};
+      a(bi, index(inds[i].n2)) -= Complex{1.0, 0.0};
+    }
+    for (std::size_t j = 0; j < inds.size(); ++j) {
+      if (lmat[i][j] != 0.0) {
+        a(bi, c.inductor_branch(j)) -= Complex{0.0, w * lmat[i][j]};
+      }
+    }
+  }
+
+  // Voltage sources.
+  const auto& vs = c.vsources();
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    const std::size_t bi = c.vsource_branch(i);
+    if (vs[i].n1 >= 0) {
+      a(index(vs[i].n1), bi) += Complex{1.0, 0.0};
+      a(bi, index(vs[i].n1)) += Complex{1.0, 0.0};
+    }
+    if (vs[i].n2 >= 0) {
+      a(index(vs[i].n2), bi) -= Complex{1.0, 0.0};
+      a(bi, index(vs[i].n2)) -= Complex{1.0, 0.0};
+    }
+    const double phase = vs[i].ac_phase_deg * std::numbers::pi / 180.0;
+    rhs[bi] = scale * vs[i].ac_mag * Complex{std::cos(phase), std::sin(phase)};
+  }
+
+  // Current sources.
+  for (const ISource& is : c.isources()) {
+    const double phase = is.ac_phase_deg * std::numbers::pi / 180.0;
+    const Complex i0 = scale * is.ac_mag * Complex{std::cos(phase), std::sin(phase)};
+    if (is.n1 >= 0) rhs[index(is.n1)] -= i0;
+    if (is.n2 >= 0) rhs[index(is.n2)] += i0;
+  }
+}
+
 }  // namespace
 
 Complex AcSolution::voltage(const std::string& node, std::size_t fi) const {
@@ -82,70 +153,7 @@ CheckedAcSolution ac_solve_checked(const Circuit& c,
 
     num::MatrixC a(n_unknowns, n_unknowns);
     std::vector<Complex> rhs(n_unknowns, {0.0, 0.0});
-
-    // g_min to ground keeps isolated nodes solvable.
-    for (std::size_t ni = 0; ni < c.node_count(); ++ni) {
-      a(ni, ni) += Complex{opt.g_min, 0.0};
-    }
-
-    for (const Resistor& r : c.resistors()) {
-      stamp_conductance(a, r.n1, r.n2, Complex{1.0 / r.ohms, 0.0});
-    }
-    for (const Switch& s : c.switches()) {
-      const double res = s.ac_state_on ? s.r_on : s.r_off;
-      stamp_conductance(a, s.n1, s.n2, Complex{1.0 / res, 0.0});
-    }
-    for (const Diode& d : c.diodes()) {
-      // AC: diode is open apart from g_min leakage.
-      stamp_conductance(a, d.anode, d.cathode, Complex{opt.g_min, 0.0});
-    }
-    for (const Capacitor& cap : c.capacitors()) {
-      stamp_conductance(a, cap.n1, cap.n2, Complex{0.0, w * cap.farads});
-    }
-
-    // Inductor branches: KCL contribution and branch voltage equations
-    // including the full (mutual) inductance matrix.
-    const auto& inds = c.inductors();
-    for (std::size_t i = 0; i < inds.size(); ++i) {
-      const std::size_t bi = c.inductor_branch(i);
-      if (inds[i].n1 >= 0) {
-        a(index(inds[i].n1), bi) += Complex{1.0, 0.0};
-        a(bi, index(inds[i].n1)) += Complex{1.0, 0.0};
-      }
-      if (inds[i].n2 >= 0) {
-        a(index(inds[i].n2), bi) -= Complex{1.0, 0.0};
-        a(bi, index(inds[i].n2)) -= Complex{1.0, 0.0};
-      }
-      for (std::size_t j = 0; j < inds.size(); ++j) {
-        if (lmat[i][j] != 0.0) {
-          a(bi, c.inductor_branch(j)) -= Complex{0.0, w * lmat[i][j]};
-        }
-      }
-    }
-
-    // Voltage sources.
-    const auto& vs = c.vsources();
-    for (std::size_t i = 0; i < vs.size(); ++i) {
-      const std::size_t bi = c.vsource_branch(i);
-      if (vs[i].n1 >= 0) {
-        a(index(vs[i].n1), bi) += Complex{1.0, 0.0};
-        a(bi, index(vs[i].n1)) += Complex{1.0, 0.0};
-      }
-      if (vs[i].n2 >= 0) {
-        a(index(vs[i].n2), bi) -= Complex{1.0, 0.0};
-        a(bi, index(vs[i].n2)) -= Complex{1.0, 0.0};
-      }
-      const double phase = vs[i].ac_phase_deg * std::numbers::pi / 180.0;
-      rhs[bi] = scale * vs[i].ac_mag * Complex{std::cos(phase), std::sin(phase)};
-    }
-
-    // Current sources.
-    for (const ISource& is : c.isources()) {
-      const double phase = is.ac_phase_deg * std::numbers::pi / 180.0;
-      const Complex i0 = scale * is.ac_mag * Complex{std::cos(phase), std::sin(phase)};
-      if (is.n1 >= 0) rhs[index(is.n1)] -= i0;
-      if (is.n2 >= 0) rhs[index(is.n2)] += i0;
-    }
+    assemble_point(c, lmat, w, scale, opt, a, rhs);
 
     const core::Result<num::Lu<Complex>> lu =
         num::Lu<Complex>::factor(std::move(a), {opt.pivot_threshold});
@@ -211,12 +219,145 @@ AcSolution ac_solve(const Circuit& c, const std::vector<double>& freqs_hz,
   return std::move(checked.solution);
 }
 
-std::vector<units::Hertz> log_frequency_grid(units::Hertz f_lo, units::Hertz f_hi,
-                                             std::size_t n) {
+CouplingProbeModel ac_coupling_probe_model(const Circuit& c,
+                                           const std::string& meas_node,
+                                           const std::vector<std::string>& inductors,
+                                           const std::vector<double>& freqs_hz,
+                                           const AcOptions& opt) {
+  if (!opt.source_scale.empty() && opt.source_scale.size() != freqs_hz.size()) {
+    throw std::invalid_argument("ac_coupling_probe_model: source_scale size mismatch");
+  }
+  for (const double f : freqs_hz) {
+    if (f <= 0.0) {
+      throw std::invalid_argument("ac_coupling_probe_model: frequency must be > 0");
+    }
+  }
+  const auto meas = c.find_node(meas_node);
+  if (!meas) {
+    throw std::invalid_argument("ac_coupling_probe_model: unknown node " + meas_node);
+  }
+  std::vector<std::size_t> bidx;
+  bidx.reserve(inductors.size());
+  for (const std::string& name : inductors) {
+    bidx.push_back(c.inductor_branch(c.inductor_index(name)));
+  }
+
+  const std::size_t n_unknowns = c.unknown_count();
+  const std::size_t nl = bidx.size();
+  const std::size_t nf = freqs_hz.size();
+  const auto lmat = c.inductance_matrix();
+
+  CouplingProbeModel m;
+  m.freqs_hz = freqs_hz;
+  m.v_meas.assign(nf, Complex{});
+  m.i_branch.assign(nf, std::vector<Complex>(nl));
+  m.col_meas.assign(nf, std::vector<Complex>(nl));
+  m.col_branch.assign(nf, std::vector<std::vector<Complex>>(nl, std::vector<Complex>(nl)));
+  std::vector<core::Status> statuses(nf);
+
+  // One factorization per frequency, reused for the baseline RHS and one
+  // unit column per candidate inductor: nl+1 back-substitutions against a
+  // single O(n^3) factor. Per-point slots keep the build thread-invariant.
+  const core::CancelScope* cscope = core::CancelScope::current();
+  const auto build_point = [&](std::size_t fi) {
+    if (cscope != nullptr && cscope->should_stop()) {
+      statuses[fi] = cscope->stop_status("ckt.coupling_model");
+      return;
+    }
+    const double w = 2.0 * std::numbers::pi * freqs_hz[fi];
+    const double scale = opt.source_scale.empty() ? 1.0 : opt.source_scale[fi];
+    num::MatrixC a(n_unknowns, n_unknowns);
+    std::vector<Complex> rhs(n_unknowns, {0.0, 0.0});
+    assemble_point(c, lmat, w, scale, opt, a, rhs);
+
+    const core::Result<num::Lu<Complex>> lu =
+        num::Lu<Complex>::factor(std::move(a), {opt.pivot_threshold});
+    if (!lu.ok()) {
+      statuses[fi] = lu.status();
+      return;
+    }
+    if (lu.value().condition_estimate() > opt.condition_limit) {
+      statuses[fi] = core::Status(
+          core::ErrorCode::kIllConditioned, "ckt.coupling_model",
+          "condition estimate " + std::to_string(lu.value().condition_estimate()) +
+              " exceeds limit " + std::to_string(opt.condition_limit));
+      return;
+    }
+    core::Result<std::vector<Complex>> x = lu.value().try_solve(rhs);
+    if (!x.ok()) {
+      statuses[fi] = x.status();
+      return;
+    }
+    m.v_meas[fi] = (*meas == kGround) ? Complex{}
+                                      : x.value()[static_cast<std::size_t>(*meas)];
+    for (std::size_t p = 0; p < nl; ++p) m.i_branch[fi][p] = x.value()[bidx[p]];
+
+    std::vector<Complex> e(n_unknowns, Complex{});
+    for (std::size_t p = 0; p < nl; ++p) {
+      e[bidx[p]] = Complex{1.0, 0.0};
+      core::Result<std::vector<Complex>> y = lu.value().try_solve(e);
+      e[bidx[p]] = Complex{};
+      if (!y.ok()) {
+        statuses[fi] = y.status();
+        return;
+      }
+      m.col_meas[fi][p] = (*meas == kGround)
+                              ? Complex{}
+                              : y.value()[static_cast<std::size_t>(*meas)];
+      for (std::size_t q = 0; q < nl; ++q) {
+        m.col_branch[fi][p][q] = y.value()[bidx[q]];
+      }
+    }
+  };
+  core::parallel_for(0, nf, build_point, /*grain=*/4);
+
+  for (std::size_t fi = 0; fi < nf; ++fi) {
+    if (!statuses[fi].ok()) {
+      core::Status(statuses[fi].code(), "ckt.coupling_model",
+                   "model build failed at index " + std::to_string(fi) + " (" +
+                       std::to_string(freqs_hz[fi]) + " Hz): " + statuses[fi].message())
+          .raise();
+    }
+  }
+  return m;
+}
+
+core::Result<std::vector<units::Hertz>> log_frequency_grid(units::Hertz f_lo,
+                                                           units::Hertz f_hi,
+                                                           std::size_t n) {
+  // Line-item checks so each degenerate request names its own mistake
+  // instead of surfacing as num::log_space's generic throw (or worse, a
+  // grid with repeated points that downstream solvers accept silently).
+  if (n < 2) {
+    return core::Status(core::ErrorCode::kInvalidArgument, "ckt.grid",
+                        "log grid needs >= 2 points, got " + std::to_string(n));
+  }
+  if (!(f_lo.raw() > 0.0)) {
+    return core::Status(core::ErrorCode::kInvalidArgument, "ckt.grid",
+                        "log grid start must be positive, got " +
+                            std::to_string(f_lo.raw()) + " Hz");
+  }
+  if (f_hi.raw() == f_lo.raw()) {
+    return core::Status(core::ErrorCode::kInvalidArgument, "ckt.grid",
+                        "log grid endpoints are equal (" +
+                            std::to_string(f_lo.raw()) + " Hz)");
+  }
+  if (f_hi.raw() < f_lo.raw()) {
+    return core::Status(core::ErrorCode::kInvalidArgument, "ckt.grid",
+                        "log grid endpoints inverted: " + std::to_string(f_lo.raw()) +
+                            " Hz > " + std::to_string(f_hi.raw()) + " Hz");
+  }
   const std::vector<double> raw = num::log_space(f_lo.raw(), f_hi.raw(), n);
   std::vector<units::Hertz> out;
   out.reserve(raw.size());
-  for (const double hz : raw) out.push_back(units::Hertz{hz});
+  for (const double hz : raw) {
+    if (!out.empty() && out.back().raw() == hz) {
+      return core::Status(core::ErrorCode::kInvalidArgument, "ckt.grid",
+                          "log grid rounds to duplicate adjacent frequencies near " +
+                              std::to_string(hz) + " Hz; widen the span or drop points");
+    }
+    out.push_back(units::Hertz{hz});
+  }
   return out;
 }
 

@@ -85,6 +85,38 @@ CheckedAcSolution ac_solve_checked(const Circuit& c,
                                    const std::vector<double>& freqs_hz,
                                    const AcOptions& opt = {});
 
+// Reduced-order coupling probe model: everything a rank-2 Sherman-Morrison
+// update needs to evaluate a perturbed mutual inductance between any two of
+// the candidate inductors WITHOUT another full solve. Adding mutual M
+// between inductors p and q changes the MNA matrix by
+//   dA = -j*w*M * (e_bp e_bq^T + e_bq e_bp^T)
+// (bp/bq = inductor branch rows), so the probed measurement phasor is a
+// closed-form function of the baseline solution entries at the branches,
+// the A^{-1} columns at the branches, and M. One factorization per
+// frequency amortizes across ALL candidate pairs: the factor is reused for
+// the baseline right-hand side and one unit column per candidate inductor.
+struct CouplingProbeModel {
+  std::vector<double> freqs_hz;
+  // Baseline measurement phasor per frequency (source_scale applied).
+  std::vector<Complex> v_meas;
+  // i_branch[fi][p]: baseline current unknown at candidate p's branch row.
+  std::vector<std::vector<Complex>> i_branch;
+  // col_meas[fi][p]: (A^{-1})[meas_row][branch(p)].
+  std::vector<std::vector<Complex>> col_meas;
+  // col_branch[fi][p][q]: (A^{-1})[branch(q)][branch(p)].
+  std::vector<std::vector<std::vector<Complex>>> col_branch;
+};
+
+// Build the model at the given frequencies (typically a refined adaptive
+// grid). Throws std::invalid_argument on an unknown node/inductor or a
+// malformed grid, and raises the first per-point numeric failure the way
+// ac_solve does. Deterministic for any thread count.
+CouplingProbeModel ac_coupling_probe_model(const Circuit& c,
+                                           const std::string& meas_node,
+                                           const std::vector<std::string>& inductors,
+                                           const std::vector<double>& freqs_hz,
+                                           const AcOptions& opt = {});
+
 // Unit-typed sweep entry points: a grid of units::Hertz cannot be confused
 // with one of rad/s (use units::cycles() to come back from angular
 // frequency). Templates (constrained to units::Hertz) rather than plain
@@ -110,7 +142,12 @@ CheckedAcSolution ac_solve_checked(const Circuit& c, const std::vector<Q>& freqs
 }
 
 // Logarithmically spaced frequency grid [f_lo, f_hi], n >= 2 points.
-std::vector<units::Hertz> log_frequency_grid(units::Hertz f_lo, units::Hertz f_hi,
-                                             std::size_t n);
+// Degenerate requests come back as line-item kInvalidArgument Statuses
+// instead of a silently unusable grid: fewer than 2 points, a non-positive
+// start, equal or inverted endpoints, and endpoints so close that rounding
+// produces duplicate adjacent frequencies.
+core::Result<std::vector<units::Hertz>> log_frequency_grid(units::Hertz f_lo,
+                                                           units::Hertz f_hi,
+                                                           std::size_t n);
 
 }  // namespace emi::ckt

@@ -8,6 +8,7 @@ Profile::Profile(const Profile& other) {
   MutexLock lock(other.mu_);
   seconds_ = other.seconds_;
   counts_ = other.counts_;
+  gauges_ = other.gauges_;
 }
 
 // Two-lock members: std::scoped_lock's deadlock-avoidance handles the
@@ -18,6 +19,7 @@ Profile& Profile::operator=(const Profile& other) EMI_NO_THREAD_SAFETY_ANALYSIS 
   std::scoped_lock lock(mu_, other.mu_);
   seconds_ = other.seconds_;
   counts_ = other.counts_;
+  gauges_ = other.gauges_;
   return *this;
 }
 
@@ -41,18 +43,36 @@ void Profile::add_count(std::string_view name, std::uint64_t n) {
   }
 }
 
+void Profile::max_gauge(std::string_view name, double v) {
+  MutexLock lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), v);
+  } else {
+    it->second = std::max(it->second, v);
+  }
+}
+
 void Profile::merge(const Profile& other) EMI_NO_THREAD_SAFETY_ANALYSIS {
   if (this == &other) return;
   std::scoped_lock lock(mu_, other.mu_);
   for (const auto& [name, s] : other.seconds_) seconds_[name] += s;
   for (const auto& [name, n] : other.counts_) counts_[name] += n;
+  for (const auto& [name, v] : other.gauges_) {
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+      gauges_.emplace(name, v);
+    } else {
+      it->second = std::max(it->second, v);
+    }
+  }
 }
 
 std::vector<Profile::Entry> Profile::entries() const {
   MutexLock lock(mu_);
   std::vector<Entry> out;
-  out.reserve(seconds_.size() + counts_.size());
-  for (const auto& [name, s] : seconds_) out.push_back({name, s, 0});
+  out.reserve(seconds_.size() + counts_.size() + gauges_.size());
+  for (const auto& [name, s] : seconds_) out.push_back({name, s, 0, 0.0, false});
   for (const auto& [name, n] : counts_) {
     bool merged = false;
     for (Entry& e : out) {
@@ -62,8 +82,9 @@ std::vector<Profile::Entry> Profile::entries() const {
         break;
       }
     }
-    if (!merged) out.push_back({name, 0.0, n});
+    if (!merged) out.push_back({name, 0.0, n, 0.0, false});
   }
+  for (const auto& [name, v] : gauges_) out.push_back({name, 0.0, 0, v, true});
   std::sort(out.begin(), out.end(),
             [](const Entry& a, const Entry& b) { return a.name < b.name; });
   return out;
@@ -79,6 +100,12 @@ std::uint64_t Profile::count(std::string_view name) const {
   MutexLock lock(mu_);
   const auto it = counts_.find(name);
   return it == counts_.end() ? 0 : it->second;
+}
+
+double Profile::gauge(std::string_view name) const {
+  MutexLock lock(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
 }
 
 }  // namespace emi::core

@@ -27,23 +27,31 @@ class Profile {
 
   void add_seconds(std::string_view name, double s);
   void add_count(std::string_view name, std::uint64_t n);
+  // High-water gauge: keeps the maximum of every reported value. For
+  // dimensioned observations that are neither durations nor counts, e.g.
+  // the worst sweep residual in dB (`sweep.max_residual_db`).
+  void max_gauge(std::string_view name, double v);
   void merge(const Profile& other);
 
   struct Entry {
     std::string name;
-    double seconds = 0.0;        // 0 for pure counters
-    std::uint64_t count = 0;     // 0 for pure timers
+    double seconds = 0.0;        // 0 for pure counters/gauges
+    std::uint64_t count = 0;     // 0 for pure timers/gauges
+    double gauge = 0.0;          // 0 for timers/counters
+    bool is_gauge = false;
   };
-  // Union of timers and counters, sorted by name.
+  // Union of timers, counters and gauges, sorted by name.
   std::vector<Entry> entries() const;
 
   double seconds(std::string_view name) const;       // 0 if absent
   std::uint64_t count(std::string_view name) const;  // 0 if absent
+  double gauge(std::string_view name) const;         // 0 if absent
 
  private:
   mutable Mutex mu_;
   std::map<std::string, double, std::less<>> seconds_ EMI_GUARDED_BY(mu_);
   std::map<std::string, std::uint64_t, std::less<>> counts_ EMI_GUARDED_BY(mu_);
+  std::map<std::string, double, std::less<>> gauges_ EMI_GUARDED_BY(mu_);
 };
 
 // Adds the elapsed wall time to `profile` under `name` on destruction.

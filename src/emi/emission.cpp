@@ -4,6 +4,7 @@
 
 #include "src/numeric/fft.hpp"
 #include "src/numeric/stats.hpp"
+#include "src/sweep/adaptive.hpp"
 
 namespace emi::emc {
 
@@ -33,6 +34,25 @@ EmissionSpectrum conducted_emission_scaled(const ckt::Circuit& c,
   for (std::size_t fi = 0; fi < freqs_hz.size(); ++fi) {
     out.level_dbuv.push_back(num::volts_to_dbuv(std::abs(sol.voltage(meas_node, fi))));
   }
+  return out;
+}
+
+AdaptiveEmissionResult conducted_emission_adaptive(const ckt::Circuit& c,
+                                                   const std::string& meas_node,
+                                                   const TrapezoidSpectrum& source,
+                                                   const EmissionSweepOptions& opt,
+                                                   const emi::sweep::SweepAccel& accel) {
+  const std::vector<double> freqs =
+      num::log_space(opt.f_min_hz, opt.f_max_hz, opt.n_points);
+  auto sweep = emi::sweep::adaptive_ac_sweep(c, {meas_node}, freqs,
+                                             envelope_series(source, freqs), opt.ac,
+                                             accel);
+  AdaptiveEmissionResult out;
+  out.spectrum.freqs_hz = std::move(sweep.freqs_hz);
+  out.spectrum.level_dbuv = std::move(sweep.level_dbuv[0]);
+  out.solved = std::move(sweep.solved);
+  out.error_bound_db = std::move(sweep.error_bound_db);
+  out.stats = sweep.stats;
   return out;
 }
 

@@ -3,12 +3,14 @@
 // in dBuV. Also: spectrum extraction from transient waveforms via FFT.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "src/ckt/ac.hpp"
 #include "src/ckt/transient.hpp"
 #include "src/emi/noise_source.hpp"
+#include "src/sweep/options.hpp"
 
 namespace emi::emc {
 
@@ -41,6 +43,25 @@ EmissionSpectrum conducted_emission_scaled(const ckt::Circuit& c,
                                            const std::vector<double>& freqs_hz,
                                            const std::vector<double>& source_envelope,
                                            const ckt::AcOptions& ac = {});
+
+// Adaptive-refinement sweep outcome: the spectrum on the full dense grid,
+// plus which points were solved exactly (bit-identical to the dense path)
+// and the documented per-point interpolation error bound for the rest.
+struct AdaptiveEmissionResult {
+  EmissionSpectrum spectrum;
+  std::vector<std::uint8_t> solved;    // 1 = exact MNA solve at this point
+  std::vector<double> error_bound_db;  // admission residual; 0 where solved
+  emi::sweep::SweepStats stats;
+};
+
+// conducted_emission through the adaptive refinement engine. With
+// accel.adaptive false this solves the whole grid (counters still filled),
+// producing the same levels as conducted_emission bit for bit.
+AdaptiveEmissionResult conducted_emission_adaptive(const ckt::Circuit& c,
+                                                   const std::string& meas_node,
+                                                   const TrapezoidSpectrum& source,
+                                                   const EmissionSweepOptions& opt,
+                                                   const emi::sweep::SweepAccel& accel);
 
 // Spectrum of a transient waveform at the measurement node, in dBuV.
 // Discards the first `settle_fraction` of the record (startup transient).

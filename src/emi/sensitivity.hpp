@@ -12,6 +12,7 @@
 
 #include "src/emi/emission.hpp"
 #include "src/peec/coupling.hpp"
+#include "src/sweep/options.hpp"
 
 namespace emi::emc {
 
@@ -27,12 +28,32 @@ struct SensitivityOptions {
   EmissionSweepOptions sweep{};
   // Optional subset of inductor names to consider (empty = all).
   std::vector<std::string> candidates;
+  // Opt-in sweep acceleration: adaptive frequency refinement for the dense
+  // sweeps, plus a rational surrogate (with escalation) for the per-pair
+  // probe sweeps. Defaults off; the legacy dense path then runs bit-
+  // identically to older builds.
+  emi::sweep::SweepAccel accel{};
+};
+
+// Ranking plus the sweep-economics counters the flow surfaces as profile
+// entries (full solves vs interpolated/surrogate-filled points).
+struct SensitivityReport {
+  std::vector<CouplingSensitivity> ranking;
+  emi::sweep::SweepStats stats;
 };
 
 // Rank all candidate inductor pairs by emission impact. The circuit is
 // taken by value: existing couplings are preserved and each probe is applied
 // on top, one pair at a time, against the unprobed baseline.
 std::vector<CouplingSensitivity> rank_coupling_sensitivity(
+    ckt::Circuit c, const std::string& meas_node, const TrapezoidSpectrum& source,
+    const SensitivityOptions& opt = {});
+
+// Same ranking, plus sweep economics. With opt.accel engaged the per-pair
+// sweeps go through the surrogate/adaptive engines (per-pair stats are
+// accumulated in pair-index order, so the report is thread-count
+// invariant); with a default accel this is the dense path plus counters.
+SensitivityReport rank_coupling_sensitivity_report(
     ckt::Circuit c, const std::string& meas_node, const TrapezoidSpectrum& source,
     const SensitivityOptions& opt = {});
 

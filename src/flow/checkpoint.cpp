@@ -186,6 +186,17 @@ std::uint64_t flow_context_digest(const BuckConverter& bc,
   }
   ss << "sweep " << dbits(opt.sweep.f_min_hz) << ' ' << dbits(opt.sweep.f_max_hz)
      << ' ' << opt.sweep.n_points << '\n';
+  // Sweep acceleration changes computed spectra (interpolated / surrogate-
+  // filled points), so its configuration joins the context - but only when
+  // an engine is enabled, keeping every pre-acceleration checkpoint digest
+  // (and the default-options digest) byte-identical.
+  if (opt.sweep_accel.enabled()) {
+    ss << "swp " << (opt.sweep_accel.adaptive ? 1 : 0) << ' '
+       << dbits(opt.sweep_accel.tol_db) << ' ' << opt.sweep_accel.coarse_points << ' '
+       << (opt.sweep_accel.surrogate ? 1 : 0) << ' ' << dbits(opt.sweep_accel.gate_db)
+       << ' ' << opt.sweep_accel.max_order << ' ' << opt.sweep_accel.holdout_points
+       << '\n';
+  }
   ss << "thr " << dbits(opt.sensitivity_threshold_db) << ' ' << dbits(opt.k_threshold)
      << ' ' << dbits(opt.k_min) << ' ' << opt.cispr_class << ' ' << opt.stage_attempts
      << '\n';

@@ -40,6 +40,15 @@ struct FlowOptions {
   // Couplings below this are not installed in the circuit.
   double k_min = 1e-4;
   emc::EmissionSweepOptions sweep{};
+  // Sweep acceleration (sweep::SweepAccel): adaptive frequency refinement
+  // for the dense emission sweeps and a rational surrogate (with dense-solve
+  // escalation) for the per-pair sensitivity sweeps. The default keeps the
+  // exact dense path, so flow results stay bit-identical to older builds;
+  // when enabled the options join the checkpoint context digest (like
+  // KernelOptions::cluster) and degrade along the deadline ladder (tol_db /
+  // gate_db doubled per degradation step). Economics surface as `sweep.*`
+  // profile counters.
+  emi::sweep::SweepAccel sweep_accel{};
   peec::QuadratureOptions quadrature{};
   // Pair-kernel fast-path gates (peec::KernelOptions). The default keeps the
   // exact kernel, so flow results stay bit-identical to older builds; this

@@ -97,6 +97,7 @@ bool FlowEngine::step() {
 // restores it from the checkpoint instead of re-deriving it.
 bool FlowEngine::unit_sensitivity() {
   if (!ck_.done(FlowStage::kSensitivity)) {
+    emi::sweep::SweepStats attempt_stats;
     const detail::StageOutcome so = driver_.run(
         "flow.sensitivity", [&](int attempt, int degrade) {
           core::ScopedTimer t(res_.profile, "flow.sensitivity_s");
@@ -108,14 +109,27 @@ bool FlowEngine::unit_sensitivity() {
                 std::max<std::size_t>(25, sens_opt.sweep.n_points >> degrade);
           }
           sens_opt.candidates = candidates_;
-          res_.ranking = emc::rank_coupling_sensitivity(bc_.circuit, bc_.meas_node,
-                                                        bc_.noise, sens_opt);
+          if (opt_.sweep_accel.enabled()) {
+            // Accelerated path: adaptive baseline + surrogate per-pair
+            // sweeps, tolerances coarsened along the degradation ladder.
+            // Stats are re-assigned per attempt so only the attempt that
+            // decides the stage is counted.
+            sens_opt.accel = opt_.sweep_accel.degraded(degrade);
+            emc::SensitivityReport rep = emc::rank_coupling_sensitivity_report(
+                bc_.circuit, bc_.meas_node, bc_.noise, sens_opt);
+            res_.ranking = std::move(rep.ranking);
+            attempt_stats = rep.stats;
+          } else {
+            res_.ranking = emc::rank_coupling_sensitivity(bc_.circuit, bc_.meas_node,
+                                                          bc_.noise, sens_opt);
+          }
         });
     if (so == detail::StageOutcome::kCancelled) {
       halt_pipeline();
       return false;
     }
     const bool sens_ok = so == detail::StageOutcome::kOk;
+    if (sens_ok) sweep_stats_.merge(attempt_stats);
     res_.simulated_pairs.clear();
     res_.field_solves_saved = 0;
     if (sens_ok) {
@@ -181,6 +195,7 @@ bool FlowEngine::unit_sensitivity() {
 // Step 3+4: extract couplings for the initial layout, predict emissions.
 bool FlowEngine::unit_initial_prediction() {
   if (ck_.done(FlowStage::kInitialPrediction)) return true;
+  emi::sweep::SweepStats attempt_stats;
   const detail::StageOutcome so = driver_.run(
       "flow.initial_prediction", [&](int attempt, int degrade) {
         core::ScopedTimer t(res_.profile, "flow.initial_prediction_s");
@@ -188,16 +203,29 @@ bool FlowEngine::unit_initial_prediction() {
         const ckt::Circuit coupled =
             circuit_with_couplings(bc_, initial_layout_, pick_extractor(degrade),
                                    opt_.k_min, res_.simulated_pairs);
-        res_.initial_prediction =
-            emc::conducted_emission(coupled, bc_.meas_node, bc_.noise, sweep);
-        res_.initial_no_coupling =
-            emc::conducted_emission(bc_.circuit, bc_.meas_node, bc_.noise, sweep);
+        if (opt_.sweep_accel.adaptive) {
+          const emi::sweep::SweepAccel accel = opt_.sweep_accel.degraded(degrade);
+          emc::AdaptiveEmissionResult coupled_res = emc::conducted_emission_adaptive(
+              coupled, bc_.meas_node, bc_.noise, sweep, accel);
+          emc::AdaptiveEmissionResult bare_res = emc::conducted_emission_adaptive(
+              bc_.circuit, bc_.meas_node, bc_.noise, sweep, accel);
+          res_.initial_prediction = std::move(coupled_res.spectrum);
+          res_.initial_no_coupling = std::move(bare_res.spectrum);
+          attempt_stats = coupled_res.stats;
+          attempt_stats.merge(bare_res.stats);
+        } else {
+          res_.initial_prediction =
+              emc::conducted_emission(coupled, bc_.meas_node, bc_.noise, sweep);
+          res_.initial_no_coupling =
+              emc::conducted_emission(bc_.circuit, bc_.meas_node, bc_.noise, sweep);
+        }
       });
   if (so == detail::StageOutcome::kCancelled) {
     halt_pipeline();
     return false;
   }
   if (so != detail::StageOutcome::kOk) res_.complete = false;
+  if (so == detail::StageOutcome::kOk) sweep_stats_.merge(attempt_stats);
   if (checkpoint_after(FlowStage::kInitialPrediction,
                        so == detail::StageOutcome::kOk)) {
     halt_pipeline();
@@ -363,6 +391,7 @@ bool FlowEngine::unit_verification() {
     verify_ok = ck_.ok(FlowStage::kVerification);
     if (verify_ok) res_.drc_improved = drc_->check(res_.improved_layout);
   } else if (place_ok_) {
+    emi::sweep::SweepStats attempt_stats;
     const detail::StageOutcome so = driver_.run(
         "flow.verification", [&](int attempt, int degrade) {
           core::ScopedTimer t(res_.profile, "flow.verification_s");
@@ -371,15 +400,24 @@ bool FlowEngine::unit_verification() {
               circuit_with_couplings(bc_, res_.improved_layout,
                                      pick_extractor(degrade), opt_.k_min,
                                      res_.simulated_pairs);
-          res_.improved_prediction =
-              emc::conducted_emission(improved_ckt, bc_.meas_node, bc_.noise,
-                                      detail::jittered(opt_.sweep, attempt));
+          const emc::EmissionSweepOptions sweep = detail::jittered(opt_.sweep, attempt);
+          if (opt_.sweep_accel.adaptive) {
+            emc::AdaptiveEmissionResult improved = emc::conducted_emission_adaptive(
+                improved_ckt, bc_.meas_node, bc_.noise, sweep,
+                opt_.sweep_accel.degraded(degrade));
+            res_.improved_prediction = std::move(improved.spectrum);
+            attempt_stats = improved.stats;
+          } else {
+            res_.improved_prediction =
+                emc::conducted_emission(improved_ckt, bc_.meas_node, bc_.noise, sweep);
+          }
         });
     if (so == detail::StageOutcome::kCancelled) {
       halt_pipeline();
       return false;
     }
     verify_ok = so == detail::StageOutcome::kOk;
+    if (verify_ok) sweep_stats_.merge(attempt_stats);
     if (checkpoint_after(FlowStage::kVerification, verify_ok)) {
       halt_pipeline();
       return false;
@@ -423,6 +461,14 @@ FlowResult FlowEngine::finish() {
                          kern1.cluster_pairs - kern0_.cluster_pairs);
   res_.profile.add_count("peec.kernel_cluster_skipped",
                          kern1.cluster_skipped - kern0_.cluster_skipped);
+  // Sweep economics: always present so profile consumers (and the serve
+  // STATS verb) can rely on the entries; all zero unless FlowOptions::
+  // sweep_accel engaged an engine this run.
+  res_.profile.add_count("sweep.full_solves", sweep_stats_.full_solves);
+  res_.profile.add_count("sweep.interp_points", sweep_stats_.interp_points);
+  res_.profile.add_count("sweep.surrogate_evals", sweep_stats_.surrogate_evals);
+  res_.profile.add_count("sweep.escalations", sweep_stats_.escalations);
+  res_.profile.max_gauge("sweep.max_residual_db", sweep_stats_.max_residual_db);
   const core::PoolStats pool1 = core::ThreadPool::global().stats();
   res_.profile.add_count("pool.threads", core::ThreadPool::global_thread_count());
   res_.profile.add_count("pool.batches", pool1.batches - pool0_.batches);

@@ -97,6 +97,10 @@ class FlowEngine {
   peec::CouplingExtractor coarse_extractor_;
   core::PoolStats pool0_;
   peec::KernelStats kern0_;
+  // Sweep economics of this run's successful stage attempts; finish() folds
+  // them into the `sweep.*` profile entries (always present, zero when the
+  // acceleration is off or never engaged).
+  emi::sweep::SweepStats sweep_stats_;
   detail::StageDriver driver_;
 
   std::vector<std::string> candidates_;

@@ -128,6 +128,44 @@ LargeScenario make_large_scenario(const LargeScenarioOptions& opt) {
   return s;
 }
 
+LargeScenarioCircuit make_large_scenario_circuit(const LargeScenarioOptions& opt) {
+  if (opt.n_stages == 0) {
+    throw std::invalid_argument("make_large_scenario_circuit: zero stages");
+  }
+  LargeScenarioCircuit sc;
+  // 12 V cell switching at 250 kHz with 40 ns edges, ~45% duty: the same
+  // trapezoid family as the buck golden, scaled to the filter's passband.
+  sc.source = emc::TrapezoidSpectrum{12.0, 4e-6, 1.8e-6, 4e-8};
+
+  ckt::Circuit& c = sc.circuit;
+  c.add_vsource("VN", "in", "0", ckt::Waveform::dc(0.0), 1.0);
+  c.add_resistor("RS", "in", "n0", 2.0);
+  std::string prev = "n0";
+  for (std::size_t st = 0; st < opt.n_stages; ++st) {
+    // Independent per-stage value stream, salted differently from the
+    // geometry stream so placement jitter and element spread stay decoupled.
+    num::Rng rng(opt.seed ^ (0xbf58476d1ce4e5b9ull * (st + 1)));
+    const std::string tag = std::to_string(st);
+    const std::string mid = "m" + tag;
+    const std::string nxt = "n" + std::to_string(st + 1);
+    const std::string coil = "LF" + tag;
+    c.add_inductor(coil, prev, mid, 22e-6 * spread(rng));
+    c.add_resistor("RW" + tag, mid, nxt, 0.15 * spread(rng));
+    sc.inductors.push_back(coil);
+    // X capacitor to ground: C in series with its ESL and ESR. The ESL is
+    // the stage's second rankable inductor, named per the buck convention.
+    const std::string esl = "L_CX" + tag;
+    c.add_capacitor("CX" + tag, nxt, "c" + tag, 470e-9 * spread(rng));
+    c.add_inductor(esl, "c" + tag, "e" + tag, 18e-9 * spread(rng));
+    c.add_resistor("RC" + tag, "e" + tag, "0", 0.05 * spread(rng));
+    sc.inductors.push_back(esl);
+    prev = nxt;
+  }
+  c.add_resistor("RLOAD", prev, "0", 50.0);
+  sc.meas_node = prev;
+  return sc;
+}
+
 std::uint64_t layout_fingerprint(const LargeScenario& s) {
   std::uint64_t h = kFnvOffset;
   h = fnv1a(h, static_cast<std::uint64_t>(s.layout.placements.size()));

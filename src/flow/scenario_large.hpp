@@ -16,7 +16,9 @@
 #include <string>
 #include <vector>
 
+#include "src/ckt/circuit.hpp"
 #include "src/core/units.hpp"
+#include "src/emi/noise_source.hpp"
 #include "src/peec/component_model.hpp"
 #include "src/peec/coupling.hpp"
 #include "src/place/design.hpp"
@@ -58,5 +60,23 @@ LargeScenario make_large_scenario(const LargeScenarioOptions& opt = {});
 // board, placed flag) and every model's content digest: the determinism
 // witness the battery compares across rebuilds.
 std::uint64_t layout_fingerprint(const LargeScenario& s);
+
+// Electrical twin of a LargeScenario: an n-stage LC filter ladder driven by
+// a trapezoid noise source and measured across a 50 ohm load. Stage st
+// contributes the series filter coil `LF<st>` (matching the scenario's coil
+// model name) and the X capacitor's ESL inductor `L_CX<st>` (matching model
+// `CX<st>` under the buck-converter naming convention), so the circuit's
+// inductor set lines up 1:1 with the scenario's placed field models. Element
+// values carry the same ~2% deterministic per-stage spread as the geometry
+// (independent stream off the same seed), which keeps every stage's
+// resonances slightly detuned - the workload the adaptive frequency sweep
+// has to chase.
+struct LargeScenarioCircuit {
+  ckt::Circuit circuit;
+  std::string meas_node;               // across the load resistor
+  emc::TrapezoidSpectrum source;       // drive for emission sweeps
+  std::vector<std::string> inductors;  // every Lxx name, circuit order
+};
+LargeScenarioCircuit make_large_scenario_circuit(const LargeScenarioOptions& opt = {});
 
 }  // namespace emi::flow

@@ -75,6 +75,12 @@ void write_profile(std::ostream& out, const core::Profile& profile) {
   out << "profile (" << profile.entries().size() << " entries):\n";
   for (const core::Profile::Entry& e : profile.entries()) {
     out << "  " << e.name << " = ";
+    if (e.is_gauge) {
+      out << std::fixed << std::setprecision(6) << e.gauge;
+      out.unsetf(std::ios::fixed);
+      out << std::setprecision(6) << "\n";
+      continue;
+    }
     if (e.seconds > 0.0) {
       out << std::fixed << std::setprecision(6) << e.seconds << " s";
       out.unsetf(std::ios::fixed);

@@ -90,6 +90,9 @@ std::vector<io::KvRecord> job_to_records(const JobRecord& job) {
   r.emplace_back("budget_ms", std::to_string(job.spec.total_budget_ms));
   r.emplace_back("stage_budget_ms", std::to_string(job.spec.stage_budget_ms));
   r.emplace_back("client", job.spec.client.empty() ? "-" : job.spec.client);
+  // Written only when set: records from before the field existed (and
+  // default-off jobs today) keep byte-identical serializations.
+  if (job.spec.adaptive_sweep) r.emplace_back("adaptive", "1");
   r.emplace_back("stop_after",
                  job.spec.stop_after_stage.empty() ? "-" : job.spec.stop_after_stage);
   r.emplace_back("poison", job.spec.poison ? "1" : "0");
@@ -124,6 +127,9 @@ core::Result<JobRecord> job_from_records(const std::vector<io::KvRecord>& record
       job.spec.stage_budget_ms = static_cast<std::int64_t>(v);
     } else if (key == "client") {
       job.spec.client = value == "-" ? std::string() : value;
+    } else if (key == "adaptive") {
+      if (value != "0" && value != "1") return field_error(key, value);
+      job.spec.adaptive_sweep = value == "1";
     } else if (key == "stop_after") {
       job.spec.stop_after_stage = value == "-" ? std::string() : value;
     } else if (key == "poison") {

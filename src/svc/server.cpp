@@ -107,6 +107,14 @@ CommandOutcome handle_command(Service& svc, const std::string& line) {
       }
       spec.poison = *v == "1";
     }
+    if (const auto v = io::kv_value(tokens, "adaptive")) {
+      if (*v != "0" && *v != "1") {
+        out.reply = err_reply(core::ErrorCode::kInvalidArgument,
+                              "malformed adaptive value: " + *v);
+        return out;
+      }
+      spec.adaptive_sweep = *v == "1";
+    }
     std::uint64_t n = 0;
     if (const auto v = io::kv_value(tokens, "points")) {
       if (!parse_u64(*v, n)) {
@@ -178,6 +186,13 @@ CommandOutcome handle_command(Service& svc, const std::string& line) {
                 " cache_mutual_hits=" + std::to_string(s.global_cache.mutual_hits) +
                 " cache_mutual_misses=" +
                 std::to_string(s.global_cache.mutual_misses);
+    char resid[32];
+    std::snprintf(resid, sizeof resid, "%.3f", s.sweep_max_residual_db);
+    out.reply += " sweep_full_solves=" + std::to_string(s.sweep_full_solves) +
+                 " sweep_interp_points=" + std::to_string(s.sweep_interp_points) +
+                 " sweep_surrogate_evals=" + std::to_string(s.sweep_surrogate_evals) +
+                 " sweep_escalations=" + std::to_string(s.sweep_escalations) +
+                 " sweep_max_residual_db=" + resid;
     return out;
   }
 

@@ -275,6 +275,11 @@ ServiceStats Service::stats() const {
   }
   s.sessions = sessions_.session_count();
   s.global_cache = sessions_.global_cache()->stats();
+  s.sweep_full_solves = sweep_full_solves_;
+  s.sweep_interp_points = sweep_interp_points_;
+  s.sweep_surrogate_evals = sweep_surrogate_evals_;
+  s.sweep_escalations = sweep_escalations_;
+  s.sweep_max_residual_db = sweep_max_residual_db_;
   return s;
 }
 
@@ -404,6 +409,13 @@ void Service::run_job(Job& job) {
                                       : flow::boost_layout_unfavorable(bc);
     flow::FlowOptions fopt;
     fopt.sweep.n_points = spec.sweep_points;
+    if (spec.adaptive_sweep) {
+      // Both acceleration engines at their default tolerances; the options
+      // join the flow's checkpoint context digest, so a job toggled between
+      // submissions never resumes across the configuration change.
+      fopt.sweep_accel.adaptive = true;
+      fopt.sweep_accel.surrogate = true;
+    }
     fopt.total_budget_ms = spec.total_budget_ms;
     fopt.stage_budget_ms = spec.stage_budget_ms;
     fopt.cancel = &job.cancel;
@@ -481,6 +493,15 @@ void Service::run_job(Job& job) {
     terminal_cv_.notify_all();
     return;
   }
+  // Sweep economics of this terminal run, folded into the service-wide
+  // STATS counters. The entries are always present in a finished flow's
+  // profile (zero when the job did not opt into acceleration).
+  sweep_full_solves_ += res.profile.count("sweep.full_solves");
+  sweep_interp_points_ += res.profile.count("sweep.interp_points");
+  sweep_surrogate_evals_ += res.profile.count("sweep.surrogate_evals");
+  sweep_escalations_ += res.profile.count("sweep.escalations");
+  sweep_max_residual_db_ =
+      std::max(sweep_max_residual_db_, res.profile.gauge("sweep.max_residual_db"));
   job.rec.fingerprint = flow::result_fingerprint(res);
   job.rec.complete = res.complete;
   if (job.cancel.cancel_requested()) {

@@ -90,6 +90,13 @@ struct ServiceStats {
   std::uint64_t quarantined = 0;
   std::uint64_t sessions = 0;
   peec::CacheTierStats global_cache;  // shared-tier hit/miss counters
+  // Sweep-acceleration economics accumulated over every terminal job's
+  // flow profile (`sweep.*` counters); all zero while no job opted in.
+  std::uint64_t sweep_full_solves = 0;
+  std::uint64_t sweep_interp_points = 0;
+  std::uint64_t sweep_surrogate_evals = 0;
+  std::uint64_t sweep_escalations = 0;
+  double sweep_max_residual_db = 0.0;  // worst residual over all jobs
 };
 
 // Snapshot for the HEALTH protocol verb: the numbers an operator (or a
@@ -198,6 +205,12 @@ class Service {
   std::uint64_t recovered_ EMI_GUARDED_BY(mu_) = 0;
   std::uint64_t stall_events_ EMI_GUARDED_BY(mu_) = 0;
   std::uint64_t quarantined_ EMI_GUARDED_BY(mu_) = 0;
+  // Accumulated `sweep.*` profile counters of terminal jobs (STATS verb).
+  std::uint64_t sweep_full_solves_ EMI_GUARDED_BY(mu_) = 0;
+  std::uint64_t sweep_interp_points_ EMI_GUARDED_BY(mu_) = 0;
+  std::uint64_t sweep_surrogate_evals_ EMI_GUARDED_BY(mu_) = 0;
+  std::uint64_t sweep_escalations_ EMI_GUARDED_BY(mu_) = 0;
+  double sweep_max_residual_db_ EMI_GUARDED_BY(mu_) = 0.0;
   bool draining_ EMI_GUARDED_BY(mu_) = false;
 
   std::vector<std::thread> executors_;

@@ -1,0 +1,75 @@
+// Sweep acceleration knobs and economics counters shared by the adaptive
+// frequency-refinement engine (sweep/adaptive.hpp) and the reduced-order
+// rational surrogate (sweep/surrogate.hpp).
+//
+// Both engines are opt-in: a default SweepAccel leaves every caller on the
+// dense exact path, bit-identical to older builds. The flow forwards one
+// SweepAccel through FlowOptions; it joins the checkpoint context digest
+// (conditionally, like KernelOptions::cluster) because enabling either
+// engine changes computed spectra.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace emi::sweep {
+
+// Opt-in acceleration for dense AC emission sweeps.
+struct SweepAccel {
+  // (a) Adaptive frequency refinement: solve a coarse geometric grid and
+  // recursively bisect intervals whose solved midpoint deviates more than
+  // tol_db (per probed output node) from the fill's own prediction of it.
+  // An interval is accepted only after its midpoint AND both child
+  // midpoints pass - two generations of solved agreement - so the level-0
+  // grid can start small; acceptance still guarantees a solved sample at
+  // least every (grid span)/(4*(coarse_points-1)). Non-refined points are
+  // filled by monotone piecewise-cubic interpolation of the complex
+  // transfer in log f; the admission residual is the documented per-point
+  // error bound.
+  bool adaptive = false;
+  double tol_db = 0.3;          // refinement admission tolerance
+  std::size_t coarse_points = 9;  // level-0 grid size (clamped to the dense grid)
+
+  // (b) Reduced-order rational surrogate for the per-candidate sweeps of
+  // sensitivity ranking: each probed circuit is solved only at the support
+  // + held-out points, a barycentric rational surrogate (order auto-selected
+  // by the held-out residual) fills the dense grid, and a pair escalates to
+  // a full dense solve only when its self-reported residual exceeds gate_db.
+  bool surrogate = false;
+  double gate_db = 0.5;         // escalation gate on the held-out residual
+  std::size_t max_order = 8;    // barycentric blend-degree search ceiling
+  std::size_t holdout_points = 4;  // solved points withheld for validation
+
+  // Degradation-ladder hook (flow stage retries after deadline expiry):
+  // coarser admission/escalation tolerances, same machinery.
+  SweepAccel degraded(int degrade) const {
+    SweepAccel a = *this;
+    const double scale = static_cast<double>(1 << std::clamp(degrade, 0, 16));
+    a.tol_db *= scale;
+    a.gate_db *= scale;
+    return a;
+  }
+
+  bool enabled() const { return adaptive || surrogate; }
+};
+
+// Sweep economics, surfaced as `sweep.*` profile counters by the flow and
+// aggregated by the serve STATS verb. Counters are pure functions of solved
+// values, so they are bit-identical at any thread count.
+struct SweepStats {
+  std::uint64_t full_solves = 0;     // full-size MNA solves performed
+  std::uint64_t interp_points = 0;   // dense points filled by interpolation
+  std::uint64_t surrogate_evals = 0; // dense points filled by the surrogate
+  std::uint64_t escalations = 0;     // candidate sweeps escalated to dense
+  double max_residual_db = 0.0;      // worst admission / held-out residual seen
+
+  void merge(const SweepStats& o) {
+    full_solves += o.full_solves;
+    interp_points += o.interp_points;
+    surrogate_evals += o.surrogate_evals;
+    escalations += o.escalations;
+    max_residual_db = std::max(max_residual_db, o.max_residual_db);
+  }
+};
+
+}  // namespace emi::sweep

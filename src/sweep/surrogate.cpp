@@ -1,0 +1,237 @@
+#include "src/sweep/surrogate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "src/numeric/stats.hpp"
+
+namespace emi::sweep {
+namespace {
+
+constexpr double kMagFloor = 1e-300;  // keeps db20 finite for zero phasors
+
+double mag_db(const Complex& v) { return num::db20(std::max(std::abs(v), kMagFloor)); }
+
+// Floater-Hormann barycentric weights for blend degree d over nodes x:
+//   w_k = sum_{i in J_k} (-1)^i prod_{j=i..i+d, j != k} 1/(x_k - x_j),
+// J_k = { i : max(0, k-d) <= i <= min(k, n-1-d) }. (Floater & Hormann,
+// Numer. Math. 107, 2007.) For d = 0 this reduces to Berrut's pole-free
+// interpolant; for any d and distinct real nodes the denominator never
+// vanishes on the real line.
+std::vector<double> fh_weights(const std::vector<double>& x, std::size_t d) {
+  const std::size_t n = x.size();
+  std::vector<double> w(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i_lo = (k >= d) ? k - d : 0;
+    const std::size_t i_hi = std::min(k, n - 1 - d);
+    double sum = 0.0;
+    for (std::size_t i = i_lo; i <= i_hi; ++i) {
+      double prod = 1.0;
+      for (std::size_t j = i; j <= i + d; ++j) {
+        if (j == k) continue;
+        prod /= (x[k] - x[j]);
+      }
+      sum += (i % 2 == 0) ? prod : -prod;
+    }
+    w[k] = sum;
+  }
+  return w;
+}
+
+Complex bary_eval(const std::vector<double>& x, const std::vector<Complex>& v,
+                  const std::vector<double>& w, double xq) {
+  Complex num(0.0, 0.0);
+  double den = 0.0;
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    const double dx = xq - x[k];
+    if (dx == 0.0) return v[k];  // exact node: reproduce the solved value
+    const double c = w[k] / dx;
+    num += c * v[k];
+    den += c;
+  }
+  return num / den;
+}
+
+}  // namespace
+
+RationalSurrogate RationalSurrogate::fit(std::vector<double> x, std::vector<Complex> v,
+                                         const std::vector<double>& x_holdout,
+                                         const std::vector<Complex>& v_holdout,
+                                         std::size_t max_order) {
+  if (x.size() != v.size() || x.size() < 2) {
+    throw std::invalid_argument("RationalSurrogate::fit: need >= 2 support points");
+  }
+  if (x_holdout.size() != v_holdout.size()) {
+    throw std::invalid_argument("RationalSurrogate::fit: holdout size mismatch");
+  }
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    if (!(x[i] > x[i - 1])) {
+      throw std::invalid_argument("RationalSurrogate::fit: nodes not increasing");
+    }
+  }
+
+  RationalSurrogate s;
+  s.x_ = std::move(x);
+  s.v_ = std::move(v);
+
+  // Ascending degree scan with strict improvement: ties resolve to the
+  // smaller degree, so the selected order is deterministic.
+  const std::size_t d_max = std::min(max_order, s.x_.size() - 1);
+  std::vector<double> best_w;
+  std::size_t best_d = 0;
+  double best_res = std::numeric_limits<double>::infinity();
+  for (std::size_t d = 0; d <= d_max; ++d) {
+    std::vector<double> w = fh_weights(s.x_, d);
+    double res = 0.0;
+    for (std::size_t h = 0; h < x_holdout.size(); ++h) {
+      const Complex pred = bary_eval(s.x_, s.v_, w, x_holdout[h]);
+      res = std::max(res, std::abs(mag_db(pred) - mag_db(v_holdout[h])));
+    }
+    if (res < best_res) {
+      best_res = res;
+      best_d = d;
+      best_w = std::move(w);
+    }
+  }
+  s.w_ = std::move(best_w);
+  s.order_ = best_d;
+  s.residual_db_ = x_holdout.empty() ? 0.0 : best_res;
+  return s;
+}
+
+Complex RationalSurrogate::eval(double x) const { return bary_eval(x_, v_, w_, x); }
+
+namespace {
+
+// Holdout: evenly spread indices disjoint from the support, nudged right
+// past collisions. `taken` marks the support on entry.
+void fill_holdout(std::size_t n, std::vector<char>& taken,
+                  std::size_t holdout_points, SupportPlan& plan) {
+  for (std::size_t j = 0; j < holdout_points && plan.holdout.size() < n; ++j) {
+    std::size_t idx =
+        ((2 * j + 1) * (n - 1)) / (2 * std::max<std::size_t>(holdout_points, 1));
+    while (idx < n && taken[idx]) ++idx;
+    if (idx >= n) continue;
+    taken[idx] = 1;
+    plan.holdout.push_back(idx);
+  }
+  std::sort(plan.holdout.begin(), plan.holdout.end());
+}
+
+}  // namespace
+
+SupportPlan plan_support(std::size_t n, std::size_t coarse_points,
+                         std::size_t holdout_points) {
+  SupportPlan plan;
+  if (n == 0) return plan;
+  const std::size_t m = std::clamp<std::size_t>(coarse_points, 2, n);
+  std::vector<char> taken(n, 0);
+  for (std::size_t j = 0; j < m; ++j) {
+    // Even subsample of the dense index range; the dense grid is geometric,
+    // so even index spacing is geometric frequency spacing.
+    const std::size_t idx = (m == 1) ? 0
+                                     : (j * (n - 1) + (m - 1) / 2) / (m - 1);
+    if (!taken[idx]) {
+      taken[idx] = 1;
+      plan.support.push_back(idx);
+    }
+  }
+  std::sort(plan.support.begin(), plan.support.end());
+  fill_holdout(n, taken, holdout_points, plan);
+  return plan;
+}
+
+std::vector<double> surrogate_emission_sweep(const ckt::Circuit& c,
+                                             const std::string& meas_node,
+                                             const std::vector<double>& dense_freqs_hz,
+                                             const std::vector<double>& envelope,
+                                             const ckt::AcOptions& ac,
+                                             const SweepAccel& accel,
+                                             SweepStats* stats) {
+  const std::size_t n = dense_freqs_hz.size();
+  if (envelope.size() != n) {
+    throw std::invalid_argument("surrogate_emission_sweep: grid mismatch");
+  }
+  const auto dense = [&]() {
+    ckt::AcOptions ac_opt = ac;
+    ac_opt.source_scale = envelope;
+    const ckt::AcSolution sol = ckt::ac_solve(c, dense_freqs_hz, ac_opt);
+    std::vector<double> level(n);
+    for (std::size_t fi = 0; fi < n; ++fi) {
+      level[fi] = num::volts_to_dbuv(std::abs(sol.voltage(meas_node, fi)));
+    }
+    if (stats != nullptr) stats->full_solves += n;
+    return level;
+  };
+
+  const SupportPlan plan =
+      plan_support(n, accel.coarse_points, accel.holdout_points);
+  // Too few dense points for the surrogate to pay for itself.
+  if (!accel.surrogate || n < 4 ||
+      plan.support.size() + plan.holdout.size() >= n ||
+      plan.support.size() < 2) {
+    return dense();
+  }
+
+  // Solve support + holdout in one batch (per-point solves are independent,
+  // so each solved phasor is bit-identical to its dense-sweep counterpart).
+  std::vector<std::size_t> solved_idx = plan.support;
+  solved_idx.insert(solved_idx.end(), plan.holdout.begin(), plan.holdout.end());
+  std::sort(solved_idx.begin(), solved_idx.end());
+  std::vector<double> batch_f(solved_idx.size());
+  std::vector<double> batch_env(solved_idx.size());
+  for (std::size_t i = 0; i < solved_idx.size(); ++i) {
+    batch_f[i] = dense_freqs_hz[solved_idx[i]];
+    batch_env[i] = envelope[solved_idx[i]];
+  }
+  ckt::AcOptions ac_opt = ac;
+  ac_opt.source_scale = batch_env;
+  const ckt::AcSolution sol = ckt::ac_solve(c, batch_f, ac_opt);
+  if (stats != nullptr) stats->full_solves += solved_idx.size();
+
+  // Transfer H = V/envelope on the log-frequency axis; the envelope is
+  // strictly positive and analytic, so H carries all the circuit dynamics.
+  std::vector<double> lnf_support, lnf_holdout;
+  std::vector<Complex> h_support, h_holdout;
+  std::vector<double> level(n, 0.0);
+  std::vector<char> is_solved(n, 0);
+  for (std::size_t i = 0; i < solved_idx.size(); ++i) {
+    const std::size_t gi = solved_idx[i];
+    const Complex v = sol.voltage(meas_node, i);
+    level[gi] = num::volts_to_dbuv(std::abs(v));
+    is_solved[gi] = 1;
+    const Complex h = v / envelope[gi];
+    const double lnf = std::log(dense_freqs_hz[gi]);
+    if (std::binary_search(plan.holdout.begin(), plan.holdout.end(), gi)) {
+      lnf_holdout.push_back(lnf);
+      h_holdout.push_back(h);
+    } else {
+      lnf_support.push_back(lnf);
+      h_support.push_back(h);
+    }
+  }
+
+  const RationalSurrogate fitobj = RationalSurrogate::fit(
+      std::move(lnf_support), std::move(h_support), lnf_holdout, h_holdout,
+      accel.max_order);
+  if (stats != nullptr) {
+    stats->max_residual_db = std::max(stats->max_residual_db, fitobj.residual_db());
+  }
+  if (fitobj.residual_db() > accel.gate_db) {
+    // Self-reported residual exceeds the gate: escalate to the exact path.
+    if (stats != nullptr) stats->escalations += 1;
+    return dense();
+  }
+
+  for (std::size_t gi = 0; gi < n; ++gi) {
+    if (is_solved[gi]) continue;
+    const Complex h = fitobj.eval(std::log(dense_freqs_hz[gi]));
+    level[gi] = num::volts_to_dbuv(std::max(std::abs(h) * envelope[gi], kMagFloor));
+    if (stats != nullptr) stats->surrogate_evals += 1;
+  }
+  return level;
+}
+
+}  // namespace emi::sweep

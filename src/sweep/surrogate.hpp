@@ -1,0 +1,80 @@
+// Reduced-order sweep model: a barycentric rational surrogate of the
+// complex transfer function H(f) = V(meas)/envelope, fitted on a handful of
+// solved support points and validated on held-out solved points. The
+// Floater-Hormann weight family is used because it has no real poles for
+// any node distribution and any blend degree, needs no linear algebra, and
+// is a pure function of the support values - so fits and evaluations are
+// bit-identical at any thread count.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/ckt/ac.hpp"
+#include "src/sweep/options.hpp"
+
+namespace emi::sweep {
+
+using Complex = std::complex<double>;
+
+// Rational interpolant in barycentric form over support nodes x (strictly
+// increasing). The blend degree d (0..max_order) is auto-selected as the
+// smallest degree minimizing the max held-out residual in dB.
+class RationalSurrogate {
+ public:
+  // x/v: support nodes and complex values (x strictly increasing).
+  // x_holdout/v_holdout: solved validation points excluded from the fit.
+  static RationalSurrogate fit(std::vector<double> x, std::vector<Complex> v,
+                               const std::vector<double>& x_holdout,
+                               const std::vector<Complex>& v_holdout,
+                               std::size_t max_order);
+
+  // Evaluate at x (support nodes reproduce their value exactly).
+  Complex eval(double x) const;
+
+  // Max |dB| deviation observed on the held-out points: the surrogate's
+  // self-reported error estimate that the escalation gate compares against.
+  double residual_db() const { return residual_db_; }
+  std::size_t order() const { return order_; }
+  std::size_t support_size() const { return x_.size(); }
+
+ private:
+  std::vector<double> x_;
+  std::vector<Complex> v_;
+  std::vector<double> w_;  // barycentric weights for the selected degree
+  std::size_t order_ = 0;
+  double residual_db_ = 0.0;
+};
+
+// Dense emission sweep through the surrogate: solves the circuit only at
+// the support + held-out grid indices, fits H(f), and fills the remaining
+// dense points by surrogate evaluation. When the held-out residual exceeds
+// accel.gate_db the sweep escalates to a full dense solve instead (solved
+// points are bit-identical to the dense reference by construction). The
+// envelope must be strictly positive (the trapezoid envelope is). Stats are
+// accumulated into *stats (full solves, surrogate evals, escalations, max
+// residual). This is the standalone reduced-order path for a single sweep;
+// the sensitivity ranking's per-pair evaluations use the Sherman-Morrison
+// coupling model (sweep/coupling.hpp) instead, which reuses one MNA
+// factorization pass across every candidate pair.
+std::vector<double> surrogate_emission_sweep(const ckt::Circuit& c,
+                                             const std::string& meas_node,
+                                             const std::vector<double>& dense_freqs_hz,
+                                             const std::vector<double>& envelope,
+                                             const ckt::AcOptions& ac,
+                                             const SweepAccel& accel,
+                                             SweepStats* stats);
+
+// Deterministic support/holdout index pattern over a dense grid of size n:
+// support = coarse geometric subsample (always includes both endpoints),
+// holdout = evenly spread interior indices disjoint from the support.
+struct SupportPlan {
+  std::vector<std::size_t> support;
+  std::vector<std::size_t> holdout;
+};
+SupportPlan plan_support(std::size_t n, std::size_t coarse_points,
+                         std::size_t holdout_points);
+
+}  // namespace emi::sweep

@@ -250,5 +250,64 @@ TEST(Circuit, SetCouplingUpdatesInPlace) {
   EXPECT_DOUBLE_EQ(c.couplings()[0].k, 0.1);
 }
 
+// Each degenerate grid request surfaces as its own line-item
+// kInvalidArgument instead of num::log_space's generic throw.
+TEST(LogFrequencyGrid, HappyPathSpansTheRangeGeometrically) {
+  const auto grid = log_frequency_grid(units::Hertz{150e3}, units::Hertz{108e6}, 50);
+  ASSERT_TRUE(grid.ok());
+  ASSERT_EQ(grid.value().size(), 50u);
+  EXPECT_DOUBLE_EQ(grid.value().front().raw(), 150e3);
+  // The last point is f_lo * ratio^(n-1): a few ULPs of accumulated rounding
+  // from f_hi, matching num::log_space so solved grids stay bit-identical
+  // across both entry points.
+  EXPECT_NEAR(grid.value().back().raw(), 108e6, 108e6 * 1e-12);
+  for (std::size_t i = 1; i < 50; ++i) {
+    EXPECT_GT(grid.value()[i].raw(), grid.value()[i - 1].raw());
+  }
+}
+
+TEST(LogFrequencyGrid, FewerThanTwoPointsIsInvalid) {
+  for (std::size_t n : {0u, 1u}) {
+    const auto r = log_frequency_grid(units::Hertz{1e3}, units::Hertz{1e6}, n);
+    ASSERT_FALSE(r.ok()) << n;
+    EXPECT_EQ(r.status().code(), core::ErrorCode::kInvalidArgument);
+    EXPECT_EQ(r.status().stage(), "ckt.grid");
+    EXPECT_NE(r.status().message().find(">= 2 points"), std::string::npos);
+  }
+}
+
+TEST(LogFrequencyGrid, NonPositiveStartIsInvalid) {
+  for (double lo : {0.0, -1.0}) {
+    const auto r = log_frequency_grid(units::Hertz{lo}, units::Hertz{1e6}, 10);
+    ASSERT_FALSE(r.ok()) << lo;
+    EXPECT_EQ(r.status().code(), core::ErrorCode::kInvalidArgument);
+    EXPECT_NE(r.status().message().find("must be positive"), std::string::npos);
+  }
+}
+
+TEST(LogFrequencyGrid, EqualEndpointsAreInvalid) {
+  const auto r = log_frequency_grid(units::Hertz{1e6}, units::Hertz{1e6}, 10);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), core::ErrorCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("equal"), std::string::npos);
+}
+
+TEST(LogFrequencyGrid, InvertedEndpointsAreInvalid) {
+  const auto r = log_frequency_grid(units::Hertz{1e6}, units::Hertz{1e3}, 10);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), core::ErrorCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("inverted"), std::string::npos);
+}
+
+TEST(LogFrequencyGrid, RoundingToDuplicateAdjacentPointsIsInvalid) {
+  // A span of a few ULP cannot host 200 distinct geometric points.
+  const double lo = 1e6;
+  const double hi = std::nextafter(std::nextafter(lo, 2e6), 2e6);
+  const auto r = log_frequency_grid(units::Hertz{lo}, units::Hertz{hi}, 200);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), core::ErrorCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("duplicate adjacent"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace emi::ckt

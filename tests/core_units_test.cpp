@@ -123,7 +123,7 @@ TEST(Units, TypedAcSweepMatchesRawSweep) {
   c.add_capacitor("C1", "out", "0", Farad{1e-9});
 
   const std::vector<Hertz> grid =
-      ckt::log_frequency_grid((10.0_khz).to<Hertz>(), Hertz{10e6}, 11);
+      ckt::log_frequency_grid((10.0_khz).to<Hertz>(), Hertz{10e6}, 11).value();
   ASSERT_EQ(grid.size(), 11u);
   EXPECT_DOUBLE_EQ(grid.front().raw(), 10e3);
   EXPECT_DOUBLE_EQ(grid.back().raw(), 10e6);

@@ -8,8 +8,9 @@
 //   route <design> <layout>             route nets, print trace table
 //   svg   <design> <layout> [board] [-o file]
 //                                       render a board to SVG
-//   flow  [buck|boost] [--points N] [--budget-ms MS] [--stage-budget-ms MS]
-//         [--checkpoint FILE] [--resume] [--stop-after STAGE] [-o PREFIX]
+//   flow  [buck|boost] [--points N] [--adaptive] [--budget-ms MS]
+//         [--stage-budget-ms MS] [--checkpoint FILE] [--resume]
+//         [--stop-after STAGE] [-o PREFIX]
 //                                       run the paper's end-to-end EMI flow
 //                                       on a built-in converter
 //   serve --socket PATH --state-dir DIR [--executors N] [--queue-capacity N]
@@ -91,14 +92,15 @@ int usage() {
                "  drc   <design> [layout]\n"
                "  route <design> <layout>\n"
                "  svg   <design> <layout> [board] [-o file]\n"
-               "  flow  [buck|boost] [--points N] [--budget-ms MS]\n"
+               "  flow  [buck|boost] [--points N] [--adaptive] [--budget-ms MS]\n"
                "        [--stage-budget-ms MS] [--checkpoint FILE] [--resume]\n"
                "        [--stop-after STAGE] [-o PREFIX]\n"
                "  serve --socket PATH --state-dir DIR [--executors N]\n"
                "        [--queue-capacity N] [--lease-ms MS] [--max-attempts N]\n"
-               "  submit --socket PATH [buck|boost] [--points N] [--budget-ms MS]\n"
-               "         [--stage-budget-ms MS] [--client NAME] [--stop-after STAGE]\n"
-               "         [--poison] [--retry N] [--retry-base-ms MS]\n"
+               "  submit --socket PATH [buck|boost] [--points N] [--adaptive]\n"
+               "         [--budget-ms MS] [--stage-budget-ms MS] [--client NAME]\n"
+               "         [--stop-after STAGE] [--poison] [--retry N]\n"
+               "         [--retry-base-ms MS]\n"
                "  status|result|cancel --socket PATH --job N\n"
                "  stats|health --socket PATH\n"
                "  shutdown --socket PATH [--drain]\n"
@@ -288,8 +290,10 @@ int cmd_flow(int argc, char** argv) {
   fopt.sweep.n_points = 60;  // CLI default: quick sweeps
   std::string out_prefix;
   bool resume = false;
+  bool adaptive = false;
   cli::FlagSet flags;
   flags.add_size("--points", &fopt.sweep.n_points, 2, 100000);
+  flags.add_switch("--adaptive", &adaptive);
   flags.add_ms("--budget-ms", &fopt.total_budget_ms);
   flags.add_ms("--stage-budget-ms", &fopt.stage_budget_ms);
   flags.add_string("--checkpoint", &fopt.checkpoint_path);
@@ -309,6 +313,12 @@ int cmd_flow(int argc, char** argv) {
   if (resume && fopt.checkpoint_path.empty()) {
     std::fprintf(stderr, "--resume requires --checkpoint\n");
     return usage();
+  }
+  if (adaptive) {
+    // Both sweep-acceleration engines at default tolerances; defaults stay
+    // exact so unflagged runs remain bit-identical to older builds.
+    fopt.sweep_accel.adaptive = true;
+    fopt.sweep_accel.surrogate = true;
   }
 
   flow::BuckConverter bc =
@@ -493,9 +503,11 @@ int cmd_submit(int argc, char** argv) {
   std::uint64_t retries = 0;
   std::int64_t retry_base_ms = 100;
   bool poison = false;
+  bool adaptive = false;
   cli::FlagSet flags;
   flags.add_string("--socket", &socket_path);
   flags.add_u64("--points", &points, 2, 100000);
+  flags.add_switch("--adaptive", &adaptive);
   flags.add_ms("--budget-ms", &budget_ms);
   flags.add_ms("--stage-budget-ms", &stage_budget_ms);
   flags.add_string("--client", &client);
@@ -523,6 +535,7 @@ int cmd_submit(int argc, char** argv) {
     line += " stage_budget_ms=" + std::to_string(stage_budget_ms);
   }
   if (!client.empty()) line += " client=" + client;
+  if (adaptive) line += " adaptive=1";
   if (!stop_after.empty()) line += " stop_after=" + stop_after;
   if (poison) line += " poison=1";
 
